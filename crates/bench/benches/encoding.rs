@@ -1,0 +1,29 @@
+//! Criterion: memory-image encode / validate / decode throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqfa_bench::workload;
+use rqfa_memlist::{decode_case_base, encode_case_base, validate_case_base};
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memlist");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(800));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(label, t, i, a, k) in rqfa_bench::SHAPES {
+        let (case_base, _) = workload(t, i, a, k, 1);
+        let image = encode_case_base(&case_base).unwrap();
+        group.bench_with_input(BenchmarkId::new("encode", label), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(encode_case_base(&case_base).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("validate", label), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(validate_case_base(&image).unwrap()));
+        });
+        group.bench_with_input(BenchmarkId::new("decode", label), &(), |b, ()| {
+            b.iter(|| std::hint::black_box(decode_case_base(&image).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion: simulator throughput (host wall-clock per simulated
+//! retrieval) for the hardware unit and the soft core.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqfa_bench::workload;
+use rqfa_hwsim::{ImageLayout, PortWidth, RetrievalUnit, UnitConfig};
+use rqfa_memlist::{encode_case_base, encode_compact_case_base, encode_request};
+use rqfa_softcore::{run_retrieval_with, CpuCostModel, ProgramKind};
+
+fn bench_simulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulators");
+    group.sample_size(15);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let (case_base, requests) = workload(15, 10, 10, 10, 4);
+    let cb_img = encode_case_base(&case_base).unwrap();
+    let compact_img = encode_compact_case_base(&case_base).unwrap();
+    let req_imgs: Vec<_> = requests.iter().map(|r| encode_request(r).unwrap()).collect();
+
+    for (name, layout) in [
+        ("hwsim-narrow", ImageLayout::Classic(PortWidth::Narrow)),
+        ("hwsim-wide", ImageLayout::Classic(PortWidth::Wide)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "paper-shape"), &(), |b, ()| {
+            let mut unit = RetrievalUnit::new(
+                &cb_img,
+                UnitConfig { layout, ..UnitConfig::default() },
+            )
+            .unwrap();
+            b.iter(|| {
+                for req in &req_imgs {
+                    std::hint::black_box(unit.retrieve(req).unwrap());
+                }
+            });
+        });
+    }
+    group.bench_with_input(BenchmarkId::new("hwsim-compact", "paper-shape"), &(), |b, ()| {
+        let mut unit = RetrievalUnit::new_compact(&compact_img, UnitConfig::default()).unwrap();
+        b.iter(|| {
+            for req in &req_imgs {
+                std::hint::black_box(unit.retrieve(req).unwrap());
+            }
+        });
+    });
+    for (name, kind) in [
+        ("softcore-asm", ProgramKind::HandOptimized),
+        ("softcore-c", ProgramKind::CompilerStyle),
+    ] {
+        group.bench_with_input(BenchmarkId::new(name, "paper-shape"), &(), |b, ()| {
+            b.iter(|| {
+                for req in &req_imgs {
+                    std::hint::black_box(
+                        run_retrieval_with(&cb_img, req, CpuCostModel::default(), kind).unwrap(),
+                    );
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulators);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion: wall-clock cost of the retrieval engines (float, fixed,
+//! Mahalanobis) across case-base shapes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqfa_bench::workload;
+use rqfa_core::{FixedEngine, FloatEngine, MahalanobisEngine};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrieval");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for &(label, t, i, a, k) in rqfa_bench::SHAPES {
+        let (case_base, requests) = workload(t, i, a, k, 8);
+        group.bench_with_input(BenchmarkId::new("float", label), &(), |b, ()| {
+            let engine = FloatEngine::new();
+            b.iter(|| {
+                for r in &requests {
+                    std::hint::black_box(engine.retrieve(&case_base, r).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("fixed", label), &(), |b, ()| {
+            let engine = FixedEngine::new();
+            b.iter(|| {
+                for r in &requests {
+                    std::hint::black_box(engine.retrieve(&case_base, r).unwrap());
+                }
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("mahalanobis", label), &(), |b, ()| {
+            let engine = MahalanobisEngine::new();
+            b.iter(|| {
+                for r in &requests {
+                    std::hint::black_box(engine.retrieve(&case_base, r).unwrap());
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion: run-time-system throughput — full fig. 1 scenario per
+//! iteration (allocation decisions, reconfigurations, energy accounting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rqfa_rsoc::{AppId, ArrivalSpec, Device, DeviceId, SimTime, SystemBuilder};
+use rqfa_workloads::fig1_mix;
+
+fn bench_system(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rsoc");
+    group.sample_size(12);
+    group.measurement_time(std::time::Duration::from_millis(900));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for rounds in [4u32, 16] {
+        let scenario = fig1_mix(rounds, 5);
+        group.bench_with_input(
+            BenchmarkId::new("fig1-mix", format!("{rounds}-rounds")),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    let mut system = SystemBuilder::new(scenario.case_base.clone())
+                        .device(Device::fpga(DeviceId(0), "fpga0", 2800, 150))
+                        .device(Device::dsp(DeviceId(1), "dsp0", 1000, 90))
+                        .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+                        .build()
+                        .unwrap();
+                    for a in &scenario.arrivals {
+                        system.submit(
+                            SimTime::from_us(a.at_us),
+                            ArrivalSpec {
+                                app: AppId(a.app),
+                                request: a.request.clone(),
+                                priority: a.priority,
+                                duration_us: a.duration_us,
+                                relaxed: a.relaxed.clone(),
+                            },
+                        );
+                    }
+                    std::hint::black_box(system.run().unwrap())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_system);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Experiment E9 — the §5 compaction outlook: "a rather compacted
+//! attribute block representation could be used for loading IDs and values
+//! as blocks within one step speeding everything up at least by factor 2."
+//! Compares classic narrow, classic wide-port and packed-compact layouts.
+//!
+//! `cargo run -p rqfa-bench --bin compact_ablation`
+
+use rqfa_bench::workload;
+use rqfa_hwsim::{ImageLayout, PortWidth, RetrievalUnit, UnitConfig};
+use rqfa_memlist::{encode_case_base, encode_compact_case_base, encode_request, is_compactible};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E9. Compacted attribute blocks (paper claim: ≥2× on loads)\n");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "shape", "narrow", "wide", "compact", "wide ×", "compact ×"
+    );
+    for &(t, i, a, k) in &[
+        (4u16, 4u16, 4u16, 6u16),
+        (15, 10, 10, 10),
+        (15, 40, 10, 10),
+        (8, 8, 16, 20),
+    ] {
+        let (case_base, requests) = workload(t, i, a, k, 8);
+        assert!(is_compactible(&case_base), "value span must fit 10 bits");
+        let classic_img = encode_case_base(&case_base)?;
+        let compact_img = encode_compact_case_base(&case_base)?;
+
+        let mut narrow = RetrievalUnit::new(&classic_img, UnitConfig::default())?;
+        let mut wide = RetrievalUnit::new(
+            &classic_img,
+            UnitConfig {
+                layout: ImageLayout::Classic(PortWidth::Wide),
+                ..UnitConfig::default()
+            },
+        )?;
+        let mut compact = RetrievalUnit::new_compact(&compact_img, UnitConfig::default())?;
+
+        let (mut cn, mut cw, mut cc) = (0u64, 0u64, 0u64);
+        // Attribute-search cycles only — the loads the claim targets.
+        let (mut sn, mut sc) = (0u64, 0u64);
+        for request in &requests {
+            let req = encode_request(request)?;
+            let rn = narrow.retrieve(&req)?;
+            let rw = wide.retrieve(&req)?;
+            let rc = compact.retrieve(&req)?;
+            assert_eq!(rn.best, rw.best);
+            assert_eq!(rn.best, rc.best);
+            cn += rn.cycles;
+            cw += rw.cycles;
+            cc += rc.cycles;
+            sn += rn.breakdown.attr_search;
+            sc += rc.breakdown.attr_search;
+        }
+        println!(
+            "{:<18} {:>9} {:>9} {:>9} {:>8.2}× {:>8.2}×",
+            format!("{t}x{i}x{a}"),
+            cn / 8,
+            cw / 8,
+            cc / 8,
+            cn as f64 / cw as f64,
+            cn as f64 / cc as f64
+        );
+        if (t, i) == (15, 10) {
+            let search_speedup = sn as f64 / sc as f64;
+            println!(
+                "{:<18} attribute-search cycles only: {:.2}× (claim: ≥2×)",
+                "", search_speedup
+            );
+        }
+    }
+    println!("\nimage sizes (paper shape): classic vs compact:");
+    let (case_base, _) = workload(15, 10, 10, 10, 1);
+    let classic = encode_case_base(&case_base)?;
+    let compact = encode_compact_case_base(&case_base)?;
+    println!(
+        "  classic {} words, compact {} words ({:.0} % smaller)",
+        classic.image().len(),
+        compact.image().len(),
+        100.0 * (1.0 - compact.image().len() as f64 / classic.image().len() as f64)
+    );
+    Ok(())
+}

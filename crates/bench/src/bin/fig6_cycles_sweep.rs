@@ -1,0 +1,62 @@
+//! Experiment E6 — the fig. 6 FSM's cycle behaviour across case-base
+//! shapes: linear scaling with list lengths (the §4.1 sorted-list claim)
+//! and the per-phase cycle breakdown.
+//!
+//! `cargo run -p rqfa-bench --bin fig6_cycles_sweep`
+
+use rqfa_bench::workload;
+use rqfa_hwsim::{RetrievalUnit, UnitConfig};
+use rqfa_memlist::{encode_case_base, encode_request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E6. Retrieval-FSM cycles vs case-base shape\n");
+    println!(
+        "{:>6} {:>6} {:>6} {:>10} {:>12} {:>10}",
+        "types", "impls", "attrs", "cb words", "cycles/req", "cyc/impl"
+    );
+    for &(t, i, a) in &[
+        (4u16, 2u16, 4u16),
+        (4, 4, 4),
+        (4, 8, 4),
+        (4, 16, 4),
+        (4, 8, 2),
+        (4, 8, 8),
+        (16, 8, 4),
+        (64, 8, 4),
+    ] {
+        let k = a.max(4);
+        let (case_base, requests) = workload(t, i, a, k, 8);
+        let cb_img = encode_case_base(&case_base)?;
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default())?;
+        let mut total = 0u64;
+        for request in &requests {
+            total += unit.retrieve(&encode_request(request)?)?.cycles;
+        }
+        let per_request = total / requests.len() as u64;
+        println!(
+            "{t:>6} {i:>6} {a:>6} {:>10} {per_request:>12} {:>10}",
+            cb_img.image().len(),
+            per_request / u64::from(i)
+        );
+    }
+
+    println!("\nper-phase breakdown (paper shape, one request):");
+    let (case_base, requests) = workload(15, 10, 10, 10, 1);
+    let cb_img = encode_case_base(&case_base)?;
+    let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default())?;
+    let result = unit.retrieve(&encode_request(&requests[0])?)?;
+    println!("{}", result.breakdown);
+    println!(
+        "search fraction: {:.1} %  (the target of the §5 compaction outlook)",
+        result.breakdown.search_fraction() * 100.0
+    );
+    println!(
+        "datapath usage: {} abs-diff, {}+{} multiplies, {} accumulates, {} compares",
+        result.datapath.abs_diff_ops,
+        result.datapath.mult0_ops,
+        result.datapath.mult1_ops,
+        result.datapath.acc_ops,
+        result.datapath.cmp_ops
+    );
+    Ok(())
+}

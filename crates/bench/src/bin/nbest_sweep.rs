@@ -1,0 +1,59 @@
+//! Experiment E8 — the §5 n-most-similar extension: retrieval cost of the
+//! n-best register bank in hardware and software, and its payoff for the
+//! allocation manager (feasibility fallbacks without re-retrieval).
+//!
+//! `cargo run -p rqfa-bench --bin nbest_sweep`
+
+use rqfa_bench::workload;
+use rqfa_core::FixedEngine;
+use rqfa_hwsim::{RetrievalUnit, UnitConfig};
+use rqfa_memlist::{encode_case_base, encode_request};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E8. n-most-similar retrieval (§5 outlook)\n");
+    let (case_base, requests) = workload(15, 10, 10, 10, 8);
+    let cb_img = encode_case_base(&case_base)?;
+
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "n", "hw cycles", "hw cmp ops", "sw rank len"
+    );
+    for n in [1usize, 2, 4, 8] {
+        let mut unit = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                n_best: n,
+                ..UnitConfig::default()
+            },
+        )?;
+        let mut cycles = 0u64;
+        let mut cmps = 0u64;
+        let mut sw_len = 0usize;
+        for request in &requests {
+            let req = encode_request(request)?;
+            let hw = unit.retrieve(&req)?;
+            cycles += hw.cycles;
+            cmps += hw.datapath.cmp_ops;
+            let sw = FixedEngine::new().retrieve_n_best(&case_base, request, n)?;
+            sw_len += sw.ranked.len();
+            // Cross-check the full ranked list.
+            for ((hid, hsim), s) in hw.ranked.iter().zip(&sw.ranked) {
+                assert_eq!(*hid, s.impl_id.raw());
+                assert_eq!(*hsim, s.similarity);
+            }
+        }
+        let n_req = requests.len() as u64;
+        println!(
+            "{n:>4} {:>12} {:>14} {:>12}",
+            cycles / n_req,
+            cmps / n_req,
+            sw_len / requests.len()
+        );
+    }
+    println!(
+        "\nthe register bank costs a handful of comparator activations per\n\
+         implementation — the scan cycles dominate, so n-best retrieval is\n\
+         nearly free in hardware (matching the paper's motivation for it)."
+    );
+    Ok(())
+}

@@ -1,0 +1,109 @@
+//! Experiment E4 — the §4.2 performance comparison: "our hardware version
+//! is at 66 MHz about 8.5 times faster than the software solution", plus a
+//! sensitivity sweep over the CPU cost model and the program style.
+//!
+//! `cargo run -p rqfa-bench --bin speedup_hw_sw`
+
+use rqfa_bench::{workload, SHAPES};
+use rqfa_hwsim::{RetrievalUnit, UnitConfig};
+use rqfa_memlist::{encode_case_base, encode_request};
+use rqfa_softcore::{run_retrieval_with, CpuCostModel, ProgramKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("E4. Hardware vs software retrieval (cycles per retrieval)");
+    println!("paper: ~8.5× (MicroBlaze C, 1984 B code), same clock\n");
+
+    println!(
+        "{:<18} {:>9} {:>11} {:>8} {:>11} {:>8}",
+        "shape", "HW cyc", "SW asm cyc", "×", "SW C cyc", "×"
+    );
+    for &(label, t, i, a, k) in SHAPES {
+        let (case_base, requests) = workload(t, i, a, k, 10);
+        let cb_img = encode_case_base(&case_base)?;
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default())?;
+        let mut hw_total = 0u64;
+        let mut asm_total = 0u64;
+        let mut c_total = 0u64;
+        for request in &requests {
+            let req_img = encode_request(request)?;
+            let hw = unit.retrieve(&req_img)?;
+            hw_total += hw.cycles;
+            let asm = run_retrieval_with(
+                &cb_img,
+                &req_img,
+                CpuCostModel::default(),
+                ProgramKind::HandOptimized,
+            )?;
+            asm_total += asm.stats.cycles;
+            let c = run_retrieval_with(
+                &cb_img,
+                &req_img,
+                CpuCostModel::default(),
+                ProgramKind::CompilerStyle,
+            )?;
+            c_total += c.stats.cycles;
+            assert_eq!(hw.best, asm.best);
+            assert_eq!(hw.best, c.best);
+        }
+        let n = requests.len() as u64;
+        println!(
+            "{:<18} {:>9} {:>11} {:>8.1} {:>11} {:>8.1}",
+            label,
+            hw_total / n,
+            asm_total / n,
+            asm_total as f64 / hw_total as f64,
+            c_total / n,
+            c_total as f64 / hw_total as f64
+        );
+    }
+
+    println!("\nsensitivity: CPU cost model (paper shape, compiler-style)");
+    println!("{:<16} {:>11} {:>8}", "model", "SW cyc", "×HW");
+    let (case_base, requests) = workload(15, 10, 10, 10, 10);
+    let cb_img = encode_case_base(&case_base)?;
+    let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default())?;
+    let mut hw_total = 0u64;
+    let mut req_images = Vec::new();
+    for request in &requests {
+        let req_img = encode_request(request)?;
+        hw_total += unit.retrieve(&req_img)?.cycles;
+        req_images.push(req_img);
+    }
+    for (name, model) in [
+        ("ideal", CpuCostModel::ideal()),
+        ("microblaze", CpuCostModel::default()),
+        ("conservative", CpuCostModel::conservative()),
+    ] {
+        let mut sw_total = 0u64;
+        for req_img in &req_images {
+            sw_total +=
+                run_retrieval_with(&cb_img, req_img, model, ProgramKind::CompilerStyle)?
+                    .stats
+                    .cycles;
+        }
+        println!(
+            "{:<16} {:>11} {:>8.1}",
+            name,
+            sw_total / requests.len() as u64,
+            sw_total as f64 / hw_total as f64
+        );
+    }
+
+    // Footprint comparison (paper: 1984 B opcode + 1208 B variables).
+    let asm = run_retrieval_with(
+        &cb_img,
+        &req_images[0],
+        CpuCostModel::default(),
+        ProgramKind::HandOptimized,
+    )?;
+    let c = run_retrieval_with(
+        &cb_img,
+        &req_images[0],
+        CpuCostModel::default(),
+        ProgramKind::CompilerStyle,
+    )?;
+    println!("\nsoftware footprints (paper: 1984 B opcode, 1208 B variables):");
+    println!("  hand-optimized: {} B code", asm.code_bytes);
+    println!("  compiler-style: {} B code", c.code_bytes);
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Experiment E1 — regenerates **Table 1** (retrieval similarity example).
+//!
+//! `cargo run -p rqfa-bench --bin table1_similarity`
+
+use rqfa_core::{paper, FixedEngine, FloatEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let case_base = paper::table1_case_base();
+    let request = paper::table1_request()?;
+    let bounds = case_base.bounds();
+    let fir = case_base.function_type(paper::FIR_EQUALIZER).expect("fixture");
+
+    println!("Table 1. Retrieval – similarity example");
+    println!("request: {request}\n");
+
+    let (float_scores, _) = FloatEngine::new().score_all(&case_base, &request)?;
+    let (fixed_scores, _) = FixedEngine::new().score_all(&case_base, &request)?;
+
+    for (variant, (f, q)) in fir.variants().iter().zip(float_scores.iter().zip(&fixed_scores)) {
+        println!("Impl. ID = {} : {}", variant.id().raw(), variant.target());
+        println!(
+            "  {:>2} {:>8} {:>8} {:>18} {:>8} {:>8}",
+            "i", "AReq_i", "ACB_i", "d(AReq_i,ACB_i)", "dmax", "si"
+        );
+        for c in request.constraints() {
+            let entry = bounds.require(c.attr)?;
+            match variant.attr(c.attr) {
+                Some(cb_value) => {
+                    let d = c.value.abs_diff(cb_value);
+                    let si = rqfa_core::similarity::local_f64(c.value, cb_value, entry.max_distance);
+                    println!(
+                        "  {:>2} {:>8} {:>8} {:>18} {:>8} {:>8.2}",
+                        c.attr.raw(),
+                        c.value,
+                        cb_value,
+                        format!("{}-{}={}", c.value.max(cb_value), c.value.min(cb_value), d),
+                        format!("{}", entry.max_distance),
+                        si
+                    );
+                }
+                None => println!(
+                    "  {:>2} {:>8} {:>8} {:>18} {:>8} {:>8.2}",
+                    c.attr.raw(),
+                    c.value,
+                    "-",
+                    "missing",
+                    entry.max_distance,
+                    0.0
+                ),
+            }
+        }
+        println!(
+            "  Sglobal = {:.2}  (w_i = 1/3 each; fixed-point: {:.4})\n",
+            f.similarity,
+            q.similarity.to_f64()
+        );
+    }
+
+    let best = FloatEngine::new().retrieve(&case_base, &request)?.best.unwrap();
+    println!("best: Impl. ID = {} ({})", best.impl_id.raw(), best.target);
+    println!("\npaper vs measured:");
+    println!("{:>8} {:>8} {:>9}", "impl", "paper", "measured");
+    for (impl_raw, expected) in paper::TABLE1_EXPECTED {
+        let got = float_scores
+            .iter()
+            .find(|s| s.impl_id.raw() == impl_raw)
+            .unwrap()
+            .similarity;
+        println!("{impl_raw:>8} {expected:>8.2} {got:>9.4}");
+    }
+    Ok(())
+}

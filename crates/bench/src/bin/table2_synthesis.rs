@@ -1,0 +1,49 @@
+//! Experiment E2 — regenerates **Table 2** (synthesis results on
+//! XC2V3000) from the structural netlist estimator.
+//!
+//! `cargo run -p rqfa-bench --bin table2_synthesis`
+
+use rqfa_synth::{
+    build_retrieval_unit, build_retrieval_unit_with, estimate_power, synthesize_retrieval_unit,
+    synthesize_with, PowerCoefficients, TechLibrary,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Table 2. Synthesis results on XC2V3000 (estimator)\n");
+    let report = synthesize_retrieval_unit()?;
+    println!("{}", report.table2());
+
+    println!("paper vs measured:");
+    println!("{:<16} {:>10} {:>10}", "metric", "paper", "measured");
+    println!("{:<16} {:>10} {:>10}", "CLB slices", 441, report.area.slices);
+    println!("{:<16} {:>10} {:>10}", "MULT18X18", 2, report.area.mult18);
+    println!("{:<16} {:>10} {:>10}", "BRAM (18Kbit)", 2, report.area.bram18);
+    println!(
+        "{:<16} {:>10} {:>10.1}",
+        "fmax (MHz)", "75-77", report.timing.fmax_mhz
+    );
+
+    let power = estimate_power(
+        &build_retrieval_unit(),
+        &TechLibrary::default(),
+        &PowerCoefficients::default(),
+        report.timing.fmax_mhz,
+        0.35,
+    );
+    println!(
+        "\npower estimate @ {:.1} MHz, activity 0.35: {:.1} mW dynamic + {:.1} mW static",
+        power.clock_mhz, power.dynamic_mw, power.static_mw
+    );
+
+    println!("\nn-best extension area scaling (§5 outlook):");
+    println!("{:>7} {:>9} {:>9} {:>9}", "n", "slices", "mult", "fmax");
+    let lib = TechLibrary::default();
+    for n in [1usize, 2, 4, 8, 16] {
+        let r = synthesize_with(&build_retrieval_unit_with(n), &lib)?;
+        println!(
+            "{n:>7} {:>9} {:>9} {:>9.1}",
+            r.area.slices, r.area.mult18, r.timing.fmax_mhz
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,58 @@
+//! # rqfa-bench — experiment harness
+//!
+//! One binary per paper artifact (see DESIGN.md §4 and EXPERIMENTS.md):
+//!
+//! | Binary | Artifact |
+//! |--------|----------|
+//! | `table1_similarity` | Table 1 — retrieval similarity example |
+//! | `table2_synthesis`  | Table 2 — synthesis results on XC2V3000 |
+//! | `table3_memory`     | Table 3 — case-base memory consumption |
+//! | `speedup_hw_sw`     | §4.2 — the ~8.5× HW/SW comparison + sensitivity |
+//! | `fig6_cycles_sweep` | fig. 6 — FSM cycles vs case-base shape |
+//! | `nbest_sweep`       | §5 — n-most-similar extension |
+//! | `compact_ablation`  | §5 — compacted attribute blocks (≥2× claim) |
+//! | `search_ablation`   | §4.1 — resumable vs restart-from-top search |
+//! | `mahalanobis_ablation` | §2.2 — Manhattan vs Mahalanobis cost/quality |
+//! | `fixed_vs_float`    | §4.2 — fixed/float ranking agreement |
+//! | `rsoc_scenario`     | fig. 1 — allocation-manager metrics |
+//!
+//! Criterion benches (`cargo bench -p rqfa-bench`) time the hot paths:
+//! retrieval engines, the hardware simulator, image encoding and the
+//! run-time system.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rqfa_core::{CaseBase, Request};
+use rqfa_workloads::{CaseGen, RequestGen};
+
+/// Standard experiment shapes `(label, types, impls, attrs, attr_types)`.
+pub const SHAPES: &[(&str, u16, u16, u16, u16)] = &[
+    ("tiny  (2×3×4)", 2, 3, 4, 6),
+    ("paper (15×10×10)", 15, 10, 10, 10),
+    ("wide  (15×40×10)", 15, 40, 10, 10),
+    ("deep  (60×10×10)", 60, 10, 10, 10),
+];
+
+/// Builds the workload for one shape: the case base plus `n` requests.
+///
+/// # Panics
+///
+/// Never for the shapes in [`SHAPES`].
+pub fn workload(types: u16, impls: u16, attrs: u16, attr_types: u16, n: usize) -> (CaseBase, Vec<Request>) {
+    let case_base = CaseGen::new(types, impls, attrs, attr_types)
+        .seed(u64::from(types) * 31 + u64::from(impls))
+        .value_span(500)
+        .build();
+    let requests = RequestGen::new(&case_base)
+        .seed(0xBEEF)
+        .count(n)
+        .repeat_fraction(0.0)
+        .generate();
+    (case_base, requests)
+}
+
+/// Prints a horizontal rule sized for the experiment tables.
+pub fn rule(width: usize) {
+    println!("{}", "-".repeat(width));
+}

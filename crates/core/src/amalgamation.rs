@@ -1,0 +1,126 @@
+//! Amalgamation functions — equation (2) of the paper and variants.
+//!
+//! An amalgamation function maps the vector of local similarities
+//! `(s_1, …, s_n) ∈ [0,1]ⁿ` back to a scalar global similarity in `[0,1]`.
+//! The paper requires monotonicity in every argument with
+//! `S(0,…,0) = 0` and `S(1,…,1) = 1`, and chooses the **weighted sum**
+//! (equation (2)) for the hardware unit. The float reference engine also
+//! offers the classic alternatives used in CBR literature so their effect
+//! can be studied (`rqfa-bench`'s ablations).
+
+use core::fmt;
+
+/// Strategy for combining weighted local similarities into a global score.
+///
+/// All variants satisfy the paper's amalgamation axioms (monotone,
+/// `S(0..0)=0`, `S(1..1)=1`) given normalized weights `Σ w_i = 1`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Amalgamation {
+    /// Equation (2): `S = Σ w_i · s_i`. The hardware-implemented choice.
+    #[default]
+    WeightedSum,
+    /// Pessimistic: `S = min_i s_i` (weights ignored). A single unmet
+    /// constraint dominates.
+    Minimum,
+    /// Optimistic: `S = max_i s_i` (weights ignored).
+    Maximum,
+    /// Weighted Euclidean mean: `S = sqrt(Σ w_i · s_i²)`. Penalizes outliers
+    /// less than the minimum but more than the linear sum.
+    WeightedEuclidean,
+}
+
+impl Amalgamation {
+    /// Combines `(similarity, weight)` pairs into a global similarity.
+    ///
+    /// Weights must be normalized (`Σ = 1`); the request builder guarantees
+    /// this. An empty slice yields `0.0`.
+    pub fn combine(self, parts: &[(f64, f64)]) -> f64 {
+        if parts.is_empty() {
+            return 0.0;
+        }
+        match self {
+            Amalgamation::WeightedSum => parts.iter().map(|&(s, w)| s * w).sum(),
+            Amalgamation::Minimum => parts
+                .iter()
+                .map(|&(s, _)| s)
+                .fold(f64::INFINITY, f64::min),
+            Amalgamation::Maximum => parts.iter().map(|&(s, _)| s).fold(0.0, f64::max),
+            Amalgamation::WeightedEuclidean => parts
+                .iter()
+                .map(|&(s, w)| w * s * s)
+                .sum::<f64>()
+                .sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for Amalgamation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Amalgamation::WeightedSum => "weighted-sum",
+            Amalgamation::Minimum => "minimum",
+            Amalgamation::Maximum => "maximum",
+            Amalgamation::WeightedEuclidean => "weighted-euclidean",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PARTS: &[(f64, f64)] = &[(1.0, 1.0 / 3.0), (2.0 / 3.0, 1.0 / 3.0), (0.5, 1.0 / 3.0)];
+
+    #[test]
+    fn weighted_sum_matches_equation_2() {
+        let s = Amalgamation::WeightedSum.combine(PARTS);
+        assert!((s - (1.0 + 2.0 / 3.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn axioms_hold_for_all_variants() {
+        let zeros = [(0.0, 0.5), (0.0, 0.5)];
+        let ones = [(1.0, 0.5), (1.0, 0.5)];
+        for a in [
+            Amalgamation::WeightedSum,
+            Amalgamation::Minimum,
+            Amalgamation::Maximum,
+            Amalgamation::WeightedEuclidean,
+        ] {
+            assert!(a.combine(&zeros).abs() < 1e-12, "{a}: S(0,0) = 0");
+            assert!((a.combine(&ones) - 1.0).abs() < 1e-12, "{a}: S(1,1) = 1");
+            assert_eq!(a.combine(&[]), 0.0);
+        }
+    }
+
+    #[test]
+    fn min_max_bracket_the_sum() {
+        let min = Amalgamation::Minimum.combine(PARTS);
+        let sum = Amalgamation::WeightedSum.combine(PARTS);
+        let max = Amalgamation::Maximum.combine(PARTS);
+        assert!(min <= sum && sum <= max);
+        assert_eq!(min, 0.5);
+        assert_eq!(max, 1.0);
+    }
+
+    #[test]
+    fn monotone_in_each_argument() {
+        for a in [
+            Amalgamation::WeightedSum,
+            Amalgamation::Minimum,
+            Amalgamation::Maximum,
+            Amalgamation::WeightedEuclidean,
+        ] {
+            let low = [(0.2, 0.5), (0.7, 0.5)];
+            let high = [(0.4, 0.5), (0.7, 0.5)];
+            assert!(a.combine(&high) >= a.combine(&low), "{a} must be monotone");
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Amalgamation::default().to_string(), "weighted-sum");
+    }
+}

@@ -1,0 +1,217 @@
+//! Attribute declarations and attribute/value bindings.
+//!
+//! An *attribute type* describes one comparable QoS feature (bit-width,
+//! processing mode, sample rate …). The designer declares each attribute
+//! once, together with its design-global value bounds; those bounds fix the
+//! maximum possible distance `d_max` used by the local similarity measure
+//! (equation (1)) and end up in the supplemental list of the memory image.
+
+use core::fmt;
+
+use crate::error::CoreError;
+use crate::ids::AttrId;
+
+/// Design-time declaration of one attribute type.
+///
+/// ```
+/// use rqfa_core::{AttrDecl, AttrId};
+///
+/// let rate = AttrDecl::new(AttrId::new(4)?, "kSamples/s", 8, 44)?;
+/// assert_eq!(rate.max_distance(), 36); // the d_max of Table 1
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AttrDecl {
+    id: AttrId,
+    name: String,
+    lower: u16,
+    upper: u16,
+}
+
+impl AttrDecl {
+    /// Declares an attribute type with design-global `lower..=upper` bounds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::ValueOutOfBounds`] if `lower > upper`.
+    pub fn new(
+        id: AttrId,
+        name: impl Into<String>,
+        lower: u16,
+        upper: u16,
+    ) -> Result<AttrDecl, CoreError> {
+        if lower > upper {
+            return Err(CoreError::ValueOutOfBounds {
+                attr: id,
+                value: lower,
+                lower,
+                upper,
+            });
+        }
+        Ok(AttrDecl {
+            id,
+            name: name.into(),
+            lower,
+            upper,
+        })
+    }
+
+    /// The attribute identifier.
+    pub fn id(&self) -> AttrId {
+        self.id
+    }
+
+    /// Human-readable unit/name (report output only, not part of the image).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Design-global lower bound.
+    pub fn lower(&self) -> u16 {
+        self.lower
+    }
+
+    /// Design-global upper bound.
+    pub fn upper(&self) -> u16 {
+        self.upper
+    }
+
+    /// Maximum possible Manhattan distance for this attribute, `upper−lower`.
+    pub fn max_distance(&self) -> u16 {
+        rqfa_fixed::max_distance_for(self.lower, self.upper)
+    }
+
+    /// Checks whether `value` lies inside the declared bounds.
+    pub fn contains(&self, value: u16) -> bool {
+        (self.lower..=self.upper).contains(&value)
+    }
+}
+
+impl fmt::Display for AttrDecl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} \"{}\" [{}, {}]", self.id, self.name, self.lower, self.upper)
+    }
+}
+
+/// One attribute/value binding as stored in an implementation's attribute
+/// list or in a request.
+///
+/// Bindings compare and sort by attribute id — the order the sorted linear
+/// lists of the memory image require.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AttrBinding {
+    /// The attribute type.
+    pub attr: AttrId,
+    /// The raw 16-bit value in domain units.
+    pub value: u16,
+}
+
+impl AttrBinding {
+    /// Creates a binding.
+    pub fn new(attr: AttrId, value: u16) -> AttrBinding {
+        AttrBinding { attr, value }
+    }
+}
+
+impl PartialOrd for AttrBinding {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for AttrBinding {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.attr.cmp(&other.attr).then(self.value.cmp(&other.value))
+    }
+}
+
+impl fmt::Display for AttrBinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.attr, self.value)
+    }
+}
+
+/// Validates that a slice of bindings is strictly sorted by attribute id
+/// (no duplicates) — the invariant of every attribute list in the memory
+/// image (fig. 4/5: "list entries presorted by ID").
+///
+/// # Errors
+///
+/// Returns [`CoreError::DuplicateAttr`] naming the first offending id.
+pub fn check_sorted_unique(bindings: &[AttrBinding]) -> Result<(), CoreError> {
+    for pair in bindings.windows(2) {
+        if pair[0].attr >= pair[1].attr {
+            return Err(CoreError::DuplicateAttr { attr: pair[1].attr });
+        }
+    }
+    Ok(())
+}
+
+/// Sorts bindings by attribute id and fails on duplicates.
+///
+/// # Errors
+///
+/// Returns [`CoreError::DuplicateAttr`] if two bindings share an id.
+pub fn sort_unique(mut bindings: Vec<AttrBinding>) -> Result<Vec<AttrBinding>, CoreError> {
+    bindings.sort();
+    check_sorted_unique(&bindings)?;
+    Ok(bindings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(raw: u16) -> AttrId {
+        AttrId::new(raw).unwrap()
+    }
+
+    #[test]
+    fn decl_rejects_inverted_bounds() {
+        assert!(AttrDecl::new(aid(1), "x", 10, 5).is_err());
+        assert!(AttrDecl::new(aid(1), "x", 5, 5).is_ok());
+    }
+
+    #[test]
+    fn max_distance_matches_span() {
+        let d = AttrDecl::new(aid(1), "bits", 8, 16).unwrap();
+        assert_eq!(d.max_distance(), 8);
+        assert!(d.contains(8) && d.contains(16) && !d.contains(17));
+    }
+
+    #[test]
+    fn bindings_sort_by_attr_id() {
+        let unsorted = vec![
+            AttrBinding::new(aid(4), 44),
+            AttrBinding::new(aid(1), 16),
+            AttrBinding::new(aid(3), 2),
+        ];
+        let sorted = sort_unique(unsorted).unwrap();
+        let ids: Vec<u16> = sorted.iter().map(|b| b.attr.raw()).collect();
+        assert_eq!(ids, [1, 3, 4]);
+    }
+
+    #[test]
+    fn duplicate_attr_is_rejected() {
+        let dup = vec![AttrBinding::new(aid(1), 16), AttrBinding::new(aid(1), 8)];
+        assert!(matches!(
+            sort_unique(dup),
+            Err(CoreError::DuplicateAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn check_sorted_rejects_unsorted() {
+        let unsorted = vec![AttrBinding::new(aid(2), 0), AttrBinding::new(aid(1), 0)];
+        assert!(check_sorted_unique(&unsorted).is_err());
+        assert!(check_sorted_unique(&[]).is_ok());
+    }
+
+    #[test]
+    fn display_formats() {
+        let b = AttrBinding::new(aid(4), 44);
+        assert_eq!(b.to_string(), "A4=44");
+        let d = AttrDecl::new(aid(4), "kSamples/s", 8, 44).unwrap();
+        assert!(d.to_string().contains("kSamples/s"));
+    }
+}

@@ -1,0 +1,221 @@
+//! The design-global bounds table ("attribute supplemental data").
+//!
+//! The paper keeps an extra list, generated at design time, with the
+//! per-attribute lower/upper bounds and the pre-computed reciprocal
+//! `1/(1 + d_max)` (fig. 4, right). This module is the in-memory form of
+//! that table; `rqfa-memlist` serializes it into the 16-bit word image.
+
+use std::collections::BTreeMap;
+
+use rqfa_fixed::{recip_plus_one, Q15};
+
+use crate::attribute::AttrDecl;
+use crate::error::CoreError;
+use crate::ids::AttrId;
+
+/// One resolved entry of the bounds table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BoundsEntry {
+    /// Design-global lower bound.
+    pub lower: u16,
+    /// Design-global upper bound.
+    pub upper: u16,
+    /// Maximum possible distance `upper − lower`.
+    pub max_distance: u16,
+    /// Pre-computed reciprocal `1/(1 + max_distance)` in UQ1.15
+    /// (the "maxrange-1" word of the supplemental list).
+    pub recip: Q15,
+}
+
+/// Immutable design-time table mapping attribute ids to bounds and
+/// reciprocal range constants.
+///
+/// ```
+/// use rqfa_core::{AttrDecl, AttrId, BoundsTable};
+///
+/// let table = BoundsTable::from_decls(vec![
+///     AttrDecl::new(AttrId::new(1)?, "bit-width", 8, 16)?,
+///     AttrDecl::new(AttrId::new(4)?, "kSamples/s", 8, 44)?,
+/// ])?;
+/// let rate = table.entry(AttrId::new(4)?).unwrap();
+/// assert_eq!(rate.max_distance, 36);
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BoundsTable {
+    decls: BTreeMap<AttrId, AttrDecl>,
+}
+
+impl BoundsTable {
+    /// Creates an empty table.
+    pub fn new() -> BoundsTable {
+        BoundsTable::default()
+    }
+
+    /// Builds a table from attribute declarations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateAttr`] if two declarations share an id.
+    pub fn from_decls(decls: impl IntoIterator<Item = AttrDecl>) -> Result<BoundsTable, CoreError> {
+        let mut table = BoundsTable::new();
+        for decl in decls {
+            table.insert(decl)?;
+        }
+        Ok(table)
+    }
+
+    /// Inserts one declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::DuplicateAttr`] if the id is already declared.
+    pub fn insert(&mut self, decl: AttrDecl) -> Result<(), CoreError> {
+        let id = decl.id();
+        if self.decls.contains_key(&id) {
+            return Err(CoreError::DuplicateAttr { attr: id });
+        }
+        self.decls.insert(id, decl);
+        Ok(())
+    }
+
+    /// Looks up the declaration for an attribute id.
+    pub fn decl(&self, attr: AttrId) -> Option<&AttrDecl> {
+        self.decls.get(&attr)
+    }
+
+    /// Resolves the bounds entry (bounds + reciprocal) for an attribute id.
+    pub fn entry(&self, attr: AttrId) -> Option<BoundsEntry> {
+        self.decls.get(&attr).map(|d| {
+            let max_distance = d.max_distance();
+            BoundsEntry {
+                lower: d.lower(),
+                upper: d.upper(),
+                max_distance,
+                recip: recip_plus_one(max_distance),
+            }
+        })
+    }
+
+    /// Resolves an entry, failing with [`CoreError::UndeclaredAttr`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UndeclaredAttr`] when the id is unknown.
+    pub fn require(&self, attr: AttrId) -> Result<BoundsEntry, CoreError> {
+        self.entry(attr).ok_or(CoreError::UndeclaredAttr { attr })
+    }
+
+    /// Validates that a value lies within the declared bounds of `attr`.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UndeclaredAttr`] for unknown attributes,
+    /// [`CoreError::ValueOutOfBounds`] for violations.
+    pub fn check_value(&self, attr: AttrId, value: u16) -> Result<(), CoreError> {
+        let decl = self
+            .decls
+            .get(&attr)
+            .ok_or(CoreError::UndeclaredAttr { attr })?;
+        if decl.contains(value) {
+            Ok(())
+        } else {
+            Err(CoreError::ValueOutOfBounds {
+                attr,
+                value,
+                lower: decl.lower(),
+                upper: decl.upper(),
+            })
+        }
+    }
+
+    /// Number of declared attributes.
+    pub fn len(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.decls.is_empty()
+    }
+
+    /// Iterates over declarations in ascending attribute-id order (the order
+    /// of the supplemental memory list).
+    pub fn iter(&self) -> impl Iterator<Item = &AttrDecl> {
+        self.decls.values()
+    }
+}
+
+impl<'a> IntoIterator for &'a BoundsTable {
+    type Item = &'a AttrDecl;
+    type IntoIter = std::collections::btree_map::Values<'a, AttrId, AttrDecl>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.decls.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(raw: u16) -> AttrId {
+        AttrId::new(raw).unwrap()
+    }
+
+    fn table() -> BoundsTable {
+        BoundsTable::from_decls(vec![
+            AttrDecl::new(aid(1), "bit-width", 8, 16).unwrap(),
+            AttrDecl::new(aid(2), "mode", 0, 1).unwrap(),
+            AttrDecl::new(aid(3), "output", 0, 2).unwrap(),
+            AttrDecl::new(aid(4), "kSamples/s", 8, 44).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn entries_compute_paper_dmax() {
+        let t = table();
+        assert_eq!(t.entry(aid(1)).unwrap().max_distance, 8);
+        assert_eq!(t.entry(aid(3)).unwrap().max_distance, 2);
+        assert_eq!(t.entry(aid(4)).unwrap().max_distance, 36);
+        assert!(t.entry(aid(9)).is_none());
+    }
+
+    #[test]
+    fn recip_is_prefolded() {
+        let t = table();
+        let e = t.entry(aid(4)).unwrap();
+        assert!((e.recip.to_f64() - 1.0 / 37.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn duplicate_decl_rejected() {
+        let mut t = table();
+        let dup = AttrDecl::new(aid(1), "again", 0, 1).unwrap();
+        assert!(matches!(t.insert(dup), Err(CoreError::DuplicateAttr { .. })));
+    }
+
+    #[test]
+    fn check_value_enforces_bounds() {
+        let t = table();
+        assert!(t.check_value(aid(1), 12).is_ok());
+        assert!(matches!(
+            t.check_value(aid(1), 40),
+            Err(CoreError::ValueOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.check_value(aid(99), 0),
+            Err(CoreError::UndeclaredAttr { .. })
+        ));
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_id() {
+        let t = table();
+        let ids: Vec<u16> = t.iter().map(|d| d.id().raw()).collect();
+        assert_eq!(ids, [1, 2, 3, 4]);
+        assert_eq!(t.len(), 4);
+        assert!(!t.is_empty());
+    }
+}

@@ -1,0 +1,400 @@
+//! The case base: a hierarchy of function types and their implementation
+//! variants, plus the design-global bounds table.
+//!
+//! This is the in-memory form of the paper's *implementation tree*
+//! (fig. 3/5): level 0 lists function types, level 1 the implementation
+//! variants of each type, level 2 the attribute bindings of each variant.
+//! All levels are kept sorted by id so `rqfa-memlist` can serialize them
+//! directly into the presorted linear lists the hardware expects.
+
+use core::fmt;
+
+use crate::bounds::BoundsTable;
+use crate::error::CoreError;
+use crate::ids::{ImplId, TypeId};
+use crate::implvariant::ImplVariant;
+
+/// One function type (level 0 node) and its implementation variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionType {
+    id: TypeId,
+    name: String,
+    variants: Vec<ImplVariant>,
+}
+
+impl FunctionType {
+    /// Creates a function type from its variants.
+    ///
+    /// Variants are sorted by [`ImplId`].
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyType`] if no variants are given.
+    /// * [`CoreError::DuplicateImpl`] if two variants share an id.
+    pub fn new(
+        id: TypeId,
+        name: impl Into<String>,
+        mut variants: Vec<ImplVariant>,
+    ) -> Result<FunctionType, CoreError> {
+        if variants.is_empty() {
+            return Err(CoreError::EmptyType { type_id: id });
+        }
+        variants.sort_by_key(ImplVariant::id);
+        for pair in variants.windows(2) {
+            if pair[0].id() == pair[1].id() {
+                return Err(CoreError::DuplicateImpl {
+                    type_id: id,
+                    impl_id: pair[1].id(),
+                });
+            }
+        }
+        Ok(FunctionType {
+            id,
+            name: name.into(),
+            variants,
+        })
+    }
+
+    /// The type identifier (`IDType`).
+    pub fn id(&self) -> TypeId {
+        self.id
+    }
+
+    /// Human-readable name ("FIR Equalizer", "1D-FFT", …).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The implementation variants, sorted by id.
+    pub fn variants(&self) -> &[ImplVariant] {
+        &self.variants
+    }
+
+    /// Looks up one variant by id.
+    pub fn variant(&self, id: ImplId) -> Option<&ImplVariant> {
+        self.variants
+            .binary_search_by_key(&id, ImplVariant::id)
+            .ok()
+            .map(|idx| &self.variants[idx])
+    }
+
+    /// Number of variants.
+    pub fn variant_count(&self) -> usize {
+        self.variants.len()
+    }
+}
+
+impl fmt::Display for FunctionType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} \"{}\" ({} variants)", self.id, self.name, self.variants.len())
+    }
+}
+
+/// The complete case base: bounds table + implementation tree.
+///
+/// Mutation happens through [`CaseBase::retain_variant`] and related methods
+/// (the *retain* step of the CBR cycle, a paper future-work item); every
+/// mutation bumps a generation counter so caches such as the bypass-token
+/// store (§3) can detect staleness.
+///
+/// ```
+/// use rqfa_core::paper;
+///
+/// let cb = paper::table1_case_base();
+/// assert_eq!(cb.type_count(), 2); // FIR equalizer + 1D-FFT
+/// let fir = cb.function_type(paper::FIR_EQUALIZER).unwrap();
+/// assert_eq!(fir.variant_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaseBase {
+    bounds: BoundsTable,
+    types: Vec<FunctionType>,
+    generation: u64,
+}
+
+impl CaseBase {
+    /// Creates a case base from a bounds table and function types.
+    ///
+    /// Types are sorted by [`TypeId`]. Every attribute used by any variant
+    /// must be declared in the bounds table and every value must lie within
+    /// its declared bounds — the memory image cannot represent anything
+    /// else, and out-of-bounds values would break the reciprocal arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyCaseBase`] with no types.
+    /// * [`CoreError::DuplicateType`] on duplicate ids.
+    /// * [`CoreError::UndeclaredAttr`] / [`CoreError::ValueOutOfBounds`] for
+    ///   attribute violations.
+    pub fn new(bounds: BoundsTable, mut types: Vec<FunctionType>) -> Result<CaseBase, CoreError> {
+        if types.is_empty() {
+            return Err(CoreError::EmptyCaseBase);
+        }
+        types.sort_by_key(FunctionType::id);
+        for pair in types.windows(2) {
+            if pair[0].id() == pair[1].id() {
+                return Err(CoreError::DuplicateType { id: pair[1].id() });
+            }
+        }
+        for ty in &types {
+            for variant in ty.variants() {
+                for binding in variant.attrs() {
+                    bounds.check_value(binding.attr, binding.value)?;
+                }
+            }
+        }
+        Ok(CaseBase {
+            bounds,
+            types,
+            generation: 0,
+        })
+    }
+
+    /// The design-global bounds table.
+    pub fn bounds(&self) -> &BoundsTable {
+        &self.bounds
+    }
+
+    /// All function types, sorted by id.
+    pub fn function_types(&self) -> &[FunctionType] {
+        &self.types
+    }
+
+    /// Looks up a function type.
+    pub fn function_type(&self, id: TypeId) -> Option<&FunctionType> {
+        self.types
+            .binary_search_by_key(&id, FunctionType::id)
+            .ok()
+            .map(|idx| &self.types[idx])
+    }
+
+    /// Looks up a function type, failing with [`CoreError::UnknownType`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::UnknownType`] when absent.
+    pub fn require_type(&self, id: TypeId) -> Result<&FunctionType, CoreError> {
+        self.function_type(id)
+            .ok_or(CoreError::UnknownType { type_id: id })
+    }
+
+    /// Number of function types.
+    pub fn type_count(&self) -> usize {
+        self.types.len()
+    }
+
+    /// Total number of implementation variants across all types.
+    pub fn variant_count(&self) -> usize {
+        self.types.iter().map(FunctionType::variant_count).sum()
+    }
+
+    /// Monotone counter incremented on every mutation; used by caches to
+    /// detect stale retrieval results.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// *Retain* step of the CBR cycle: inserts a new implementation variant
+    /// into an existing function type at run time (self-learning extension,
+    /// §5 outlook).
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownType`] if the type does not exist.
+    /// * [`CoreError::DuplicateImpl`] if the id is taken.
+    /// * attribute errors as in [`CaseBase::new`].
+    pub fn retain_variant(
+        &mut self,
+        type_id: TypeId,
+        variant: ImplVariant,
+    ) -> Result<(), CoreError> {
+        for binding in variant.attrs() {
+            self.bounds.check_value(binding.attr, binding.value)?;
+        }
+        let idx = self
+            .types
+            .binary_search_by_key(&type_id, FunctionType::id)
+            .map_err(|_| CoreError::UnknownType { type_id })?;
+        let ty = &mut self.types[idx];
+        match ty
+            .variants
+            .binary_search_by_key(&variant.id(), ImplVariant::id)
+        {
+            Ok(_) => Err(CoreError::DuplicateImpl {
+                type_id,
+                impl_id: variant.id(),
+            }),
+            Err(pos) => {
+                ty.variants.insert(pos, variant);
+                self.generation += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// Removes an implementation variant (used by the learning eviction
+    /// policy when the case base outgrows its memory budget).
+    ///
+    /// Returns the removed variant.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownType`] if the type does not exist.
+    /// * [`CoreError::EmptyType`] if removal would leave the type empty —
+    ///   a case base must keep at least one realization per declared type.
+    pub fn evict_variant(
+        &mut self,
+        type_id: TypeId,
+        impl_id: ImplId,
+    ) -> Result<ImplVariant, CoreError> {
+        let idx = self
+            .types
+            .binary_search_by_key(&type_id, FunctionType::id)
+            .map_err(|_| CoreError::UnknownType { type_id })?;
+        let ty = &mut self.types[idx];
+        let pos = ty
+            .variants
+            .binary_search_by_key(&impl_id, ImplVariant::id)
+            .map_err(|_| CoreError::UnknownType { type_id })?;
+        if ty.variants.len() == 1 {
+            return Err(CoreError::EmptyType { type_id });
+        }
+        let removed = ty.variants.remove(pos);
+        self.generation += 1;
+        Ok(removed)
+    }
+
+    /// *Revise* step: replaces the attribute set of an existing variant with
+    /// corrected values (e.g. after measuring real QoS at run time).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CaseBase::retain_variant`]; the variant must
+    /// already exist.
+    pub fn revise_variant(
+        &mut self,
+        type_id: TypeId,
+        revised: ImplVariant,
+    ) -> Result<(), CoreError> {
+        for binding in revised.attrs() {
+            self.bounds.check_value(binding.attr, binding.value)?;
+        }
+        let idx = self
+            .types
+            .binary_search_by_key(&type_id, FunctionType::id)
+            .map_err(|_| CoreError::UnknownType { type_id })?;
+        let ty = &mut self.types[idx];
+        let pos = ty
+            .variants
+            .binary_search_by_key(&revised.id(), ImplVariant::id)
+            .map_err(|_| CoreError::UnknownType { type_id })?;
+        ty.variants[pos] = revised;
+        self.generation += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{AttrBinding, AttrDecl};
+    use crate::ids::AttrId;
+    use crate::implvariant::ExecutionTarget;
+
+    fn aid(raw: u16) -> AttrId {
+        AttrId::new(raw).unwrap()
+    }
+
+    fn bounds() -> BoundsTable {
+        BoundsTable::from_decls(vec![AttrDecl::new(aid(1), "bits", 0, 32).unwrap()]).unwrap()
+    }
+
+    fn variant(id: u16, bits: u16) -> ImplVariant {
+        ImplVariant::new(
+            ImplId::new(id).unwrap(),
+            ExecutionTarget::Fpga,
+            vec![AttrBinding::new(aid(1), bits)],
+        )
+        .unwrap()
+    }
+
+    fn case_base() -> CaseBase {
+        let ty = FunctionType::new(TypeId::new(1).unwrap(), "f", vec![variant(1, 16), variant(2, 8)])
+            .unwrap();
+        CaseBase::new(bounds(), vec![ty]).unwrap()
+    }
+
+    #[test]
+    fn lookup_by_type_and_impl() {
+        let cb = case_base();
+        let ty = cb.function_type(TypeId::new(1).unwrap()).unwrap();
+        assert_eq!(ty.variant(ImplId::new(2).unwrap()).unwrap().attr(aid(1)), Some(8));
+        assert!(cb.function_type(TypeId::new(9).unwrap()).is_none());
+        assert!(cb.require_type(TypeId::new(9).unwrap()).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicates() {
+        assert!(matches!(
+            CaseBase::new(bounds(), vec![]),
+            Err(CoreError::EmptyCaseBase)
+        ));
+        let t1 = FunctionType::new(TypeId::new(1).unwrap(), "a", vec![variant(1, 1)]).unwrap();
+        let t2 = FunctionType::new(TypeId::new(1).unwrap(), "b", vec![variant(1, 1)]).unwrap();
+        assert!(matches!(
+            CaseBase::new(bounds(), vec![t1, t2]),
+            Err(CoreError::DuplicateType { .. })
+        ));
+        assert!(matches!(
+            FunctionType::new(TypeId::new(1).unwrap(), "e", vec![]),
+            Err(CoreError::EmptyType { .. })
+        ));
+        assert!(matches!(
+            FunctionType::new(TypeId::new(1).unwrap(), "d", vec![variant(1, 1), variant(1, 2)]),
+            Err(CoreError::DuplicateImpl { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_values() {
+        let ty =
+            FunctionType::new(TypeId::new(1).unwrap(), "f", vec![variant(1, 33)]).unwrap();
+        assert!(matches!(
+            CaseBase::new(bounds(), vec![ty]),
+            Err(CoreError::ValueOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn retain_inserts_sorted_and_bumps_generation() {
+        let mut cb = case_base();
+        let g0 = cb.generation();
+        cb.retain_variant(TypeId::new(1).unwrap(), variant(5, 4)).unwrap();
+        assert_eq!(cb.generation(), g0 + 1);
+        let ty = cb.function_type(TypeId::new(1).unwrap()).unwrap();
+        let ids: Vec<u16> = ty.variants().iter().map(|v| v.id().raw()).collect();
+        assert_eq!(ids, [1, 2, 5]);
+        // Duplicate insert fails.
+        assert!(cb.retain_variant(TypeId::new(1).unwrap(), variant(5, 4)).is_err());
+    }
+
+    #[test]
+    fn evict_keeps_types_nonempty() {
+        let mut cb = case_base();
+        cb.evict_variant(TypeId::new(1).unwrap(), ImplId::new(2).unwrap())
+            .unwrap();
+        assert!(matches!(
+            cb.evict_variant(TypeId::new(1).unwrap(), ImplId::new(1).unwrap()),
+            Err(CoreError::EmptyType { .. })
+        ));
+    }
+
+    #[test]
+    fn revise_replaces_in_place() {
+        let mut cb = case_base();
+        cb.revise_variant(TypeId::new(1).unwrap(), variant(2, 31)).unwrap();
+        let ty = cb.function_type(TypeId::new(1).unwrap()).unwrap();
+        assert_eq!(ty.variant(ImplId::new(2).unwrap()).unwrap().attr(aid(1)), Some(31));
+        assert_eq!(cb.variant_count(), 2);
+    }
+}

@@ -1,0 +1,256 @@
+//! Retrieval explanations: the per-attribute similarity breakdown that
+//! Table 1 of the paper prints, as a first-class API.
+//!
+//! A QoS negotiation layer that offers alternatives to an application
+//! (§3) should be able to say *why* a variant scored the way it did —
+//! which constraint matched, which was missed entirely, and how much each
+//! contributed. [`FloatEngine::explain`] produces exactly that.
+
+use core::fmt;
+
+use crate::casebase::CaseBase;
+use crate::engine::FloatEngine;
+use crate::error::CoreError;
+use crate::ids::{AttrId, ImplId};
+use crate::request::Request;
+use crate::similarity::local_f64;
+
+/// One row of an explanation: a single request constraint evaluated
+/// against one implementation variant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplainRow {
+    /// The constrained attribute.
+    pub attr: AttrId,
+    /// Requested value (`AReq_i`).
+    pub requested: u16,
+    /// The variant's value (`ACB_i`), `None` when the attribute is missing
+    /// ("a missing attribute can be seen as unsatisfiable requirement").
+    pub case_value: Option<u16>,
+    /// Manhattan distance `d(AReq_i, ACB_i)` (0 for missing attributes —
+    /// the similarity is forced to zero instead).
+    pub distance: u16,
+    /// Design-time maximum distance (`d_max`).
+    pub max_distance: u16,
+    /// Local similarity `s_i` of equation (1).
+    pub local_similarity: f64,
+    /// Normalized weight `w_i`.
+    pub weight: f64,
+}
+
+impl ExplainRow {
+    /// This row's contribution to the global similarity (`s_i · w_i`).
+    pub fn contribution(&self) -> f64 {
+        self.local_similarity * self.weight
+    }
+}
+
+/// The full explanation of one variant's score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Explanation {
+    /// The explained variant.
+    pub impl_id: ImplId,
+    /// Per-constraint rows, in request (ascending attribute) order.
+    pub rows: Vec<ExplainRow>,
+    /// The global weighted-sum similarity (equation (2)).
+    pub global: f64,
+}
+
+impl Explanation {
+    /// The row that costs the most similarity (largest `w_i · (1 − s_i)`),
+    /// i.e. the constraint an application would relax first in the §3
+    /// renegotiation. `None` for perfect matches.
+    pub fn dominant_mismatch(&self) -> Option<&ExplainRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.local_similarity < 1.0)
+            .max_by(|a, b| {
+                let pa = a.weight * (1.0 - a.local_similarity);
+                let pb = b.weight * (1.0 - b.local_similarity);
+                pa.partial_cmp(&pb).unwrap_or(core::cmp::Ordering::Equal)
+            })
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:>6} {:>8} {:>8} {:>6} {:>6} {:>8} {:>8} {:>8}",
+            "attr", "request", "case", "d", "dmax", "s_i", "w_i", "s_i*w_i"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "{:>6} {:>8} {:>8} {:>6} {:>6} {:>8.4} {:>8.4} {:>8.4}",
+                r.attr.to_string(),
+                r.requested,
+                r.case_value.map_or_else(|| "-".to_string(), |v| v.to_string()),
+                r.distance,
+                r.max_distance,
+                r.local_similarity,
+                r.weight,
+                r.contribution()
+            )?;
+        }
+        writeln!(f, "S_global({}) = {:.4}", self.impl_id, self.global)
+    }
+}
+
+impl FloatEngine {
+    /// Explains the score of one variant against a request: every Table 1
+    /// column, per constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::UnknownType`] if the request's type is absent;
+    /// * [`CoreError::UnknownType`] (same variant) if `impl_id` does not
+    ///   exist within the type;
+    /// * [`CoreError::UndeclaredAttr`] for constraints without bounds.
+    ///
+    /// ```
+    /// use rqfa_core::{paper, FloatEngine};
+    ///
+    /// let cb = paper::table1_case_base();
+    /// let request = paper::table1_request()?;
+    /// let explanation = FloatEngine::new().explain(&cb, &request, paper::IMPL_GP)?;
+    /// assert!((explanation.global - 0.43).abs() < 5e-3);
+    /// // The GP processor's worst constraint is its 8-bit width.
+    /// let worst = explanation.dominant_mismatch().unwrap();
+    /// assert_eq!(worst.attr, paper::ATTR_BITWIDTH);
+    /// # Ok::<(), rqfa_core::CoreError>(())
+    /// ```
+    pub fn explain(
+        &self,
+        case_base: &CaseBase,
+        request: &Request,
+        impl_id: ImplId,
+    ) -> Result<Explanation, CoreError> {
+        let ty = case_base.require_type(request.type_id())?;
+        let variant = ty.variant(impl_id).ok_or(CoreError::UnknownType {
+            type_id: request.type_id(),
+        })?;
+        let bounds = case_base.bounds();
+        let mut rows = Vec::with_capacity(request.constraints().len());
+        let mut parts = Vec::with_capacity(request.constraints().len());
+        for c in request.constraints() {
+            let entry = bounds.require(c.attr)?;
+            let case_value = variant.attr(c.attr);
+            let (distance, local) = match case_value {
+                Some(v) => (
+                    c.value.abs_diff(v),
+                    local_f64(c.value, v, entry.max_distance),
+                ),
+                None => (0, 0.0),
+            };
+            rows.push(ExplainRow {
+                attr: c.attr,
+                requested: c.value,
+                case_value,
+                distance,
+                max_distance: entry.max_distance,
+                local_similarity: local,
+                weight: c.weight,
+            });
+            parts.push((local, c.weight));
+        }
+        let global = self.amalgamation().combine(&parts);
+        Ok(Explanation {
+            impl_id,
+            rows,
+            global,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FloatEngine;
+    use crate::paper;
+
+    #[test]
+    fn explanation_matches_score_all() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let engine = FloatEngine::new();
+        let (scores, _) = engine.score_all(&cb, &request).unwrap();
+        for scored in &scores {
+            let explanation = engine.explain(&cb, &request, scored.impl_id).unwrap();
+            assert!(
+                (explanation.global - scored.similarity).abs() < 1e-12,
+                "{}: explain {} vs score {}",
+                scored.impl_id,
+                explanation.global,
+                scored.similarity
+            );
+            // Contributions sum to the global (weighted-sum amalgamation).
+            let sum: f64 = explanation.rows.iter().map(ExplainRow::contribution).sum();
+            assert!((sum - explanation.global).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn table1_rows_reproduced() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let e = FloatEngine::new()
+            .explain(&cb, &request, paper::IMPL_GP)
+            .unwrap();
+        let row = |attr: AttrId| e.rows.iter().find(|r| r.attr == attr).unwrap();
+        // Table 1, Impl 3 rows: d = 8/1/18, dmax = 8/2/36, si = .11/.66/.51.
+        let bw = row(paper::ATTR_BITWIDTH);
+        assert_eq!((bw.distance, bw.max_distance), (8, 8));
+        assert!((bw.local_similarity - 0.1111).abs() < 1e-3);
+        let rate = row(paper::ATTR_RATE);
+        assert_eq!((rate.distance, rate.max_distance), (18, 36));
+        assert!((rate.local_similarity - 0.5135).abs() < 1e-3);
+    }
+
+    #[test]
+    fn missing_attribute_row_is_explicit() {
+        let cb = paper::incomplete_attrs_case_base();
+        let request = paper::table1_request().unwrap();
+        let e = FloatEngine::new()
+            .explain(&cb, &request, paper::IMPL_DSP)
+            .unwrap();
+        let out = e
+            .rows
+            .iter()
+            .find(|r| r.attr == paper::ATTR_OUTPUT)
+            .unwrap();
+        assert_eq!(out.case_value, None);
+        assert_eq!(out.local_similarity, 0.0);
+        assert_eq!(e.dominant_mismatch().unwrap().attr, paper::ATTR_OUTPUT);
+    }
+
+    #[test]
+    fn perfect_match_has_no_dominant_mismatch() {
+        let cb = paper::tie_case_base();
+        let request = paper::table1_request().unwrap();
+        let e = FloatEngine::new()
+            .explain(&cb, &request, ImplId::new(1).unwrap())
+            .unwrap();
+        assert!(e.dominant_mismatch().is_none());
+        assert!((e.global - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_variant_errors() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        assert!(FloatEngine::new()
+            .explain(&cb, &request, ImplId::new(99).unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let e = FloatEngine::new()
+            .explain(&cb, &request, paper::IMPL_DSP)
+            .unwrap();
+        let text = e.to_string();
+        assert!(text.contains("dmax") && text.contains("S_global"));
+    }
+}

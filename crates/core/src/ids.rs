@@ -1,0 +1,135 @@
+//! Identifier newtypes for function types, implementation variants and
+//! attributes.
+//!
+//! All identifiers are 16-bit because the memory images of the hardware
+//! retrieval unit store every list entry as a 16-bit word (fig. 4/5 of the
+//! paper). The all-ones word `0xFFFF` terminates lists, so it is reserved
+//! and never a valid identifier ([`RESERVED_ID`]).
+
+use core::fmt;
+
+use crate::error::CoreError;
+
+/// The reserved 16-bit word used as a list terminator in memory images.
+///
+/// No identifier may take this value.
+pub const RESERVED_ID: u16 = 0xFFFF;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates a new identifier.
+            ///
+            /// # Errors
+            ///
+            /// Returns [`CoreError::ReservedId`] if `raw` equals the list
+            /// terminator word `0xFFFF`.
+            pub const fn new(raw: u16) -> Result<$name, CoreError> {
+                if raw == RESERVED_ID {
+                    Err(CoreError::ReservedId { raw })
+                } else {
+                    Ok($name(raw))
+                }
+            }
+
+            /// Returns the raw 16-bit identifier value.
+            pub const fn raw(self) -> u16 {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "({})"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl TryFrom<u16> for $name {
+            type Error = CoreError;
+
+            fn try_from(raw: u16) -> Result<$name, CoreError> {
+                $name::new(raw)
+            }
+        }
+
+        impl From<$name> for u16 {
+            fn from(id: $name) -> u16 {
+                id.raw()
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifies a *basic function type* (e.g. "FIR equalizer"), the level-0
+    /// key of the implementation tree (`IDType` in the paper).
+    TypeId,
+    "T"
+);
+
+id_newtype!(
+    /// Identifies one *implementation variant* of a function type
+    /// (`IDImpl` in the paper). Unique within its function type; the paper
+    /// allows system-global or local numbering — the builder enforces
+    /// uniqueness per type and [`crate::CaseBase`] lookups are always
+    /// `(TypeId, ImplId)` pairs.
+    ImplId,
+    "I"
+);
+
+id_newtype!(
+    /// Identifies an *attribute type* (e.g. bit-width, sample rate) shared
+    /// between requests, implementations and the design-time bounds table
+    /// (`ACB`/`AReq` index in the paper). Attribute lists are sorted by this
+    /// id to enable the resumable linear search of §4.1.
+    AttrId,
+    "A"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_id_is_rejected() {
+        assert!(TypeId::new(RESERVED_ID).is_err());
+        assert!(ImplId::new(RESERVED_ID).is_err());
+        assert!(AttrId::new(RESERVED_ID).is_err());
+        assert!(TypeId::new(0).is_ok());
+        assert!(AttrId::new(0xFFFE).is_ok());
+    }
+
+    #[test]
+    fn ordering_is_by_raw_value() {
+        let a = AttrId::new(1).unwrap();
+        let b = AttrId::new(2).unwrap();
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let t = TypeId::new(1).unwrap();
+        assert_eq!(t.to_string(), "T1");
+        assert_eq!(format!("{t:?}"), "T(1)");
+        let i = ImplId::new(2).unwrap();
+        assert_eq!(i.to_string(), "I2");
+        let a = AttrId::new(3).unwrap();
+        assert_eq!(a.to_string(), "A3");
+    }
+
+    #[test]
+    fn u16_roundtrip() {
+        let id = AttrId::try_from(7u16).unwrap();
+        assert_eq!(u16::from(id), 7);
+    }
+}

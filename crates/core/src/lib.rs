@@ -1,0 +1,113 @@
+//! # rqfa-core — QoS-based function allocation via case-based reasoning
+//!
+//! Rust implementation of the primary contribution of *Ullmann, Jin,
+//! Becker: "Hardware Support for QoS-based Function Allocation in
+//! Reconfigurable Systems" (DATE 2004)*: a case-based-reasoning (CBR)
+//! retrieval engine that, given a function request with QoS constraints,
+//! selects the most similar implementation variant from a case base of
+//! realizations on FPGA / DSP / general-purpose processors.
+//!
+//! ## Quick start
+//!
+//! The paper's own example (fig. 3 / Table 1) ships as a fixture:
+//!
+//! ```
+//! use rqfa_core::{paper, FixedEngine, FloatEngine};
+//!
+//! let case_base = paper::table1_case_base();
+//! let request = paper::table1_request()?;
+//!
+//! // Float reference (the paper's Matlab model):
+//! let float_best = FloatEngine::new().retrieve(&case_base, &request)?.best.unwrap();
+//! assert_eq!(float_best.impl_id, paper::IMPL_DSP);
+//!
+//! // 16-bit fixed-point engine (the hardware's arithmetic):
+//! let fixed_best = FixedEngine::new().retrieve(&case_base, &request)?.best.unwrap();
+//! assert_eq!(fixed_best.impl_id, float_best.impl_id); // identical ranking
+//! # Ok::<(), rqfa_core::CoreError>(())
+//! ```
+//!
+//! ## Building your own case base
+//!
+//! ```
+//! use rqfa_core::{
+//!     AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget,
+//!     FixedEngine, FunctionType, ImplId, ImplVariant, Request, TypeId,
+//! };
+//!
+//! let bounds = BoundsTable::from_decls(vec![
+//!     AttrDecl::new(AttrId::new(1)?, "latency (µs)", 0, 1000)?,
+//! ])?;
+//! let variant = ImplVariant::new(
+//!     ImplId::new(1)?,
+//!     ExecutionTarget::Fpga,
+//!     vec![AttrBinding::new(AttrId::new(1)?, 15)],
+//! )?;
+//! let case_base = CaseBase::new(
+//!     bounds,
+//!     vec![FunctionType::new(TypeId::new(1)?, "decoder", vec![variant])?],
+//! )?;
+//! let request = Request::builder(TypeId::new(1)?)
+//!     .constraint(AttrId::new(1)?, 20)
+//!     .build()?;
+//! let best = FixedEngine::new().retrieve(&case_base, &request)?.best.unwrap();
+//! assert_eq!(best.impl_id.raw(), 1);
+//! # Ok::<(), rqfa_core::CoreError>(())
+//! ```
+//!
+//! ## Module tour
+//!
+//! * [`ids`], [`attribute`], [`bounds`] — identifiers, attribute
+//!   declarations, the design-global bounds table (supplemental list).
+//! * [`casebase`] — the implementation tree with retain/revise/evict
+//!   mutations (CBR retain step).
+//! * [`request`] — weighted, possibly incomplete QoS requests.
+//! * [`similarity`], [`amalgamation`] — equations (1) and (2).
+//! * [`engine`] — the float reference and the bit-exact fixed-point
+//!   retrieval engines, with operation counting.
+//! * [`nbest`] — n-most-similar retrieval (paper future work).
+//! * [`token`] — bypass tokens for repeated calls (§3).
+//! * [`cycle`] — the full retrieve/reuse/revise/retain loop (fig. 2).
+//! * [`mahalanobis`] — the rejected statistical baseline of §2.2.
+//! * [`paper`] — ready-made fixtures reproducing fig. 3 / Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amalgamation;
+pub mod attribute;
+pub mod bounds;
+pub mod casebase;
+pub mod cycle;
+pub mod engine;
+pub mod explain;
+mod error;
+pub mod ids;
+pub mod implvariant;
+pub mod mahalanobis;
+pub mod nbest;
+pub mod paper;
+pub mod request;
+pub mod similarity;
+pub mod token;
+
+pub use amalgamation::Amalgamation;
+pub use attribute::{AttrBinding, AttrDecl};
+pub use bounds::{BoundsEntry, BoundsTable};
+pub use casebase::{CaseBase, FunctionType};
+pub use cycle::{CbrCycle, CycleOutcome, LearnAction, LearnPolicy};
+pub use engine::{FixedEngine, FloatEngine, OpCounts, Retrieval, Scored};
+pub use explain::{Explanation, ExplainRow};
+pub use error::CoreError;
+pub use ids::{AttrId, ImplId, TypeId, RESERVED_ID};
+pub use implvariant::{ExecutionTarget, Footprint, ImplVariant};
+pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
+pub use nbest::NBest;
+pub use request::{Constraint, Request, RequestBuilder};
+pub use token::{BypassToken, TokenCache, TokenStats};
+
+// Re-export the numeric type users see in all fixed-point results.
+pub use rqfa_fixed::Q15;
+
+#[cfg(test)]
+mod proptests;

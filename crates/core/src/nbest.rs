@@ -1,0 +1,163 @@
+//! *n*-most-similar retrieval — the paper's first announced extension
+//! ("Our next step will be an extension for getting n most similar
+//! solutions from retrieval which offers the possibility for checking out
+//! the feasibility of different matching variants", §5).
+//!
+//! The allocation manager uses the ranked list to fall back to the
+//! next-best variant when the best one is infeasible under current system
+//! load, without re-running retrieval.
+
+use rqfa_fixed::Q15;
+
+use crate::casebase::CaseBase;
+use crate::engine::{FixedEngine, FloatEngine, OpCounts, Scored};
+use crate::error::CoreError;
+use crate::request::Request;
+
+/// Ranks scored variants: descending similarity, ties broken by scan order
+/// (the position in the implementation tree), truncated to `n`.
+///
+/// The tie-break matches the single-result engines: among equals, the
+/// variant encountered first wins, so `rank(scores, 1)[0]` equals the
+/// `retrieve()` winner.
+pub fn rank<S: PartialOrd + Copy>(scores: &[Scored<S>], n: usize) -> Vec<Scored<S>> {
+    let mut indexed: Vec<(usize, Scored<S>)> = scores.iter().copied().enumerate().collect();
+    // Stable by construction: sort_by with explicit index tie-break.
+    indexed.sort_by(|(ia, a), (ib, b)| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .unwrap_or(core::cmp::Ordering::Equal)
+            .then(ia.cmp(ib))
+    });
+    indexed.into_iter().take(n).map(|(_, s)| s).collect()
+}
+
+/// Ranked retrieval outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NBest<S> {
+    /// Up to `n` variants, best first.
+    pub ranked: Vec<Scored<S>>,
+    /// Number of variants evaluated.
+    pub evaluated: usize,
+    /// Operation counters of the underlying scan.
+    pub ops: OpCounts,
+}
+
+impl FixedEngine {
+    /// Retrieves the `n` most similar variants (fixed-point scores).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedEngine::score_all`].
+    ///
+    /// ```
+    /// use rqfa_core::{paper, FixedEngine};
+    ///
+    /// let cb = paper::table1_case_base();
+    /// let request = paper::table1_request()?;
+    /// let nbest = FixedEngine::new().retrieve_n_best(&cb, &request, 2)?;
+    /// let ids: Vec<u16> = nbest.ranked.iter().map(|s| s.impl_id.raw()).collect();
+    /// assert_eq!(ids, [2, 1]); // DSP first, FPGA second (Table 1)
+    /// # Ok::<(), rqfa_core::CoreError>(())
+    /// ```
+    pub fn retrieve_n_best(
+        &self,
+        case_base: &CaseBase,
+        request: &Request,
+        n: usize,
+    ) -> Result<NBest<Q15>, CoreError> {
+        let (scores, ops) = self.score_all(case_base, request)?;
+        Ok(NBest {
+            evaluated: scores.len(),
+            ranked: rank(&scores, n),
+            ops,
+        })
+    }
+
+    /// Retrieves the `n` most similar variants at or above `threshold`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedEngine::score_all`].
+    pub fn retrieve_n_best_above(
+        &self,
+        case_base: &CaseBase,
+        request: &Request,
+        n: usize,
+        threshold: Q15,
+    ) -> Result<NBest<Q15>, CoreError> {
+        let mut nbest = self.retrieve_n_best(case_base, request, n)?;
+        nbest.ranked.retain(|s| s.similarity >= threshold);
+        Ok(nbest)
+    }
+}
+
+impl FloatEngine {
+    /// Retrieves the `n` most similar variants (float scores).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FloatEngine::score_all`].
+    pub fn retrieve_n_best(
+        &self,
+        case_base: &CaseBase,
+        request: &Request,
+        n: usize,
+    ) -> Result<NBest<f64>, CoreError> {
+        let (scores, ops) = self.score_all(case_base, request)?;
+        Ok(NBest {
+            evaluated: scores.len(),
+            ranked: rank(&scores, n),
+            ops,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn table1_full_ranking() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let nbest = FixedEngine::new().retrieve_n_best(&cb, &request, 10).unwrap();
+        let ids: Vec<u16> = nbest.ranked.iter().map(|s| s.impl_id.raw()).collect();
+        assert_eq!(ids, [2, 1, 3], "DSP > FPGA > GP-Proc");
+        assert_eq!(nbest.evaluated, 3);
+    }
+
+    #[test]
+    fn n_truncates() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let nbest = FloatEngine::new().retrieve_n_best(&cb, &request, 1).unwrap();
+        assert_eq!(nbest.ranked.len(), 1);
+        assert_eq!(nbest.ranked[0].impl_id, paper::IMPL_DSP);
+        let none = FloatEngine::new().retrieve_n_best(&cb, &request, 0).unwrap();
+        assert!(none.ranked.is_empty());
+    }
+
+    #[test]
+    fn first_of_rank_equals_retrieve_winner_on_ties() {
+        let cb = paper::tie_case_base();
+        let request = paper::table1_request().unwrap();
+        let engine = FixedEngine::new();
+        let single = engine.retrieve(&cb, &request).unwrap().best.unwrap();
+        let ranked = engine.retrieve_n_best(&cb, &request, 2).unwrap();
+        assert_eq!(ranked.ranked[0].impl_id, single.impl_id);
+    }
+
+    #[test]
+    fn threshold_filters_ranked_list() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let nbest = FixedEngine::new()
+            .retrieve_n_best_above(&cb, &request, 10, Q15::from_f64(0.8).unwrap())
+            .unwrap();
+        // GP-Proc (0.43) is rejected.
+        assert_eq!(nbest.ranked.len(), 2);
+        assert!(nbest.ranked.iter().all(|s| s.similarity.to_f64() >= 0.8));
+    }
+}

@@ -1,0 +1,344 @@
+//! The paper's running example (fig. 3 / Table 1) as ready-made fixtures,
+//! plus small derived case bases used across the workspace's tests and
+//! benches.
+//!
+//! The example: an application needs an **FIR equalizer** with constraints
+//! `{bit-width = 16, output = stereo (1), sample rate = 40 kSamples/s}` and
+//! equal weights `w_i = 1/3`. The case base offers three realizations:
+//!
+//! | Impl | Target | bit-width | mode | output | kSamples/s | S (Table 1) |
+//! |------|--------|-----------|------|--------|------------|-------------|
+//! | 1    | FPGA   | 16        | int  | 2 (surround) | 44   | 0.85        |
+//! | 2    | DSP    | 16        | int  | 1 (stereo)   | 44   | **0.96**    |
+//! | 3    | GP-Proc| 8         | int  | 0 (mono)     | 22   | 0.43        |
+
+use crate::attribute::{AttrBinding, AttrDecl};
+use crate::bounds::BoundsTable;
+use crate::casebase::{CaseBase, FunctionType};
+use crate::error::CoreError;
+use crate::ids::{AttrId, ImplId, TypeId};
+use crate::implvariant::{ExecutionTarget, Footprint, ImplVariant};
+use crate::request::Request;
+
+/// `IDType = 1`: the FIR equalizer of fig. 3.
+pub const FIR_EQUALIZER: TypeId = match TypeId::new(1) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `IDType = 2`: the 1D-FFT type also present in the tree of fig. 3.
+pub const FFT_1D: TypeId = match TypeId::new(2) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `IDImpl = 1`: the FPGA realization.
+pub const IMPL_FPGA: ImplId = match ImplId::new(1) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `IDImpl = 2`: the DSP realization — Table 1's winner.
+pub const IMPL_DSP: ImplId = match ImplId::new(2) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `IDImpl = 3`: the general-purpose-processor realization.
+pub const IMPL_GP: ImplId = match ImplId::new(3) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `ACB_1`: processing bit-width, design bounds `[8, 16]` (d_max = 8).
+pub const ATTR_BITWIDTH: AttrId = match AttrId::new(1) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `ACB_2`: processing mode (0 = integer, 1 = float), bounds `[0, 1]`.
+pub const ATTR_MODE: AttrId = match AttrId::new(2) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `ACB_3`: output mode (0 = mono, 1 = stereo, 2 = surround), bounds
+/// `[0, 2]` (d_max = 2).
+pub const ATTR_OUTPUT: AttrId = match AttrId::new(3) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// `ACB_4`: sample rate in kSamples/s, design bounds `[8, 44]` (d_max = 36
+/// — Table 1's `44−8=36`).
+pub const ATTR_RATE: AttrId = match AttrId::new(4) {
+    Ok(id) => id,
+    Err(_) => unreachable!(),
+};
+
+/// Expected Table 1 global similarities `(impl_id, S)`, two decimals.
+pub const TABLE1_EXPECTED: [(u16, f64); 3] = [(1, 0.85), (2, 0.96), (3, 0.43)];
+
+/// The design-global attribute declarations behind Table 1's `d_max` column.
+pub fn table1_bounds() -> BoundsTable {
+    BoundsTable::from_decls(vec![
+        AttrDecl::new(ATTR_BITWIDTH, "bit-width", 8, 16).expect("static decl"),
+        AttrDecl::new(ATTR_MODE, "processing mode", 0, 1).expect("static decl"),
+        AttrDecl::new(ATTR_OUTPUT, "output mode", 0, 2).expect("static decl"),
+        AttrDecl::new(ATTR_RATE, "kSamples/s", 8, 44).expect("static decl"),
+    ])
+    .expect("static bounds table")
+}
+
+fn fir_variants() -> Vec<ImplVariant> {
+    vec![
+        ImplVariant::with_footprint(
+            IMPL_FPGA,
+            ExecutionTarget::Fpga,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_MODE, 0),
+                AttrBinding::new(ATTR_OUTPUT, 2),
+                AttrBinding::new(ATTR_RATE, 44),
+            ],
+            Footprint {
+                bitstream_bytes: 96 * 1024,
+                slices: 850,
+                dynamic_mw: 180,
+                exec_us: 12,
+                ..Footprint::none()
+            },
+        )
+        .expect("static variant"),
+        ImplVariant::with_footprint(
+            IMPL_DSP,
+            ExecutionTarget::Dsp,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_MODE, 0),
+                AttrBinding::new(ATTR_OUTPUT, 1),
+                AttrBinding::new(ATTR_RATE, 44),
+            ],
+            Footprint {
+                opcode_bytes: 6 * 1024,
+                cpu_permille: 450,
+                dynamic_mw: 320,
+                exec_us: 25,
+                ..Footprint::none()
+            },
+        )
+        .expect("static variant"),
+        ImplVariant::with_footprint(
+            IMPL_GP,
+            ExecutionTarget::GpProcessor,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 8),
+                AttrBinding::new(ATTR_MODE, 0),
+                AttrBinding::new(ATTR_OUTPUT, 0),
+                AttrBinding::new(ATTR_RATE, 22),
+            ],
+            Footprint {
+                opcode_bytes: 2 * 1024,
+                cpu_permille: 700,
+                dynamic_mw: 150,
+                exec_us: 85,
+                ..Footprint::none()
+            },
+        )
+        .expect("static variant"),
+    ]
+}
+
+fn fft_variants() -> Vec<ImplVariant> {
+    vec![
+        ImplVariant::with_footprint(
+            ImplId::new(1).expect("static id"),
+            ExecutionTarget::Fpga,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_MODE, 0),
+                AttrBinding::new(ATTR_RATE, 44),
+            ],
+            Footprint {
+                bitstream_bytes: 128 * 1024,
+                slices: 1200,
+                dynamic_mw: 260,
+                exec_us: 8,
+                ..Footprint::none()
+            },
+        )
+        .expect("static variant"),
+        ImplVariant::with_footprint(
+            ImplId::new(2).expect("static id"),
+            ExecutionTarget::GpProcessor,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_MODE, 1),
+                AttrBinding::new(ATTR_RATE, 22),
+            ],
+            Footprint {
+                opcode_bytes: 4 * 1024,
+                cpu_permille: 550,
+                dynamic_mw: 140,
+                exec_us: 60,
+                ..Footprint::none()
+            },
+        )
+        .expect("static variant"),
+    ]
+}
+
+/// The full case base of fig. 3: FIR equalizer (3 variants) + 1D-FFT
+/// (2 variants), with the Table 1 bounds table.
+pub fn table1_case_base() -> CaseBase {
+    CaseBase::new(
+        table1_bounds(),
+        vec![
+            FunctionType::new(FIR_EQUALIZER, "FIR Equalizer", fir_variants())
+                .expect("static type"),
+            FunctionType::new(FFT_1D, "1D-FFT", fft_variants()).expect("static type"),
+        ],
+    )
+    .expect("static case base")
+}
+
+/// The request of fig. 3: `{bw = 16, output = stereo, rate = 40}`,
+/// equal weights. Note the deliberately *incomplete* attribute set — the
+/// processing-mode attribute (`ACB_2`) is unconstrained.
+///
+/// # Errors
+///
+/// Never fails for this fixed input; the `Result` mirrors
+/// [`Request::builder`].
+pub fn table1_request() -> Result<Request, CoreError> {
+    Request::builder(FIR_EQUALIZER)
+        .constraint(ATTR_BITWIDTH, 16)
+        .constraint(ATTR_OUTPUT, 1)
+        .constraint(ATTR_RATE, 40)
+        .build()
+}
+
+/// A relaxed version of the Table 1 request (the §3 renegotiation story:
+/// "the application has to repeat its request with rather relaxed
+/// constraints giving a chance to the third low performance
+/// implementation"): mono output, 22 kSamples/s, 8-bit.
+///
+/// # Errors
+///
+/// Never fails for this fixed input.
+pub fn relaxed_request() -> Result<Request, CoreError> {
+    Request::builder(FIR_EQUALIZER)
+        .constraint(ATTR_BITWIDTH, 8)
+        .constraint(ATTR_OUTPUT, 0)
+        .constraint(ATTR_RATE, 22)
+        .build()
+}
+
+/// Variant of the Table 1 case base where implementation 2 *lacks* the
+/// output-mode attribute — exercises the "missing attribute ⇒ s_i = 0"
+/// rule.
+pub fn incomplete_attrs_case_base() -> CaseBase {
+    let variants = vec![
+        ImplVariant::new(
+            IMPL_FPGA,
+            ExecutionTarget::Fpga,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_OUTPUT, 1),
+                AttrBinding::new(ATTR_RATE, 40),
+            ],
+        )
+        .expect("static variant"),
+        ImplVariant::new(
+            IMPL_DSP,
+            ExecutionTarget::Dsp,
+            vec![
+                AttrBinding::new(ATTR_BITWIDTH, 16),
+                AttrBinding::new(ATTR_RATE, 40),
+            ],
+        )
+        .expect("static variant"),
+    ];
+    CaseBase::new(
+        table1_bounds(),
+        vec![FunctionType::new(FIR_EQUALIZER, "FIR Equalizer", variants).expect("static type")],
+    )
+    .expect("static case base")
+}
+
+/// Case base with two *identical* variants (ids 1 and 2) — exercises the
+/// first-achieving-max tie-break of the `S > S_best` comparator.
+pub fn tie_case_base() -> CaseBase {
+    let attrs = vec![
+        AttrBinding::new(ATTR_BITWIDTH, 16),
+        AttrBinding::new(ATTR_OUTPUT, 1),
+        AttrBinding::new(ATTR_RATE, 40),
+    ];
+    let variants = vec![
+        ImplVariant::new(ImplId::new(1).expect("id"), ExecutionTarget::Fpga, attrs.clone())
+            .expect("static variant"),
+        ImplVariant::new(ImplId::new(2).expect("id"), ExecutionTarget::Dsp, attrs)
+            .expect("static variant"),
+    ];
+    CaseBase::new(
+        table1_bounds(),
+        vec![FunctionType::new(FIR_EQUALIZER, "FIR Equalizer", variants).expect("static type")],
+    )
+    .expect("static case base")
+}
+
+/// A single-type, single-variant case base whose variant binds attributes
+/// `1..=n` (value 5 each, bounds `[0, 10]`) — used for search-effort tests.
+pub fn dense_case_base(n: u16) -> CaseBase {
+    let decls: Vec<AttrDecl> = (1..=n)
+        .map(|i| AttrDecl::new(AttrId::new(i).expect("id"), format!("a{i}"), 0, 10).expect("decl"))
+        .collect();
+    let attrs: Vec<AttrBinding> = (1..=n)
+        .map(|i| AttrBinding::new(AttrId::new(i).expect("id"), 5))
+        .collect();
+    let variant = ImplVariant::new(ImplId::new(1).expect("id"), ExecutionTarget::Fpga, attrs)
+        .expect("static variant");
+    CaseBase::new(
+        BoundsTable::from_decls(decls).expect("bounds"),
+        vec![FunctionType::new(TypeId::new(1).expect("id"), "dense", vec![variant])
+            .expect("static type")],
+    )
+    .expect("static case base")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_well_formed() {
+        let cb = table1_case_base();
+        assert_eq!(cb.type_count(), 2);
+        assert_eq!(cb.variant_count(), 5);
+        assert_eq!(
+            cb.function_type(FIR_EQUALIZER).unwrap().name(),
+            "FIR Equalizer"
+        );
+        assert!(table1_request().is_ok());
+        assert!(relaxed_request().is_ok());
+        let _ = incomplete_attrs_case_base();
+        let _ = tie_case_base();
+        let _ = dense_case_base(10);
+    }
+
+    #[test]
+    fn request_omits_processing_mode() {
+        let r = table1_request().unwrap();
+        assert!(r.constraint(ATTR_MODE).is_none());
+        assert_eq!(r.constraints().len(), 3);
+    }
+
+    #[test]
+    fn footprints_distinguish_targets() {
+        let cb = table1_case_base();
+        let fir = cb.function_type(FIR_EQUALIZER).unwrap();
+        assert!(fir.variant(IMPL_FPGA).unwrap().footprint().bitstream_bytes > 0);
+        assert_eq!(fir.variant(IMPL_DSP).unwrap().footprint().bitstream_bytes, 0);
+        assert!(fir.variant(IMPL_GP).unwrap().footprint().opcode_bytes > 0);
+    }
+}

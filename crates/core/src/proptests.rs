@@ -1,0 +1,210 @@
+//! Property-based tests over randomly generated case bases: the paper's
+//! "Matlab float ≡ VHDL fixed" equivalence claim, retrieval invariants and
+//! builder robustness.
+
+use proptest::prelude::*;
+
+use crate::attribute::{AttrBinding, AttrDecl};
+use crate::bounds::BoundsTable;
+use crate::casebase::{CaseBase, FunctionType};
+use crate::engine::{FixedEngine, FloatEngine};
+use crate::ids::{AttrId, ImplId, TypeId};
+use crate::implvariant::{ExecutionTarget, ImplVariant};
+use crate::nbest::rank;
+use crate::request::Request;
+
+/// A small random universe: up to 6 attributes with bounds in [0, 100],
+/// up to 8 variants, a request constraining a subset.
+#[derive(Debug, Clone)]
+struct Universe {
+    case_base: CaseBase,
+    request: Request,
+}
+
+fn universe() -> impl Strategy<Value = Universe> {
+    let attr_count = 1usize..=6;
+    attr_count
+        .prop_flat_map(|k| {
+            let spans = proptest::collection::vec((0u16..80, 1u16..40), k);
+            let variants = proptest::collection::vec(
+                proptest::collection::vec(proptest::option::of(0u16..=100), k),
+                1..=8,
+            );
+            let req_values = proptest::collection::vec(proptest::option::of(0u16..=100), k);
+            let weights = proptest::collection::vec(1u32..=8, k);
+            (spans, variants, req_values, weights)
+        })
+        .prop_filter_map("at least one constraint", |(spans, variants, req, weights)| {
+            let k = spans.len();
+            let decls: Vec<AttrDecl> = spans
+                .iter()
+                .enumerate()
+                .map(|(i, &(lo, span))| {
+                    AttrDecl::new(
+                        AttrId::new((i + 1) as u16).expect("id"),
+                        format!("a{i}"),
+                        lo,
+                        lo + span,
+                    )
+                    .expect("decl")
+                })
+                .collect();
+            let clamp = |i: usize, v: u16| -> u16 {
+                let d = &decls[i];
+                v.clamp(d.lower(), d.upper())
+            };
+            let vars: Vec<ImplVariant> = variants
+                .iter()
+                .enumerate()
+                .map(|(vi, attrs)| {
+                    let bindings: Vec<AttrBinding> = attrs
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(ai, v)| {
+                            v.map(|value| {
+                                AttrBinding::new(
+                                    AttrId::new((ai + 1) as u16).expect("id"),
+                                    clamp(ai, value),
+                                )
+                            })
+                        })
+                        .collect();
+                    ImplVariant::new(
+                        ImplId::new((vi + 1) as u16).expect("id"),
+                        ExecutionTarget::Fpga,
+                        bindings,
+                    )
+                    .expect("variant")
+                })
+                .collect();
+            let bounds = BoundsTable::from_decls(decls.clone()).expect("bounds");
+            let ty = FunctionType::new(TypeId::new(1).expect("id"), "t", vars).expect("type");
+            let case_base = CaseBase::new(bounds, vec![ty]).expect("case base");
+            let mut builder = Request::builder(TypeId::new(1).expect("id"));
+            let mut any = false;
+            for i in 0..k {
+                if let Some(v) = req[i] {
+                    builder = builder.weighted_constraint(
+                        AttrId::new((i + 1) as u16).expect("id"),
+                        clamp(i, v),
+                        f64::from(weights[i]),
+                    );
+                    any = true;
+                }
+            }
+            if !any {
+                return None;
+            }
+            let request = builder.build().expect("request");
+            Some(Universe { case_base, request })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The paper's equivalence claim: the fixed-point engine ranks like the
+    /// float engine, up to quantization ties. Where the float winner and the
+    /// fixed winner differ, their float similarities must be within the
+    /// worst-case quantization error of each other.
+    #[test]
+    fn fixed_matches_float_ranking(u in universe()) {
+        let float = FloatEngine::new().retrieve(&u.case_base, &u.request).unwrap();
+        let fixed = FixedEngine::new().retrieve(&u.case_base, &u.request).unwrap();
+        let (f_scores, _) = FloatEngine::new().score_all(&u.case_base, &u.request).unwrap();
+        let f_best = float.best.unwrap();
+        let q_best = fixed.best.unwrap();
+        if f_best.impl_id != q_best.impl_id {
+            let f_of_q = f_scores.iter().find(|s| s.impl_id == q_best.impl_id).unwrap();
+            // Worst-case quantization: one ulp per constraint per term, plus
+            // reciprocal rounding ≤ d_max·ulp/2 — bounded well below 1e-2 for
+            // this universe (values ≤ 100).
+            prop_assert!(
+                (f_best.similarity - f_of_q.similarity).abs() < 8e-3,
+                "divergent winners not explained by quantization: float {}={} vs fixed {}={}",
+                f_best.impl_id, f_best.similarity, q_best.impl_id, f_of_q.similarity
+            );
+        }
+    }
+
+    /// Per-variant similarity of the two engines never diverges by more
+    /// than the accumulated quantization bound.
+    #[test]
+    fn fixed_score_tracks_float_score(u in universe()) {
+        let (f_scores, _) = FloatEngine::new().score_all(&u.case_base, &u.request).unwrap();
+        let (q_scores, _) = FixedEngine::new().score_all(&u.case_base, &u.request).unwrap();
+        for (f, q) in f_scores.iter().zip(&q_scores) {
+            prop_assert_eq!(f.impl_id, q.impl_id);
+            prop_assert!(
+                (f.similarity - q.similarity.to_f64()).abs() < 8e-3,
+                "{}: float {} vs fixed {}", f.impl_id, f.similarity, q.similarity
+            );
+        }
+    }
+
+    /// Global similarity is 1.0 iff every constraint matches exactly.
+    #[test]
+    fn perfect_match_iff_similarity_one(u in universe()) {
+        let (q_scores, _) = FixedEngine::new().score_all(&u.case_base, &u.request).unwrap();
+        let ty = u.case_base.require_type(u.request.type_id()).unwrap();
+        for (scored, variant) in q_scores.iter().zip(ty.variants()) {
+            let perfect = u.request.constraints().iter().all(|c| {
+                variant.attr(c.attr) == Some(c.value)
+            });
+            if perfect {
+                prop_assert!(scored.similarity.is_one(),
+                    "exact match must score 1.0, got {}", scored.similarity);
+            }
+        }
+    }
+
+    /// Retrieval winner equals rank()'s first entry (n-best consistency).
+    #[test]
+    fn nbest_head_is_retrieval_winner(u in universe()) {
+        let engine = FixedEngine::new();
+        let single = engine.retrieve(&u.case_base, &u.request).unwrap().best.unwrap();
+        let (scores, _) = engine.score_all(&u.case_base, &u.request).unwrap();
+        let ranked = rank(&scores, 1);
+        prop_assert_eq!(ranked[0].impl_id, single.impl_id);
+        prop_assert_eq!(ranked[0].similarity, single.similarity);
+    }
+
+    /// The n-best list is sorted non-increasing and within bounds.
+    #[test]
+    fn nbest_is_sorted(u in universe(), n in 1usize..10) {
+        let nbest = FixedEngine::new().retrieve_n_best(&u.case_base, &u.request, n).unwrap();
+        prop_assert!(nbest.ranked.len() <= n);
+        for pair in nbest.ranked.windows(2) {
+            prop_assert!(pair[0].similarity >= pair[1].similarity);
+        }
+    }
+
+    /// Scores are invariant under request constraint insertion order: two
+    /// requests built from the same (attr, value, weight) triples in forward
+    /// and reverse order are indistinguishable to the engines.
+    #[test]
+    fn request_order_does_not_matter(u in universe()) {
+        let mut fwd = Request::builder(u.request.type_id());
+        let mut rev = Request::builder(u.request.type_id());
+        for c in u.request.constraints() {
+            fwd = fwd.weighted_constraint(c.attr, c.value, c.weight);
+        }
+        for c in u.request.constraints().iter().rev() {
+            rev = rev.weighted_constraint(c.attr, c.value, c.weight);
+        }
+        let fwd = fwd.build().unwrap();
+        let rev = rev.build().unwrap();
+        prop_assert_eq!(fwd.fingerprint(), rev.fingerprint());
+        let (a, _) = FixedEngine::new().score_all(&u.case_base, &fwd).unwrap();
+        let (b, _) = FixedEngine::new().score_all(&u.case_base, &rev).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.similarity, y.similarity);
+        }
+    }
+
+    /// Fingerprints are stable across clones and sensitive to values.
+    #[test]
+    fn fingerprint_stability(u in universe()) {
+        prop_assert_eq!(u.request.fingerprint(), u.request.clone().fingerprint());
+    }
+}

@@ -1,0 +1,350 @@
+//! Function requests: the *problem description* side of the CBR retrieval.
+//!
+//! A request names the desired function type and an (optionally incomplete)
+//! set of constraining attributes, each with a weight. The weights are the
+//! `w_i` of equation (2); their sum is normalized to exactly 1. The builder
+//! computes both the real-valued weights (for the float reference engine)
+//! and the UQ1.15 weights stored in the request memory list (fig. 4, left),
+//! distributing the rounding remainder so the fixed weights sum to exactly
+//! `0x8000` — the property the hardware accumulator relies on to never
+//! overflow.
+
+use core::fmt;
+
+use rqfa_fixed::Q15;
+
+use crate::attribute::AttrBinding;
+use crate::error::CoreError;
+use crate::ids::{AttrId, TypeId};
+
+/// One weighted constraint of a request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Constraint {
+    /// The constrained attribute type.
+    pub attr: AttrId,
+    /// The requested value in domain units.
+    pub value: u16,
+    /// Normalized real-valued weight (`Σ = 1.0`), for the float engine.
+    pub weight: f64,
+    /// Normalized UQ1.15 weight (`Σ raw = 0x8000` exactly), as stored in the
+    /// request memory list and consumed by the fixed engines.
+    pub weight_q15: Q15,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={} (w={:.3})", self.attr, self.value, self.weight)
+    }
+}
+
+/// A QoS-constrained function request.
+///
+/// ```
+/// use rqfa_core::{AttrId, Request, TypeId};
+///
+/// // The request of fig. 3: FIR equalizer, {bw=16, stereo, 40 kSamples/s}.
+/// let request = Request::builder(TypeId::new(1)?)
+///     .constraint(AttrId::new(1)?, 16)
+///     .constraint(AttrId::new(3)?, 1)
+///     .constraint(AttrId::new(4)?, 40)
+///     .build()?;
+/// assert_eq!(request.constraints().len(), 3);
+/// // Unspecified weights default to equal shares that sum to exactly one.
+/// let total: f64 = request.constraints().iter().map(|c| c.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    type_id: TypeId,
+    constraints: Vec<Constraint>,
+}
+
+impl Request {
+    /// Starts building a request for the given function type.
+    pub fn builder(type_id: TypeId) -> RequestBuilder {
+        RequestBuilder {
+            type_id,
+            raw: Vec::new(),
+        }
+    }
+
+    /// The requested function type (`IDType`).
+    pub fn type_id(&self) -> TypeId {
+        self.type_id
+    }
+
+    /// The constraints, sorted by attribute id.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Looks up the constraint on `attr`, if any.
+    pub fn constraint(&self, attr: AttrId) -> Option<&Constraint> {
+        self.constraints
+            .binary_search_by_key(&attr, |c| c.attr)
+            .ok()
+            .map(|idx| &self.constraints[idx])
+    }
+
+    /// The attribute/value bindings without weights.
+    pub fn bindings(&self) -> impl Iterator<Item = AttrBinding> + '_ {
+        self.constraints
+            .iter()
+            .map(|c| AttrBinding::new(c.attr, c.value))
+    }
+
+    /// A stable 64-bit fingerprint of the request (type, attributes, values,
+    /// quantized weights). Two requests with the same fingerprint retrieve
+    /// identically, which is what the bypass-token cache needs.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the canonical word sequence.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |word: u16| {
+            for byte in word.to_le_bytes() {
+                hash ^= u64::from(byte);
+                hash = hash.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(self.type_id.raw());
+        for c in &self.constraints {
+            eat(c.attr.raw());
+            eat(c.value);
+            eat(c.weight_q15.raw());
+        }
+        hash
+    }
+}
+
+impl fmt::Display for Request {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "request {} {{", self.type_id)?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Request`] (see [`Request::builder`]).
+#[derive(Debug, Clone)]
+pub struct RequestBuilder {
+    type_id: TypeId,
+    raw: Vec<(AttrId, u16, f64)>,
+}
+
+impl RequestBuilder {
+    /// Adds a constraint with default weight `1.0` (relative).
+    pub fn constraint(self, attr: AttrId, value: u16) -> RequestBuilder {
+        self.weighted_constraint(attr, value, 1.0)
+    }
+
+    /// Adds a constraint with an explicit relative weight.
+    ///
+    /// Weights are relative: the builder divides by their sum, so
+    /// `(2.0, 1.0, 1.0)` yields `(0.5, 0.25, 0.25)`.
+    pub fn weighted_constraint(mut self, attr: AttrId, value: u16, weight: f64) -> RequestBuilder {
+        self.raw.push((attr, value, weight));
+        self
+    }
+
+    /// Finalizes the request: sorts constraints by attribute id, checks for
+    /// duplicates and normalizes weights.
+    ///
+    /// # Errors
+    ///
+    /// * [`CoreError::EmptyRequest`] without constraints.
+    /// * [`CoreError::DuplicateAttr`] on duplicate attribute ids.
+    /// * [`CoreError::InvalidWeights`] if weights are negative, non-finite
+    ///   or sum to zero.
+    pub fn build(mut self) -> Result<Request, CoreError> {
+        if self.raw.is_empty() {
+            return Err(CoreError::EmptyRequest);
+        }
+        self.raw.sort_by_key(|(attr, _, _)| *attr);
+        for pair in self.raw.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(CoreError::DuplicateAttr { attr: pair[1].0 });
+            }
+        }
+        let sum: f64 = self.raw.iter().map(|(_, _, w)| *w).sum();
+        if !sum.is_finite() || sum <= 0.0 || self.raw.iter().any(|(_, _, w)| *w < 0.0 || !w.is_finite())
+        {
+            return Err(CoreError::InvalidWeights);
+        }
+        let weights: Vec<f64> = self.raw.iter().map(|(_, _, w)| w / sum).collect();
+        let q15 = quantize_weights(&weights);
+        let constraints = self
+            .raw
+            .iter()
+            .zip(weights.iter().zip(q15))
+            .map(|(&(attr, value, _), (&weight, weight_q15))| Constraint {
+                attr,
+                value,
+                weight,
+                weight_q15,
+            })
+            .collect();
+        Ok(Request {
+            type_id: self.type_id,
+            constraints,
+        })
+    }
+}
+
+/// Quantizes normalized weights (`Σ = 1.0`) into UQ1.15 words whose raw sum
+/// is exactly `0x8000`, using the largest-remainder method.
+///
+/// This mirrors the design-time tool flow of the paper: the request list is
+/// generated offline with exact weight words so the hardware accumulator
+/// `Σ s_i·w_i` can never exceed `1.0`.
+fn quantize_weights(weights: &[f64]) -> Vec<Q15> {
+    let one = f64::from(Q15::ONE.raw());
+    let mut floors: Vec<(usize, u32, f64)> = weights
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            let exact = w * one;
+            let floor = exact.floor();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            (i, floor as u32, exact - floor)
+        })
+        .collect();
+    let assigned: u32 = floors.iter().map(|&(_, f, _)| f).sum();
+    let mut deficit = u32::from(Q15::ONE.raw()).saturating_sub(assigned);
+    // Hand out the missing ulps to the largest remainders first.
+    floors.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(core::cmp::Ordering::Equal));
+    let mut raws = vec![0u32; weights.len()];
+    for (i, floor, _) in &floors {
+        let extra = u32::from(deficit > 0);
+        deficit -= extra;
+        raws[*i] = floor + extra;
+    }
+    raws.into_iter()
+        .map(|raw| Q15::saturating_from_raw(raw.min(u32::from(Q15::ONE.raw())) as u16))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn aid(raw: u16) -> AttrId {
+        AttrId::new(raw).unwrap()
+    }
+
+    fn tid(raw: u16) -> TypeId {
+        TypeId::new(raw).unwrap()
+    }
+
+    #[test]
+    fn builder_sorts_and_normalizes() {
+        let r = Request::builder(tid(1))
+            .constraint(aid(4), 40)
+            .constraint(aid(1), 16)
+            .constraint(aid(3), 1)
+            .build()
+            .unwrap();
+        let ids: Vec<u16> = r.constraints().iter().map(|c| c.attr.raw()).collect();
+        assert_eq!(ids, [1, 3, 4]);
+        let total: u32 = r.constraints().iter().map(|c| u32::from(c.weight_q15.raw())).sum();
+        assert_eq!(total, 0x8000, "fixed weights must sum to exactly 1.0");
+    }
+
+    #[test]
+    fn explicit_weights_are_relative() {
+        let r = Request::builder(tid(1))
+            .weighted_constraint(aid(1), 0, 2.0)
+            .weighted_constraint(aid(2), 0, 1.0)
+            .weighted_constraint(aid(3), 0, 1.0)
+            .build()
+            .unwrap();
+        assert!((r.constraints()[0].weight - 0.5).abs() < 1e-12);
+        assert!((r.constraints()[1].weight - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        assert!(matches!(
+            Request::builder(tid(1)).build(),
+            Err(CoreError::EmptyRequest)
+        ));
+        assert!(matches!(
+            Request::builder(tid(1))
+                .constraint(aid(1), 0)
+                .constraint(aid(1), 1)
+                .build(),
+            Err(CoreError::DuplicateAttr { .. })
+        ));
+        assert!(matches!(
+            Request::builder(tid(1))
+                .weighted_constraint(aid(1), 0, -1.0)
+                .weighted_constraint(aid(2), 0, 2.0)
+                .build(),
+            Err(CoreError::InvalidWeights)
+        ));
+        assert!(matches!(
+            Request::builder(tid(1))
+                .weighted_constraint(aid(1), 0, 0.0)
+                .build(),
+            Err(CoreError::InvalidWeights)
+        ));
+        assert!(matches!(
+            Request::builder(tid(1))
+                .weighted_constraint(aid(1), 0, f64::NAN)
+                .build(),
+            Err(CoreError::InvalidWeights)
+        ));
+    }
+
+    #[test]
+    fn quantized_thirds_sum_exactly() {
+        let q = quantize_weights(&[1.0 / 3.0; 3]);
+        let total: u32 = q.iter().map(|w| u32::from(w.raw())).sum();
+        assert_eq!(total, 0x8000);
+        // Two of them get the extra ulp.
+        let mut raws: Vec<u16> = q.iter().map(|w| w.raw()).collect();
+        raws.sort_unstable();
+        assert_eq!(raws, [10922, 10923, 10923]);
+    }
+
+    #[test]
+    fn quantize_handles_extremes() {
+        let q = quantize_weights(&[1.0]);
+        assert_eq!(q[0], Q15::ONE);
+        let q = quantize_weights(&[0.5, 0.5]);
+        assert_eq!(q[0].raw() + q[1].raw(), 0x8000);
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_requests() {
+        let a = Request::builder(tid(1)).constraint(aid(1), 16).build().unwrap();
+        let b = Request::builder(tid(1)).constraint(aid(1), 17).build().unwrap();
+        let c = Request::builder(tid(2)).constraint(aid(1), 16).build().unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn constraint_lookup() {
+        let r = Request::builder(tid(1))
+            .constraint(aid(1), 16)
+            .constraint(aid(4), 40)
+            .build()
+            .unwrap();
+        assert_eq!(r.constraint(aid(4)).unwrap().value, 40);
+        assert!(r.constraint(aid(2)).is_none());
+        assert_eq!(r.bindings().count(), 2);
+    }
+
+    #[test]
+    fn display_mentions_type_and_constraints() {
+        let r = Request::builder(tid(7)).constraint(aid(1), 3).build().unwrap();
+        let s = r.to_string();
+        assert!(s.contains("T7") && s.contains("A1=3"));
+    }
+}

@@ -1,0 +1,104 @@
+//! Local similarity measures — equation (1) of the paper.
+//!
+//! The local similarity of a request attribute `x_A` and an implementation
+//! attribute `x_B` of the same type is
+//!
+//! ```text
+//! s(x_A, x_B) = 1 − d(x_A, x_B) / (1 + max d)        (1)
+//! ```
+//!
+//! with `d` the Manhattan distance (absolute difference on scalars) and
+//! `max d` the maximum possible distance, fixed at design time from the
+//! attribute's design-global bounds. Two evaluation paths exist:
+//!
+//! * [`local_f64`] — the high-precision reference (the paper's Matlab
+//!   float model);
+//! * [`local_q15`] — the 16-bit fixed-point datapath version that replaces
+//!   the division by a multiplication with the pre-computed reciprocal
+//!   `1/(1 + max d)` (the hardware trick of §4.1).
+
+use rqfa_fixed::Q15;
+
+/// Float local similarity: `max(0, 1 − |a−b|/(1+d_max))`.
+///
+/// The clamp at zero only matters when a request value lies outside the
+/// design-global bounds (then `d` can exceed `d_max`); inside the bounds the
+/// formula is already non-negative. The fixed-point path saturates in the
+/// same situation, keeping both engines aligned.
+///
+/// ```
+/// use rqfa_core::similarity::local_f64;
+///
+/// let s = local_f64(40, 44, 36); // Table 1, sample-rate row, FPGA/DSP
+/// assert!((s - (1.0 - 4.0 / 37.0)).abs() < 1e-12);
+/// ```
+pub fn local_f64(request: u16, case: u16, d_max: u16) -> f64 {
+    let d = f64::from(request.abs_diff(case));
+    (1.0 - d / (1.0 + f64::from(d_max))).max(0.0)
+}
+
+/// Fixed-point local similarity on the 16-bit datapath:
+/// `1 − sat(d · recip)` with `recip = 1/(1+d_max)` in UQ1.15.
+///
+/// `recip` comes from the supplemental list (see
+/// [`crate::BoundsEntry::recip`]).
+///
+/// ```
+/// use rqfa_core::similarity::local_q15;
+/// use rqfa_fixed::{recip_plus_one, Q15};
+///
+/// let s = local_q15(40, 44, recip_plus_one(36));
+/// assert!((s.to_f64() - (1.0 - 4.0 / 37.0)).abs() < 1e-3);
+/// assert_eq!(local_q15(7, 7, recip_plus_one(36)), Q15::ONE);
+/// ```
+pub fn local_q15(request: u16, case: u16, recip: Q15) -> Q15 {
+    rqfa_fixed::local_similarity(request.abs_diff(case), recip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_fixed::recip_plus_one;
+
+    #[test]
+    fn identical_values_give_one() {
+        assert_eq!(local_f64(5, 5, 100), 1.0);
+        assert_eq!(local_q15(5, 5, recip_plus_one(100)), Q15::ONE);
+    }
+
+    #[test]
+    fn table1_reference_values() {
+        // (request, case, d_max, expected)
+        let rows = [
+            (16u16, 16u16, 8u16, 1.0),
+            (16, 8, 8, 1.0 - 8.0 / 9.0),
+            (1, 2, 2, 1.0 - 1.0 / 3.0),
+            (1, 1, 2, 1.0),
+            (1, 0, 2, 1.0 - 1.0 / 3.0),
+            (40, 44, 36, 1.0 - 4.0 / 37.0),
+            (40, 22, 36, 1.0 - 18.0 / 37.0),
+        ];
+        for (req, case, d_max, want) in rows {
+            let f = local_f64(req, case, d_max);
+            assert!((f - want).abs() < 1e-12, "float {req},{case},{d_max}");
+            let q = local_q15(req, case, recip_plus_one(d_max)).to_f64();
+            assert!((q - want).abs() < 2e-3, "fixed {req},{case},{d_max}: {q} vs {want}");
+        }
+    }
+
+    #[test]
+    fn float_clamps_below_zero() {
+        // d = 100 > d_max = 10 → raw formula negative, clamped.
+        assert_eq!(local_f64(0, 100, 10), 0.0);
+        assert_eq!(local_q15(0, 100, recip_plus_one(10)), Q15::ZERO);
+    }
+
+    #[test]
+    fn symmetry_in_arguments() {
+        for (a, b) in [(3u16, 9u16), (0, 44), (100, 7)] {
+            assert_eq!(local_f64(a, b, 120), local_f64(b, a, 120));
+            let r = recip_plus_one(120);
+            assert_eq!(local_q15(a, b, r), local_q15(b, a, r));
+        }
+    }
+}

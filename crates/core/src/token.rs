@@ -1,0 +1,253 @@
+//! Bypass tokens — §3: "The allocation manager could create a kind of
+//! bypass-token containing data on the previous selection which can be
+//! reused at repeated function calls so that only an availability check on
+//! the function and its allocated resources has to be done."
+//!
+//! A token caches the outcome of one retrieval, keyed by the request
+//! fingerprint. Tokens are invalidated by case-base mutation (generation
+//! mismatch) so a self-learning system never reuses stale selections.
+
+use std::collections::HashMap;
+
+use rqfa_fixed::Q15;
+
+use crate::casebase::CaseBase;
+use crate::engine::Scored;
+use crate::ids::{ImplId, TypeId};
+use crate::request::Request;
+
+/// A cached retrieval outcome for one exact request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BypassToken {
+    /// Fingerprint of the request this token answers.
+    pub fingerprint: u64,
+    /// The requested function type.
+    pub type_id: TypeId,
+    /// The selected implementation variant.
+    pub impl_id: ImplId,
+    /// The similarity achieved at selection time.
+    pub similarity: Q15,
+    /// Case-base generation the selection was computed against.
+    pub generation: u64,
+}
+
+/// Statistics of a token cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (absent or stale).
+    pub misses: u64,
+    /// Tokens dropped because they were stale (generation mismatch).
+    pub invalidations: u64,
+    /// Tokens evicted by the FIFO capacity policy.
+    pub evictions: u64,
+}
+
+impl TokenStats {
+    /// Hit rate in `[0, 1]`; `0` when no lookups happened.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+}
+
+/// Fixed-capacity FIFO cache of bypass tokens.
+///
+/// ```
+/// use rqfa_core::{paper, BypassToken, FixedEngine, TokenCache};
+///
+/// let cb = paper::table1_case_base();
+/// let request = paper::table1_request()?;
+/// let mut cache = TokenCache::new(16);
+///
+/// // First call: miss, run retrieval, store the token.
+/// assert!(cache.lookup(&request, &cb).is_none());
+/// let best = FixedEngine::new().retrieve(&cb, &request)?.best.unwrap();
+/// cache.store(&request, &cb, &best);
+///
+/// // Repeated call: answered without retrieval.
+/// let token = cache.lookup(&request, &cb).unwrap();
+/// assert_eq!(token.impl_id, paper::IMPL_DSP);
+/// assert_eq!(cache.stats().hits, 1);
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenCache {
+    capacity: usize,
+    tokens: HashMap<u64, BypassToken>,
+    order: std::collections::VecDeque<u64>,
+    stats: TokenStats,
+}
+
+impl TokenCache {
+    /// Creates a cache holding at most `capacity` tokens (minimum 1).
+    pub fn new(capacity: usize) -> TokenCache {
+        TokenCache {
+            capacity: capacity.max(1),
+            tokens: HashMap::new(),
+            order: std::collections::VecDeque::new(),
+            stats: TokenStats::default(),
+        }
+    }
+
+    /// Looks up a token for `request`, validating it against the current
+    /// case-base generation. Stale tokens are dropped and counted.
+    pub fn lookup(&mut self, request: &Request, case_base: &CaseBase) -> Option<BypassToken> {
+        let fp = request.fingerprint();
+        match self.tokens.get(&fp) {
+            Some(token) if token.generation == case_base.generation() => {
+                self.stats.hits += 1;
+                Some(*token)
+            }
+            Some(_) => {
+                self.tokens.remove(&fp);
+                self.order.retain(|&k| k != fp);
+                self.stats.invalidations += 1;
+                self.stats.misses += 1;
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores the outcome of a retrieval as a token.
+    pub fn store(&mut self, request: &Request, case_base: &CaseBase, best: &Scored<Q15>) {
+        let fp = request.fingerprint();
+        if self.tokens.len() >= self.capacity && !self.tokens.contains_key(&fp) {
+            if let Some(oldest) = self.order.pop_front() {
+                self.tokens.remove(&oldest);
+                self.stats.evictions += 1;
+            }
+        }
+        if !self.tokens.contains_key(&fp) {
+            self.order.push_back(fp);
+        }
+        self.tokens.insert(
+            fp,
+            BypassToken {
+                fingerprint: fp,
+                type_id: request.type_id(),
+                impl_id: best.impl_id,
+                similarity: best.similarity,
+                generation: case_base.generation(),
+            },
+        );
+    }
+
+    /// Drops all tokens (e.g. after a repository reload).
+    pub fn clear(&mut self) {
+        self.tokens.clear();
+        self.order.clear();
+    }
+
+    /// Number of live tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the cache holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> TokenStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::FixedEngine;
+    use crate::paper;
+
+    fn best_for(cb: &CaseBase, request: &Request) -> Scored<Q15> {
+        FixedEngine::new().retrieve(cb, request).unwrap().best.unwrap()
+    }
+
+    #[test]
+    fn hit_after_store() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut cache = TokenCache::new(4);
+        assert!(cache.lookup(&request, &cb).is_none());
+        cache.store(&request, &cb, &best_for(&cb, &request));
+        assert!(cache.lookup(&request, &cb).is_some());
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+        assert!(cache.stats().hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let mut cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut cache = TokenCache::new(4);
+        cache.store(&request, &cb, &best_for(&cb, &request));
+        // Retain a new variant: generation bumps, token must die.
+        let extra = crate::implvariant::ImplVariant::new(
+            ImplId::new(9).unwrap(),
+            crate::implvariant::ExecutionTarget::Fpga,
+            vec![crate::attribute::AttrBinding::new(paper::ATTR_BITWIDTH, 12)],
+        )
+        .unwrap();
+        cb.retain_variant(paper::FIR_EQUALIZER, extra).unwrap();
+        assert!(cache.lookup(&request, &cb).is_none());
+        assert_eq!(cache.stats().invalidations, 1);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cb = paper::table1_case_base();
+        let mut cache = TokenCache::new(2);
+        let requests: Vec<Request> = (38..=42u16)
+            .map(|rate| {
+                Request::builder(paper::FIR_EQUALIZER)
+                    .constraint(paper::ATTR_RATE, rate)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        for r in &requests {
+            cache.store(r, &cb, &best_for(&cb, r));
+        }
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 3);
+        // The newest two survive.
+        assert!(cache.lookup(&requests[4], &cb).is_some());
+        assert!(cache.lookup(&requests[0], &cb).is_none());
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut cache = TokenCache::new(4);
+        cache.store(&request, &cb, &best_for(&cb, &request));
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.len(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut cache = TokenCache::new(0);
+        cache.store(&request, &cb, &best_for(&cb, &request));
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,53 @@
+//! Error types.
+
+use core::fmt;
+
+/// The error returned when a raw word or float does not represent a valid
+/// UQ1.15 value in `[0.0, 1.0]`.
+///
+/// ```
+/// use rqfa_fixed::Q15;
+///
+/// let err = Q15::new(0x9000).unwrap_err();
+/// assert!(err.to_string().contains("out of range"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Q15RangeError {
+    pub(crate) raw: u16,
+}
+
+impl Q15RangeError {
+    /// The offending raw word (best-effort for float conversions).
+    pub fn raw(&self) -> u16 {
+        self.raw
+    }
+}
+
+impl fmt::Display for Q15RangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "raw word {:#06x} is out of range for UQ1.15 (valid: 0x0000..=0x8000)",
+            self.raw
+        )
+    }
+}
+
+impl std::error::Error for Q15RangeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_offender() {
+        let err = Q15RangeError { raw: 0xFFFF };
+        assert!(err.to_string().contains("0xffff"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Q15RangeError>();
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the fixed-point kernel.
+
+use proptest::prelude::*;
+
+use crate::{local_similarity, recip_plus_one, Q15};
+
+fn any_q15() -> impl Strategy<Value = Q15> {
+    (0u16..=0x8000).prop_map(|raw| Q15::new(raw).expect("in range"))
+}
+
+proptest! {
+    #[test]
+    fn add_is_commutative(a in any_q15(), b in any_q15()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn mul_is_bounded_by_operands(a in any_q15(), b in any_q15()) {
+        let p = a * b;
+        prop_assert!(p <= a || b == Q15::ONE);
+        prop_assert!(p <= b || a == Q15::ONE);
+    }
+
+    #[test]
+    fn mul_truncation_error_below_one_ulp(a in any_q15(), b in any_q15()) {
+        let exact = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        prop_assert!(got <= exact + 1e-12);
+        prop_assert!(exact - got < 1.0 / 32768.0 + 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_f64(raw in 0u16..=0x8000) {
+        let q = Q15::new(raw).unwrap();
+        let back = Q15::from_f64(q.to_f64()).unwrap();
+        prop_assert_eq!(q, back);
+    }
+
+    #[test]
+    fn sub_then_add_never_exceeds_original(a in any_q15(), b in any_q15()) {
+        // (a − b) + b == max(a, b) when saturation clips, else a.
+        let r = (a - b) + b;
+        prop_assert!(r == a || r == b.max(a.min(b)) || r >= a);
+    }
+
+    #[test]
+    fn local_similarity_in_unit_range(d in any::<u16>(), d_max in any::<u16>()) {
+        let s = local_similarity(d, recip_plus_one(d_max));
+        prop_assert!(s <= Q15::ONE);
+    }
+
+    #[test]
+    fn local_similarity_identity_at_zero_distance(d_max in any::<u16>()) {
+        prop_assert_eq!(local_similarity(0, recip_plus_one(d_max)), Q15::ONE);
+    }
+
+    #[test]
+    fn local_similarity_tracks_float_model(d in 0u16..1000, d_max in 1u16..1000) {
+        // Within the design range the fixed similarity stays within ~2 ulp of
+        // the float value of equation (1).
+        prop_assume!(d <= d_max);
+        let s = local_similarity(d, recip_plus_one(d_max)).to_f64();
+        let want = 1.0 - f64::from(d) / (1.0 + f64::from(d_max));
+        prop_assert!((s - want).abs() < 3.0 / 32768.0 + f64::from(d) * 0.5 / 32768.0,
+            "d={}, d_max={}: fixed {} vs float {}", d, d_max, s, want);
+    }
+
+    #[test]
+    fn scale_int_monotone_in_n(r in any_q15(), n in 0u16..u16::MAX) {
+        prop_assert!(r.scale_int(n) <= r.scale_int(n + 1));
+    }
+}

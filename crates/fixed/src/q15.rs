@@ -1,0 +1,391 @@
+//! The [`Q15`] number type.
+
+use core::fmt;
+use core::iter::Sum;
+use core::ops::{Add, Mul, Sub};
+
+use crate::error::Q15RangeError;
+
+/// An unsigned fixed-point number in **UQ1.15** format.
+///
+/// The raw 16-bit word `r` represents the rational value `r / 32768`.
+/// Valid values span `[0.0, 1.0]`, i.e. raw words `0x0000..=0x8000`.
+/// Construction via [`Q15::new`] enforces the range; arithmetic saturates
+/// instead of wrapping, mirroring the saturating data path of the hardware
+/// retrieval unit.
+///
+/// ```
+/// use rqfa_fixed::Q15;
+///
+/// let half = Q15::from_f64(0.5)?;
+/// assert_eq!(half + half, Q15::ONE);
+/// assert_eq!(half * half, Q15::from_f64(0.25)?);
+/// assert_eq!(Q15::ZERO - half, Q15::ZERO); // saturating
+/// # Ok::<(), rqfa_fixed::Q15RangeError>(())
+/// ```
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Q15(u16);
+
+impl Q15 {
+    /// The number of fractional bits.
+    pub const FRAC_BITS: u32 = 15;
+    /// The value `0.0`.
+    pub const ZERO: Q15 = Q15(0);
+    /// The value `1.0` (`0x8000`).
+    pub const ONE: Q15 = Q15(1 << Self::FRAC_BITS);
+    /// The smallest positive increment, `1/32768`.
+    pub const EPSILON: Q15 = Q15(1);
+
+    /// Creates a `Q15` from a raw UQ1.15 word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Q15RangeError`] if `raw > 0x8000` (a value above `1.0`).
+    pub const fn new(raw: u16) -> Result<Q15, Q15RangeError> {
+        if raw > Self::ONE.0 {
+            Err(Q15RangeError { raw })
+        } else {
+            Ok(Q15(raw))
+        }
+    }
+
+    /// Creates a `Q15` from a raw word, clamping values above `1.0`.
+    ///
+    /// This is what the 16-bit hardware unit does on overflow.
+    pub const fn saturating_from_raw(raw: u16) -> Q15 {
+        if raw > Self::ONE.0 {
+            Self::ONE
+        } else {
+            Q15(raw)
+        }
+    }
+
+    /// Returns the raw UQ1.15 word (`0x0000..=0x8000`).
+    pub const fn raw(self) -> u16 {
+        self.0
+    }
+
+    /// Converts to an `f64` in `[0.0, 1.0]`, exactly.
+    pub fn to_f64(self) -> f64 {
+        f64::from(self.0) / f64::from(Self::ONE.0)
+    }
+
+    /// Converts from an `f64`, rounding to the nearest representable value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Q15RangeError`] if `value` is not finite or lies outside
+    /// `[0.0, 1.0]` by more than half an epsilon.
+    pub fn from_f64(value: f64) -> Result<Q15, Q15RangeError> {
+        if !value.is_finite() {
+            return Err(Q15RangeError { raw: u16::MAX });
+        }
+        let scaled = (value * f64::from(Self::ONE.0)).round();
+        if !(0.0..=f64::from(u16::MAX)).contains(&scaled) {
+            return Err(Q15RangeError {
+                raw: if scaled < 0.0 { u16::MAX } else { u16::MAX - 1 },
+            });
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Q15::new(scaled as u16)
+    }
+
+    /// Converts from an `f64`, clamping into `[0.0, 1.0]`.
+    ///
+    /// Non-finite input clamps to `0.0` (NaN) or the nearest bound (±∞).
+    pub fn from_f64_saturating(value: f64) -> Q15 {
+        if value.is_nan() {
+            return Q15::ZERO;
+        }
+        let clamped = value.clamp(0.0, 1.0);
+        let scaled = (clamped * f64::from(Self::ONE.0)).round();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Q15(scaled as u16)
+    }
+
+    /// Saturating addition: `min(self + rhs, 1.0)`.
+    pub const fn saturating_add(self, rhs: Q15) -> Q15 {
+        let sum = self.0 as u32 + rhs.0 as u32;
+        if sum > Self::ONE.0 as u32 {
+            Self::ONE
+        } else {
+            Q15(sum as u16)
+        }
+    }
+
+    /// Saturating subtraction: `max(self − rhs, 0.0)`.
+    pub const fn saturating_sub(self, rhs: Q15) -> Q15 {
+        Q15(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Fixed-point multiplication with **truncation**: `(a·b) >> 15`.
+    ///
+    /// Matches a hardware multiplier that drops the low half of the product.
+    /// The result is always in range (product of two values ≤ 1.0).
+    pub const fn mul_trunc(self, rhs: Q15) -> Q15 {
+        let product = self.0 as u32 * rhs.0 as u32;
+        Q15((product >> Self::FRAC_BITS) as u16)
+    }
+
+    /// Fixed-point multiplication with round-to-nearest.
+    ///
+    /// Used only for design-time constant generation, never on the simulated
+    /// datapath.
+    pub const fn mul_round(self, rhs: Q15) -> Q15 {
+        let product = self.0 as u32 * rhs.0 as u32;
+        let rounded = (product + (1 << (Self::FRAC_BITS - 1))) >> Self::FRAC_BITS;
+        Q15::saturating_from_raw(rounded as u16)
+    }
+
+    /// Scales an unsigned integer by this fraction, saturating at `1.0`.
+    ///
+    /// An integer times a UQ1.15 word is already UQ1.15 (`n · r / 32768 =
+    /// (n·r) / 32768`), so no shift is involved — the hardware simply feeds
+    /// the raw product into the 18×18 multiplier output register and clamps.
+    ///
+    /// This is the `d · (1/(1+d_max))` multiplication of equation (1); the
+    /// integer distance `d` can be up to `u16::MAX`, the product fits u32.
+    pub const fn scale_int(self, n: u16) -> Q15 {
+        let product = n as u32 * self.0 as u32;
+        if product > Self::ONE.0 as u32 {
+            Self::ONE
+        } else {
+            Q15(product as u16)
+        }
+    }
+
+    /// The complement `1.0 − self`.
+    pub const fn complement(self) -> Q15 {
+        Q15(Self::ONE.0 - self.0)
+    }
+
+    /// Returns `true` for exactly `0.0`.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns `true` for exactly `1.0`.
+    pub const fn is_one(self) -> bool {
+        self.0 == Self::ONE.0
+    }
+}
+
+impl fmt::Debug for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Q15({:#06x} ≈ {:.5})", self.0, self.to_f64())
+    }
+}
+
+impl fmt::Display for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(precision) = f.precision() {
+            write!(f, "{:.*}", precision, self.to_f64())
+        } else {
+            write!(f, "{:.4}", self.to_f64())
+        }
+    }
+}
+
+impl fmt::LowerHex for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Binary for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Q15 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+/// Saturating addition (see [`Q15::saturating_add`]).
+impl Add for Q15 {
+    type Output = Q15;
+
+    fn add(self, rhs: Q15) -> Q15 {
+        self.saturating_add(rhs)
+    }
+}
+
+/// Saturating subtraction (see [`Q15::saturating_sub`]).
+impl Sub for Q15 {
+    type Output = Q15;
+
+    fn sub(self, rhs: Q15) -> Q15 {
+        self.saturating_sub(rhs)
+    }
+}
+
+/// Truncating fixed-point multiplication (see [`Q15::mul_trunc`]).
+impl Mul for Q15 {
+    type Output = Q15;
+
+    fn mul(self, rhs: Q15) -> Q15 {
+        self.mul_trunc(rhs)
+    }
+}
+
+/// Saturating sum of a sequence of `Q15` values.
+impl Sum for Q15 {
+    fn sum<I: Iterator<Item = Q15>>(iter: I) -> Q15 {
+        iter.fold(Q15::ZERO, Q15::saturating_add)
+    }
+}
+
+impl TryFrom<u16> for Q15 {
+    type Error = Q15RangeError;
+
+    fn try_from(raw: u16) -> Result<Q15, Q15RangeError> {
+        Q15::new(raw)
+    }
+}
+
+impl From<Q15> for u16 {
+    fn from(q: Q15) -> u16 {
+        q.raw()
+    }
+}
+
+impl From<Q15> for f64 {
+    fn from(q: Q15) -> f64 {
+        q.to_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_is_0x8000() {
+        assert_eq!(Q15::ONE.raw(), 0x8000);
+        assert_eq!(Q15::ONE.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn new_rejects_out_of_range() {
+        assert!(Q15::new(0x8000).is_ok());
+        assert!(Q15::new(0x8001).is_err());
+        assert!(Q15::new(u16::MAX).is_err());
+    }
+
+    #[test]
+    fn saturating_from_raw_clamps() {
+        assert_eq!(Q15::saturating_from_raw(0x9000), Q15::ONE);
+        assert_eq!(Q15::saturating_from_raw(0x1234).raw(), 0x1234);
+    }
+
+    #[test]
+    fn add_saturates_at_one() {
+        let a = Q15::from_f64(0.75).unwrap();
+        assert_eq!(a + a, Q15::ONE);
+        assert_eq!(Q15::ZERO + Q15::ZERO, Q15::ZERO);
+    }
+
+    #[test]
+    fn sub_saturates_at_zero() {
+        let a = Q15::from_f64(0.25).unwrap();
+        let b = Q15::from_f64(0.75).unwrap();
+        assert_eq!(a - b, Q15::ZERO);
+        assert_eq!(b - a, Q15::from_f64(0.5).unwrap());
+    }
+
+    #[test]
+    fn mul_matches_float_within_truncation() {
+        let a = Q15::from_f64(0.33).unwrap();
+        let b = Q15::from_f64(0.66).unwrap();
+        let exact = a.to_f64() * b.to_f64();
+        let got = (a * b).to_f64();
+        assert!(got <= exact);
+        assert!(exact - got < 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn mul_by_one_is_identity() {
+        for raw in [0u16, 1, 0x1000, 0x7fff, 0x8000] {
+            let q = Q15::new(raw).unwrap();
+            assert_eq!(q * Q15::ONE, q);
+            assert_eq!(Q15::ONE * q, q);
+        }
+    }
+
+    #[test]
+    fn mul_round_rounds_up_at_half() {
+        // 0x0001 * 0x4000 = 0x4000; >>15 truncates to 0, rounds to ... 0x4000+0x4000 = 0x8000 >> 15 = 1
+        let a = Q15::new(1).unwrap();
+        let half = Q15::new(0x4000).unwrap();
+        assert_eq!(a.mul_trunc(half).raw(), 0);
+        assert_eq!(a.mul_round(half).raw(), 1);
+    }
+
+    #[test]
+    fn scale_int_saturates() {
+        // d = 100 with recip = 1.0 means a mathematical value of 100.0,
+        // which must clamp to 1.0 on the 16-bit datapath.
+        assert_eq!(Q15::ONE.scale_int(100), Q15::ONE);
+        let recip = crate::recip::recip_plus_one(9); // 1/10
+        assert_eq!(recip.scale_int(0), Q15::ZERO);
+        let s = recip.scale_int(5); // 5/10 = 0.5 within recip rounding
+        assert!((s.to_f64() - 0.5).abs() < 1e-3);
+        // d = 10 (== d_max): exactly 10/10 up to rounding of the reciprocal.
+        assert!((recip.scale_int(10).to_f64() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn complement_involutes() {
+        for raw in [0u16, 5, 0x4000, 0x8000] {
+            let q = Q15::new(raw).unwrap();
+            assert_eq!(q.complement().complement(), q);
+        }
+        assert_eq!(Q15::ZERO.complement(), Q15::ONE);
+    }
+
+    #[test]
+    fn sum_saturates() {
+        let parts = [Q15::from_f64(0.5).unwrap(); 3];
+        let total: Q15 = parts.into_iter().sum();
+        assert_eq!(total, Q15::ONE);
+    }
+
+    #[test]
+    fn from_f64_rejects_bad_values() {
+        assert!(Q15::from_f64(-0.1).is_err());
+        assert!(Q15::from_f64(f64::NAN).is_err());
+        assert!(Q15::from_f64(f64::INFINITY).is_err());
+        assert!(Q15::from_f64(1.1).is_err());
+        assert!(Q15::from_f64(1.0).is_ok());
+    }
+
+    #[test]
+    fn from_f64_saturating_clamps() {
+        assert_eq!(Q15::from_f64_saturating(-3.0), Q15::ZERO);
+        assert_eq!(Q15::from_f64_saturating(42.0), Q15::ONE);
+        assert_eq!(Q15::from_f64_saturating(f64::NAN), Q15::ZERO);
+    }
+
+    #[test]
+    fn display_and_debug_are_nonempty() {
+        assert!(!format!("{}", Q15::ZERO).is_empty());
+        assert!(!format!("{:?}", Q15::ZERO).is_empty());
+        assert_eq!(format!("{:.2}", Q15::ONE), "1.00");
+        assert_eq!(format!("{:x}", Q15::ONE), "8000");
+    }
+
+    #[test]
+    fn ordering_follows_value() {
+        assert!(Q15::ZERO < Q15::EPSILON);
+        assert!(Q15::EPSILON < Q15::ONE);
+    }
+}

@@ -1,0 +1,138 @@
+//! Reciprocal range constants and the division-free local similarity.
+//!
+//! Equation (1) of the paper computes `s = 1 − d/(1 + d_max)`. A hardware
+//! divider is expensive, so the retrieval unit stores the design-time
+//! constant `1/(1 + d_max)` ("maxrange-1" in fig. 4) in the supplemental
+//! attribute list and multiplies at run time.
+
+use crate::q15::Q15;
+
+/// Computes the UQ1.15 reciprocal `1/(1 + d_max)`, round-to-nearest.
+///
+/// This is the "Attribut Max-Bereich⁻¹" entry of the supplemental list
+/// (fig. 4, right). It is generated at design time, so rounding is free.
+///
+/// * `d_max = 0` yields exactly [`Q15::ONE`] (identical values are the only
+///   possibility, any non-zero distance saturates similarity to zero).
+///
+/// ```
+/// use rqfa_fixed::{recip_plus_one, Q15};
+///
+/// assert_eq!(recip_plus_one(0), Q15::ONE);
+/// let r = recip_plus_one(36); // the sample-rate attribute of Table 1
+/// assert!((r.to_f64() - 1.0 / 37.0).abs() < 1e-4);
+/// ```
+pub fn recip_plus_one(d_max: u16) -> Q15 {
+    let denom = u32::from(d_max) + 1;
+    let numer = u32::from(Q15::ONE.raw());
+    // Round-to-nearest integer division.
+    let raw = (numer + denom / 2) / denom;
+    Q15::saturating_from_raw(raw.min(u32::from(Q15::ONE.raw())) as u16)
+}
+
+/// Computes the local similarity of equation (1) without division:
+/// `s = 1 − min(1, d · recip)` in UQ1.15, truncating the product.
+///
+/// `d` is the Manhattan distance `|x_A − x_B|` of two raw attribute values;
+/// `recip` is the design-time constant from [`recip_plus_one`]. When `d`
+/// exceeds `d_max` (possible if a request asks for a value outside the
+/// design-global bounds) the product saturates and the similarity is `0.0`.
+///
+/// ```
+/// use rqfa_fixed::{local_similarity, recip_plus_one, Q15};
+///
+/// let recip = recip_plus_one(8); // bit-width attribute of Table 1
+/// assert_eq!(local_similarity(0, recip), Q15::ONE);
+/// let s = local_similarity(8, recip); // 1 − 8/9 ≈ 0.111
+/// assert!((s.to_f64() - (1.0 - 8.0 / 9.0)).abs() < 1e-3);
+/// ```
+pub fn local_similarity(d: u16, recip: Q15) -> Q15 {
+    recip.scale_int(d).complement()
+}
+
+/// Derives `d_max` for one attribute type from its design-global bounds.
+///
+/// The paper's supplemental list records per-attribute lower/upper bounds
+/// fixed by the designer; the maximum possible distance is their span.
+/// (Table 1 uses the *global* span — e.g. sample-rate bounds `[8, 44]` give
+/// `d_max = 36` even though the library only contains rates 22 and 44.)
+///
+/// ```
+/// use rqfa_fixed::max_distance_for;
+///
+/// assert_eq!(max_distance_for(8, 44), 36);
+/// assert_eq!(max_distance_for(44, 8), 36); // order-insensitive
+/// ```
+pub fn max_distance_for(lower: u16, upper: u16) -> u16 {
+    upper.abs_diff(lower)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recip_of_zero_span_is_one() {
+        assert_eq!(recip_plus_one(0), Q15::ONE);
+    }
+
+    #[test]
+    fn recip_matches_float_reference() {
+        for d_max in [1u16, 2, 8, 36, 100, 1000, u16::MAX] {
+            let got = recip_plus_one(d_max).to_f64();
+            let want = 1.0 / (f64::from(d_max) + 1.0);
+            assert!(
+                (got - want).abs() <= 0.5 / 32768.0,
+                "d_max={d_max}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_table1_local_similarities() {
+        // Row i=1 (bit-width, d_max = 16−8 = 8):
+        let recip_bw = recip_plus_one(8);
+        assert_eq!(local_similarity(0, recip_bw), Q15::ONE); // FPGA & DSP
+        let s_gp = local_similarity(8, recip_bw); // GP processor: 1−8/9
+        assert!((s_gp.to_f64() - 0.1111).abs() < 1e-3);
+
+        // Row i=3 (output mode, d_max = 2−0 = 2):
+        let recip_out = recip_plus_one(2);
+        let s_fpga = local_similarity(1, recip_out); // 1−1/3
+        assert!((s_fpga.to_f64() - 0.6667).abs() < 1e-3);
+
+        // Row i=4 (sample rate, d_max = 44−8 = 36):
+        let recip_rate = recip_plus_one(36);
+        let s = local_similarity(4, recip_rate); // 1−4/37 ≈ 0.8919
+        assert!((s.to_f64() - 0.8919).abs() < 1e-3);
+        let s_gp = local_similarity(18, recip_rate); // 1−18/37 ≈ 0.5135
+        assert!((s_gp.to_f64() - 0.5135).abs() < 1e-3);
+    }
+
+    #[test]
+    fn similarity_zero_at_or_beyond_max_distance() {
+        let recip = recip_plus_one(10);
+        // d = d_max = 10: 1 − 10/11 ≈ 0.0909, not zero.
+        assert!(local_similarity(10, recip) > Q15::ZERO);
+        // Far beyond the design bound the product saturates.
+        assert_eq!(local_similarity(u16::MAX, recip), Q15::ZERO);
+    }
+
+    #[test]
+    fn similarity_is_antitone_in_distance() {
+        let recip = recip_plus_one(50);
+        let mut last = Q15::ONE;
+        for d in 0..=60u16 {
+            let s = local_similarity(d, recip);
+            assert!(s <= last, "similarity must not increase with distance");
+            last = s;
+        }
+    }
+
+    #[test]
+    fn max_distance_is_symmetric() {
+        assert_eq!(max_distance_for(0, 0), 0);
+        assert_eq!(max_distance_for(0, u16::MAX), u16::MAX);
+        assert_eq!(max_distance_for(7, 3), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Block-RAM port models.
+//!
+//! The synthesized unit uses two 18-kbit block RAMs (Table 2): **CB-MEM**
+//! for the case base and **Req-MEM** for the request (fig. 7). Each is a
+//! synchronous single-port memory: one word per cycle. [`Bram`] wraps a
+//! [`rqfa_memlist::MemImage`] and counts accesses; the FSM charges one
+//! cycle per access (or one per *pair* in wide-port mode, the compaction
+//! ablation of experiment E9).
+
+use rqfa_memlist::{MemError, MemImage};
+
+/// Port width of a BRAM instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum PortWidth {
+    /// 16-bit port: one word per access (the paper's configuration).
+    #[default]
+    Narrow,
+    /// 32-bit port: two adjacent words per access ("loading IDs and values
+    /// as blocks within one step", §5).
+    Wide,
+}
+
+/// A synchronous single-port block RAM with access counting.
+#[derive(Debug, Clone)]
+pub struct Bram {
+    image: MemImage,
+    width: PortWidth,
+    accesses: u64,
+}
+
+impl Bram {
+    /// Wraps an image as a narrow-port BRAM.
+    pub fn new(image: MemImage) -> Bram {
+        Bram {
+            image,
+            width: PortWidth::Narrow,
+            accesses: 0,
+        }
+    }
+
+    /// Wraps an image with an explicit port width.
+    pub fn with_width(image: MemImage, width: PortWidth) -> Bram {
+        Bram {
+            image,
+            width,
+            accesses: 0,
+        }
+    }
+
+    /// The configured port width.
+    pub fn width(&self) -> PortWidth {
+        self.width
+    }
+
+    /// Reads one word; counts one access.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the image.
+    pub fn read(&mut self, addr: u16) -> Result<u16, MemError> {
+        self.accesses += 1;
+        self.image.read(addr)
+    }
+
+    /// Reads two adjacent words.
+    ///
+    /// On a [`PortWidth::Wide`] port this is **one** access; on a narrow
+    /// port it degrades to two.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if either word is outside the image.
+    pub fn read_pair(&mut self, addr: u16) -> Result<(u16, u16), MemError> {
+        self.accesses += match self.width {
+            PortWidth::Wide => 1,
+            PortWidth::Narrow => 2,
+        };
+        self.image.read_pair(addr)
+    }
+
+    /// Total accesses so far (each costs one FSM cycle).
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Resets the access counter (e.g. between retrieval runs).
+    pub fn reset_stats(&mut self) {
+        self.accesses = 0;
+    }
+
+    /// The wrapped image.
+    pub fn image(&self) -> &MemImage {
+        &self.image
+    }
+
+    /// Capacity utilization against one Virtex-II BRAM18 (18 kbit = 1024
+    /// words of 16 bit + parity). Values above `1.0` mean the image needs
+    /// multiple block RAMs.
+    pub fn bram18_utilization(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.image.len() as f64 / 1024.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image() -> MemImage {
+        MemImage::from_words((0..16u16).collect()).unwrap()
+    }
+
+    #[test]
+    fn reads_count_accesses() {
+        let mut b = Bram::new(image());
+        assert_eq!(b.read(3).unwrap(), 3);
+        assert_eq!(b.read(4).unwrap(), 4);
+        assert_eq!(b.accesses(), 2);
+        b.reset_stats();
+        assert_eq!(b.accesses(), 0);
+    }
+
+    #[test]
+    fn wide_port_halves_pair_cost() {
+        let mut narrow = Bram::new(image());
+        let mut wide = Bram::with_width(image(), PortWidth::Wide);
+        narrow.read_pair(0).unwrap();
+        wide.read_pair(0).unwrap();
+        assert_eq!(narrow.accesses(), 2);
+        assert_eq!(wide.accesses(), 1);
+        assert_eq!(wide.width(), PortWidth::Wide);
+    }
+
+    #[test]
+    fn out_of_range_read_errors() {
+        let mut b = Bram::new(image());
+        assert!(b.read(99).is_err());
+    }
+
+    #[test]
+    fn utilization_scales_with_size() {
+        let b = Bram::new(MemImage::from_words(vec![0; 512]).unwrap());
+        assert!((b.bram18_utilization() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,177 @@
+//! Datapath component models (fig. 7).
+//!
+//! The retrieval unit's datapath consists of: an absolute-difference unit
+//! (`ABS(X)` after `Diff(A_i, A_i_CB)`), two 18×18 hardware multipliers
+//! (`d · (1+d_max)⁻¹` and `s_i · w_i`), the similarity accumulator
+//! (`S = Σ s_i·w_i`), and the best-score comparator holding
+//! `(S_max, Realis_ID_max)`. Each component counts its activations so area
+//! and energy models (and the ablation benches) can reason about usage.
+//!
+//! Arithmetic is delegated to [`rqfa_fixed`] so the datapath is bit-exact
+//! with the [`rqfa_core::FixedEngine`] reference by construction.
+
+use rqfa_fixed::Q15;
+
+/// Usage counters of the datapath components.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DatapathStats {
+    /// Absolute-difference activations.
+    pub abs_diff_ops: u64,
+    /// Multiplier 0 activations (`d · recip`).
+    pub mult0_ops: u64,
+    /// Multiplier 1 activations (`s_i · w_i`).
+    pub mult1_ops: u64,
+    /// Accumulator additions.
+    pub acc_ops: u64,
+    /// Best-comparator evaluations.
+    pub cmp_ops: u64,
+}
+
+/// The retrieval unit's datapath state.
+#[derive(Debug, Clone, Default)]
+pub struct Datapath {
+    acc: u32,
+    best_sim: Q15,
+    best_id: Option<u16>,
+    stats: DatapathStats,
+}
+
+impl Datapath {
+    /// Creates an idle datapath.
+    pub fn new() -> Datapath {
+        Datapath::default()
+    }
+
+    /// Clears the similarity accumulator (start of a new implementation).
+    pub fn clear_acc(&mut self) {
+        self.acc = 0;
+    }
+
+    /// Computes the local similarity `s_i = 1 − sat(|a−b| · recip)` on the
+    /// 16-bit path: one abs-diff, one multiply, one complement.
+    pub fn local_similarity(&mut self, request_value: u16, case_value: u16, recip: Q15) -> Q15 {
+        self.stats.abs_diff_ops += 1;
+        self.stats.mult0_ops += 1;
+        let d = request_value.abs_diff(case_value);
+        rqfa_fixed::local_similarity(d, recip)
+    }
+
+    /// Accumulates one weighted term `s_i · w_i` (multiplier 1 + adder).
+    pub fn accumulate(&mut self, si: Q15, weight: Q15) {
+        self.stats.mult1_ops += 1;
+        self.stats.acc_ops += 1;
+        self.acc += u32::from(si.mul_trunc(weight).raw());
+    }
+
+    /// Reads the accumulated global similarity (saturated to `1.0`).
+    pub fn global_similarity(&self) -> Q15 {
+        Q15::saturating_from_raw(self.acc.min(u32::from(Q15::ONE.raw())) as u16)
+    }
+
+    /// Feeds the finished implementation score into the best-comparator:
+    /// replaces the stored best only on **strictly greater** similarity
+    /// (the `S > S_best?` decision of fig. 6). The first candidate always
+    /// loads the registers.
+    pub fn compare_best(&mut self, impl_id: u16) -> bool {
+        self.stats.cmp_ops += 1;
+        let s = self.global_similarity();
+        let replace = match self.best_id {
+            None => true,
+            Some(_) => s > self.best_sim,
+        };
+        if replace {
+            self.best_sim = s;
+            self.best_id = Some(impl_id);
+        }
+        replace
+    }
+
+    /// The current best `(id, similarity)` registers.
+    pub fn best(&self) -> Option<(u16, Q15)> {
+        self.best_id.map(|id| (id, self.best_sim))
+    }
+
+    /// Component usage counters.
+    pub fn stats(&self) -> DatapathStats {
+        self.stats
+    }
+
+    /// Full reset (new retrieval).
+    pub fn reset(&mut self) {
+        *self = Datapath {
+            stats: self.stats,
+            ..Datapath::default()
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_fixed::recip_plus_one;
+
+    #[test]
+    fn similarity_accumulation_matches_fixed_engine_math() {
+        let mut dp = Datapath::new();
+        dp.clear_acc();
+        // Table 1, DSP row: s = (1, 1, 0.8919), w = 1/3 each.
+        let w = Q15::new(10923).unwrap();
+        let s1 = dp.local_similarity(16, 16, recip_plus_one(8));
+        dp.accumulate(s1, w);
+        let s3 = dp.local_similarity(1, 1, recip_plus_one(2));
+        dp.accumulate(s3, w);
+        let s4 = dp.local_similarity(40, 44, recip_plus_one(36));
+        dp.accumulate(s4, Q15::new(10922).unwrap());
+        let total = dp.global_similarity().to_f64();
+        assert!((total - 0.9640).abs() < 2e-3, "got {total}");
+        assert_eq!(dp.stats().mult0_ops, 3);
+        assert_eq!(dp.stats().mult1_ops, 3);
+    }
+
+    #[test]
+    fn comparator_keeps_first_on_tie() {
+        let mut dp = Datapath::new();
+        dp.clear_acc();
+        dp.accumulate(Q15::ONE, Q15::ONE);
+        assert!(dp.compare_best(1), "first candidate always loads");
+        dp.clear_acc();
+        dp.accumulate(Q15::ONE, Q15::ONE);
+        assert!(!dp.compare_best(2), "equal score must not replace");
+        assert_eq!(dp.best().unwrap().0, 1);
+    }
+
+    #[test]
+    fn comparator_replaces_on_strictly_greater() {
+        let mut dp = Datapath::new();
+        dp.clear_acc();
+        dp.accumulate(Q15::from_f64(0.5).unwrap(), Q15::ONE);
+        dp.compare_best(1);
+        dp.clear_acc();
+        dp.accumulate(Q15::from_f64(0.75).unwrap(), Q15::ONE);
+        assert!(dp.compare_best(2));
+        let (id, sim) = dp.best().unwrap();
+        assert_eq!(id, 2);
+        assert!((sim.to_f64() - 0.75).abs() < 1e-3);
+    }
+
+    #[test]
+    fn reset_preserves_counters() {
+        let mut dp = Datapath::new();
+        dp.accumulate(Q15::ONE, Q15::ONE);
+        dp.compare_best(1);
+        let stats = dp.stats();
+        dp.reset();
+        assert_eq!(dp.stats(), stats);
+        assert!(dp.best().is_none());
+    }
+
+    #[test]
+    fn accumulator_saturates() {
+        let mut dp = Datapath::new();
+        dp.clear_acc();
+        for _ in 0..4 {
+            dp.accumulate(Q15::ONE, Q15::ONE);
+        }
+        assert_eq!(dp.global_similarity(), Q15::ONE);
+    }
+}

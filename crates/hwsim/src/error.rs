@@ -1,0 +1,88 @@
+//! Error type of the hardware simulator.
+
+use core::fmt;
+
+use rqfa_memlist::MemError;
+
+/// Errors raised while simulating the retrieval unit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HwError {
+    /// The requested function type was not found in the type directory.
+    ///
+    /// The paper treats this as a design error that "should not happen";
+    /// the hardware FSM would simply terminate with an invalid result, the
+    /// simulator reports it explicitly.
+    TypeNotFound {
+        /// The requested raw type id.
+        type_id: u16,
+    },
+    /// A request attribute has no supplemental bounds entry — the FSM
+    /// cannot fetch a reciprocal for it.
+    SupplementalMiss {
+        /// The raw attribute id.
+        attr: u16,
+    },
+    /// A structural memory fault (bad pointer, missing terminator, read
+    /// outside the BRAM).
+    Memory(MemError),
+    /// The FSM exceeded its watchdog cycle budget — a malformed image
+    /// created an unproductive scan loop.
+    Watchdog {
+        /// Cycles executed when the watchdog fired.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for HwError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HwError::TypeNotFound { type_id } => {
+                write!(f, "function type {type_id} not present in the case-base image")
+            }
+            HwError::SupplementalMiss { attr } => {
+                write!(f, "attribute {attr} has no supplemental entry (no reciprocal)")
+            }
+            HwError::Memory(e) => write!(f, "memory fault: {e}"),
+            HwError::Watchdog { cycles } => {
+                write!(f, "watchdog fired after {cycles} cycles (malformed image?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HwError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HwError::Memory(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MemError> for HwError {
+    fn from(e: MemError) -> HwError {
+        HwError::Memory(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = HwError::TypeNotFound { type_id: 3 };
+        assert!(e.to_string().contains('3'));
+        assert!(e.source().is_none());
+        let m = HwError::from(MemError::OutOfRange { addr: 1, len: 0 });
+        assert!(m.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HwError>();
+    }
+}

@@ -1,0 +1,200 @@
+//! The retrieval finite-state machine (fig. 6) and its cost model.
+//!
+//! The FSM walks the presorted linear lists of the memory images exactly
+//! like the synthesized unit: one BRAM access per word, resumable cursors
+//! in the per-implementation attribute search and in the supplemental
+//! list, and the strictly-greater best-comparator update. Cycle costs are
+//! configurable via [`CostModel`] so the HW/SW comparison (experiment E4)
+//! can include a sensitivity analysis.
+
+use core::fmt;
+
+/// Per-operation cycle costs of the FSM.
+///
+/// The defaults model the synthesized unit of §4.2: synchronous BRAM reads
+/// (1 cycle), registered 18×18 multipliers (2 cycles), single-cycle ALU
+/// operations and comparator updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CostModel {
+    /// Cycles per BRAM access.
+    pub read: u64,
+    /// Cycles per 18×18 multiply.
+    pub mul: u64,
+    /// Cycles per ALU operation (abs-diff, complement, accumulate).
+    pub alu: u64,
+    /// Cycles per best-comparator evaluation/update.
+    pub compare: u64,
+    /// Fixed start-up cycles (state-register initialization).
+    pub setup: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel {
+            read: 1,
+            mul: 2,
+            alu: 1,
+            compare: 1,
+            setup: 2,
+        }
+    }
+}
+
+impl CostModel {
+    /// A conservative model where every operation costs one cycle — the
+    /// lower bound used in the E4 sensitivity sweep.
+    pub fn unit() -> CostModel {
+        CostModel {
+            read: 1,
+            mul: 1,
+            alu: 1,
+            compare: 1,
+            setup: 0,
+        }
+    }
+}
+
+/// FSM phases, mirroring the boxes of fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Phase {
+    /// "Extract function basic-type from request".
+    FetchRequestType,
+    /// "Look in case-base for corresponding entry".
+    SearchTypeDirectory,
+    /// "Selection of next function implementation from sub-list".
+    NextImplementation,
+    /// "Determine type and value of next attribute from request".
+    FetchRequestAttr,
+    /// "Get range constant d_max from attribute-supplemental list".
+    SearchSupplemental,
+    /// "Look in attribute list of implementation for a matching entry".
+    SearchImplAttr,
+    /// Local similarity computation + weighting (the two multipliers).
+    Compute,
+    /// "S > S_best?" comparator update.
+    CompareBest,
+    /// "Deliver most similar implementation ID".
+    Done,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::FetchRequestType => "fetch-request-type",
+            Phase::SearchTypeDirectory => "search-type-directory",
+            Phase::NextImplementation => "next-implementation",
+            Phase::FetchRequestAttr => "fetch-request-attr",
+            Phase::SearchSupplemental => "search-supplemental",
+            Phase::SearchImplAttr => "search-impl-attr",
+            Phase::Compute => "compute",
+            Phase::CompareBest => "compare-best",
+            Phase::Done => "done",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Cycle accounting, broken down by phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Cycles spent fetching request words.
+    pub request_fetch: u64,
+    /// Cycles spent searching the type directory.
+    pub type_search: u64,
+    /// Cycles spent walking implementation lists.
+    pub impl_walk: u64,
+    /// Cycles spent searching the supplemental list.
+    pub supplemental_search: u64,
+    /// Cycles spent searching implementation attribute lists.
+    pub attr_search: u64,
+    /// Cycles spent in the arithmetic datapath.
+    pub compute: u64,
+    /// Cycles spent in the best comparator.
+    pub compare: u64,
+    /// Fixed setup cycles.
+    pub setup: u64,
+}
+
+impl CycleBreakdown {
+    /// Total cycles across all phases.
+    pub fn total(&self) -> u64 {
+        self.request_fetch
+            + self.type_search
+            + self.impl_walk
+            + self.supplemental_search
+            + self.attr_search
+            + self.compute
+            + self.compare
+            + self.setup
+    }
+
+    /// Fraction of cycles spent in pure memory search (type + supplemental
+    /// + attribute scans), the quantity the §5 compaction outlook targets.
+    pub fn search_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.type_search + self.supplemental_search + self.attr_search) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for CycleBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<22} {:>10}", "phase", "cycles")?;
+        for (name, value) in [
+            ("request fetch", self.request_fetch),
+            ("type search", self.type_search),
+            ("impl walk", self.impl_walk),
+            ("supplemental search", self.supplemental_search),
+            ("attr search", self.attr_search),
+            ("compute", self.compute),
+            ("compare", self.compare),
+            ("setup", self.setup),
+        ] {
+            writeln!(f, "{name:<22} {value:>10}")?;
+        }
+        writeln!(f, "{:<22} {:>10}", "total", self.total())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cost_model_matches_documented_values() {
+        let c = CostModel::default();
+        assert_eq!((c.read, c.mul, c.alu, c.compare, c.setup), (1, 2, 1, 1, 2));
+        let u = CostModel::unit();
+        assert_eq!((u.read, u.mul, u.alu, u.compare, u.setup), (1, 1, 1, 1, 0));
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = CycleBreakdown {
+            request_fetch: 10,
+            type_search: 5,
+            impl_walk: 4,
+            supplemental_search: 6,
+            attr_search: 9,
+            compute: 20,
+            compare: 3,
+            setup: 2,
+        };
+        assert_eq!(b.total(), 59);
+        let f = b.search_fraction();
+        assert!((f - 20.0 / 59.0).abs() < 1e-12);
+        assert!(b.to_string().contains("total"));
+    }
+
+    #[test]
+    fn phases_display() {
+        assert_eq!(Phase::Compute.to_string(), "compute");
+        assert_eq!(Phase::Done.to_string(), "done");
+    }
+}

@@ -1,0 +1,199 @@
+//! Property tests: the hardware simulator is bit-exact with the software
+//! fixed-point engine over random case bases (the paper's Matlab ≡ ModelSim
+//! equivalence, experiment E5), and its cycle counts behave monotonically.
+
+use proptest::prelude::*;
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, FixedEngine,
+    FunctionType, ImplId, ImplVariant, Request, TypeId,
+};
+use rqfa_memlist::{encode_case_base, encode_compact_case_base, encode_request, is_compactible};
+
+use crate::{ImageLayout, PortWidth, RetrievalUnit, UnitConfig};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    case_base: CaseBase,
+    request: Request,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..=5, 1usize..=3).prop_flat_map(|(k, t)| {
+        let variants = proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0u16..=50), k),
+            1..=6,
+        );
+        let types = proptest::collection::vec(variants, t);
+        let req = proptest::collection::vec(proptest::option::of(0u16..=50), k);
+        let req_type = 1u16..=(t as u16);
+        (types, req, req_type).prop_filter_map("nonempty request", move |(spec, req, rt)| {
+            let decls: Vec<AttrDecl> = (1..=k as u16)
+                .map(|x| AttrDecl::new(AttrId::new(x).unwrap(), format!("a{x}"), 0, 50).unwrap())
+                .collect();
+            let bounds = BoundsTable::from_decls(decls).unwrap();
+            let types: Vec<FunctionType> = spec
+                .iter()
+                .enumerate()
+                .map(|(ti, vars)| {
+                    let vs: Vec<ImplVariant> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, attrs)| {
+                            let bindings: Vec<AttrBinding> = attrs
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(ai, v)| {
+                                    v.map(|value| {
+                                        AttrBinding::new(
+                                            AttrId::new((ai + 1) as u16).unwrap(),
+                                            value,
+                                        )
+                                    })
+                                })
+                                .collect();
+                            ImplVariant::new(
+                                ImplId::new((vi + 1) as u16).unwrap(),
+                                ExecutionTarget::Fpga,
+                                bindings,
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    FunctionType::new(TypeId::new((ti + 1) as u16).unwrap(), format!("t{ti}"), vs)
+                        .unwrap()
+                })
+                .collect();
+            let case_base = CaseBase::new(bounds, types).unwrap();
+            let mut builder = Request::builder(TypeId::new(rt).unwrap());
+            let mut any = false;
+            for (i, v) in req.iter().enumerate() {
+                if let Some(value) = v {
+                    builder = builder.constraint(AttrId::new((i + 1) as u16).unwrap(), *value);
+                    any = true;
+                }
+            }
+            if !any {
+                return None;
+            }
+            Some(Scenario {
+                case_base,
+                request: builder.build().unwrap(),
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Bit-exactness: hardware best == FixedEngine best, including the
+    /// similarity word, across all memory organizations.
+    #[test]
+    fn hw_matches_fixed_engine(s in scenario()) {
+        let sw = FixedEngine::new().retrieve(&s.case_base, &s.request).unwrap();
+        let sw_best = sw.best.unwrap();
+
+        let cb_img = encode_case_base(&s.case_base).unwrap();
+        let req_img = encode_request(&s.request).unwrap();
+
+        for layout in [
+            ImageLayout::Classic(PortWidth::Narrow),
+            ImageLayout::Classic(PortWidth::Wide),
+        ] {
+            let mut unit = RetrievalUnit::new(&cb_img, UnitConfig { layout, ..UnitConfig::default() }).unwrap();
+            let hw = unit.retrieve(&req_img).unwrap();
+            let (id, sim) = hw.best.unwrap();
+            prop_assert_eq!(id, sw_best.impl_id.raw(), "layout {:?}", layout);
+            prop_assert_eq!(sim, sw_best.similarity, "layout {:?}", layout);
+        }
+
+        if is_compactible(&s.case_base) {
+            let compact_img = encode_compact_case_base(&s.case_base).unwrap();
+            let mut unit = RetrievalUnit::new_compact(&compact_img, UnitConfig::default()).unwrap();
+            let hw = unit.retrieve(&req_img).unwrap();
+            let (id, sim) = hw.best.unwrap();
+            prop_assert_eq!(id, sw_best.impl_id.raw());
+            prop_assert_eq!(sim, sw_best.similarity);
+        }
+    }
+
+    /// Full score vectors agree with the software engine (scan order too).
+    #[test]
+    fn hw_scores_match_fixed_engine(s in scenario()) {
+        let (sw_scores, _) = FixedEngine::new().score_all(&s.case_base, &s.request).unwrap();
+        let cb_img = encode_case_base(&s.case_base).unwrap();
+        let req_img = encode_request(&s.request).unwrap();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        prop_assert_eq!(hw.scores.len(), sw_scores.len());
+        for ((hid, hsim), sws) in hw.scores.iter().zip(&sw_scores) {
+            prop_assert_eq!(*hid, sws.impl_id.raw());
+            prop_assert_eq!(*hsim, sws.similarity);
+        }
+    }
+
+    /// The n-best register bank reproduces the software ranking.
+    #[test]
+    fn hw_nbest_matches_software_rank(s in scenario(), n in 1usize..6) {
+        let sw = FixedEngine::new().retrieve_n_best(&s.case_base, &s.request, n).unwrap();
+        let cb_img = encode_case_base(&s.case_base).unwrap();
+        let req_img = encode_request(&s.request).unwrap();
+        let mut unit = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig { n_best: n, ..UnitConfig::default() },
+        ).unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        prop_assert_eq!(hw.ranked.len(), sw.ranked.len().min(n));
+        for ((hid, hsim), sws) in hw.ranked.iter().zip(&sw.ranked) {
+            prop_assert_eq!(*hid, sws.impl_id.raw());
+            prop_assert_eq!(*hsim, sws.similarity);
+        }
+    }
+
+    /// Resume vs naive restart: identical results, naive never cheaper.
+    #[test]
+    fn naive_search_never_cheaper(s in scenario()) {
+        let cb_img = encode_case_base(&s.case_base).unwrap();
+        let req_img = encode_request(&s.request).unwrap();
+        let mut fast = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let mut slow = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig { resume: false, ..UnitConfig::default() },
+        ).unwrap();
+        let a = fast.retrieve(&req_img).unwrap();
+        let b = slow.retrieve(&req_img).unwrap();
+        prop_assert_eq!(a.best, b.best);
+        prop_assert!(b.cycles >= a.cycles);
+    }
+
+    /// Cycle counts grow when a variant is added (monotone in case-base
+    /// size for the same request).
+    #[test]
+    fn cycles_monotone_in_variants(s in scenario()) {
+        let cb_img = encode_case_base(&s.case_base).unwrap();
+        let req_img = encode_request(&s.request).unwrap();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let before = unit.retrieve(&req_img).unwrap();
+
+        let mut grown = s.case_base.clone();
+        let ty = grown.require_type(s.request.type_id()).unwrap();
+        let next_id = ty.variants().iter().map(|v| v.id().raw()).max().unwrap() + 1;
+        grown
+            .retain_variant(
+                s.request.type_id(),
+                ImplVariant::new(
+                    ImplId::new(next_id).unwrap(),
+                    ExecutionTarget::Dsp,
+                    vec![AttrBinding::new(AttrId::new(1).unwrap(), 25)],
+                )
+                .unwrap(),
+            )
+            .unwrap();
+        let grown_img = encode_case_base(&grown).unwrap();
+        let mut unit2 = RetrievalUnit::new(&grown_img, UnitConfig::default()).unwrap();
+        let after = unit2.retrieve(&req_img).unwrap();
+        prop_assert!(after.cycles > before.cycles);
+        prop_assert_eq!(after.evaluated, before.evaluated + 1);
+    }
+}

@@ -1,0 +1,141 @@
+//! Execution traces of the retrieval FSM — the simulator's equivalent of a
+//! ModelSim waveform, used by tests, examples and debugging.
+
+use core::fmt;
+
+use crate::fsm::Phase;
+
+/// One trace event: the FSM entered `phase` at `cycle`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle count when the phase was entered.
+    pub cycle: u64,
+    /// The phase.
+    pub phase: Phase,
+    /// Free-form detail (address, id, value …).
+    pub detail: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>8}] {:<24} {}", self.cycle, self.phase.to_string(), self.detail)
+    }
+}
+
+/// A bounded recording of FSM phase transitions.
+///
+/// Disabled traces cost nothing; enabled traces keep at most `capacity`
+/// events (oldest dropped), so tracing a pathological run cannot exhaust
+/// memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A disabled (zero-cost) trace.
+    pub fn disabled() -> Trace {
+        Trace::default()
+    }
+
+    /// An enabled trace keeping up to `capacity` events.
+    pub fn enabled(capacity: usize) -> Trace {
+        Trace {
+            events: Vec::new(),
+            capacity: capacity.max(1),
+            enabled: true,
+            dropped: 0,
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, cycle: u64, phase: Phase, detail: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.remove(0);
+            self.dropped += 1;
+        }
+        self.events.push(TraceEvent {
+            cycle,
+            phase,
+            detail: detail(),
+        });
+    }
+
+    /// The recorded events, oldest first.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events dropped due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clears all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.dropped > 0 {
+            writeln!(f, "... ({} earlier events dropped)", self.dropped)?;
+        }
+        for e in &self.events {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(1, Phase::Compute, || "x".into());
+        assert!(t.events().is_empty());
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn capacity_bounds_events() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.record(i, Phase::Compute, || format!("e{i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.events()[0].detail, "e3");
+        let shown = t.to_string();
+        assert!(shown.contains("earlier events dropped"));
+        t.clear();
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn event_display() {
+        let e = TraceEvent {
+            cycle: 42,
+            phase: Phase::CompareBest,
+            detail: "impl 2".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("42") && s.contains("compare-best") && s.contains("impl 2"));
+    }
+}

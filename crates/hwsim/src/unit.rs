@@ -1,0 +1,791 @@
+//! The retrieval unit: FSM + datapath + BRAMs wired together.
+//!
+//! [`RetrievalUnit`] executes the most-similar-retrieval algorithm of
+//! fig. 6 over encoded memory images, cycle-accounted per the documented
+//! [`CostModel`](crate::CostModel). Three memory organizations are
+//! supported (experiments E6/E9):
+//!
+//! * **Classic / narrow** — the paper's configuration: 16-bit ports, two
+//!   words per attribute entry;
+//! * **Classic / wide** — 32-bit ports fetching `(id, value)` pairs in one
+//!   access ("loading IDs and values as blocks within one step", §5);
+//! * **Compact** — packed single-word attribute entries
+//!   ([`rqfa_memlist::compact`]).
+//!
+//! The unit also implements the *n-most-similar* extension (§5 outlook) via
+//! a small bank of best-score registers, and a `resume: false` mode that
+//! disables the sorted-list cursor optimization of §4.1 — the baseline the
+//! paper's "repeated search from the top" remark refers to (E12).
+
+use rqfa_fixed::Q15;
+use rqfa_memlist::{CaseBaseImage, CompactCaseBaseImage, RequestImage, END_MARKER};
+
+use crate::bram::{Bram, PortWidth};
+use crate::datapath::{Datapath, DatapathStats};
+use crate::error::HwError;
+use crate::fsm::{CostModel, CycleBreakdown, Phase};
+use crate::trace::Trace;
+
+/// Memory organization of the case-base image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ImageLayout {
+    /// Two-word attribute entries with the given port width.
+    Classic(PortWidth),
+    /// Packed single-word attribute entries.
+    Compact,
+}
+
+impl Default for ImageLayout {
+    fn default() -> ImageLayout {
+        ImageLayout::Classic(PortWidth::Narrow)
+    }
+}
+
+/// Configuration of a retrieval unit instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitConfig {
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// Memory organization.
+    pub layout: ImageLayout,
+    /// Number of best-score registers (1 = the paper's unit; >1 = the
+    /// n-most-similar extension).
+    pub n_best: usize,
+    /// Enable the resumable-search cursor of §4.1 (`true` = paper's
+    /// optimized unit; `false` = restart every attribute search from the
+    /// top of the list).
+    pub resume: bool,
+    /// Trace capacity (`None` = tracing disabled).
+    pub trace_capacity: Option<usize>,
+}
+
+impl Default for UnitConfig {
+    fn default() -> UnitConfig {
+        UnitConfig {
+            cost: CostModel::default(),
+            layout: ImageLayout::default(),
+            n_best: 1,
+            resume: true,
+            trace_capacity: None,
+        }
+    }
+}
+
+/// The outcome of one hardware retrieval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HwRetrieval {
+    /// Best `(impl id, similarity)` — the unit's output registers.
+    pub best: Option<(u16, Q15)>,
+    /// The n-best register bank, best first (length ≤ `n_best`).
+    pub ranked: Vec<(u16, Q15)>,
+    /// Per-implementation scores in scan order (simulator-side visibility;
+    /// the real unit does not store these).
+    pub scores: Vec<(u16, Q15)>,
+    /// Implementations evaluated.
+    pub evaluated: usize,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Cycles per FSM phase.
+    pub breakdown: CycleBreakdown,
+    /// Datapath component usage.
+    pub datapath: DatapathStats,
+    /// CB-MEM accesses.
+    pub cb_accesses: u64,
+    /// Req-MEM accesses.
+    pub req_accesses: u64,
+    /// Recorded trace (empty if disabled).
+    pub trace: Trace,
+}
+
+/// The simulated retrieval unit, loaded with one case-base image.
+///
+/// ```
+/// use rqfa_core::paper;
+/// use rqfa_memlist::{encode_case_base, encode_request};
+/// use rqfa_hwsim::{RetrievalUnit, UnitConfig};
+///
+/// let cb = encode_case_base(&paper::table1_case_base())?;
+/// let request = encode_request(&paper::table1_request()?)?;
+/// let mut unit = RetrievalUnit::new(&cb, UnitConfig::default())?;
+/// let result = unit.retrieve(&request)?;
+/// let (impl_id, similarity) = result.best.unwrap();
+/// assert_eq!(impl_id, 2); // Table 1: the DSP implementation wins
+/// assert!((similarity.to_f64() - 0.96).abs() < 5e-3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetrievalUnit {
+    config: UnitConfig,
+    cb: Bram,
+    suppl_base: u16,
+    tree_base: u16,
+}
+
+/// Internal bookkeeping for one run.
+struct Run {
+    cycles: u64,
+    breakdown: CycleBreakdown,
+    trace: Trace,
+    watchdog: u64,
+}
+
+impl Run {
+    fn charge(&mut self, bucket: Bucket, cycles: u64) -> Result<(), HwError> {
+        self.cycles += cycles;
+        let slot = match bucket {
+            Bucket::RequestFetch => &mut self.breakdown.request_fetch,
+            Bucket::TypeSearch => &mut self.breakdown.type_search,
+            Bucket::ImplWalk => &mut self.breakdown.impl_walk,
+            Bucket::SupplementalSearch => &mut self.breakdown.supplemental_search,
+            Bucket::AttrSearch => &mut self.breakdown.attr_search,
+            Bucket::Compute => &mut self.breakdown.compute,
+            Bucket::Compare => &mut self.breakdown.compare,
+            Bucket::Setup => &mut self.breakdown.setup,
+        };
+        *slot += cycles;
+        if self.cycles > self.watchdog {
+            return Err(HwError::Watchdog { cycles: self.cycles });
+        }
+        Ok(())
+    }
+}
+
+#[derive(Clone, Copy)]
+enum Bucket {
+    RequestFetch,
+    TypeSearch,
+    ImplWalk,
+    SupplementalSearch,
+    AttrSearch,
+    Compute,
+    Compare,
+    Setup,
+}
+
+impl RetrievalUnit {
+    /// Loads a classic-layout case-base image.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Memory`] if the image lacks the two header pointers.
+    pub fn new(image: &CaseBaseImage, config: UnitConfig) -> Result<RetrievalUnit, HwError> {
+        let width = match config.layout {
+            ImageLayout::Classic(w) => w,
+            // A compact config paired with a classic image is a caller bug
+            // we tolerate by reading it as narrow classic.
+            ImageLayout::Compact => PortWidth::Narrow,
+        };
+        let suppl_base = image.supplemental_base()?;
+        let tree_base = image.tree_base()?;
+        Ok(RetrievalUnit {
+            config: UnitConfig {
+                layout: ImageLayout::Classic(width),
+                ..config
+            },
+            cb: Bram::with_width(image.image().clone(), width),
+            suppl_base,
+            tree_base,
+        })
+    }
+
+    /// Loads a compact-layout case-base image.
+    ///
+    /// # Errors
+    ///
+    /// [`HwError::Memory`] if the image lacks the two header pointers.
+    pub fn new_compact(
+        image: &CompactCaseBaseImage,
+        config: UnitConfig,
+    ) -> Result<RetrievalUnit, HwError> {
+        let suppl_base = image.supplemental_base()?;
+        let tree_base = image.tree_base()?;
+        Ok(RetrievalUnit {
+            config: UnitConfig {
+                layout: ImageLayout::Compact,
+                ..config
+            },
+            cb: Bram::new(image.image().clone()),
+            suppl_base,
+            tree_base,
+        })
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &UnitConfig {
+        &self.config
+    }
+
+    /// Runs one retrieval over the loaded case base.
+    ///
+    /// # Errors
+    ///
+    /// * [`HwError::TypeNotFound`] when the requested type is absent;
+    /// * [`HwError::SupplementalMiss`] for attributes without bounds entry;
+    /// * [`HwError::Memory`] on structural faults;
+    /// * [`HwError::Watchdog`] if a malformed image loops the FSM.
+    #[allow(clippy::too_many_lines)]
+    pub fn retrieve(&mut self, request: &RequestImage) -> Result<HwRetrieval, HwError> {
+        let cost = self.config.cost;
+        let n_best = self.config.n_best.max(1);
+        let wide = matches!(self.config.layout, ImageLayout::Classic(PortWidth::Wide));
+        let compact = matches!(self.config.layout, ImageLayout::Compact);
+        self.cb.reset_stats();
+        let mut req = Bram::with_width(
+            request.image().clone(),
+            if wide { PortWidth::Wide } else { PortWidth::Narrow },
+        );
+
+        let cb_len = self.cb.image().len() as u64;
+        let req_len = req.image().len() as u64;
+        let mut run = Run {
+            cycles: 0,
+            breakdown: CycleBreakdown::default(),
+            trace: self
+                .config
+                .trace_capacity
+                .map_or_else(Trace::disabled, Trace::enabled),
+            watchdog: 64 * (cb_len + 16) * (req_len + 16),
+        };
+        let mut dp = Datapath::new();
+        let mut ranked: Vec<(u16, Q15)> = Vec::with_capacity(n_best);
+        let mut scores: Vec<(u16, Q15)> = Vec::new();
+
+        run.charge(Bucket::Setup, cost.setup)?;
+
+        // ── Phase: fetch request type ───────────────────────────────────
+        run.trace.record(run.cycles, Phase::FetchRequestType, || String::new());
+        let type_id = req.read(0)?;
+        run.charge(Bucket::RequestFetch, cost.read)?;
+
+        // ── Phase: search type directory ────────────────────────────────
+        run.trace
+            .record(run.cycles, Phase::SearchTypeDirectory, || format!("type {type_id}"));
+        let mut addr = u32::from(self.tree_base);
+        let impl_list = loop {
+            let (id, ptr) = if wide {
+                let (id, ptr) = self.fetch_pair(addr)?;
+                run.charge(Bucket::TypeSearch, cost.read)?;
+                (id, ptr)
+            } else {
+                let id = self.cb.read(clip(addr)?)?;
+                run.charge(Bucket::TypeSearch, cost.read)?;
+                (id, None)
+            };
+            if id == END_MARKER {
+                return Err(HwError::TypeNotFound { type_id });
+            }
+            if id == type_id {
+                let ptr = match ptr {
+                    Some(p) => p,
+                    None => {
+                        let p = self.cb.read(clip(addr + 1)?)?;
+                        run.charge(Bucket::TypeSearch, cost.read)?;
+                        p
+                    }
+                };
+                break ptr;
+            }
+            addr += 2;
+        };
+
+        // ── Implementation loop ─────────────────────────────────────────
+        let mut impl_addr = u32::from(impl_list);
+        let mut evaluated = 0usize;
+        loop {
+            run.trace
+                .record(run.cycles, Phase::NextImplementation, || format!("@{impl_addr:#06x}"));
+            let (impl_id, maybe_ptr) = if wide {
+                let pair = self.fetch_pair(impl_addr)?;
+                run.charge(Bucket::ImplWalk, cost.read)?;
+                pair
+            } else {
+                let id = self.cb.read(clip(impl_addr)?)?;
+                run.charge(Bucket::ImplWalk, cost.read)?;
+                (id, None)
+            };
+            if impl_id == END_MARKER {
+                break;
+            }
+            let attr_list = match maybe_ptr {
+                Some(p) => p,
+                None => {
+                    let p = self.cb.read(clip(impl_addr + 1)?)?;
+                    run.charge(Bucket::ImplWalk, cost.read)?;
+                    p
+                }
+            };
+
+            // Reset per-implementation state.
+            dp.clear_acc();
+            run.charge(Bucket::Compute, cost.alu)?;
+            let mut req_addr: u32 = 1;
+            let mut suppl_cursor = u32::from(self.suppl_base);
+            let mut attr_cursor = u32::from(attr_list);
+
+            // ── Request-attribute loop ──────────────────────────────────
+            loop {
+                run.trace
+                    .record(run.cycles, Phase::FetchRequestAttr, || format!("@{req_addr}"));
+                let attr = req.read(clip(req_addr)?)?;
+                run.charge(Bucket::RequestFetch, cost.read)?;
+                if attr == END_MARKER {
+                    break;
+                }
+                let (value, weight) = if wide {
+                    // (attr, value) came as a notional pair; charge one more
+                    // access for the weight word.
+                    let value = req.image().read(clip(req_addr + 1)?)?;
+                    let weight = req.read(clip(req_addr + 2)?)?;
+                    run.charge(Bucket::RequestFetch, cost.read)?;
+                    (value, weight)
+                } else {
+                    let value = req.read(clip(req_addr + 1)?)?;
+                    let weight = req.read(clip(req_addr + 2)?)?;
+                    run.charge(Bucket::RequestFetch, 2 * cost.read)?;
+                    (value, weight)
+                };
+                let weight = Q15::saturating_from_raw(weight);
+
+                // ── Supplemental search (resumable, 4-word blocks) ──────
+                run.trace
+                    .record(run.cycles, Phase::SearchSupplemental, || format!("attr {attr}"));
+                if !self.config.resume {
+                    suppl_cursor = u32::from(self.suppl_base);
+                }
+                let recip = loop {
+                    let sid = self.cb.read(clip(suppl_cursor)?)?;
+                    run.charge(Bucket::SupplementalSearch, cost.read)?;
+                    if sid == END_MARKER || sid > attr {
+                        return Err(HwError::SupplementalMiss { attr });
+                    }
+                    if sid == attr {
+                        let raw = self.cb.read(clip(suppl_cursor + 3)?)?;
+                        run.charge(Bucket::SupplementalSearch, cost.read)?;
+                        suppl_cursor += 4;
+                        break Q15::saturating_from_raw(raw);
+                    }
+                    suppl_cursor += 4;
+                };
+
+                // ── Implementation attribute search ─────────────────────
+                run.trace
+                    .record(run.cycles, Phase::SearchImplAttr, || format!("attr {attr}"));
+                if !self.config.resume {
+                    attr_cursor = u32::from(attr_list);
+                }
+                let mut found: Option<u16> = None;
+                loop {
+                    if compact {
+                        let word = self.cb.read(clip(attr_cursor)?)?;
+                        run.charge(Bucket::AttrSearch, cost.read)?;
+                        if word == END_MARKER {
+                            break;
+                        }
+                        let (cid, cval) = rqfa_memlist::compact::unpack_attr(word);
+                        if cid == attr {
+                            attr_cursor += 1;
+                            found = Some(cval);
+                            break;
+                        }
+                        if cid > attr {
+                            break;
+                        }
+                        attr_cursor += 1;
+                    } else if wide {
+                        let (cid, cval) = self.fetch_pair(attr_cursor)?;
+                        run.charge(Bucket::AttrSearch, cost.read)?;
+                        if cid == END_MARKER {
+                            break;
+                        }
+                        if cid == attr {
+                            attr_cursor += 2;
+                            found = cval;
+                            if found.is_none() {
+                                let v = self.cb.read(clip(attr_cursor - 1)?)?;
+                                run.charge(Bucket::AttrSearch, cost.read)?;
+                                found = Some(v);
+                            }
+                            break;
+                        }
+                        if cid > attr {
+                            break;
+                        }
+                        attr_cursor += 2;
+                    } else {
+                        let cid = self.cb.read(clip(attr_cursor)?)?;
+                        run.charge(Bucket::AttrSearch, cost.read)?;
+                        if cid == END_MARKER {
+                            break;
+                        }
+                        if cid == attr {
+                            let v = self.cb.read(clip(attr_cursor + 1)?)?;
+                            run.charge(Bucket::AttrSearch, cost.read)?;
+                            attr_cursor += 2;
+                            found = Some(v);
+                            break;
+                        }
+                        if cid > attr {
+                            break;
+                        }
+                        attr_cursor += 2;
+                    }
+                }
+
+                // ── Compute ─────────────────────────────────────────────
+                run.trace.record(run.cycles, Phase::Compute, || {
+                    format!("attr {attr}, found: {found:?}")
+                });
+                match found {
+                    Some(case_value) => {
+                        let si = dp.local_similarity(value, case_value, recip);
+                        dp.accumulate(si, weight);
+                        run.charge(Bucket::Compute, 2 * cost.mul + 3 * cost.alu)?;
+                    }
+                    None => {
+                        // "a missing attribute can be seen as unsatisfiable
+                        // requirement": S_i := 0, one register clear.
+                        run.charge(Bucket::Compute, cost.alu)?;
+                    }
+                }
+                req_addr += 3;
+            }
+
+            // ── Compare best ────────────────────────────────────────────
+            let similarity = dp.global_similarity();
+            run.trace.record(run.cycles, Phase::CompareBest, || {
+                format!("impl {impl_id}: S={similarity}")
+            });
+            scores.push((impl_id, similarity));
+            evaluated += 1;
+            // n-best register bank: find the insertion point with strict-
+            // greater comparisons (ties keep scan order), shift, truncate.
+            let mut inserted = false;
+            for i in 0..ranked.len() {
+                run.charge(Bucket::Compare, cost.compare)?;
+                dp.compare_best(impl_id); // account comparator activity
+                if similarity > ranked[i].1 {
+                    ranked.insert(i, (impl_id, similarity));
+                    inserted = true;
+                    break;
+                }
+            }
+            if !inserted {
+                run.charge(Bucket::Compare, cost.compare)?;
+                dp.compare_best(impl_id);
+                if ranked.len() < n_best {
+                    ranked.push((impl_id, similarity));
+                }
+            }
+            ranked.truncate(n_best);
+
+            impl_addr += 2;
+        }
+
+        run.trace.record(run.cycles, Phase::Done, || {
+            format!("best: {:?}", ranked.first())
+        });
+
+        Ok(HwRetrieval {
+            best: ranked.first().copied(),
+            ranked,
+            scores,
+            evaluated,
+            cycles: run.cycles,
+            breakdown: run.breakdown,
+            datapath: dp.stats(),
+            cb_accesses: self.cb.accesses(),
+            req_accesses: req.accesses(),
+            trace: run.trace,
+        })
+    }
+
+    /// Wide fetch helper: reads `(addr, addr+1)` as one access where
+    /// possible, degrading to a single-word read at the image boundary.
+    fn fetch_pair(&mut self, addr: u32) -> Result<(u16, Option<u16>), HwError> {
+        let a = clip(addr)?;
+        if usize::from(a) + 1 < self.cb.image().len() {
+            let (x, y) = self.cb.read_pair(a)?;
+            Ok((x, Some(y)))
+        } else {
+            Ok((self.cb.read(a)?, None))
+        }
+    }
+}
+
+/// Clamps a 32-bit internal address back to the 16-bit bus, erroring if a
+/// scan ran past the address space.
+fn clip(addr: u32) -> Result<u16, HwError> {
+    u16::try_from(addr).map_err(|_| {
+        HwError::Memory(rqfa_memlist::MemError::OutOfRange {
+            addr: u16::MAX,
+            len: usize::from(u16::MAX),
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::{paper, FixedEngine};
+    use rqfa_memlist::{encode_case_base, encode_compact_case_base, encode_request};
+
+    fn table1_images() -> (CaseBaseImage, RequestImage) {
+        let cb = encode_case_base(&paper::table1_case_base()).unwrap();
+        let req = encode_request(&paper::table1_request().unwrap()).unwrap();
+        (cb, req)
+    }
+
+    #[test]
+    fn table1_best_is_dsp_bit_exact_with_fixed_engine() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        let (id, sim) = hw.best.unwrap();
+        assert_eq!(id, 2);
+
+        let sw = FixedEngine::new()
+            .retrieve(&paper::table1_case_base(), &paper::table1_request().unwrap())
+            .unwrap()
+            .best
+            .unwrap();
+        assert_eq!(id, sw.impl_id.raw());
+        assert_eq!(sim, sw.similarity, "bit-exact similarity");
+        assert_eq!(hw.evaluated, 3);
+    }
+
+    #[test]
+    fn all_scores_match_fixed_engine() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        let (sw_scores, _) = FixedEngine::new()
+            .score_all(&paper::table1_case_base(), &paper::table1_request().unwrap())
+            .unwrap();
+        assert_eq!(hw.scores.len(), sw_scores.len());
+        for ((hid, hsim), sw) in hw.scores.iter().zip(&sw_scores) {
+            assert_eq!(*hid, sw.impl_id.raw());
+            assert_eq!(*hsim, sw.similarity);
+        }
+    }
+
+    #[test]
+    fn cycles_are_positive_and_broken_down() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        assert!(hw.cycles > 50, "a real retrieval takes many cycles");
+        assert_eq!(hw.breakdown.total(), hw.cycles);
+        assert!(hw.breakdown.attr_search > 0);
+        assert!(hw.breakdown.compute > 0);
+        assert!(hw.cb_accesses > 0 && hw.req_accesses > 0);
+    }
+
+    #[test]
+    fn unknown_type_faults() {
+        let (cb_img, _) = table1_images();
+        let req = encode_request(
+            &rqfa_core::Request::builder(rqfa_core::TypeId::new(42).unwrap())
+                .constraint(paper::ATTR_BITWIDTH, 8)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        assert!(matches!(
+            unit.retrieve(&req),
+            Err(HwError::TypeNotFound { type_id: 42 })
+        ));
+    }
+
+    #[test]
+    fn missing_supplemental_faults() {
+        // Request an attribute that exists in no supplemental entry.
+        let (cb_img, _) = table1_images();
+        let req = encode_request(
+            &rqfa_core::Request::builder(paper::FIR_EQUALIZER)
+                .constraint(rqfa_core::AttrId::new(9).unwrap(), 1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        assert!(matches!(
+            unit.retrieve(&req),
+            Err(HwError::SupplementalMiss { attr: 9 })
+        ));
+    }
+
+    #[test]
+    fn wide_port_reduces_cycles_same_result() {
+        let (cb_img, req_img) = table1_images();
+        let mut narrow = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let mut wide = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                layout: ImageLayout::Classic(PortWidth::Wide),
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        let a = narrow.retrieve(&req_img).unwrap();
+        let b = wide.retrieve(&req_img).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.scores, b.scores);
+        assert!(b.cycles < a.cycles, "wide {} vs narrow {}", b.cycles, a.cycles);
+    }
+
+    #[test]
+    fn compact_layout_reduces_cycles_same_result() {
+        let case_base = paper::table1_case_base();
+        let req_img = encode_request(&paper::table1_request().unwrap()).unwrap();
+        let classic_img = encode_case_base(&case_base).unwrap();
+        let compact_img = encode_compact_case_base(&case_base).unwrap();
+        let mut classic = RetrievalUnit::new(&classic_img, UnitConfig::default()).unwrap();
+        let mut compact = RetrievalUnit::new_compact(&compact_img, UnitConfig::default()).unwrap();
+        let a = classic.retrieve(&req_img).unwrap();
+        let b = compact.retrieve(&req_img).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.scores, b.scores);
+        assert!(b.cycles < a.cycles);
+    }
+
+    #[test]
+    fn nbest_registers_match_rank_semantics() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                n_best: 2,
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        let ids: Vec<u16> = hw.ranked.iter().map(|(id, _)| *id).collect();
+        assert_eq!(ids, [2, 1], "DSP then FPGA");
+        let sw = FixedEngine::new()
+            .retrieve_n_best(&paper::table1_case_base(), &paper::table1_request().unwrap(), 2)
+            .unwrap();
+        for ((hid, hsim), s) in hw.ranked.iter().zip(&sw.ranked) {
+            assert_eq!(*hid, s.impl_id.raw());
+            assert_eq!(*hsim, s.similarity);
+        }
+    }
+
+    #[test]
+    fn naive_search_costs_more_cycles_same_result() {
+        let (cb_img, req_img) = table1_images();
+        let mut resume = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let mut naive = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                resume: false,
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        let a = resume.retrieve(&req_img).unwrap();
+        let b = naive.retrieve(&req_img).unwrap();
+        assert_eq!(a.best, b.best);
+        assert!(
+            b.cycles > a.cycles,
+            "naive restart must cost more: {} vs {}",
+            b.cycles,
+            a.cycles
+        );
+    }
+
+    #[test]
+    fn trace_records_phases() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                trace_capacity: Some(256),
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        assert!(!hw.trace.events().is_empty());
+        let phases: Vec<Phase> = hw.trace.events().iter().map(|e| e.phase).collect();
+        assert!(phases.contains(&Phase::SearchTypeDirectory));
+        assert!(phases.contains(&Phase::CompareBest));
+        assert!(phases.contains(&Phase::Done));
+    }
+
+    #[test]
+    fn repeated_retrievals_are_deterministic() {
+        let (cb_img, req_img) = table1_images();
+        let mut unit = RetrievalUnit::new(&cb_img, UnitConfig::default()).unwrap();
+        let a = unit.retrieve(&req_img).unwrap();
+        let b = unit.retrieve(&req_img).unwrap();
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.cycles, b.cycles);
+    }
+}
+
+#[cfg(test)]
+mod cost_model_tests {
+    use super::*;
+    use crate::fsm::CostModel;
+    use rqfa_core::paper;
+    use rqfa_memlist::{encode_case_base, encode_request};
+
+    fn run_with(cost: CostModel) -> HwRetrieval {
+        let cb = encode_case_base(&paper::table1_case_base()).unwrap();
+        let req = encode_request(&paper::table1_request().unwrap()).unwrap();
+        let mut unit = RetrievalUnit::new(
+            &cb,
+            UnitConfig {
+                cost,
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        unit.retrieve(&req).unwrap()
+    }
+
+    /// Doubling the BRAM read cost scales exactly the memory-bound phases.
+    #[test]
+    fn read_cost_scales_search_phases() {
+        let base = run_with(CostModel::default());
+        let slow = run_with(CostModel {
+            read: 2,
+            ..CostModel::default()
+        });
+        assert_eq!(base.best, slow.best, "cost model never changes results");
+        assert_eq!(
+            slow.breakdown.attr_search,
+            2 * base.breakdown.attr_search,
+            "attr search is pure reads"
+        );
+        assert_eq!(
+            slow.breakdown.supplemental_search,
+            2 * base.breakdown.supplemental_search
+        );
+        assert_eq!(slow.breakdown.compute, base.breakdown.compute);
+    }
+
+    /// Multiplier latency only affects the compute phase.
+    #[test]
+    fn mul_cost_scales_compute_only() {
+        let base = run_with(CostModel::unit());
+        let slow = run_with(CostModel {
+            mul: 4,
+            ..CostModel::unit()
+        });
+        assert_eq!(base.best, slow.best);
+        assert!(slow.breakdown.compute > base.breakdown.compute);
+        assert_eq!(slow.breakdown.attr_search, base.breakdown.attr_search);
+        assert_eq!(slow.breakdown.request_fetch, base.breakdown.request_fetch);
+    }
+
+    /// The unit cost model gives strictly fewer cycles than the default.
+    #[test]
+    fn unit_model_is_lower_bound() {
+        let unit_cycles = run_with(CostModel::unit()).cycles;
+        let default_cycles = run_with(CostModel::default()).cycles;
+        assert!(unit_cycles < default_cycles);
+    }
+}

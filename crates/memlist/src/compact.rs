@@ -1,0 +1,298 @@
+//! Compacted attribute-block representation — the §5 outlook:
+//! "a rather compacted attribute block representation could be used for
+//! loading IDs and values as blocks within one step speeding everything up
+//! at least by factor 2."
+//!
+//! Two complementary mechanisms realize that idea; both are modelled here
+//! and measured in experiment E9:
+//!
+//! 1. **Packed entries** ([`pack_attr`]): id and value share one 16-bit
+//!    word (6-bit id, 10-bit value), halving attribute-list length — and
+//!    thus halving the words the FSM must fetch while scanning. Applicable
+//!    when ids < 63 and values < 1024.
+//! 2. **Wide fetches** ([`crate::MemImage::read_pair`]): a 32-bit BRAM port
+//!    reads `(id, value)` of the classic layout in one cycle. Always
+//!    applicable; needs double-width memory.
+//!
+//! The packed encoding keeps the surrounding tree structure (header,
+//! supplemental list, pointer lists) identical to the canonical layout;
+//! only level-2 attribute lists change, marked by a distinct image type so
+//! the two cannot be confused.
+
+use rqfa_core::CaseBase;
+
+use crate::error::MemError;
+use crate::layout::Section;
+use crate::word::{ImageBuilder, MemImage, END_MARKER};
+
+/// Number of value bits in a packed attribute word.
+pub const VALUE_BITS: u16 = 10;
+/// Maximum representable attribute id (6 id bits, `0b111111` reserved for
+/// the terminator's id field).
+pub const MAX_PACKED_ID: u16 = 62;
+/// Maximum representable value.
+pub const MAX_PACKED_VALUE: u16 = (1 << VALUE_BITS) - 1;
+
+/// Packs an attribute id and value into one word: `id << 10 | value`.
+///
+/// # Errors
+///
+/// [`MemError::CompactOverflow`] if `attr > 62` or `value > 1023`.
+///
+/// ```
+/// use rqfa_memlist::compact::{pack_attr, unpack_attr};
+///
+/// let word = pack_attr(4, 44)?;
+/// assert_eq!(unpack_attr(word), (4, 44));
+/// # Ok::<(), rqfa_memlist::MemError>(())
+/// ```
+pub fn pack_attr(attr: u16, value: u16) -> Result<u16, MemError> {
+    if attr > MAX_PACKED_ID || value > MAX_PACKED_VALUE {
+        return Err(MemError::CompactOverflow { attr, value });
+    }
+    Ok((attr << VALUE_BITS) | value)
+}
+
+/// Unpacks a packed attribute word into `(id, value)`.
+pub fn unpack_attr(word: u16) -> (u16, u16) {
+    (word >> VALUE_BITS, word & MAX_PACKED_VALUE)
+}
+
+/// A case-base image in the compact (packed attribute list) encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompactCaseBaseImage {
+    image: MemImage,
+    sections: Vec<Section>,
+}
+
+impl CompactCaseBaseImage {
+    /// The raw words.
+    pub fn image(&self) -> &MemImage {
+        &self.image
+    }
+
+    /// Section map.
+    pub fn sections(&self) -> &[Section] {
+        &self.sections
+    }
+
+    /// Base address of the supplemental list.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the image lacks the header.
+    pub fn supplemental_base(&self) -> Result<u16, MemError> {
+        self.image.read(crate::layout::SUPPL_PTR_ADDR)
+    }
+
+    /// Base address of the type directory.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if the image lacks the header.
+    pub fn tree_base(&self) -> Result<u16, MemError> {
+        self.image.read(crate::layout::TREE_PTR_ADDR)
+    }
+}
+
+/// Encodes a case base with packed attribute lists.
+///
+/// # Errors
+///
+/// [`MemError::CompactOverflow`] when any attribute id exceeds 62 or value
+/// exceeds 1023; [`MemError::ImageTooLarge`] if the image overflows.
+pub fn encode_compact_case_base(case_base: &CaseBase) -> Result<CompactCaseBaseImage, MemError> {
+    let mut b = ImageBuilder::new();
+    b.push(0).push(0);
+    b.section("header", 0);
+
+    let suppl_base = b.cursor();
+    for decl in case_base.bounds().iter() {
+        let entry = case_base
+            .bounds()
+            .entry(decl.id())
+            .expect("iterating declared attributes");
+        b.push(decl.id().raw())
+            .push(entry.lower)
+            .push(entry.upper)
+            .push(entry.recip.raw());
+    }
+    b.terminate();
+    b.section("supplemental", suppl_base);
+
+    let tree_base = b.cursor();
+    let mut type_slots = Vec::new();
+    for ty in case_base.function_types() {
+        b.push(ty.id().raw());
+        type_slots.push(b.cursor());
+        b.push(0);
+    }
+    b.terminate();
+    b.section("type-directory", tree_base);
+
+    let impl_base = b.cursor();
+    let mut attr_slots = Vec::new();
+    for (ty, slot) in case_base.function_types().iter().zip(type_slots) {
+        b.patch(slot, b.cursor());
+        for variant in ty.variants() {
+            b.push(variant.id().raw());
+            attr_slots.push(b.cursor());
+            b.push(0);
+        }
+        b.terminate();
+    }
+    b.section("impl-lists", impl_base);
+
+    let attr_base = b.cursor();
+    let mut slot_iter = attr_slots.into_iter();
+    for ty in case_base.function_types() {
+        for variant in ty.variants() {
+            let slot = slot_iter.next().expect("one slot per variant");
+            b.patch(slot, b.cursor());
+            for binding in variant.attrs() {
+                b.push(pack_attr(binding.attr.raw(), binding.value)?);
+            }
+            b.terminate();
+        }
+    }
+    b.section("attr-lists", attr_base);
+
+    b.patch(0, suppl_base);
+    b.patch(1, tree_base);
+    let (image, sections) = b.finish()?;
+    Ok(CompactCaseBaseImage {
+        image,
+        sections: sections
+            .into_iter()
+            .map(|(name, range)| Section { name, range })
+            .collect(),
+    })
+}
+
+/// Checks whether a case base is representable in the compact encoding.
+pub fn is_compactible(case_base: &CaseBase) -> bool {
+    case_base.function_types().iter().all(|ty| {
+        ty.variants().iter().all(|v| {
+            v.attrs()
+                .iter()
+                .all(|b| b.attr.raw() <= MAX_PACKED_ID && b.value <= MAX_PACKED_VALUE)
+        })
+    })
+}
+
+/// Decodes the packed attribute list at `base`, returning `(attr, value)`
+/// pairs.
+///
+/// # Errors
+///
+/// Structural errors for unterminated lists.
+pub fn decode_compact_attr_list(
+    image: &MemImage,
+    base: u16,
+) -> Result<Vec<(u16, u16)>, MemError> {
+    let mut out = Vec::new();
+    let mut addr = base;
+    loop {
+        let word = image.read(addr)?;
+        if word == END_MARKER {
+            return Ok(out);
+        }
+        out.push(unpack_attr(word));
+        addr = addr
+            .checked_add(1)
+            .ok_or(MemError::UnterminatedList { start: base })?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::paper;
+
+    #[test]
+    fn pack_roundtrip() {
+        for (a, v) in [(0u16, 0u16), (62, 1023), (4, 44), (1, 16)] {
+            let w = pack_attr(a, v).unwrap();
+            assert_eq!(unpack_attr(w), (a, v));
+        }
+    }
+
+    #[test]
+    fn pack_rejects_overflow() {
+        assert!(matches!(
+            pack_attr(63, 0),
+            Err(MemError::CompactOverflow { .. })
+        ));
+        assert!(matches!(
+            pack_attr(0, 1024),
+            Err(MemError::CompactOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn terminator_never_collides_with_packed_entries() {
+        // 0xFFFF unpacks to id 63, which pack_attr refuses — so no valid
+        // entry can alias the terminator.
+        assert_eq!(unpack_attr(END_MARKER).0, 63);
+        assert!(pack_attr(63, 1023).is_err());
+    }
+
+    #[test]
+    fn compact_image_is_smaller() {
+        let cb = paper::table1_case_base();
+        assert!(is_compactible(&cb));
+        let classic = crate::encode::encode_case_base(&cb).unwrap();
+        let compact = encode_compact_case_base(&cb).unwrap();
+        let classic_attr = classic
+            .sections()
+            .iter()
+            .find(|s| s.name == "attr-lists")
+            .unwrap()
+            .words();
+        let compact_attr = compact
+            .sections()
+            .iter()
+            .find(|s| s.name == "attr-lists")
+            .unwrap()
+            .words();
+        // (2k + 1) vs (k + 1) words per list: close to 2× for large k.
+        assert!(compact_attr < classic_attr);
+        assert!(compact.image().len() < classic.image().len());
+    }
+
+    #[test]
+    fn compact_attr_lists_decode() {
+        let cb = paper::table1_case_base();
+        let compact = encode_compact_case_base(&cb).unwrap();
+        let tree = compact.tree_base().unwrap();
+        let impl_ptr = compact.image().read(tree + 1).unwrap();
+        let attr_ptr = compact.image().read(impl_ptr + 1).unwrap();
+        let attrs = decode_compact_attr_list(compact.image(), attr_ptr).unwrap();
+        assert_eq!(attrs, vec![(1, 16), (2, 0), (3, 2), (4, 44)]);
+    }
+
+    #[test]
+    fn incompactible_case_base_detected() {
+        use rqfa_core::{
+            AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, FunctionType,
+            ImplId, ImplVariant, TypeId,
+        };
+        let bounds = BoundsTable::from_decls(vec![
+            AttrDecl::new(AttrId::new(1).unwrap(), "big", 0, 5000).unwrap(),
+        ])
+        .unwrap();
+        let v = ImplVariant::new(
+            ImplId::new(1).unwrap(),
+            ExecutionTarget::Fpga,
+            vec![AttrBinding::new(AttrId::new(1).unwrap(), 4000)],
+        )
+        .unwrap();
+        let cb = CaseBase::new(
+            bounds,
+            vec![FunctionType::new(TypeId::new(1).unwrap(), "t", vec![v]).unwrap()],
+        )
+        .unwrap();
+        assert!(!is_compactible(&cb));
+        assert!(encode_compact_case_base(&cb).is_err());
+    }
+}

@@ -1,0 +1,253 @@
+//! Decoding memory images back into core structures.
+//!
+//! The image stores only retrieval-relevant data: ids, values, bounds,
+//! reciprocals and weights. Execution targets, human-readable names and
+//! resource footprints are *not* part of the hardware's memory layout —
+//! decoding reconstructs semantically equivalent [`CaseBase`]/[`Request`]
+//! values with default targets and generated names. Retrieval results over
+//! a decoded case base are bit-identical to the original (round-trip
+//! property tested in `tests/` at the workspace root).
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, FunctionType, ImplId, ImplVariant,
+    Request, TypeId,
+};
+
+use crate::error::MemError;
+use crate::layout::{CaseBaseImage, RequestImage, SUPPL_BLOCK_WORDS};
+use crate::word::{MemImage, END_MARKER};
+
+/// One parsed supplemental-list entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupplementalEntry {
+    /// Attribute id.
+    pub attr: u16,
+    /// Lower design bound.
+    pub lower: u16,
+    /// Upper design bound.
+    pub upper: u16,
+    /// Raw UQ1.15 reciprocal `1/(1+d_max)`.
+    pub recip: u16,
+}
+
+/// Parses the supplemental list of a case-base image.
+///
+/// # Errors
+///
+/// Structural errors ([`MemError::UnterminatedList`],
+/// [`MemError::TruncatedBlock`], [`MemError::OutOfRange`]).
+pub fn decode_supplemental(image: &CaseBaseImage) -> Result<Vec<SupplementalEntry>, MemError> {
+    let words = image.image();
+    let base = image.supplemental_base()?;
+    let mut entries = Vec::new();
+    let mut addr = base;
+    loop {
+        let first = words.read(addr)?;
+        if first == END_MARKER {
+            return Ok(entries);
+        }
+        let lower = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        let upper = words
+            .read(addr + 2)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        let recip = words
+            .read(addr + 3)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        entries.push(SupplementalEntry {
+            attr: first,
+            lower,
+            upper,
+            recip,
+        });
+        addr = addr
+            .checked_add(SUPPL_BLOCK_WORDS)
+            .ok_or(MemError::UnterminatedList { start: base })?;
+    }
+}
+
+/// Walks a `(id, pointer)`-entry list, returning the pairs.
+fn decode_pointer_list(words: &MemImage, base: u16) -> Result<Vec<(u16, u16)>, MemError> {
+    let mut out = Vec::new();
+    let mut addr = base;
+    loop {
+        let id = words.read(addr)?;
+        if id == END_MARKER {
+            return Ok(out);
+        }
+        let ptr = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        out.push((id, ptr));
+        addr = addr
+            .checked_add(2)
+            .ok_or(MemError::UnterminatedList { start: base })?;
+    }
+}
+
+/// Walks an `(attr, value)`-entry list.
+fn decode_attr_list(words: &MemImage, base: u16) -> Result<Vec<(u16, u16)>, MemError> {
+    let mut out = Vec::new();
+    let mut addr = base;
+    loop {
+        let id = words.read(addr)?;
+        if id == END_MARKER {
+            return Ok(out);
+        }
+        let value = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        out.push((id, value));
+        addr = addr
+            .checked_add(2)
+            .ok_or(MemError::UnterminatedList { start: base })?;
+    }
+}
+
+/// Rebuilds a [`CaseBase`] from an image.
+///
+/// Execution targets default to [`rqfa_core::ExecutionTarget::GpProcessor`]
+/// and names are generated (`"type-<id>"`); see the module docs.
+///
+/// # Errors
+///
+/// Structural errors for malformed images, [`MemError::Core`] if the data
+/// violates case-base invariants (unsorted lists surface here too).
+pub fn decode_case_base(image: &CaseBaseImage) -> Result<CaseBase, MemError> {
+    let words = image.image();
+    let supplemental = decode_supplemental(image)?;
+    let mut decls = Vec::with_capacity(supplemental.len());
+    for entry in &supplemental {
+        let id = AttrId::new(entry.attr).map_err(MemError::Core)?;
+        decls.push(
+            AttrDecl::new(id, format!("attr-{}", entry.attr), entry.lower, entry.upper)
+                .map_err(MemError::Core)?,
+        );
+    }
+    let bounds = BoundsTable::from_decls(decls).map_err(MemError::Core)?;
+
+    let tree_base = image.tree_base()?;
+    let mut types = Vec::new();
+    for (type_raw, impl_ptr) in decode_pointer_list(words, tree_base)? {
+        let type_id = TypeId::new(type_raw).map_err(MemError::Core)?;
+        let mut variants = Vec::new();
+        for (impl_raw, attr_ptr) in decode_pointer_list(words, impl_ptr)? {
+            let impl_id = ImplId::new(impl_raw).map_err(MemError::Core)?;
+            let mut bindings = Vec::new();
+            for (attr_raw, value) in decode_attr_list(words, attr_ptr)? {
+                let attr = AttrId::new(attr_raw).map_err(MemError::Core)?;
+                bindings.push(AttrBinding::new(attr, value));
+            }
+            variants.push(
+                ImplVariant::new(impl_id, rqfa_core::ExecutionTarget::GpProcessor, bindings)
+                    .map_err(MemError::Core)?,
+            );
+        }
+        types.push(
+            FunctionType::new(type_id, format!("type-{type_raw}"), variants)
+                .map_err(MemError::Core)?,
+        );
+    }
+    CaseBase::new(bounds, types).map_err(MemError::Core)
+}
+
+/// Rebuilds a [`Request`] from a Req-MEM image.
+///
+/// The UQ1.15 weights of the image become the request's relative weights;
+/// because valid images carry weights summing to exactly `0x8000`, the
+/// rebuilt request quantizes back to the identical weight words
+/// (fingerprint-stable round trip).
+///
+/// # Errors
+///
+/// Structural errors for malformed images, [`MemError::Core`] for semantic
+/// violations (duplicate attributes, zero weights).
+pub fn decode_request(image: &RequestImage) -> Result<Request, MemError> {
+    let words = image.image();
+    let type_id = TypeId::new(image.type_id()?).map_err(MemError::Core)?;
+    let mut builder = Request::builder(type_id);
+    let mut addr: u16 = 1;
+    loop {
+        let first = words.read(addr)?;
+        if first == END_MARKER {
+            break;
+        }
+        let value = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        let weight = words
+            .read(addr + 2)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        let attr = AttrId::new(first).map_err(MemError::Core)?;
+        builder = builder.weighted_constraint(attr, value, f64::from(weight));
+        addr = addr
+            .checked_add(3)
+            .ok_or(MemError::UnterminatedList { start: 1 })?;
+    }
+    builder.build().map_err(MemError::Core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_case_base, encode_request};
+    use rqfa_core::{paper, FixedEngine};
+
+    #[test]
+    fn case_base_roundtrip_preserves_retrieval() {
+        let original = paper::table1_case_base();
+        let image = encode_case_base(&original).unwrap();
+        let decoded = decode_case_base(&image).unwrap();
+        assert_eq!(decoded.type_count(), original.type_count());
+        assert_eq!(decoded.variant_count(), original.variant_count());
+        let request = paper::table1_request().unwrap();
+        let engine = FixedEngine::new();
+        let a = engine.retrieve(&original, &request).unwrap().best.unwrap();
+        let b = engine.retrieve(&decoded, &request).unwrap().best.unwrap();
+        assert_eq!(a.impl_id, b.impl_id);
+        assert_eq!(a.similarity, b.similarity);
+    }
+
+    #[test]
+    fn request_roundtrip_is_fingerprint_stable() {
+        let original = paper::table1_request().unwrap();
+        let image = encode_request(&original).unwrap();
+        let decoded = decode_request(&image).unwrap();
+        assert_eq!(original.fingerprint(), decoded.fingerprint());
+        for (a, b) in original.constraints().iter().zip(decoded.constraints()) {
+            assert_eq!(a.attr, b.attr);
+            assert_eq!(a.value, b.value);
+            assert_eq!(a.weight_q15, b.weight_q15);
+        }
+    }
+
+    #[test]
+    fn supplemental_entries_match_bounds() {
+        let cb = paper::table1_case_base();
+        let image = encode_case_base(&cb).unwrap();
+        let entries = decode_supplemental(&image).unwrap();
+        assert_eq!(entries.len(), 4);
+        let rate = entries.iter().find(|e| e.attr == 4).unwrap();
+        assert_eq!((rate.lower, rate.upper), (8, 44));
+        let expect = rqfa_fixed::recip_plus_one(36).raw();
+        assert_eq!(rate.recip, expect);
+    }
+
+    #[test]
+    fn truncated_image_errors() {
+        let cb = paper::table1_case_base();
+        let image = encode_case_base(&cb).unwrap();
+        let mut words = image.image().words().to_vec();
+        words.truncate(words.len() - 3); // chop the tail of the last list
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(decode_case_base(&broken).is_err());
+    }
+
+    #[test]
+    fn garbage_pointer_errors() {
+        let words = vec![2, 9999, END_MARKER];
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(decode_case_base(&broken).is_err());
+    }
+}

@@ -1,0 +1,151 @@
+//! Error type for memory-image encoding, decoding and validation.
+
+use core::fmt;
+
+/// Errors raised while building or parsing 16-bit word memory images.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The encoded image would exceed the 16-bit word address space.
+    ImageTooLarge {
+        /// Number of words required.
+        words: usize,
+    },
+    /// A read touched an address outside the image.
+    OutOfRange {
+        /// The offending word address.
+        addr: u16,
+        /// Image length in words.
+        len: usize,
+    },
+    /// A list ran past the end of the image without an `0xFFFF` terminator.
+    UnterminatedList {
+        /// Start address of the list.
+        start: u16,
+    },
+    /// A reference pointer left the image or pointed at a non-list location.
+    DanglingPointer {
+        /// Address of the pointer word.
+        at: u16,
+        /// The pointer value.
+        target: u16,
+    },
+    /// List entries were not strictly ascending by id.
+    UnsortedList {
+        /// Address of the violating entry.
+        at: u16,
+        /// Previous id.
+        prev: u16,
+        /// Current (non-ascending) id.
+        next: u16,
+    },
+    /// A weight or reciprocal word was not a valid UQ1.15 value.
+    BadQ15 {
+        /// Address of the word.
+        at: u16,
+        /// The raw word.
+        raw: u16,
+    },
+    /// An attribute referenced by the tree or request has no supplemental
+    /// entry.
+    MissingSupplemental {
+        /// The attribute id.
+        attr: u16,
+    },
+    /// The image ended in the middle of a fixed-size block.
+    TruncatedBlock {
+        /// Start address of the block.
+        at: u16,
+    },
+    /// An id word used the reserved terminator value where an id was
+    /// expected, or violated compact-encoding field limits.
+    InvalidId {
+        /// Address of the word.
+        at: u16,
+        /// The raw word.
+        raw: u16,
+    },
+    /// A value does not fit the compact encoding's field widths.
+    CompactOverflow {
+        /// The attribute id (must be < 64).
+        attr: u16,
+        /// The value (must be < 1024).
+        value: u16,
+    },
+    /// A semantic error surfaced while rebuilding core structures.
+    Core(rqfa_core::CoreError),
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::ImageTooLarge { words } => {
+                write!(f, "image needs {words} words, exceeding the 65535-word address space")
+            }
+            MemError::OutOfRange { addr, len } => {
+                write!(f, "read at word address {addr:#06x} outside image of {len} words")
+            }
+            MemError::UnterminatedList { start } => {
+                write!(f, "list starting at {start:#06x} is missing its 0xffff terminator")
+            }
+            MemError::DanglingPointer { at, target } => {
+                write!(f, "pointer at {at:#06x} references invalid address {target:#06x}")
+            }
+            MemError::UnsortedList { at, prev, next } => write!(
+                f,
+                "list entry at {at:#06x} breaks ascending id order ({prev} then {next})"
+            ),
+            MemError::BadQ15 { at, raw } => {
+                write!(f, "word {raw:#06x} at {at:#06x} is not a valid UQ1.15 value")
+            }
+            MemError::MissingSupplemental { attr } => {
+                write!(f, "attribute {attr} has no supplemental bounds entry")
+            }
+            MemError::TruncatedBlock { at } => {
+                write!(f, "fixed-size block at {at:#06x} is truncated")
+            }
+            MemError::InvalidId { at, raw } => {
+                write!(f, "word {raw:#06x} at {at:#06x} is not a valid identifier")
+            }
+            MemError::CompactOverflow { attr, value } => write!(
+                f,
+                "attribute {attr}={value} does not fit the compact encoding (id < 64, value < 1024)"
+            ),
+            MemError::Core(e) => write!(f, "semantic error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MemError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MemError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<rqfa_core::CoreError> for MemError {
+    fn from(e: rqfa_core::CoreError) -> MemError {
+        MemError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MemError::DanglingPointer { at: 4, target: 9999 };
+        assert!(e.to_string().contains("0x0004"));
+        let e = MemError::Core(rqfa_core::CoreError::EmptyRequest);
+        assert!(e.to_string().contains("semantic"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MemError>();
+    }
+}

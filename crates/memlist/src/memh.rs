@@ -1,0 +1,119 @@
+//! Verilog `$readmemh` interchange for memory images.
+//!
+//! The paper's tool flow exported the generated data structures "so that
+//! they can be easily used for testing purposes in Stateflow, VHDL and C"
+//! (§4.2). The standard way to initialize block RAM content in an HDL
+//! simulation or synthesis flow is a `$readmemh` file: one hexadecimal
+//! word per line, `//` comments, optional `@addr` address records. This
+//! module writes and parses that format for 16-bit word images.
+
+use crate::error::MemError;
+use crate::word::MemImage;
+
+/// Renders an image as `$readmemh` text: a header comment, then one 4-digit
+/// hex word per line with an `@0000` origin record.
+///
+/// ```
+/// use rqfa_memlist::{to_memh, MemImage};
+///
+/// let image = MemImage::from_words(vec![0x0001, 0xBEEF, 0xFFFF])?;
+/// let text = to_memh(&image, "request list");
+/// assert!(text.contains("beef"));
+/// assert!(text.starts_with("// request list"));
+/// # Ok::<(), rqfa_memlist::MemError>(())
+/// ```
+pub fn to_memh(image: &MemImage, title: &str) -> String {
+    use core::fmt::Write;
+    let mut out = String::with_capacity(image.len() * 6 + 64);
+    let _ = writeln!(out, "// {title}");
+    let _ = writeln!(out, "// {} words x 16 bit", image.len());
+    let _ = writeln!(out, "@0000");
+    for word in image.words() {
+        let _ = writeln!(out, "{word:04x}");
+    }
+    out
+}
+
+/// Parses `$readmemh` text back into an image.
+///
+/// Supports `//` line comments, blank lines and `@addr` records (gaps are
+/// zero-filled, as `$readmemh` leaves unwritten words at their previous
+/// value — zero for a fresh image).
+///
+/// # Errors
+///
+/// * [`MemError::InvalidId`] for malformed hex tokens (address `0xFFFF`
+///   in the error marks a token, not a location);
+/// * [`MemError::ImageTooLarge`] if content exceeds the address space.
+pub fn from_memh(text: &str) -> Result<MemImage, MemError> {
+    let mut words: Vec<u16> = Vec::new();
+    let mut cursor: usize = 0;
+    for raw_line in text.lines() {
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for token in line.split_whitespace() {
+            if let Some(addr_hex) = token.strip_prefix('@') {
+                let addr = usize::from_str_radix(addr_hex, 16)
+                    .map_err(|_| MemError::InvalidId { at: 0xFFFF, raw: 0 })?;
+                if addr > usize::from(u16::MAX) {
+                    return Err(MemError::ImageTooLarge { words: addr });
+                }
+                cursor = addr;
+                continue;
+            }
+            let word = u16::from_str_radix(token, 16)
+                .map_err(|_| MemError::InvalidId { at: 0xFFFF, raw: 0 })?;
+            if cursor >= words.len() {
+                words.resize(cursor + 1, 0);
+            }
+            words[cursor] = word;
+            cursor += 1;
+        }
+    }
+    MemImage::from_words(words)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode_case_base;
+    use rqfa_core::paper;
+
+    #[test]
+    fn roundtrip_case_base_image() {
+        let image = encode_case_base(&paper::table1_case_base()).unwrap();
+        let text = to_memh(image.image(), "table1 case base");
+        let back = from_memh(&text).unwrap();
+        assert_eq!(back.words(), image.image().words());
+    }
+
+    #[test]
+    fn parses_comments_and_address_records() {
+        let text = "// header\n@0002\nbeef // trailing\n\n@0000\n1234 5678\n";
+        let img = from_memh(text).unwrap();
+        assert_eq!(img.words(), &[0x1234, 0x5678, 0xBEEF]);
+    }
+
+    #[test]
+    fn rejects_bad_tokens() {
+        assert!(from_memh("xyz").is_err());
+        assert!(from_memh("@zz").is_err());
+        assert!(from_memh("12345").is_err(), "more than 16 bits");
+    }
+
+    #[test]
+    fn address_gap_zero_fills() {
+        let img = from_memh("@0003\nffff").unwrap();
+        assert_eq!(img.words(), &[0, 0, 0, 0xFFFF]);
+    }
+
+    #[test]
+    fn header_mentions_title_and_size() {
+        let image = MemImage::from_words(vec![1, 2]).unwrap();
+        let text = to_memh(&image, "demo");
+        assert!(text.contains("// demo"));
+        assert!(text.contains("2 words"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests: encode/decode round trips and validator soundness over
+//! randomly generated case bases.
+
+use proptest::prelude::*;
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, FunctionType, ImplId,
+    ImplVariant, Request, TypeId,
+};
+
+use crate::{
+    decode_case_base, decode_request, encode_case_base, encode_request, validate_case_base,
+    validate_request,
+};
+
+fn arb_case_base() -> impl Strategy<Value = CaseBase> {
+    // k attrs, t types, each with 1..=4 variants holding a random attr subset.
+    (1usize..=5, 1usize..=4).prop_flat_map(|(k, t)| {
+        let variants_per_type = proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::collection::vec(proptest::option::of(0u16..=50), k),
+                1..=4,
+            ),
+            t,
+        );
+        variants_per_type.prop_map(move |spec| {
+            let decls: Vec<AttrDecl> = (1..=k as u16)
+                .map(|x| AttrDecl::new(AttrId::new(x).unwrap(), format!("a{x}"), 0, 50).unwrap())
+                .collect();
+            let bounds = BoundsTable::from_decls(decls).unwrap();
+            let types: Vec<FunctionType> = spec
+                .iter()
+                .enumerate()
+                .map(|(ti, variants)| {
+                    let vars: Vec<ImplVariant> = variants
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, attrs)| {
+                            let bindings: Vec<AttrBinding> = attrs
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(ai, v)| {
+                                    v.map(|value| {
+                                        AttrBinding::new(
+                                            AttrId::new((ai + 1) as u16).unwrap(),
+                                            value,
+                                        )
+                                    })
+                                })
+                                .collect();
+                            ImplVariant::new(
+                                ImplId::new((vi + 1) as u16).unwrap(),
+                                ExecutionTarget::Fpga,
+                                bindings,
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    FunctionType::new(TypeId::new((ti + 1) as u16).unwrap(), format!("t{ti}"), vars)
+                        .unwrap()
+                })
+                .collect();
+            CaseBase::new(bounds, types).unwrap()
+        })
+    })
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (1usize..=5).prop_flat_map(|k| {
+        let values = proptest::collection::vec(proptest::option::of((0u16..=50, 1u32..=9)), k);
+        values.prop_filter_map("nonempty", move |vals| {
+            let mut builder = Request::builder(TypeId::new(1).unwrap());
+            let mut any = false;
+            for (i, v) in vals.iter().enumerate() {
+                if let Some((value, w)) = v {
+                    builder = builder.weighted_constraint(
+                        AttrId::new((i + 1) as u16).unwrap(),
+                        *value,
+                        f64::from(*w),
+                    );
+                    any = true;
+                }
+            }
+            if any {
+                Some(builder.build().unwrap())
+            } else {
+                None
+            }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn case_base_roundtrip(cb in arb_case_base()) {
+        let image = encode_case_base(&cb).unwrap();
+        let decoded = decode_case_base(&image).unwrap();
+        prop_assert_eq!(decoded.type_count(), cb.type_count());
+        prop_assert_eq!(decoded.variant_count(), cb.variant_count());
+        for (orig, back) in cb.function_types().iter().zip(decoded.function_types()) {
+            prop_assert_eq!(orig.id(), back.id());
+            for (v1, v2) in orig.variants().iter().zip(back.variants()) {
+                prop_assert_eq!(v1.id(), v2.id());
+                prop_assert_eq!(v1.attrs(), v2.attrs());
+            }
+        }
+    }
+
+    #[test]
+    fn encoded_case_base_validates(cb in arb_case_base()) {
+        let image = encode_case_base(&cb).unwrap();
+        let summary = validate_case_base(&image).unwrap();
+        prop_assert_eq!(summary.types, cb.type_count());
+        prop_assert_eq!(summary.variants, cb.variant_count());
+    }
+
+    #[test]
+    fn request_roundtrip(request in arb_request()) {
+        let image = encode_request(&request).unwrap();
+        let decoded = decode_request(&image).unwrap();
+        prop_assert_eq!(request.fingerprint(), decoded.fingerprint());
+    }
+
+    #[test]
+    fn encoded_request_validates(cb in arb_case_base(), request in arb_request()) {
+        // Only meaningful when every constrained attribute is declared in
+        // this particular case base (both are drawn independently).
+        prop_assume!(request
+            .constraints()
+            .iter()
+            .all(|c| usize::from(c.attr.raw()) <= cb.bounds().len()));
+        let cb_image = encode_case_base(&cb).unwrap();
+        let req_image = encode_request(&request).unwrap();
+        let n = validate_request(&req_image, &cb_image).unwrap();
+        prop_assert_eq!(n, request.constraints().len());
+    }
+
+    /// Requests constraining undeclared attributes are rejected.
+    #[test]
+    fn foreign_attr_request_rejected(cb in arb_case_base()) {
+        let foreign = Request::builder(TypeId::new(1).unwrap())
+            .constraint(AttrId::new(999).unwrap(), 1)
+            .build()
+            .unwrap();
+        let cb_image = encode_case_base(&cb).unwrap();
+        let req_image = encode_request(&foreign).unwrap();
+        prop_assert!(validate_request(&req_image, &cb_image).is_err());
+    }
+
+    /// Single-word corruption of an id or pointer word is either caught by
+    /// the validator or leaves a still-decodable image (never a panic).
+    #[test]
+    fn corruption_never_panics(cb in arb_case_base(), pos in 0usize..4096, bits in 1u16..=u16::MAX) {
+        let image = encode_case_base(&cb).unwrap();
+        let mut words = image.image().words().to_vec();
+        let idx = pos % words.len();
+        words[idx] ^= bits;
+        if let Ok(img) = crate::MemImage::from_words(words) {
+            let corrupted = crate::CaseBaseImage::from_image(img);
+            // Must not panic; outcome may be Ok (benign flip) or Err.
+            let _ = validate_case_base(&corrupted);
+            let _ = decode_case_base(&corrupted);
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! Structural validation of untrusted memory images.
+//!
+//! A run-time system that loads case-base images from a FLASH repository
+//! (fig. 1) must not feed malformed words into the retrieval unit: a
+//! dangling pointer would make the FSM scan arbitrary memory. The validator
+//! checks every invariant the hardware relies on:
+//!
+//! 1. header pointers resolve into the image;
+//! 2. every list is `0xFFFF`-terminated;
+//! 3. ids ascend strictly within each list (the resumable-search invariant);
+//! 4. reciprocal and weight words are valid UQ1.15 values;
+//! 5. reciprocals are consistent with their bounds
+//!    (`recip == round(32768/(1+upper−lower))`);
+//! 6. every attribute used in the tree or request has a supplemental entry
+//!    and its value lies inside the declared bounds;
+//! 7. request weights sum to exactly `1.0`.
+
+use rqfa_fixed::{recip_plus_one, Q15};
+
+use crate::decode::{decode_supplemental, SupplementalEntry};
+use crate::error::MemError;
+use crate::layout::{CaseBaseImage, RequestImage};
+use crate::word::{MemImage, END_MARKER};
+
+/// Statistics gathered while validating a case-base image.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ValidationSummary {
+    /// Function types found.
+    pub types: usize,
+    /// Implementation variants found.
+    pub variants: usize,
+    /// Attribute bindings found.
+    pub bindings: usize,
+    /// Supplemental entries found.
+    pub supplemental: usize,
+    /// Total words inspected (upper bound of reachable image).
+    pub words: usize,
+}
+
+fn check_ascending(prev: &mut Option<u16>, id: u16, at: u16) -> Result<(), MemError> {
+    if let Some(p) = *prev {
+        if id <= p {
+            return Err(MemError::UnsortedList { at, prev: p, next: id });
+        }
+    }
+    *prev = Some(id);
+    Ok(())
+}
+
+fn check_id(raw: u16, at: u16) -> Result<(), MemError> {
+    if raw == END_MARKER {
+        Err(MemError::InvalidId { at, raw })
+    } else {
+        Ok(())
+    }
+}
+
+fn check_q15(raw: u16, at: u16) -> Result<Q15, MemError> {
+    Q15::new(raw).map_err(|_| MemError::BadQ15 { at, raw })
+}
+
+/// Validates a case-base image; returns a summary on success.
+///
+/// # Errors
+///
+/// The first violated invariant, as a structural [`MemError`].
+///
+/// ```
+/// use rqfa_core::paper;
+/// use rqfa_memlist::{encode_case_base, validate_case_base};
+///
+/// let image = encode_case_base(&paper::table1_case_base())?;
+/// let summary = validate_case_base(&image)?;
+/// assert_eq!(summary.types, 2);
+/// assert_eq!(summary.variants, 5);
+/// # Ok::<(), rqfa_memlist::MemError>(())
+/// ```
+pub fn validate_case_base(image: &CaseBaseImage) -> Result<ValidationSummary, MemError> {
+    let words = image.image();
+    let mut summary = ValidationSummary {
+        words: words.len(),
+        ..ValidationSummary::default()
+    };
+
+    // Supplemental list: structure, ordering, reciprocal consistency.
+    let supplemental = decode_supplemental(image)?;
+    let suppl_base = image.supplemental_base()?;
+    let mut prev = None;
+    for (i, entry) in supplemental.iter().enumerate() {
+        let at = suppl_base + (i as u16) * 4;
+        check_id(entry.attr, at)?;
+        check_ascending(&mut prev, entry.attr, at)?;
+        if entry.lower > entry.upper {
+            return Err(MemError::UnsortedList {
+                at: at + 1,
+                prev: entry.lower,
+                next: entry.upper,
+            });
+        }
+        let recip = check_q15(entry.recip, at + 3)?;
+        let expect = recip_plus_one(entry.upper - entry.lower);
+        if recip != expect {
+            return Err(MemError::BadQ15 {
+                at: at + 3,
+                raw: entry.recip,
+            });
+        }
+    }
+    summary.supplemental = supplemental.len();
+
+    let lookup = |attr: u16| -> Option<&SupplementalEntry> {
+        supplemental.iter().find(|e| e.attr == attr)
+    };
+
+    // Type directory.
+    let tree_base = image.tree_base()?;
+    let mut addr = tree_base;
+    let mut prev_type = None;
+    loop {
+        let id = words.read(addr)?;
+        if id == END_MARKER {
+            break;
+        }
+        check_id(id, addr)?;
+        check_ascending(&mut prev_type, id, addr)?;
+        summary.types += 1;
+        let impl_ptr = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        if usize::from(impl_ptr) >= words.len() {
+            return Err(MemError::DanglingPointer {
+                at: addr + 1,
+                target: impl_ptr,
+            });
+        }
+        // Implementation list of this type.
+        let mut impl_addr = impl_ptr;
+        let mut prev_impl = None;
+        loop {
+            let impl_id = words.read(impl_addr)?;
+            if impl_id == END_MARKER {
+                break;
+            }
+            check_id(impl_id, impl_addr)?;
+            check_ascending(&mut prev_impl, impl_id, impl_addr)?;
+            summary.variants += 1;
+            let attr_ptr = words
+                .read(impl_addr + 1)
+                .map_err(|_| MemError::TruncatedBlock { at: impl_addr })?;
+            if usize::from(attr_ptr) >= words.len() {
+                return Err(MemError::DanglingPointer {
+                    at: impl_addr + 1,
+                    target: attr_ptr,
+                });
+            }
+            // Attribute list of this variant.
+            let mut attr_addr = attr_ptr;
+            let mut prev_attr = None;
+            loop {
+                let attr = words.read(attr_addr)?;
+                if attr == END_MARKER {
+                    break;
+                }
+                check_id(attr, attr_addr)?;
+                check_ascending(&mut prev_attr, attr, attr_addr)?;
+                let value = words
+                    .read(attr_addr + 1)
+                    .map_err(|_| MemError::TruncatedBlock { at: attr_addr })?;
+                let entry =
+                    lookup(attr).ok_or(MemError::MissingSupplemental { attr })?;
+                if !(entry.lower..=entry.upper).contains(&value) {
+                    return Err(MemError::Core(rqfa_core::CoreError::ValueOutOfBounds {
+                        attr: rqfa_core::AttrId::new(attr).map_err(MemError::Core)?,
+                        value,
+                        lower: entry.lower,
+                        upper: entry.upper,
+                    }));
+                }
+                summary.bindings += 1;
+                attr_addr = attr_addr
+                    .checked_add(2)
+                    .ok_or(MemError::UnterminatedList { start: attr_ptr })?;
+            }
+            impl_addr = impl_addr
+                .checked_add(2)
+                .ok_or(MemError::UnterminatedList { start: impl_ptr })?;
+        }
+        addr = addr
+            .checked_add(2)
+            .ok_or(MemError::UnterminatedList { start: tree_base })?;
+    }
+    Ok(summary)
+}
+
+/// Validates a request image against a (validated) case-base image.
+///
+/// Checks structure, ascending attribute ids, UQ1.15 weights summing to
+/// exactly `1.0`, and that every constrained attribute has a supplemental
+/// entry in `case_base`.
+///
+/// # Errors
+///
+/// The first violated invariant.
+pub fn validate_request(
+    request: &RequestImage,
+    case_base: &CaseBaseImage,
+) -> Result<usize, MemError> {
+    let supplemental = decode_supplemental(case_base)?;
+    let words = request.image();
+    check_id(request.type_id()?, 0)?;
+    let mut addr: u16 = 1;
+    let mut prev = None;
+    let mut weight_sum: u32 = 0;
+    let mut count = 0usize;
+    loop {
+        let attr = words.read(addr)?;
+        if attr == END_MARKER {
+            break;
+        }
+        check_id(attr, addr)?;
+        check_ascending(&mut prev, attr, addr)?;
+        let _value = words
+            .read(addr + 1)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        let weight = words
+            .read(addr + 2)
+            .map_err(|_| MemError::TruncatedBlock { at: addr })?;
+        check_q15(weight, addr + 2)?;
+        weight_sum += u32::from(weight);
+        if !supplemental.iter().any(|e| e.attr == attr) {
+            return Err(MemError::MissingSupplemental { attr });
+        }
+        count += 1;
+        addr = addr
+            .checked_add(3)
+            .ok_or(MemError::UnterminatedList { start: 1 })?;
+    }
+    if weight_sum != u32::from(Q15::ONE.raw()) {
+        return Err(MemError::BadQ15 {
+            at: 0,
+            raw: weight_sum.min(u32::from(u16::MAX)) as u16,
+        });
+    }
+    Ok(count)
+}
+
+/// Validates that a raw word image is a structurally sound case base —
+/// convenience wrapper for repository loading.
+///
+/// # Errors
+///
+/// As [`validate_case_base`].
+pub fn validate_raw(words: Vec<u16>) -> Result<CaseBaseImage, MemError> {
+    let image = CaseBaseImage::from_image(MemImage::from_words(words)?);
+    validate_case_base(&image)?;
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::{encode_case_base, encode_request};
+    use rqfa_core::paper;
+
+    fn good_image() -> CaseBaseImage {
+        encode_case_base(&paper::table1_case_base()).unwrap()
+    }
+
+    #[test]
+    fn valid_image_passes() {
+        let summary = validate_case_base(&good_image()).unwrap();
+        assert_eq!(summary.types, 2);
+        assert_eq!(summary.variants, 5);
+        assert_eq!(summary.supplemental, 4);
+        assert_eq!(summary.bindings, 4 * 3 + 3 * 2); // 3 FIR variants × 4 attrs + 2 FFT × 3
+    }
+
+    #[test]
+    fn request_against_case_base_passes() {
+        let req = encode_request(&paper::table1_request().unwrap()).unwrap();
+        let n = validate_request(&req, &good_image()).unwrap();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn corrupted_pointer_is_caught() {
+        let image = good_image();
+        let mut words = image.image().words().to_vec();
+        let tree = image.tree_base().unwrap();
+        words[usize::from(tree) + 1] = 0xFF00; // implausible pointer
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(matches!(
+            validate_case_base(&broken),
+            Err(MemError::DanglingPointer { .. }) | Err(MemError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn unsorted_attr_list_is_caught() {
+        let image = good_image();
+        let mut words = image.image().words().to_vec();
+        // Swap the first two attribute blocks of the first attr list.
+        let attr_section = image
+            .sections()
+            .iter()
+            .find(|s| s.name == "attr-lists")
+            .unwrap();
+        let base = attr_section.range.start;
+        words.swap(base, base + 2);
+        words.swap(base + 1, base + 3);
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(matches!(
+            validate_case_base(&broken),
+            Err(MemError::UnsortedList { .. })
+        ));
+    }
+
+    #[test]
+    fn inconsistent_recip_is_caught() {
+        let image = good_image();
+        let mut words = image.image().words().to_vec();
+        let suppl = usize::from(image.supplemental_base().unwrap());
+        words[suppl + 3] = words[suppl + 3].wrapping_add(5); // break recip
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(matches!(
+            validate_case_base(&broken),
+            Err(MemError::BadQ15 { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_supplemental_is_caught() {
+        let image = good_image();
+        let mut words = image.image().words().to_vec();
+        let suppl = usize::from(image.supplemental_base().unwrap());
+        // Truncate the supplemental list to one entry (attr 1).
+        words[suppl + 4] = END_MARKER;
+        let broken = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+        // Attribute 2/3/4 of the variants now lack entries. Either the
+        // terminator cut mid-structure (unsorted/missing) — both acceptable.
+        assert!(validate_case_base(&broken).is_err());
+    }
+
+    #[test]
+    fn bad_weight_sum_is_caught() {
+        let req = encode_request(&paper::table1_request().unwrap()).unwrap();
+        let mut words = req.image().words().to_vec();
+        words[3] = words[3].wrapping_sub(1); // weight off by one ulp
+        let broken = RequestImage::from_image(MemImage::from_words(words).unwrap());
+        assert!(matches!(
+            validate_request(&broken, &good_image()),
+            Err(MemError::BadQ15 { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_raw_roundtrip() {
+        let image = good_image();
+        let ok = validate_raw(image.image().words().to_vec()).unwrap();
+        assert_eq!(ok.image().len(), image.image().len());
+        assert!(validate_raw(vec![50, 60, END_MARKER]).is_err());
+    }
+}

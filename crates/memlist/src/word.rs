@@ -1,0 +1,270 @@
+//! Raw word-level memory images.
+//!
+//! Every data structure of the retrieval unit lives in linearly organized
+//! RAM blocks of 16-bit words (§4.1: "These lists can be easily mapped on
+//! linear organized RAM-blocks if all list elements use the same word
+//! length per entry"). [`MemImage`] models one such block with
+//! bounds-checked reads — the BRAM simulator in `rqfa-hwsim` wraps it with
+//! port/latency semantics, the soft-core maps it into its data address
+//! space.
+
+use core::fmt;
+
+use crate::error::MemError;
+
+/// The reserved list-terminator word (`Listen Ende` in fig. 4/5).
+pub const END_MARKER: u16 = 0xFFFF;
+
+/// A linear block of 16-bit words with 16-bit word addressing.
+///
+/// ```
+/// use rqfa_memlist::{MemImage, END_MARKER};
+///
+/// let image = MemImage::from_words(vec![1, 2, END_MARKER])?;
+/// assert_eq!(image.read(1)?, 2);
+/// assert_eq!(image.len(), 3);
+/// assert!(image.read(3).is_err());
+/// # Ok::<(), rqfa_memlist::MemError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemImage {
+    words: Vec<u16>,
+}
+
+impl MemImage {
+    /// Wraps a word vector as an image.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::ImageTooLarge`] if more than `0xFFFF` words are given
+    /// (word addresses are 16-bit, and `0xFFFF` doubles as terminator, so
+    /// the largest addressable image is 65535 words).
+    pub fn from_words(words: Vec<u16>) -> Result<MemImage, MemError> {
+        if words.len() > usize::from(u16::MAX) {
+            return Err(MemError::ImageTooLarge { words: words.len() });
+        }
+        Ok(MemImage { words })
+    }
+
+    /// Reads the word at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] outside the image.
+    pub fn read(&self, addr: u16) -> Result<u16, MemError> {
+        self.words
+            .get(usize::from(addr))
+            .copied()
+            .ok_or(MemError::OutOfRange {
+                addr,
+                len: self.words.len(),
+            })
+    }
+
+    /// Reads two consecutive words in one access — the 32-bit wide-port
+    /// fetch of the paper's compaction outlook ("loading IDs and values as
+    /// blocks within one step").
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfRange`] if either word lies outside the image.
+    pub fn read_pair(&self, addr: u16) -> Result<(u16, u16), MemError> {
+        Ok((self.read(addr)?, self.read(addr.wrapping_add(1))?))
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the image holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Size in bytes (2 bytes per word) — the unit of Table 3.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * 2
+    }
+
+    /// The underlying words.
+    pub fn words(&self) -> &[u16] {
+        &self.words
+    }
+
+    /// Consumes the image, returning the word vector.
+    pub fn into_words(self) -> Vec<u16> {
+        self.words
+    }
+
+    /// Walks a terminated list region starting at `start`, returning the
+    /// addresses span `[start, terminator]` (inclusive of the terminator).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::UnterminatedList`] if no terminator is found.
+    pub fn list_span(&self, start: u16) -> Result<core::ops::RangeInclusive<u16>, MemError> {
+        let mut addr = start;
+        loop {
+            match self.read(addr) {
+                Ok(END_MARKER) => return Ok(start..=addr),
+                Ok(_) => {
+                    addr = addr
+                        .checked_add(1)
+                        .ok_or(MemError::UnterminatedList { start })?;
+                }
+                Err(_) => return Err(MemError::UnterminatedList { start }),
+            }
+        }
+    }
+}
+
+impl fmt::Display for MemImage {
+    /// Hex dump, eight words per line.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, chunk) in self.words.chunks(8).enumerate() {
+            write!(f, "{:04x}:", i * 8)?;
+            for w in chunk {
+                write!(f, " {w:04x}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl TryFrom<Vec<u16>> for MemImage {
+    type Error = MemError;
+
+    fn try_from(words: Vec<u16>) -> Result<MemImage, MemError> {
+        MemImage::from_words(words)
+    }
+}
+
+/// Incrementally builds an image, tracking section boundaries for the
+/// memory-consumption report (Table 3).
+#[derive(Debug, Clone, Default)]
+pub struct ImageBuilder {
+    words: Vec<u16>,
+    sections: Vec<(String, core::ops::Range<usize>)>,
+}
+
+impl ImageBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> ImageBuilder {
+        ImageBuilder::default()
+    }
+
+    /// Current write position (the address the next word will get).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; the length is checked on [`ImageBuilder::finish`].
+    pub fn cursor(&self) -> u16 {
+        debug_assert!(self.words.len() <= usize::from(u16::MAX));
+        self.words.len() as u16
+    }
+
+    /// Appends one word.
+    pub fn push(&mut self, word: u16) -> &mut ImageBuilder {
+        self.words.push(word);
+        self
+    }
+
+    /// Appends a terminator word.
+    pub fn terminate(&mut self) -> &mut ImageBuilder {
+        self.words.push(END_MARKER);
+        self
+    }
+
+    /// Overwrites a previously pushed word (pointer back-patching).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` has not been written yet — back-patching an
+    /// unwritten address is a builder logic error, not input-dependent.
+    pub fn patch(&mut self, addr: u16, word: u16) -> &mut ImageBuilder {
+        self.words[usize::from(addr)] = word;
+        self
+    }
+
+    /// Marks the section from `from` to the current cursor with a name.
+    pub fn section(&mut self, name: impl Into<String>, from: u16) -> &mut ImageBuilder {
+        self.sections
+            .push((name.into(), usize::from(from)..self.words.len()));
+        self
+    }
+
+    /// Finishes the image and returns it with its section map.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::ImageTooLarge`] if the image outgrew the address space.
+    pub fn finish(self) -> Result<(MemImage, Vec<(String, core::ops::Range<usize>)>), MemError> {
+        Ok((MemImage::from_words(self.words)?, self.sections))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_and_bounds() {
+        let img = MemImage::from_words(vec![10, 20, 30]).unwrap();
+        assert_eq!(img.read(0).unwrap(), 10);
+        assert_eq!(img.read(2).unwrap(), 30);
+        assert!(matches!(img.read(3), Err(MemError::OutOfRange { .. })));
+        assert_eq!(img.bytes(), 6);
+        assert!(!img.is_empty());
+    }
+
+    #[test]
+    fn read_pair_fetches_two_words() {
+        let img = MemImage::from_words(vec![1, 2, 3]).unwrap();
+        assert_eq!(img.read_pair(1).unwrap(), (2, 3));
+        assert!(img.read_pair(2).is_err());
+    }
+
+    #[test]
+    fn list_span_finds_terminator() {
+        let img = MemImage::from_words(vec![1, 2, END_MARKER, 4]).unwrap();
+        assert_eq!(img.list_span(0).unwrap(), 0..=2);
+        assert_eq!(img.list_span(2).unwrap(), 2..=2);
+        assert!(matches!(
+            img.list_span(3),
+            Err(MemError::UnterminatedList { start: 3 })
+        ));
+    }
+
+    #[test]
+    fn builder_patches_pointers() {
+        let mut b = ImageBuilder::new();
+        b.push(0); // placeholder pointer
+        let start = b.cursor();
+        b.push(42).terminate();
+        b.patch(0, start);
+        b.section("list", start);
+        let (img, sections) = b.finish().unwrap();
+        assert_eq!(img.read(0).unwrap(), 1);
+        assert_eq!(img.read(1).unwrap(), 42);
+        assert_eq!(sections[0].0, "list");
+        assert_eq!(sections[0].1, 1..3);
+    }
+
+    #[test]
+    fn oversize_image_rejected() {
+        let words = vec![0u16; usize::from(u16::MAX) + 1];
+        assert!(matches!(
+            MemImage::from_words(words),
+            Err(MemError::ImageTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn hex_dump_formats() {
+        let img = MemImage::from_words(vec![0xDEAD, 0xBEEF]).unwrap();
+        let dump = img.to_string();
+        assert!(dump.contains("dead") && dump.contains("beef"));
+    }
+}

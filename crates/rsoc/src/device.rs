@@ -1,0 +1,231 @@
+//! Execution devices of the multi-device platform (fig. 1): partially
+//! reconfigurable FPGAs, DSPs and general-purpose processors, each with a
+//! local run-time controller that tracks capacity and (for FPGAs) the
+//! exclusive reconfiguration port.
+
+use core::fmt;
+
+use rqfa_core::{ExecutionTarget, Footprint};
+
+use crate::time::SimTime;
+
+/// Identifies one device in the system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub u16);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// Capacity model of one device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    id: DeviceId,
+    name: String,
+    target: ExecutionTarget,
+    /// CLB slices (FPGA fabric); zero for processors.
+    slice_capacity: u32,
+    /// Compute capacity in 1/1000 of a core (processors/DSPs); zero for
+    /// pure fabric.
+    cpu_capacity_permille: u32,
+    /// Static power draw in milliwatts (always on).
+    static_mw: u32,
+    slices_used: u32,
+    permille_used: u32,
+    /// The partial-reconfiguration port is exclusive; busy until this
+    /// time. Processors use it to model code loading.
+    config_port_busy_until: SimTime,
+}
+
+impl Device {
+    /// A partially reconfigurable FPGA with `slices` of fabric.
+    pub fn fpga(id: DeviceId, name: impl Into<String>, slices: u32, static_mw: u32) -> Device {
+        Device {
+            id,
+            name: name.into(),
+            target: ExecutionTarget::Fpga,
+            slice_capacity: slices,
+            cpu_capacity_permille: 0,
+            static_mw,
+            slices_used: 0,
+            permille_used: 0,
+            config_port_busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// A DSP with a compute budget in permille of one core.
+    pub fn dsp(id: DeviceId, name: impl Into<String>, permille: u32, static_mw: u32) -> Device {
+        Device {
+            id,
+            name: name.into(),
+            target: ExecutionTarget::Dsp,
+            slice_capacity: 0,
+            cpu_capacity_permille: permille,
+            static_mw,
+            slices_used: 0,
+            permille_used: 0,
+            config_port_busy_until: SimTime::ZERO,
+        }
+    }
+
+    /// A general-purpose processor.
+    pub fn cpu(id: DeviceId, name: impl Into<String>, permille: u32, static_mw: u32) -> Device {
+        Device {
+            cpu_capacity_permille: permille,
+            ..Device::dsp(id, name, permille, static_mw)
+        }
+        .with_target(ExecutionTarget::GpProcessor)
+    }
+
+    fn with_target(mut self, target: ExecutionTarget) -> Device {
+        self.target = target;
+        self
+    }
+
+    /// The device id.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The execution-target class this device serves.
+    pub fn target(&self) -> ExecutionTarget {
+        self.target
+    }
+
+    /// Static power in milliwatts.
+    pub fn static_mw(&self) -> u32 {
+        self.static_mw
+    }
+
+    /// Free fabric slices.
+    pub fn free_slices(&self) -> u32 {
+        self.slice_capacity - self.slices_used
+    }
+
+    /// Free compute permille.
+    pub fn free_permille(&self) -> u32 {
+        self.cpu_capacity_permille - self.permille_used
+    }
+
+    /// Whether a variant with `footprint` fits right now.
+    pub fn fits(&self, footprint: &Footprint) -> bool {
+        footprint.slices <= self.free_slices() && footprint.cpu_permille <= self.free_permille()
+    }
+
+    /// Claims the resources of `footprint`.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the footprint fits; callers check [`Self::fits`]
+    /// first (the allocation manager does).
+    pub fn claim(&mut self, footprint: &Footprint) {
+        debug_assert!(self.fits(footprint), "claim without feasibility check");
+        self.slices_used += footprint.slices.min(self.free_slices());
+        self.permille_used += footprint.cpu_permille.min(self.free_permille());
+    }
+
+    /// Releases the resources of `footprint`.
+    pub fn release(&mut self, footprint: &Footprint) {
+        self.slices_used = self.slices_used.saturating_sub(footprint.slices);
+        self.permille_used = self.permille_used.saturating_sub(footprint.cpu_permille);
+    }
+
+    /// Earliest time the configuration port is free.
+    pub fn config_port_free_at(&self, now: SimTime) -> SimTime {
+        self.config_port_busy_until.max(now)
+    }
+
+    /// Occupies the configuration port for `duration_us` starting at the
+    /// earliest free slot ≥ `now`; returns the completion time.
+    pub fn occupy_config_port(&mut self, now: SimTime, duration_us: u64) -> SimTime {
+        let start = self.config_port_free_at(now);
+        self.config_port_busy_until = start + duration_us;
+        self.config_port_busy_until
+    }
+
+    /// Fabric utilization in `[0, 1]` (FPGA) or compute utilization
+    /// (processors).
+    pub fn utilization(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.slice_capacity > 0 {
+            f64::from(self.slices_used) / f64::from(self.slice_capacity)
+        } else if self.cpu_capacity_permille > 0 {
+            f64::from(self.permille_used) / f64::from(self.cpu_capacity_permille)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} \"{}\" ({}) {:.0}% used",
+            self.id,
+            self.name,
+            self.target,
+            self.utilization() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(slices: u32, permille: u32) -> Footprint {
+        Footprint {
+            slices,
+            cpu_permille: permille,
+            ..Footprint::none()
+        }
+    }
+
+    #[test]
+    fn fpga_capacity_accounting() {
+        let mut d = Device::fpga(DeviceId(0), "fpga0", 1000, 150);
+        assert!(d.fits(&fp(800, 0)));
+        d.claim(&fp(800, 0));
+        assert!(!d.fits(&fp(300, 0)));
+        assert_eq!(d.free_slices(), 200);
+        d.release(&fp(800, 0));
+        assert_eq!(d.free_slices(), 1000);
+        assert_eq!(d.target(), ExecutionTarget::Fpga);
+    }
+
+    #[test]
+    fn cpu_capacity_accounting() {
+        let mut d = Device::cpu(DeviceId(1), "cpu0", 1000, 200);
+        d.claim(&fp(0, 700));
+        assert!((d.utilization() - 0.7).abs() < 1e-12);
+        assert!(!d.fits(&fp(0, 400)));
+        assert!(d.fits(&fp(0, 300)));
+        assert_eq!(d.target(), ExecutionTarget::GpProcessor);
+    }
+
+    #[test]
+    fn config_port_serializes() {
+        let mut d = Device::fpga(DeviceId(0), "fpga0", 1000, 150);
+        let t1 = d.occupy_config_port(SimTime::from_us(100), 50);
+        assert_eq!(t1.as_us(), 150);
+        // A second reconfiguration issued at time 120 must wait.
+        let t2 = d.occupy_config_port(SimTime::from_us(120), 50);
+        assert_eq!(t2.as_us(), 200);
+        assert_eq!(d.config_port_free_at(SimTime::ZERO).as_us(), 200);
+    }
+
+    #[test]
+    fn display_reads_well() {
+        let d = Device::dsp(DeviceId(2), "dsp0", 1000, 90);
+        let s = d.to_string();
+        assert!(s.contains("dsp0") && s.contains("DSP"));
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type of the run-time system simulator.
+
+use core::fmt;
+
+use rqfa_core::{CoreError, TypeId};
+
+use crate::device::DeviceId;
+use crate::task::TaskId;
+
+/// Errors raised by the system simulator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RsocError {
+    /// Retrieval-layer error bubbled up from the case base.
+    Core(CoreError),
+    /// A device id was referenced that is not part of the system.
+    UnknownDevice {
+        /// The id.
+        device: DeviceId,
+    },
+    /// A task id was referenced that does not exist.
+    UnknownTask {
+        /// The id.
+        task: TaskId,
+    },
+    /// The repository has no configuration data for a variant.
+    MissingConfig {
+        /// Function type.
+        type_id: TypeId,
+        /// Implementation id.
+        impl_id: rqfa_core::ImplId,
+    },
+    /// The system was built without any devices.
+    NoDevices,
+    /// The event queue exceeded its bound — a scenario generated events
+    /// faster than the system can retire them.
+    EventOverflow {
+        /// Queue length when the bound fired.
+        queued: usize,
+    },
+}
+
+impl fmt::Display for RsocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RsocError::Core(e) => write!(f, "retrieval error: {e}"),
+            RsocError::UnknownDevice { device } => write!(f, "unknown device {device}"),
+            RsocError::UnknownTask { task } => write!(f, "unknown task {task}"),
+            RsocError::MissingConfig { type_id, impl_id } => {
+                write!(f, "repository has no configuration for {type_id}/{impl_id}")
+            }
+            RsocError::NoDevices => write!(f, "system has no execution devices"),
+            RsocError::EventOverflow { queued } => {
+                write!(f, "event queue overflow ({queued} events)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RsocError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RsocError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for RsocError {
+    fn from(e: CoreError) -> RsocError {
+        RsocError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = RsocError::NoDevices;
+        assert!(e.to_string().contains("devices"));
+        assert!(e.source().is_none());
+        let c = RsocError::from(CoreError::EmptyRequest);
+        assert!(c.source().is_some());
+    }
+}

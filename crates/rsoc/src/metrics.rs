@@ -1,0 +1,123 @@
+//! System-level metrics collected over a simulation run.
+
+use core::fmt;
+
+/// Counters and aggregates of one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Metrics {
+    /// Function requests submitted.
+    pub requests: u64,
+    /// Requests granted (task placed).
+    pub accepted: u64,
+    /// Requests rejected outright (no feasible variant).
+    pub rejected: u64,
+    /// Grants where a lower-ranked variant had to be used (the §3
+    /// negotiation: "an alternative implementation can be offered").
+    pub downgraded: u64,
+    /// Grants that preempted lower-priority tasks.
+    pub preemptions: u64,
+    /// Requests answered from the bypass-token cache without retrieval.
+    pub bypass_hits: u64,
+    /// Reconfigurations performed (bitstream/opcode loads).
+    pub reconfigurations: u64,
+    /// Total time the configuration ports were busy, µs.
+    pub reconfig_busy_us: u64,
+    /// Total retrieval invocations (cache misses).
+    pub retrievals: u64,
+    /// Sum of allocation latencies (request → ready), µs.
+    pub total_alloc_latency_us: u64,
+    /// Maximum allocation latency observed, µs.
+    pub max_alloc_latency_us: u64,
+    /// Total energy consumed, nanojoules.
+    pub energy_nj: u64,
+}
+
+impl Metrics {
+    /// Acceptance rate in `[0, 1]`.
+    pub fn acceptance_rate(&self) -> f64 {
+        ratio(self.accepted, self.requests)
+    }
+
+    /// Bypass hit rate against all requests.
+    pub fn bypass_rate(&self) -> f64 {
+        ratio(self.bypass_hits, self.requests)
+    }
+
+    /// Mean allocation latency in µs.
+    pub fn mean_alloc_latency_us(&self) -> f64 {
+        ratio(self.total_alloc_latency_us, self.accepted)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            num as f64 / den as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "requests:          {:>8}", self.requests)?;
+        writeln!(
+            f,
+            "accepted:          {:>8} ({:.1} %)",
+            self.accepted,
+            self.acceptance_rate() * 100.0
+        )?;
+        writeln!(f, "rejected:          {:>8}", self.rejected)?;
+        writeln!(f, "downgraded:        {:>8}", self.downgraded)?;
+        writeln!(f, "preemptions:       {:>8}", self.preemptions)?;
+        writeln!(
+            f,
+            "bypass hits:       {:>8} ({:.1} %)",
+            self.bypass_hits,
+            self.bypass_rate() * 100.0
+        )?;
+        writeln!(f, "retrievals:        {:>8}", self.retrievals)?;
+        writeln!(f, "reconfigurations:  {:>8}", self.reconfigurations)?;
+        writeln!(f, "reconfig busy:     {:>8} µs", self.reconfig_busy_us)?;
+        writeln!(
+            f,
+            "mean alloc latency: {:>7.1} µs (max {} µs)",
+            self.mean_alloc_latency_us(),
+            self.max_alloc_latency_us
+        )?;
+        #[allow(clippy::cast_precision_loss)]
+        let energy_mj = self.energy_nj as f64 / 1e6;
+        writeln!(f, "energy:            {energy_mj:>10.3} mJ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates() {
+        let m = Metrics {
+            requests: 10,
+            accepted: 8,
+            bypass_hits: 4,
+            total_alloc_latency_us: 1600,
+            ..Metrics::default()
+        };
+        assert!((m.acceptance_rate() - 0.8).abs() < 1e-12);
+        assert!((m.bypass_rate() - 0.4).abs() < 1e-12);
+        assert!((m.mean_alloc_latency_us() - 200.0).abs() < 1e-12);
+        let empty = Metrics::default();
+        assert_eq!(empty.acceptance_rate(), 0.0);
+    }
+
+    #[test]
+    fn display_has_all_rows() {
+        let text = Metrics::default().to_string();
+        for key in ["requests", "accepted", "preemptions", "energy"] {
+            assert!(text.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: system invariants under random request streams.
+
+use proptest::prelude::*;
+
+use rqfa_core::{paper, Request};
+
+use crate::{AllocPolicy, AppId, ArrivalSpec, Device, DeviceId, SimTime, SystemBuilder, TaskState};
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (8u16..=16, 0u16..=2, 8u16..=44).prop_map(|(bw, out, rate)| {
+        Request::builder(paper::FIR_EQUALIZER)
+            .constraint(paper::ATTR_BITWIDTH, bw)
+            .constraint(paper::ATTR_OUTPUT, out)
+            .constraint(paper::ATTR_RATE, rate)
+            .build()
+            .unwrap()
+    })
+}
+
+fn arb_stream() -> impl Strategy<Value = Vec<(u64, u8, u64, Request)>> {
+    proptest::collection::vec(
+        (0u64..50_000, 0u8..10, 100u64..20_000, arb_request()),
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every request resolves (accepted + rejected = requests), devices
+    /// drain completely, energy is positive and capacity never goes
+    /// negative (claim() debug-asserts internally).
+    #[test]
+    fn conservation_invariants(stream in arb_stream(), preempt in any::<bool>()) {
+        let mut sys = SystemBuilder::new(paper::table1_case_base())
+            .device(Device::fpga(DeviceId(0), "fpga0", 1700, 150))
+            .device(Device::dsp(DeviceId(1), "dsp0", 900, 90))
+            .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+            .policy(AllocPolicy { allow_preemption: preempt, ..AllocPolicy::default() })
+            .build()
+            .unwrap();
+        let n = stream.len() as u64;
+        for (at, priority, duration, request) in stream {
+            sys.submit(SimTime::from_us(at), ArrivalSpec {
+                app: AppId(u16::from(priority)),
+                request,
+                priority,
+                duration_us: duration,
+                relaxed: None,
+            });
+        }
+        let metrics = sys.run().unwrap();
+        prop_assert_eq!(metrics.requests, n);
+        prop_assert_eq!(metrics.accepted + metrics.rejected, metrics.requests);
+        prop_assert!(metrics.energy_nj > 0);
+        for d in [DeviceId(0), DeviceId(1), DeviceId(2)] {
+            prop_assert!(sys.device(d).unwrap().utilization().abs() < 1e-12);
+        }
+        // Every task ended terminally.
+        for task in sys.tasks() {
+            prop_assert!(matches!(task.state, TaskState::Completed | TaskState::Preempted));
+        }
+    }
+
+    /// Preemption never evicts an equal-or-higher-priority task.
+    #[test]
+    fn preemption_respects_priority(stream in arb_stream()) {
+        let mut sys = SystemBuilder::new(paper::table1_case_base())
+            .device(Device::fpga(DeviceId(0), "fpga0", 900, 150))
+            .device(Device::dsp(DeviceId(1), "dsp0", 500, 90))
+            .build()
+            .unwrap();
+        for (at, priority, duration, request) in &stream {
+            sys.submit(SimTime::from_us(*at), ArrivalSpec {
+                app: AppId(0),
+                request: request.clone(),
+                priority: *priority,
+                duration_us: *duration,
+                relaxed: None,
+            });
+        }
+        sys.run().unwrap();
+        // Reconstruct: for every preempted task there was a later, strictly
+        // higher-priority task on the same device.
+        for victim in sys.tasks().filter(|t| t.state == TaskState::Preempted) {
+            let exists = sys.tasks().any(|t| {
+                t.device == victim.device
+                    && t.priority > victim.priority
+                    && t.requested_at >= victim.requested_at
+            });
+            prop_assert!(exists, "preempted {} without a higher-priority cause", victim.id);
+        }
+    }
+
+    /// Identical request streams produce identical metrics (determinism).
+    #[test]
+    fn runs_are_deterministic(stream in arb_stream()) {
+        let run = |s: &[(u64, u8, u64, Request)]| {
+            let mut sys = SystemBuilder::new(paper::table1_case_base())
+                .device(Device::fpga(DeviceId(0), "fpga0", 1700, 150))
+                .device(Device::dsp(DeviceId(1), "dsp0", 900, 90))
+                .build()
+                .unwrap();
+            for (at, priority, duration, request) in s {
+                sys.submit(SimTime::from_us(*at), ArrivalSpec {
+                    app: AppId(0),
+                    request: request.clone(),
+                    priority: *priority,
+                    duration_us: *duration,
+                    relaxed: None,
+                });
+            }
+            sys.run().unwrap()
+        };
+        prop_assert_eq!(run(&stream), run(&stream));
+    }
+}

@@ -1,0 +1,118 @@
+//! The opcode/bitstream repository (fig. 1: "Opcode/Bitstream-Repository
+//! (FLASH)").
+//!
+//! Every allocatable implementation variant has configuration data —
+//! a partial bitstream for FPGA variants, opcode for processor/DSP
+//! variants — stored in FLASH. Loading it onto the device takes time
+//! proportional to its size, which is the dominant part of a run-time
+//! reconfiguration and feeds the allocation manager's `ready_at` estimate.
+
+use std::collections::HashMap;
+
+use rqfa_core::{CaseBase, ImplId, TypeId};
+
+use crate::error::RsocError;
+
+/// FLASH repository with a simple bandwidth/latency transfer model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Repository {
+    /// Transfer setup latency in microseconds (FLASH wake + addressing).
+    pub setup_us: u64,
+    /// Sustained bandwidth in bytes per microsecond (= MB/s).
+    pub bytes_per_us: u64,
+    configs: HashMap<(TypeId, ImplId), u32>,
+}
+
+impl Repository {
+    /// Creates an empty repository with a transfer model.
+    ///
+    /// A bandwidth of `50` bytes/µs ≈ 50 MB/s is typical for the parallel
+    /// FLASH + ICAP path of a Virtex-II era platform.
+    pub fn new(setup_us: u64, bytes_per_us: u64) -> Repository {
+        Repository {
+            setup_us,
+            bytes_per_us: bytes_per_us.max(1),
+            configs: HashMap::new(),
+        }
+    }
+
+    /// Registers configuration data for every variant of a case base,
+    /// using each variant's footprint (`config_bytes`).
+    pub fn index_case_base(&mut self, case_base: &CaseBase) {
+        for ty in case_base.function_types() {
+            for variant in ty.variants() {
+                self.configs
+                    .insert((ty.id(), variant.id()), variant.footprint().config_bytes());
+            }
+        }
+    }
+
+    /// Registers one configuration payload explicitly.
+    pub fn insert(&mut self, type_id: TypeId, impl_id: ImplId, bytes: u32) {
+        self.configs.insert((type_id, impl_id), bytes);
+    }
+
+    /// Size of the stored configuration payload.
+    ///
+    /// # Errors
+    ///
+    /// [`RsocError::MissingConfig`] when the variant is not indexed.
+    pub fn config_bytes(&self, type_id: TypeId, impl_id: ImplId) -> Result<u32, RsocError> {
+        self.configs
+            .get(&(type_id, impl_id))
+            .copied()
+            .ok_or(RsocError::MissingConfig { type_id, impl_id })
+    }
+
+    /// Transfer time for a payload of `bytes`.
+    pub fn load_time_us(&self, bytes: u32) -> u64 {
+        self.setup_us + u64::from(bytes) / self.bytes_per_us
+    }
+
+    /// Number of indexed configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Whether the repository is empty.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::paper;
+
+    #[test]
+    fn indexes_case_base_footprints() {
+        let mut repo = Repository::new(10, 50);
+        repo.index_case_base(&paper::table1_case_base());
+        assert_eq!(repo.len(), 5);
+        let fpga_bytes = repo
+            .config_bytes(paper::FIR_EQUALIZER, paper::IMPL_FPGA)
+            .unwrap();
+        assert_eq!(fpga_bytes, 96 * 1024);
+        assert!(!repo.is_empty());
+    }
+
+    #[test]
+    fn missing_config_errors() {
+        let repo = Repository::new(10, 50);
+        assert!(matches!(
+            repo.config_bytes(paper::FIR_EQUALIZER, paper::IMPL_FPGA),
+            Err(RsocError::MissingConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn load_time_scales_with_size() {
+        let repo = Repository::new(10, 50);
+        assert_eq!(repo.load_time_us(0), 10);
+        assert_eq!(repo.load_time_us(5000), 10 + 100);
+        // Bandwidth is clamped to at least 1 byte/µs.
+        let slow = Repository::new(0, 0);
+        assert_eq!(slow.load_time_us(100), 100);
+    }
+}

@@ -1,0 +1,122 @@
+//! Hardware/software tasks: one placed implementation variant executing
+//! on a device.
+
+use core::fmt;
+
+use rqfa_core::{Footprint, ImplId, TypeId};
+
+use crate::device::DeviceId;
+use crate::time::SimTime;
+
+/// Identifies an application (fig. 1: MP3 player, video, automotive ECU,
+/// cruise control …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AppId(pub u16);
+
+impl fmt::Display for AppId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "app{}", self.0)
+    }
+}
+
+/// Identifies a task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Task life cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskState {
+    /// Configuration data is being transferred (reconfiguration).
+    Loading,
+    /// Executing on its device.
+    Running,
+    /// Preempted by a higher-priority allocation; resources released.
+    Preempted,
+    /// Finished; resources released.
+    Completed,
+}
+
+/// One allocated function instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// The task id.
+    pub id: TaskId,
+    /// Owning application.
+    pub app: AppId,
+    /// Function type served.
+    pub type_id: TypeId,
+    /// Selected implementation variant.
+    pub impl_id: ImplId,
+    /// Device the task is placed on.
+    pub device: DeviceId,
+    /// Resource claim.
+    pub footprint: Footprint,
+    /// Scheduling priority (higher wins preemption).
+    pub priority: u8,
+    /// Life-cycle state.
+    pub state: TaskState,
+    /// When the allocation was requested.
+    pub requested_at: SimTime,
+    /// When the task became ready (reconfiguration complete).
+    pub ready_at: SimTime,
+    /// When the task completes (scenario-provided runtime).
+    pub ends_at: SimTime,
+}
+
+impl Task {
+    /// Allocation latency: request to ready.
+    pub fn allocation_latency_us(&self) -> u64 {
+        self.ready_at.since(self.requested_at)
+    }
+
+    /// Whether the task currently holds device resources.
+    pub fn holds_resources(&self) -> bool {
+        matches!(self.state, TaskState::Loading | TaskState::Running)
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {}/{} on {} ({:?})",
+            self.id, self.app, self.type_id, self.impl_id, self.device, self.state
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_and_state() {
+        let t = Task {
+            id: TaskId(1),
+            app: AppId(2),
+            type_id: TypeId::new(1).unwrap(),
+            impl_id: ImplId::new(2).unwrap(),
+            device: DeviceId(0),
+            footprint: Footprint::none(),
+            priority: 5,
+            state: TaskState::Loading,
+            requested_at: SimTime::from_us(100),
+            ready_at: SimTime::from_us(350),
+            ends_at: SimTime::from_us(1350),
+        };
+        assert_eq!(t.allocation_latency_us(), 250);
+        assert!(t.holds_resources());
+        let done = Task {
+            state: TaskState::Completed,
+            ..t
+        };
+        assert!(!done.holds_resources());
+        assert!(done.to_string().contains("task1"));
+    }
+}

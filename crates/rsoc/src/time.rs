@@ -1,0 +1,86 @@
+//! Simulation time in microseconds.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from microseconds.
+    pub const fn from_us(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_ms(ms: u64) -> SimTime {
+        SimTime(ms * 1000)
+    }
+
+    /// The raw microsecond count.
+    pub const fn as_us(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating difference.
+    pub fn since(self, earlier: SimTime) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, us: u64) -> SimTime {
+        SimTime(self.0 + us)
+    }
+}
+
+impl AddAssign<u64> for SimTime {
+    fn add_assign(&mut self, us: u64) {
+        self.0 += us;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = u64;
+
+    fn sub(self, rhs: SimTime) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1000 {
+            write!(f, "{}.{:03} ms", self.0 / 1000, self.0 % 1000)
+        } else {
+            write!(f, "{} µs", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_ms(2);
+        assert_eq!(t.as_us(), 2000);
+        assert_eq!((t + 500).as_us(), 2500);
+        assert_eq!(t + 500 - t, 500);
+        assert_eq!(SimTime::ZERO.since(t), 0);
+        assert_eq!((t + 500).since(t), 500);
+    }
+
+    #[test]
+    fn display_scales() {
+        assert_eq!(SimTime::from_us(7).to_string(), "7 µs");
+        assert_eq!(SimTime::from_us(2500).to_string(), "2.500 ms");
+    }
+}

@@ -1,0 +1,568 @@
+//! Two-pass assembler for the sc32 ISA.
+//!
+//! Syntax, one statement per line:
+//!
+//! ```text
+//! ; full-line comment (also after statements)
+//! label:
+//!     addi  r1, r0, 5       ; ALU immediate
+//!     lhu   r2, r1, 0       ; load halfword from [r1+0]
+//!     beq   r2, r0, done    ; branch to label
+//!     li    r3, 0x10000     ; pseudo: expands to lui/ori as needed
+//!     j     label
+//! done:
+//!     halt
+//! ```
+//!
+//! Pseudo-instructions: `li rd, imm32`, `mv rd, ra`, `nop`, `b label`.
+//! Labels resolve to instruction indices; branches use pc-relative 11-bit
+//! displacements, jumps use absolute 16-bit indices.
+
+use std::collections::HashMap;
+
+use crate::error::{AsmError, AsmErrorKind};
+use crate::isa::{Instr, Reg};
+
+/// An assembled program: decoded instructions plus the binary words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+}
+
+impl Program {
+    /// The decoded instruction stream.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// Binary machine words (what the paper calls "opcode").
+    pub fn words(&self) -> Vec<u32> {
+        self.instrs.iter().map(|i| i.encode()).collect()
+    }
+
+    /// Code size in bytes (fixed 32-bit instruction words).
+    pub fn code_bytes(&self) -> usize {
+        self.instrs.len() * 4
+    }
+
+    /// Resolved address (instruction index) of a label.
+    pub fn label(&self, name: &str) -> Option<u32> {
+        self.labels.get(name).copied()
+    }
+
+    /// Renders the machine words as Verilog `$readmemh` text (32-bit
+    /// words) — the instruction-memory initialization file of an FPGA
+    /// flow.
+    pub fn to_memh(&self, title: &str) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "// {title}");
+        let _ = writeln!(out, "// {} words x 32 bit", self.instrs.len());
+        let _ = writeln!(out, "@0000");
+        for word in self.words() {
+            let _ = writeln!(out, "{word:08x}");
+        }
+        out
+    }
+
+    /// Disassembly listing with addresses.
+    pub fn disassemble(&self) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        let mut by_addr: Vec<(&String, &u32)> = self.labels.iter().collect();
+        by_addr.sort_by_key(|(_, &a)| a);
+        let mut label_iter = by_addr.into_iter().peekable();
+        for (i, instr) in self.instrs.iter().enumerate() {
+            while let Some((name, &addr)) = label_iter.peek() {
+                if addr as usize == i {
+                    let _ = writeln!(out, "{name}:");
+                    label_iter.next();
+                } else {
+                    break;
+                }
+            }
+            let _ = writeln!(out, "  {i:04}: {instr}");
+        }
+        out
+    }
+}
+
+/// One parsed statement before label resolution.
+enum Stmt {
+    /// Fully resolved instruction.
+    Ready(Instr),
+    /// Branch with pending label: `(mnemonic, ra, rb, label)`.
+    Branch(&'static str, Reg, Reg, String),
+    /// Jump with pending label.
+    Jump(String),
+    /// Jump-and-link with pending label.
+    JumpAndLink(Reg, String),
+}
+
+/// Assembles sc32 source text into a [`Program`].
+///
+/// # Errors
+///
+/// [`AsmError`] with the 1-based source line of the first problem.
+///
+/// ```
+/// use rqfa_softcore::assemble;
+///
+/// let program = assemble("
+///     li   r1, 10
+///     li   r2, 0
+/// loop:
+///     add  r2, r2, r1
+///     addi r1, r1, -1
+///     bgt  r1, r0, loop
+///     halt
+/// ")?;
+/// assert_eq!(program.label("loop"), Some(2));
+/// # Ok::<(), rqfa_softcore::AsmError>(())
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let mut stmts: Vec<(usize, Stmt)> = Vec::new();
+    let mut labels: HashMap<String, u32> = HashMap::new();
+
+    // Pass 1: parse, expand pseudos, record label addresses.
+    for (lineno, raw_line) in source.lines().enumerate() {
+        let line_number = lineno + 1;
+        let mut line = raw_line;
+        if let Some(pos) = line.find([';', '#']) {
+            line = &line[..pos];
+        }
+        let mut rest = line.trim();
+        // Leading labels (possibly several on one line).
+        while let Some(colon) = rest.find(':') {
+            let (head, tail) = rest.split_at(colon);
+            let name = head.trim();
+            if name.is_empty() || !is_ident(name) {
+                return Err(AsmError {
+                    line: line_number,
+                    kind: AsmErrorKind::BadOperand(format!("bad label \"{name}\"")),
+                });
+            }
+            if labels.insert(name.to_string(), stmts.len() as u32).is_some() {
+                return Err(AsmError {
+                    line: line_number,
+                    kind: AsmErrorKind::DuplicateLabel(name.to_string()),
+                });
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        for stmt in parse_statement(rest, line_number)? {
+            stmts.push((line_number, stmt));
+        }
+    }
+
+    // Pass 2: resolve labels.
+    let mut instrs = Vec::with_capacity(stmts.len());
+    for (idx, (line, stmt)) in stmts.iter().enumerate() {
+        let instr = match stmt {
+            Stmt::Ready(i) => *i,
+            Stmt::Branch(mnemonic, ra, rb, label) => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    kind: AsmErrorKind::UnknownLabel(label.clone()),
+                })?;
+                let disp = i64::from(target) - (idx as i64 + 1);
+                if disp < i64::from(Instr::MIN_BRANCH_DISP)
+                    || disp > i64::from(Instr::MAX_BRANCH_DISP)
+                {
+                    return Err(AsmError {
+                        line: *line,
+                        kind: AsmErrorKind::BranchTooFar(label.clone()),
+                    });
+                }
+                #[allow(clippy::cast_possible_truncation)]
+                let disp = disp as i16;
+                match *mnemonic {
+                    "beq" => Instr::Beq(*ra, *rb, disp),
+                    "bne" => Instr::Bne(*ra, *rb, disp),
+                    "blt" => Instr::Blt(*ra, *rb, disp),
+                    "bge" => Instr::Bge(*ra, *rb, disp),
+                    "ble" => Instr::Ble(*ra, *rb, disp),
+                    "bgt" => Instr::Bgt(*ra, *rb, disp),
+                    _ => unreachable!("parse_statement only emits known branches"),
+                }
+            }
+            Stmt::Jump(label) | Stmt::JumpAndLink(_, label) => {
+                let target = *labels.get(label).ok_or_else(|| AsmError {
+                    line: *line,
+                    kind: AsmErrorKind::UnknownLabel(label.clone()),
+                })?;
+                let target = u16::try_from(target).map_err(|_| AsmError {
+                    line: *line,
+                    kind: AsmErrorKind::BranchTooFar(label.clone()),
+                })?;
+                match stmt {
+                    Stmt::Jump(_) => Instr::J(target),
+                    Stmt::JumpAndLink(rd, _) => Instr::Jal(*rd, target),
+                    Stmt::Ready(_) | Stmt::Branch(..) => unreachable!("outer match arm"),
+                }
+            }
+        };
+        instrs.push(instr);
+    }
+    Ok(Program { instrs, labels })
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !s.starts_with(|c: char| c.is_ascii_digit())
+}
+
+fn parse_reg(token: &str, line: usize) -> Result<Reg, AsmError> {
+    let bad = || AsmError {
+        line,
+        kind: AsmErrorKind::BadRegister(token.to_string()),
+    };
+    let digits = token.strip_prefix(['r', 'R']).ok_or_else(bad)?;
+    let n: u8 = digits.parse().map_err(|_| bad())?;
+    if n > 31 {
+        return Err(bad());
+    }
+    Ok(n)
+}
+
+fn parse_imm(token: &str, line: usize) -> Result<i64, AsmError> {
+    let bad = |_| AsmError {
+        line,
+        kind: AsmErrorKind::BadOperand(format!("bad immediate \"{token}\"")),
+    };
+    let (neg, body) = match token.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, token),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).map_err(bad)?
+    } else {
+        body.parse::<i64>().map_err(bad)?
+    };
+    Ok(if neg { -value } else { value })
+}
+
+fn imm_i16(v: i64, line: usize) -> Result<i16, AsmError> {
+    i16::try_from(v).map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::ImmOutOfRange(v),
+    })
+}
+
+fn imm_u16(v: i64, line: usize) -> Result<u16, AsmError> {
+    u16::try_from(v).map_err(|_| AsmError {
+        line,
+        kind: AsmErrorKind::ImmOutOfRange(v),
+    })
+}
+
+fn imm_shamt(v: i64, line: usize) -> Result<u8, AsmError> {
+    if (0..=31).contains(&v) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        Ok(v as u8)
+    } else {
+        Err(AsmError {
+            line,
+            kind: AsmErrorKind::ImmOutOfRange(v),
+        })
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn parse_statement(text: &str, line: usize) -> Result<Vec<Stmt>, AsmError> {
+    let (mnemonic, operand_text) = match text.split_once(char::is_whitespace) {
+        Some((m, rest)) => (m, rest.trim()),
+        None => (text, ""),
+    };
+    let mnemonic = mnemonic.to_ascii_lowercase();
+    let ops: Vec<&str> = if operand_text.is_empty() {
+        Vec::new()
+    } else {
+        operand_text.split(',').map(str::trim).collect()
+    };
+    let expect = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError {
+                line,
+                kind: AsmErrorKind::BadOperand(format!(
+                    "{mnemonic} expects {n} operands, got {}",
+                    ops.len()
+                )),
+            })
+        }
+    };
+
+    let stmt = match mnemonic.as_str() {
+        // R-type.
+        "add" | "sub" | "mul" | "and" | "or" | "xor" => {
+            expect(3)?;
+            let d = parse_reg(ops[0], line)?;
+            let a = parse_reg(ops[1], line)?;
+            let b = parse_reg(ops[2], line)?;
+            Stmt::Ready(match mnemonic.as_str() {
+                "add" => Instr::Add(d, a, b),
+                "sub" => Instr::Sub(d, a, b),
+                "mul" => Instr::Mul(d, a, b),
+                "and" => Instr::And(d, a, b),
+                "or" => Instr::Or(d, a, b),
+                _ => Instr::Xor(d, a, b),
+            })
+        }
+        // I-type ALU.
+        "addi" => {
+            expect(3)?;
+            Stmt::Ready(Instr::Addi(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                imm_i16(parse_imm(ops[2], line)?, line)?,
+            ))
+        }
+        "andi" | "ori" => {
+            expect(3)?;
+            let d = parse_reg(ops[0], line)?;
+            let a = parse_reg(ops[1], line)?;
+            let imm = imm_u16(parse_imm(ops[2], line)?, line)?;
+            Stmt::Ready(if mnemonic == "andi" {
+                Instr::Andi(d, a, imm)
+            } else {
+                Instr::Ori(d, a, imm)
+            })
+        }
+        "lui" => {
+            expect(2)?;
+            Stmt::Ready(Instr::Lui(
+                parse_reg(ops[0], line)?,
+                imm_u16(parse_imm(ops[1], line)?, line)?,
+            ))
+        }
+        "slli" | "srli" | "srai" => {
+            expect(3)?;
+            let d = parse_reg(ops[0], line)?;
+            let a = parse_reg(ops[1], line)?;
+            let sh = imm_shamt(parse_imm(ops[2], line)?, line)?;
+            Stmt::Ready(match mnemonic.as_str() {
+                "slli" => Instr::Slli(d, a, sh),
+                "srli" => Instr::Srli(d, a, sh),
+                _ => Instr::Srai(d, a, sh),
+            })
+        }
+        // Memory.
+        "lw" | "lhu" | "sw" | "sh" => {
+            expect(3)?;
+            let d = parse_reg(ops[0], line)?;
+            let a = parse_reg(ops[1], line)?;
+            let off = imm_i16(parse_imm(ops[2], line)?, line)?;
+            Stmt::Ready(match mnemonic.as_str() {
+                "lw" => Instr::Lw(d, a, off),
+                "lhu" => Instr::Lhu(d, a, off),
+                "sw" => Instr::Sw(d, a, off),
+                _ => Instr::Sh(d, a, off),
+            })
+        }
+        // Branches (label target).
+        "beq" | "bne" | "blt" | "bge" | "ble" | "bgt" => {
+            expect(3)?;
+            let a = parse_reg(ops[0], line)?;
+            let b = parse_reg(ops[1], line)?;
+            let label = ops[2].to_string();
+            if !is_ident(&label) {
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::BadOperand(format!("bad branch target \"{label}\"")),
+                });
+            }
+            let m: &'static str = match mnemonic.as_str() {
+                "beq" => "beq",
+                "bne" => "bne",
+                "blt" => "blt",
+                "bge" => "bge",
+                "ble" => "ble",
+                _ => "bgt",
+            };
+            Stmt::Branch(m, a, b, label)
+        }
+        // Jumps.
+        "j" | "b" => {
+            expect(1)?;
+            Stmt::Jump(ops[0].to_string())
+        }
+        "jal" => {
+            expect(2)?;
+            Stmt::JumpAndLink(parse_reg(ops[0], line)?, ops[1].to_string())
+        }
+        "jr" => {
+            expect(1)?;
+            Stmt::Ready(Instr::Jr(parse_reg(ops[0], line)?))
+        }
+        "halt" => {
+            expect(0)?;
+            Stmt::Ready(Instr::Halt)
+        }
+        // Pseudo-instructions.
+        "nop" => {
+            expect(0)?;
+            Stmt::Ready(Instr::Add(0, 0, 0))
+        }
+        "mv" => {
+            expect(2)?;
+            Stmt::Ready(Instr::Add(
+                parse_reg(ops[0], line)?,
+                parse_reg(ops[1], line)?,
+                0,
+            ))
+        }
+        "li" => {
+            expect(2)?;
+            let d = parse_reg(ops[0], line)?;
+            let v = parse_imm(ops[1], line)?;
+            if !(-(1 << 31)..(1i64 << 32)).contains(&v) {
+                return Err(AsmError {
+                    line,
+                    kind: AsmErrorKind::ImmOutOfRange(v),
+                });
+            }
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let bits = v as u32;
+            let lo = (bits & 0xFFFF) as u16;
+            let hi = (bits >> 16) as u16;
+            return Ok(if hi == 0 {
+                vec![Stmt::Ready(Instr::Ori(d, 0, lo))]
+            } else if lo == 0 {
+                vec![Stmt::Ready(Instr::Lui(d, hi))]
+            } else {
+                vec![
+                    Stmt::Ready(Instr::Lui(d, hi)),
+                    Stmt::Ready(Instr::Ori(d, d, lo)),
+                ]
+            });
+        }
+        other => {
+            return Err(AsmError {
+                line,
+                kind: AsmErrorKind::UnknownMnemonic(other.to_string()),
+            })
+        }
+    };
+    Ok(vec![stmt])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_simple_loop() {
+        let p = assemble(
+            "
+            li   r1, 3
+            li   r2, 0
+        loop:
+            add  r2, r2, r1
+            addi r1, r1, -1
+            bgt  r1, r0, loop
+            halt
+            ",
+        )
+        .unwrap();
+        assert_eq!(p.instrs().len(), 6);
+        assert_eq!(p.label("loop"), Some(2));
+        // bgt displacement: from instr 4 (+1 = 5) back to 2 → −3.
+        assert_eq!(p.instrs()[4], Instr::Bgt(1, 0, -3));
+    }
+
+    #[test]
+    fn li_expansion_sizes() {
+        let p = assemble("li r1, 0xFFFF").unwrap();
+        assert_eq!(p.instrs(), &[Instr::Ori(1, 0, 0xFFFF)]);
+        let p = assemble("li r1, 0x10000").unwrap();
+        assert_eq!(p.instrs(), &[Instr::Lui(1, 1)]);
+        let p = assemble("li r1, 0x12345").unwrap();
+        assert_eq!(p.instrs(), &[Instr::Lui(1, 1), Instr::Ori(1, 1, 0x2345)]);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("; header\n\n   # another\n halt ; trailing\n").unwrap();
+        assert_eq!(p.instrs(), &[Instr::Halt]);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let err = assemble("x:\nx:\n halt").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::DuplicateLabel(_)));
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_label_rejected() {
+        let err = assemble("j nowhere").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownLabel(_)));
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let err = assemble("frobnicate r1, r2").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::UnknownMnemonic(_)));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let err = assemble("add r1, r2, r32").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+        let err = assemble("add r1, r2, x3").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::BadRegister(_)));
+    }
+
+    #[test]
+    fn imm_range_checked() {
+        let err = assemble("addi r1, r0, 40000").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ImmOutOfRange(_)));
+        assert!(assemble("addi r1, r0, -32768").is_ok());
+        let err = assemble("slli r1, r0, 32").unwrap_err();
+        assert!(matches!(err.kind, AsmErrorKind::ImmOutOfRange(_)));
+    }
+
+    #[test]
+    fn pseudo_instructions() {
+        let p = assemble("nop\nmv r3, r4\nb end\nend: halt").unwrap();
+        assert_eq!(p.instrs()[0], Instr::Add(0, 0, 0));
+        assert_eq!(p.instrs()[1], Instr::Add(3, 4, 0));
+        assert_eq!(p.instrs()[2], Instr::J(3));
+    }
+
+    #[test]
+    fn disassembly_lists_labels() {
+        let p = assemble("start: addi r1, r0, 1\n j start").unwrap();
+        let listing = p.disassemble();
+        assert!(listing.contains("start:"));
+        assert!(listing.contains("addi"));
+    }
+
+    #[test]
+    fn memh_export_contains_all_words() {
+        let p = assemble("addi r1, r0, 7\n halt").unwrap();
+        let text = p.to_memh("demo");
+        assert!(text.starts_with("// demo"));
+        for word in p.words() {
+            assert!(text.contains(&format!("{word:08x}")));
+        }
+        assert_eq!(text.lines().filter(|l| !l.starts_with(['/', '@'])).count(), 2);
+    }
+
+    #[test]
+    fn binary_words_roundtrip() {
+        let p = assemble("addi r1, r0, 7\n lhu r2, r1, 4\n halt").unwrap();
+        for (w, i) in p.words().iter().zip(p.instrs()) {
+            assert_eq!(Instr::decode(*w).unwrap(), *i);
+        }
+        assert_eq!(p.code_bytes(), 12);
+    }
+}

@@ -1,0 +1,128 @@
+//! Cycle-cost model of the soft core.
+//!
+//! Modeled after a 3-stage area-optimized MicroBlaze on block RAM (the
+//! paper's 66 MHz configuration): single-issue in-order, no caches (local
+//! memory bus), no branch prediction. The per-class costs below are the
+//! documented constants of experiment E4; the `speedup_hw_sw` bench sweeps
+//! them to show how the HW/SW ratio depends on the assumption.
+
+use crate::isa::Instr;
+
+/// Cycles per instruction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CpuCostModel {
+    /// Plain ALU operations (add, sub, logic, shifts, lui).
+    pub alu: u64,
+    /// 32×32 multiply (MicroBlaze: 3 cycles).
+    pub mul: u64,
+    /// Loads (LMB block RAM: 2 cycles).
+    pub load: u64,
+    /// Stores (2 cycles on the same bus).
+    pub store: u64,
+    /// Taken branches / jumps (pipeline flush: 3 cycles).
+    pub branch_taken: u64,
+    /// Not-taken branches (fall through: 1 cycle).
+    pub branch_not_taken: u64,
+    /// The final `halt`.
+    pub halt: u64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> CpuCostModel {
+        CpuCostModel {
+            alu: 1,
+            mul: 3,
+            load: 2,
+            store: 2,
+            branch_taken: 3,
+            branch_not_taken: 1,
+            halt: 1,
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// An optimistic single-cycle machine (every instruction 1 cycle,
+    /// taken branches included) — the lower bound of the E4 sweep.
+    pub fn ideal() -> CpuCostModel {
+        CpuCostModel {
+            alu: 1,
+            mul: 1,
+            load: 1,
+            store: 1,
+            branch_taken: 1,
+            branch_not_taken: 1,
+            halt: 1,
+        }
+    }
+
+    /// A pessimistic deeply-stalled configuration (slow memory, long
+    /// flush) — the upper bound of the E4 sweep.
+    pub fn conservative() -> CpuCostModel {
+        CpuCostModel {
+            alu: 1,
+            mul: 4,
+            load: 3,
+            store: 3,
+            branch_taken: 4,
+            branch_not_taken: 1,
+            halt: 1,
+        }
+    }
+
+    /// Cycles for one executed instruction; branches pass whether they
+    /// were taken.
+    pub fn cycles_for(&self, instr: &Instr, taken: bool) -> u64 {
+        match instr {
+            Instr::Mul(..) => self.mul,
+            Instr::Lw(..) | Instr::Lhu(..) => self.load,
+            Instr::Sw(..) | Instr::Sh(..) => self.store,
+            Instr::Beq(..)
+            | Instr::Bne(..)
+            | Instr::Blt(..)
+            | Instr::Bge(..)
+            | Instr::Ble(..)
+            | Instr::Bgt(..) => {
+                if taken {
+                    self.branch_taken
+                } else {
+                    self.branch_not_taken
+                }
+            }
+            Instr::J(_) | Instr::Jal(..) | Instr::Jr(_) => self.branch_taken,
+            Instr::Halt => self.halt,
+            _ => self.alu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_costs_match_documentation() {
+        let c = CpuCostModel::default();
+        assert_eq!(c.cycles_for(&Instr::Add(1, 2, 3), false), 1);
+        assert_eq!(c.cycles_for(&Instr::Mul(1, 2, 3), false), 3);
+        assert_eq!(c.cycles_for(&Instr::Lhu(1, 2, 0), false), 2);
+        assert_eq!(c.cycles_for(&Instr::Sh(1, 2, 0), false), 2);
+        assert_eq!(c.cycles_for(&Instr::Beq(1, 2, 0), true), 3);
+        assert_eq!(c.cycles_for(&Instr::Beq(1, 2, 0), false), 1);
+        assert_eq!(c.cycles_for(&Instr::J(0), true), 3);
+        assert_eq!(c.cycles_for(&Instr::Halt, false), 1);
+    }
+
+    #[test]
+    fn sweep_bounds_are_ordered() {
+        let lo = CpuCostModel::ideal();
+        let hi = CpuCostModel::conservative();
+        for i in [
+            Instr::Mul(0, 0, 0),
+            Instr::Lhu(0, 0, 0),
+            Instr::Beq(0, 0, 0),
+        ] {
+            assert!(lo.cycles_for(&i, true) <= hi.cycles_for(&i, true));
+        }
+    }
+}

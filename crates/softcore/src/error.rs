@@ -1,0 +1,131 @@
+//! Error types of the soft-core toolchain and simulator.
+
+use core::fmt;
+
+/// Errors produced by the two-pass assembler, with source line numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// Assembly error categories.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmErrorKind {
+    /// Mnemonic not part of the sc32 ISA.
+    UnknownMnemonic(String),
+    /// Wrong operand count or malformed operand.
+    BadOperand(String),
+    /// Register name outside `r0..r31`.
+    BadRegister(String),
+    /// Immediate does not fit its field.
+    ImmOutOfRange(i64),
+    /// Label defined twice.
+    DuplicateLabel(String),
+    /// Branch/jump target never defined.
+    UnknownLabel(String),
+    /// Branch displacement too far for the 16-bit field.
+    BranchTooFar(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic \"{m}\""),
+            AsmErrorKind::BadOperand(s) => write!(f, "bad operand: {s}"),
+            AsmErrorKind::BadRegister(s) => write!(f, "bad register \"{s}\""),
+            AsmErrorKind::ImmOutOfRange(v) => write!(f, "immediate {v} out of range"),
+            AsmErrorKind::DuplicateLabel(l) => write!(f, "duplicate label \"{l}\""),
+            AsmErrorKind::UnknownLabel(l) => write!(f, "unknown label \"{l}\""),
+            AsmErrorKind::BranchTooFar(l) => write!(f, "branch to \"{l}\" exceeds 16-bit range"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Run-time faults of the simulated processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CpuError {
+    /// The program counter left the instruction memory.
+    PcOutOfRange {
+        /// The faulting pc (instruction index).
+        pc: u32,
+    },
+    /// A data access touched an unmapped address.
+    MemFault {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// A halfword/word access was not naturally aligned.
+    Unaligned {
+        /// The faulting byte address.
+        addr: u32,
+    },
+    /// The instruction budget was exhausted (runaway program).
+    InstructionLimit {
+        /// Instructions executed when the limit fired.
+        executed: u64,
+    },
+    /// A word could not be decoded into an instruction.
+    BadInstruction {
+        /// The raw 32-bit word.
+        word: u32,
+    },
+    /// The retrieval program flagged a data-dependent failure (e.g. the
+    /// requested type is absent from the case base) by writing a nonzero
+    /// code to the result block.
+    ProgramFault {
+        /// The program-defined fault code.
+        code: u16,
+    },
+}
+
+impl fmt::Display for CpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuError::PcOutOfRange { pc } => write!(f, "pc {pc:#010x} outside instruction memory"),
+            CpuError::MemFault { addr } => write!(f, "data access fault at {addr:#010x}"),
+            CpuError::Unaligned { addr } => write!(f, "unaligned access at {addr:#010x}"),
+            CpuError::InstructionLimit { executed } => {
+                write!(f, "instruction limit reached after {executed} instructions")
+            }
+            CpuError::BadInstruction { word } => {
+                write!(f, "cannot decode instruction word {word:#010x}")
+            }
+            CpuError::ProgramFault { code } => {
+                write!(f, "retrieval program reported fault code {code}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CpuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = AsmError {
+            line: 12,
+            kind: AsmErrorKind::UnknownLabel("loop".into()),
+        };
+        assert!(e.to_string().contains("line 12") && e.to_string().contains("loop"));
+        let c = CpuError::MemFault { addr: 0x100 };
+        assert!(c.to_string().contains("0x00000100"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AsmError>();
+        assert_send_sync::<CpuError>();
+    }
+}

@@ -1,0 +1,351 @@
+//! The **sc32** instruction set — a MicroBlaze-class 32-bit in-order RISC.
+//!
+//! The paper's software baseline runs C code on a Xilinx MicroBlaze
+//! soft-core at 66 MHz. sc32 is a clean-room stand-in with the same
+//! character: 32 general-purpose registers (`r0` hard-wired to zero),
+//! fixed 32-bit instruction words, single-issue 3-stage pipeline, one
+//! load/store port to on-chip block RAM. The subset below is exactly what
+//! the retrieval routine needs; encodings are documented for the binary
+//! round trip (assembler → words → loader → decoder).
+//!
+//! | Format | Layout (MSB→LSB)                         | Used by |
+//! |--------|-------------------------------------------|---------|
+//! | R      | `op[6] rd[5] ra[5] rb[5] 0[11]`           | ALU reg-reg |
+//! | I      | `op[6] rd[5] ra[5] imm16`                 | ALU imm, loads/stores |
+//! | B      | `op[6] 0[5] ra[5] rb[5] disp11`           | compare-branches (±1024 instrs) |
+//! | J      | `op[6] rd[5] 0[5] imm16`                  | jumps |
+
+use core::fmt;
+
+use crate::error::CpuError;
+
+/// A register index `r0..r31`; `r0` always reads zero.
+pub type Reg = u8;
+
+/// One decoded sc32 instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Instr {
+    /// `rd = ra + rb`
+    Add(Reg, Reg, Reg),
+    /// `rd = ra - rb`
+    Sub(Reg, Reg, Reg),
+    /// `rd = ra * rb` (low 32 bits)
+    Mul(Reg, Reg, Reg),
+    /// `rd = ra & rb`
+    And(Reg, Reg, Reg),
+    /// `rd = ra | rb`
+    Or(Reg, Reg, Reg),
+    /// `rd = ra ^ rb`
+    Xor(Reg, Reg, Reg),
+    /// `rd = ra + sext(imm16)`
+    Addi(Reg, Reg, i16),
+    /// `rd = ra & zext(imm16)`
+    Andi(Reg, Reg, u16),
+    /// `rd = ra | zext(imm16)`
+    Ori(Reg, Reg, u16),
+    /// `rd = imm16 << 16`
+    Lui(Reg, u16),
+    /// `rd = ra << shamt`
+    Slli(Reg, Reg, u8),
+    /// `rd = ra >> shamt` (logical)
+    Srli(Reg, Reg, u8),
+    /// `rd = sext32(ra >> shamt)` (arithmetic)
+    Srai(Reg, Reg, u8),
+    /// `rd = mem32[ra + sext(imm16)]`
+    Lw(Reg, Reg, i16),
+    /// `rd = zext(mem16[ra + sext(imm16)])`
+    Lhu(Reg, Reg, i16),
+    /// `mem32[ra + sext(imm16)] = rd`
+    Sw(Reg, Reg, i16),
+    /// `mem16[ra + sext(imm16)] = rd[15:0]`
+    Sh(Reg, Reg, i16),
+    /// branch if `ra == rb` (pc-relative displacement in instructions)
+    Beq(Reg, Reg, i16),
+    /// branch if `ra != rb`
+    Bne(Reg, Reg, i16),
+    /// branch if `ra < rb` (signed)
+    Blt(Reg, Reg, i16),
+    /// branch if `ra >= rb` (signed)
+    Bge(Reg, Reg, i16),
+    /// branch if `ra <= rb` (signed)
+    Ble(Reg, Reg, i16),
+    /// branch if `ra > rb` (signed)
+    Bgt(Reg, Reg, i16),
+    /// absolute jump to instruction index `imm16`
+    J(u16),
+    /// `rd = pc + 1`, jump to `imm16`
+    Jal(Reg, u16),
+    /// jump to instruction index in `ra`
+    Jr(Reg),
+    /// stop execution
+    Halt,
+}
+
+const OP_ADD: u32 = 0x01;
+const OP_SUB: u32 = 0x02;
+const OP_MUL: u32 = 0x03;
+const OP_AND: u32 = 0x04;
+const OP_OR: u32 = 0x05;
+const OP_XOR: u32 = 0x06;
+const OP_ADDI: u32 = 0x08;
+const OP_ANDI: u32 = 0x09;
+const OP_ORI: u32 = 0x0A;
+const OP_LUI: u32 = 0x0B;
+const OP_SLLI: u32 = 0x0C;
+const OP_SRLI: u32 = 0x0D;
+const OP_SRAI: u32 = 0x0E;
+const OP_LW: u32 = 0x10;
+const OP_LHU: u32 = 0x11;
+const OP_SW: u32 = 0x12;
+const OP_SH: u32 = 0x13;
+const OP_BEQ: u32 = 0x18;
+const OP_BNE: u32 = 0x19;
+const OP_BLT: u32 = 0x1A;
+const OP_BGE: u32 = 0x1B;
+const OP_BLE: u32 = 0x1C;
+const OP_BGT: u32 = 0x1D;
+const OP_J: u32 = 0x20;
+const OP_JAL: u32 = 0x21;
+const OP_JR: u32 = 0x22;
+const OP_HALT: u32 = 0x3F;
+
+#[allow(clippy::cast_sign_loss)]
+fn enc_r(op: u32, rd: Reg, ra: Reg, rb: Reg) -> u32 {
+    (op << 26) | (u32::from(rd) << 21) | (u32::from(ra) << 16) | (u32::from(rb) << 11)
+}
+
+#[allow(clippy::cast_sign_loss)]
+fn enc_i(op: u32, rd: Reg, ra: Reg, imm: u16) -> u32 {
+    (op << 26) | (u32::from(rd) << 21) | (u32::from(ra) << 16) | u32::from(imm)
+}
+
+/// Branch displacement field: 11 bits, two's complement.
+#[allow(clippy::cast_sign_loss)]
+fn enc_b(op: u32, ra: Reg, rb: Reg, disp: i16) -> u32 {
+    let d = (disp as u16) & 0x07FF;
+    (op << 26) | (u32::from(ra) << 16) | (u32::from(rb) << 11) | u32::from(d)
+}
+
+fn dec_b_disp(word: u32) -> i16 {
+    let d = (word & 0x07FF) as u16;
+    // Sign-extend 11 bits.
+    if d & 0x0400 != 0 {
+        (d | 0xF800) as i16
+    } else {
+        d as i16
+    }
+}
+
+impl Instr {
+    /// Maximum branch displacement in instructions (11-bit field).
+    pub const MAX_BRANCH_DISP: i32 = 1023;
+    /// Minimum branch displacement in instructions.
+    pub const MIN_BRANCH_DISP: i32 = -1024;
+
+    /// Encodes the instruction into its 32-bit word.
+    #[allow(clippy::cast_sign_loss)]
+    pub fn encode(self) -> u32 {
+        match self {
+            Instr::Add(d, a, b) => enc_r(OP_ADD, d, a, b),
+            Instr::Sub(d, a, b) => enc_r(OP_SUB, d, a, b),
+            Instr::Mul(d, a, b) => enc_r(OP_MUL, d, a, b),
+            Instr::And(d, a, b) => enc_r(OP_AND, d, a, b),
+            Instr::Or(d, a, b) => enc_r(OP_OR, d, a, b),
+            Instr::Xor(d, a, b) => enc_r(OP_XOR, d, a, b),
+            Instr::Addi(d, a, imm) => enc_i(OP_ADDI, d, a, imm as u16),
+            Instr::Andi(d, a, imm) => enc_i(OP_ANDI, d, a, imm),
+            Instr::Ori(d, a, imm) => enc_i(OP_ORI, d, a, imm),
+            Instr::Lui(d, imm) => enc_i(OP_LUI, d, 0, imm),
+            Instr::Slli(d, a, sh) => enc_i(OP_SLLI, d, a, u16::from(sh)),
+            Instr::Srli(d, a, sh) => enc_i(OP_SRLI, d, a, u16::from(sh)),
+            Instr::Srai(d, a, sh) => enc_i(OP_SRAI, d, a, u16::from(sh)),
+            Instr::Lw(d, a, off) => enc_i(OP_LW, d, a, off as u16),
+            Instr::Lhu(d, a, off) => enc_i(OP_LHU, d, a, off as u16),
+            Instr::Sw(d, a, off) => enc_i(OP_SW, d, a, off as u16),
+            Instr::Sh(d, a, off) => enc_i(OP_SH, d, a, off as u16),
+            Instr::Beq(a, b, disp) => enc_b(OP_BEQ, a, b, disp),
+            Instr::Bne(a, b, disp) => enc_b(OP_BNE, a, b, disp),
+            Instr::Blt(a, b, disp) => enc_b(OP_BLT, a, b, disp),
+            Instr::Bge(a, b, disp) => enc_b(OP_BGE, a, b, disp),
+            Instr::Ble(a, b, disp) => enc_b(OP_BLE, a, b, disp),
+            Instr::Bgt(a, b, disp) => enc_b(OP_BGT, a, b, disp),
+            Instr::J(target) => enc_i(OP_J, 0, 0, target),
+            Instr::Jal(d, target) => enc_i(OP_JAL, d, 0, target),
+            Instr::Jr(a) => enc_r(OP_JR, 0, a, 0),
+            Instr::Halt => OP_HALT << 26,
+        }
+    }
+
+    /// Decodes a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::BadInstruction`] for unknown opcodes.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn decode(word: u32) -> Result<Instr, CpuError> {
+        let op = word >> 26;
+        let rd = ((word >> 21) & 0x1F) as Reg;
+        let ra = ((word >> 16) & 0x1F) as Reg;
+        let rb = ((word >> 11) & 0x1F) as Reg;
+        let imm = (word & 0xFFFF) as u16;
+        let shamt = (word & 0x1F) as u8;
+        Ok(match op {
+            OP_ADD => Instr::Add(rd, ra, rb),
+            OP_SUB => Instr::Sub(rd, ra, rb),
+            OP_MUL => Instr::Mul(rd, ra, rb),
+            OP_AND => Instr::And(rd, ra, rb),
+            OP_OR => Instr::Or(rd, ra, rb),
+            OP_XOR => Instr::Xor(rd, ra, rb),
+            OP_ADDI => Instr::Addi(rd, ra, imm as i16),
+            OP_ANDI => Instr::Andi(rd, ra, imm),
+            OP_ORI => Instr::Ori(rd, ra, imm),
+            OP_LUI => Instr::Lui(rd, imm),
+            OP_SLLI => Instr::Slli(rd, ra, shamt),
+            OP_SRLI => Instr::Srli(rd, ra, shamt),
+            OP_SRAI => Instr::Srai(rd, ra, shamt),
+            OP_LW => Instr::Lw(rd, ra, imm as i16),
+            OP_LHU => Instr::Lhu(rd, ra, imm as i16),
+            OP_SW => Instr::Sw(rd, ra, imm as i16),
+            OP_SH => Instr::Sh(rd, ra, imm as i16),
+            OP_BEQ => Instr::Beq(ra, rb, dec_b_disp(word)),
+            OP_BNE => Instr::Bne(ra, rb, dec_b_disp(word)),
+            OP_BLT => Instr::Blt(ra, rb, dec_b_disp(word)),
+            OP_BGE => Instr::Bge(ra, rb, dec_b_disp(word)),
+            OP_BLE => Instr::Ble(ra, rb, dec_b_disp(word)),
+            OP_BGT => Instr::Bgt(ra, rb, dec_b_disp(word)),
+            OP_J => Instr::J(imm),
+            OP_JAL => Instr::Jal(rd, imm),
+            OP_JR => Instr::Jr(ra),
+            OP_HALT => Instr::Halt,
+            _ => return Err(CpuError::BadInstruction { word }),
+        })
+    }
+
+    /// Whether this is a control-transfer instruction.
+    pub fn is_branch(&self) -> bool {
+        matches!(
+            self,
+            Instr::Beq(..)
+                | Instr::Bne(..)
+                | Instr::Blt(..)
+                | Instr::Bge(..)
+                | Instr::Ble(..)
+                | Instr::Bgt(..)
+                | Instr::J(_)
+                | Instr::Jal(..)
+                | Instr::Jr(_)
+        )
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Add(d, a, b) => write!(f, "add   r{d}, r{a}, r{b}"),
+            Instr::Sub(d, a, b) => write!(f, "sub   r{d}, r{a}, r{b}"),
+            Instr::Mul(d, a, b) => write!(f, "mul   r{d}, r{a}, r{b}"),
+            Instr::And(d, a, b) => write!(f, "and   r{d}, r{a}, r{b}"),
+            Instr::Or(d, a, b) => write!(f, "or    r{d}, r{a}, r{b}"),
+            Instr::Xor(d, a, b) => write!(f, "xor   r{d}, r{a}, r{b}"),
+            Instr::Addi(d, a, i) => write!(f, "addi  r{d}, r{a}, {i}"),
+            Instr::Andi(d, a, i) => write!(f, "andi  r{d}, r{a}, {i:#x}"),
+            Instr::Ori(d, a, i) => write!(f, "ori   r{d}, r{a}, {i:#x}"),
+            Instr::Lui(d, i) => write!(f, "lui   r{d}, {i:#x}"),
+            Instr::Slli(d, a, s) => write!(f, "slli  r{d}, r{a}, {s}"),
+            Instr::Srli(d, a, s) => write!(f, "srli  r{d}, r{a}, {s}"),
+            Instr::Srai(d, a, s) => write!(f, "srai  r{d}, r{a}, {s}"),
+            Instr::Lw(d, a, o) => write!(f, "lw    r{d}, r{a}, {o}"),
+            Instr::Lhu(d, a, o) => write!(f, "lhu   r{d}, r{a}, {o}"),
+            Instr::Sw(d, a, o) => write!(f, "sw    r{d}, r{a}, {o}"),
+            Instr::Sh(d, a, o) => write!(f, "sh    r{d}, r{a}, {o}"),
+            Instr::Beq(a, b, t) => write!(f, "beq   r{a}, r{b}, {t:+}"),
+            Instr::Bne(a, b, t) => write!(f, "bne   r{a}, r{b}, {t:+}"),
+            Instr::Blt(a, b, t) => write!(f, "blt   r{a}, r{b}, {t:+}"),
+            Instr::Bge(a, b, t) => write!(f, "bge   r{a}, r{b}, {t:+}"),
+            Instr::Ble(a, b, t) => write!(f, "ble   r{a}, r{b}, {t:+}"),
+            Instr::Bgt(a, b, t) => write!(f, "bgt   r{a}, r{b}, {t:+}"),
+            Instr::J(t) => write!(f, "j     {t}"),
+            Instr::Jal(d, t) => write!(f, "jal   r{d}, {t}"),
+            Instr::Jr(a) => write!(f, "jr    r{a}"),
+            Instr::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instr> {
+        vec![
+            Instr::Add(1, 2, 3),
+            Instr::Sub(31, 30, 29),
+            Instr::Mul(4, 5, 6),
+            Instr::And(7, 8, 9),
+            Instr::Or(10, 11, 12),
+            Instr::Xor(13, 14, 15),
+            Instr::Addi(1, 2, -5),
+            Instr::Addi(1, 2, 32767),
+            Instr::Andi(3, 4, 0xFFFF),
+            Instr::Ori(5, 6, 0x8000),
+            Instr::Lui(7, 0xDEAD),
+            Instr::Slli(8, 9, 31),
+            Instr::Srli(10, 11, 15),
+            Instr::Srai(12, 13, 1),
+            Instr::Lw(14, 15, -4),
+            Instr::Lhu(16, 17, 6),
+            Instr::Sw(18, 19, 100),
+            Instr::Sh(20, 21, -2),
+            Instr::Beq(1, 2, -1024),
+            Instr::Bne(3, 4, 1023),
+            Instr::Blt(5, 6, -1),
+            Instr::Bge(7, 8, 0),
+            Instr::Ble(9, 10, 7),
+            Instr::Bgt(11, 12, -7),
+            Instr::J(0xBEEF),
+            Instr::Jal(31, 0x1234),
+            Instr::Jr(31),
+            Instr::Halt,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for instr in all_samples() {
+            let word = instr.encode();
+            let back = Instr::decode(word).unwrap();
+            assert_eq!(instr, back, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        assert!(matches!(
+            Instr::decode(0x3E << 26),
+            Err(CpuError::BadInstruction { .. })
+        ));
+    }
+
+    #[test]
+    fn branch_displacement_sign_extension() {
+        let w = Instr::Beq(0, 0, -1).encode();
+        assert_eq!(Instr::decode(w).unwrap(), Instr::Beq(0, 0, -1));
+        let w = Instr::Beq(0, 0, -1024).encode();
+        assert_eq!(Instr::decode(w).unwrap(), Instr::Beq(0, 0, -1024));
+    }
+
+    #[test]
+    fn branch_classification() {
+        assert!(Instr::J(0).is_branch());
+        assert!(Instr::Beq(0, 0, 0).is_branch());
+        assert!(!Instr::Add(0, 0, 0).is_branch());
+        assert!(!Instr::Halt.is_branch());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(Instr::Add(1, 2, 3).to_string(), "add   r1, r2, r3");
+        assert!(Instr::Beq(1, 2, -4).to_string().contains("-4"));
+    }
+}

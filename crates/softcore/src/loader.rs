@@ -1,0 +1,209 @@
+//! End-to-end software retrieval: load images, run the routine, read back
+//! the result block.
+
+use rqfa_fixed::Q15;
+use rqfa_memlist::{CaseBaseImage, RequestImage};
+
+use crate::cost::CpuCostModel;
+use crate::cpu::{Cpu, RunStats};
+use crate::error::CpuError;
+use crate::mem::DataMemory;
+use crate::program::{
+    program_for, ProgramKind, CB_BASE, FAULT_SUPPLEMENTAL_MISS, FAULT_TYPE_NOT_FOUND, MEM_SIZE,
+    REQ_BASE, RESULT_BASE,
+};
+
+/// Result of one software retrieval run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftRetrieval {
+    /// Best `(impl id, similarity)`, or `None` if the implementation list
+    /// was empty (valid flag clear).
+    pub best: Option<(u16, Q15)>,
+    /// Execution statistics (cycles, instructions, memory traffic).
+    pub stats: RunStats,
+    /// Code size in bytes (paper analog: 1984 bytes of MicroBlaze opcode).
+    pub code_bytes: usize,
+    /// Data footprint in bytes: both images plus the result block (paper
+    /// analog: 1208 bytes of variables).
+    pub data_bytes: usize,
+}
+
+/// Runs the sc32 retrieval routine over encoded memory images.
+///
+/// Bit-exact with [`rqfa_core::FixedEngine`] and `rqfa-hwsim`; the cycle
+/// count is the software side of the paper's 8.5× comparison.
+///
+/// # Errors
+///
+/// * [`CpuError::ProgramFault`] with [`FAULT_TYPE_NOT_FOUND`] /
+///   [`FAULT_SUPPLEMENTAL_MISS`] for data-dependent failures;
+/// * [`CpuError::MemFault`] if an image does not fit its window;
+/// * other [`CpuError`] values for genuine simulator faults.
+///
+/// ```
+/// use rqfa_core::paper;
+/// use rqfa_memlist::{encode_case_base, encode_request};
+/// use rqfa_softcore::{run_retrieval, CpuCostModel};
+///
+/// let cb = encode_case_base(&paper::table1_case_base())?;
+/// let request = encode_request(&paper::table1_request()?)?;
+/// let result = run_retrieval(&cb, &request, CpuCostModel::default())?;
+/// assert_eq!(result.best.unwrap().0, 2); // the DSP wins Table 1
+/// println!("software retrieval: {} cycles", result.stats.cycles);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn run_retrieval(
+    case_base: &CaseBaseImage,
+    request: &RequestImage,
+    cost: CpuCostModel,
+) -> Result<SoftRetrieval, CpuError> {
+    run_retrieval_with(case_base, request, cost, ProgramKind::HandOptimized)
+}
+
+/// Like [`run_retrieval`], selecting the software baseline explicitly:
+/// [`ProgramKind::HandOptimized`] is the lower bound,
+/// [`ProgramKind::CompilerStyle`] models the paper's compiled-C program.
+///
+/// # Errors
+///
+/// As [`run_retrieval`].
+pub fn run_retrieval_with(
+    case_base: &CaseBaseImage,
+    request: &RequestImage,
+    cost: CpuCostModel,
+    kind: ProgramKind,
+) -> Result<SoftRetrieval, CpuError> {
+    let program = program_for(kind);
+    let mut mem = DataMemory::new(MEM_SIZE);
+    mem.load_words(CB_BASE, case_base.image().words())?;
+    mem.load_words(REQ_BASE, request.image().words())?;
+    let mut cpu = Cpu::new(program.instrs().to_vec(), mem, cost);
+    // Budget: generous multiple of the total image size; the routine is
+    // linear in it (§4.1), so hitting this means a malformed image.
+    let budget = 800 + 400 * (case_base.image().len() as u64 + request.image().len() as u64);
+    let stats = cpu.run(budget)?;
+
+    let fault = cpu.mem().peek16(RESULT_BASE + 6)?;
+    if fault == FAULT_TYPE_NOT_FOUND || fault == FAULT_SUPPLEMENTAL_MISS {
+        return Err(CpuError::ProgramFault { code: fault });
+    }
+    let valid = cpu.mem().peek16(RESULT_BASE + 4)?;
+    let best = if valid != 0 {
+        let id = cpu.mem().peek16(RESULT_BASE)?;
+        let sim = Q15::saturating_from_raw(cpu.mem().peek16(RESULT_BASE + 2)?);
+        Some((id, sim))
+    } else {
+        None
+    };
+    Ok(SoftRetrieval {
+        best,
+        stats,
+        code_bytes: program.code_bytes(),
+        data_bytes: case_base.image().bytes() + request.image().bytes() + 8,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::{paper, FixedEngine, Request, TypeId};
+    use rqfa_memlist::{encode_case_base, encode_request};
+
+    fn images() -> (CaseBaseImage, RequestImage) {
+        (
+            encode_case_base(&paper::table1_case_base()).unwrap(),
+            encode_request(&paper::table1_request().unwrap()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn table1_bit_exact_with_fixed_engine() {
+        let (cb, req) = images();
+        let sw = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        let (id, sim) = sw.best.unwrap();
+        let reference = FixedEngine::new()
+            .retrieve(&paper::table1_case_base(), &paper::table1_request().unwrap())
+            .unwrap()
+            .best
+            .unwrap();
+        assert_eq!(id, reference.impl_id.raw());
+        assert_eq!(sim, reference.similarity, "bit-exact");
+        assert!(sw.stats.cycles > 200, "software takes many cycles");
+    }
+
+    #[test]
+    fn type_not_found_reports_program_fault() {
+        let (cb, _) = images();
+        let req = encode_request(
+            &Request::builder(TypeId::new(77).unwrap())
+                .constraint(paper::ATTR_BITWIDTH, 8)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            run_retrieval(&cb, &req, CpuCostModel::default()),
+            Err(CpuError::ProgramFault {
+                code: FAULT_TYPE_NOT_FOUND
+            })
+        ));
+    }
+
+    #[test]
+    fn supplemental_miss_reports_program_fault() {
+        let (cb, _) = images();
+        let req = encode_request(
+            &Request::builder(paper::FIR_EQUALIZER)
+                .constraint(rqfa_core::AttrId::new(13).unwrap(), 1)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            run_retrieval(&cb, &req, CpuCostModel::default()),
+            Err(CpuError::ProgramFault {
+                code: FAULT_SUPPLEMENTAL_MISS
+            })
+        ));
+    }
+
+    #[test]
+    fn footprints_are_reported() {
+        let (cb, req) = images();
+        let sw = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        assert_eq!(
+            sw.code_bytes,
+            crate::program::retrieval_program().code_bytes()
+        );
+        assert_eq!(sw.data_bytes, cb.image().bytes() + req.image().bytes() + 8);
+    }
+
+    #[test]
+    fn compiler_style_is_bit_exact_and_slower() {
+        let (cb, req) = images();
+        let tight = run_retrieval_with(&cb, &req, CpuCostModel::default(), ProgramKind::HandOptimized)
+            .unwrap();
+        let compiled =
+            run_retrieval_with(&cb, &req, CpuCostModel::default(), ProgramKind::CompilerStyle)
+                .unwrap();
+        assert_eq!(tight.best, compiled.best, "same algorithm, same result");
+        assert!(
+            compiled.stats.cycles > tight.stats.cycles * 3 / 2,
+            "compiler-style must be substantially slower: {} vs {}",
+            compiled.stats.cycles,
+            tight.stats.cycles
+        );
+        assert!(compiled.code_bytes > tight.code_bytes);
+    }
+
+    #[test]
+    fn cost_model_scales_cycles() {
+        let (cb, req) = images();
+        let fast = run_retrieval(&cb, &req, CpuCostModel::ideal()).unwrap();
+        let default = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        let slow = run_retrieval(&cb, &req, CpuCostModel::conservative()).unwrap();
+        assert!(fast.stats.cycles < default.stats.cycles);
+        assert!(default.stats.cycles < slow.stats.cycles);
+        assert_eq!(fast.best, slow.best, "cost model must not change results");
+    }
+}

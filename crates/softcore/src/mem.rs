@@ -1,0 +1,194 @@
+//! Byte-addressed data memory of the soft core (little-endian, on-chip
+//! BRAM via the local memory bus).
+
+use crate::error::CpuError;
+
+/// Linear little-endian data memory with alignment checking.
+#[derive(Debug, Clone)]
+pub struct DataMemory {
+    bytes: Vec<u8>,
+    /// Load accesses (for the memory-traffic comparison against hwsim).
+    loads: u64,
+    /// Store accesses.
+    stores: u64,
+}
+
+impl DataMemory {
+    /// Allocates `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> DataMemory {
+        DataMemory {
+            bytes: vec![0; size],
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Whether the memory has zero size.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Copies 16-bit words into memory starting at `base` (the image
+    /// loader: one image word per halfword, little-endian).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] if the block does not fit.
+    pub fn load_words(&mut self, base: u32, words: &[u16]) -> Result<(), CpuError> {
+        let start = base as usize;
+        let end = start + words.len() * 2;
+        if end > self.bytes.len() {
+            return Err(CpuError::MemFault { addr: base });
+        }
+        for (i, w) in words.iter().enumerate() {
+            let [lo, hi] = w.to_le_bytes();
+            self.bytes[start + 2 * i] = lo;
+            self.bytes[start + 2 * i + 1] = hi;
+        }
+        Ok(())
+    }
+
+    fn check(&self, addr: u32, size: u32) -> Result<usize, CpuError> {
+        let a = addr as usize;
+        if a + size as usize > self.bytes.len() {
+            return Err(CpuError::MemFault { addr });
+        }
+        if addr % size != 0 {
+            return Err(CpuError::Unaligned { addr });
+        }
+        Ok(a)
+    }
+
+    /// Loads an unsigned 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] / [`CpuError::Unaligned`].
+    pub fn lhu(&mut self, addr: u32) -> Result<u16, CpuError> {
+        let a = self.check(addr, 2)?;
+        self.loads += 1;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Loads a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] / [`CpuError::Unaligned`].
+    pub fn lw(&mut self, addr: u32) -> Result<u32, CpuError> {
+        let a = self.check(addr, 4)?;
+        self.loads += 1;
+        Ok(u32::from_le_bytes([
+            self.bytes[a],
+            self.bytes[a + 1],
+            self.bytes[a + 2],
+            self.bytes[a + 3],
+        ]))
+    }
+
+    /// Stores a 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] / [`CpuError::Unaligned`].
+    pub fn sh(&mut self, addr: u32, value: u16) -> Result<(), CpuError> {
+        let a = self.check(addr, 2)?;
+        self.stores += 1;
+        let [lo, hi] = value.to_le_bytes();
+        self.bytes[a] = lo;
+        self.bytes[a + 1] = hi;
+        Ok(())
+    }
+
+    /// Stores a 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] / [`CpuError::Unaligned`].
+    pub fn sw(&mut self, addr: u32, value: u32) -> Result<(), CpuError> {
+        let a = self.check(addr, 4)?;
+        self.stores += 1;
+        self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes());
+        Ok(())
+    }
+
+    /// Reads a halfword without counting it as a simulated access
+    /// (host-side result inspection).
+    ///
+    /// # Errors
+    ///
+    /// [`CpuError::MemFault`] / [`CpuError::Unaligned`].
+    pub fn peek16(&self, addr: u32) -> Result<u16, CpuError> {
+        let a = self.check(addr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]))
+    }
+
+    /// Load/store access counters `(loads, stores)`.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.loads, self.stores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn halfword_roundtrip_little_endian() {
+        let mut m = DataMemory::new(64);
+        m.sh(10, 0xBEEF).unwrap();
+        assert_eq!(m.lhu(10).unwrap(), 0xBEEF);
+        // Little-endian byte order.
+        assert_eq!(m.peek16(10).unwrap(), 0xBEEF);
+    }
+
+    #[test]
+    fn word_roundtrip() {
+        let mut m = DataMemory::new(64);
+        m.sw(8, 0xDEAD_BEEF).unwrap();
+        assert_eq!(m.lw(8).unwrap(), 0xDEAD_BEEF);
+        assert_eq!(m.lhu(8).unwrap(), 0xBEEF);
+        assert_eq!(m.lhu(10).unwrap(), 0xDEAD);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let mut m = DataMemory::new(64);
+        assert!(matches!(m.lhu(1), Err(CpuError::Unaligned { addr: 1 })));
+        assert!(matches!(m.lw(2), Err(CpuError::Unaligned { addr: 2 })));
+        assert!(matches!(m.sh(3, 0), Err(CpuError::Unaligned { addr: 3 })));
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let mut m = DataMemory::new(8);
+        assert!(matches!(m.lw(8), Err(CpuError::MemFault { addr: 8 })));
+        assert!(m.load_words(6, &[1, 2]).is_err());
+        assert!(m.load_words(4, &[1, 2]).is_ok());
+    }
+
+    #[test]
+    fn image_loader_places_words() {
+        let mut m = DataMemory::new(32);
+        m.load_words(4, &[0x1111, 0x2222, 0xFFFF]).unwrap();
+        assert_eq!(m.lhu(4).unwrap(), 0x1111);
+        assert_eq!(m.lhu(6).unwrap(), 0x2222);
+        assert_eq!(m.lhu(8).unwrap(), 0xFFFF);
+    }
+
+    #[test]
+    fn access_counters() {
+        let mut m = DataMemory::new(16);
+        m.sh(0, 1).unwrap();
+        let _ = m.lhu(0).unwrap();
+        let _ = m.lhu(0).unwrap();
+        assert_eq!(m.access_counts(), (2, 1));
+        let _ = m.peek16(0).unwrap(); // peek does not count
+        assert_eq!(m.access_counts(), (2, 1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property tests: the soft-core retrieval routine is bit-exact with the
+//! fixed-point reference engine over random scenarios, and the assembler's
+//! binary round trip holds for arbitrary generated programs.
+
+use proptest::prelude::*;
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, FixedEngine,
+    FunctionType, ImplId, ImplVariant, Request, TypeId,
+};
+use rqfa_memlist::{encode_case_base, encode_request};
+
+use crate::{run_retrieval, CpuCostModel, Instr};
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    case_base: CaseBase,
+    request: Request,
+}
+
+fn scenario() -> impl Strategy<Value = Scenario> {
+    (1usize..=5, 1usize..=3).prop_flat_map(|(k, t)| {
+        let variants = proptest::collection::vec(
+            proptest::collection::vec(proptest::option::of(0u16..=50), k),
+            1..=5,
+        );
+        let types = proptest::collection::vec(variants, t);
+        let req = proptest::collection::vec(proptest::option::of(0u16..=50), k);
+        let req_type = 1u16..=(t as u16);
+        (types, req, req_type).prop_filter_map("nonempty request", move |(spec, req, rt)| {
+            let decls: Vec<AttrDecl> = (1..=k as u16)
+                .map(|x| AttrDecl::new(AttrId::new(x).unwrap(), format!("a{x}"), 0, 50).unwrap())
+                .collect();
+            let bounds = BoundsTable::from_decls(decls).unwrap();
+            let types: Vec<FunctionType> = spec
+                .iter()
+                .enumerate()
+                .map(|(ti, vars)| {
+                    let vs: Vec<ImplVariant> = vars
+                        .iter()
+                        .enumerate()
+                        .map(|(vi, attrs)| {
+                            let bindings: Vec<AttrBinding> = attrs
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(ai, v)| {
+                                    v.map(|value| {
+                                        AttrBinding::new(
+                                            AttrId::new((ai + 1) as u16).unwrap(),
+                                            value,
+                                        )
+                                    })
+                                })
+                                .collect();
+                            ImplVariant::new(
+                                ImplId::new((vi + 1) as u16).unwrap(),
+                                ExecutionTarget::GpProcessor,
+                                bindings,
+                            )
+                            .unwrap()
+                        })
+                        .collect();
+                    FunctionType::new(TypeId::new((ti + 1) as u16).unwrap(), format!("t{ti}"), vs)
+                        .unwrap()
+                })
+                .collect();
+            let case_base = CaseBase::new(bounds, types).unwrap();
+            let mut builder = Request::builder(TypeId::new(rt).unwrap());
+            let mut any = false;
+            for (i, v) in req.iter().enumerate() {
+                if let Some(value) = v {
+                    builder = builder.constraint(AttrId::new((i + 1) as u16).unwrap(), *value);
+                    any = true;
+                }
+            }
+            if !any {
+                return None;
+            }
+            Some(Scenario {
+                case_base,
+                request: builder.build().unwrap(),
+            })
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Bit-exactness of the software routine against the reference engine.
+    #[test]
+    fn software_matches_fixed_engine(s in scenario()) {
+        let reference = FixedEngine::new()
+            .retrieve(&s.case_base, &s.request)
+            .unwrap()
+            .best
+            .unwrap();
+        let cb = encode_case_base(&s.case_base).unwrap();
+        let req = encode_request(&s.request).unwrap();
+        let sw = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        let (id, sim) = sw.best.unwrap();
+        prop_assert_eq!(id, reference.impl_id.raw());
+        prop_assert_eq!(sim, reference.similarity);
+    }
+
+    /// Software cycles are deterministic for a given scenario.
+    #[test]
+    fn software_cycles_deterministic(s in scenario()) {
+        let cb = encode_case_base(&s.case_base).unwrap();
+        let req = encode_request(&s.request).unwrap();
+        let a = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        let b = run_retrieval(&cb, &req, CpuCostModel::default()).unwrap();
+        prop_assert_eq!(a.stats.cycles, b.stats.cycles);
+        prop_assert_eq!(a.best, b.best);
+    }
+
+    /// Instruction encode/decode is a bijection on generated instructions.
+    #[test]
+    fn isa_roundtrip(
+        op in 0usize..12,
+        rd in 0u8..32,
+        ra in 0u8..32,
+        rb in 0u8..32,
+        imm in any::<i16>(),
+        disp in -1024i16..=1023,
+    ) {
+        let instr = match op {
+            0 => Instr::Add(rd, ra, rb),
+            1 => Instr::Sub(rd, ra, rb),
+            2 => Instr::Mul(rd, ra, rb),
+            3 => Instr::Addi(rd, ra, imm),
+            4 => Instr::Lhu(rd, ra, imm),
+            5 => Instr::Sh(rd, ra, imm),
+            6 => Instr::Beq(ra, rb, disp),
+            7 => Instr::Blt(ra, rb, disp),
+            8 => Instr::Ori(rd, ra, imm as u16),
+            9 => Instr::Lui(rd, imm as u16),
+            10 => Instr::Slli(rd, ra, (imm as u8) & 31),
+            _ => Instr::J(imm as u16),
+        };
+        prop_assert_eq!(Instr::decode(instr.encode()).unwrap(), instr);
+    }
+}

@@ -1,0 +1,118 @@
+//! Area roll-up: primitives → LUT/FF totals → CLB slices.
+
+use crate::library::{Device, TechLibrary};
+use crate::netlist::Netlist;
+
+/// Aggregated area of a netlist.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AreaReport {
+    /// Total LUT4s.
+    pub luts: u32,
+    /// Total flip-flops.
+    pub ffs: u32,
+    /// Dedicated multipliers.
+    pub mult18: u32,
+    /// Dedicated block RAMs.
+    pub bram18: u32,
+    /// Estimated CLB slices after packing.
+    pub slices: u32,
+}
+
+impl AreaReport {
+    /// Utilization percentages against a device: `(slices, mult, bram)`.
+    pub fn utilization(&self, device: &Device) -> (f64, f64, f64) {
+        let pct = |used: u32, total: u32| {
+            if total == 0 {
+                0.0
+            } else {
+                100.0 * f64::from(used) / f64::from(total)
+            }
+        };
+        (
+            pct(self.slices, device.slices),
+            pct(self.mult18, device.mult18),
+            pct(self.bram18, device.bram18),
+        )
+    }
+}
+
+/// Rolls up the area of a netlist under a technology library.
+///
+/// A Virtex-II slice holds 2 LUT4s and 2 FFs; the library's `packing`
+/// factor models how much of that capacity synthesis actually fills.
+pub fn estimate_area(netlist: &Netlist, lib: &TechLibrary) -> AreaReport {
+    let mut luts = 0u32;
+    let mut ffs = 0u32;
+    let mut mult18 = 0u32;
+    let mut bram18 = 0u32;
+    for comp in netlist.components() {
+        let cell = lib.characterize(comp.prim);
+        luts += cell.luts;
+        ffs += cell.ffs;
+        mult18 += cell.mult18;
+        bram18 += cell.bram18;
+    }
+    let capacity_per_slice = 2.0 * lib.packing;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let slices = ((f64::from(luts.max(ffs)) / capacity_per_slice).ceil()) as u32;
+    AreaReport {
+        luts,
+        ffs,
+        mult18,
+        bram18,
+        slices,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::library::XC2V3000;
+    use crate::primitive::Primitive;
+
+    #[test]
+    fn rollup_counts_dedicated_blocks() {
+        let mut n = Netlist::new("t");
+        n.add("m0", Primitive::Mult18x18).unwrap();
+        n.add("m1", Primitive::Mult18x18).unwrap();
+        n.add("cb", Primitive::Bram18).unwrap();
+        n.add("rq", Primitive::Bram18).unwrap();
+        n.add("r", Primitive::Register { bits: 16 }).unwrap();
+        let lib = TechLibrary::default();
+        let area = estimate_area(&n, &lib);
+        assert_eq!(area.mult18, 2);
+        assert_eq!(area.bram18, 2);
+        assert_eq!(area.ffs, 16);
+        assert!(area.slices > 0);
+    }
+
+    #[test]
+    fn packing_inflates_slices() {
+        let mut n = Netlist::new("t");
+        n.add("g", Primitive::Glue { luts: 100 }).unwrap();
+        let tight = TechLibrary {
+            packing: 1.0,
+            ..TechLibrary::default()
+        };
+        let loose = TechLibrary {
+            packing: 0.5,
+            ..TechLibrary::default()
+        };
+        assert_eq!(estimate_area(&n, &tight).slices, 50);
+        assert_eq!(estimate_area(&n, &loose).slices, 100);
+    }
+
+    #[test]
+    fn utilization_percentages() {
+        let area = AreaReport {
+            slices: 441,
+            mult18: 2,
+            bram18: 2,
+            ..AreaReport::default()
+        };
+        let (s, m, b) = area.utilization(&XC2V3000);
+        assert!((s - 3.08).abs() < 0.1, "441/14336 ≈ 3%: {s}");
+        assert!((m - 2.08).abs() < 0.1);
+        assert!((b - 2.08).abs() < 0.1);
+    }
+}

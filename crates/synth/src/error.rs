@@ -1,0 +1,64 @@
+//! Error type of the synthesis estimator.
+
+use core::fmt;
+
+/// Errors raised while building or analyzing netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SynthError {
+    /// Two components share an instance name.
+    DuplicateComponent {
+        /// The offending name.
+        name: String,
+    },
+    /// A connection referenced a nonexistent component.
+    UnknownComponent {
+        /// The out-of-range index.
+        index: usize,
+    },
+    /// The netlist contains a combinational loop, so no longest path
+    /// exists.
+    CombinationalLoop {
+        /// Instance name of a component on the loop.
+        at: String,
+    },
+    /// Timing analysis found no register-to-register path (purely
+    /// combinational or disconnected netlist).
+    NoPaths,
+}
+
+impl fmt::Display for SynthError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynthError::DuplicateComponent { name } => {
+                write!(f, "duplicate component instance \"{name}\"")
+            }
+            SynthError::UnknownComponent { index } => {
+                write!(f, "connection references unknown component index {index}")
+            }
+            SynthError::CombinationalLoop { at } => {
+                write!(f, "combinational loop through \"{at}\"")
+            }
+            SynthError::NoPaths => write!(f, "no register-to-register timing paths found"),
+        }
+    }
+}
+
+impl std::error::Error for SynthError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_offender() {
+        let e = SynthError::CombinationalLoop { at: "mux1".into() };
+        assert!(e.to_string().contains("mux1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SynthError>();
+    }
+}

@@ -1,0 +1,154 @@
+//! Structural netlists: named primitive instances plus directed nets.
+
+use std::collections::HashMap;
+
+use crate::error::SynthError;
+use crate::primitive::Primitive;
+
+/// Handle to a component inside a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompId(pub(crate) usize);
+
+/// One primitive instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Component {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// The primitive.
+    pub prim: Primitive,
+}
+
+/// A structural netlist.
+///
+/// ```
+/// use rqfa_synth::{Netlist, Primitive};
+///
+/// let mut n = Netlist::new("datapath");
+/// let a = n.add("reg_a", Primitive::Register { bits: 16 })?;
+/// let add = n.add("adder", Primitive::Adder { bits: 16 })?;
+/// let q = n.add("reg_q", Primitive::Register { bits: 16 })?;
+/// n.connect(a, add)?;
+/// n.connect(add, q)?;
+/// assert_eq!(n.components().len(), 3);
+/// # Ok::<(), rqfa_synth::SynthError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    components: Vec<Component>,
+    by_name: HashMap<String, usize>,
+    /// Adjacency: `edges[i]` lists the components driven by component `i`.
+    edges: Vec<Vec<usize>>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: impl Into<String>) -> Netlist {
+        Netlist {
+            name: name.into(),
+            components: Vec::new(),
+            by_name: HashMap::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// The netlist name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a component.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::DuplicateComponent`] if the instance name is taken.
+    pub fn add(&mut self, name: impl Into<String>, prim: Primitive) -> Result<CompId, SynthError> {
+        let name = name.into();
+        if self.by_name.contains_key(&name) {
+            return Err(SynthError::DuplicateComponent { name });
+        }
+        let id = self.components.len();
+        self.by_name.insert(name.clone(), id);
+        self.components.push(Component { name, prim });
+        self.edges.push(Vec::new());
+        Ok(CompId(id))
+    }
+
+    /// Connects the output of `from` to an input of `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`SynthError::UnknownComponent`] for invalid handles.
+    pub fn connect(&mut self, from: CompId, to: CompId) -> Result<(), SynthError> {
+        if from.0 >= self.components.len() || to.0 >= self.components.len() {
+            return Err(SynthError::UnknownComponent {
+                index: from.0.max(to.0),
+            });
+        }
+        if !self.edges[from.0].contains(&to.0) {
+            self.edges[from.0].push(to.0);
+        }
+        Ok(())
+    }
+
+    /// All components.
+    pub fn components(&self) -> &[Component] {
+        &self.components
+    }
+
+    /// Looks up a component by instance name.
+    pub fn find(&self, name: &str) -> Option<CompId> {
+        self.by_name.get(name).map(|&i| CompId(i))
+    }
+
+    /// The fan-out component indices of `id`.
+    pub(crate) fn fanout(&self, id: usize) -> &[usize] {
+        &self.edges[id]
+    }
+
+    /// Number of nets (directed edges).
+    pub fn net_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut n = Netlist::new("t");
+        n.add("x", Primitive::Glue { luts: 1 }).unwrap();
+        assert!(matches!(
+            n.add("x", Primitive::Glue { luts: 1 }),
+            Err(SynthError::DuplicateComponent { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_validates_handles() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Glue { luts: 1 }).unwrap();
+        let fake = CompId(99);
+        assert!(n.connect(a, fake).is_err());
+    }
+
+    #[test]
+    fn find_by_name() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Register { bits: 1 }).unwrap();
+        assert_eq!(n.find("a"), Some(a));
+        assert_eq!(n.find("zz"), None);
+    }
+
+    #[test]
+    fn nets_deduplicate() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Glue { luts: 1 }).unwrap();
+        let b = n.add("b", Primitive::Glue { luts: 1 }).unwrap();
+        n.connect(a, b).unwrap();
+        n.connect(a, b).unwrap();
+        assert_eq!(n.net_count(), 1);
+    }
+}

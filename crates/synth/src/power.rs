@@ -1,0 +1,163 @@
+//! Activity-based power estimation.
+//!
+//! The paper motivates the whole system with "increases of
+//! system-performance and energy/power-efficiency" (§1). This module
+//! estimates the retrieval unit's own power draw from its netlist: a
+//! classic spreadsheet-style FPGA power model — per-resource dynamic
+//! coefficients (mW per MHz at 100 % switching activity) scaled by clock
+//! frequency and an activity factor, plus device static leakage prorated
+//! by area. Coefficients are Virtex-II-era magnitudes; like the area
+//! library they are documented estimates, not vendor data.
+
+use crate::area::AreaReport;
+use crate::library::TechLibrary;
+use crate::netlist::Netlist;
+
+/// Per-resource dynamic-power coefficients (mW per MHz at activity 1.0).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCoefficients {
+    /// Per occupied CLB slice.
+    pub slice_mw_per_mhz: f64,
+    /// Per MULT18X18 block.
+    pub mult_mw_per_mhz: f64,
+    /// Per 18-kbit block RAM.
+    pub bram_mw_per_mhz: f64,
+    /// Device static leakage prorated per slice (mW).
+    pub static_mw_per_slice: f64,
+}
+
+impl Default for PowerCoefficients {
+    /// Magnitudes in the range of Virtex-II (150 nm) characterization
+    /// folklore: ~6 µW/MHz per active slice, ~0.3 mW/MHz per busy
+    /// MULT18X18, ~0.15 mW/MHz per busy BRAM, tiny leakage.
+    fn default() -> PowerCoefficients {
+        PowerCoefficients {
+            slice_mw_per_mhz: 0.006,
+            mult_mw_per_mhz: 0.30,
+            bram_mw_per_mhz: 0.15,
+            static_mw_per_slice: 0.010,
+        }
+    }
+}
+
+/// One power estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Dynamic power at the given clock and activity, in milliwatts.
+    pub dynamic_mw: f64,
+    /// Prorated static power, in milliwatts.
+    pub static_mw: f64,
+    /// Clock frequency used, MHz.
+    pub clock_mhz: f64,
+    /// Activity factor used, `[0, 1]`.
+    pub activity: f64,
+}
+
+impl PowerReport {
+    /// Total power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.dynamic_mw + self.static_mw
+    }
+
+    /// Energy per retrieval in microjoules given a cycle count.
+    pub fn energy_per_retrieval_uj(&self, cycles: u64) -> f64 {
+        if self.clock_mhz <= 0.0 {
+            return 0.0;
+        }
+        // cycles / (MHz · 1e6) seconds × mW = µJ · 1e-3… work in SI:
+        #[allow(clippy::cast_precision_loss)]
+        let seconds = cycles as f64 / (self.clock_mhz * 1.0e6);
+        self.total_mw() * 1.0e-3 * seconds * 1.0e6
+    }
+}
+
+/// Estimates the power of a netlist at `clock_mhz` with the given
+/// switching `activity` (fraction of nodes toggling per cycle; the
+/// retrieval unit scans memory continuously, so 0.25–0.5 is realistic).
+pub fn estimate_power(
+    netlist: &Netlist,
+    lib: &TechLibrary,
+    coefficients: &PowerCoefficients,
+    clock_mhz: f64,
+    activity: f64,
+) -> PowerReport {
+    let area = crate::area::estimate_area(netlist, lib);
+    estimate_power_from_area(&area, coefficients, clock_mhz, activity)
+}
+
+/// Power estimate from an already-computed area report.
+pub fn estimate_power_from_area(
+    area: &AreaReport,
+    coefficients: &PowerCoefficients,
+    clock_mhz: f64,
+    activity: f64,
+) -> PowerReport {
+    let activity = activity.clamp(0.0, 1.0);
+    let clock_mhz = clock_mhz.max(0.0);
+    let dynamic_mw = activity
+        * clock_mhz
+        * (f64::from(area.slices) * coefficients.slice_mw_per_mhz
+            + f64::from(area.mult18) * coefficients.mult_mw_per_mhz
+            + f64::from(area.bram18) * coefficients.bram_mw_per_mhz);
+    let static_mw = f64::from(area.slices) * coefficients.static_mw_per_slice;
+    PowerReport {
+        dynamic_mw,
+        static_mw,
+        clock_mhz,
+        activity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retrieval_unit::build_retrieval_unit;
+
+    fn unit_power(clock: f64, activity: f64) -> PowerReport {
+        estimate_power(
+            &build_retrieval_unit(),
+            &TechLibrary::default(),
+            &PowerCoefficients::default(),
+            clock,
+            activity,
+        )
+    }
+
+    #[test]
+    fn power_is_monotone_in_clock_and_activity() {
+        let base = unit_power(75.0, 0.3);
+        assert!(unit_power(150.0, 0.3).dynamic_mw > base.dynamic_mw);
+        assert!(unit_power(75.0, 0.6).dynamic_mw > base.dynamic_mw);
+        // Static power does not depend on clock.
+        assert!((unit_power(150.0, 0.3).static_mw - base.static_mw).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retrieval_unit_power_is_plausible() {
+        // A few-hundred-slice unit at 75 MHz should land in the tens of mW
+        // — far below the ~W-scale budget of the whole XC2V3000 design.
+        let p = unit_power(74.6, 0.35);
+        assert!(
+            (5.0..200.0).contains(&p.total_mw()),
+            "total {:.1} mW",
+            p.total_mw()
+        );
+    }
+
+    #[test]
+    fn energy_per_retrieval_scales_with_cycles() {
+        let p = unit_power(75.0, 0.35);
+        let short = p.energy_per_retrieval_uj(150);
+        let long = p.energy_per_retrieval_uj(1500);
+        assert!(long > short * 9.9 && long < short * 10.1);
+        assert!(short > 0.0);
+    }
+
+    #[test]
+    fn activity_is_clamped() {
+        let p = unit_power(75.0, 7.0);
+        assert!((p.activity - 1.0).abs() < 1e-12);
+        let z = unit_power(75.0, -1.0);
+        assert_eq!(z.dynamic_mw, 0.0);
+    }
+}

@@ -1,0 +1,121 @@
+//! RTL-level primitives the retrieval unit's datapath is built from.
+//!
+//! Each primitive corresponds to a structural element visible in fig. 7 of
+//! the paper (registers, the absolute-difference unit, the two 18×18
+//! multipliers, address counters, multiplexers, the FSM) or to the
+//! dedicated Virtex-II blocks (MULT18X18, 18-kbit block RAM). The
+//! technology library characterizes each into LUT/FF counts and delays.
+
+use core::fmt;
+
+/// A structural primitive with its size parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Primitive {
+    /// A bank of D flip-flops.
+    Register {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// Ripple-carry adder/subtractor on the slice carry chain.
+    Adder {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// Absolute difference `|a − b|`: subtract + conditional negate.
+    AbsDiff {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// Magnitude comparator (`>` / `>=`) on the carry chain.
+    Comparator {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// Saturation clamp (compare against a constant + mux).
+    Saturator {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// N-to-1 multiplexer.
+    Mux {
+        /// Data width in bits.
+        bits: u32,
+        /// Number of inputs.
+        inputs: u32,
+    },
+    /// Loadable up-counter (address cursor: +1/+2/+4 stepping).
+    Counter {
+        /// Width in bits.
+        bits: u32,
+    },
+    /// Dedicated 18×18 two's-complement multiplier block.
+    Mult18x18,
+    /// Dedicated 18-kbit block RAM (single port, 16-bit data).
+    Bram18,
+    /// One-hot finite-state machine (state register + next-state and
+    /// output decode logic).
+    Fsm {
+        /// Number of states.
+        states: u32,
+        /// Rough count of Boolean control outputs.
+        outputs: u32,
+    },
+    /// Free-form glue logic measured in LUT4s.
+    Glue {
+        /// Number of LUT4s.
+        luts: u32,
+    },
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::Register { bits } => write!(f, "reg[{bits}]"),
+            Primitive::Adder { bits } => write!(f, "add[{bits}]"),
+            Primitive::AbsDiff { bits } => write!(f, "absdiff[{bits}]"),
+            Primitive::Comparator { bits } => write!(f, "cmp[{bits}]"),
+            Primitive::Saturator { bits } => write!(f, "sat[{bits}]"),
+            Primitive::Mux { bits, inputs } => write!(f, "mux{inputs}[{bits}]"),
+            Primitive::Counter { bits } => write!(f, "ctr[{bits}]"),
+            Primitive::Mult18x18 => write!(f, "MULT18X18"),
+            Primitive::Bram18 => write!(f, "BRAM18"),
+            Primitive::Fsm { states, outputs } => write!(f, "fsm[{states}s/{outputs}o]"),
+            Primitive::Glue { luts } => write!(f, "glue[{luts}]"),
+        }
+    }
+}
+
+/// Characterized cell: area and timing of one primitive instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CellInfo {
+    /// LUT4s consumed.
+    pub luts: u32,
+    /// Flip-flops consumed.
+    pub ffs: u32,
+    /// Dedicated multiplier blocks.
+    pub mult18: u32,
+    /// Dedicated block RAMs.
+    pub bram18: u32,
+    /// Propagation delay in nanoseconds (combinational primitives) or
+    /// clock-to-out (sequential primitives).
+    pub delay_ns: f64,
+    /// Whether the primitive is a sequential element (starts/ends timing
+    /// paths).
+    pub sequential: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Primitive::Mult18x18.to_string(), "MULT18X18");
+        assert_eq!(Primitive::Register { bits: 16 }.to_string(), "reg[16]");
+        assert_eq!(
+            Primitive::Mux { bits: 16, inputs: 4 }.to_string(),
+            "mux4[16]"
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests: the estimator never panics on arbitrary netlists and
+//! behaves monotonically.
+
+use proptest::prelude::*;
+
+use crate::{analyze, estimate_area, Netlist, Primitive, SynthError, TechLibrary};
+
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        (1u32..=32).prop_map(|bits| Primitive::Register { bits }),
+        (1u32..=32).prop_map(|bits| Primitive::Adder { bits }),
+        (1u32..=32).prop_map(|bits| Primitive::AbsDiff { bits }),
+        (1u32..=32).prop_map(|bits| Primitive::Comparator { bits }),
+        (1u32..=32).prop_map(|bits| Primitive::Saturator { bits }),
+        ((1u32..=32), (2u32..=8)).prop_map(|(bits, inputs)| Primitive::Mux { bits, inputs }),
+        (1u32..=32).prop_map(|bits| Primitive::Counter { bits }),
+        Just(Primitive::Mult18x18),
+        Just(Primitive::Bram18),
+        ((2u32..=32), (1u32..=40)).prop_map(|(states, outputs)| Primitive::Fsm { states, outputs }),
+        (1u32..=64).prop_map(|luts| Primitive::Glue { luts }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary graphs (cycles allowed) never panic the analyzer: the
+    /// result is a report or a structured error.
+    #[test]
+    fn analysis_is_total(
+        prims in proptest::collection::vec(arb_primitive(), 2..16),
+        edges in proptest::collection::vec((0usize..16, 0usize..16), 0..40),
+    ) {
+        let mut n = Netlist::new("random");
+        let ids: Vec<_> = prims
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| n.add(format!("c{i}"), p).unwrap())
+            .collect();
+        for (a, b) in edges {
+            let from = ids[a % ids.len()];
+            let to = ids[b % ids.len()];
+            n.connect(from, to).unwrap();
+        }
+        let lib = TechLibrary::default();
+        match analyze(&n, &lib) {
+            Ok(report) => {
+                prop_assert!(report.critical_ns > 0.0);
+                prop_assert!(report.fmax_mhz > 0.0);
+                prop_assert!(!report.path.is_empty());
+            }
+            Err(SynthError::CombinationalLoop { .. } | SynthError::NoPaths) => {}
+            Err(e) => prop_assert!(false, "unexpected error: {e}"),
+        }
+        let area = estimate_area(&n, &lib);
+        prop_assert!(area.slices > 0 || (area.luts == 0 && area.ffs == 0));
+    }
+
+    /// Layered DAGs (edges strictly forward through a reg/comb/reg
+    /// sandwich) always analyze successfully, and inserting an extra
+    /// combinational stage on the path never decreases the delay.
+    #[test]
+    fn extra_stage_never_speeds_up(
+        stages in proptest::collection::vec(arb_primitive().prop_filter(
+            "combinational only",
+            |p| !matches!(p, Primitive::Register { .. } | Primitive::Bram18
+                | Primitive::Counter { .. } | Primitive::Fsm { .. }),
+        ), 1..6),
+    ) {
+        let lib = TechLibrary::default();
+        let build = |count: usize| {
+            let mut n = Netlist::new("chain");
+            let src = n.add("src", Primitive::Register { bits: 16 }).unwrap();
+            let dst = n.add("dst", Primitive::Register { bits: 16 }).unwrap();
+            let mut prev = src;
+            for (i, p) in stages.iter().take(count).enumerate() {
+                let c = n.add(format!("s{i}"), *p).unwrap();
+                n.connect(prev, c).unwrap();
+                prev = c;
+            }
+            n.connect(prev, dst).unwrap();
+            analyze(&n, &lib).unwrap()
+        };
+        let short = build(stages.len() - 1);
+        let long = build(stages.len());
+        prop_assert!(long.critical_ns >= short.critical_ns,
+            "{} < {}", long.critical_ns, short.critical_ns);
+    }
+
+    /// Area roll-up is additive: splitting glue across components changes
+    /// nothing.
+    #[test]
+    fn area_is_additive(luts in 1u32..200) {
+        let lib = TechLibrary::default();
+        let mut one = Netlist::new("one");
+        one.add("g", Primitive::Glue { luts }).unwrap();
+        let mut many = Netlist::new("many");
+        for i in 0..luts {
+            many.add(format!("g{i}"), Primitive::Glue { luts: 1 }).unwrap();
+        }
+        prop_assert_eq!(estimate_area(&one, &lib).luts, estimate_area(&many, &lib).luts);
+        prop_assert_eq!(estimate_area(&one, &lib).slices, estimate_area(&many, &lib).slices);
+    }
+}

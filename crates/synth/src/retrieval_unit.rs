@@ -1,0 +1,271 @@
+//! The retrieval unit's structural netlist (fig. 7) and its synthesis
+//! estimate — experiment E2 / Table 2.
+//!
+//! The netlist below transcribes fig. 7: two block RAMs (CB-MEM, Req-MEM),
+//! the address-generation cursors, the absolute-difference unit, the two
+//! 18×18 multipliers (the first pipeline-registered, matching the 2-cycle
+//! multiply of the FSM cost model in `rqfa-hwsim`), saturation and
+//! complement stages, the Σ s_i·w_i accumulator and the best-score
+//! comparator, all steered by a ~24-state one-hot FSM.
+
+use crate::area::{estimate_area, AreaReport};
+use crate::error::SynthError;
+use crate::library::{Device, TechLibrary, XC2V3000};
+use crate::netlist::Netlist;
+use crate::primitive::Primitive;
+use crate::timing::{analyze, TimingReport};
+
+/// Builds the fig. 7 netlist with a single best-score register pair (the
+/// paper's unit).
+///
+/// # Panics
+///
+/// Never: instance names are static and unique.
+pub fn build_retrieval_unit() -> Netlist {
+    build_retrieval_unit_with(1)
+}
+
+/// Builds the netlist with an `n_best`-deep best-score register bank (the
+/// §5 n-most-similar extension; area ablation of experiment E8).
+///
+/// # Panics
+///
+/// Never: instance names are derived uniquely from the parameter.
+#[allow(clippy::too_many_lines)]
+pub fn build_retrieval_unit_with(n_best: usize) -> Netlist {
+    let n_best = n_best.max(1);
+    let mut n = Netlist::new("cbr-retrieval-unit");
+    let add = |nl: &mut Netlist, name: &str, prim: Primitive| {
+        nl.add(name, prim).expect("static unique names")
+    };
+
+    // Memories (fig. 7: CB-MEM and Req-MEM).
+    let cb_mem = add(&mut n, "cb_mem", Primitive::Bram18);
+    let req_mem = add(&mut n, "req_mem", Primitive::Bram18);
+
+    // Address generation: cursors stepping +1/+2/+4 word.
+    let impl_cursor = add(&mut n, "impl_cursor", Primitive::Counter { bits: 16 });
+    let suppl_cursor = add(&mut n, "suppl_cursor", Primitive::Counter { bits: 16 });
+    let attr_cursor = add(&mut n, "attr_cursor", Primitive::Counter { bits: 16 });
+    let req_cursor = add(&mut n, "req_cursor", Primitive::Counter { bits: 16 });
+    let cb_addr_mux = add(&mut n, "cb_addr_mux", Primitive::Mux { bits: 16, inputs: 5 });
+    let req_addr_mux = add(&mut n, "req_addr_mux", Primitive::Mux { bits: 16, inputs: 2 });
+
+    // Operand registers latched from memory data.
+    let attr_id_reg = add(&mut n, "attr_id_reg", Primitive::Register { bits: 16 });
+    let value_reg = add(&mut n, "value_reg", Primitive::Register { bits: 16 });
+    let weight_reg = add(&mut n, "weight_reg", Primitive::Register { bits: 16 });
+    let recip_reg = add(&mut n, "recip_reg", Primitive::Register { bits: 16 });
+    let case_reg = add(&mut n, "case_value_reg", Primitive::Register { bits: 16 });
+
+    // Datapath: |a−b| → ×recip → saturate → 1−x → ×w → accumulate.
+    let absdiff = add(&mut n, "absdiff", Primitive::AbsDiff { bits: 16 });
+    let mult_d = add(&mut n, "mult_d_recip", Primitive::Mult18x18);
+    let mult_d_reg = add(&mut n, "mult_d_pipe_reg", Primitive::Register { bits: 18 });
+    let sat = add(&mut n, "saturator", Primitive::Saturator { bits: 16 });
+    let complement = add(&mut n, "complement_sub", Primitive::Adder { bits: 16 });
+    let si_reg = add(&mut n, "si_reg", Primitive::Register { bits: 16 });
+    let mult_w = add(&mut n, "mult_si_weight", Primitive::Mult18x18);
+    let mult_w_reg = add(&mut n, "mult_w_pipe_reg", Primitive::Register { bits: 18 });
+    let acc_add = add(&mut n, "acc_adder", Primitive::Adder { bits: 18 });
+    let acc_sat = add(&mut n, "acc_saturator", Primitive::Saturator { bits: 16 });
+    let acc_reg = add(&mut n, "acc_reg", Primitive::Register { bits: 18 });
+
+    // Control.
+    let id_cmp = add(&mut n, "id_compare", Primitive::Comparator { bits: 16 });
+    let fsm = add(&mut n, "fsm", Primitive::Fsm { states: 24, outputs: 34 });
+    let glue = add(&mut n, "ctrl_glue", Primitive::Glue { luts: 24 });
+
+    // Wiring (data flow of fig. 7).
+    for cursor in [impl_cursor, suppl_cursor, attr_cursor] {
+        n.connect(cursor, cb_addr_mux).expect("wiring");
+    }
+    n.connect(fsm, cb_addr_mux).expect("wiring");
+    n.connect(glue, cb_addr_mux).expect("wiring");
+    n.connect(cb_addr_mux, cb_mem).expect("wiring");
+    n.connect(req_cursor, req_addr_mux).expect("wiring");
+    n.connect(fsm, req_addr_mux).expect("wiring");
+    n.connect(req_addr_mux, req_mem).expect("wiring");
+
+    // Memory data fans out to operand registers and the id comparator.
+    for sink in [attr_id_reg, value_reg, weight_reg] {
+        n.connect(req_mem, sink).expect("wiring");
+    }
+    for sink in [recip_reg, case_reg] {
+        n.connect(cb_mem, sink).expect("wiring");
+    }
+    n.connect(cb_mem, id_cmp).expect("wiring");
+    n.connect(attr_id_reg, id_cmp).expect("wiring");
+    n.connect(id_cmp, fsm).expect("wiring");
+
+    // Similarity pipeline.
+    n.connect(value_reg, absdiff).expect("wiring");
+    n.connect(case_reg, absdiff).expect("wiring");
+    n.connect(absdiff, mult_d).expect("wiring");
+    n.connect(recip_reg, mult_d).expect("wiring");
+    n.connect(mult_d, mult_d_reg).expect("wiring");
+    n.connect(mult_d_reg, sat).expect("wiring");
+    n.connect(sat, complement).expect("wiring");
+    n.connect(complement, si_reg).expect("wiring");
+    n.connect(si_reg, mult_w).expect("wiring");
+    n.connect(weight_reg, mult_w).expect("wiring");
+    n.connect(mult_w, mult_w_reg).expect("wiring");
+    n.connect(mult_w_reg, acc_add).expect("wiring");
+    n.connect(acc_reg, acc_add).expect("wiring");
+    n.connect(acc_add, acc_sat).expect("wiring");
+    n.connect(acc_sat, acc_reg).expect("wiring");
+
+    // Best-score register bank (n_best deep).
+    for slot in 0..n_best {
+        let cmp = add(
+            &mut n,
+            &format!("best_cmp_{slot}"),
+            Primitive::Comparator { bits: 16 },
+        );
+        let sim = add(
+            &mut n,
+            &format!("best_sim_{slot}"),
+            Primitive::Register { bits: 16 },
+        );
+        let id = add(
+            &mut n,
+            &format!("best_id_{slot}"),
+            Primitive::Register { bits: 16 },
+        );
+        n.connect(acc_reg, cmp).expect("wiring");
+        n.connect(sim, cmp).expect("wiring");
+        n.connect(cmp, sim).expect("wiring");
+        n.connect(cmp, id).expect("wiring");
+        n.connect(cmp, fsm).expect("wiring");
+    }
+
+    n
+}
+
+/// A Table 2-style synthesis estimate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthReport {
+    /// Area roll-up.
+    pub area: AreaReport,
+    /// Critical-path timing.
+    pub timing: TimingReport,
+    /// Target device.
+    pub device: Device,
+}
+
+impl SynthReport {
+    /// Renders the report in the layout of Table 2.
+    pub fn table2(&self) -> String {
+        let (s_pct, m_pct, b_pct) = self.area.utilization(&self.device);
+        format!(
+            "Resources: Xilinx Virtex II ({})\n\
+             CLB-Slices:      {:>5} of {} | {:.0} %\n\
+             MULT18X18s:      {:>5} of {}    | {:.0} %\n\
+             BRAMS(18Kbit):   {:>5} of {}    | {:.0} %\n\
+             Max. Clock:      {:>8.1} MHz\n\
+             critical path:   {}\n",
+            self.device.name,
+            self.area.slices,
+            self.device.slices,
+            s_pct,
+            self.area.mult18,
+            self.device.mult18,
+            m_pct,
+            self.area.bram18,
+            self.device.bram18,
+            b_pct,
+            self.timing.fmax_mhz,
+            self.timing.path.join(" -> "),
+        )
+    }
+}
+
+/// Synthesizes the retrieval unit for the XC2V3000 under the default
+/// library — the reproduction of Table 2.
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] (cannot occur for the static netlist).
+pub fn synthesize_retrieval_unit() -> Result<SynthReport, SynthError> {
+    synthesize_with(&build_retrieval_unit(), &TechLibrary::default())
+}
+
+/// Synthesizes an arbitrary netlist against a library (XC2V3000 target).
+///
+/// # Errors
+///
+/// Propagates [`SynthError`] from timing analysis.
+pub fn synthesize_with(netlist: &Netlist, lib: &TechLibrary) -> Result<SynthReport, SynthError> {
+    Ok(SynthReport {
+        area: estimate_area(netlist, lib),
+        timing: analyze(netlist, lib)?,
+        device: XC2V3000,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn netlist_matches_fig7_resource_mix() {
+        let n = build_retrieval_unit();
+        let report = synthesize_retrieval_unit().unwrap();
+        // The structural facts of Table 2.
+        assert_eq!(report.area.mult18, 2, "two 18x18 multipliers");
+        assert_eq!(report.area.bram18, 2, "CB-MEM + Req-MEM");
+        assert!(n.net_count() > 30);
+    }
+
+    #[test]
+    fn slice_estimate_in_table2_band() {
+        let report = synthesize_retrieval_unit().unwrap();
+        // Paper: 441 slices. Estimator tolerance: ±25 %.
+        assert!(
+            (330..=550).contains(&report.area.slices),
+            "slices {} outside Table 2 band",
+            report.area.slices
+        );
+    }
+
+    #[test]
+    fn fmax_estimate_in_table2_band() {
+        let report = synthesize_retrieval_unit().unwrap();
+        // Paper: 75 MHz (table fragment shows 77).
+        assert!(
+            (60.0..=95.0).contains(&report.timing.fmax_mhz),
+            "fmax {:.1} MHz outside Table 2 band",
+            report.timing.fmax_mhz
+        );
+    }
+
+    #[test]
+    fn nbest_bank_grows_area() {
+        let lib = TechLibrary::default();
+        let base = synthesize_with(&build_retrieval_unit_with(1), &lib).unwrap();
+        let wide = synthesize_with(&build_retrieval_unit_with(8), &lib).unwrap();
+        assert!(wide.area.slices > base.area.slices);
+        assert_eq!(wide.area.mult18, base.area.mult18, "multipliers unchanged");
+    }
+
+    #[test]
+    fn report_renders_table2_shape() {
+        let report = synthesize_retrieval_unit().unwrap();
+        let text = report.table2();
+        assert!(text.contains("CLB-Slices"));
+        assert!(text.contains("MULT18X18s"));
+        assert!(text.contains("BRAMS"));
+        assert!(text.contains("XC2V3000"));
+    }
+
+    #[test]
+    fn critical_path_is_plausible() {
+        let report = synthesize_retrieval_unit().unwrap();
+        // The slow stage should involve a multiplier or the BRAM fetch.
+        let p = report.timing.path.join(" ");
+        assert!(
+            p.contains("mult") || p.contains("mem") || p.contains("absdiff"),
+            "unexpected critical path: {p}"
+        );
+    }
+}

@@ -1,0 +1,206 @@
+//! Static timing analysis: longest register-to-register path.
+//!
+//! Paths start at a sequential component's clock-to-out, accumulate
+//! combinational propagation plus per-net routing delay, and end at the
+//! next sequential element's setup. Generated-RTL control overhead (see
+//! [`TechLibrary::generated_control_levels`]) is added once per path —
+//! the Stateflow-derived design of the paper muxes every datapath input
+//! through FSM-controlled steering logic.
+
+use crate::error::SynthError;
+use crate::library::TechLibrary;
+use crate::netlist::Netlist;
+
+/// Result of the longest-path search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingReport {
+    /// Total delay of the critical path in nanoseconds (including
+    /// clock-to-out, setup and generated-control overhead).
+    pub critical_ns: f64,
+    /// Maximum clock frequency in MHz.
+    pub fmax_mhz: f64,
+    /// Instance names along the critical path, source to sink.
+    pub path: Vec<String>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mark {
+    Unvisited,
+    InProgress,
+    Done,
+}
+
+/// Analyzes the netlist and returns the critical path.
+///
+/// # Errors
+///
+/// * [`SynthError::CombinationalLoop`] if combinational components form a
+///   cycle;
+/// * [`SynthError::NoPaths`] if no sequential-to-sequential path exists.
+pub fn analyze(netlist: &Netlist, lib: &TechLibrary) -> Result<TimingReport, SynthError> {
+    let comps = netlist.components();
+    let cells: Vec<_> = comps.iter().map(|c| lib.characterize(c.prim)).collect();
+
+    // For every combinational component, the longest delay from it to any
+    // sequential sink (inclusive of its own delay and per-hop net delay).
+    let mut memo: Vec<Option<(f64, Vec<usize>)>> = vec![None; comps.len()];
+    let mut marks = vec![Mark::Unvisited; comps.len()];
+
+    // Iterative DFS computing longest path to a sequential sink starting
+    // *after* leaving component `i` (i.e. over its fanout).
+    fn longest_from(
+        i: usize,
+        netlist: &Netlist,
+        cells: &[crate::primitive::CellInfo],
+        lib: &TechLibrary,
+        memo: &mut Vec<Option<(f64, Vec<usize>)>>,
+        marks: &mut Vec<Mark>,
+    ) -> Result<(f64, Vec<usize>), SynthError> {
+        if let Some(cached) = &memo[i] {
+            return Ok(cached.clone());
+        }
+        if marks[i] == Mark::InProgress {
+            return Err(SynthError::CombinationalLoop {
+                at: netlist.components()[i].name.clone(),
+            });
+        }
+        marks[i] = Mark::InProgress;
+        let mut best: Option<(f64, Vec<usize>)> = None;
+        for &next in netlist.fanout(i) {
+            let (tail_delay, tail_path) = if cells[next].sequential {
+                // Path ends at this element's data input.
+                (lib.net_delay + lib.setup, vec![next])
+            } else {
+                let (d, p) = longest_from(next, netlist, cells, lib, memo, marks)?;
+                let mut path = vec![next];
+                path.extend(p);
+                (lib.net_delay + cells[next].delay_ns + d, path)
+            };
+            if best.as_ref().is_none_or(|(b, _)| tail_delay > *b) {
+                best = Some((tail_delay, tail_path));
+            }
+        }
+        marks[i] = Mark::Done;
+        let result = best.unwrap_or((f64::NEG_INFINITY, Vec::new()));
+        memo[i] = Some(result.clone());
+        Ok(result)
+    }
+
+    let mut critical: Option<(f64, Vec<usize>)> = None;
+    for (i, cell) in cells.iter().enumerate() {
+        if !cell.sequential {
+            continue;
+        }
+        let (tail, path) = longest_from(i, netlist, &cells, lib, &mut memo, &mut marks)?;
+        // A dead-end combinational cone (no sequential sink) is not a
+        // timing path: its tail delay stays at −∞.
+        if path.is_empty() || !tail.is_finite() {
+            continue;
+        }
+        let total = cell.delay_ns + tail;
+        let mut full = vec![i];
+        full.extend(path);
+        if critical.as_ref().is_none_or(|(b, _)| total > *b) {
+            critical = Some((total, full));
+        }
+    }
+
+    let (mut delay, indices) = critical.ok_or(SynthError::NoPaths)?;
+    delay += lib.generated_overhead_ns();
+    Ok(TimingReport {
+        critical_ns: delay,
+        fmax_mhz: 1000.0 / delay,
+        path: indices
+            .into_iter()
+            .map(|i| comps[i].name.clone())
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitive::Primitive;
+
+    fn lib() -> TechLibrary {
+        TechLibrary {
+            generated_control_levels: 0,
+            ..TechLibrary::default()
+        }
+    }
+
+    #[test]
+    fn simple_reg_to_reg_path() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Register { bits: 16 }).unwrap();
+        let add = n.add("add", Primitive::Adder { bits: 16 }).unwrap();
+        let q = n.add("q", Primitive::Register { bits: 16 }).unwrap();
+        n.connect(a, add).unwrap();
+        n.connect(add, q).unwrap();
+        let t = analyze(&n, &lib()).unwrap();
+        let l = lib();
+        let adder = l.characterize(Primitive::Adder { bits: 16 });
+        let want = l.clk_to_q + l.net_delay + adder.delay_ns + l.net_delay + l.setup;
+        assert!((t.critical_ns - want).abs() < 1e-9, "{} vs {want}", t.critical_ns);
+        assert_eq!(t.path, vec!["a", "add", "q"]);
+        assert!(t.fmax_mhz > 0.0);
+    }
+
+    #[test]
+    fn longest_of_two_paths_wins() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Register { bits: 16 }).unwrap();
+        let fast = n.add("fast", Primitive::Glue { luts: 1 }).unwrap();
+        let slow = n.add("slow", Primitive::Mult18x18).unwrap();
+        let q = n.add("q", Primitive::Register { bits: 16 }).unwrap();
+        // Mult18x18 is combinational here? It is sequential=false in our
+        // library (no output register modelled), so it burns 4.9 ns.
+        n.connect(a, fast).unwrap();
+        n.connect(a, slow).unwrap();
+        n.connect(fast, q).unwrap();
+        n.connect(slow, q).unwrap();
+        let t = analyze(&n, &lib()).unwrap();
+        assert!(t.path.contains(&"slow".to_string()));
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        let mut n = Netlist::new("t");
+        let r = n.add("r", Primitive::Register { bits: 1 }).unwrap();
+        let g1 = n.add("g1", Primitive::Glue { luts: 1 }).unwrap();
+        let g2 = n.add("g2", Primitive::Glue { luts: 1 }).unwrap();
+        n.connect(r, g1).unwrap();
+        n.connect(g1, g2).unwrap();
+        n.connect(g2, g1).unwrap();
+        assert!(matches!(
+            analyze(&n, &lib()),
+            Err(SynthError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn no_paths_detected() {
+        let mut n = Netlist::new("t");
+        n.add("g", Primitive::Glue { luts: 4 }).unwrap();
+        assert!(matches!(analyze(&n, &lib()), Err(SynthError::NoPaths)));
+    }
+
+    #[test]
+    fn generated_overhead_slows_fmax() {
+        let mut n = Netlist::new("t");
+        let a = n.add("a", Primitive::Register { bits: 16 }).unwrap();
+        let q = n.add("q", Primitive::Register { bits: 16 }).unwrap();
+        n.connect(a, q).unwrap();
+        let clean = analyze(&n, &lib()).unwrap();
+        let generated = analyze(
+            &n,
+            &TechLibrary {
+                generated_control_levels: 3,
+                ..TechLibrary::default()
+            },
+        )
+        .unwrap();
+        assert!(generated.critical_ns > clean.critical_ns);
+        assert!(generated.fmax_mhz < clean.fmax_mhz);
+    }
+}

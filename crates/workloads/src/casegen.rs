@@ -1,0 +1,213 @@
+//! Random case-base generation.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, Footprint,
+    FunctionType, ImplId, ImplVariant, TypeId,
+};
+
+/// Builder for random case bases of a given shape.
+///
+/// Shapes are exact (every type gets exactly `impls_per_type` variants,
+/// every variant binds `attrs_per_impl` of the declared attributes), so
+/// memory-size predictions hold exactly; which attributes a variant binds
+/// and their values are random but reproducible from the seed.
+#[derive(Debug, Clone)]
+pub struct CaseGen {
+    types: u16,
+    impls_per_type: u16,
+    attrs_per_impl: u16,
+    attr_types: u16,
+    value_span: u16,
+    seed: u64,
+    with_footprints: bool,
+}
+
+impl CaseGen {
+    /// Starts a generator with an explicit shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero or `attrs_per_impl > attr_types`.
+    pub fn new(types: u16, impls_per_type: u16, attrs_per_impl: u16, attr_types: u16) -> CaseGen {
+        assert!(types > 0 && impls_per_type > 0 && attrs_per_impl > 0 && attr_types > 0);
+        assert!(attrs_per_impl <= attr_types, "cannot bind more attrs than declared");
+        CaseGen {
+            types,
+            impls_per_type,
+            attrs_per_impl,
+            attr_types,
+            value_span: 1000,
+            seed: 0,
+            with_footprints: true,
+        }
+    }
+
+    /// The Table 3 shape: 15 function types × 10 implementations × 10
+    /// attributes, 10 distinct attribute types.
+    pub fn paper_shape() -> CaseGen {
+        CaseGen::new(15, 10, 10, 10)
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn seed(mut self, seed: u64) -> CaseGen {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the attribute value span (values drawn from `0..=span`).
+    pub fn value_span(mut self, span: u16) -> CaseGen {
+        self.value_span = span.max(1);
+        self
+    }
+
+    /// Disables random resource footprints (retrieval-only experiments).
+    pub fn without_footprints(mut self) -> CaseGen {
+        self.with_footprints = false;
+        self
+    }
+
+    /// Generates the case base.
+    ///
+    /// # Panics
+    ///
+    /// Never for shapes within the 16-bit id space; construction errors
+    /// would indicate a generator bug.
+    pub fn build(&self) -> CaseBase {
+        let mut rng = SmallRng::seed_from_u64(self.seed);
+        let decls: Vec<AttrDecl> = (1..=self.attr_types)
+            .map(|i| {
+                AttrDecl::new(
+                    AttrId::new(i).expect("attr id in range"),
+                    format!("attr-{i}"),
+                    0,
+                    self.value_span,
+                )
+                .expect("valid bounds")
+            })
+            .collect();
+        let bounds = BoundsTable::from_decls(decls).expect("unique ids");
+
+        let targets = [
+            ExecutionTarget::Fpga,
+            ExecutionTarget::Dsp,
+            ExecutionTarget::GpProcessor,
+        ];
+        let types: Vec<FunctionType> = (1..=self.types)
+            .map(|ti| {
+                let variants: Vec<ImplVariant> = (1..=self.impls_per_type)
+                    .map(|vi| {
+                        // Choose `attrs_per_impl` distinct attribute ids.
+                        let mut ids: Vec<u16> = (1..=self.attr_types).collect();
+                        for i in (1..ids.len()).rev() {
+                            let j = rng.gen_range(0..=i);
+                            ids.swap(i, j);
+                        }
+                        ids.truncate(usize::from(self.attrs_per_impl));
+                        let attrs: Vec<AttrBinding> = ids
+                            .into_iter()
+                            .map(|id| {
+                                AttrBinding::new(
+                                    AttrId::new(id).expect("in range"),
+                                    rng.gen_range(0..=self.value_span),
+                                )
+                            })
+                            .collect();
+                        let target = targets[usize::from(vi - 1) % targets.len()];
+                        let footprint = if self.with_footprints {
+                            random_footprint(&mut rng, target)
+                        } else {
+                            Footprint::none()
+                        };
+                        ImplVariant::with_footprint(
+                            ImplId::new(vi).expect("in range"),
+                            target,
+                            attrs,
+                            footprint,
+                        )
+                        .expect("generator produces unique sorted attrs")
+                    })
+                    .collect();
+                FunctionType::new(
+                    TypeId::new(ti).expect("in range"),
+                    format!("type-{ti}"),
+                    variants,
+                )
+                .expect("unique impl ids")
+            })
+            .collect();
+        CaseBase::new(bounds, types).expect("generator respects invariants")
+    }
+}
+
+fn random_footprint(rng: &mut SmallRng, target: ExecutionTarget) -> Footprint {
+    match target {
+        ExecutionTarget::Fpga => Footprint {
+            bitstream_bytes: rng.gen_range(16..=256) * 1024,
+            slices: rng.gen_range(200..=1500),
+            dynamic_mw: rng.gen_range(80..=400),
+            exec_us: rng.gen_range(5..=50),
+            ..Footprint::none()
+        },
+        _ => Footprint {
+            opcode_bytes: rng.gen_range(1..=32) * 1024,
+            cpu_permille: rng.gen_range(100..=800),
+            dynamic_mw: rng.gen_range(50..=350),
+            exec_us: rng.gen_range(20..=200),
+            ..Footprint::none()
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_is_exact() {
+        let cb = CaseGen::new(3, 4, 5, 8).seed(1).build();
+        assert_eq!(cb.type_count(), 3);
+        assert_eq!(cb.variant_count(), 12);
+        for ty in cb.function_types() {
+            for v in ty.variants() {
+                assert_eq!(v.attr_count(), 5);
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_case_base() {
+        let a = CaseGen::paper_shape().seed(42).build();
+        let b = CaseGen::paper_shape().seed(42).build();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = CaseGen::paper_shape().seed(1).build();
+        let b = CaseGen::paper_shape().seed(2).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn footprints_follow_targets() {
+        let cb = CaseGen::new(1, 6, 2, 4).seed(3).build();
+        for v in cb.function_types()[0].variants() {
+            match v.target() {
+                ExecutionTarget::Fpga => {
+                    assert!(v.footprint().slices > 0);
+                    assert_eq!(v.footprint().cpu_permille, 0);
+                }
+                _ => assert!(v.footprint().cpu_permille > 0),
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot bind more attrs")]
+    fn overfull_shape_panics() {
+        let _ = CaseGen::new(1, 1, 5, 3);
+    }
+}

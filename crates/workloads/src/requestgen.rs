@@ -1,0 +1,274 @@
+//! Request-stream generation correlated with a case base.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rqfa_core::{CaseBase, Request};
+
+/// One generated arrival for the run-time system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedArrival {
+    /// Arrival time in microseconds.
+    pub at_us: u64,
+    /// Application index.
+    pub app: u16,
+    /// Priority (higher preempts lower).
+    pub priority: u8,
+    /// Task run time once placed, µs.
+    pub duration_us: u64,
+    /// The QoS request.
+    pub request: Request,
+    /// Optional relaxed fallback (§3 renegotiation).
+    pub relaxed: Option<Request>,
+}
+
+/// Generates request streams against a case base: each request targets a
+/// random function type and perturbs the attribute values of one of its
+/// variants, so similarities are high but rarely exact; a configurable
+/// fraction of requests are exact repeats (bypass-token traffic).
+#[derive(Debug, Clone)]
+pub struct RequestGen<'a> {
+    case_base: &'a CaseBase,
+    seed: u64,
+    count: usize,
+    perturbation: u16,
+    repeat_fraction: f64,
+    drop_fraction: f64,
+    mean_gap_us: u64,
+    mean_duration_us: u64,
+}
+
+impl<'a> RequestGen<'a> {
+    /// Starts a generator over `case_base`.
+    pub fn new(case_base: &'a CaseBase) -> RequestGen<'a> {
+        RequestGen {
+            case_base,
+            seed: 0,
+            count: 100,
+            perturbation: 8,
+            repeat_fraction: 0.3,
+            drop_fraction: 0.25,
+            mean_gap_us: 500,
+            mean_duration_us: 5_000,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> RequestGen<'a> {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of requests to generate.
+    pub fn count(mut self, count: usize) -> RequestGen<'a> {
+        self.count = count;
+        self
+    }
+
+    /// Maximum per-attribute perturbation added to variant values.
+    pub fn perturbation(mut self, delta: u16) -> RequestGen<'a> {
+        self.perturbation = delta;
+        self
+    }
+
+    /// Fraction of requests that exactly repeat an earlier one.
+    pub fn repeat_fraction(mut self, fraction: f64) -> RequestGen<'a> {
+        self.repeat_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fraction of attributes left unconstrained (incomplete requests,
+    /// fig. 3's "incomplete subsets are possible").
+    pub fn drop_fraction(mut self, fraction: f64) -> RequestGen<'a> {
+        self.drop_fraction = fraction.clamp(0.0, 0.9);
+        self
+    }
+
+    /// Mean inter-arrival gap in µs (geometric distribution).
+    pub fn mean_gap_us(mut self, gap: u64) -> RequestGen<'a> {
+        self.mean_gap_us = gap.max(1);
+        self
+    }
+
+    /// Mean task duration in µs.
+    pub fn mean_duration_us(mut self, duration: u64) -> RequestGen<'a> {
+        self.mean_duration_us = duration.max(1);
+        self
+    }
+
+    /// Generates just the requests (retrieval benchmarks).
+    ///
+    /// # Panics
+    ///
+    /// Never for a validated case base (every type holds ≥1 variant with
+    /// ≥1 attribute binding — only all-empty variants could panic).
+    pub fn generate(&self) -> Vec<Request> {
+        self.generate_arrivals()
+            .into_iter()
+            .map(|a| a.request)
+            .collect()
+    }
+
+    /// Generates timed arrivals (run-time-system scenarios).
+    ///
+    /// # Panics
+    ///
+    /// See [`RequestGen::generate`].
+    pub fn generate_arrivals(&self) -> Vec<GeneratedArrival> {
+        let mut rng = SmallRng::seed_from_u64(self.seed ^ 0x9E37_79B9_7F4A_7C15);
+        let mut out: Vec<GeneratedArrival> = Vec::with_capacity(self.count);
+        let mut clock: u64 = 0;
+        for i in 0..self.count {
+            clock += geometric(&mut rng, self.mean_gap_us);
+            let arrival = if !out.is_empty() && rng.gen_bool(self.repeat_fraction) {
+                let template = &out[rng.gen_range(0..out.len())];
+                GeneratedArrival {
+                    at_us: clock,
+                    ..template.clone()
+                }
+            } else {
+                let request = self.fresh_request(&mut rng);
+                let relaxed = self.relax(&request);
+                GeneratedArrival {
+                    at_us: clock,
+                    app: u16::try_from(i % 4).expect("small"),
+                    priority: rng.gen_range(1..=9),
+                    duration_us: geometric(&mut rng, self.mean_duration_us),
+                    request,
+                    relaxed,
+                }
+            };
+            out.push(arrival);
+        }
+        out
+    }
+
+    /// A fresh request: perturb a random variant of a random type.
+    fn fresh_request(&self, rng: &mut SmallRng) -> Request {
+        let types = self.case_base.function_types();
+        let ty = &types[rng.gen_range(0..types.len())];
+        let variant = &ty.variants()[rng.gen_range(0..ty.variant_count())];
+        let bounds = self.case_base.bounds();
+        let mut builder = Request::builder(ty.id());
+        let mut any = false;
+        for binding in variant.attrs() {
+            if !any || !rng.gen_bool(self.drop_fraction) {
+                let decl = bounds.decl(binding.attr).expect("bound attr declared");
+                let delta = rng.gen_range(0..=self.perturbation);
+                let value = if rng.gen_bool(0.5) {
+                    binding.value.saturating_add(delta).min(decl.upper())
+                } else {
+                    binding.value.saturating_sub(delta).max(decl.lower())
+                };
+                let weight = f64::from(rng.gen_range(1u32..=4));
+                builder = builder.weighted_constraint(binding.attr, value, weight);
+                any = true;
+            }
+        }
+        builder.build().expect("at least one constraint")
+    }
+
+    /// Relaxation: keep only the first constraint, equal weight.
+    fn relax(&self, request: &Request) -> Option<Request> {
+        let first = request.constraints().first()?;
+        Request::builder(request.type_id())
+            .constraint(first.attr, first.value)
+            .build()
+            .ok()
+    }
+}
+
+/// Geometric inter-arrival with the given mean (≥1).
+fn geometric(rng: &mut SmallRng, mean: u64) -> u64 {
+    #[allow(clippy::cast_precision_loss)]
+    let p = 1.0 / mean as f64;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let value = (u.ln() / (1.0 - p).ln()).ceil() as u64;
+    value.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casegen::CaseGen;
+    use rqfa_core::FixedEngine;
+
+    fn case_base() -> CaseBase {
+        CaseGen::new(4, 5, 4, 6).seed(9).build()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cb = case_base();
+        let a = RequestGen::new(&cb).seed(5).count(30).generate_arrivals();
+        let b = RequestGen::new(&cb).seed(5).count(30).generate_arrivals();
+        assert_eq!(a, b);
+        let c = RequestGen::new(&cb).seed(6).count(30).generate_arrivals();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn arrivals_are_time_ordered_and_sized() {
+        let cb = case_base();
+        let arrivals = RequestGen::new(&cb).count(50).generate_arrivals();
+        assert_eq!(arrivals.len(), 50);
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+    }
+
+    #[test]
+    fn requests_retrieve_with_high_similarity() {
+        // Perturbed-from-variant requests should match well on average.
+        let cb = case_base();
+        let requests = RequestGen::new(&cb)
+            .seed(3)
+            .count(40)
+            .perturbation(4)
+            .generate();
+        let engine = FixedEngine::new();
+        let mut total = 0.0;
+        for r in &requests {
+            let best = engine.retrieve(&cb, r).unwrap().best.unwrap();
+            total += best.similarity.to_f64();
+        }
+        let mean = total / requests.len() as f64;
+        assert!(mean > 0.7, "mean similarity {mean} too low");
+    }
+
+    #[test]
+    fn repeat_fraction_produces_duplicates() {
+        let cb = case_base();
+        let arrivals = RequestGen::new(&cb)
+            .seed(8)
+            .count(60)
+            .repeat_fraction(0.8)
+            .generate_arrivals();
+        let mut fingerprints: Vec<u64> =
+            arrivals.iter().map(|a| a.request.fingerprint()).collect();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert!(
+            fingerprints.len() < arrivals.len() / 2,
+            "expected many repeats: {} unique of {}",
+            fingerprints.len(),
+            arrivals.len()
+        );
+    }
+
+    #[test]
+    fn relaxed_requests_are_weaker() {
+        let cb = case_base();
+        let arrivals = RequestGen::new(&cb)
+            .seed(2)
+            .count(20)
+            .repeat_fraction(0.0)
+            .generate_arrivals();
+        for a in &arrivals {
+            let relaxed = a.relaxed.as_ref().unwrap();
+            assert!(relaxed.constraints().len() <= a.request.constraints().len());
+            assert_eq!(relaxed.type_id(), a.request.type_id());
+        }
+    }
+}

@@ -1,0 +1,369 @@
+//! The fig. 1 application mix as a ready-made scenario: MP3 player, video
+//! decoder, automotive ECU and cruise control share one reconfigurable
+//! platform.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use rqfa_core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, Footprint,
+    FunctionType, ImplId, ImplVariant, Request, TypeId,
+};
+
+use crate::requestgen::GeneratedArrival;
+
+/// Application index of the MP3 player.
+pub const APP_MP3: u16 = 0;
+/// Application index of the video decoder.
+pub const APP_VIDEO: u16 = 1;
+/// Application index of the automotive ECU.
+pub const APP_AUTOMOTIVE_ECU: u16 = 2;
+/// Application index of the cruise control.
+pub const APP_CRUISE: u16 = 3;
+
+/// Attribute ids of the scenario's QoS vocabulary.
+const A_BITWIDTH: u16 = 1;
+const A_MODE: u16 = 2;
+const A_OUTPUT: u16 = 3;
+const A_RATE: u16 = 4;
+const A_LATENCY: u16 = 5;
+const A_FRAMES: u16 = 6;
+
+/// Function-type ids.
+const T_FIR: u16 = 1;
+const T_FFT: u16 = 2;
+const T_IDCT: u16 = 3;
+const T_PID: u16 = 4;
+const T_CAN_FILTER: u16 = 5;
+
+/// A generated fig. 1 scenario: the shared case base plus timed arrivals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig1Scenario {
+    /// The platform's function library.
+    pub case_base: CaseBase,
+    /// Timed application requests.
+    pub arrivals: Vec<GeneratedArrival>,
+}
+
+fn aid(raw: u16) -> AttrId {
+    AttrId::new(raw).expect("static id")
+}
+
+fn tid(raw: u16) -> TypeId {
+    TypeId::new(raw).expect("static id")
+}
+
+fn iid(raw: u16) -> ImplId {
+    ImplId::new(raw).expect("static id")
+}
+
+fn bounds() -> BoundsTable {
+    BoundsTable::from_decls(vec![
+        AttrDecl::new(aid(A_BITWIDTH), "bit-width", 8, 32).expect("decl"),
+        AttrDecl::new(aid(A_MODE), "int/float", 0, 1).expect("decl"),
+        AttrDecl::new(aid(A_OUTPUT), "output mode", 0, 2).expect("decl"),
+        AttrDecl::new(aid(A_RATE), "kSamples/s", 8, 192).expect("decl"),
+        AttrDecl::new(aid(A_LATENCY), "deadline (100µs)", 1, 100).expect("decl"),
+        AttrDecl::new(aid(A_FRAMES), "frames/s", 5, 60).expect("decl"),
+    ])
+    .expect("bounds")
+}
+
+#[allow(clippy::too_many_lines)]
+fn library() -> CaseBase {
+    let fpga = |slices, mw, us, kb: u32| Footprint {
+        bitstream_bytes: kb * 1024,
+        slices,
+        dynamic_mw: mw,
+        exec_us: us,
+        ..Footprint::none()
+    };
+    let sw = |permille, mw, us, kb: u32| Footprint {
+        opcode_bytes: kb * 1024,
+        cpu_permille: permille,
+        dynamic_mw: mw,
+        exec_us: us,
+        ..Footprint::none()
+    };
+    let variant = |id, target, attrs: Vec<AttrBinding>, fp| {
+        ImplVariant::with_footprint(iid(id), target, attrs, fp).expect("static variant")
+    };
+    let types = vec![
+        FunctionType::new(
+            tid(T_FIR),
+            "FIR equalizer",
+            vec![
+                variant(
+                    1,
+                    ExecutionTarget::Fpga,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 16),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_OUTPUT), 2),
+                        AttrBinding::new(aid(A_RATE), 48),
+                        AttrBinding::new(aid(A_LATENCY), 2),
+                    ],
+                    fpga(850, 180, 12, 96),
+                ),
+                variant(
+                    2,
+                    ExecutionTarget::Dsp,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 16),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_OUTPUT), 1),
+                        AttrBinding::new(aid(A_RATE), 48),
+                        AttrBinding::new(aid(A_LATENCY), 5),
+                    ],
+                    sw(400, 320, 25, 6),
+                ),
+                variant(
+                    3,
+                    ExecutionTarget::GpProcessor,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 8),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_OUTPUT), 0),
+                        AttrBinding::new(aid(A_RATE), 22),
+                        AttrBinding::new(aid(A_LATENCY), 20),
+                    ],
+                    sw(650, 150, 85, 2),
+                ),
+            ],
+        )
+        .expect("type"),
+        FunctionType::new(
+            tid(T_FFT),
+            "1D-FFT",
+            vec![
+                variant(
+                    1,
+                    ExecutionTarget::Fpga,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 16),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_RATE), 96),
+                        AttrBinding::new(aid(A_LATENCY), 1),
+                    ],
+                    fpga(1200, 260, 8, 128),
+                ),
+                variant(
+                    2,
+                    ExecutionTarget::Dsp,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 24),
+                        AttrBinding::new(aid(A_MODE), 1),
+                        AttrBinding::new(aid(A_RATE), 48),
+                        AttrBinding::new(aid(A_LATENCY), 4),
+                    ],
+                    sw(500, 300, 40, 12),
+                ),
+            ],
+        )
+        .expect("type"),
+        FunctionType::new(
+            tid(T_IDCT),
+            "8x8 IDCT",
+            vec![
+                variant(
+                    1,
+                    ExecutionTarget::Fpga,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 12),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_FRAMES), 60),
+                        AttrBinding::new(aid(A_LATENCY), 1),
+                    ],
+                    fpga(1400, 310, 6, 160),
+                ),
+                variant(
+                    2,
+                    ExecutionTarget::GpProcessor,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 12),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_FRAMES), 25),
+                        AttrBinding::new(aid(A_LATENCY), 8),
+                    ],
+                    sw(750, 220, 120, 8),
+                ),
+            ],
+        )
+        .expect("type"),
+        FunctionType::new(
+            tid(T_PID),
+            "PID controller",
+            vec![
+                variant(
+                    1,
+                    ExecutionTarget::Fpga,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 16),
+                        AttrBinding::new(aid(A_MODE), 0),
+                        AttrBinding::new(aid(A_LATENCY), 1),
+                    ],
+                    fpga(300, 60, 2, 32),
+                ),
+                variant(
+                    2,
+                    ExecutionTarget::GpProcessor,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 32),
+                        AttrBinding::new(aid(A_MODE), 1),
+                        AttrBinding::new(aid(A_LATENCY), 5),
+                    ],
+                    sw(200, 90, 15, 4),
+                ),
+            ],
+        )
+        .expect("type"),
+        FunctionType::new(
+            tid(T_CAN_FILTER),
+            "CAN message filter",
+            vec![
+                variant(
+                    1,
+                    ExecutionTarget::Fpga,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 8),
+                        AttrBinding::new(aid(A_LATENCY), 1),
+                    ],
+                    fpga(150, 40, 1, 16),
+                ),
+                variant(
+                    2,
+                    ExecutionTarget::GpProcessor,
+                    vec![
+                        AttrBinding::new(aid(A_BITWIDTH), 8),
+                        AttrBinding::new(aid(A_LATENCY), 10),
+                    ],
+                    sw(150, 60, 30, 2),
+                ),
+            ],
+        )
+        .expect("type"),
+    ];
+    CaseBase::new(bounds(), types).expect("library")
+}
+
+/// Generates the fig. 1 mix: `rounds` bursts of the four applications'
+/// characteristic requests, with jittered arrival times.
+///
+/// * MP3 player: FIR equalizer (stereo, 44 kS/s) + FFT for visualization.
+/// * Video decoder: IDCT at 25/60 frames/s, relaxing to 25 on rejection.
+/// * Automotive ECU: CAN filter with tight deadlines, high priority.
+/// * Cruise control: PID controller, highest priority, preemption source.
+pub fn fig1_mix(rounds: u32, seed: u64) -> Fig1Scenario {
+    let case_base = library();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut arrivals = Vec::new();
+    let mut clock: u64 = 0;
+    let req = |type_id: u16, attrs: &[(u16, u16)]| {
+        let mut b = Request::builder(tid(type_id));
+        for &(a, v) in attrs {
+            b = b.constraint(aid(a), v);
+        }
+        b.build().expect("static request")
+    };
+    for round in 0..rounds {
+        clock += 1_000 + u64::from(rng.gen_range(0..500u32));
+        // MP3: equalizer + FFT, modest priority, repeats every round
+        // (bypass-token traffic by construction).
+        arrivals.push(GeneratedArrival {
+            at_us: clock,
+            app: APP_MP3,
+            priority: 3,
+            duration_us: 40_000,
+            request: req(
+                T_FIR,
+                &[(A_BITWIDTH, 16), (A_OUTPUT, 1), (A_RATE, 44)],
+            ),
+            relaxed: Some(req(T_FIR, &[(A_OUTPUT, 0), (A_RATE, 22)])),
+        });
+        arrivals.push(GeneratedArrival {
+            at_us: clock + rng.gen_range(100..800),
+            app: APP_MP3,
+            priority: 2,
+            duration_us: 30_000,
+            request: req(T_FFT, &[(A_BITWIDTH, 16), (A_RATE, 48)]),
+            relaxed: None,
+        });
+        // Video: IDCT at full rate, falls back to 25 fps.
+        arrivals.push(GeneratedArrival {
+            at_us: clock + rng.gen_range(200..1_000),
+            app: APP_VIDEO,
+            priority: 4,
+            duration_us: 60_000,
+            request: req(T_IDCT, &[(A_FRAMES, 60), (A_LATENCY, 2)]),
+            relaxed: Some(req(T_IDCT, &[(A_FRAMES, 25)])),
+        });
+        // Automotive ECU: CAN filter, strict deadline, high priority.
+        arrivals.push(GeneratedArrival {
+            at_us: clock + rng.gen_range(0..300),
+            app: APP_AUTOMOTIVE_ECU,
+            priority: 8,
+            duration_us: 80_000,
+            request: req(T_CAN_FILTER, &[(A_BITWIDTH, 8), (A_LATENCY, 1)]),
+            relaxed: None,
+        });
+        // Cruise control: PID, highest priority, every other round.
+        if round % 2 == 0 {
+            arrivals.push(GeneratedArrival {
+                at_us: clock + rng.gen_range(300..1_200),
+                app: APP_CRUISE,
+                priority: 9,
+                duration_us: 100_000,
+                request: req(T_PID, &[(A_BITWIDTH, 16), (A_LATENCY, 1)]),
+                relaxed: Some(req(T_PID, &[(A_LATENCY, 5)])),
+            });
+        }
+        clock += 20_000;
+    }
+    arrivals.sort_by_key(|a| a.at_us);
+    Fig1Scenario {
+        case_base,
+        arrivals,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::FixedEngine;
+
+    #[test]
+    fn scenario_is_well_formed() {
+        let s = fig1_mix(3, 7);
+        assert_eq!(s.case_base.type_count(), 5);
+        assert!(!s.arrivals.is_empty());
+        // 4 + cruise every other round: 3 rounds → 4*3 + 2 = 14.
+        assert_eq!(s.arrivals.len(), 14);
+        for w in s.arrivals.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+    }
+
+    #[test]
+    fn scenario_requests_all_retrieve() {
+        let s = fig1_mix(2, 1);
+        let engine = FixedEngine::new();
+        for a in &s.arrivals {
+            let best = engine.retrieve(&s.case_base, &a.request).unwrap().best;
+            assert!(best.is_some(), "request {:?} found nothing", a.request);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(fig1_mix(2, 5), fig1_mix(2, 5));
+        assert_ne!(fig1_mix(2, 5), fig1_mix(2, 6));
+    }
+
+    #[test]
+    fn automotive_outranks_multimedia() {
+        let s = fig1_mix(1, 0);
+        let ecu = s.arrivals.iter().find(|a| a.app == APP_AUTOMOTIVE_ECU).unwrap();
+        let mp3 = s.arrivals.iter().find(|a| a.app == APP_MP3).unwrap();
+        assert!(ecu.priority > mp3.priority);
+    }
+}

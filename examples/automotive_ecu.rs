@@ -1,0 +1,80 @@
+//! Automotive scenario (the paper's original application domain, §1):
+//! a control unit with hard deadlines competes with infotainment for the
+//! FPGA. Shows priority preemption and the §3 relaxed-retry negotiation
+//! from the application's point of view.
+//!
+//! Run with: `cargo run --example automotive_ecu`
+
+use rqfa::core::{AttrId, Request, TypeId};
+use rqfa::rsoc::{
+    AppId, ArrivalSpec, Decision, Device, DeviceId, SimTime, SystemBuilder, TaskState,
+};
+use rqfa::workloads::fig1_mix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Small platform: one FPGA only — everything fights for fabric.
+    let scenario = fig1_mix(1, 7);
+    let mut system = SystemBuilder::new(scenario.case_base)
+        .device(Device::fpga(DeviceId(0), "xc2v1000", 1600, 120))
+        .build()?;
+
+    let t_idct = TypeId::new(3)?;
+    let t_pid = TypeId::new(4)?;
+    let a_frames = AttrId::new(6)?;
+    let a_latency = AttrId::new(5)?;
+
+    // 1. Infotainment grabs the fabric first: IDCT at 60 fps (1400 slices).
+    system.submit(
+        SimTime::from_us(0),
+        ArrivalSpec {
+            app: AppId(1),
+            request: Request::builder(t_idct)
+                .constraint(a_frames, 60)
+                .build()?,
+            priority: 3,
+            duration_us: 500_000,
+            relaxed: None,
+        },
+    );
+    // 2. The cruise control needs its PID loop *now* (300 slices, priority
+    //    9). With 1600 slices total and 1400 used, only preemption of the
+    //    infotainment task frees room… or the 200 free slices? 1600−1400 =
+    //    200 < 300 → preemption it is.
+    system.submit(
+        SimTime::from_ms(5),
+        ArrivalSpec {
+            app: AppId(2),
+            request: Request::builder(t_pid)
+                .constraint(a_latency, 1)
+                .build()?,
+            priority: 9,
+            duration_us: 400_000,
+            relaxed: Some(Request::builder(t_pid).constraint(a_latency, 5).build()?),
+        },
+    );
+    let metrics = system.run()?;
+
+    println!("— decision log —");
+    for (at, line) in system.log() {
+        println!("[{at:>12}] {line}");
+    }
+    println!("\n{metrics}");
+
+    let preempted: Vec<_> = system
+        .tasks()
+        .filter(|t| t.state == TaskState::Preempted)
+        .collect();
+    println!(
+        "cruise control preempted {} infotainment task(s) — hard deadlines win",
+        preempted.len()
+    );
+    assert_eq!(metrics.preemptions, 1);
+
+    // Demonstrate the negotiation API directly: a deliberately impossible
+    // decision outcome is Rejected with a scheduled relaxed retry.
+    let _ = Decision::Rejected {
+        reason: rqfa::rsoc::RejectReason::NoCapacity,
+        retry_scheduled: true,
+    };
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a case base, issue a QoS request, retrieve the best
+//! implementation variant — the paper's core loop in ~40 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use rqfa::core::{
+    AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, FixedEngine,
+    FunctionType, ImplId, ImplVariant, Request, TypeId,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Declare the QoS vocabulary with design-global bounds. The bounds
+    //    fix d_max of equation (1) — here latency may range 0..=1000 µs.
+    let latency = AttrId::new(1)?;
+    let throughput = AttrId::new(2)?;
+    let bounds = BoundsTable::from_decls(vec![
+        AttrDecl::new(latency, "latency (µs)", 0, 1000)?,
+        AttrDecl::new(throughput, "throughput (Mbit/s)", 1, 200)?,
+    ])?;
+
+    // 2. Describe the implementation variants of one function type.
+    let decoder = TypeId::new(1)?;
+    let variants = vec![
+        ImplVariant::new(
+            ImplId::new(1)?,
+            ExecutionTarget::Fpga,
+            vec![
+                AttrBinding::new(latency, 15),
+                AttrBinding::new(throughput, 160),
+            ],
+        )?,
+        ImplVariant::new(
+            ImplId::new(2)?,
+            ExecutionTarget::GpProcessor,
+            vec![
+                AttrBinding::new(latency, 220),
+                AttrBinding::new(throughput, 40),
+            ],
+        )?,
+    ];
+    let case_base = CaseBase::new(
+        bounds,
+        vec![FunctionType::new(decoder, "video decoder", variants)?],
+    )?;
+
+    // 3. Request the function with weighted QoS constraints: latency
+    //    matters twice as much as throughput for this caller.
+    let request = Request::builder(decoder)
+        .weighted_constraint(latency, 50, 2.0)
+        .weighted_constraint(throughput, 100, 1.0)
+        .build()?;
+
+    // 4. Retrieve the most similar variant (16-bit fixed-point engine —
+    //    the same arithmetic the hardware unit uses).
+    let result = FixedEngine::new().retrieve(&case_base, &request)?;
+    let best = result.best.expect("case base is non-empty");
+    println!("request:  {request}");
+    println!(
+        "selected: {} on {} with similarity {:.4}",
+        best.impl_id,
+        best.target,
+        best.similarity.to_f64()
+    );
+    println!(
+        "evaluated {} variants using {} arithmetic ops",
+        result.evaluated,
+        result.ops.arithmetic()
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! The design-time tool flow (§4.2): the paper's authors exported their
+//! data structures for use "in Stateflow, VHDL and C". This example
+//! produces the equivalent FPGA-flow artifacts from the Rust toolchain:
+//!
+//! * `$readmemh` initialization files for CB-MEM, Req-MEM and the
+//!   soft-core instruction memory;
+//! * a VCD waveform of the retrieval FSM (viewable in GTKWave);
+//! * the sc32 disassembly listing;
+//! * the synthesis report with a power estimate.
+//!
+//! Files are written to `target/artifacts/`.
+//!
+//! Run with: `cargo run --example toolchain_artifacts`
+
+use std::fs;
+use std::path::Path;
+
+use rqfa::core::paper;
+use rqfa::hwsim::{export_vcd, RetrievalUnit, UnitConfig};
+use rqfa::memlist::{encode_case_base, encode_request, from_memh, to_memh};
+use rqfa::softcore::retrieval_program;
+use rqfa::synth::{
+    build_retrieval_unit, estimate_power, synthesize_retrieval_unit, PowerCoefficients,
+    TechLibrary,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = Path::new("target/artifacts");
+    fs::create_dir_all(dir)?;
+
+    // Memory images → $readmemh.
+    let cb = encode_case_base(&paper::table1_case_base())?;
+    let req = encode_request(&paper::table1_request()?)?;
+    let cb_memh = to_memh(cb.image(), "CB-MEM: table 1 case base");
+    let req_memh = to_memh(req.image(), "Req-MEM: table 1 request");
+    fs::write(dir.join("cb_mem.memh"), &cb_memh)?;
+    fs::write(dir.join("req_mem.memh"), &req_memh)?;
+    // Round-trip sanity.
+    assert_eq!(from_memh(&cb_memh)?.words(), cb.image().words());
+    println!(
+        "wrote cb_mem.memh ({} words) and req_mem.memh ({} words)",
+        cb.image().len(),
+        req.image().len()
+    );
+
+    // Soft-core program → $readmemh + disassembly.
+    let program = retrieval_program();
+    fs::write(
+        dir.join("retrieval.memh"),
+        program.to_memh("sc32 retrieval routine"),
+    )?;
+    fs::write(dir.join("retrieval.lst"), program.disassemble())?;
+    println!(
+        "wrote retrieval.memh ({} instructions) and retrieval.lst",
+        program.instrs().len()
+    );
+
+    // Traced hardware run → VCD.
+    let mut unit = RetrievalUnit::new(
+        &cb,
+        UnitConfig {
+            trace_capacity: Some(8192),
+            ..UnitConfig::default()
+        },
+    )?;
+    let result = unit.retrieve(&req)?;
+    let vcd = export_vcd(&result.trace, "table 1 retrieval, narrow classic layout");
+    fs::write(dir.join("retrieval.vcd"), &vcd)?;
+    println!(
+        "wrote retrieval.vcd ({} events over {} cycles) — open with GTKWave",
+        result.trace.events().len(),
+        result.cycles
+    );
+
+    // Synthesis + power report.
+    let synth = synthesize_retrieval_unit()?;
+    let power = estimate_power(
+        &build_retrieval_unit(),
+        &TechLibrary::default(),
+        &PowerCoefficients::default(),
+        synth.timing.fmax_mhz,
+        0.35,
+    );
+    let report = format!(
+        "{}\npower @ {:.1} MHz, activity 0.35:\n  dynamic {:.1} mW + static {:.1} mW = {:.1} mW\n  energy per Table-1 retrieval: {:.3} µJ\n",
+        synth.table2(),
+        power.clock_mhz,
+        power.dynamic_mw,
+        power.static_mw,
+        power.total_mw(),
+        power.energy_per_retrieval_uj(result.cycles)
+    );
+    fs::write(dir.join("synthesis.rpt"), &report)?;
+    println!("wrote synthesis.rpt:\n\n{report}");
+    Ok(())
+}

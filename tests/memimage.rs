@@ -1,0 +1,86 @@
+//! Experiment E12: memory-image integrity across the toolchain — encode,
+//! validate, decode, and survive corruption without undefined behaviour in
+//! any consumer (validator, decoder, hardware simulator, soft core).
+
+use proptest::prelude::*;
+
+use rqfa::core::FixedEngine;
+use rqfa::hwsim::{RetrievalUnit, UnitConfig};
+use rqfa::memlist::{
+    decode_case_base, decode_request, encode_case_base, encode_request, validate_case_base,
+    validate_request, CaseBaseImage, MemImage,
+};
+use rqfa::softcore::{run_retrieval, CpuCostModel};
+use rqfa::workloads::{CaseGen, RequestGen};
+
+#[test]
+fn generated_images_validate_and_roundtrip() {
+    for seed in 0..10 {
+        let case_base = CaseGen::new(5, 4, 6, 8).seed(seed).build();
+        let image = encode_case_base(&case_base).unwrap();
+        let summary = validate_case_base(&image).unwrap();
+        assert_eq!(summary.types, 5);
+        assert_eq!(summary.variants, 20);
+        let decoded = decode_case_base(&image).unwrap();
+        assert_eq!(decoded.variant_count(), case_base.variant_count());
+
+        let requests = RequestGen::new(&case_base).seed(seed).count(3).generate();
+        for request in &requests {
+            let req_image = encode_request(request).unwrap();
+            validate_request(&req_image, &image).unwrap();
+            let back = decode_request(&req_image).unwrap();
+            assert_eq!(back.fingerprint(), request.fingerprint());
+
+            // Retrieval over the decoded case base is bit-identical.
+            let engine = FixedEngine::new();
+            let a = engine.retrieve(&case_base, request).unwrap().best.unwrap();
+            let b = engine.retrieve(&decoded, request).unwrap().best.unwrap();
+            assert_eq!((a.impl_id, a.similarity), (b.impl_id, b.similarity));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Corrupted images never panic any consumer: they either still parse
+    /// (benign flip) or fail with a structured error.
+    #[test]
+    fn corruption_is_contained(seed in 0u64..1000, word in 0usize..4096, flip in 1u16..=u16::MAX) {
+        let case_base = CaseGen::new(3, 3, 4, 5).seed(seed).build();
+        let image = encode_case_base(&case_base).unwrap();
+        let request = &RequestGen::new(&case_base).seed(seed).count(1).generate()[0];
+        let req_image = encode_request(request).unwrap();
+
+        let mut words = image.image().words().to_vec();
+        let idx = word % words.len();
+        words[idx] ^= flip;
+        let corrupted = CaseBaseImage::from_image(MemImage::from_words(words).unwrap());
+
+        // Validator: Ok or Err, never panic.
+        let _ = validate_case_base(&corrupted);
+        // Decoder: same.
+        let _ = decode_case_base(&corrupted);
+        // Hardware simulator: runs to a result or faults cleanly
+        // (including the watchdog for scan loops).
+        if let Ok(mut unit) = RetrievalUnit::new(&corrupted, UnitConfig::default()) {
+            let _ = unit.retrieve(&req_image);
+        }
+        // Soft core: same containment.
+        let _ = run_retrieval(&corrupted, &req_image, CpuCostModel::default());
+    }
+
+    /// When the validator accepts an image, the hardware simulator must
+    /// complete without memory faults (validation soundness).
+    #[test]
+    fn validated_images_execute(seed in 0u64..500) {
+        let case_base = CaseGen::new(2, 4, 3, 4).seed(seed).build();
+        let image = encode_case_base(&case_base).unwrap();
+        prop_assert!(validate_case_base(&image).is_ok());
+        let request = &RequestGen::new(&case_base).seed(seed).count(1).generate()[0];
+        let req_image = encode_request(request).unwrap();
+        let mut unit = RetrievalUnit::new(&image, UnitConfig::default()).unwrap();
+        let result = unit.retrieve(&req_image);
+        prop_assert!(result.is_ok(), "validated image faulted: {result:?}");
+    }
+}

@@ -1,0 +1,93 @@
+//! End-to-end reproduction of the paper's running example (fig. 3 /
+//! Table 1) through every engine in the workspace: float reference,
+//! 16-bit fixed-point engine, cycle-level hardware simulator and both
+//! soft-core routines. All fixed-point paths must agree bit-exactly; the
+//! float path must reproduce the published two-decimal similarities.
+
+use rqfa::core::{paper, FixedEngine, FloatEngine};
+use rqfa::hwsim::{ImageLayout, PortWidth, RetrievalUnit, UnitConfig};
+use rqfa::memlist::{encode_case_base, encode_compact_case_base, encode_request};
+use rqfa::softcore::{run_retrieval_with, CpuCostModel, ProgramKind};
+
+#[test]
+fn table1_float_similarities_match_paper() {
+    let cb = paper::table1_case_base();
+    let request = paper::table1_request().unwrap();
+    let (scores, _) = FloatEngine::new().score_all(&cb, &request).unwrap();
+    for (impl_raw, expected) in paper::TABLE1_EXPECTED {
+        let got = scores
+            .iter()
+            .find(|s| s.impl_id.raw() == impl_raw)
+            .unwrap()
+            .similarity;
+        assert!(
+            (got - expected).abs() < 5e-3,
+            "impl {impl_raw}: {got:.4} vs paper {expected}"
+        );
+    }
+}
+
+#[test]
+fn table1_all_engines_agree_on_winner_and_bits() {
+    let cb = paper::table1_case_base();
+    let request = paper::table1_request().unwrap();
+    let reference = FixedEngine::new().retrieve(&cb, &request).unwrap().best.unwrap();
+    assert_eq!(reference.impl_id, paper::IMPL_DSP);
+
+    let cb_img = encode_case_base(&cb).unwrap();
+    let req_img = encode_request(&request).unwrap();
+
+    // Hardware simulator, all three memory organizations.
+    for layout in [
+        ImageLayout::Classic(PortWidth::Narrow),
+        ImageLayout::Classic(PortWidth::Wide),
+    ] {
+        let mut unit = RetrievalUnit::new(
+            &cb_img,
+            UnitConfig {
+                layout,
+                ..UnitConfig::default()
+            },
+        )
+        .unwrap();
+        let hw = unit.retrieve(&req_img).unwrap();
+        assert_eq!(hw.best, Some((reference.impl_id.raw(), reference.similarity)));
+    }
+    let compact = encode_compact_case_base(&cb).unwrap();
+    let mut unit = RetrievalUnit::new_compact(&compact, UnitConfig::default()).unwrap();
+    let hw = unit.retrieve(&req_img).unwrap();
+    assert_eq!(hw.best, Some((reference.impl_id.raw(), reference.similarity)));
+
+    // Both soft-core routines.
+    for kind in [ProgramKind::HandOptimized, ProgramKind::CompilerStyle] {
+        let sw = run_retrieval_with(&cb_img, &req_img, CpuCostModel::default(), kind).unwrap();
+        assert_eq!(
+            sw.best,
+            Some((reference.impl_id.raw(), reference.similarity)),
+            "{kind:?}"
+        );
+    }
+}
+
+#[test]
+fn table1_relaxed_request_promotes_gp_processor() {
+    // §3: "the application has to repeat its request with rather relaxed
+    // constraints giving a chance to the third low performance
+    // implementation".
+    let cb = paper::table1_case_base();
+    let relaxed = paper::relaxed_request().unwrap();
+    let best = FixedEngine::new().retrieve(&cb, &relaxed).unwrap().best.unwrap();
+    assert_eq!(best.impl_id, paper::IMPL_GP);
+    assert!(best.similarity.is_one(), "exact match after relaxation");
+}
+
+#[test]
+fn table1_incomplete_request_is_served() {
+    // Fig. 3: "the request's attribute-set does not have to be completely
+    // specified" — the paper's request omits the processing mode.
+    let request = paper::table1_request().unwrap();
+    assert_eq!(request.constraints().len(), 3);
+    assert!(request.constraint(paper::ATTR_MODE).is_none());
+    let cb = paper::table1_case_base();
+    assert!(FixedEngine::new().retrieve(&cb, &request).unwrap().best.is_some());
+}

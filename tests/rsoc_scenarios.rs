@@ -1,0 +1,130 @@
+//! Experiment E11: the fig. 1 narrative end-to-end — application mix on a
+//! multi-device platform through the allocation manager, with negotiation,
+//! preemption, bypass tokens and relaxed retries.
+
+use rqfa::rsoc::{
+    AllocPolicy, AppId, ArrivalSpec, Device, DeviceId, SimTime, SystemBuilder, TaskState,
+};
+use rqfa::workloads::{fig1_mix, CaseGen, RequestGen};
+
+fn submit_all(system: &mut rqfa::rsoc::System, scenario: &rqfa::workloads::Fig1Scenario) {
+    for a in &scenario.arrivals {
+        system.submit(
+            SimTime::from_us(a.at_us),
+            ArrivalSpec {
+                app: AppId(a.app),
+                request: a.request.clone(),
+                priority: a.priority,
+                duration_us: a.duration_us,
+                relaxed: a.relaxed.clone(),
+            },
+        );
+    }
+}
+
+#[test]
+fn fig1_mix_runs_with_high_acceptance() {
+    let scenario = fig1_mix(8, 11);
+    let mut system = SystemBuilder::new(scenario.case_base.clone())
+        .device(Device::fpga(DeviceId(0), "fpga0", 3200, 150))
+        .device(Device::dsp(DeviceId(1), "dsp0", 1000, 90))
+        .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+        .build()
+        .unwrap();
+    submit_all(&mut system, &scenario);
+    let metrics = system.run().unwrap();
+
+    assert!(metrics.requests >= scenario.arrivals.len() as u64);
+    assert_eq!(metrics.accepted + metrics.rejected, metrics.requests);
+    // The mix deliberately over-subscribes the platform: most requests are
+    // served (some via downgrade/preemption), a visible minority is
+    // rejected and renegotiated.
+    assert!(
+        metrics.acceptance_rate() > 0.6,
+        "acceptance {:.2} too low:\n{metrics}",
+        metrics.acceptance_rate()
+    );
+    assert!(metrics.bypass_hits > 0, "MP3 repeats should hit tokens");
+    assert!(metrics.energy_nj > 0);
+    // Devices drained.
+    for d in [DeviceId(0), DeviceId(1), DeviceId(2)] {
+        assert!(system.device(d).unwrap().utilization().abs() < 1e-12);
+    }
+}
+
+#[test]
+fn starved_platform_rejects_or_downgrades() {
+    let scenario = fig1_mix(4, 3);
+    // Tiny FPGA, no DSP: multimedia must degrade to the CPU or fail.
+    let mut system = SystemBuilder::new(scenario.case_base.clone())
+        .device(Device::fpga(DeviceId(0), "small-fpga", 400, 100))
+        .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+        .build()
+        .unwrap();
+    submit_all(&mut system, &scenario);
+    let metrics = system.run().unwrap();
+    assert!(
+        metrics.rejected + metrics.downgraded > 0,
+        "starvation must be visible:\n{metrics}"
+    );
+    assert_eq!(metrics.accepted + metrics.rejected, metrics.requests);
+}
+
+#[test]
+fn preemption_disabled_changes_outcomes() {
+    let scenario = fig1_mix(6, 5);
+    let run = |preempt: bool| {
+        let mut system = SystemBuilder::new(scenario.case_base.clone())
+            .device(Device::fpga(DeviceId(0), "fpga0", 1600, 150))
+            .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+            .policy(AllocPolicy {
+                allow_preemption: preempt,
+                ..AllocPolicy::default()
+            })
+            .build()
+            .unwrap();
+        submit_all(&mut system, &scenario);
+        system.run().unwrap()
+    };
+    let with = run(true);
+    let without = run(false);
+    assert_eq!(without.preemptions, 0);
+    assert!(with.preemptions >= without.preemptions);
+}
+
+#[test]
+fn generated_streams_conserve_invariants() {
+    let case_base = CaseGen::new(6, 5, 4, 6).seed(17).build();
+    let arrivals = RequestGen::new(&case_base)
+        .seed(23)
+        .count(80)
+        .repeat_fraction(0.4)
+        .generate_arrivals();
+    let mut system = SystemBuilder::new(case_base)
+        .device(Device::fpga(DeviceId(0), "fpga0", 2500, 150))
+        .device(Device::dsp(DeviceId(1), "dsp0", 1000, 90))
+        .device(Device::cpu(DeviceId(2), "cpu0", 1000, 200))
+        .build()
+        .unwrap();
+    for a in &arrivals {
+        system.submit(
+            SimTime::from_us(a.at_us),
+            ArrivalSpec {
+                app: AppId(a.app),
+                request: a.request.clone(),
+                priority: a.priority,
+                duration_us: a.duration_us,
+                relaxed: a.relaxed.clone(),
+            },
+        );
+    }
+    let metrics = system.run().unwrap();
+    assert_eq!(metrics.accepted + metrics.rejected, metrics.requests);
+    assert!(metrics.bypass_rate() > 0.0, "repeats must produce hits");
+    for task in system.tasks() {
+        assert!(matches!(
+            task.state,
+            TaskState::Completed | TaskState::Preempted
+        ));
+    }
+}

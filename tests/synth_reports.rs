@@ -1,0 +1,80 @@
+//! Experiments E2/E3: the synthesis estimate (Table 2) and the memory
+//! budget (Table 3) as integration checks over the real artifacts.
+
+use rqfa::memlist::{
+    encode_case_base, encode_compact_case_base, encode_request, predicted_compact_words,
+    predicted_request_words, predicted_words, MemoryReport,
+};
+use rqfa::synth::{build_retrieval_unit_with, synthesize_retrieval_unit, synthesize_with, TechLibrary};
+use rqfa::workloads::{CaseGen, RequestGen};
+
+#[test]
+fn table2_resource_mix_and_bands() {
+    let report = synthesize_retrieval_unit().unwrap();
+    // Structural facts.
+    assert_eq!(report.area.mult18, 2, "fig. 7 has exactly two multipliers");
+    assert_eq!(report.area.bram18, 2, "CB-MEM and Req-MEM");
+    // Calibrated bands around the paper's 441 slices / ~75 MHz.
+    assert!(
+        (375..=510).contains(&report.area.slices),
+        "slices {}",
+        report.area.slices
+    );
+    assert!(
+        (65.0..=85.0).contains(&report.timing.fmax_mhz),
+        "fmax {:.1}",
+        report.timing.fmax_mhz
+    );
+    // Utilization matches the table's ~3 % / 2 % / 2 %.
+    let (s, m, b) = report.area.utilization(&rqfa::synth::XC2V3000);
+    assert!(s < 5.0 && m < 5.0 && b < 5.0);
+}
+
+#[test]
+fn table3_request_is_64_bytes() {
+    let case_base = CaseGen::paper_shape().seed(1).build();
+    let requests = RequestGen::new(&case_base)
+        .seed(1)
+        .count(1)
+        .drop_fraction(0.0) // all 10 attributes constrained (worst case)
+        .generate();
+    assert_eq!(requests[0].constraints().len(), 10);
+    let image = encode_request(&requests[0]).unwrap();
+    assert_eq!(image.image().bytes(), 64, "Table 3: request = 64 bytes");
+    assert_eq!(predicted_request_words(10) * 2, 64);
+}
+
+#[test]
+fn table3_case_base_budget() {
+    let case_base = CaseGen::paper_shape().seed(1).build();
+    let classic = encode_case_base(&case_base).unwrap();
+    assert_eq!(classic.image().len(), predicted_words(15, 10, 10, 10));
+    let report = MemoryReport::of(&classic);
+    // Canonical two-word entries: ~6.9 kB (the paper's stated layout).
+    assert!(
+        (6.0..8.0).contains(&report.total_kib()),
+        "classic {:.2} kB",
+        report.total_kib()
+    );
+    // The compact encoding approaches the paper's "about 4.5 kB".
+    let compact_case_base = CaseGen::paper_shape().seed(1).value_span(1000).build();
+    let compact = encode_compact_case_base(&compact_case_base).unwrap();
+    assert_eq!(compact.image().len(), predicted_compact_words(15, 10, 10, 10));
+    let compact_report = MemoryReport::of_compact(&compact);
+    assert!(
+        (3.5..5.0).contains(&compact_report.total_kib()),
+        "compact {:.2} kB",
+        compact_report.total_kib()
+    );
+}
+
+#[test]
+fn nbest_hardware_extension_costs_area_not_multipliers() {
+    let lib = TechLibrary::default();
+    let base = synthesize_with(&build_retrieval_unit_with(1), &lib).unwrap();
+    let n4 = synthesize_with(&build_retrieval_unit_with(4), &lib).unwrap();
+    let n8 = synthesize_with(&build_retrieval_unit_with(8), &lib).unwrap();
+    assert!(base.area.slices < n4.area.slices && n4.area.slices < n8.area.slices);
+    assert_eq!(base.area.mult18, n8.area.mult18);
+    assert_eq!(base.area.bram18, n8.area.bram18);
+}
