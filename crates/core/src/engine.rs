@@ -75,6 +75,10 @@ impl OpCounts {
     }
 }
 
+/// One request's slot in a [`FixedEngine::score_batch`] result: the full
+/// score vector plus operation counters, or the per-request error.
+pub type ScoreResult = Result<(Vec<Scored<Q15>>, OpCounts), CoreError>;
+
 /// The result of one retrieval run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Retrieval<S> {
@@ -258,7 +262,16 @@ impl FixedEngine {
         request: &Request,
     ) -> Result<(Vec<Scored<Q15>>, OpCounts), CoreError> {
         let ty = case_base.require_type(request.type_id())?;
-        let bounds = case_base.bounds();
+        self.score_type(case_base.bounds(), ty, request)
+    }
+
+    /// Scores one request against an already-resolved function type.
+    fn score_type(
+        &self,
+        bounds: &crate::bounds::BoundsTable,
+        ty: &crate::casebase::FunctionType,
+        request: &Request,
+    ) -> Result<(Vec<Scored<Q15>>, OpCounts), CoreError> {
         let mut recips = Vec::with_capacity(request.constraints().len());
         for c in request.constraints() {
             recips.push(bounds.require(c.attr)?.recip);
@@ -331,6 +344,65 @@ impl FixedEngine {
     ) -> Result<Option<Scored<Q15>>, CoreError> {
         let retrieval = self.retrieve(case_base, request)?;
         Ok(retrieval.best.filter(|s| s.similarity >= threshold))
+    }
+
+    /// Retrieves a whole batch of requests in one call, returning per-item
+    /// results in input order.
+    ///
+    /// The batch is processed grouped by function type so the type lookup
+    /// (a binary search over the implementation tree) is paid once per
+    /// distinct type instead of once per request — the software analogue of
+    /// the hardware unit keeping the level-0 pointer parked while a burst
+    /// of requests for the same function streams in. A request for an
+    /// unknown type yields an `Err` in its slot without poisoning the rest
+    /// of the batch, which is what a multiplexing service layer needs.
+    ///
+    /// Requests are taken by reference (`&[&Request]`) so a queueing
+    /// layer can batch jobs it owns without cloning constraint lists on
+    /// its hot path.
+    pub fn retrieve_batch(
+        &self,
+        case_base: &CaseBase,
+        requests: &[&Request],
+    ) -> Vec<Result<Retrieval<Q15>, CoreError>> {
+        self.score_batch(case_base, requests)
+            .into_iter()
+            .map(|item| {
+                item.map(|(scores, ops)| Retrieval {
+                    evaluated: scores.len(),
+                    best: first_achieving_max_q15(&scores),
+                    ops,
+                })
+            })
+            .collect()
+    }
+
+    /// Batch variant of [`FixedEngine::score_all`]: full score vectors for
+    /// every request, in input order, grouped by type internally.
+    pub fn score_batch(&self, case_base: &CaseBase, requests: &[&Request]) -> Vec<ScoreResult> {
+        let bounds = case_base.bounds();
+        // Stable-sort indices by type id so each group resolves its type once.
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| requests[i].type_id());
+        let mut out: Vec<Option<ScoreResult>> = (0..requests.len()).map(|_| None).collect();
+        let mut current: Option<(crate::ids::TypeId, Result<&crate::casebase::FunctionType, CoreError>)> = None;
+        for i in order {
+            let request = requests[i];
+            let tid = request.type_id();
+            let ty = match &current {
+                Some((cached, ty)) if *cached == tid => ty.clone(),
+                _ => {
+                    let looked_up = case_base.require_type(tid);
+                    current = Some((tid, looked_up.clone()));
+                    looked_up
+                }
+            };
+            out[i] = Some(match ty {
+                Ok(ty) => self.score_type(bounds, ty, request),
+                Err(e) => Err(e),
+            });
+        }
+        out.into_iter().map(|slot| slot.expect("every slot filled")).collect()
     }
 }
 
@@ -470,6 +542,42 @@ mod tests {
         assert!(ops.search_steps > 0);
         assert_eq!(ops.comparisons, 3);
         assert!(ops.arithmetic() > 0);
+    }
+
+    #[test]
+    fn batch_matches_single_retrievals_in_input_order() {
+        let cb = paper::table1_case_base();
+        let engine = FixedEngine::new();
+        let fir = paper::table1_request().unwrap();
+        let fft = Request::builder(paper::FFT_1D)
+            .constraint(crate::ids::AttrId::new(1).unwrap(), 16)
+            .build()
+            .unwrap();
+        // Interleaved types: the batch sorts internally but must answer
+        // in input order.
+        let batch = [&fft, &fir, &fft, &fir];
+        let results = engine.retrieve_batch(&cb, &batch);
+        assert_eq!(results.len(), 4);
+        for (request, result) in batch.iter().zip(&results) {
+            let single = engine.retrieve(&cb, request).unwrap();
+            assert_eq!(result.as_ref().unwrap(), &single);
+        }
+    }
+
+    #[test]
+    fn batch_isolates_unknown_type_errors() {
+        let cb = paper::table1_case_base();
+        let engine = FixedEngine::new();
+        let good = paper::table1_request().unwrap();
+        let bad = Request::builder(crate::ids::TypeId::new(99).unwrap())
+            .constraint(crate::ids::AttrId::new(1).unwrap(), 1)
+            .build()
+            .unwrap();
+        let results = engine.retrieve_batch(&cb, &[&good, &bad, &good]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(CoreError::UnknownType { .. })));
+        assert!(results[2].is_ok(), "error slot must not poison the batch");
+        assert!(engine.retrieve_batch(&cb, &[]).is_empty());
     }
 
     #[test]

@@ -66,6 +66,8 @@
 //! * [`engine`] — the float reference and the bit-exact fixed-point
 //!   retrieval engines, with operation counting.
 //! * [`nbest`] — n-most-similar retrieval (paper future work).
+//! * [`qos`] — AXI4-style QoS service classes shared by the traffic
+//!   generators and the allocation service.
 //! * [`token`] — bypass tokens for repeated calls (§3).
 //! * [`cycle`] — the full retrieve/reuse/revise/retain loop (fig. 2).
 //! * [`mahalanobis`] — the rejected statistical baseline of §2.2.
@@ -87,6 +89,7 @@ pub mod implvariant;
 pub mod mahalanobis;
 pub mod nbest;
 pub mod paper;
+pub mod qos;
 pub mod request;
 pub mod similarity;
 pub mod token;
@@ -96,18 +99,19 @@ pub use attribute::{AttrBinding, AttrDecl};
 pub use bounds::{BoundsEntry, BoundsTable};
 pub use casebase::{CaseBase, FunctionType};
 pub use cycle::{CbrCycle, CycleOutcome, LearnAction, LearnPolicy};
-pub use engine::{FixedEngine, FloatEngine, OpCounts, Retrieval, Scored};
+pub use engine::{FixedEngine, FloatEngine, OpCounts, Retrieval, ScoreResult, Scored};
 pub use explain::{Explanation, ExplainRow};
 pub use error::CoreError;
 pub use ids::{AttrId, ImplId, TypeId, RESERVED_ID};
 pub use implvariant::{ExecutionTarget, Footprint, ImplVariant};
 pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
 pub use nbest::NBest;
+pub use qos::QosClass;
 pub use request::{Constraint, Request, RequestBuilder};
 pub use token::{BypassToken, TokenCache, TokenStats};
 
 // Re-export the numeric type users see in all fixed-point results.
 pub use rqfa_fixed::Q15;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

@@ -256,6 +256,7 @@ mod tests {
         let m = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
         let inv = invert(&m, &mut ops).unwrap();
         // m · inv ≈ I
+        #[allow(clippy::needless_range_loop)] // symmetric i/j matrix indexing
         for i in 0..2 {
             for j in 0..2 {
                 let cell: f64 = (0..2).map(|t| m[i][t] * inv[t][j]).sum();

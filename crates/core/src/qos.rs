@@ -1,0 +1,151 @@
+//! AXI4-style QoS service classes.
+//!
+//! The paper's platform attaches the retrieval unit to an AXI-style
+//! on-chip bus whose transactions carry a 4-bit `AxQOS` priority signal.
+//! This module folds that 16-level signal into the four service classes a
+//! run-time allocator actually schedules on — the same coarsening NoC QoS
+//! virtualization layers apply — so every layer of the workspace (traffic
+//! generators, the allocation service, the run-time system) speaks one
+//! vocabulary.
+
+use core::fmt;
+
+/// Service class of an allocation request, from most to least urgent.
+///
+/// Ordering: `Critical < High < Medium < Low` by `Ord` (ascending enum
+/// discriminant), i.e. *smaller sorts first / more urgent*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum QosClass {
+    /// Hard-real-time traffic (e.g. the cruise-control PID of fig. 1).
+    /// Never shed, never deadline-dropped.
+    Critical,
+    /// Soft-real-time traffic with a tight deadline budget.
+    High,
+    /// Interactive traffic; dropped only after its deadline budget expires.
+    Medium,
+    /// Background/bulk traffic; first to be shed under overload.
+    Low,
+}
+
+impl QosClass {
+    /// All classes, most urgent first.
+    pub const ALL: [QosClass; 4] = [
+        QosClass::Critical,
+        QosClass::High,
+        QosClass::Medium,
+        QosClass::Low,
+    ];
+
+    /// Number of classes.
+    pub const COUNT: usize = 4;
+
+    /// Dense index in `0..COUNT` (Critical = 0).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The class for a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= COUNT`.
+    pub fn from_index(index: usize) -> QosClass {
+        QosClass::ALL[index]
+    }
+
+    /// Maps a 4-bit AXI4 `AxQOS` value (15 = most urgent) onto a class.
+    pub fn from_axi(axqos: u8) -> QosClass {
+        match axqos & 0xF {
+            12..=15 => QosClass::Critical,
+            8..=11 => QosClass::High,
+            4..=7 => QosClass::Medium,
+            _ => QosClass::Low,
+        }
+    }
+
+    /// A representative AXI4 `AxQOS` value for this class.
+    pub fn to_axi(self) -> u8 {
+        match self {
+            QosClass::Critical => 15,
+            QosClass::High => 10,
+            QosClass::Medium => 5,
+            QosClass::Low => 0,
+        }
+    }
+
+    /// Default weighted-round-robin credit share of the class.
+    ///
+    /// Weighted 8:4:2:1 — under saturation the scheduler serves CRITICAL
+    /// roughly 8× as often as LOW, while every class keeps forward
+    /// progress (no starvation).
+    pub fn weight(self) -> u32 {
+        match self {
+            QosClass::Critical => 8,
+            QosClass::High => 4,
+            QosClass::Medium => 2,
+            QosClass::Low => 1,
+        }
+    }
+
+    /// Whether overload shedding may ever drop this class.
+    pub fn sheddable(self) -> bool {
+        !matches!(self, QosClass::Critical)
+    }
+}
+
+impl fmt::Display for QosClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            QosClass::Critical => "CRITICAL",
+            QosClass::High => "HIGH",
+            QosClass::Medium => "MEDIUM",
+            QosClass::Low => "LOW",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axi_round_trip_preserves_class() {
+        for class in QosClass::ALL {
+            assert_eq!(QosClass::from_axi(class.to_axi()), class);
+        }
+    }
+
+    #[test]
+    fn axi_mapping_is_monotone() {
+        let mut last = QosClass::Low;
+        for q in 0..=15u8 {
+            let class = QosClass::from_axi(q);
+            assert!(class <= last, "AxQOS {q} must not get less urgent");
+            last = class;
+        }
+        assert_eq!(QosClass::from_axi(15), QosClass::Critical);
+        assert_eq!(QosClass::from_axi(0), QosClass::Low);
+    }
+
+    #[test]
+    fn index_round_trip() {
+        for class in QosClass::ALL {
+            assert_eq!(QosClass::from_index(class.index()), class);
+        }
+    }
+
+    #[test]
+    fn weights_strictly_order_urgency() {
+        for pair in QosClass::ALL.windows(2) {
+            assert!(pair[0].weight() > pair[1].weight());
+        }
+    }
+
+    #[test]
+    fn only_critical_is_protected() {
+        assert!(!QosClass::Critical.sheddable());
+        assert!(QosClass::High.sheddable());
+        assert!(QosClass::Low.sheddable());
+    }
+}

@@ -53,5 +53,5 @@ pub use trace::{Trace, TraceEvent};
 pub use unit::{HwRetrieval, ImageLayout, RetrievalUnit, UnitConfig};
 pub use vcd::export_vcd;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

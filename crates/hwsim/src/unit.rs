@@ -253,7 +253,7 @@ impl RetrievalUnit {
         run.charge(Bucket::Setup, cost.setup)?;
 
         // ── Phase: fetch request type ───────────────────────────────────
-        run.trace.record(run.cycles, Phase::FetchRequestType, || String::new());
+        run.trace.record(run.cycles, Phase::FetchRequestType, String::new);
         let type_id = req.read(0)?;
         run.charge(Bucket::RequestFetch, cost.read)?;
 

@@ -54,7 +54,7 @@ pub use report::{
     predicted_compact_words, predicted_request_words, predicted_words, MemoryReport,
 };
 pub use validate::{validate_case_base, validate_raw, validate_request, ValidationSummary};
-pub use word::{ImageBuilder, MemImage, END_MARKER};
+pub use word::{ImageBuilder, MemImage, SectionMap, END_MARKER};
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

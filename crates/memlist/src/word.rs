@@ -141,6 +141,9 @@ impl TryFrom<Vec<u16>> for MemImage {
     }
 }
 
+/// Named sections of a built image: `(name, word range)` in build order.
+pub type SectionMap = Vec<(String, core::ops::Range<usize>)>;
+
 /// Incrementally builds an image, tracking section boundaries for the
 /// memory-consumption report (Table 3).
 #[derive(Debug, Clone, Default)]
@@ -200,7 +203,7 @@ impl ImageBuilder {
     /// # Errors
     ///
     /// [`MemError::ImageTooLarge`] if the image outgrew the address space.
-    pub fn finish(self) -> Result<(MemImage, Vec<(String, core::ops::Range<usize>)>), MemError> {
+    pub fn finish(self) -> Result<(MemImage, SectionMap), MemError> {
         Ok((MemImage::from_words(self.words)?, self.sections))
     }
 }

@@ -53,5 +53,5 @@ pub use system::{AllocPolicy, ArrivalSpec, Decision, RejectReason, System, Syste
 pub use task::{AppId, Task, TaskId, TaskState};
 pub use time::SimTime;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

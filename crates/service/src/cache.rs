@@ -1,0 +1,210 @@
+//! Retrieval result cache with generation-based invalidation.
+//!
+//! Keyed by [`Request::fingerprint`](rqfa_core::Request::fingerprint) — the
+//! same canonical digest the paper's bypass tokens use (§3) — and stamped
+//! with the owning shard's case-base generation counter. Any mutation of
+//! the case base (retain/revise/evict) bumps the generation, which makes
+//! every cached result stale at once without walking the map: a stale hit
+//! is detected on lookup, reported as a miss, and overwritten in place by
+//! the recompute that follows.
+//!
+//! Eviction is FIFO over insertion order. That is deliberately simpler
+//! than LRU: the service's hit pattern is dominated by *bursts* of
+//! identical requests (the bypass-token traffic of §3), which FIFO serves
+//! equally well without per-hit bookkeeping on the hot path.
+
+use std::collections::{HashMap, VecDeque};
+
+use rqfa_core::{OpCounts, Retrieval, Scored};
+use rqfa_fixed::Q15;
+
+/// One cached retrieval outcome.
+#[derive(Debug, Clone)]
+struct Entry {
+    generation: u64,
+    best: Option<Scored<Q15>>,
+    evaluated: usize,
+}
+
+/// Fixed-capacity FIFO cache of retrieval results.
+#[derive(Debug)]
+pub struct RetrievalCache {
+    capacity: usize,
+    map: HashMap<u64, Entry>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+}
+
+impl RetrievalCache {
+    /// A cache holding at most `capacity` results (0 disables caching).
+    pub fn new(capacity: usize) -> RetrievalCache {
+        RetrievalCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            order: VecDeque::with_capacity(capacity.min(1 << 16)),
+            hits: 0,
+            misses: 0,
+            stale: 0,
+        }
+    }
+
+    /// Looks up the result for `fingerprint` computed at `generation`.
+    /// A hit from an older generation counts as stale and is discarded.
+    pub fn lookup(&mut self, fingerprint: u64, generation: u64) -> Option<Retrieval<Q15>> {
+        match self.map.get(&fingerprint) {
+            Some(entry) if entry.generation == generation => {
+                self.hits += 1;
+                Some(Retrieval {
+                    best: entry.best,
+                    evaluated: entry.evaluated,
+                    ops: OpCounts::default(),
+                })
+            }
+            Some(_) => {
+                // Invalidated by a case-base mutation. Leave the entry in
+                // place: generations only grow, so it can never match a
+                // future lookup, and the recompute that follows this miss
+                // overwrites it in its existing FIFO slot. Removing it
+                // here would desync `order` from `map` (the re-insert
+                // would push a duplicate order entry).
+                self.stale += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a retrieval computed at `generation`.
+    pub fn insert(&mut self, fingerprint: u64, generation: u64, result: &Retrieval<Q15>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.map.contains_key(&fingerprint) {
+            while self.map.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(fingerprint);
+        }
+        self.map.insert(
+            fingerprint,
+            Entry {
+                generation,
+                best: result.best,
+                evaluated: result.evaluated,
+            },
+        );
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses, stale_detections)` counters since construction.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.stale)
+    }
+
+    /// FIFO bookkeeping length (test hook: must track `len`).
+    #[cfg(test)]
+    fn order_len(&self) -> usize {
+        self.order.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::ids::ImplId;
+    use rqfa_core::ExecutionTarget;
+
+    fn result(raw_impl: u16) -> Retrieval<Q15> {
+        Retrieval {
+            best: Some(Scored {
+                impl_id: ImplId::new(raw_impl).unwrap(),
+                target: ExecutionTarget::Dsp,
+                similarity: Q15::ONE,
+            }),
+            evaluated: 3,
+            ops: OpCounts::default(),
+        }
+    }
+
+    #[test]
+    fn hit_requires_matching_generation() {
+        let mut cache = RetrievalCache::new(8);
+        cache.insert(42, 0, &result(1));
+        assert!(cache.lookup(42, 0).is_some());
+        // A mutation bumped the generation: the entry is stale.
+        assert!(cache.lookup(42, 1).is_none());
+        assert_eq!(cache.stats(), (1, 1, 1));
+        // The recompute overwrites the stale entry in place — no
+        // duplicate FIFO slot, and the new generation hits again.
+        cache.insert(42, 1, &result(2));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.lookup(42, 1).unwrap().best.unwrap().impl_id.raw(), 2);
+    }
+
+    #[test]
+    fn invalidation_cycles_do_not_grow_the_cache() {
+        // Regression: stale removal used to leave dangling keys in the
+        // FIFO order deque, one per invalidation cycle, and eviction
+        // could then drop the *live* re-inserted entry. Hammer the
+        // retain→re-request cycle and check both maps stay in lockstep.
+        let mut cache = RetrievalCache::new(2);
+        for generation in 0..100u64 {
+            assert!(cache.lookup(1, generation).is_none() || generation > 0);
+            cache.insert(1, generation, &result(1));
+            cache.insert(2, generation, &result(2));
+            assert!(cache.lookup(1, generation).is_some());
+            assert!(cache.lookup(2, generation).is_some());
+            assert!(cache.len() <= 2);
+        }
+        assert_eq!(cache.order_len(), cache.len());
+    }
+
+    #[test]
+    fn fifo_eviction_bounds_size() {
+        let mut cache = RetrievalCache::new(2);
+        cache.insert(1, 0, &result(1));
+        cache.insert(2, 0, &result(2));
+        cache.insert(3, 0, &result(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(1, 0).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(3, 0).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = RetrievalCache::new(0);
+        cache.insert(1, 0, &result(1));
+        assert!(cache.is_empty());
+        assert!(cache.lookup(1, 0).is_none());
+    }
+
+    #[test]
+    fn reinsert_updates_value() {
+        let mut cache = RetrievalCache::new(4);
+        cache.insert(7, 0, &result(1));
+        cache.insert(7, 1, &result(2));
+        let hit = cache.lookup(7, 1).unwrap();
+        assert_eq!(hit.best.unwrap().impl_id.raw(), 2);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,426 @@
+//! # rqfa-service — a sharded, batched, QoS-class-aware allocation service
+//!
+//! The paper's retrieval unit answers one allocation request at a time
+//! on-chip. This crate turns that single-shot engine into a service layer
+//! that multiplexes *many* requesters over shared retrieval resources with
+//! per-class guarantees — the shape hardware QoS enforcement and NoC
+//! virtualization literature converges on:
+//!
+//! * **Sharding** ([`shard`]): function types partition across N shards,
+//!   each owned by a worker thread with a private
+//!   [`FixedEngine`](rqfa_core::FixedEngine) — since
+//!   retrieval only touches the requested type's subtree, shard answers
+//!   are bit-identical to one big engine over the merged case base.
+//! * **Batching + QoS scheduling** ([`queue`], [`sched`]): per-class FIFO
+//!   lanes drained in weighted round-robin (8:4:2:1), per-class deadline
+//!   budgets, and urgency-tiered admission limits that shed LOW first
+//!   under overload — CRITICAL is never shed, ever.
+//! * **Result caching** ([`cache`]): retrievals are memoized by request
+//!   fingerprint and stamped with the case-base generation counter; any
+//!   retain/revise/evict invalidates the shard's cache wholesale.
+//! * **Metrics** ([`metrics`]): per-class p50/p99 latency, hit rate and
+//!   shed counts from lock-free counters.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use rqfa_core::{paper, QosClass};
+//! use rqfa_service::{AllocationService, Outcome, ServiceConfig};
+//!
+//! let service = AllocationService::new(
+//!     &paper::table1_case_base(),
+//!     &ServiceConfig::default().with_shards(2),
+//! );
+//! let ticket = service.submit(paper::table1_request()?, QosClass::High);
+//! let reply = ticket.wait().expect("service alive");
+//! match reply.outcome {
+//!     Outcome::Allocated { best, .. } => assert_eq!(best.impl_id, paper::IMPL_DSP),
+//!     other => panic!("unexpected outcome: {other:?}"),
+//! }
+//! service.shutdown();
+//! # Ok::<(), rqfa_core::CoreError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod metrics;
+pub mod queue;
+pub mod sched;
+pub mod shard;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rqfa_core::{CaseBase, CoreError, ImplVariant, QosClass, Request, Scored, TypeId};
+use rqfa_fixed::Q15;
+
+pub use metrics::{ClassSnapshot, MetricsSnapshot, ServiceMetrics};
+pub use sched::WeightedArbiter;
+
+/// Configuration of an [`AllocationService`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Number of shards / worker threads (min 1).
+    pub shards: usize,
+    /// Maximum jobs dispatched per scheduling round of one worker.
+    pub batch_size: usize,
+    /// Per-shard queue bound across classes. Admission limits step with
+    /// urgency: LOW is refused at `1×` this bound, MEDIUM at `2×`, HIGH
+    /// at `4×`; CRITICAL is always admitted.
+    pub queue_capacity: usize,
+    /// Per-shard result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Per-class queueing-delay budget in µs, indexed by
+    /// [`QosClass::index`]. A sheddable job that has waited longer than
+    /// its budget when the worker picks it up is dropped. `None` disables
+    /// the budget; CRITICAL ignores its budget entirely.
+    pub deadline_budget_us: [Option<u64>; QosClass::COUNT],
+    /// Weighted-round-robin credit per class, indexed by
+    /// [`QosClass::index`].
+    pub class_weights: [u32; QosClass::COUNT],
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            shards: 1,
+            batch_size: 32,
+            queue_capacity: 4096,
+            cache_capacity: 1 << 16,
+            deadline_budget_us: [None; QosClass::COUNT],
+            class_weights: QosClass::ALL.map(QosClass::weight),
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Sets the shard count.
+    pub fn with_shards(mut self, shards: usize) -> ServiceConfig {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the dispatch batch size.
+    pub fn with_batch_size(mut self, batch_size: usize) -> ServiceConfig {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Sets the per-shard queue bound.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the per-shard cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets one class's queueing-delay budget.
+    pub fn with_deadline_budget_us(mut self, class: QosClass, budget_us: u64) -> ServiceConfig {
+        self.deadline_budget_us[class.index()] = Some(budget_us);
+        self
+    }
+
+    /// The arbiter the configuration describes.
+    pub(crate) fn arbiter(&self) -> WeightedArbiter {
+        WeightedArbiter::with_weights(self.class_weights)
+    }
+}
+
+/// How one request ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Retrieval succeeded.
+    Allocated {
+        /// The winning implementation variant.
+        best: Scored<Q15>,
+        /// Variants evaluated to produce this result. A cached reply
+        /// reports the count recorded when the entry was computed — use
+        /// `cached`, not this field, to tell hits from fresh retrievals.
+        evaluated: usize,
+        /// Whether the result came from the shard's result cache.
+        cached: bool,
+    },
+    /// Shed at admission: the shard queue was full (LOW only).
+    ShedQueueFull,
+    /// Shed at dispatch: the job outlived its class deadline budget.
+    ShedDeadline,
+    /// Retrieval failed (e.g. unknown function type).
+    Failed(CoreError),
+}
+
+impl Outcome {
+    /// Whether the request was shed (either way).
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Outcome::ShedQueueFull | Outcome::ShedDeadline)
+    }
+}
+
+/// The service's answer to one submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reply {
+    /// The id [`AllocationService::submit`] handed out.
+    pub id: u64,
+    /// The request's QoS class.
+    pub class: QosClass,
+    /// What happened.
+    pub outcome: Outcome,
+    /// End-to-end latency (submit → reply), µs.
+    pub latency_us: u64,
+}
+
+/// One queued allocation request (internal).
+#[derive(Debug)]
+pub struct Job {
+    pub(crate) id: u64,
+    pub(crate) class: QosClass,
+    pub(crate) request: Request,
+    pub(crate) enqueued_at: Instant,
+    pub(crate) reply_tx: mpsc::Sender<Reply>,
+}
+
+/// A handle to one in-flight request.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    class: QosClass,
+    rx: mpsc::Receiver<Reply>,
+}
+
+impl Ticket {
+    /// The request id (matches [`Reply::id`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The request's QoS class.
+    pub fn class(&self) -> QosClass {
+        self.class
+    }
+
+    /// Blocks until the reply arrives. `None` only if the service was torn
+    /// down without answering (worker panic) — a drained shutdown replies
+    /// to everything first.
+    pub fn wait(self) -> Option<Reply> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_wait(&self) -> Option<Reply> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` for the reply.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Reply> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// The sharded, batched, QoS-class-aware allocation service.
+///
+/// See the [crate docs](crate) for the architecture. The service owns a
+/// private copy of the case base (split into shard slices); run-time
+/// learning flows through [`AllocationService::retain_variant`] and
+/// friends, which mutate the owning shard and invalidate its cache.
+pub struct AllocationService {
+    shards: Vec<shard::Shard>,
+    metrics: Arc<ServiceMetrics>,
+    next_id: AtomicU64,
+}
+
+impl AllocationService {
+    /// Builds the service over a snapshot of `case_base` and spawns one
+    /// worker thread per shard.
+    pub fn new(case_base: &CaseBase, config: &ServiceConfig) -> AllocationService {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let slices = shard::partition(case_base, config.shards);
+        let shards = slices
+            .into_iter()
+            .enumerate()
+            .map(|(index, slice)| {
+                shard::Shard::spawn(index, slice, config, Arc::clone(&metrics))
+            })
+            .collect();
+        AllocationService {
+            shards,
+            metrics,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Submits a request in the given QoS class. Always returns a ticket;
+    /// a request shed at admission gets its `ShedQueueFull` reply
+    /// immediately.
+    pub fn submit(&self, request: Request, class: QosClass) -> Ticket {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .class(class)
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, rx) = mpsc::channel();
+        let shard = &self.shards[shard::route(request.type_id(), self.shards.len())];
+        let job = Job {
+            id,
+            class,
+            request,
+            enqueued_at: Instant::now(),
+            reply_tx,
+        };
+        if let Err(job) = shard.queue.push(job) {
+            self.metrics
+                .class(class)
+                .shed_queue_full
+                .fetch_add(1, Ordering::Relaxed);
+            job.reply(Outcome::ShedQueueFull, 0, &self.metrics);
+        }
+        Ticket { id, class, rx }
+    }
+
+    /// *Retain* step routed to the owning shard; bumps that shard's
+    /// generation counter, invalidating its cached results.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CaseBase::retain_variant`].
+    pub fn retain_variant(&self, type_id: TypeId, variant: ImplVariant) -> Result<(), CoreError> {
+        self.shard_for(type_id)
+            .mutate(|cb| cb.retain_variant(type_id, variant), type_id)
+    }
+
+    /// *Revise* step routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CaseBase::revise_variant`].
+    pub fn revise_variant(&self, type_id: TypeId, revised: ImplVariant) -> Result<(), CoreError> {
+        self.shard_for(type_id)
+            .mutate(|cb| cb.revise_variant(type_id, revised), type_id)
+    }
+
+    /// Eviction routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`CaseBase::evict_variant`].
+    pub fn evict_variant(
+        &self,
+        type_id: TypeId,
+        impl_id: rqfa_core::ImplId,
+    ) -> Result<ImplVariant, CoreError> {
+        self.shard_for(type_id)
+            .mutate(|cb| cb.evict_variant(type_id, impl_id), type_id)
+    }
+
+    /// Jobs currently queued across all shards.
+    pub fn pending(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// A point-in-time metrics snapshot.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// Drains every queue, joins the workers and returns the final
+    /// metrics. Every submitted request is answered before this returns.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        for shard in &mut self.shards {
+            shard.join();
+        }
+        self.metrics.snapshot()
+    }
+
+    fn shard_for(&self, type_id: TypeId) -> &shard::Shard {
+        &self.shards[shard::route(type_id, self.shards.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::paper;
+
+    #[test]
+    fn answers_the_paper_example() {
+        let service = AllocationService::new(
+            &paper::table1_case_base(),
+            &ServiceConfig::default().with_shards(2),
+        );
+        let ticket = service.submit(paper::table1_request().unwrap(), QosClass::Medium);
+        let reply = ticket.wait().unwrap();
+        match reply.outcome {
+            Outcome::Allocated { best, cached, .. } => {
+                assert_eq!(best.impl_id, paper::IMPL_DSP);
+                assert!(!cached);
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.class(QosClass::Medium).completed, 1);
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_cache() {
+        let service =
+            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default());
+        let request = paper::table1_request().unwrap();
+        let first = service.submit(request.clone(), QosClass::High).wait().unwrap();
+        let second = service.submit(request, QosClass::High).wait().unwrap();
+        let (a, b) = match (&first.outcome, &second.outcome) {
+            (
+                Outcome::Allocated { best: a, cached: ca, .. },
+                Outcome::Allocated { best: b, cached: cb, .. },
+            ) => {
+                assert!(!ca);
+                assert!(cb, "second identical request must be a cache hit");
+                (*a, *b)
+            }
+            other => panic!("unexpected: {other:?}"),
+        };
+        assert_eq!(a, b);
+        assert_eq!(service.shutdown().class(QosClass::High).cache_hits, 1);
+    }
+
+    #[test]
+    fn unknown_type_fails_cleanly() {
+        let service =
+            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default().with_shards(3));
+        let request = Request::builder(TypeId::new(57).unwrap())
+            .constraint(rqfa_core::AttrId::new(1).unwrap(), 1)
+            .build()
+            .unwrap();
+        let reply = service.submit(request, QosClass::Low).wait().unwrap();
+        assert!(matches!(
+            reply.outcome,
+            Outcome::Failed(CoreError::UnknownType { .. })
+        ));
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_answers_everything_first() {
+        let service = AllocationService::new(
+            &paper::table1_case_base(),
+            &ServiceConfig::default().with_batch_size(2),
+        );
+        let tickets: Vec<Ticket> = (0..50)
+            .map(|_| service.submit(paper::table1_request().unwrap(), QosClass::Low))
+            .collect();
+        service.shutdown();
+        for ticket in tickets {
+            assert!(ticket.wait().is_some());
+        }
+    }
+}

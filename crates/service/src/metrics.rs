@@ -1,0 +1,262 @@
+//! Service metrics: per-class counters and latency histograms.
+//!
+//! Follows the `rqfa_rsoc::metrics` idiom — plain counters, derived rates,
+//! an exhaustive `Display` — but is shared mutably between shard workers
+//! and observers, so everything is a relaxed atomic. Latencies go into
+//! power-of-two bucket histograms from which p50/p99 are read without any
+//! per-request allocation on the hot path.
+
+use core::fmt;
+use core::sync::atomic::{AtomicU64, Ordering};
+
+use rqfa_core::QosClass;
+
+/// Number of power-of-two latency buckets (bucket `i` holds latencies of
+/// bit length `i`, i.e. `[2^(i-1), 2^i)` µs; bucket 0 holds exactly 0).
+const BUCKETS: usize = 32;
+
+/// Lock-free power-of-two latency histogram (microseconds).
+#[derive(Debug, Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// Records one latency observation.
+    pub fn record(&self, latency_us: u64) {
+        let bucket = (64 - latency_us.leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound (µs) of the bucket containing quantile `q` in `[0, 1]`,
+    /// or 0 with no observations. An upper bound keeps the estimate
+    /// conservative: the true quantile is never above the reported value's
+    /// bucket ceiling.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 1 } else { 1u64 << i };
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// Atomic counters for one QoS class.
+#[derive(Debug, Default)]
+pub struct ClassMetrics {
+    /// Requests submitted in this class.
+    pub submitted: AtomicU64,
+    /// Requests answered with an allocation.
+    pub completed: AtomicU64,
+    /// Requests refused at admission because the queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Requests dropped at dispatch because their deadline budget expired.
+    pub shed_deadline: AtomicU64,
+    /// Completions served from the retrieval result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that failed retrieval (e.g. unknown function type).
+    pub failed: AtomicU64,
+    /// End-to-end latency (submit → reply) histogram of *served* traffic
+    /// (completed and failed requests; shed requests are excluded so
+    /// their near-zero turnaround cannot mask the p50/p99 of real work).
+    pub latency: LatencyHistogram,
+}
+
+/// Shared metrics for a whole service (all shards write here).
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// One counter block per QoS class, indexed by [`QosClass::index`].
+    pub classes: [ClassMetrics; QosClass::COUNT],
+    /// Batches dispatched by shard workers.
+    pub batches: AtomicU64,
+    /// Requests dispatched inside those batches.
+    pub batched_requests: AtomicU64,
+}
+
+impl ServiceMetrics {
+    /// The counter block of one class.
+    pub fn class(&self, class: QosClass) -> &ClassMetrics {
+        &self.classes[class.index()]
+    }
+
+    /// Immutable snapshot for reporting.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let classes = QosClass::ALL.map(|class| {
+            let m = self.class(class);
+            ClassSnapshot {
+                class,
+                submitted: m.submitted.load(Ordering::Relaxed),
+                completed: m.completed.load(Ordering::Relaxed),
+                shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
+                shed_deadline: m.shed_deadline.load(Ordering::Relaxed),
+                cache_hits: m.cache_hits.load(Ordering::Relaxed),
+                failed: m.failed.load(Ordering::Relaxed),
+                p50_us: m.latency.quantile_us(0.50),
+                p99_us: m.latency.quantile_us(0.99),
+            }
+        });
+        MetricsSnapshot {
+            classes,
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time counters of one class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassSnapshot {
+    /// The class these counters describe.
+    pub class: QosClass,
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests answered with an allocation.
+    pub completed: u64,
+    /// Requests shed at admission (queue full).
+    pub shed_queue_full: u64,
+    /// Requests shed at dispatch (deadline budget expired).
+    pub shed_deadline: u64,
+    /// Completions served from cache.
+    pub cache_hits: u64,
+    /// Failed retrievals.
+    pub failed: u64,
+    /// Median end-to-end latency (bucket upper bound), µs.
+    pub p50_us: u64,
+    /// 99th-percentile end-to-end latency (bucket upper bound), µs.
+    pub p99_us: u64,
+}
+
+impl ClassSnapshot {
+    /// Total requests shed, for any reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_queue_full + self.shed_deadline
+    }
+
+    /// Cache hit rate against completions, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        ratio(self.cache_hits, self.completed)
+    }
+}
+
+/// Point-in-time counters of the whole service.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Per-class counters, most urgent first.
+    pub classes: [ClassSnapshot; QosClass::COUNT],
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Requests dispatched inside batches.
+    pub batched_requests: u64,
+}
+
+impl MetricsSnapshot {
+    /// The snapshot of one class.
+    pub fn class(&self, class: QosClass) -> &ClassSnapshot {
+        &self.classes[class.index()]
+    }
+
+    /// Total completions across classes.
+    pub fn completed(&self) -> u64 {
+        self.classes.iter().map(|c| c.completed).sum()
+    }
+
+    /// Total sheds across classes.
+    pub fn shed(&self) -> u64 {
+        self.classes.iter().map(ClassSnapshot::shed).sum()
+    }
+
+    /// Mean batch occupancy (requests per dispatched batch).
+    pub fn mean_batch_len(&self) -> f64 {
+        ratio(self.batched_requests, self.batches)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            num as f64 / den as f64
+        }
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<9} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9} {:>9}",
+            "class", "submitted", "completed", "shed", "hits", "hit %", "p50 µs", "p99 µs"
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "{:<9} {:>9} {:>9} {:>6} {:>9} {:>6.1}% {:>9} {:>9}",
+                c.class.to_string(),
+                c.submitted,
+                c.completed,
+                c.shed(),
+                c.cache_hits,
+                c.hit_rate() * 100.0,
+                c.p50_us,
+                c.p99_us,
+            )?;
+        }
+        writeln!(
+            f,
+            "batches: {} (mean occupancy {:.1})",
+            self.batches,
+            self.mean_batch_len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = LatencyHistogram::default();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_us(0.5);
+        assert!((64..=128).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!(p99 >= 4096, "p99 {p99}");
+        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+    }
+
+    #[test]
+    fn snapshot_aggregates() {
+        let m = ServiceMetrics::default();
+        m.class(QosClass::Low).submitted.fetch_add(4, Ordering::Relaxed);
+        m.class(QosClass::Low).completed.fetch_add(2, Ordering::Relaxed);
+        m.class(QosClass::Low).cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.class(QosClass::Low).shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.class(QosClass::Low).shed(), 2);
+        assert!((snap.class(QosClass::Low).hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(snap.completed(), 2);
+        assert_eq!(snap.shed(), 2);
+        let text = snap.to_string();
+        assert!(text.contains("CRITICAL") && text.contains("LOW"));
+    }
+}

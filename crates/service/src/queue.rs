@@ -1,0 +1,251 @@
+//! The per-shard batching request queue.
+//!
+//! One [`ClassQueue`] feeds each shard worker: four class-indexed FIFO
+//! lanes behind one mutex, a condvar to park the worker when idle, and the
+//! [`WeightedArbiter`](crate::sched::WeightedArbiter) deciding which lane
+//! each batch slot is drawn from.
+//!
+//! ## Overload policy
+//!
+//! Admission limits step with urgency so total queue memory stays
+//! bounded while less-urgent traffic sheds first: a LOW job is refused
+//! once `capacity` jobs are queued, MEDIUM at `2 × capacity`, HIGH at
+//! `4 × capacity`; CRITICAL is always admitted — it must never be shed.
+//! Refused jobs bounce back to the caller, who replies `Shed`. On top of
+//! admission control, per-class deadline budgets (when configured) shed
+//! HIGH/MEDIUM/LOW at *dispatch* once they have waited too long — work
+//! that can still meet its deadline is never refused by the budget.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use rqfa_core::QosClass;
+
+use crate::sched::WeightedArbiter;
+use crate::Job;
+
+struct Inner {
+    lanes: [VecDeque<Job>; QosClass::COUNT],
+    arbiter: WeightedArbiter,
+    len: usize,
+    shutdown: bool,
+}
+
+impl Inner {
+    fn backlogged(&self) -> [bool; QosClass::COUNT] {
+        [
+            !self.lanes[0].is_empty(),
+            !self.lanes[1].is_empty(),
+            !self.lanes[2].is_empty(),
+            !self.lanes[3].is_empty(),
+        ]
+    }
+}
+
+/// A bounded, class-aware MPSC job queue feeding one shard worker.
+pub struct ClassQueue {
+    inner: Mutex<Inner>,
+    available: Condvar,
+    capacity: usize,
+}
+
+impl ClassQueue {
+    /// A queue admitting at most `capacity` jobs (min 1) across classes,
+    /// scheduled by `arbiter`.
+    pub fn new(capacity: usize, arbiter: WeightedArbiter) -> ClassQueue {
+        ClassQueue {
+            inner: Mutex::new(Inner {
+                lanes: Default::default(),
+                arbiter,
+                len: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues a job. Returns the job back when it was refused: the
+    /// queue is shut down, or the class's admission limit (LOW: 1×
+    /// capacity, MEDIUM: 2×, HIGH: 4×, CRITICAL: unlimited) is reached.
+    pub fn push(&self, job: Job) -> Result<(), Job> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.shutdown {
+            return Err(job);
+        }
+        let limit = match job.class {
+            QosClass::Critical => usize::MAX,
+            QosClass::High => self.capacity.saturating_mul(4),
+            QosClass::Medium => self.capacity.saturating_mul(2),
+            QosClass::Low => self.capacity,
+        };
+        if inner.len >= limit {
+            return Err(job);
+        }
+        inner.lanes[job.class.index()].push_back(job);
+        inner.len += 1;
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Pops the next batch of up to `max` jobs, blocking while the queue
+    /// is empty. Returns `None` once the queue is shut down *and* drained,
+    /// which is the worker's signal to exit.
+    pub fn pop_batch(&self, max: usize) -> Option<Vec<Job>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.len > 0 {
+                break;
+            }
+            if inner.shutdown {
+                return None;
+            }
+            inner = self.available.wait(inner).expect("queue poisoned");
+        }
+        let mut batch = Vec::with_capacity(max.min(inner.len));
+        while batch.len() < max {
+            let Some(class) = ({
+                let backlogged = inner.backlogged();
+                inner.arbiter.pick(backlogged)
+            }) else {
+                break;
+            };
+            let job = inner.lanes[class.index()]
+                .pop_front()
+                .expect("arbiter picked a backlogged lane");
+            inner.len -= 1;
+            batch.push(job);
+        }
+        Some(batch)
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").len
+    }
+
+    /// Whether no jobs are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Initiates shutdown: new pushes are refused, blocked workers wake,
+    /// and `pop_batch` drains the backlog before returning `None`.
+    pub fn shutdown(&self) {
+        self.inner.lock().expect("queue poisoned").shutdown = true;
+        self.available.notify_all();
+    }
+}
+
+/// Creates a detached job (its reply receiver is dropped) for queue tests.
+#[cfg(test)]
+pub(crate) fn test_job(id: u64, class: QosClass, request: rqfa_core::Request) -> Job {
+    let (reply_tx, _) = std::sync::mpsc::channel();
+    Job {
+        id,
+        class,
+        request,
+        enqueued_at: std::time::Instant::now(),
+        reply_tx,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::ids::{AttrId, TypeId};
+    use rqfa_core::Request;
+
+    fn request() -> Request {
+        Request::builder(TypeId::new(1).unwrap())
+            .constraint(AttrId::new(1).unwrap(), 5)
+            .build()
+            .unwrap()
+    }
+
+    fn queue(capacity: usize) -> ClassQueue {
+        ClassQueue::new(capacity, WeightedArbiter::new())
+    }
+
+    #[test]
+    fn fifo_within_class_weighted_across_classes() {
+        let q = queue(64);
+        for id in 0..4 {
+            q.push(test_job(id, QosClass::Low, request())).unwrap();
+        }
+        for id in 4..8 {
+            q.push(test_job(id, QosClass::Critical, request())).unwrap();
+        }
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 8);
+        // Critical jobs dominate the front of the batch.
+        assert_eq!(batch[0].class, QosClass::Critical);
+        let crit_ids: Vec<u64> = batch
+            .iter()
+            .filter(|j| j.class == QosClass::Critical)
+            .map(|j| j.id)
+            .collect();
+        assert_eq!(crit_ids, [4, 5, 6, 7], "FIFO inside a class");
+    }
+
+    #[test]
+    fn low_is_refused_when_full_but_critical_is_not() {
+        let q = queue(2);
+        q.push(test_job(0, QosClass::Low, request())).unwrap();
+        q.push(test_job(1, QosClass::Low, request())).unwrap();
+        assert!(q.push(test_job(2, QosClass::Low, request())).is_err());
+        assert!(q.push(test_job(3, QosClass::Critical, request())).is_ok());
+        assert!(q.push(test_job(4, QosClass::High, request())).is_ok());
+        assert_eq!(q.len(), 4);
+    }
+
+    #[test]
+    fn admission_limits_step_with_urgency() {
+        // capacity 2 → LOW refused at 2, MEDIUM at 4, HIGH at 8,
+        // CRITICAL never: total memory stays bounded for sheddable
+        // classes even with no deadline budgets configured.
+        let q = queue(2);
+        let fill = |q: &ClassQueue, class, n: u64| {
+            (0..n).filter(|&i| q.push(test_job(i, class, request())).is_ok()).count()
+        };
+        assert_eq!(fill(&q, QosClass::Low, 10), 2);
+        assert_eq!(fill(&q, QosClass::Medium, 10), 2); // len 2 → stops at 4
+        assert_eq!(fill(&q, QosClass::High, 10), 4); // len 4 → stops at 8
+        assert!(q.push(test_job(99, QosClass::Medium, request())).is_err());
+        assert!(q.push(test_job(99, QosClass::Low, request())).is_err());
+        assert_eq!(fill(&q, QosClass::Critical, 10), 10); // unbounded
+        assert_eq!(q.len(), 18);
+    }
+
+    #[test]
+    fn pop_respects_batch_limit() {
+        let q = queue(64);
+        for id in 0..10 {
+            q.push(test_job(id, QosClass::Medium, request())).unwrap();
+        }
+        assert_eq!(q.pop_batch(4).unwrap().len(), 4);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn shutdown_drains_then_ends() {
+        let q = queue(64);
+        q.push(test_job(0, QosClass::Low, request())).unwrap();
+        q.shutdown();
+        assert!(q.push(test_job(1, QosClass::Critical, request())).is_err());
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        assert!(q.pop_batch(8).is_none());
+    }
+
+    #[test]
+    fn blocked_pop_wakes_on_push() {
+        use std::sync::Arc;
+        let q = Arc::new(queue(8));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || q2.pop_batch(1).map(|b| b.len()));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(test_job(0, QosClass::High, request())).unwrap();
+        assert_eq!(handle.join().unwrap(), Some(1));
+    }
+}

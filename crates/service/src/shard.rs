@@ -1,0 +1,309 @@
+//! The sharded case-base store and its worker threads.
+//!
+//! Function types are partitioned across N shards by `TypeId` (modulo N —
+//! type ids are dense in practice, so the spread is even). Each shard owns
+//! a private [`CaseBase`] slice behind a mutex, a private
+//! [`RetrievalCache`], a [`ClassQueue`] and one worker thread running a
+//! [`FixedEngine`]. Because retrieval only ever touches the requested
+//! type's subtree, a shard answers exactly as the single big engine would
+//! over the merged case base — sharding changes *where* a request runs,
+//! never *what* it answers (the integration suite asserts this).
+//!
+//! Mutations (retain/revise/evict) lock the owning shard's case base
+//! directly; the bumped generation counter invalidates that shard's cache
+//! on the workers' next lookup.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use rqfa_core::{CaseBase, CoreError, FixedEngine, QosClass, TypeId};
+
+use crate::cache::RetrievalCache;
+use crate::metrics::ServiceMetrics;
+use crate::queue::ClassQueue;
+use crate::{Job, Outcome, Reply, ServiceConfig};
+
+/// Routes a function type to its owning shard.
+pub fn route(type_id: TypeId, shards: usize) -> usize {
+    usize::from(type_id.raw()) % shards.max(1)
+}
+
+/// Splits a case base into per-shard slices. Slice `i` holds every
+/// function type with `route(id, n) == i`; all slices share the (cloned)
+/// bounds table. A slice may be empty (`None`) when no type routes to it.
+pub fn partition(case_base: &CaseBase, shards: usize) -> Vec<Option<CaseBase>> {
+    let shards = shards.max(1);
+    let mut buckets: Vec<Vec<rqfa_core::FunctionType>> = vec![Vec::new(); shards];
+    for ty in case_base.function_types() {
+        buckets[route(ty.id(), shards)].push(ty.clone());
+    }
+    buckets
+        .into_iter()
+        .map(|types| {
+            if types.is_empty() {
+                None
+            } else {
+                Some(
+                    CaseBase::new(case_base.bounds().clone(), types)
+                        .expect("slices of a valid case base stay valid"),
+                )
+            }
+        })
+        .collect()
+}
+
+/// One shard: queue, store, and worker thread.
+pub(crate) struct Shard {
+    pub(crate) queue: Arc<ClassQueue>,
+    pub(crate) store: Arc<Mutex<Option<CaseBase>>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Shard {
+    /// Spawns the shard worker over `slice`.
+    pub(crate) fn spawn(
+        index: usize,
+        slice: Option<CaseBase>,
+        config: &ServiceConfig,
+        metrics: Arc<ServiceMetrics>,
+    ) -> Shard {
+        let queue = Arc::new(ClassQueue::new(config.queue_capacity, config.arbiter()));
+        let store = Arc::new(Mutex::new(slice));
+        let worker_queue = Arc::clone(&queue);
+        let worker_store = Arc::clone(&store);
+        let batch_size = config.batch_size.max(1);
+        let cache_capacity = config.cache_capacity;
+        let deadline_budget_us = config.deadline_budget_us;
+        let worker = std::thread::Builder::new()
+            .name(format!("rqfa-shard-{index}"))
+            .spawn(move || {
+                run_worker(
+                    &worker_queue,
+                    &worker_store,
+                    &metrics,
+                    batch_size,
+                    cache_capacity,
+                    deadline_budget_us,
+                );
+            })
+            .expect("spawn shard worker");
+        Shard {
+            queue,
+            store,
+            worker: Some(worker),
+        }
+    }
+
+    /// Applies a mutation to this shard's case base under its lock.
+    pub(crate) fn mutate<T>(
+        &self,
+        apply: impl FnOnce(&mut CaseBase) -> Result<T, CoreError>,
+        type_id: TypeId,
+    ) -> Result<T, CoreError> {
+        let mut store = self.store.lock().expect("store poisoned");
+        match store.as_mut() {
+            Some(case_base) => apply(case_base),
+            None => Err(CoreError::UnknownType { type_id }),
+        }
+    }
+
+    /// Signals shutdown and joins the worker, draining queued jobs first.
+    pub(crate) fn join(&mut self) {
+        self.queue.shutdown();
+        if let Some(handle) = self.worker.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+/// The worker loop: pop a batch, shed expired jobs, answer hits from the
+/// cache, run the rest through the engine's batch API, reply, repeat.
+fn run_worker(
+    queue: &ClassQueue,
+    store: &Mutex<Option<CaseBase>>,
+    metrics: &ServiceMetrics,
+    batch_size: usize,
+    cache_capacity: usize,
+    deadline_budget_us: [Option<u64>; QosClass::COUNT],
+) {
+    let engine = FixedEngine::new();
+    let mut cache = RetrievalCache::new(cache_capacity);
+    while let Some(batch) = queue.pop_batch(batch_size) {
+        if batch.is_empty() {
+            continue;
+        }
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let store = store.lock().expect("store poisoned");
+        let now = Instant::now();
+
+        // Pass 1: deadline shedding and cache lookups.
+        let mut pending: Vec<Job> = Vec::with_capacity(batch.len());
+        for job in batch {
+            let waited_us = duration_us(now.duration_since(job.enqueued_at));
+            if let Some(budget) = deadline_budget_us[job.class.index()] {
+                if job.class.sheddable() && waited_us > budget {
+                    metrics
+                        .class(job.class)
+                        .shed_deadline
+                        .fetch_add(1, Ordering::Relaxed);
+                    job.reply(Outcome::ShedDeadline, waited_us, metrics);
+                    continue;
+                }
+            }
+            let generation = store.as_ref().map_or(0, CaseBase::generation);
+            if let Some(hit) = cache.lookup(job.request.fingerprint(), generation) {
+                finish(job, hit, true, metrics);
+                continue;
+            }
+            pending.push(job);
+        }
+
+        // Pass 2: one batched engine call for every cache miss.
+        if pending.is_empty() {
+            continue;
+        }
+        match store.as_ref() {
+            Some(case_base) => {
+                let requests: Vec<&rqfa_core::Request> =
+                    pending.iter().map(|j| &j.request).collect();
+                let results = engine.retrieve_batch(case_base, &requests);
+                let generation = case_base.generation();
+                for (job, result) in pending.into_iter().zip(results) {
+                    match result {
+                        Ok(retrieval) => {
+                            cache.insert(job.request.fingerprint(), generation, &retrieval);
+                            finish(job, retrieval, false, metrics);
+                        }
+                        Err(error) => {
+                            metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
+                            let waited_us = duration_us(now.duration_since(job.enqueued_at));
+                            job.reply(Outcome::Failed(error), waited_us, metrics);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Empty shard: no type routes here, so the type is unknown.
+                for job in pending {
+                    metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
+                    let type_id = job.request.type_id();
+                    let waited_us = duration_us(now.duration_since(job.enqueued_at));
+                    job.reply(Outcome::Failed(CoreError::UnknownType { type_id }), waited_us, metrics);
+                }
+            }
+        }
+    }
+}
+
+/// Completes one job with a retrieval result.
+fn finish(job: Job, retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>, cached: bool, metrics: &ServiceMetrics) {
+    let class = job.class;
+    let latency_us = duration_us(job.enqueued_at.elapsed());
+    let outcome = match retrieval.best {
+        Some(best) => {
+            metrics.class(class).completed.fetch_add(1, Ordering::Relaxed);
+            if cached {
+                metrics.class(class).cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            Outcome::Allocated {
+                best,
+                evaluated: retrieval.evaluated,
+                cached,
+            }
+        }
+        // Unreachable for a validated case base; reported honestly anyway.
+        None => {
+            metrics.class(class).failed.fetch_add(1, Ordering::Relaxed);
+            Outcome::Failed(CoreError::UnknownType {
+                type_id: job.request.type_id(),
+            })
+        }
+    };
+    job.reply(outcome, latency_us, metrics);
+}
+
+/// Saturating µs conversion.
+pub(crate) fn duration_us(duration: std::time::Duration) -> u64 {
+    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+impl Job {
+    /// Sends the reply and records the latency sample. Shed replies stay
+    /// out of the histogram — a near-zero "latency" for dropped work
+    /// would drown the p50/p99 of the traffic actually served. A send
+    /// error means the caller dropped its ticket — the result is simply
+    /// discarded.
+    pub(crate) fn reply(self, outcome: Outcome, latency_us: u64, metrics: &ServiceMetrics) {
+        if !outcome.is_shed() {
+            metrics.class(self.class).latency.record(latency_us);
+        }
+        let _ = self.reply_tx.send(Reply {
+            id: self.id,
+            class: self.class,
+            outcome,
+            latency_us,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::paper;
+
+    #[test]
+    fn partition_covers_every_type_exactly_once() {
+        let cb = paper::table1_case_base();
+        for shards in 1..=4 {
+            let slices = partition(&cb, shards);
+            assert_eq!(slices.len(), shards);
+            let total: usize = slices
+                .iter()
+                .flatten()
+                .map(CaseBase::type_count)
+                .sum();
+            assert_eq!(total, cb.type_count());
+            for slice in slices.iter().flatten() {
+                for ty in slice.function_types() {
+                    assert_eq!(
+                        slice.function_types().len(),
+                        slice.type_count(),
+                    );
+                    // Every type landed on its routed shard.
+                    let original = cb.function_type(ty.id()).unwrap();
+                    assert_eq!(original, ty);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn routing_is_stable_and_in_range() {
+        for raw in 1..50u16 {
+            let id = TypeId::new(raw).unwrap();
+            for shards in 1..=8 {
+                let s = route(id, shards);
+                assert!(s < shards);
+                assert_eq!(s, route(id, shards));
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_partition_is_the_whole_case_base() {
+        let cb = paper::table1_case_base();
+        let slices = partition(&cb, 1);
+        assert_eq!(slices[0].as_ref().unwrap(), &cb);
+    }
+}

@@ -56,5 +56,5 @@ pub use program::{
     RETRIEVAL_SOURCE, RETRIEVAL_SOURCE_COMPILED,
 };
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;

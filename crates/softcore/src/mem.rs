@@ -58,7 +58,7 @@ impl DataMemory {
         if a + size as usize > self.bytes.len() {
             return Err(CpuError::MemFault { addr });
         }
-        if addr % size != 0 {
+        if !addr.is_multiple_of(size) {
             return Err(CpuError::Unaligned { addr });
         }
         Ok(a)

@@ -40,7 +40,7 @@ mod primitive;
 mod retrieval_unit;
 mod timing;
 
-#[cfg(test)]
+#[cfg(all(test, feature = "proptests"))]
 mod proptests;
 
 pub use area::{estimate_area, AreaReport};

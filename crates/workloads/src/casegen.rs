@@ -1,7 +1,6 @@
 //! Random case-base generation.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use rqfa_core::{
     AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, Footprint,
@@ -145,17 +144,17 @@ impl CaseGen {
 fn random_footprint(rng: &mut SmallRng, target: ExecutionTarget) -> Footprint {
     match target {
         ExecutionTarget::Fpga => Footprint {
-            bitstream_bytes: rng.gen_range(16..=256) * 1024,
-            slices: rng.gen_range(200..=1500),
-            dynamic_mw: rng.gen_range(80..=400),
-            exec_us: rng.gen_range(5..=50),
+            bitstream_bytes: rng.gen_range(16..=256u32) * 1024,
+            slices: rng.gen_range(200..=1500u32),
+            dynamic_mw: rng.gen_range(80..=400u32),
+            exec_us: rng.gen_range(5..=50u32),
             ..Footprint::none()
         },
         _ => Footprint {
-            opcode_bytes: rng.gen_range(1..=32) * 1024,
-            cpu_permille: rng.gen_range(100..=800),
-            dynamic_mw: rng.gen_range(50..=350),
-            exec_us: rng.gen_range(20..=200),
+            opcode_bytes: rng.gen_range(1..=32u32) * 1024,
+            cpu_permille: rng.gen_range(100..=800u32),
+            dynamic_mw: rng.gen_range(50..=350u32),
+            exec_us: rng.gen_range(20..=200u32),
             ..Footprint::none()
         },
     }

@@ -7,7 +7,8 @@
 //! cruise control) as a ready-made scenario.
 //!
 //! All generators take explicit seeds and are reproducible across runs and
-//! platforms (`rand::rngs::SmallRng` with fixed seeding).
+//! platforms (an in-crate xoshiro256** PRNG, see [`rng`], with fixed
+//! seeding — no external RNG dependency).
 //!
 //! ```
 //! use rqfa_workloads::{CaseGen, RequestGen};
@@ -25,8 +26,11 @@
 
 mod casegen;
 mod requestgen;
+pub mod rng;
 mod scenarios;
+mod trafficgen;
 
 pub use casegen::CaseGen;
 pub use requestgen::{GeneratedArrival, RequestGen};
 pub use scenarios::{fig1_mix, Fig1Scenario, APP_AUTOMOTIVE_ECU, APP_CRUISE, APP_MP3, APP_VIDEO};
+pub use trafficgen::{ClassedArrival, TrafficGen};

@@ -1,7 +1,6 @@
 //! Request-stream generation correlated with a case base.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use rqfa_core::{CaseBase, Request};
 
@@ -132,7 +131,7 @@ impl<'a> RequestGen<'a> {
                 GeneratedArrival {
                     at_us: clock,
                     app: u16::try_from(i % 4).expect("small"),
-                    priority: rng.gen_range(1..=9),
+                    priority: rng.gen_range(1..=9u8),
                     duration_us: geometric(&mut rng, self.mean_duration_us),
                     request,
                     relaxed,

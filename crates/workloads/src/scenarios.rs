@@ -2,8 +2,7 @@
 //! decoder, automotive ECU and cruise control share one reconfigurable
 //! platform.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::SmallRng;
 
 use rqfa_core::{
     AttrBinding, AttrDecl, AttrId, BoundsTable, CaseBase, ExecutionTarget, Footprint,
@@ -281,7 +280,7 @@ pub fn fig1_mix(rounds: u32, seed: u64) -> Fig1Scenario {
             relaxed: Some(req(T_FIR, &[(A_OUTPUT, 0), (A_RATE, 22)])),
         });
         arrivals.push(GeneratedArrival {
-            at_us: clock + rng.gen_range(100..800),
+            at_us: clock + rng.gen_range(100..800u64),
             app: APP_MP3,
             priority: 2,
             duration_us: 30_000,
@@ -290,7 +289,7 @@ pub fn fig1_mix(rounds: u32, seed: u64) -> Fig1Scenario {
         });
         // Video: IDCT at full rate, falls back to 25 fps.
         arrivals.push(GeneratedArrival {
-            at_us: clock + rng.gen_range(200..1_000),
+            at_us: clock + rng.gen_range(200..1_000u64),
             app: APP_VIDEO,
             priority: 4,
             duration_us: 60_000,
@@ -299,7 +298,7 @@ pub fn fig1_mix(rounds: u32, seed: u64) -> Fig1Scenario {
         });
         // Automotive ECU: CAN filter, strict deadline, high priority.
         arrivals.push(GeneratedArrival {
-            at_us: clock + rng.gen_range(0..300),
+            at_us: clock + rng.gen_range(0..300u64),
             app: APP_AUTOMOTIVE_ECU,
             priority: 8,
             duration_us: 80_000,
@@ -309,7 +308,7 @@ pub fn fig1_mix(rounds: u32, seed: u64) -> Fig1Scenario {
         // Cruise control: PID, highest priority, every other round.
         if round % 2 == 0 {
             arrivals.push(GeneratedArrival {
-                at_us: clock + rng.gen_range(300..1_200),
+                at_us: clock + rng.gen_range(300..1_200u64),
                 app: APP_CRUISE,
                 priority: 9,
                 duration_us: 100_000,

@@ -1,0 +1,215 @@
+//! Open-loop traffic generation for the allocation service.
+//!
+//! Models independent requester populations per QoS class — an open-loop
+//! arrival process: each class emits a Poisson stream (exponential
+//! inter-arrival gaps) at its configured rate, regardless of how fast the
+//! service drains them. That is the right model for overload experiments:
+//! a closed loop would politely slow down exactly when the shed/deadline
+//! machinery should be stressed.
+//!
+//! Request payloads come from [`RequestGen`], so the similarity profile
+//! and repeat-fraction (cache-hit traffic) knobs carry over unchanged.
+
+use rqfa_core::{CaseBase, QosClass, Request};
+
+use crate::requestgen::RequestGen;
+use crate::rng::SmallRng;
+
+/// One class-tagged arrival of the open-loop stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassedArrival {
+    /// Arrival time in microseconds from stream start.
+    pub at_us: u64,
+    /// The QoS class of the requester population.
+    pub class: QosClass,
+    /// The allocation request.
+    pub request: Request,
+}
+
+/// Open-loop Poisson traffic generator with per-class rates.
+#[derive(Debug, Clone)]
+pub struct TrafficGen<'a> {
+    case_base: &'a CaseBase,
+    seed: u64,
+    duration_us: u64,
+    rates_per_sec: [f64; QosClass::COUNT],
+    repeat_fraction: f64,
+    perturbation: u16,
+}
+
+impl<'a> TrafficGen<'a> {
+    /// Starts a generator over `case_base` with a default mix: mostly
+    /// background and interactive traffic, a thin stream of CRITICAL.
+    pub fn new(case_base: &'a CaseBase) -> TrafficGen<'a> {
+        TrafficGen {
+            case_base,
+            seed: 0,
+            duration_us: 100_000,
+            rates_per_sec: [200.0, 1_000.0, 2_000.0, 4_000.0],
+            repeat_fraction: 0.3,
+            perturbation: 8,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> TrafficGen<'a> {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the stream duration in µs.
+    pub fn duration_us(mut self, duration_us: u64) -> TrafficGen<'a> {
+        self.duration_us = duration_us.max(1);
+        self
+    }
+
+    /// Sets one class's arrival rate in requests per second (0 silences
+    /// the class).
+    pub fn rate_per_sec(mut self, class: QosClass, rate: f64) -> TrafficGen<'a> {
+        self.rates_per_sec[class.index()] = rate.max(0.0);
+        self
+    }
+
+    /// Sets the fraction of exact-repeat requests (cache-hit traffic).
+    pub fn repeat_fraction(mut self, fraction: f64) -> TrafficGen<'a> {
+        self.repeat_fraction = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the per-attribute perturbation of fresh requests.
+    pub fn perturbation(mut self, delta: u16) -> TrafficGen<'a> {
+        self.perturbation = delta;
+        self
+    }
+
+    /// Generates the merged, time-sorted arrival stream.
+    ///
+    /// # Panics
+    ///
+    /// Never for a validated case base.
+    pub fn generate(&self) -> Vec<ClassedArrival> {
+        let mut all = Vec::new();
+        for class in QosClass::ALL {
+            let rate = self.rates_per_sec[class.index()];
+            if rate <= 0.0 {
+                continue;
+            }
+            let mean_gap_us = 1.0e6 / rate;
+            let mut rng =
+                SmallRng::seed_from_u64(self.seed ^ (0xC1A5_5000 + class.index() as u64));
+            // Draw the Poisson arrival times first…
+            let mut times = Vec::new();
+            let mut clock = 0.0f64;
+            loop {
+                clock += exponential(&mut rng, mean_gap_us);
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                let at_us = clock as u64;
+                if at_us >= self.duration_us {
+                    break;
+                }
+                times.push(at_us);
+            }
+            // …then one payload per arrival from the shared request model.
+            let requests = RequestGen::new(self.case_base)
+                .seed(self.seed ^ (u64::from(class.to_axi()) << 32))
+                .count(times.len())
+                .repeat_fraction(self.repeat_fraction)
+                .perturbation(self.perturbation)
+                .generate();
+            all.extend(
+                times
+                    .into_iter()
+                    .zip(requests)
+                    .map(|(at_us, request)| ClassedArrival {
+                        at_us,
+                        class,
+                        request,
+                    }),
+            );
+        }
+        all.sort_by_key(|a| a.at_us);
+        all
+    }
+}
+
+/// Exponential inter-arrival gap with the given mean (µs).
+fn exponential(rng: &mut SmallRng, mean_us: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln() * mean_us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::casegen::CaseGen;
+
+    fn case_base() -> CaseBase {
+        CaseGen::new(4, 5, 4, 6).seed(9).build()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cb = case_base();
+        let a = TrafficGen::new(&cb).seed(3).generate();
+        let b = TrafficGen::new(&cb).seed(3).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, TrafficGen::new(&cb).seed(4).generate());
+    }
+
+    #[test]
+    fn stream_is_sorted_and_bounded() {
+        let cb = case_base();
+        let arrivals = TrafficGen::new(&cb).seed(1).duration_us(50_000).generate();
+        assert!(!arrivals.is_empty());
+        for w in arrivals.windows(2) {
+            assert!(w[0].at_us <= w[1].at_us);
+        }
+        assert!(arrivals.last().unwrap().at_us < 50_000);
+    }
+
+    #[test]
+    fn rates_scale_arrival_counts() {
+        let cb = case_base();
+        let arrivals = TrafficGen::new(&cb)
+            .seed(7)
+            .duration_us(1_000_000)
+            .generate();
+        let count = |class: QosClass| arrivals.iter().filter(|a| a.class == class).count();
+        let critical = count(QosClass::Critical);
+        let low = count(QosClass::Low);
+        // 200/s vs 4000/s over one second, Poisson noise is ~√n.
+        assert!((100..400).contains(&critical), "critical: {critical}");
+        assert!((3_400..4_600).contains(&low), "low: {low}");
+    }
+
+    #[test]
+    fn silenced_class_emits_nothing() {
+        let cb = case_base();
+        let arrivals = TrafficGen::new(&cb)
+            .rate_per_sec(QosClass::Critical, 0.0)
+            .rate_per_sec(QosClass::High, 0.0)
+            .rate_per_sec(QosClass::Medium, 0.0)
+            .generate();
+        assert!(arrivals.iter().all(|a| a.class == QosClass::Low));
+        assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn repeats_appear_for_cache_traffic() {
+        let cb = case_base();
+        let arrivals = TrafficGen::new(&cb)
+            .seed(5)
+            .duration_us(200_000)
+            .repeat_fraction(0.8)
+            .generate();
+        let mut fingerprints: Vec<u64> =
+            arrivals.iter().map(|a| a.request.fingerprint()).collect();
+        let total = fingerprints.len();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert!(
+            fingerprints.len() < total,
+            "expected repeats in {total} arrivals"
+        );
+    }
+}

@@ -19,8 +19,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .function_type(paper::FIR_EQUALIZER)
         .expect("fixture");
     println!(
-        "{:<22} {:>6} {:>6} {:>6} {:>8}  {}",
-        "implementation", "bw", "out", "rate", "S(float)", "S(fixed)"
+        "{:<22} {:>6} {:>6} {:>6} {:>8}  S(fixed)",
+        "implementation", "bw", "out", "rate", "S(float)"
     );
     let (float_scores, _) = FloatEngine::new().score_all(&case_base, &request)?;
     let (fixed_scores, _) = FixedEngine::new().score_all(&case_base, &request)?;

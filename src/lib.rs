@@ -18,7 +18,8 @@
 //! | [`softcore`] | `rqfa-softcore` | sc32 soft-core simulator, assembler, retrieval routines |
 //! | [`synth`] | `rqfa-synth` | netlist area/timing estimator (Table 2) |
 //! | [`rsoc`] | `rqfa-rsoc` | run-time system simulator (fig. 1): allocation manager, devices, negotiation |
-//! | [`workloads`] | `rqfa-workloads` | deterministic generators and the fig. 1 scenario |
+//! | [`service`] | `rqfa-service` | sharded, batched, QoS-class-aware allocation service (queues, scheduler, cache, metrics) |
+//! | [`workloads`] | `rqfa-workloads` | deterministic generators, the fig. 1 scenario, open-loop QoS traffic |
 //!
 //! ## Quick start
 //!
@@ -43,6 +44,7 @@ pub use rqfa_fixed as fixed;
 pub use rqfa_hwsim as hwsim;
 pub use rqfa_memlist as memlist;
 pub use rqfa_rsoc as rsoc;
+pub use rqfa_service as service;
 pub use rqfa_softcore as softcore;
 pub use rqfa_synth as synth;
 pub use rqfa_workloads as workloads;

@@ -5,6 +5,10 @@
 //! implementations; every fixed-point path must agree bit-exactly, and
 //! the float reference must agree up to quantization ties.
 
+// Property-based suite: needs the external `proptest` crate (not vendored
+// offline). Enable with `--features proptests` where crates.io is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 
 use rqfa::core::{FixedEngine, FloatEngine};

@@ -2,6 +2,10 @@
 //! validate, decode, and survive corruption without undefined behaviour in
 //! any consumer (validator, decoder, hardware simulator, soft core).
 
+// Property-based suite: needs the external `proptest` crate (not vendored
+// offline). Enable with `--features proptests` where crates.io is reachable.
+#![cfg(feature = "proptests")]
+
 use proptest::prelude::*;
 
 use rqfa::core::FixedEngine;

@@ -1,0 +1,187 @@
+//! Experiment E13: the allocation service must scale *without changing any
+//! answer*. Three workspace-level properties:
+//!
+//! 1. **Ranking equivalence** — sharded + batched + cached retrieval
+//!    returns exactly what a single `FixedEngine` over the merged case
+//!    base returns, for every request of a generated workload.
+//! 2. **Cache coherence** — repeating a request hits the cache; a retain
+//!    mutation invalidates it and the next answer reflects the new
+//!    variant.
+//! 3. **QoS protection** — under deliberate overload with a tiny queue,
+//!    CRITICAL requests are never shed while LOW traffic is.
+
+use rqfa::core::{paper, AttrBinding, ExecutionTarget, FixedEngine, ImplId, ImplVariant, QosClass};
+use rqfa::service::{AllocationService, Outcome, Reply, ServiceConfig, Ticket};
+use rqfa::workloads::{CaseGen, RequestGen};
+
+/// 1a. Every shard count answers exactly like the single engine, request
+/// by request, including similarity bit patterns.
+#[test]
+fn sharded_retrieval_matches_single_engine() {
+    let case_base = CaseGen::new(13, 8, 6, 9).seed(0xA11C).value_span(300).build();
+    let requests = RequestGen::new(&case_base)
+        .seed(0x51AB)
+        .count(200)
+        .repeat_fraction(0.4) // exercise the cache path too
+        .generate();
+    let engine = FixedEngine::new();
+
+    for shards in [1usize, 2, 4] {
+        let service = AllocationService::new(
+            &case_base,
+            &ServiceConfig::default().with_shards(shards),
+        );
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| service.submit(r.clone(), QosClass::Medium))
+            .collect();
+        for (request, ticket) in requests.iter().zip(tickets) {
+            let reply = ticket.wait().expect("service answers before shutdown");
+            let expected = engine
+                .retrieve(&case_base, request)
+                .expect("generated request is valid")
+                .best
+                .expect("validated case base always has a best");
+            match reply.outcome {
+                Outcome::Allocated { best, .. } => {
+                    assert_eq!(
+                        best.impl_id, expected.impl_id,
+                        "{shards} shard(s): winner differs for {request}"
+                    );
+                    assert_eq!(
+                        best.similarity, expected.similarity,
+                        "{shards} shard(s): similarity bits differ for {request}"
+                    );
+                }
+                other => panic!("{shards} shard(s): unexpected outcome {other:?}"),
+            }
+        }
+        let snap = service.shutdown();
+        assert_eq!(snap.class(QosClass::Medium).completed, requests.len() as u64);
+        assert_eq!(snap.shed(), 0, "no shedding in an underloaded run");
+    }
+}
+
+/// 1b. A batch spanning every shard completes fully even when some types
+/// route to one shard and the rest to others.
+#[test]
+fn cross_shard_round_robin_workload_completes() {
+    let case_base = CaseGen::new(8, 4, 4, 6).seed(3).build();
+    let service =
+        AllocationService::new(&case_base, &ServiceConfig::default().with_shards(4));
+    let requests = RequestGen::new(&case_base).seed(9).count(100).generate();
+    let tickets: Vec<Ticket> = requests
+        .into_iter()
+        .map(|r| service.submit(r, QosClass::High))
+        .collect();
+    let mut answered = 0;
+    for ticket in tickets {
+        assert!(matches!(
+            ticket.wait().expect("answered").outcome,
+            Outcome::Allocated { .. }
+        ));
+        answered += 1;
+    }
+    assert_eq!(answered, 100);
+    service.shutdown();
+}
+
+/// 2. Cache hits on repetition; retain-invalidation changes the answer.
+#[test]
+fn cache_invalidation_on_case_insertion() {
+    let case_base = paper::table1_case_base();
+    let service = AllocationService::new(&case_base, &ServiceConfig::default());
+    let request = paper::table1_request().unwrap();
+
+    let allocated = |reply: Reply| match reply.outcome {
+        Outcome::Allocated { best, cached, .. } => (best, cached),
+        other => panic!("unexpected outcome {other:?}"),
+    };
+
+    // Miss, then hit, answering identically (Table 1: the DSP wins).
+    let (first, cached) = allocated(service.submit(request.clone(), QosClass::High).wait().unwrap());
+    assert!(!cached);
+    assert_eq!(first.impl_id, paper::IMPL_DSP);
+    let (second, cached) = allocated(service.submit(request.clone(), QosClass::High).wait().unwrap());
+    assert!(cached, "identical repeat must come from the cache");
+    assert_eq!(second, first);
+
+    // Retain a variant matching the request exactly: similarity 1.0.
+    let perfect = ImplVariant::new(
+        ImplId::new(9).unwrap(),
+        ExecutionTarget::Fpga,
+        vec![
+            AttrBinding::new(paper::ATTR_BITWIDTH, 16),
+            AttrBinding::new(paper::ATTR_OUTPUT, 1),
+            AttrBinding::new(paper::ATTR_RATE, 40),
+        ],
+    )
+    .unwrap();
+    service
+        .retain_variant(paper::FIR_EQUALIZER, perfect)
+        .unwrap();
+
+    // The stale cached answer must NOT be served: recomputed, new winner.
+    let (third, cached) = allocated(service.submit(request, QosClass::High).wait().unwrap());
+    assert!(!cached, "mutation must invalidate the cached result");
+    assert_eq!(third.impl_id.raw(), 9, "the retained perfect match wins");
+    assert!(third.similarity > first.similarity);
+
+    let snap = service.shutdown();
+    assert_eq!(snap.class(QosClass::High).cache_hits, 1);
+    assert_eq!(snap.class(QosClass::High).completed, 3);
+}
+
+/// 3. CRITICAL is never shed, even with a 4-slot queue under a flood of
+///    LOW traffic with a 1 µs deadline budget.
+#[test]
+fn critical_survives_overload_that_sheds_low() {
+    let case_base = CaseGen::new(6, 32, 8, 10).seed(77).build();
+    let config = ServiceConfig::default()
+        .with_shards(2)
+        .with_queue_capacity(4)
+        .with_batch_size(4)
+        .with_cache_capacity(0) // keep the workers honest (no shortcut)
+        .with_deadline_budget_us(QosClass::Low, 1);
+    let service = AllocationService::new(&case_base, &config);
+    let requests = RequestGen::new(&case_base)
+        .seed(5)
+        .count(2_000)
+        .repeat_fraction(0.0)
+        .generate();
+
+    let mut critical_tickets = Vec::new();
+    for (i, request) in requests.iter().enumerate() {
+        if i % 10 == 0 {
+            critical_tickets.push(service.submit(request.clone(), QosClass::Critical));
+        } else {
+            // Fire-and-forget flood; replies collected via metrics.
+            let _ = service.submit(request.clone(), QosClass::Low);
+        }
+    }
+
+    for ticket in critical_tickets {
+        let reply = ticket.wait().expect("critical must always be answered");
+        assert!(
+            matches!(reply.outcome, Outcome::Allocated { .. }),
+            "CRITICAL must never be shed, got {:?}",
+            reply.outcome
+        );
+    }
+
+    let snap = service.shutdown();
+    let critical = snap.class(QosClass::Critical);
+    assert_eq!(critical.shed(), 0, "no shed path may touch CRITICAL");
+    assert_eq!(critical.completed, critical.submitted);
+    let low = snap.class(QosClass::Low);
+    assert!(
+        low.shed() > 0,
+        "a 4-slot queue under a 1800-request flood must shed LOW \
+         (shed {} of {})",
+        low.shed(),
+        low.submitted
+    );
+    // Accounting closes: every LOW request either completed, was shed, or
+    // failed — nothing vanishes.
+    assert_eq!(low.completed + low.shed() + low.failed, low.submitted);
+}
