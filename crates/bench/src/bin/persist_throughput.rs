@@ -1,0 +1,229 @@
+//! Experiment E14 — persistence-layer performance: WAL append latency
+//! (the cost added to every acknowledged mutation) and recovery time as a
+//! function of log size (the cost of skipping checkpoints).
+//!
+//! Three sweeps:
+//!
+//! 1. **Append latency**: mean / p50 / p99 of durable-apply over an
+//!    in-memory store (pure CPU: encode + CRC) and over a real file
+//!    (adds the OS append + fdatasync), vs the ephemeral in-memory apply
+//!    as the baseline.
+//! 2. **Recovery time vs log size**: replay 10² … 10⁴ WAL records on top
+//!    of a genesis snapshot; reports records/s and the snapshot-restore
+//!    floor (log size 0).
+//! 3. **Checkpoint cadence**: throughput of 10k mutations at
+//!    `snapshot_every` ∈ {off, 1024, 256, 64} — how much the periodic
+//!    snapshot+compaction costs, and how it bounds recovery work.
+//!
+//! `cargo run --release -p rqfa-bench --bin persist_throughput`
+
+use std::time::Instant;
+
+use rqfa_core::{CaseBase, CaseMutation};
+use rqfa_persist::{
+    DurableCaseBase, MemStore, PersistPolicy, StampedMutation, StoreSet, Wal,
+};
+use rqfa_workloads::CaseGen;
+
+/// Alternating retain/evict of a dedicated id keeps the case base at
+/// constant size while the generation (and the log) grows without bound —
+/// the worst case for recovery, the steady state for appends.
+fn mutation_for(step: u64, case_base: &CaseBase) -> CaseMutation {
+    let ty = case_base.function_types()[0].id();
+    let fresh = rqfa_core::ImplId::new(5000).unwrap();
+    if step.is_multiple_of(2) {
+        let attr = rqfa_core::AttrId::new(1).unwrap();
+        let entry = case_base.bounds().entry(attr).unwrap();
+        CaseMutation::Retain {
+            type_id: ty,
+            variant: rqfa_core::ImplVariant::new(
+                fresh,
+                rqfa_core::ExecutionTarget::Fpga,
+                vec![rqfa_core::AttrBinding::new(attr, entry.lower)],
+            )
+            .unwrap(),
+        }
+    } else {
+        CaseMutation::Evict {
+            type_id: ty,
+            impl_id: fresh,
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn per_sec(count: usize, secs: f64) -> f64 {
+    count as f64 / secs.max(1e-9)
+}
+
+fn append_latency_sweep(case_base: &CaseBase) {
+    println!("1. Durable-apply latency ({} appends)\n", 20_000);
+    const N: u64 = 20_000;
+
+    // Baseline: plain in-memory apply.
+    let mut plain = case_base.clone();
+    let start = Instant::now();
+    for step in 0..N {
+        plain.apply_mutation(&mutation_for(step, case_base)).unwrap();
+    }
+    let base = start.elapsed().as_secs_f64();
+    println!(
+        "   ephemeral apply                 {:>9.0} mut/s",
+        per_sec(N as usize, base)
+    );
+
+    // Durable over MemStore (encode + CRC cost only).
+    for (label, file_backed) in [("durable apply (mem store)  ", false), ("durable apply (file store) ", true)] {
+        let tmp_dir = std::env::temp_dir().join(format!(
+            "rqfa-persist-bench-{}-{}",
+            std::process::id(),
+            file_backed
+        ));
+        let mut samples: Vec<u64> = Vec::with_capacity(N as usize);
+        let run = |samples: &mut Vec<u64>| -> f64 {
+            if file_backed {
+                let stores = StoreSet::in_dir(&tmp_dir).unwrap();
+                let mut durable =
+                    DurableCaseBase::create(case_base, stores, PersistPolicy::manual()).unwrap();
+                let start = Instant::now();
+                for step in 0..N {
+                    let m = mutation_for(step, case_base);
+                    let t0 = Instant::now();
+                    durable.apply(&m).unwrap();
+                    samples.push(t0.elapsed().as_nanos() as u64);
+                }
+                start.elapsed().as_secs_f64()
+            } else {
+                let mut durable = DurableCaseBase::create(
+                    case_base,
+                    StoreSet::in_memory(),
+                    PersistPolicy::manual(),
+                )
+                .unwrap();
+                let start = Instant::now();
+                for step in 0..N {
+                    let m = mutation_for(step, case_base);
+                    let t0 = Instant::now();
+                    durable.apply(&m).unwrap();
+                    samples.push(t0.elapsed().as_nanos() as u64);
+                }
+                start.elapsed().as_secs_f64()
+            }
+        };
+        let secs = run(&mut samples);
+        samples.sort_unstable();
+        println!(
+            "   {label}    {:>9.0} mut/s   p50 {:>6} ns  p99 {:>7} ns",
+            per_sec(N as usize, secs),
+            percentile(&samples, 0.50),
+            percentile(&samples, 0.99),
+        );
+        let _ = std::fs::remove_dir_all(&tmp_dir);
+    }
+    println!();
+}
+
+fn recovery_sweep(case_base: &CaseBase) {
+    println!("2. Recovery time vs log size\n");
+    for records in [0usize, 100, 1_000, 10_000] {
+        // Build the on-media state: genesis snapshot + `records` WAL frames.
+        let mut durable = DurableCaseBase::create(
+            case_base,
+            StoreSet::in_memory(),
+            PersistPolicy::manual(),
+        )
+        .unwrap();
+        for step in 0..records as u64 {
+            durable.apply(&mutation_for(step, case_base)).unwrap();
+        }
+        let stores = durable.into_stores();
+        let log_bytes = stores.wal.bytes().len();
+
+        let start = Instant::now();
+        let (_recovered, report) =
+            DurableCaseBase::recover(stores, PersistPolicy::manual()).unwrap();
+        let secs = start.elapsed().as_secs_f64();
+        assert_eq!(report.replayed, records);
+        println!(
+            "   {records:>6} records ({log_bytes:>7} B log): {:>9.1} µs total, {:>9.0} replays/s",
+            secs * 1e6,
+            if records == 0 { 0.0 } else { per_sec(records, secs) },
+        );
+    }
+    println!();
+}
+
+fn checkpoint_cadence_sweep(case_base: &CaseBase) {
+    println!("3. Checkpoint cadence (10k mutations, mem store)\n");
+    const N: u64 = 10_000;
+    for every in [0u64, 1024, 256, 64] {
+        let policy = PersistPolicy {
+            snapshot_every: every,
+        };
+        let mut durable =
+            DurableCaseBase::create(case_base, StoreSet::in_memory(), policy).unwrap();
+        let start = Instant::now();
+        for step in 0..N {
+            durable.apply(&mutation_for(step, case_base)).unwrap();
+        }
+        let secs = start.elapsed().as_secs_f64();
+        let tail = durable.wal_bytes().unwrap();
+        println!(
+            "   snapshot_every={:<6} {:>9.0} mut/s   wal tail {:>7} B (bounds replay work)",
+            if every == 0 { "off".to_string() } else { every.to_string() },
+            per_sec(N as usize, secs),
+            tail,
+        );
+    }
+    println!();
+}
+
+fn wal_scan_floor() {
+    println!("4. Raw WAL scan floor (replay parse only, no apply)\n");
+    let case_base = CaseGen::new(2, 3, 3, 4).seed(1).build();
+    let mut wal = Wal::new(MemStore::new());
+    let mut scratch = case_base.clone();
+    const N: usize = 50_000;
+    for step in 0..N as u64 {
+        let m = mutation_for(step, &case_base);
+        scratch.apply_mutation(&m).unwrap();
+        wal.append(&StampedMutation {
+            generation: scratch.generation(),
+            mutation: m,
+        })
+        .unwrap();
+    }
+    let start = Instant::now();
+    let replay = wal.replay().unwrap();
+    let secs = start.elapsed().as_secs_f64();
+    assert_eq!(replay.records.len(), N);
+    println!(
+        "   {N} frames, {} B: {:>9.0} frames/s (decode + CRC)\n",
+        replay.total_bytes,
+        per_sec(N, secs)
+    );
+}
+
+fn main() {
+    println!("E14. Persistence: WAL append latency, recovery vs log size\n");
+    let case_base = CaseGen::new(15, 10, 10, 10).seed(0xE14).build();
+    println!(
+        "case base: {} types × {} variants ({} attrs/variant)\n",
+        case_base.type_count(),
+        case_base.variant_count() / case_base.type_count(),
+        10
+    );
+    append_latency_sweep(&case_base);
+    recovery_sweep(&case_base);
+    checkpoint_cadence_sweep(&case_base);
+    wal_scan_floor();
+    println!("done.");
+}

@@ -11,8 +11,10 @@ use core::fmt;
 
 use crate::bounds::BoundsTable;
 use crate::error::CoreError;
+use crate::generation::Generation;
 use crate::ids::{ImplId, TypeId};
 use crate::implvariant::ImplVariant;
+use crate::mutation::CaseMutation;
 
 /// One function type (level 0 node) and its implementation variants.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -109,7 +111,7 @@ impl fmt::Display for FunctionType {
 pub struct CaseBase {
     bounds: BoundsTable,
     types: Vec<FunctionType>,
-    generation: u64,
+    generation: Generation,
 }
 
 impl CaseBase {
@@ -146,7 +148,7 @@ impl CaseBase {
         Ok(CaseBase {
             bounds,
             types,
-            generation: 0,
+            generation: Generation::GENESIS,
         })
     }
 
@@ -189,9 +191,67 @@ impl CaseBase {
     }
 
     /// Monotone counter incremented on every mutation; used by caches to
-    /// detect stale retrieval results.
-    pub fn generation(&self) -> u64 {
+    /// detect stale retrieval results and by the persistence layer to
+    /// stamp write-ahead-log records.
+    pub fn generation(&self) -> Generation {
         self.generation
+    }
+
+    /// Overwrites the generation counter.
+    ///
+    /// This exists for exactly two callers: a persistence layer restoring
+    /// a recovered case base to the generation its snapshot/log recorded,
+    /// and a caller rolling back an applied mutation (the inverse
+    /// mutation bumps the counter again, so the rollback must restore
+    /// it). Anything else should let mutations advance the counter — a
+    /// generation that moves backwards while caches are alive would
+    /// resurrect stale entries.
+    pub fn restore_generation(&mut self, generation: Generation) {
+        self.generation = generation;
+    }
+
+    /// Applies a [`CaseMutation`] and returns its inverse.
+    ///
+    /// The inverse, applied next, restores the previous contents (the
+    /// generation keeps advancing; use
+    /// [`CaseBase::restore_generation`] if a rollback must also rewind
+    /// the counter). A failed mutation leaves the case base untouched,
+    /// generation included.
+    ///
+    /// # Errors
+    ///
+    /// The union of the error conditions of
+    /// [`CaseBase::retain_variant`], [`CaseBase::revise_variant`] and
+    /// [`CaseBase::evict_variant`].
+    pub fn apply_mutation(&mut self, mutation: &CaseMutation) -> Result<CaseMutation, CoreError> {
+        match mutation {
+            CaseMutation::Retain { type_id, variant } => {
+                self.retain_variant(*type_id, variant.clone())?;
+                Ok(CaseMutation::Evict {
+                    type_id: *type_id,
+                    impl_id: variant.id(),
+                })
+            }
+            CaseMutation::Revise { type_id, variant } => {
+                let old = self
+                    .require_type(*type_id)?
+                    .variant(variant.id())
+                    .ok_or(CoreError::UnknownType { type_id: *type_id })?
+                    .clone();
+                self.revise_variant(*type_id, variant.clone())?;
+                Ok(CaseMutation::Revise {
+                    type_id: *type_id,
+                    variant: old,
+                })
+            }
+            CaseMutation::Evict { type_id, impl_id } => {
+                let removed = self.evict_variant(*type_id, *impl_id)?;
+                Ok(CaseMutation::Retain {
+                    type_id: *type_id,
+                    variant: removed,
+                })
+            }
+        }
     }
 
     /// *Retain* step of the CBR cycle: inserts a new implementation variant
@@ -226,7 +286,7 @@ impl CaseBase {
             }),
             Err(pos) => {
                 ty.variants.insert(pos, variant);
-                self.generation += 1;
+                self.generation = self.generation.next();
                 Ok(())
             }
         }
@@ -260,7 +320,7 @@ impl CaseBase {
             return Err(CoreError::EmptyType { type_id });
         }
         let removed = ty.variants.remove(pos);
-        self.generation += 1;
+        self.generation = self.generation.next();
         Ok(removed)
     }
 
@@ -289,7 +349,7 @@ impl CaseBase {
             .binary_search_by_key(&revised.id(), ImplVariant::id)
             .map_err(|_| CoreError::UnknownType { type_id })?;
         ty.variants[pos] = revised;
-        self.generation += 1;
+        self.generation = self.generation.next();
         Ok(())
     }
 }
@@ -370,7 +430,7 @@ mod tests {
         let mut cb = case_base();
         let g0 = cb.generation();
         cb.retain_variant(TypeId::new(1).unwrap(), variant(5, 4)).unwrap();
-        assert_eq!(cb.generation(), g0 + 1);
+        assert_eq!(cb.generation(), g0.next());
         let ty = cb.function_type(TypeId::new(1).unwrap()).unwrap();
         let ids: Vec<u16> = ty.variants().iter().map(|v| v.id().raw()).collect();
         assert_eq!(ids, [1, 2, 5]);

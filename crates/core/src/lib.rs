@@ -84,9 +84,11 @@ pub mod cycle;
 pub mod engine;
 pub mod explain;
 mod error;
+pub mod generation;
 pub mod ids;
 pub mod implvariant;
 pub mod mahalanobis;
+pub mod mutation;
 pub mod nbest;
 pub mod paper;
 pub mod qos;
@@ -102,9 +104,11 @@ pub use cycle::{CbrCycle, CycleOutcome, LearnAction, LearnPolicy};
 pub use engine::{FixedEngine, FloatEngine, OpCounts, Retrieval, ScoreResult, Scored};
 pub use explain::{Explanation, ExplainRow};
 pub use error::CoreError;
+pub use generation::Generation;
 pub use ids::{AttrId, ImplId, TypeId, RESERVED_ID};
 pub use implvariant::{ExecutionTarget, Footprint, ImplVariant};
 pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
+pub use mutation::CaseMutation;
 pub use nbest::NBest;
 pub use qos::QosClass;
 pub use request::{Constraint, Request, RequestBuilder};

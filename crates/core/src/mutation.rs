@@ -1,0 +1,178 @@
+//! Case-base mutation events.
+//!
+//! The learning extensions of the CBR cycle (retain / revise / evict, §5
+//! outlook) mutate the case base at run time. [`CaseMutation`] reifies one
+//! such mutation as a value, so the layers above the core can route, log
+//! and replay mutations uniformly:
+//!
+//! * the allocation service routes a mutation to the shard owning its
+//!   function type;
+//! * the persistence layer (`rqfa-persist`) appends the mutation to a
+//!   write-ahead log *before* acknowledging it, and replays logged
+//!   mutations on recovery;
+//! * [`CaseBase::apply_mutation`](crate::CaseBase::apply_mutation) returns
+//!   the *inverse* mutation, which lets a caller roll back an applied
+//!   mutation whose durable logging failed.
+
+use core::fmt;
+
+use crate::ids::{ImplId, TypeId};
+use crate::implvariant::ImplVariant;
+
+/// One mutation of a case base, as a routable/loggable value.
+///
+/// ```
+/// use rqfa_core::{paper, CaseMutation, ImplId};
+///
+/// let mut cb = paper::table1_case_base();
+/// let evict = CaseMutation::Evict {
+///     type_id: paper::FIR_EQUALIZER,
+///     impl_id: paper::IMPL_DSP,
+/// };
+/// let inverse = cb.apply_mutation(&evict)?; // returns the undo
+/// assert!(matches!(inverse, CaseMutation::Retain { .. }));
+/// cb.apply_mutation(&inverse)?;             // DSP variant is back
+/// assert_eq!(cb.variant_count(), 5);
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CaseMutation {
+    /// *Retain*: insert a new implementation variant into `type_id`.
+    Retain {
+        /// The function type gaining a variant.
+        type_id: TypeId,
+        /// The new variant.
+        variant: ImplVariant,
+    },
+    /// *Revise*: replace the attribute set of an existing variant.
+    Revise {
+        /// The function type owning the variant.
+        type_id: TypeId,
+        /// The corrected variant (same id as the one it replaces).
+        variant: ImplVariant,
+    },
+    /// Evict an existing variant (memory-budget learning policy).
+    Evict {
+        /// The function type losing a variant.
+        type_id: TypeId,
+        /// The variant to remove.
+        impl_id: ImplId,
+    },
+}
+
+impl CaseMutation {
+    /// The function type this mutation touches — the shard routing key.
+    pub fn type_id(&self) -> TypeId {
+        match self {
+            CaseMutation::Retain { type_id, .. }
+            | CaseMutation::Revise { type_id, .. }
+            | CaseMutation::Evict { type_id, .. } => *type_id,
+        }
+    }
+
+    /// The implementation variant id this mutation touches.
+    pub fn impl_id(&self) -> ImplId {
+        match self {
+            CaseMutation::Retain { variant, .. } | CaseMutation::Revise { variant, .. } => {
+                variant.id()
+            }
+            CaseMutation::Evict { impl_id, .. } => *impl_id,
+        }
+    }
+
+    /// A short, stable kind tag ("retain" / "revise" / "evict").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CaseMutation::Retain { .. } => "retain",
+            CaseMutation::Revise { .. } => "revise",
+            CaseMutation::Evict { .. } => "evict",
+        }
+    }
+}
+
+impl fmt::Display for CaseMutation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.kind(), self.type_id(), self.impl_id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn routing_key_and_kind() {
+        let m = CaseMutation::Evict {
+            type_id: paper::FIR_EQUALIZER,
+            impl_id: paper::IMPL_DSP,
+        };
+        assert_eq!(m.type_id(), paper::FIR_EQUALIZER);
+        assert_eq!(m.impl_id(), paper::IMPL_DSP);
+        assert_eq!(m.kind(), "evict");
+        assert_eq!(m.to_string(), "evict T1 I2");
+    }
+
+    #[test]
+    fn apply_and_inverse_round_trip() {
+        let original = paper::table1_case_base();
+        let mut cb = original.clone();
+        let evict = CaseMutation::Evict {
+            type_id: paper::FIR_EQUALIZER,
+            impl_id: paper::IMPL_DSP,
+        };
+        let inverse = cb.apply_mutation(&evict).unwrap();
+        assert_eq!(cb.variant_count(), original.variant_count() - 1);
+        let inverse_of_inverse = cb.apply_mutation(&inverse).unwrap();
+        assert_eq!(inverse_of_inverse, evict);
+        // Structurally identical again (generation differs, of course).
+        assert_eq!(cb.function_types(), original.function_types());
+    }
+
+    #[test]
+    fn revise_inverse_restores_old_attributes() {
+        let mut cb = paper::table1_case_base();
+        let old = cb
+            .function_type(paper::FIR_EQUALIZER)
+            .unwrap()
+            .variant(paper::IMPL_DSP)
+            .unwrap()
+            .clone();
+        let revised = ImplVariant::new(
+            paper::IMPL_DSP,
+            crate::ExecutionTarget::Dsp,
+            vec![crate::AttrBinding::new(paper::ATTR_BITWIDTH, 12)],
+        )
+        .unwrap();
+        let inverse = cb
+            .apply_mutation(&CaseMutation::Revise {
+                type_id: paper::FIR_EQUALIZER,
+                variant: revised,
+            })
+            .unwrap();
+        match &inverse {
+            CaseMutation::Revise { variant, .. } => assert_eq!(variant, &old),
+            other => panic!("unexpected inverse {other:?}"),
+        }
+        cb.apply_mutation(&inverse).unwrap();
+        assert_eq!(
+            cb.function_type(paper::FIR_EQUALIZER)
+                .unwrap()
+                .variant(paper::IMPL_DSP)
+                .unwrap(),
+            &old
+        );
+    }
+
+    #[test]
+    fn failed_mutation_leaves_case_base_untouched() {
+        let mut cb = paper::table1_case_base();
+        let before = cb.clone();
+        let bad = CaseMutation::Evict {
+            type_id: TypeId::new(99).unwrap(),
+            impl_id: paper::IMPL_DSP,
+        };
+        assert!(cb.apply_mutation(&bad).is_err());
+        assert_eq!(cb, before, "failed mutations must not bump the generation");
+    }
+}

@@ -13,6 +13,7 @@ use rqfa_fixed::Q15;
 
 use crate::casebase::CaseBase;
 use crate::engine::Scored;
+use crate::generation::Generation;
 use crate::ids::{ImplId, TypeId};
 use crate::request::Request;
 
@@ -28,7 +29,7 @@ pub struct BypassToken {
     /// The similarity achieved at selection time.
     pub similarity: Q15,
     /// Case-base generation the selection was computed against.
-    pub generation: u64,
+    pub generation: Generation,
 }
 
 /// Statistics of a token cache.

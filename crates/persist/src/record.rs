@@ -1,0 +1,381 @@
+//! The write-ahead-log record format.
+//!
+//! Every case-base mutation becomes one self-delimiting frame whose
+//! payload reuses the `memlist` 16-bit word idiom (presorted attribute
+//! pairs, `0xFFFF` terminator) — the same validated encoding the hardware
+//! images use, so a WAL payload *is* a tiny memory-image list:
+//!
+//! ```text
+//! offset  size  field
+//! 0       2     magic            0xCB1C, little-endian
+//! 2       8     generation       u64 LE — the stamp the mutation produced
+//! 10      2     kind             1 retain · 2 revise · 3 evict
+//! 12      2     payload words    n (u16 LE)
+//! 14      2n    payload          n × u16 LE words (see below)
+//! 14+2n   4     crc32            over bytes [2, 14+2n) — everything but
+//!                                the magic
+//! ```
+//!
+//! Payload words (built with [`rqfa_memlist::ImageBuilder`]):
+//!
+//! * retain / revise: `type_id, impl_id, target, (attr, value)*, 0xFFFF`
+//! * evict: `type_id, impl_id, 0xFFFF`
+//!
+//! The execution target word encodes [`ExecutionTarget`]: `0` FPGA, `1`
+//! DSP, `2` general-purpose processor, `0x0100 | tag` dedicated hardware.
+//! Resource footprints and human-readable names are *not* persisted —
+//! they are not part of the hardware memory layout either (see
+//! `rqfa_memlist::decode`), and retrieval results do not depend on them.
+//!
+//! Any structural defect — short frame, wrong magic, CRC mismatch,
+//! malformed payload — parses as [`FrameParse::Torn`], which replay
+//! treats as the end of the durable log (a torn tail, the only thing an
+//! honest crashed append can leave behind).
+
+use rqfa_core::{
+    AttrBinding, AttrId, CaseMutation, ExecutionTarget, Generation, ImplId, ImplVariant, TypeId,
+};
+use rqfa_memlist::{ImageBuilder, MemImage, END_MARKER};
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+/// The record magic word.
+pub const RECORD_MAGIC: u16 = 0xCB1C;
+
+/// Frame overhead in bytes around the payload words.
+pub const FRAME_OVERHEAD: usize = 2 + 8 + 2 + 2 + 4;
+
+const KIND_RETAIN: u16 = 1;
+const KIND_REVISE: u16 = 2;
+const KIND_EVICT: u16 = 3;
+
+/// A mutation plus the generation stamp it produced when applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StampedMutation {
+    /// The case-base generation *after* the mutation applied.
+    pub generation: Generation,
+    /// The mutation itself.
+    pub mutation: CaseMutation,
+}
+
+/// Converts words to little-endian bytes.
+pub(crate) fn words_to_bytes(words: &[u16]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(words.len() * 2);
+    for w in words {
+        out.extend_from_slice(&w.to_le_bytes());
+    }
+    out
+}
+
+/// Converts little-endian bytes back to words (length must be even).
+pub(crate) fn bytes_to_words(bytes: &[u8]) -> Vec<u16> {
+    bytes
+        .chunks_exact(2)
+        .map(|pair| u16::from_le_bytes([pair[0], pair[1]]))
+        .collect()
+}
+
+pub(crate) fn target_word(target: ExecutionTarget) -> Result<u16, PersistError> {
+    match target {
+        ExecutionTarget::Fpga => Ok(0),
+        ExecutionTarget::Dsp => Ok(1),
+        ExecutionTarget::GpProcessor => Ok(2),
+        ExecutionTarget::Dedicated(tag) => Ok(0x0100 | u16::from(tag)),
+        // `ExecutionTarget` is non_exhaustive: a future variant must fail
+        // the encode loudly — silently persisting a different target
+        // would survive recovery as permanent corruption.
+        _ => Err(PersistError::UnsupportedTarget),
+    }
+}
+
+pub(crate) fn word_target(word: u16) -> Option<ExecutionTarget> {
+    match word {
+        0 => Some(ExecutionTarget::Fpga),
+        1 => Some(ExecutionTarget::Dsp),
+        2 => Some(ExecutionTarget::GpProcessor),
+        w if w & 0xFF00 == 0x0100 => Some(ExecutionTarget::Dedicated((w & 0xFF) as u8)),
+        _ => None,
+    }
+}
+
+fn payload_words(mutation: &CaseMutation) -> Result<Vec<u16>, PersistError> {
+    let mut b = ImageBuilder::new();
+    match mutation {
+        CaseMutation::Retain { type_id, variant } | CaseMutation::Revise { type_id, variant } => {
+            b.push(type_id.raw())
+                .push(variant.id().raw())
+                .push(target_word(variant.target())?);
+            for binding in variant.attrs() {
+                b.push(binding.attr.raw()).push(binding.value);
+            }
+            b.terminate();
+        }
+        CaseMutation::Evict { type_id, impl_id } => {
+            b.push(type_id.raw()).push(impl_id.raw()).terminate();
+        }
+    }
+    let (image, _) = b.finish().expect("mutation payloads are tiny");
+    Ok(image.into_words())
+}
+
+/// Encodes one stamped mutation as a self-delimiting WAL frame.
+///
+/// # Errors
+///
+/// [`PersistError::UnsupportedTarget`] if the mutation carries an
+/// execution-target variant the word encoding does not cover.
+pub fn encode_frame(stamped: &StampedMutation) -> Result<Vec<u8>, PersistError> {
+    let kind = match &stamped.mutation {
+        CaseMutation::Retain { .. } => KIND_RETAIN,
+        CaseMutation::Revise { .. } => KIND_REVISE,
+        CaseMutation::Evict { .. } => KIND_EVICT,
+    };
+    let payload = payload_words(&stamped.mutation)?;
+    debug_assert!(payload.len() <= usize::from(u16::MAX));
+    let mut body = Vec::with_capacity(FRAME_OVERHEAD - 2 + payload.len() * 2);
+    body.extend_from_slice(&stamped.generation.raw().to_le_bytes());
+    body.extend_from_slice(&kind.to_le_bytes());
+    body.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+    body.extend_from_slice(&words_to_bytes(&payload));
+    let crc = crc32(&body);
+    let mut frame = Vec::with_capacity(2 + body.len() + 4);
+    frame.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    frame.extend_from_slice(&body);
+    frame.extend_from_slice(&crc.to_le_bytes());
+    Ok(frame)
+}
+
+/// The outcome of parsing one frame at the head of a byte slice.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameParse {
+    /// A complete, CRC-clean frame of `consumed` bytes.
+    Complete {
+        /// The decoded record.
+        record: StampedMutation,
+        /// Bytes the frame occupied.
+        consumed: usize,
+    },
+    /// The bytes do not start with a complete valid frame — a torn or
+    /// corrupt tail.
+    Torn,
+}
+
+fn read_u16(bytes: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([bytes[at], bytes[at + 1]])
+}
+
+/// Walks an `(attr, value)` word list off a [`MemImage`], mirroring the
+/// memlist attribute-list layout.
+fn decode_attr_list(image: &MemImage, mut addr: u16) -> Option<Vec<AttrBinding>> {
+    let mut out = Vec::new();
+    loop {
+        let id = image.read(addr).ok()?;
+        if id == END_MARKER {
+            return Some(out);
+        }
+        let value = image.read(addr.checked_add(1)?).ok()?;
+        out.push(AttrBinding::new(AttrId::new(id).ok()?, value));
+        addr = addr.checked_add(2)?;
+    }
+}
+
+fn decode_mutation(kind: u16, payload: &[u16]) -> Option<CaseMutation> {
+    let image = MemImage::from_words(payload.to_vec()).ok()?;
+    let type_id = TypeId::new(image.read(0).ok()?).ok()?;
+    let impl_id = ImplId::new(image.read(1).ok()?).ok()?;
+    match kind {
+        KIND_EVICT => {
+            if image.read(2).ok()? != END_MARKER || payload.len() != 3 {
+                return None;
+            }
+            Some(CaseMutation::Evict { type_id, impl_id })
+        }
+        KIND_RETAIN | KIND_REVISE => {
+            let target = word_target(image.read(2).ok()?)?;
+            let attrs = decode_attr_list(&image, 3)?;
+            // The terminator must close the payload exactly.
+            if payload.len() != 3 + attrs.len() * 2 + 1 {
+                return None;
+            }
+            let variant = ImplVariant::new(impl_id, target, attrs).ok()?;
+            if kind == KIND_RETAIN {
+                Some(CaseMutation::Retain { type_id, variant })
+            } else {
+                Some(CaseMutation::Revise { type_id, variant })
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Parses the frame at the head of `bytes`.
+pub fn parse_frame(bytes: &[u8]) -> FrameParse {
+    if bytes.len() < FRAME_OVERHEAD || read_u16(bytes, 0) != RECORD_MAGIC {
+        return FrameParse::Torn;
+    }
+    let payload_words = usize::from(read_u16(bytes, 12));
+    let total = FRAME_OVERHEAD + payload_words * 2;
+    if bytes.len() < total {
+        return FrameParse::Torn;
+    }
+    let body = &bytes[2..total - 4];
+    let stored_crc = u32::from_le_bytes([
+        bytes[total - 4],
+        bytes[total - 3],
+        bytes[total - 2],
+        bytes[total - 1],
+    ]);
+    if crc32(body) != stored_crc {
+        return FrameParse::Torn;
+    }
+    let generation = Generation::from_raw(u64::from_le_bytes(
+        bytes[2..10].try_into().expect("8 bytes"),
+    ));
+    let kind = read_u16(bytes, 10);
+    let payload = bytes_to_words(&bytes[14..total - 4]);
+    match decode_mutation(kind, &payload) {
+        Some(mutation) => FrameParse::Complete {
+            record: StampedMutation {
+                generation,
+                mutation,
+            },
+            consumed: total,
+        },
+        None => FrameParse::Torn,
+    }
+}
+
+/// Decodes a frame that must be complete and valid (tests, tools).
+///
+/// Prefer [`parse_frame`] when scanning a log, where a torn tail is an
+/// expected, recoverable condition rather than an error.
+///
+/// # Errors
+///
+/// [`PersistError::CorruptSnapshot`] when the frame is torn or corrupt.
+pub fn decode_frame(bytes: &[u8]) -> Result<StampedMutation, PersistError> {
+    match parse_frame(bytes) {
+        FrameParse::Complete { record, .. } => Ok(record),
+        FrameParse::Torn => Err(PersistError::CorruptSnapshot {
+            reason: "frame is torn or corrupt",
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqfa_core::paper;
+
+    fn retain() -> StampedMutation {
+        let variant = ImplVariant::new(
+            ImplId::new(9).unwrap(),
+            ExecutionTarget::Dedicated(7),
+            vec![
+                AttrBinding::new(paper::ATTR_BITWIDTH, 12),
+                AttrBinding::new(paper::ATTR_RATE, 30),
+            ],
+        )
+        .unwrap();
+        StampedMutation {
+            generation: Generation::from_raw(17),
+            mutation: CaseMutation::Retain {
+                type_id: paper::FIR_EQUALIZER,
+                variant,
+            },
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_all_kinds() {
+        let revise = StampedMutation {
+            generation: Generation::from_raw(2),
+            mutation: CaseMutation::Revise {
+                type_id: paper::FFT_1D,
+                variant: ImplVariant::new(
+                    paper::IMPL_DSP,
+                    ExecutionTarget::Dsp,
+                    vec![AttrBinding::new(paper::ATTR_BITWIDTH, 24)],
+                )
+                .unwrap(),
+            },
+        };
+        let evict = StampedMutation {
+            generation: Generation::from_raw(u64::MAX),
+            mutation: CaseMutation::Evict {
+                type_id: paper::FIR_EQUALIZER,
+                impl_id: paper::IMPL_GP,
+            },
+        };
+        for record in [retain(), revise, evict] {
+            let frame = encode_frame(&record).unwrap();
+            match parse_frame(&frame) {
+                FrameParse::Complete {
+                    record: decoded,
+                    consumed,
+                } => {
+                    assert_eq!(decoded, record);
+                    assert_eq!(consumed, frame.len());
+                }
+                FrameParse::Torn => panic!("clean frame parsed as torn"),
+            }
+            assert_eq!(decode_frame(&frame).unwrap(), record);
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_torn_not_panic() {
+        let frame = encode_frame(&retain()).unwrap();
+        for keep in 0..frame.len() {
+            assert_eq!(
+                parse_frame(&frame[..keep]),
+                FrameParse::Torn,
+                "prefix of {keep} bytes must parse as torn"
+            );
+        }
+    }
+
+    #[test]
+    fn every_bit_flip_is_detected() {
+        let frame = encode_frame(&retain()).unwrap();
+        for byte in 0..frame.len() {
+            for bit in 0..8u8 {
+                let mut bad = frame.clone();
+                bad[byte] ^= 1 << bit;
+                match parse_frame(&bad) {
+                    FrameParse::Torn => {}
+                    FrameParse::Complete { record, .. } => {
+                        panic!("flip at {byte}:{bit} went undetected: {record:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_do_not_confuse_the_parser() {
+        let frame = encode_frame(&retain()).unwrap();
+        let mut stream = frame.clone();
+        stream.extend_from_slice(&[0xAB; 13]);
+        match parse_frame(&stream) {
+            FrameParse::Complete { consumed, .. } => assert_eq!(consumed, frame.len()),
+            FrameParse::Torn => panic!("leading frame must still parse"),
+        }
+    }
+
+    #[test]
+    fn target_words_roundtrip() {
+        for target in [
+            ExecutionTarget::Fpga,
+            ExecutionTarget::Dsp,
+            ExecutionTarget::GpProcessor,
+            ExecutionTarget::Dedicated(0),
+            ExecutionTarget::Dedicated(255),
+        ] {
+            assert_eq!(word_target(target_word(target).unwrap()), Some(target));
+        }
+        assert_eq!(word_target(0x0200), None);
+        assert_eq!(word_target(END_MARKER), None);
+    }
+}

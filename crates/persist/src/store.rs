@@ -1,0 +1,387 @@
+//! Storage media behind the WAL and snapshot codecs.
+//!
+//! The persistence layer is generic over a byte-level [`Store`] so the
+//! crash-recovery test harness can operate on the exact same code paths
+//! production uses:
+//!
+//! * [`FileStore`] — a file on disk; appends go through the OS append
+//!   mode, full replacements are atomic (`write to temp` + `rename`).
+//! * [`MemStore`] — an in-memory byte vector, for tests and benches.
+//! * [`FailingStore`] — a decorator that lets a test *tear* a write at an
+//!   exact byte offset: it forwards writes until an injected budget is
+//!   exhausted, persists only the prefix of the write that crossed the
+//!   budget, and fails every operation afterwards. Recovering from the
+//!   bytes it did persist is exactly recovering from a machine that lost
+//!   power mid-`write()`.
+//!
+//! ## Atomicity contract
+//!
+//! [`Store::append`] may tear: a crash can leave any byte prefix of the
+//! appended record. [`Store::replace`] is all-or-nothing: it either
+//! installs the full new content or leaves the old content intact
+//! (file stores get this from `rename(2)`; [`FailingStore`] models it by
+//! refusing the whole replacement when the budget does not cover it).
+//! The WAL format is designed around exactly this contract — torn record
+//! tails are detected and dropped, while compaction and snapshot
+//! promotion rely on atomic replacement.
+
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::error::PersistError;
+
+/// A byte-addressed, append-plus-replace storage medium.
+pub trait Store {
+    /// Reads the entire content. A store that was never written is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on operating-system failures.
+    fn read_all(&self) -> Result<Vec<u8>, PersistError>;
+
+    /// Appends `bytes` at the end. May tear on a crash (prefix persisted).
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on OS failures, [`PersistError::Crashed`] from
+    /// a [`FailingStore`] whose budget ran out.
+    fn append(&mut self, bytes: &[u8]) -> Result<(), PersistError>;
+
+    /// Atomically replaces the entire content (all-or-nothing).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Store::append`]; on error the previous content survives.
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), PersistError>;
+
+    /// Current content length in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] on OS failures.
+    fn len(&self) -> Result<u64, PersistError>;
+
+    /// Whether the store holds no bytes.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Store::len`].
+    fn is_empty(&self) -> Result<bool, PersistError> {
+        Ok(self.len()? == 0)
+    }
+}
+
+/// An in-memory store (tests, benches, recovery drills).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStore {
+    bytes: Vec<u8>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Wraps captured bytes (e.g. the surviving media of a crashed run).
+    pub fn from_bytes(bytes: Vec<u8>) -> MemStore {
+        MemStore { bytes }
+    }
+
+    /// The raw content.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the store, returning the raw content.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Drops all bytes after `keep` — the test harness's "power was cut
+    /// after byte `keep` reached the platter" primitive.
+    pub fn truncate(&mut self, keep: usize) {
+        self.bytes.truncate(keep);
+    }
+}
+
+impl Store for MemStore {
+    fn read_all(&self) -> Result<Vec<u8>, PersistError> {
+        Ok(self.bytes.clone())
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.bytes.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        self.bytes = bytes.to_vec();
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64, PersistError> {
+        Ok(self.bytes.len() as u64)
+    }
+}
+
+/// A file-backed store. The file is created lazily on first write; a
+/// missing file reads as empty.
+#[derive(Debug, Clone)]
+pub struct FileStore {
+    path: PathBuf,
+}
+
+impl FileStore {
+    /// A store over `path` (the file need not exist yet).
+    pub fn new(path: impl Into<PathBuf>) -> FileStore {
+        FileStore { path: path.into() }
+    }
+
+    /// The backing path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn io(op: &'static str, err: &std::io::Error) -> PersistError {
+        PersistError::Io {
+            op,
+            message: err.to_string(),
+        }
+    }
+
+    /// Fsyncs the parent directory so a rename / file creation survives
+    /// power loss (on ext4-family filesystems the rename itself is only
+    /// durable once the directory is). Best-effort no-op where
+    /// directories cannot be opened as files (non-unix).
+    fn sync_dir(&self) -> Result<(), PersistError> {
+        #[cfg(unix)]
+        if let Some(parent) = self.path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::File::open(parent)
+                    .and_then(|dir| dir.sync_all())
+                    .map_err(|e| FileStore::io("dir-sync", &e))?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Store for FileStore {
+    fn read_all(&self) -> Result<Vec<u8>, PersistError> {
+        match fs::read(&self.path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Vec::new()),
+            Err(e) => Err(FileStore::io("read", &e)),
+        }
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let fresh_file = !self.path.exists();
+        let mut file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&self.path)
+            .map_err(|e| FileStore::io("append-open", &e))?;
+        file.write_all(bytes)
+            .map_err(|e| FileStore::io("append", &e))?;
+        file.sync_data()
+            .map_err(|e| FileStore::io("append-sync", &e))?;
+        if fresh_file {
+            // The file's directory entry must be durable too.
+            self.sync_dir()?;
+        }
+        Ok(())
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        let mut tmp = self.path.clone();
+        tmp.set_extension("tmp");
+        {
+            let mut file =
+                fs::File::create(&tmp).map_err(|e| FileStore::io("replace-create", &e))?;
+            file.write_all(bytes)
+                .map_err(|e| FileStore::io("replace-write", &e))?;
+            file.sync_data()
+                .map_err(|e| FileStore::io("replace-sync", &e))?;
+        }
+        fs::rename(&tmp, &self.path).map_err(|e| FileStore::io("replace-rename", &e))?;
+        // The rename is only crash-durable once the directory is synced.
+        self.sync_dir()
+    }
+
+    fn len(&self) -> Result<u64, PersistError> {
+        match fs::metadata(&self.path) {
+            Ok(meta) => Ok(meta.len()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(0),
+            Err(e) => Err(FileStore::io("stat", &e)),
+        }
+    }
+}
+
+/// Crash-injection decorator: persists writes only up to a byte budget,
+/// tearing the write that crosses it.
+///
+/// * `append` that fits the budget → forwarded whole.
+/// * `append` that crosses the budget → only the first `remaining` bytes
+///   reach the inner store (the torn tail), then the store is *crashed*:
+///   this call and every later write fail with [`PersistError::Crashed`].
+/// * `replace` is atomic by contract, so crossing the budget forwards
+///   *nothing* — the old content survives, and the store crashes.
+///
+/// Reads keep working after the crash so a test can hand the surviving
+/// bytes to recovery.
+///
+/// ```
+/// use rqfa_persist::{FailingStore, MemStore, PersistError, Store};
+///
+/// let mut store = FailingStore::new(MemStore::new(), 5);
+/// store.append(b"abc").unwrap();                   // 3 of 5 budget
+/// let torn = store.append(b"defgh");               // crosses: 2 bytes land
+/// assert!(matches!(torn, Err(PersistError::Crashed { written: 2 })));
+/// assert_eq!(store.into_inner().bytes(), b"abcde");
+/// ```
+#[derive(Debug, Clone)]
+pub struct FailingStore<S> {
+    inner: S,
+    remaining: u64,
+    crashed: bool,
+}
+
+impl<S: Store> FailingStore<S> {
+    /// Wraps `inner`, allowing `budget` more bytes to be written.
+    pub fn new(inner: S, budget: u64) -> FailingStore<S> {
+        FailingStore {
+            inner,
+            remaining: budget,
+            crashed: false,
+        }
+    }
+
+    /// Whether the injected crash has happened.
+    pub fn has_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Unwraps the surviving medium (what a machine would find on disk
+    /// after the crash).
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: Store> Store for FailingStore<S> {
+    fn read_all(&self) -> Result<Vec<u8>, PersistError> {
+        self.inner.read_all()
+    }
+
+    fn append(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        if self.crashed {
+            return Err(PersistError::Crashed { written: 0 });
+        }
+        let len = bytes.len() as u64;
+        if len <= self.remaining {
+            self.remaining -= len;
+            return self.inner.append(bytes);
+        }
+        // Tear: persist exactly the bytes the budget still covers.
+        let survivors = usize::try_from(self.remaining).unwrap_or(usize::MAX);
+        self.crashed = true;
+        let written = self.remaining;
+        self.remaining = 0;
+        if survivors > 0 {
+            self.inner.append(&bytes[..survivors])?;
+        }
+        Err(PersistError::Crashed { written })
+    }
+
+    fn replace(&mut self, bytes: &[u8]) -> Result<(), PersistError> {
+        if self.crashed {
+            return Err(PersistError::Crashed { written: 0 });
+        }
+        let len = bytes.len() as u64;
+        if len <= self.remaining {
+            self.remaining -= len;
+            return self.inner.replace(bytes);
+        }
+        // Atomic contract: nothing of the new content lands.
+        self.crashed = true;
+        self.remaining = 0;
+        Err(PersistError::Crashed { written: 0 })
+    }
+
+    fn len(&self) -> Result<u64, PersistError> {
+        self.inner.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_append_and_replace() {
+        let mut s = MemStore::new();
+        assert!(s.is_empty().unwrap());
+        s.append(b"ab").unwrap();
+        s.append(b"cd").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"abcd");
+        s.replace(b"xy").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"xy");
+        assert_eq!(s.len().unwrap(), 2);
+        s.truncate(1);
+        assert_eq!(s.clone().into_bytes(), b"x");
+    }
+
+    #[test]
+    fn failing_store_tears_at_exact_byte() {
+        let mut s = FailingStore::new(MemStore::new(), 4);
+        s.append(b"ab").unwrap();
+        let err = s.append(b"cdef").unwrap_err();
+        assert_eq!(err, PersistError::Crashed { written: 2 });
+        assert!(s.has_crashed());
+        // Everything after the crash fails, reads still work.
+        assert!(s.append(b"x").is_err());
+        assert_eq!(s.read_all().unwrap(), b"abcd");
+        assert_eq!(s.into_inner().bytes(), b"abcd");
+    }
+
+    #[test]
+    fn failing_store_replace_is_all_or_nothing() {
+        let mut s = FailingStore::new(MemStore::from_bytes(b"old".to_vec()), 2);
+        let err = s.replace(b"new content").unwrap_err();
+        assert_eq!(err, PersistError::Crashed { written: 0 });
+        assert_eq!(s.read_all().unwrap(), b"old", "old content survives");
+    }
+
+    #[test]
+    fn failing_store_zero_budget_crashes_first_write() {
+        let mut s = FailingStore::new(MemStore::new(), 0);
+        assert!(matches!(
+            s.append(b"a"),
+            Err(PersistError::Crashed { written: 0 })
+        ));
+        assert!(s.into_inner().bytes().is_empty());
+    }
+
+    #[test]
+    fn file_store_roundtrip() {
+        let dir = std::env::temp_dir().join(format!(
+            "rqfa-persist-store-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let mut s = FileStore::new(&path);
+        assert!(s.is_empty().unwrap(), "missing file reads as empty");
+        s.append(b"one").unwrap();
+        s.append(b"two").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"onetwo");
+        s.replace(b"reset").unwrap();
+        assert_eq!(s.read_all().unwrap(), b"reset");
+        assert_eq!(s.len().unwrap(), 5);
+        assert_eq!(s.path(), path.as_path());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

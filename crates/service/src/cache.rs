@@ -15,13 +15,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use rqfa_core::{OpCounts, Retrieval, Scored};
+use rqfa_core::{Generation, OpCounts, Retrieval, Scored};
 use rqfa_fixed::Q15;
 
 /// One cached retrieval outcome.
 #[derive(Debug, Clone)]
 struct Entry {
-    generation: u64,
+    generation: Generation,
     best: Option<Scored<Q15>>,
     evaluated: usize,
 }
@@ -52,7 +52,7 @@ impl RetrievalCache {
 
     /// Looks up the result for `fingerprint` computed at `generation`.
     /// A hit from an older generation counts as stale and is discarded.
-    pub fn lookup(&mut self, fingerprint: u64, generation: u64) -> Option<Retrieval<Q15>> {
+    pub fn lookup(&mut self, fingerprint: u64, generation: Generation) -> Option<Retrieval<Q15>> {
         match self.map.get(&fingerprint) {
             Some(entry) if entry.generation == generation => {
                 self.hits += 1;
@@ -81,7 +81,7 @@ impl RetrievalCache {
     }
 
     /// Stores a retrieval computed at `generation`.
-    pub fn insert(&mut self, fingerprint: u64, generation: u64, result: &Retrieval<Q15>) {
+    pub fn insert(&mut self, fingerprint: u64, generation: Generation, result: &Retrieval<Q15>) {
         if self.capacity == 0 {
             return;
         }
@@ -134,6 +134,10 @@ mod tests {
     use rqfa_core::ids::ImplId;
     use rqfa_core::ExecutionTarget;
 
+    fn g(raw: u64) -> Generation {
+        Generation::from_raw(raw)
+    }
+
     fn result(raw_impl: u16) -> Retrieval<Q15> {
         Retrieval {
             best: Some(Scored {
@@ -149,16 +153,16 @@ mod tests {
     #[test]
     fn hit_requires_matching_generation() {
         let mut cache = RetrievalCache::new(8);
-        cache.insert(42, 0, &result(1));
-        assert!(cache.lookup(42, 0).is_some());
+        cache.insert(42, g(0), &result(1));
+        assert!(cache.lookup(42, g(0)).is_some());
         // A mutation bumped the generation: the entry is stale.
-        assert!(cache.lookup(42, 1).is_none());
+        assert!(cache.lookup(42, g(1)).is_none());
         assert_eq!(cache.stats(), (1, 1, 1));
         // The recompute overwrites the stale entry in place — no
         // duplicate FIFO slot, and the new generation hits again.
-        cache.insert(42, 1, &result(2));
+        cache.insert(42, g(1), &result(2));
         assert_eq!(cache.len(), 1);
-        assert_eq!(cache.lookup(42, 1).unwrap().best.unwrap().impl_id.raw(), 2);
+        assert_eq!(cache.lookup(42, g(1)).unwrap().best.unwrap().impl_id.raw(), 2);
     }
 
     #[test]
@@ -168,8 +172,9 @@ mod tests {
         // could then drop the *live* re-inserted entry. Hammer the
         // retain→re-request cycle and check both maps stay in lockstep.
         let mut cache = RetrievalCache::new(2);
-        for generation in 0..100u64 {
-            assert!(cache.lookup(1, generation).is_none() || generation > 0);
+        for raw in 0..100u64 {
+            let generation = g(raw);
+            assert!(cache.lookup(1, generation).is_none() || raw > 0);
             cache.insert(1, generation, &result(1));
             cache.insert(2, generation, &result(2));
             assert!(cache.lookup(1, generation).is_some());
@@ -182,28 +187,28 @@ mod tests {
     #[test]
     fn fifo_eviction_bounds_size() {
         let mut cache = RetrievalCache::new(2);
-        cache.insert(1, 0, &result(1));
-        cache.insert(2, 0, &result(2));
-        cache.insert(3, 0, &result(3));
+        cache.insert(1, g(0), &result(1));
+        cache.insert(2, g(0), &result(2));
+        cache.insert(3, g(0), &result(3));
         assert_eq!(cache.len(), 2);
-        assert!(cache.lookup(1, 0).is_none(), "oldest entry evicted");
-        assert!(cache.lookup(3, 0).is_some());
+        assert!(cache.lookup(1, g(0)).is_none(), "oldest entry evicted");
+        assert!(cache.lookup(3, g(0)).is_some());
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let mut cache = RetrievalCache::new(0);
-        cache.insert(1, 0, &result(1));
+        cache.insert(1, g(0), &result(1));
         assert!(cache.is_empty());
-        assert!(cache.lookup(1, 0).is_none());
+        assert!(cache.lookup(1, g(0)).is_none());
     }
 
     #[test]
     fn reinsert_updates_value() {
         let mut cache = RetrievalCache::new(4);
-        cache.insert(7, 0, &result(1));
-        cache.insert(7, 1, &result(2));
-        let hit = cache.lookup(7, 1).unwrap();
+        cache.insert(7, g(0), &result(1));
+        cache.insert(7, g(1), &result(2));
+        let hit = cache.lookup(7, g(1)).unwrap();
         assert_eq!(hit.best.unwrap().impl_id.raw(), 2);
         assert_eq!(cache.len(), 1);
     }

@@ -1,0 +1,80 @@
+//! Service-level error type.
+
+use core::fmt;
+
+use rqfa_core::CoreError;
+use rqfa_persist::PersistError;
+
+/// Everything a service-level mutation or durability operation can fail
+/// with. Retrieval failures stay [`CoreError`]s inside
+/// [`Outcome::Failed`](crate::Outcome::Failed); this type covers the
+/// control plane (mutations, checkpoints, durable open/recover).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ServiceError {
+    /// The mutation violated a case-base invariant (unknown type,
+    /// duplicate impl, out-of-bounds value, …).
+    Core(CoreError),
+    /// The durability layer failed (I/O, torn write, corrupt state).
+    Persist(PersistError),
+    /// The durable-state directory is missing or its manifest is
+    /// unreadable / inconsistent.
+    Manifest(String),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::Core(e) => write!(f, "case-base violation: {e}"),
+            ServiceError::Persist(e) => write!(f, "persistence failure: {e}"),
+            ServiceError::Manifest(m) => write!(f, "durable-state manifest: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Core(e) => Some(e),
+            ServiceError::Persist(e) => Some(e),
+            ServiceError::Manifest(_) => None,
+        }
+    }
+}
+
+impl From<CoreError> for ServiceError {
+    fn from(e: CoreError) -> ServiceError {
+        ServiceError::Core(e)
+    }
+}
+
+impl From<PersistError> for ServiceError {
+    fn from(e: PersistError) -> ServiceError {
+        // A persisted-but-invalid mutation surfaces as the core error it
+        // wraps; everything else is a durability failure.
+        match e {
+            PersistError::Core(core) => ServiceError::Core(core),
+            other => ServiceError::Persist(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn persist_core_errors_unwrap_to_core() {
+        let e: ServiceError = PersistError::Core(CoreError::EmptyCaseBase).into();
+        assert!(matches!(e, ServiceError::Core(CoreError::EmptyCaseBase)));
+        let io: ServiceError = PersistError::NoValidSnapshot.into();
+        assert!(matches!(io, ServiceError::Persist(_)));
+    }
+
+    #[test]
+    fn display_covers_variants() {
+        assert!(ServiceError::Manifest("bad".into()).to_string().contains("bad"));
+        let e: ServiceError = CoreError::EmptyCaseBase.into();
+        assert!(!e.to_string().is_empty());
+    }
+}

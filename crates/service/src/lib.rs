@@ -45,21 +45,32 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+mod error;
 pub mod metrics;
 pub mod queue;
 pub mod sched;
 pub mod shard;
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rqfa_core::{CaseBase, CoreError, ImplVariant, QosClass, Request, Scored, TypeId};
+use rqfa_core::{CaseBase, CaseMutation, CoreError, ImplVariant, QosClass, Request, Scored, TypeId};
 use rqfa_fixed::Q15;
+use rqfa_persist::{
+    DurableCaseBase, FileStore, PersistError, PersistPolicy, RecoveryReport, Store, StoreSet,
+};
 
+pub use error::ServiceError;
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServiceMetrics};
 pub use sched::WeightedArbiter;
+
+/// First line of the durable-state manifest file.
+const MANIFEST_HEADER: &str = "rqfa-durable-service v1";
+/// Manifest file name inside a durable-state directory.
+const MANIFEST_FILE: &str = "MANIFEST";
 
 /// Configuration of an [`AllocationService`].
 #[derive(Debug, Clone)]
@@ -82,6 +93,17 @@ pub struct ServiceConfig {
     /// Weighted-round-robin credit per class, indexed by
     /// [`QosClass::index`].
     pub class_weights: [u32; QosClass::COUNT],
+    /// Durable shards checkpoint (snapshot + WAL compaction) after this
+    /// many acknowledged mutations; `0` checkpoints only on
+    /// [`AllocationService::checkpoint`]. Ignored by ephemeral services.
+    ///
+    /// A checkpoint runs under the owning shard's store lock, so the
+    /// shard serves no retrievals for its duration (snapshot write +
+    /// fsync + log rewrite). Latency-sensitive deployments with frequent
+    /// mutations should set `0` and run explicit
+    /// [`AllocationService::checkpoint`]s from a maintenance context at
+    /// quiet moments instead.
+    pub snapshot_every: u64,
 }
 
 impl Default for ServiceConfig {
@@ -93,6 +115,7 @@ impl Default for ServiceConfig {
             cache_capacity: 1 << 16,
             deadline_budget_us: [None; QosClass::COUNT],
             class_weights: QosClass::ALL.map(QosClass::weight),
+            snapshot_every: PersistPolicy::default().snapshot_every,
         }
     }
 }
@@ -125,6 +148,12 @@ impl ServiceConfig {
     /// Sets one class's queueing-delay budget.
     pub fn with_deadline_budget_us(mut self, class: QosClass, budget_us: u64) -> ServiceConfig {
         self.deadline_budget_us[class.index()] = Some(budget_us);
+        self
+    }
+
+    /// Sets the durable checkpoint cadence (0 = manual only).
+    pub fn with_snapshot_every(mut self, mutations: u64) -> ServiceConfig {
+        self.snapshot_every = mutations;
         self
     }
 
@@ -236,16 +265,178 @@ pub struct AllocationService {
 }
 
 impl AllocationService {
-    /// Builds the service over a snapshot of `case_base` and spawns one
-    /// worker thread per shard.
+    /// Builds an ephemeral (in-memory) service over a snapshot of
+    /// `case_base` and spawns one worker thread per shard. Learned
+    /// mutations do not survive the process — see
+    /// [`AllocationService::durable_create`].
     pub fn new(case_base: &CaseBase, config: &ServiceConfig) -> AllocationService {
-        let metrics = Arc::new(ServiceMetrics::default());
         let slices = shard::partition(case_base, config.shards);
-        let shards = slices
+        let stores = slices
+            .into_iter()
+            .map(|slice| match slice {
+                Some(cb) => shard::ShardStore::Ephemeral(cb),
+                None => shard::ShardStore::Empty,
+            })
+            .collect();
+        AllocationService::from_stores(stores, config)
+    }
+
+    /// Builds a *durable* service: each non-empty shard gets its own
+    /// write-ahead log and snapshot pair under `dir/shard-<i>/`, seeded
+    /// with a genesis snapshot of its slice of `case_base`. Any previous
+    /// durable state in `dir` is discarded.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persist`] on store initialization failures,
+    /// [`ServiceError::Manifest`] if the manifest cannot be written.
+    pub fn durable_create(
+        case_base: &CaseBase,
+        dir: &Path,
+        config: &ServiceConfig,
+    ) -> Result<AllocationService, ServiceError> {
+        // Discard previous durable state up front: a stale `shard-<i>`
+        // directory from an older layout would otherwise resurrect on
+        // the next recover (e.g. a shard whose slice is empty now writes
+        // nothing, so the old directory would win).
+        if dir.is_dir() {
+            let _ = std::fs::remove_file(dir.join(MANIFEST_FILE));
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| ServiceError::Manifest(format!("scan {}: {e}", dir.display())))?;
+            for entry in entries.flatten() {
+                if entry.file_name().to_string_lossy().starts_with("shard-") {
+                    std::fs::remove_dir_all(entry.path()).map_err(|e| {
+                        ServiceError::Manifest(format!("purge stale shard state: {e}"))
+                    })?;
+                }
+            }
+        }
+        let policy = PersistPolicy {
+            snapshot_every: config.snapshot_every,
+        };
+        let slices = shard::partition(case_base, config.shards);
+        let mut stores = Vec::with_capacity(slices.len());
+        for (index, slice) in slices.into_iter().enumerate() {
+            match slice {
+                Some(cb) => {
+                    let set = StoreSet::in_dir(&dir.join(format!("shard-{index}")))?;
+                    let durable = DurableCaseBase::create(&cb, set, policy)?;
+                    stores.push(shard::ShardStore::Durable(Box::new(durable)));
+                }
+                None => stores.push(shard::ShardStore::Empty),
+            }
+        }
+        // The manifest records *which* shards hold durable state, so a
+        // lost shard directory is a loud recovery error, never a silent
+        // empty shard. Written with the same durability discipline as
+        // every other persistent file (atomic replace + fsync via
+        // FileStore) — it is the one file recovery cannot do without.
+        let durable_shards: Vec<String> = stores
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, shard::ShardStore::Durable(_)))
+            .map(|(i, _)| i.to_string())
+            .collect();
+        let manifest = format!(
+            "{MANIFEST_HEADER}\nshards={}\ndurable={}\n",
+            stores.len(),
+            durable_shards.join(",")
+        );
+        std::fs::create_dir_all(dir).map_err(|e| ServiceError::Manifest(e.to_string()))?;
+        FileStore::new(dir.join(MANIFEST_FILE))
+            .replace(manifest.as_bytes())
+            .map_err(|e| ServiceError::Manifest(format!("write {MANIFEST_FILE}: {e}")))?;
+        Ok(AllocationService::from_stores(stores, config))
+    }
+
+    /// Recovers a durable service from `dir`: reads the manifest, then
+    /// per shard picks the newest valid snapshot and replays that shard's
+    /// WAL on top. A recovered service answers every request
+    /// bit-identically to one that never crashed (the workspace recovery
+    /// harness asserts this).
+    ///
+    /// The shard count comes from the manifest — `config.shards` is
+    /// ignored, because the type→shard routing must match the layout the
+    /// logs were written under.
+    ///
+    /// Returns the service plus one [`RecoveryReport`] per shard
+    /// (`None` for shards that never held state).
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Manifest`] for a missing/bad manifest,
+    /// [`ServiceError::Persist`] for unrecoverable shard state.
+    pub fn durable_recover(
+        dir: &Path,
+        config: &ServiceConfig,
+    ) -> Result<(AllocationService, Vec<Option<RecoveryReport>>), ServiceError> {
+        let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE))
+            .map_err(|e| ServiceError::Manifest(format!("read {MANIFEST_FILE}: {e}")))?;
+        let mut lines = manifest.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(ServiceError::Manifest("unknown header".into()));
+        }
+        let shards: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("shards="))
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| ServiceError::Manifest("missing shards= line".into()))?;
+        if shards == 0 {
+            return Err(ServiceError::Manifest("zero shards".into()));
+        }
+        let durable_set: Vec<usize> = match lines.next().and_then(|l| l.strip_prefix("durable=")) {
+            Some("") => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(|n| {
+                    let index: usize = n
+                        .parse()
+                        .map_err(|_| ServiceError::Manifest(format!("bad durable index {n:?}")))?;
+                    if index >= shards {
+                        return Err(ServiceError::Manifest(format!(
+                            "durable index {index} out of range for {shards} shard(s)"
+                        )));
+                    }
+                    Ok(index)
+                })
+                .collect::<Result<_, _>>()?,
+            None => return Err(ServiceError::Manifest("missing durable= line".into())),
+        };
+        let policy = PersistPolicy {
+            snapshot_every: config.snapshot_every,
+        };
+        let mut stores = Vec::with_capacity(shards);
+        let mut reports = Vec::with_capacity(shards);
+        for index in 0..shards {
+            if !durable_set.contains(&index) {
+                stores.push(shard::ShardStore::Empty);
+                reports.push(None);
+                continue;
+            }
+            let shard_dir = dir.join(format!("shard-{index}"));
+            if !shard_dir.is_dir() {
+                // Losing a shard's state must be a loud error, not a
+                // silent UnknownType degradation for its types.
+                return Err(ServiceError::Manifest(format!(
+                    "manifest lists shard-{index} as durable but its directory is missing"
+                )));
+            }
+            let set = StoreSet::in_dir(&shard_dir)?;
+            let (durable, report) = DurableCaseBase::recover(set, policy)?;
+            stores.push(shard::ShardStore::Durable(Box::new(durable)));
+            reports.push(Some(report));
+        }
+        Ok((AllocationService::from_stores(stores, config), reports))
+    }
+
+    /// Spawns the workers over prepared shard stores.
+    fn from_stores(stores: Vec<shard::ShardStore>, config: &ServiceConfig) -> AllocationService {
+        let metrics = Arc::new(ServiceMetrics::default());
+        let shards = stores
             .into_iter()
             .enumerate()
-            .map(|(index, slice)| {
-                shard::Shard::spawn(index, slice, config, Arc::clone(&metrics))
+            .map(|(index, store)| {
+                shard::Shard::spawn(index, store, config, Arc::clone(&metrics))
             })
             .collect();
         AllocationService {
@@ -288,39 +479,106 @@ impl AllocationService {
         Ticket { id, class, rx }
     }
 
+    /// Applies any [`CaseMutation`] on the shard owning its function
+    /// type, returning the inverse mutation. On a durable service the
+    /// mutation is in that shard's write-ahead log before this returns
+    /// `Ok` — a crash afterwards cannot lose it.
+    ///
+    /// An *automatic* checkpoint that fails afterwards does not fail the
+    /// apply (the mutation itself is durable); poll
+    /// [`AllocationService::take_checkpoint_errors`] or force
+    /// [`AllocationService::checkpoint`] to observe such failures before
+    /// the un-compacted log grows unboundedly.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Core`] for invariant violations (nothing is
+    /// logged), [`ServiceError::Persist`] when durability fails (the
+    /// in-memory state is rolled back so memory never runs ahead of the
+    /// log).
+    pub fn apply_mutation(&self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
+        self.shard_for(mutation.type_id()).apply(mutation)
+    }
+
     /// *Retain* step routed to the owning shard; bumps that shard's
     /// generation counter, invalidating its cached results.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CaseBase::retain_variant`].
-    pub fn retain_variant(&self, type_id: TypeId, variant: ImplVariant) -> Result<(), CoreError> {
-        self.shard_for(type_id)
-            .mutate(|cb| cb.retain_variant(type_id, variant), type_id)
+    /// Same conditions as [`AllocationService::apply_mutation`].
+    pub fn retain_variant(
+        &self,
+        type_id: TypeId,
+        variant: ImplVariant,
+    ) -> Result<(), ServiceError> {
+        self.apply_mutation(&CaseMutation::Retain { type_id, variant })
+            .map(|_| ())
     }
 
     /// *Revise* step routed to the owning shard.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CaseBase::revise_variant`].
-    pub fn revise_variant(&self, type_id: TypeId, revised: ImplVariant) -> Result<(), CoreError> {
-        self.shard_for(type_id)
-            .mutate(|cb| cb.revise_variant(type_id, revised), type_id)
+    /// Same conditions as [`AllocationService::apply_mutation`].
+    pub fn revise_variant(
+        &self,
+        type_id: TypeId,
+        revised: ImplVariant,
+    ) -> Result<(), ServiceError> {
+        self.apply_mutation(&CaseMutation::Revise {
+            type_id,
+            variant: revised,
+        })
+        .map(|_| ())
     }
 
     /// Eviction routed to the owning shard.
     ///
     /// # Errors
     ///
-    /// Same conditions as [`CaseBase::evict_variant`].
+    /// Same conditions as [`AllocationService::apply_mutation`].
     pub fn evict_variant(
         &self,
         type_id: TypeId,
         impl_id: rqfa_core::ImplId,
-    ) -> Result<ImplVariant, CoreError> {
-        self.shard_for(type_id)
-            .mutate(|cb| cb.evict_variant(type_id, impl_id), type_id)
+    ) -> Result<ImplVariant, ServiceError> {
+        match self.apply_mutation(&CaseMutation::Evict { type_id, impl_id })? {
+            CaseMutation::Retain { variant, .. } => Ok(variant),
+            other => unreachable!("inverse of evict is retain, got {other:?}"),
+        }
+    }
+
+    /// Forces a checkpoint (snapshot + WAL compaction) on every durable
+    /// shard — e.g. before a planned shutdown, to make the next recovery
+    /// replay-free. No-op on an ephemeral service.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Persist`] if any shard's checkpoint fails; earlier
+    /// shards' checkpoints remain in effect (each shard checkpoints
+    /// independently, and no acknowledged mutation is ever at risk).
+    pub fn checkpoint(&self) -> Result<(), ServiceError> {
+        for shard in &self.shards {
+            shard.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Drains the errors of failed *automatic* checkpoints, as
+    /// `(shard index, error)` pairs. Automatic checkpoints run inside
+    /// [`AllocationService::apply_mutation`] and do not fail the apply
+    /// (the mutation is already durable in the WAL), so an operator must
+    /// poll this — or run explicit [`AllocationService::checkpoint`]s —
+    /// to notice a shard whose snapshots are failing while its log
+    /// grows. Empty on ephemeral services and in healthy operation.
+    pub fn take_checkpoint_errors(&self) -> Vec<(usize, PersistError)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter_map(|(index, shard)| {
+                shard.take_checkpoint_error().map(|e| (index, e))
+            })
+            .collect()
     }
 
     /// Jobs currently queued across all shards.
@@ -407,6 +665,93 @@ mod tests {
             Outcome::Failed(CoreError::UnknownType { .. })
         ));
         service.shutdown();
+    }
+
+    #[test]
+    fn recover_refuses_when_a_durable_shard_directory_is_missing() {
+        // Losing a shard's on-disk state must fail recovery loudly, not
+        // degrade its types into silent UnknownType replies.
+        let dir = std::env::temp_dir().join(format!(
+            "rqfa-durable-missing-shard-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = AllocationService::durable_create(
+            &paper::table1_case_base(),
+            &dir,
+            &ServiceConfig::default().with_shards(3),
+        )
+        .unwrap();
+        assert!(service.take_checkpoint_errors().is_empty());
+        service.shutdown();
+        std::fs::remove_dir_all(dir.join("shard-2")).unwrap();
+        let result = AllocationService::durable_recover(&dir, &ServiceConfig::default());
+        match result {
+            Err(ServiceError::Manifest(message)) => {
+                assert!(message.contains("shard-2"), "{message}");
+            }
+            Err(other) => panic!("wrong error kind: {other}"),
+            Ok(_) => panic!("missing shard state must not recover silently"),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_create_purges_stale_shard_directories() {
+        // Regression: re-creating durable state in a directory used to
+        // leave old `shard-<i>` dirs behind; a shard empty under the new
+        // layout would then resurrect the *old* case base on recover.
+        let dir = std::env::temp_dir().join(format!(
+            "rqfa-durable-purge-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        // Layout 1: 2 types over 3 shards → shard-1 and shard-2 durable.
+        let first = AllocationService::durable_create(
+            &paper::table1_case_base(),
+            &dir,
+            &ServiceConfig::default().with_shards(3),
+        )
+        .unwrap();
+        first.shutdown();
+        assert!(dir.join("shard-2").is_dir());
+
+        // Layout 2: only FIR (TypeId 1) over 2 shards → shard-1 only.
+        let cb = CaseBase::new(
+            paper::table1_case_base().bounds().clone(),
+            vec![paper::table1_case_base().function_types()[0].clone()],
+        )
+        .unwrap();
+        let second = AllocationService::durable_create(
+            &cb,
+            &dir,
+            &ServiceConfig::default().with_shards(2),
+        )
+        .unwrap();
+        second.shutdown();
+        assert!(
+            !dir.join("shard-2").is_dir(),
+            "stale shard dir from the old layout must be purged"
+        );
+
+        // Recovery serves the new layout: FFT (TypeId 2) is unknown now.
+        let (recovered, reports) = AllocationService::durable_recover(
+            &dir,
+            &ServiceConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(reports.len(), 2);
+        let request = Request::builder(TypeId::new(2).unwrap())
+            .constraint(rqfa_core::AttrId::new(1).unwrap(), 10)
+            .build()
+            .unwrap();
+        let reply = recovered.submit(request, QosClass::Medium).wait().unwrap();
+        assert!(matches!(
+            reply.outcome,
+            Outcome::Failed(CoreError::UnknownType { .. })
+        ));
+        recovered.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

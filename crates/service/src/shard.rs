@@ -11,16 +11,21 @@
 //!
 //! Mutations (retain/revise/evict) lock the owning shard's case base
 //! directly; the bumped generation counter invalidates that shard's cache
-//! on the workers' next lookup.
+//! on the workers' next lookup. A *durable* shard additionally owns a
+//! [`DurableCaseBase`] — its write-ahead log is appended under the same
+//! lock before the mutation is acknowledged, so the log can never run
+//! behind the state the workers serve from.
 
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rqfa_core::{CaseBase, CoreError, FixedEngine, QosClass, TypeId};
+use rqfa_core::{CaseBase, CaseMutation, CoreError, FixedEngine, Generation, QosClass, TypeId};
+use rqfa_persist::{DurableCaseBase, FileStore, PersistError};
 
 use crate::cache::RetrievalCache;
+use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
 use crate::queue::ClassQueue;
 use crate::{Job, Outcome, Reply, ServiceConfig};
@@ -54,23 +59,85 @@ pub fn partition(case_base: &CaseBase, shards: usize) -> Vec<Option<CaseBase>> {
         .collect()
 }
 
+/// What one shard serves retrievals from and applies mutations to.
+///
+/// The worker thread only ever reads [`ShardStore::case_base`]; the
+/// mutation path goes through [`ShardStore::apply`], which for a durable
+/// shard is write-ahead: validate + apply in memory, append to the WAL,
+/// roll back if the append fails.
+pub(crate) enum ShardStore {
+    /// No function type routes to this shard.
+    Empty,
+    /// In-memory only (the pre-persistence behaviour).
+    Ephemeral(CaseBase),
+    /// WAL + snapshot backed.
+    Durable(Box<DurableCaseBase<FileStore>>),
+}
+
+impl ShardStore {
+    /// The case base served by this shard, if any.
+    pub(crate) fn case_base(&self) -> Option<&CaseBase> {
+        match self {
+            ShardStore::Empty => None,
+            ShardStore::Ephemeral(cb) => Some(cb),
+            ShardStore::Durable(durable) => Some(durable.case_base()),
+        }
+    }
+
+    /// The generation the cache stamps results with.
+    pub(crate) fn generation(&self) -> Generation {
+        self.case_base()
+            .map_or(Generation::GENESIS, CaseBase::generation)
+    }
+
+    /// Applies a mutation, returning its inverse (durably for a durable
+    /// shard — the mutation is in the WAL before this returns `Ok`).
+    pub(crate) fn apply(&mut self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
+        match self {
+            ShardStore::Empty => Err(ServiceError::Core(CoreError::UnknownType {
+                type_id: mutation.type_id(),
+            })),
+            ShardStore::Ephemeral(cb) => cb.apply_mutation(mutation).map_err(ServiceError::Core),
+            ShardStore::Durable(durable) => durable.apply(mutation).map_err(ServiceError::from),
+        }
+    }
+
+    /// Forces a checkpoint (snapshot + log compaction) on a durable
+    /// shard; a no-op otherwise.
+    pub(crate) fn checkpoint(&mut self) -> Result<(), PersistError> {
+        match self {
+            ShardStore::Durable(durable) => durable.checkpoint(),
+            _ => Ok(()),
+        }
+    }
+
+    /// Takes (and clears) the error of this shard's last failed
+    /// *automatic* checkpoint, if any.
+    pub(crate) fn take_checkpoint_error(&mut self) -> Option<PersistError> {
+        match self {
+            ShardStore::Durable(durable) => durable.take_checkpoint_error(),
+            _ => None,
+        }
+    }
+}
+
 /// One shard: queue, store, and worker thread.
 pub(crate) struct Shard {
     pub(crate) queue: Arc<ClassQueue>,
-    pub(crate) store: Arc<Mutex<Option<CaseBase>>>,
+    pub(crate) store: Arc<Mutex<ShardStore>>,
     worker: Option<JoinHandle<()>>,
 }
 
 impl Shard {
-    /// Spawns the shard worker over `slice`.
+    /// Spawns the shard worker over `store`.
     pub(crate) fn spawn(
         index: usize,
-        slice: Option<CaseBase>,
+        store: ShardStore,
         config: &ServiceConfig,
         metrics: Arc<ServiceMetrics>,
     ) -> Shard {
         let queue = Arc::new(ClassQueue::new(config.queue_capacity, config.arbiter()));
-        let store = Arc::new(Mutex::new(slice));
+        let store = Arc::new(Mutex::new(store));
         let worker_queue = Arc::clone(&queue);
         let worker_store = Arc::clone(&store);
         let batch_size = config.batch_size.max(1);
@@ -96,17 +163,23 @@ impl Shard {
         }
     }
 
-    /// Applies a mutation to this shard's case base under its lock.
-    pub(crate) fn mutate<T>(
-        &self,
-        apply: impl FnOnce(&mut CaseBase) -> Result<T, CoreError>,
-        type_id: TypeId,
-    ) -> Result<T, CoreError> {
-        let mut store = self.store.lock().expect("store poisoned");
-        match store.as_mut() {
-            Some(case_base) => apply(case_base),
-            None => Err(CoreError::UnknownType { type_id }),
-        }
+    /// Applies a mutation to this shard's store under its lock, returning
+    /// the inverse mutation.
+    pub(crate) fn apply(&self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
+        self.store.lock().expect("store poisoned").apply(mutation)
+    }
+
+    /// Forces a checkpoint on this shard's store (durable shards only).
+    pub(crate) fn checkpoint(&self) -> Result<(), PersistError> {
+        self.store.lock().expect("store poisoned").checkpoint()
+    }
+
+    /// Drains this shard's parked automatic-checkpoint error, if any.
+    pub(crate) fn take_checkpoint_error(&self) -> Option<PersistError> {
+        self.store
+            .lock()
+            .expect("store poisoned")
+            .take_checkpoint_error()
     }
 
     /// Signals shutdown and joins the worker, draining queued jobs first.
@@ -128,7 +201,7 @@ impl Drop for Shard {
 /// cache, run the rest through the engine's batch API, reply, repeat.
 fn run_worker(
     queue: &ClassQueue,
-    store: &Mutex<Option<CaseBase>>,
+    store: &Mutex<ShardStore>,
     metrics: &ServiceMetrics,
     batch_size: usize,
     cache_capacity: usize,
@@ -161,7 +234,7 @@ fn run_worker(
                     continue;
                 }
             }
-            let generation = store.as_ref().map_or(0, CaseBase::generation);
+            let generation = store.generation();
             if let Some(hit) = cache.lookup(job.request.fingerprint(), generation) {
                 finish(job, hit, true, metrics);
                 continue;
@@ -173,7 +246,7 @@ fn run_worker(
         if pending.is_empty() {
             continue;
         }
-        match store.as_ref() {
+        match store.case_base() {
             Some(case_base) => {
                 let requests: Vec<&rqfa_core::Request> =
                     pending.iter().map(|j| &j.request).collect();

@@ -14,6 +14,7 @@
 //! | [`core`] | `rqfa-core` | case base, similarity (eqs. 1–2), retrieval engines, n-best, bypass tokens, CBR cycle |
 //! | [`fixed`] | `rqfa-fixed` | UQ1.15 fixed-point arithmetic |
 //! | [`memlist`] | `rqfa-memlist` | 16-bit word memory images (figs. 4–5), validation, compaction |
+//! | [`persist`] | `rqfa-persist` | durable case bases: CRC-guarded write-ahead log, memlist-image snapshots, crash recovery |
 //! | [`hwsim`] | `rqfa-hwsim` | cycle-level retrieval-unit simulator (figs. 6–7) |
 //! | [`softcore`] | `rqfa-softcore` | sc32 soft-core simulator, assembler, retrieval routines |
 //! | [`synth`] | `rqfa-synth` | netlist area/timing estimator (Table 2) |
@@ -43,6 +44,7 @@ pub use rqfa_core as core;
 pub use rqfa_fixed as fixed;
 pub use rqfa_hwsim as hwsim;
 pub use rqfa_memlist as memlist;
+pub use rqfa_persist as persist;
 pub use rqfa_rsoc as rsoc;
 pub use rqfa_service as service;
 pub use rqfa_softcore as softcore;

@@ -1,0 +1,380 @@
+//! Experiment E14: crash-recovery correctness of the persistence layer.
+//!
+//! The contract under test: **a recovered case base answers retrievals
+//! bit-identically to an uninterrupted oracle that applied the same
+//! acknowledged mutation prefix** — for every injected failure point:
+//!
+//! * torn WAL tail (crash mid-append), at *every* byte offset;
+//! * crash during a snapshot write (atomic media and torn media);
+//! * crash between snapshot and WAL compaction;
+//! * snapshot + log + torn tail combined.
+//!
+//! All crashes are injected deterministically (byte budgets / byte
+//! truncation), so the suite is timing-free and CI-stable.
+
+use rqfa::core::{
+    AttrBinding, AttrId, CaseBase, CaseMutation, ExecutionTarget, FixedEngine, ImplId, ImplVariant,
+    Request,
+};
+use rqfa::persist::{
+    encode_frame, write_snapshot, DurableCaseBase, FailingStore, MemStore, PersistPolicy,
+    StampedMutation, StoreSet,
+};
+use rqfa::workloads::rng::SmallRng;
+use rqfa::workloads::{CaseGen, RequestGen};
+
+/// The workload shape all scenarios share.
+fn seed_case_base() -> CaseBase {
+    CaseGen::new(5, 4, 4, 6).seed(0xE14).value_span(200).build()
+}
+
+/// A deterministic script of `n` mutations, each valid at its position
+/// (validated against a scratch copy while generating).
+fn mutation_script(cb: &CaseBase, n: usize, seed: u64) -> Vec<CaseMutation> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut scratch = cb.clone();
+    let mut script = Vec::with_capacity(n);
+    let mut next_fresh_id = 1000u16;
+    while script.len() < n {
+        let types = scratch.function_types();
+        let ty = &types[rng.gen_range(0..types.len())];
+        let type_id = ty.id();
+        let mutation = match rng.gen_range(0..3u32) {
+            0 => {
+                let attr = AttrId::new(rng.gen_range(1..=6u16)).unwrap();
+                let entry = scratch.bounds().entry(attr).unwrap();
+                let value = rng.gen_range(entry.lower..=entry.upper);
+                let target = match rng.gen_range(0..3u32) {
+                    0 => ExecutionTarget::Fpga,
+                    1 => ExecutionTarget::Dsp,
+                    _ => ExecutionTarget::Dedicated(rng.gen_range(0..=9u16) as u8),
+                };
+                next_fresh_id += 1;
+                CaseMutation::Retain {
+                    type_id,
+                    variant: ImplVariant::new(
+                        ImplId::new(next_fresh_id).unwrap(),
+                        target,
+                        vec![AttrBinding::new(attr, value)],
+                    )
+                    .unwrap(),
+                }
+            }
+            1 => {
+                let variants = ty.variants();
+                let old = &variants[rng.gen_range(0..variants.len())];
+                let mut attrs = old.attrs().to_vec();
+                let slot = rng.gen_range(0..attrs.len());
+                let entry = scratch.bounds().entry(attrs[slot].attr).unwrap();
+                attrs[slot] =
+                    AttrBinding::new(attrs[slot].attr, rng.gen_range(entry.lower..=entry.upper));
+                CaseMutation::Revise {
+                    type_id,
+                    variant: ImplVariant::new(old.id(), old.target(), attrs).unwrap(),
+                }
+            }
+            _ => {
+                let variants = ty.variants();
+                if variants.len() < 2 {
+                    continue; // eviction must keep the type non-empty
+                }
+                CaseMutation::Evict {
+                    type_id,
+                    impl_id: variants[rng.gen_range(0..variants.len())].id(),
+                }
+            }
+        };
+        if scratch.apply_mutation(&mutation).is_ok() {
+            script.push(mutation);
+        }
+    }
+    script
+}
+
+/// Oracle states after applying each prefix of the script: `oracles[j]`
+/// is the case base after the first `j` mutations.
+fn oracle_states(cb: &CaseBase, script: &[CaseMutation]) -> Vec<CaseBase> {
+    let mut states = Vec::with_capacity(script.len() + 1);
+    let mut current = cb.clone();
+    states.push(current.clone());
+    for mutation in script {
+        current.apply_mutation(mutation).expect("script is valid");
+        states.push(current.clone());
+    }
+    states
+}
+
+fn probe_requests(cb: &CaseBase) -> Vec<Request> {
+    RequestGen::new(cb).seed(0xB17).count(60).generate()
+}
+
+/// The headline assertion: identical winners, bit-identical similarity
+/// words, identical targets and evaluation counts — over a whole stream.
+fn assert_bit_identical(recovered: &CaseBase, oracle: &CaseBase, requests: &[Request], ctx: &str) {
+    let engine = FixedEngine::new();
+    for request in requests {
+        let a = engine.retrieve(recovered, request);
+        let b = engine.retrieve(oracle, request);
+        match (a, b) {
+            (Ok(ra), Ok(rb)) => {
+                assert_eq!(ra.best, rb.best, "{ctx}: winner/bits differ for {request}");
+                assert_eq!(ra.evaluated, rb.evaluated, "{ctx}: evaluated differs");
+            }
+            (a, b) => assert_eq!(a.is_err(), b.is_err(), "{ctx}: error parity for {request}"),
+        }
+    }
+    assert_eq!(
+        recovered.generation(),
+        oracle.generation(),
+        "{ctx}: recovered generation must equal the oracle's"
+    );
+}
+
+/// Crash 1: torn WAL tail. Truncate the log at **every byte offset** and
+/// require recovery to restore exactly the longest fully-durable prefix.
+#[test]
+fn torn_wal_tail_recovers_every_prefix() {
+    let cb0 = seed_case_base();
+    let script = mutation_script(&cb0, 18, 1);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+
+    // Run the durable instance to completion, tracking frame boundaries.
+    let mut durable =
+        DurableCaseBase::create(&cb0, StoreSet::in_memory(), PersistPolicy::manual()).unwrap();
+    let mut boundaries = vec![0u64];
+    for mutation in &script {
+        durable.apply(mutation).unwrap();
+        boundaries.push(durable.wal_bytes().unwrap());
+    }
+    let stores = durable.into_stores();
+    let wal_bytes = stores.wal.bytes().to_vec();
+    assert_eq!(*boundaries.last().unwrap() as usize, wal_bytes.len());
+
+    for cut in 0..=wal_bytes.len() {
+        let crashed = StoreSet {
+            wal: MemStore::from_bytes(wal_bytes[..cut].to_vec()),
+            snap_a: stores.snap_a.clone(),
+            snap_b: stores.snap_b.clone(),
+        };
+        let (recovered, report) =
+            DurableCaseBase::recover(crashed, PersistPolicy::manual()).unwrap();
+        // The durable prefix: every whole frame at or before the cut.
+        let expect = boundaries.iter().filter(|&&b| b > 0 && b as usize <= cut).count();
+        assert_eq!(report.replayed, expect, "cut at byte {cut}");
+        assert_eq!(
+            report.torn_tail_bytes > 0,
+            !boundaries.iter().any(|&b| b as usize == cut),
+            "cut at byte {cut}: torn-tail flag"
+        );
+        assert_bit_identical(
+            recovered.case_base(),
+            &oracles[expect],
+            &requests,
+            &format!("torn tail, cut {cut}"),
+        );
+    }
+}
+
+/// Crash 2a: snapshot write crashes on atomic media (file-store
+/// semantics: rename never happened). The previous snapshot plus the
+/// full WAL must reconstruct everything acknowledged.
+#[test]
+fn snapshot_crash_on_atomic_media_loses_nothing() {
+    let cb0 = seed_case_base();
+    let script = mutation_script(&cb0, 12, 2);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+
+    // Budget sweep: the checkpoint's snapshot write fails at different
+    // points of its byte budget (0 = immediately, up to one byte short
+    // of the full snapshot).
+    let snapshot_len = rqfa::persist::encode_snapshot(oracles.last().unwrap())
+        .unwrap()
+        .len() as u64;
+    for budget in [0u64, 1, 37, snapshot_len / 2, snapshot_len - 1] {
+        let stores = StoreSet {
+            wal: FailingStore::new(MemStore::new(), u64::MAX),
+            snap_a: FailingStore::new(MemStore::new(), u64::MAX),
+            snap_b: FailingStore::new(MemStore::new(), budget),
+        };
+        let mut durable = DurableCaseBase::create(&cb0, stores, PersistPolicy::manual()).unwrap();
+        for mutation in &script {
+            durable.apply(mutation).unwrap();
+        }
+        // Checkpoint targets the stale slot B, whose budget tears it.
+        let err = durable.checkpoint().unwrap_err();
+        assert!(matches!(err, rqfa::persist::PersistError::Crashed { .. }));
+
+        let surviving = durable.into_stores().map(FailingStore::into_inner);
+        assert!(surviving.snap_b.bytes().is_empty(), "atomic replace: all or nothing");
+        let (recovered, report) =
+            DurableCaseBase::recover(surviving, PersistPolicy::manual()).unwrap();
+        assert_eq!(report.replayed, script.len());
+        assert_eq!(report.corrupt_slots, 0);
+        assert_bit_identical(
+            recovered.case_base(),
+            oracles.last().unwrap(),
+            &requests,
+            &format!("snapshot crash, budget {budget}"),
+        );
+    }
+}
+
+/// Crash 2b: the snapshot slot holds *torn bytes* (media without atomic
+/// replacement). Every truncation of the new snapshot must be detected
+/// and recovery must fall back to the previous slot + full WAL.
+#[test]
+fn torn_snapshot_slot_falls_back_to_previous() {
+    let cb0 = seed_case_base();
+    let script = mutation_script(&cb0, 10, 3);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+
+    let mut durable =
+        DurableCaseBase::create(&cb0, StoreSet::in_memory(), PersistPolicy::manual()).unwrap();
+    for mutation in &script {
+        durable.apply(mutation).unwrap();
+    }
+    let full_snapshot = rqfa::persist::encode_snapshot(durable.case_base()).unwrap();
+    let stores = durable.into_stores();
+
+    // Sample every 5th byte plus the edges — each must read as corrupt.
+    let mut cuts: Vec<usize> = (0..full_snapshot.len()).step_by(5).collect();
+    cuts.push(full_snapshot.len() - 1);
+    for cut in cuts {
+        let crashed = StoreSet {
+            wal: stores.wal.clone(),
+            snap_a: stores.snap_a.clone(),
+            snap_b: MemStore::from_bytes(full_snapshot[..cut].to_vec()),
+        };
+        let (recovered, report) =
+            DurableCaseBase::recover(crashed, PersistPolicy::manual()).unwrap();
+        assert_eq!(report.corrupt_slots, usize::from(cut != 0), "cut {cut}");
+        assert_eq!(report.replayed, script.len(), "cut {cut}");
+        assert_bit_identical(
+            recovered.case_base(),
+            oracles.last().unwrap(),
+            &requests,
+            &format!("torn snapshot, cut {cut}"),
+        );
+    }
+}
+
+/// Crash 3: between snapshot and compaction — the snapshot is durable
+/// but the WAL still holds every record. Recovery must skip the
+/// already-snapshotted records by generation stamp, not reapply them.
+#[test]
+fn crash_between_snapshot_and_compaction_skips_old_records() {
+    let cb0 = seed_case_base();
+    let script = mutation_script(&cb0, 14, 4);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+
+    for snap_at in [1usize, 7, 14] {
+        let mut durable =
+            DurableCaseBase::create(&cb0, StoreSet::in_memory(), PersistPolicy::manual()).unwrap();
+        for mutation in &script {
+            durable.apply(mutation).unwrap();
+        }
+        // Manually write the snapshot of an intermediate state into the
+        // stale slot and *skip compaction* — exactly the on-media state a
+        // crash right after the snapshot leaves behind.
+        let mut stores = durable.into_stores();
+        write_snapshot(&mut stores.snap_b, &oracles[snap_at]).unwrap();
+
+        let (recovered, report) =
+            DurableCaseBase::recover(stores, PersistPolicy::manual()).unwrap();
+        assert_eq!(report.skipped_older, snap_at, "snap at {snap_at}");
+        assert_eq!(report.replayed, script.len() - snap_at, "snap at {snap_at}");
+        assert_eq!(report.snapshot_generation.raw(), snap_at as u64);
+        assert_bit_identical(
+            recovered.case_base(),
+            oracles.last().unwrap(),
+            &requests,
+            &format!("snapshot at {snap_at} without compaction"),
+        );
+    }
+}
+
+/// Crash 4: the full combination — durable snapshot mid-history, no
+/// compaction, *and* a torn WAL tail. Swept over every byte of the tail.
+#[test]
+fn snapshot_plus_torn_log_combination() {
+    let cb0 = seed_case_base();
+    let script = mutation_script(&cb0, 12, 5);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+    let snap_at = 5usize;
+
+    let mut durable =
+        DurableCaseBase::create(&cb0, StoreSet::in_memory(), PersistPolicy::manual()).unwrap();
+    let mut boundaries = vec![0u64];
+    for mutation in &script {
+        durable.apply(mutation).unwrap();
+        boundaries.push(durable.wal_bytes().unwrap());
+    }
+    let mut stores = durable.into_stores();
+    write_snapshot(&mut stores.snap_b, &oracles[snap_at]).unwrap();
+    let wal_bytes = stores.wal.bytes().to_vec();
+
+    for cut in 0..=wal_bytes.len() {
+        let crashed = StoreSet {
+            wal: MemStore::from_bytes(wal_bytes[..cut].to_vec()),
+            snap_a: stores.snap_a.clone(),
+            snap_b: stores.snap_b.clone(),
+        };
+        let (recovered, report) =
+            DurableCaseBase::recover(crashed, PersistPolicy::manual()).unwrap();
+        let durable_records = boundaries.iter().filter(|&&b| b > 0 && b as usize <= cut).count();
+        // The snapshot guarantees at least `snap_at` even if the log lost
+        // those bytes; beyond it the log extends the state.
+        let expect_state = durable_records.max(snap_at);
+        assert_eq!(
+            report.replayed,
+            durable_records.saturating_sub(snap_at),
+            "cut {cut}"
+        );
+        assert_eq!(report.skipped_older, durable_records.min(snap_at), "cut {cut}");
+        assert_bit_identical(
+            recovered.case_base(),
+            &oracles[expect_state],
+            &requests,
+            &format!("combo, cut {cut}"),
+        );
+    }
+}
+
+/// Sanity for the harness itself: the script and frame encoding are
+/// deterministic, so every run of this suite exercises the same bytes.
+#[test]
+fn harness_is_deterministic() {
+    let cb = seed_case_base();
+    let a = mutation_script(&cb, 10, 7);
+    let b = mutation_script(&cb, 10, 7);
+    assert_eq!(a, b);
+    let mut oracle = cb.clone();
+    let mut frames_a = Vec::new();
+    for m in &a {
+        oracle.apply_mutation(m).unwrap();
+        frames_a.push(
+            encode_frame(&StampedMutation {
+                generation: oracle.generation(),
+                mutation: m.clone(),
+            })
+            .unwrap(),
+        );
+    }
+    let mut oracle2 = cb;
+    for (m, frame) in b.iter().zip(&frames_a) {
+        oracle2.apply_mutation(m).unwrap();
+        assert_eq!(
+            &encode_frame(&StampedMutation {
+                generation: oracle2.generation(),
+                mutation: m.clone(),
+            })
+            .unwrap(),
+            frame
+        );
+    }
+}

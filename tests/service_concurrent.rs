@@ -10,7 +10,10 @@
 //! 3. **QoS protection** — under deliberate overload with a tiny queue,
 //!    CRITICAL requests are never shed while LOW traffic is.
 
-use rqfa::core::{paper, AttrBinding, ExecutionTarget, FixedEngine, ImplId, ImplVariant, QosClass};
+use rqfa::core::{
+    paper, AttrBinding, AttrId, CaseMutation, ExecutionTarget, FixedEngine, ImplId, ImplVariant,
+    QosClass,
+};
 use rqfa::service::{AllocationService, Outcome, Reply, ServiceConfig, Ticket};
 use rqfa::workloads::{CaseGen, RequestGen};
 
@@ -184,4 +187,180 @@ fn critical_survives_overload_that_sheds_low() {
     // Accounting closes: every LOW request either completed, was shed, or
     // failed — nothing vanishes.
     assert_eq!(low.completed + low.shed() + low.failed, low.submitted);
+}
+
+/// 4. Durable shard recovery equivalence: run a durable service, apply K
+///    mutations through it (some shards auto-checkpoint, some keep WAL
+///    records), kill it without a final checkpoint, recover from the
+///    on-disk WALs — and every retrieval of the recovered service must
+///    match an unkilled single-engine oracle that applied the same K
+///    mutations in memory, bit for bit.
+#[test]
+fn killed_durable_shards_recover_equivalent_to_unkilled_oracle() {
+    let case_base = CaseGen::new(9, 5, 4, 6).seed(0xD00D).value_span(250).build();
+    let dir = std::env::temp_dir().join(format!(
+        "rqfa-shard-recovery-{}-{:x}",
+        std::process::id(),
+        0xD00Du32
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    // snapshot_every=4 makes some shards checkpoint mid-run while others
+    // still carry WAL records at kill time — both recovery paths in one run.
+    let config = ServiceConfig::default().with_shards(3).with_snapshot_every(4);
+
+    let service =
+        AllocationService::durable_create(&case_base, &dir, &config).expect("durable create");
+    let mut oracle = case_base.clone();
+
+    // K deterministic mutations: fresh retains across all types, plus a
+    // revise and an evict, routed through the service (and mirrored into
+    // the in-memory oracle).
+    let mut mutations: Vec<CaseMutation> = Vec::new();
+    for (i, ty) in case_base.function_types().iter().enumerate() {
+        let attr = AttrId::new(1 + (i as u16 % 6)).unwrap();
+        let entry = case_base.bounds().entry(attr).unwrap();
+        mutations.push(CaseMutation::Retain {
+            type_id: ty.id(),
+            variant: ImplVariant::new(
+                ImplId::new(900 + i as u16).unwrap(),
+                ExecutionTarget::Fpga,
+                vec![AttrBinding::new(attr, entry.lower)],
+            )
+            .unwrap(),
+        });
+    }
+    let first = &case_base.function_types()[0];
+    mutations.push(CaseMutation::Revise {
+        type_id: first.id(),
+        variant: {
+            let old = &first.variants()[0];
+            let mut attrs = old.attrs().to_vec();
+            let entry = case_base.bounds().entry(attrs[0].attr).unwrap();
+            attrs[0] = AttrBinding::new(attrs[0].attr, entry.upper);
+            ImplVariant::new(old.id(), old.target(), attrs).unwrap()
+        },
+    });
+    mutations.push(CaseMutation::Evict {
+        type_id: first.id(),
+        impl_id: first.variants()[1].id(),
+    });
+
+    for mutation in &mutations {
+        service.apply_mutation(mutation).expect("service applies");
+        oracle.apply_mutation(mutation).expect("oracle applies");
+    }
+
+    // Serve (and cache) some traffic, then KILL: drop without checkpoint.
+    let warmup = RequestGen::new(&case_base).seed(0x11).count(50).generate();
+    for request in &warmup {
+        let _ = service.submit(request.clone(), QosClass::Medium).wait();
+    }
+    drop(service);
+
+    // Recover from disk. Shard count comes from the manifest.
+    let (recovered, reports) =
+        AllocationService::durable_recover(&dir, &config).expect("durable recover");
+    assert_eq!(recovered.shard_count(), 3);
+    let replayed: usize = reports.iter().flatten().map(|r| r.replayed).sum();
+    let skipped: usize = reports.iter().flatten().map(|r| r.skipped_older).sum();
+    assert_eq!(skipped, 0, "clean checkpoints leave no pre-snapshot records");
+    assert!(
+        replayed < mutations.len(),
+        "snapshot_every=4 must have checkpointed at least one shard \
+         (replayed {replayed} of {})",
+        mutations.len()
+    );
+
+    // Every retrieval of the recovered service matches the single-engine
+    // oracle bit for bit — including requests that hit mutated variants.
+    let engine = FixedEngine::new();
+    let requests = RequestGen::new(&case_base).seed(0x22).count(300).generate();
+    let tickets: Vec<Ticket> = requests
+        .iter()
+        .map(|r| recovered.submit(r.clone(), QosClass::High))
+        .collect();
+    for (request, ticket) in requests.iter().zip(tickets) {
+        let reply = ticket.wait().expect("recovered service answers");
+        let expected = engine
+            .retrieve(&oracle, request)
+            .expect("oracle accepts generated requests")
+            .best
+            .expect("non-empty case base");
+        match reply.outcome {
+            Outcome::Allocated { best, .. } => {
+                assert_eq!(best.impl_id, expected.impl_id, "winner differs for {request}");
+                assert_eq!(
+                    best.similarity, expected.similarity,
+                    "similarity bits differ for {request}"
+                );
+                assert_eq!(best.target, expected.target, "target differs for {request}");
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+    recovered.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// 4b. Recovery is idempotent: recovering twice (second time after more
+///     mutations + kill) keeps answering like the oracle.
+#[test]
+fn repeated_kill_recover_cycles_stay_equivalent() {
+    let case_base = CaseGen::new(5, 4, 3, 5).seed(0xAB).build();
+    let dir = std::env::temp_dir().join(format!(
+        "rqfa-shard-recovery-cycles-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServiceConfig::default().with_shards(2).with_snapshot_every(0);
+
+    let mut oracle = case_base.clone();
+    let service =
+        AllocationService::durable_create(&case_base, &dir, &config).expect("create");
+    let engine = FixedEngine::new();
+    let requests = RequestGen::new(&case_base).seed(0x33).count(100).generate();
+
+    let mut service = service;
+    for round in 0..3u16 {
+        // One fresh retain per round, through the live service.
+        let ty = &case_base.function_types()[usize::from(round) % case_base.type_count()];
+        let attr = AttrId::new(1).unwrap();
+        let entry = case_base.bounds().entry(attr).unwrap();
+        let mutation = CaseMutation::Retain {
+            type_id: ty.id(),
+            variant: ImplVariant::new(
+                ImplId::new(700 + round).unwrap(),
+                ExecutionTarget::Dsp,
+                vec![AttrBinding::new(attr, entry.upper)],
+            )
+            .unwrap(),
+        };
+        service.apply_mutation(&mutation).expect("apply");
+        oracle.apply_mutation(&mutation).expect("oracle");
+
+        // Kill + recover.
+        drop(service);
+        let (next, _) = AllocationService::durable_recover(&dir, &config).expect("recover");
+        service = next;
+
+        for request in &requests {
+            let reply = service
+                .submit(request.clone(), QosClass::Medium)
+                .wait()
+                .expect("answered");
+            let expected = engine.retrieve(&oracle, request).unwrap().best.unwrap();
+            match reply.outcome {
+                Outcome::Allocated { best, .. } => {
+                    assert_eq!(
+                        (best.impl_id, best.similarity),
+                        (expected.impl_id, expected.similarity),
+                        "round {round}: {request}"
+                    );
+                }
+                other => panic!("round {round}: unexpected outcome {other:?}"),
+            }
+        }
+    }
+    service.shutdown();
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
