@@ -14,6 +14,11 @@
 //! 3. **Checkpoint cadence**: throughput of 10k mutations at
 //!    `snapshot_every` ∈ {off, 1024, 256, 64} — how much the periodic
 //!    snapshot+compaction costs, and how it bounds recovery work.
+//! 4. **Group commit**: durable-apply throughput on a *file* store as a
+//!    function of the flush-window size (`apply_batch` of 1/8/64/256
+//!    mutations = one fdatasync per window). Batch size 1 is the old
+//!    one-fsync-per-mutation floor; the sweep shows how far a flush
+//!    window lifts it.
 //!
 //! `cargo run --release -p rqfa-bench --bin persist_throughput`
 
@@ -186,8 +191,43 @@ fn checkpoint_cadence_sweep(case_base: &CaseBase) {
     println!();
 }
 
+fn group_commit_sweep(case_base: &CaseBase) {
+    println!("4. Group commit: durable file-store throughput vs flush window\n");
+    const N: u64 = 4_096;
+    let mut floor = 0.0f64;
+    for batch in [1usize, 8, 64, 256] {
+        let tmp_dir = std::env::temp_dir().join(format!(
+            "rqfa-persist-bench-gc-{}-{batch}",
+            std::process::id()
+        ));
+        let stores = StoreSet::in_dir(&tmp_dir).unwrap();
+        let mut durable =
+            DurableCaseBase::create(case_base, stores, PersistPolicy::manual()).unwrap();
+        let start = Instant::now();
+        let mut step = 0u64;
+        while step < N {
+            let window: Vec<_> = (0..batch as u64)
+                .map(|i| mutation_for(step + i, case_base))
+                .collect();
+            durable.apply_batch(&window).unwrap();
+            step += batch as u64;
+        }
+        let rate = per_sec(N as usize, start.elapsed().as_secs_f64());
+        if batch == 1 {
+            floor = rate;
+        }
+        println!(
+            "   window {batch:>4} ({:>4} fsyncs)   {rate:>9.0} mut/s   {:>6.1}× the per-mutation floor",
+            N as usize / batch,
+            rate / floor.max(1e-9),
+        );
+        let _ = std::fs::remove_dir_all(&tmp_dir);
+    }
+    println!();
+}
+
 fn wal_scan_floor() {
-    println!("4. Raw WAL scan floor (replay parse only, no apply)\n");
+    println!("5. Raw WAL scan floor (replay parse only, no apply)\n");
     let case_base = CaseGen::new(2, 3, 3, 4).seed(1).build();
     let mut wal = Wal::new(MemStore::new());
     let mut scratch = case_base.clone();
@@ -224,6 +264,7 @@ fn main() {
     append_latency_sweep(&case_base);
     recovery_sweep(&case_base);
     checkpoint_cadence_sweep(&case_base);
+    group_commit_sweep(&case_base);
     wal_scan_floor();
     println!("done.");
 }

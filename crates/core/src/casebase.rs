@@ -254,6 +254,41 @@ impl CaseBase {
         }
     }
 
+    /// Applies a whole batch of mutations **all-or-nothing**, returning
+    /// their inverses in order. If any mutation is rejected, the ones
+    /// already applied are rolled back (inverses in reverse order) and
+    /// the generation counter is rewound — the case base is left
+    /// bit-identical to before the call. This is the single rollback
+    /// primitive both the service's ephemeral shards and the
+    /// persistence layer's group commit build on, so the
+    /// "memory never runs ahead of the log" contract has exactly one
+    /// implementation.
+    ///
+    /// # Errors
+    ///
+    /// The first failing mutation's error (state fully rolled back).
+    pub fn apply_mutations_atomic(
+        &mut self,
+        mutations: &[CaseMutation],
+    ) -> Result<Vec<CaseMutation>, CoreError> {
+        let before = self.generation;
+        let mut inverses = Vec::with_capacity(mutations.len());
+        for mutation in mutations {
+            match self.apply_mutation(mutation) {
+                Ok(inverse) => inverses.push(inverse),
+                Err(e) => {
+                    for inverse in inverses.drain(..).rev() {
+                        self.apply_mutation(&inverse)
+                            .expect("the inverse of a just-applied mutation applies");
+                    }
+                    self.restore_generation(before);
+                    return Err(e);
+                }
+            }
+        }
+        Ok(inverses)
+    }
+
     /// *Retain* step of the CBR cycle: inserts a new implementation variant
     /// into an existing function type at run time (self-learning extension,
     /// §5 outlook).

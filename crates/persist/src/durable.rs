@@ -10,12 +10,27 @@
 //! log. After `snapshot_every` acknowledged mutations a checkpoint runs
 //! automatically.
 //!
+//! [`DurableCaseBase::apply_batch`] is the **group commit** path: a whole
+//! window of mutations becomes one WAL append — one `fdatasync` on a
+//! file store — and nothing in the window is acknowledged before that
+//! single flush returns. A crash inside the window can therefore only
+//! drop unacknowledged suffix frames, which is exactly the torn-tail
+//! case replay already handles.
+//!
 //! ## Checkpoint = snapshot + compaction
 //!
 //! Snapshots alternate between two slots (A/B), always overwriting the
 //! *stale* one, so the newest durable snapshot is never destroyed by a
 //! crash mid-write. After the new snapshot is durable, the WAL is
 //! compacted to the records newer than it (atomic rewrite).
+//!
+//! Checkpoints can also run in **two phases** for concurrent owners:
+//! [`DurableCaseBase::checkpoint_begin`] checks the stale slot out with a
+//! clone of the state (cheap, under the owner's lock),
+//! [`PendingCheckpoint::write`] does the snapshot I/O off-lock, and
+//! [`DurableCaseBase::checkpoint_finish`] reinstalls the slot and trims
+//! the log tail (bounded work, under the lock again). `rqfa-service`
+//! uses this so an auto-checkpoint never stalls a shard's retrievals.
 //!
 //! ## Recovery invariants
 //!
@@ -171,7 +186,10 @@ pub struct RecoveryReport {
 pub struct DurableCaseBase<S> {
     case_base: CaseBase,
     wal: Wal<S>,
-    snaps: [S; 2],
+    /// Snapshot slots A/B. A slot is `None` exactly while a two-phase
+    /// checkpoint has it checked out (see
+    /// [`DurableCaseBase::checkpoint_begin`]).
+    snaps: [Option<S>; 2],
     active_slot: usize,
     policy: PersistPolicy,
     since_checkpoint: u64,
@@ -203,7 +221,7 @@ impl<S: Store> DurableCaseBase<S> {
         let mut this = DurableCaseBase {
             case_base: initial.clone(),
             wal: Wal::new(stores.wal),
-            snaps: [stores.snap_a, stores.snap_b],
+            snaps: [Some(stores.snap_a), Some(stores.snap_b)],
             active_slot: 0,
             policy,
             since_checkpoint: 0,
@@ -217,10 +235,10 @@ impl<S: Store> DurableCaseBase<S> {
         // consistent pre-create state, refuses loudly (no valid
         // snapshot, or a generation gap against the surviving slot) —
         // never a silent mix of old and new generations.
-        this.snaps[1].replace(&[])?;
-        this.snaps[0].replace(&[])?;
+        this.slot_mut(1).replace(&[])?;
+        this.slot_mut(0).replace(&[])?;
         this.wal.clear()?;
-        write_snapshot(&mut this.snaps[0], initial)?;
+        write_snapshot(this.slot_mut(0), initial)?;
         Ok(this)
     }
 
@@ -304,7 +322,7 @@ impl<S: Store> DurableCaseBase<S> {
         let this = DurableCaseBase {
             case_base,
             wal,
-            snaps: [stores.snap_a, stores.snap_b],
+            snaps: [Some(stores.snap_a), Some(stores.snap_b)],
             active_slot,
             policy,
             since_checkpoint: replayed as u64,
@@ -351,25 +369,68 @@ impl<S: Store> DurableCaseBase<S> {
     ///   invariants (nothing written);
     /// * store append failures (in-memory state rolled back).
     pub fn apply(&mut self, mutation: &CaseMutation) -> Result<CaseMutation, PersistError> {
+        let mut inverses = self.apply_batch(std::slice::from_ref(mutation))?;
+        Ok(inverses.pop().expect("one mutation yields one inverse"))
+    }
+
+    /// Applies a whole batch of mutations durably — the **group commit**
+    /// path — and returns their inverses in order.
+    ///
+    /// The batch is all-or-nothing: every mutation is validated and
+    /// applied in memory first (any rejection rolls the earlier ones
+    /// back and nothing touches the medium), then all frames land in the
+    /// WAL as **one** store append — a single `fdatasync` on a file
+    /// store, which is what lifts durable throughput past the
+    /// one-fsync-per-mutation floor. No mutation of the batch is
+    /// acknowledged before the whole append returned: a crash inside the
+    /// flush window can only lose *unacknowledged* suffix frames, so the
+    /// acknowledged-prefix recovery contract is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// * [`PersistError::Core`] if any mutation violates case-base
+    ///   invariants (in-memory state fully rolled back, nothing written);
+    /// * store append failures (ditto, plus torn-byte repair as in
+    ///   [`DurableCaseBase::apply`]).
+    pub fn apply_batch(
+        &mut self,
+        mutations: &[CaseMutation],
+    ) -> Result<Vec<CaseMutation>, PersistError> {
+        if mutations.is_empty() {
+            return Ok(Vec::new());
+        }
         // Repair first if an earlier failed append left torn bytes that
         // the immediate truncation could not remove — appending behind
-        // garbage would hide this frame from every future replay.
+        // garbage would hide these frames from every future replay.
         if self.wal_dirty {
             self.wal.truncate_to(self.clean_wal_len)?;
             self.wal_dirty = false;
         }
         let before = self.case_base.generation();
-        let inverse = self.case_base.apply_mutation(mutation)?;
-        let stamped = crate::StampedMutation {
-            generation: self.case_base.generation(),
-            mutation: mutation.clone(),
-        };
-        match self.wal.append(&stamped) {
-            Ok(frame_len) => self.clean_wal_len += frame_len,
+        // One rollback primitive for the whole workspace: the in-memory
+        // batch is all-or-nothing via CaseBase itself.
+        let inverses = self.case_base.apply_mutations_atomic(mutations)?;
+        let mut stamp = before;
+        let stamped: Vec<crate::StampedMutation> = mutations
+            .iter()
+            .map(|mutation| {
+                stamp = stamp.next();
+                crate::StampedMutation {
+                    generation: stamp,
+                    mutation: mutation.clone(),
+                }
+            })
+            .collect();
+        debug_assert_eq!(stamp, self.case_base.generation());
+        match self.wal.append_batch(&stamped) {
+            Ok(batch_len) => self.clean_wal_len += batch_len,
             Err(e) => {
+                // Un-apply: the inverses, newest first, are themselves an
+                // all-or-nothing batch; then rewind the counter.
+                let reversed: Vec<CaseMutation> = inverses.into_iter().rev().collect();
                 self.case_base
-                    .apply_mutation(&inverse)
-                    .expect("the inverse of a just-applied mutation applies");
+                    .apply_mutations_atomic(&reversed)
+                    .expect("the inverses of just-applied mutations apply");
                 self.case_base.restore_generation(before);
                 // Drop whatever the failed append tore onto the medium;
                 // if even that fails, flag the log for repair-on-retry.
@@ -379,13 +440,13 @@ impl<S: Store> DurableCaseBase<S> {
                 return Err(e);
             }
         }
-        self.since_checkpoint += 1;
+        self.since_checkpoint += mutations.len() as u64;
         if self.policy.snapshot_every > 0 && self.since_checkpoint >= self.policy.snapshot_every {
             if let Err(e) = self.checkpoint() {
                 self.checkpoint_error = Some(e);
             }
         }
-        Ok(inverse)
+        Ok(inverses)
     }
 
     /// Takes (and clears) the error of the last failed automatic
@@ -395,7 +456,9 @@ impl<S: Store> DurableCaseBase<S> {
     }
 
     /// Snapshots the current state into the stale slot, then compacts the
-    /// WAL to the records newer than the snapshot.
+    /// WAL to the records newer than the snapshot. One-phase convenience
+    /// over [`DurableCaseBase::checkpoint_begin`] → write →
+    /// [`DurableCaseBase::checkpoint_finish`] for single-threaded owners.
     ///
     /// # Errors
     ///
@@ -405,19 +468,73 @@ impl<S: Store> DurableCaseBase<S> {
     /// recovery skips by generation. Either way no acknowledged mutation
     /// is lost.
     pub fn checkpoint(&mut self) -> Result<(), PersistError> {
+        let pending = self.checkpoint_begin()?;
+        let written = pending.write();
+        self.checkpoint_finish(written)
+    }
+
+    /// Phase 1 of a two-phase checkpoint: checks the stale snapshot slot
+    /// out together with a clone of the current state, so the expensive
+    /// snapshot write ([`PendingCheckpoint::write`]) can run **without**
+    /// whatever lock guards this durable case base. A concurrent owner —
+    /// e.g. a shard whose retrievals read the case base under a mutex —
+    /// keeps serving while the snapshot I/O happens elsewhere; only
+    /// [`DurableCaseBase::checkpoint_finish`] needs the lock again, and
+    /// its compaction is a bounded read + atomic replace of the (small)
+    /// post-snapshot log tail, never a frame-parsing rewrite.
+    ///
+    /// Mutations applied between begin and finish are stamped after the
+    /// cloned generation and stay in the log tail the finish keeps — they
+    /// are simply not covered by this snapshot yet.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::CheckpointInFlight`] if a pending checkpoint
+    /// already holds a slot.
+    pub fn checkpoint_begin(&mut self) -> Result<PendingCheckpoint<S>, PersistError> {
         let target = 1 - self.active_slot;
-        write_snapshot(&mut self.snaps[target], &self.case_base)?;
-        self.active_slot = target;
-        // The atomic rewrite also removes any torn bytes a failed
-        // append left behind (the scan that feeds it stops at them).
-        self.wal.compact_through(self.case_base.generation())?;
-        self.clean_wal_len = self.wal.store().len()?;
+        let store = self.snaps[target]
+            .take()
+            .ok_or(PersistError::CheckpointInFlight)?;
+        Ok(PendingCheckpoint {
+            slot: target,
+            store,
+            image: self.case_base.clone(),
+            wal_mark: self.clean_wal_len,
+            counted: self.since_checkpoint,
+        })
+    }
+
+    /// Phase 3 of a two-phase checkpoint: reinstalls the slot, and — if
+    /// the snapshot write succeeded — promotes it to the active slot and
+    /// compacts the WAL down to the frames appended since
+    /// [`DurableCaseBase::checkpoint_begin`].
+    ///
+    /// # Errors
+    ///
+    /// The parked snapshot-write error, or compaction store failures. A
+    /// failed write leaves the previous checkpoint active (a torn slot
+    /// is skipped by recovery; the next checkpoint overwrites it).
+    pub fn checkpoint_finish(&mut self, written: WrittenCheckpoint<S>) -> Result<(), PersistError> {
+        let WrittenCheckpoint {
+            slot,
+            store,
+            wal_mark,
+            counted,
+            result,
+        } = written;
+        self.snaps[slot] = Some(store);
+        result?;
+        self.active_slot = slot;
+        // Everything before the begin mark is covered by the snapshot;
+        // everything acknowledged since is exactly the tail to keep. The
+        // clean-length bound also sheds any torn bytes a failed append
+        // left behind.
+        self.clean_wal_len = self.wal.retain_tail(wal_mark, self.clean_wal_len)?;
         self.wal_dirty = false;
-        // Reset only after *both* halves succeeded: a checkpoint whose
-        // compaction failed must retry on the next mutation (recovery
-        // tolerates re-snapshotting), or the stale log would linger for
-        // another full snapshot_every interval.
-        self.since_checkpoint = 0;
+        // Mutations acknowledged after begin are not in this snapshot:
+        // only the counted prefix leaves the checkpoint debt.
+        self.since_checkpoint = self.since_checkpoint.saturating_sub(counted);
         Ok(())
     }
 
@@ -432,14 +549,69 @@ impl<S: Store> DurableCaseBase<S> {
 
     /// Consumes the handle, returning the raw stores — what a crashed
     /// machine would find on its media.
+    ///
+    /// # Panics
+    ///
+    /// If a two-phase checkpoint is still pending (a slot is checked
+    /// out); finish it first.
     pub fn into_stores(self) -> StoreSet<S> {
         let [snap_a, snap_b] = self.snaps;
         StoreSet {
             wal: self.wal.into_store(),
-            snap_a,
-            snap_b,
+            snap_a: snap_a.expect("no checkpoint pending"),
+            snap_b: snap_b.expect("no checkpoint pending"),
         }
     }
+
+    /// The slot's store; panics while a pending checkpoint holds it.
+    fn slot_mut(&mut self, slot: usize) -> &mut S {
+        self.snaps[slot].as_mut().expect("no checkpoint pending")
+    }
+}
+
+/// A checkpoint between [`DurableCaseBase::checkpoint_begin`] and its
+/// write: owns the stale snapshot slot plus a clone of the state to
+/// snapshot, so the I/O can run off-lock.
+#[derive(Debug)]
+pub struct PendingCheckpoint<S> {
+    slot: usize,
+    store: S,
+    image: CaseBase,
+    wal_mark: u64,
+    counted: u64,
+}
+
+impl<S: Store> PendingCheckpoint<S> {
+    /// The generation this checkpoint will make durable.
+    pub fn generation(&self) -> Generation {
+        self.image.generation()
+    }
+
+    /// Phase 2: writes the snapshot — the expensive, lock-free part.
+    /// Never fails directly; the outcome is parked inside the returned
+    /// [`WrittenCheckpoint`] so the slot store always travels back to
+    /// [`DurableCaseBase::checkpoint_finish`].
+    pub fn write(mut self) -> WrittenCheckpoint<S> {
+        let result = write_snapshot(&mut self.store, &self.image);
+        WrittenCheckpoint {
+            slot: self.slot,
+            store: self.store,
+            wal_mark: self.wal_mark,
+            counted: self.counted,
+            result,
+        }
+    }
+}
+
+/// The outcome of [`PendingCheckpoint::write`], ready to be handed back
+/// to [`DurableCaseBase::checkpoint_finish`].
+#[derive(Debug)]
+pub struct WrittenCheckpoint<S> {
+    slot: usize,
+    store: S,
+    wal_mark: u64,
+    counted: u64,
+    result: Result<(), PersistError>,
 }
 
 #[cfg(test)]
@@ -693,6 +865,136 @@ mod tests {
             paper::table1_case_base().variant_count(),
             "the stale retained variant must not resurrect"
         );
+    }
+
+    #[test]
+    fn batch_apply_is_atomic_in_memory_and_one_append_on_media() {
+        let mut durable = DurableCaseBase::create(
+            &paper::table1_case_base(),
+            StoreSet::in_memory(),
+            PersistPolicy::manual(),
+        )
+        .unwrap();
+        // A batch with an invalid middle mutation (duplicate impl id 1)
+        // must leave memory and media completely untouched.
+        let before = durable.case_base().clone();
+        let wal_before = durable.wal_bytes().unwrap();
+        let err = durable.apply_batch(&[retain(10, 9), retain(1, 9), retain(11, 10)]);
+        assert!(matches!(err, Err(PersistError::Core(_))));
+        assert_eq!(durable.case_base(), &before, "partial batch rolled back");
+        assert_eq!(durable.wal_bytes().unwrap(), wal_before, "nothing written");
+
+        // A valid batch acknowledges every mutation and replays whole.
+        let inverses = durable.apply_batch(&[retain(10, 9), retain(11, 10)]).unwrap();
+        assert_eq!(inverses.len(), 2);
+        assert_eq!(durable.generation(), Generation::from_raw(2));
+        let (recovered, report) =
+            DurableCaseBase::recover(durable.into_stores(), PersistPolicy::manual()).unwrap();
+        assert_eq!(report.replayed, 2);
+        assert_eq!(recovered.generation(), Generation::from_raw(2));
+    }
+
+    #[test]
+    fn torn_batch_append_rolls_back_the_whole_window() {
+        // The WAL store's budget covers one frame of a three-frame batch:
+        // the single batched append tears, no mutation may be acked.
+        let probe = {
+            let mut w = Wal::new(MemStore::new());
+            w.append(&crate::StampedMutation {
+                generation: Generation::from_raw(1),
+                mutation: retain(10, 9),
+            })
+            .unwrap();
+            w.into_store().bytes().len() as u64
+        };
+        // Seed genesis state on unconstrained media first, then swap in a
+        // WAL whose budget tears mid-batch via recover.
+        let seeded = DurableCaseBase::create(
+            &paper::table1_case_base(),
+            StoreSet::in_memory(),
+            PersistPolicy::manual(),
+        )
+        .unwrap();
+        let inner = seeded.into_stores();
+        let stores = StoreSet {
+            wal: FailingStore::new(inner.wal, probe + 2),
+            snap_a: FailingStore::new(inner.snap_a, u64::MAX),
+            snap_b: FailingStore::new(inner.snap_b, u64::MAX),
+        };
+        let (mut durable, _) = DurableCaseBase::recover(stores, PersistPolicy::manual()).unwrap();
+        let before = durable.case_base().clone();
+        let err = durable.apply_batch(&[retain(10, 9), retain(11, 10), retain(12, 11)]);
+        assert!(matches!(err, Err(PersistError::Crashed { .. })));
+        assert_eq!(durable.case_base(), &before, "whole window rolled back");
+        // The surviving torn prefix holds at most whole unacked frames —
+        // recovery may replay them or drop them, but never invents state.
+        let surviving = durable.into_stores().map(FailingStore::into_inner);
+        let (recovered, report) =
+            DurableCaseBase::recover(surviving, PersistPolicy::manual()).unwrap();
+        assert!(report.replayed <= 1, "at most the first whole frame");
+        assert!(recovered.generation().raw() <= 1);
+    }
+
+    #[test]
+    fn two_phase_checkpoint_equals_one_phase() {
+        let mut durable = DurableCaseBase::create(
+            &paper::table1_case_base(),
+            StoreSet::in_memory(),
+            PersistPolicy::manual(),
+        )
+        .unwrap();
+        durable.apply(&retain(10, 9)).unwrap();
+
+        let pending = durable.checkpoint_begin().unwrap();
+        assert_eq!(pending.generation(), Generation::from_raw(1));
+        // A second begin while one is pending is refused.
+        assert!(matches!(
+            durable.checkpoint_begin(),
+            Err(PersistError::CheckpointInFlight)
+        ));
+        // A mutation lands *between* begin and finish: it must survive in
+        // the log tail the finish keeps.
+        durable.apply(&retain(11, 10)).unwrap();
+        let written = pending.write();
+        durable.checkpoint_finish(written).unwrap();
+        assert!(durable.wal_bytes().unwrap() > 0, "post-begin frame kept");
+
+        let (recovered, report) =
+            DurableCaseBase::recover(durable.into_stores(), PersistPolicy::manual()).unwrap();
+        assert_eq!(report.snapshot_generation, Generation::from_raw(1));
+        assert_eq!(report.replayed, 1, "the between-phases mutation replays");
+        assert_eq!(report.skipped_older, 0);
+        assert_eq!(recovered.generation(), Generation::from_raw(2));
+    }
+
+    #[test]
+    fn failed_two_phase_write_keeps_previous_checkpoint() {
+        let stores = StoreSet {
+            wal: FailingStore::new(MemStore::new(), u64::MAX),
+            snap_a: FailingStore::new(MemStore::new(), u64::MAX),
+            snap_b: FailingStore::new(MemStore::new(), 4), // snapshot tears
+        };
+        let mut durable =
+            DurableCaseBase::create(&paper::table1_case_base(), stores, PersistPolicy::manual())
+                .unwrap();
+        durable.apply(&retain(10, 9)).unwrap();
+        let pending = durable.checkpoint_begin().unwrap();
+        let written = pending.write();
+        assert!(matches!(
+            durable.checkpoint_finish(written),
+            Err(PersistError::Crashed { .. })
+        ));
+        // The slot travelled back: a retry checkpoint is possible (it
+        // fails again on this permanently-crashed medium, but the slot
+        // keeps round-tripping), and recovery still has genesis + log.
+        let retry = durable.checkpoint_begin().expect("slot was reinstalled");
+        assert!(durable.checkpoint_finish(retry.write()).is_err());
+        let surviving = durable.into_stores().map(FailingStore::into_inner);
+        let (recovered, report) =
+            DurableCaseBase::recover(surviving, PersistPolicy::manual()).unwrap();
+        assert_eq!(report.snapshot_generation, Generation::GENESIS);
+        assert_eq!(report.replayed, 1);
+        assert_eq!(recovered.generation(), Generation::from_raw(1));
     }
 
     #[test]

@@ -44,6 +44,10 @@ pub enum PersistError {
     /// Recovery found no valid snapshot in any slot — there is nothing to
     /// replay the log against.
     NoValidSnapshot,
+    /// [`checkpoint_begin`](crate::DurableCaseBase::checkpoint_begin) was
+    /// called while an earlier checkpoint was still pending — its slot is
+    /// checked out and there is no stale slot left to write into.
+    CheckpointInFlight,
     /// An [`ExecutionTarget`](rqfa_core::ExecutionTarget) variant this
     /// crate's word encoding does not know — refusing the write beats
     /// silently persisting the wrong target.
@@ -66,6 +70,9 @@ impl fmt::Display for PersistError {
                 write!(f, "log generation gap: expected {expected}, found {found}")
             }
             PersistError::NoValidSnapshot => write!(f, "no valid snapshot in any slot"),
+            PersistError::CheckpointInFlight => {
+                write!(f, "a two-phase checkpoint is already pending")
+            }
             PersistError::UnsupportedTarget => {
                 write!(f, "execution target has no persistent word encoding")
             }

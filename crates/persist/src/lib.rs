@@ -65,7 +65,9 @@ mod store;
 mod wal;
 
 pub use crc::crc32;
-pub use durable::{DurableCaseBase, PersistPolicy, RecoveryReport, StoreSet};
+pub use durable::{
+    DurableCaseBase, PendingCheckpoint, PersistPolicy, RecoveryReport, StoreSet, WrittenCheckpoint,
+};
 pub use error::PersistError;
 pub use record::{encode_frame, parse_frame, FrameParse, StampedMutation, RECORD_MAGIC};
 pub use snapshot::{

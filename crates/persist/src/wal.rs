@@ -64,6 +64,34 @@ impl<S: Store> Wal<S> {
         Ok(frame.len() as u64)
     }
 
+    /// Appends a whole batch of records as **one** store write — the group
+    /// commit primitive. On a [`FileStore`](crate::FileStore) that is one
+    /// `write(2)` plus one `fdatasync` for the entire window instead of
+    /// one per record, which is where batched durable throughput comes
+    /// from. Returns the total bytes appended.
+    ///
+    /// Atomicity follows the [`Store`] append contract: a crash can leave
+    /// any byte *prefix* of the batch on the medium. Replay then recovers
+    /// the whole frames of that prefix — safe, because no record of the
+    /// batch was acknowledged to any caller before this method returned.
+    ///
+    /// # Errors
+    ///
+    /// Frame-encoding failures (nothing touches the medium) and the
+    /// store's write failure (the write may still have torn; the caller
+    /// repairs via [`Wal::truncate_to`]).
+    pub fn append_batch(&mut self, records: &[StampedMutation]) -> Result<u64, PersistError> {
+        let mut batch = Vec::new();
+        for record in records {
+            batch.extend_from_slice(&encode_frame(record)?);
+        }
+        if batch.is_empty() {
+            return Ok(0);
+        }
+        self.store.append(&batch)?;
+        Ok(batch.len() as u64)
+    }
+
     /// Atomically truncates the log to its first `len` bytes — the
     /// repair after a torn append (the caller tracks the last clean
     /// length). A no-op when the log is already that short.
@@ -128,6 +156,29 @@ impl<S: Store> Wal<S> {
         }
         self.store.replace(&bytes)?;
         Ok(kept)
+    }
+
+    /// Atomically drops every byte before `from` and every byte at or
+    /// beyond `clean_len`, keeping exactly the frames in `[from,
+    /// clean_len)`. This is the checkpoint-finish compaction: the prefix
+    /// is covered by the snapshot that just became durable, and anything
+    /// past the clean length is unacknowledged garbage from a torn
+    /// append. Returns the new log length.
+    ///
+    /// Unlike [`Wal::compact_through`] this never parses frames, so the
+    /// under-lock cost is one bounded read plus one atomic replace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store failures; on error the old content survives
+    /// (atomic `replace`).
+    pub fn retain_tail(&mut self, from: u64, clean_len: u64) -> Result<u64, PersistError> {
+        let bytes = self.store.read_all()?;
+        let hi = usize::try_from(clean_len).unwrap_or(usize::MAX).min(bytes.len());
+        let lo = usize::try_from(from).unwrap_or(usize::MAX).min(hi);
+        let tail = &bytes[lo..hi];
+        self.store.replace(tail)?;
+        Ok(tail.len() as u64)
     }
 
     /// Atomically empties the log (fresh-state initialization).
@@ -217,6 +268,45 @@ mod tests {
         wal.compact_through(Generation::from_raw(100)).unwrap();
         assert_eq!(wal.replay().unwrap().records.len(), 0);
         assert_eq!(wal.store().len().unwrap(), 0);
+    }
+
+    #[test]
+    fn batch_append_is_one_write_of_back_to_back_frames() {
+        let mut batched = Wal::new(MemStore::new());
+        let records: Vec<StampedMutation> = (1..=4).map(evict).collect();
+        let bytes = batched.append_batch(&records).unwrap();
+        assert_eq!(batched.append_batch(&[]).unwrap(), 0);
+
+        let mut single = Wal::new(MemStore::new());
+        for record in &records {
+            single.append(record).unwrap();
+        }
+        assert_eq!(
+            batched.store().bytes(),
+            single.store().bytes(),
+            "a batch is byte-identical to the same records appended singly"
+        );
+        assert_eq!(bytes as usize, single.store().bytes().len());
+        assert_eq!(batched.replay().unwrap().records.len(), 4);
+    }
+
+    #[test]
+    fn retain_tail_keeps_exactly_the_clean_window() {
+        let mut wal = Wal::new(MemStore::new());
+        let mut boundaries = vec![0usize];
+        for g in 1..=4 {
+            wal.append(&evict(g)).unwrap();
+            boundaries.push(wal.store().bytes().len());
+        }
+        // Torn garbage past the acknowledged length.
+        let clean_len = boundaries[4] as u64;
+        wal.store_mut().append(&[0xBA, 0xD1]).unwrap();
+        let kept = wal.retain_tail(boundaries[2] as u64, clean_len).unwrap();
+        assert_eq!(kept as usize, boundaries[4] - boundaries[2]);
+        let replay = wal.replay().unwrap();
+        let stamps: Vec<u64> = replay.records.iter().map(|r| r.generation.raw()).collect();
+        assert_eq!(stamps, [3, 4]);
+        assert!(!replay.has_torn_tail(), "garbage beyond clean_len dropped");
     }
 
     #[test]

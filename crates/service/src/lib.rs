@@ -11,10 +11,14 @@
 //!   [`FixedEngine`](rqfa_core::FixedEngine) — since
 //!   retrieval only touches the requested type's subtree, shard answers
 //!   are bit-identical to one big engine over the merged case base.
-//! * **Batching + QoS scheduling** ([`queue`], [`sched`]): per-class FIFO
-//!   lanes drained in weighted round-robin (8:4:2:1), per-class deadline
-//!   budgets, and urgency-tiered admission limits that shed LOW first
-//!   under overload — CRITICAL is never shed, ever.
+//! * **Batching + deadline-aware QoS scheduling** ([`queue`], [`sched`]):
+//!   per-class lanes ordered earliest-deadline-first, drained in weighted
+//!   round-robin (8:4:2:1) with bounded slack promotion for lane heads
+//!   about to miss their budget, per-class deadline budgets and
+//!   per-request deadlines ([`AllocationService::submit_with_deadline`]),
+//!   and urgency-tiered admission limits that shed by **largest slack
+//!   first** under overload — CRITICAL is never shed, ever. The full
+//!   model lives in `docs/scheduling.md`.
 //! * **Result caching** ([`cache`]): retrievals are memoized by request
 //!   fingerprint and stamped with the case-base generation counter; any
 //!   retain/revise/evict invalidates the shard's cache wholesale.
@@ -65,7 +69,7 @@ use rqfa_persist::{
 
 pub use error::ServiceError;
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServiceMetrics};
-pub use sched::WeightedArbiter;
+pub use sched::{Pick, SchedMode, WeightedArbiter};
 
 /// First line of the durable-state manifest file.
 const MANIFEST_HEADER: &str = "rqfa-durable-service v1";
@@ -86,10 +90,28 @@ pub struct ServiceConfig {
     /// Per-shard result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Per-class queueing-delay budget in µs, indexed by
-    /// [`QosClass::index`]. A sheddable job that has waited longer than
-    /// its budget when the worker picks it up is dropped. `None` disables
-    /// the budget; CRITICAL ignores its budget entirely.
+    /// [`QosClass::index`]. The budget defines a sheddable job's
+    /// *effective deadline* (submit time + budget) unless the request
+    /// carried an explicit deadline
+    /// ([`AllocationService::submit_with_deadline`]); a job whose
+    /// effective deadline has expired when the worker picks it up is
+    /// dropped. `None` disables the budget; CRITICAL ignores its budget
+    /// entirely (never shed, but a served-late CRITICAL request counts as
+    /// a [`missed deadline`](ClassSnapshot::missed_deadline)).
     pub deadline_budget_us: [Option<u64>; QosClass::COUNT],
+    /// How jobs are ordered within a class lane: earliest-deadline-first
+    /// (default) or strict arrival order (the A/B baseline).
+    pub scheduling: SchedMode,
+    /// A lane head within this many µs of its effective deadline is
+    /// *urgent*: the scheduler may serve it ahead of the weighted order
+    /// (bounded by [`ServiceConfig::promotions_per_round`]). `0` promotes
+    /// only already-overdue heads, which is usually too late — size it
+    /// around one batch's service time. Ignored in FIFO mode.
+    pub promotion_margin_us: u64,
+    /// How many times per scheduling round an urgent, out-of-credit lane
+    /// may be served anyway. Bounds priority inversion: CRITICAL's share
+    /// never drops below `weight / (Σ weights + promotions_per_round)`.
+    pub promotions_per_round: u32,
     /// Weighted-round-robin credit per class, indexed by
     /// [`QosClass::index`].
     pub class_weights: [u32; QosClass::COUNT],
@@ -114,6 +136,9 @@ impl Default for ServiceConfig {
             queue_capacity: 4096,
             cache_capacity: 1 << 16,
             deadline_budget_us: [None; QosClass::COUNT],
+            scheduling: SchedMode::Edf,
+            promotion_margin_us: 0,
+            promotions_per_round: WeightedArbiter::DEFAULT_PROMOTIONS,
             class_weights: QosClass::ALL.map(QosClass::weight),
             snapshot_every: PersistPolicy::default().snapshot_every,
         }
@@ -151,6 +176,24 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the within-lane scheduling mode (EDF vs FIFO baseline).
+    pub fn with_scheduling(mut self, mode: SchedMode) -> ServiceConfig {
+        self.scheduling = mode;
+        self
+    }
+
+    /// Sets the slack margin (µs) under which a lane head is promoted.
+    pub fn with_promotion_margin_us(mut self, margin_us: u64) -> ServiceConfig {
+        self.promotion_margin_us = margin_us;
+        self
+    }
+
+    /// Sets the per-round bound on out-of-credit promotions.
+    pub fn with_promotions_per_round(mut self, per_round: u32) -> ServiceConfig {
+        self.promotions_per_round = per_round;
+        self
+    }
+
     /// Sets the durable checkpoint cadence (0 = manual only).
     pub fn with_snapshot_every(mut self, mutations: u64) -> ServiceConfig {
         self.snapshot_every = mutations;
@@ -160,6 +203,7 @@ impl ServiceConfig {
     /// The arbiter the configuration describes.
     pub(crate) fn arbiter(&self) -> WeightedArbiter {
         WeightedArbiter::with_weights(self.class_weights)
+            .with_promotions(self.promotions_per_round)
     }
 }
 
@@ -212,7 +256,27 @@ pub struct Job {
     pub(crate) class: QosClass,
     pub(crate) request: Request,
     pub(crate) enqueued_at: Instant,
+    /// Effective deadline: the explicit per-request deadline, else
+    /// submit time + class budget, else none (EDF far horizon).
+    pub(crate) deadline: Option<Instant>,
     pub(crate) reply_tx: mpsc::Sender<Reply>,
+}
+
+impl Job {
+    /// The id [`AllocationService::submit`] handed out.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The job's QoS class.
+    pub fn class(&self) -> QosClass {
+        self.class
+    }
+
+    /// The job's effective deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
 }
 
 /// A handle to one in-flight request.
@@ -262,6 +326,7 @@ pub struct AllocationService {
     shards: Vec<shard::Shard>,
     metrics: Arc<ServiceMetrics>,
     next_id: AtomicU64,
+    deadline_budget_us: [Option<u64>; QosClass::COUNT],
 }
 
 impl AllocationService {
@@ -285,6 +350,31 @@ impl AllocationService {
     /// write-ahead log and snapshot pair under `dir/shard-<i>/`, seeded
     /// with a genesis snapshot of its slice of `case_base`. Any previous
     /// durable state in `dir` is discarded.
+    ///
+    /// ```
+    /// use rqfa_core::paper;
+    /// use rqfa_service::{AllocationService, ServiceConfig};
+    ///
+    /// let dir = std::env::temp_dir().join("rqfa-durable-doctest");
+    /// let config = ServiceConfig::default().with_shards(2);
+    ///
+    /// // Create durable state, learn something, "crash" (drop without a
+    /// // checkpoint)…
+    /// let service =
+    ///     AllocationService::durable_create(&paper::table1_case_base(), &dir, &config)?;
+    /// service.evict_variant(paper::FIR_EQUALIZER, paper::IMPL_GP)?;
+    /// drop(service);
+    ///
+    /// // …and recover: the shard layout comes from the on-disk MANIFEST,
+    /// // the mutation replays from the WAL, and answers are bit-identical
+    /// // to a service that never crashed.
+    /// let (recovered, reports) = AllocationService::durable_recover(&dir, &config)?;
+    /// let replayed: usize = reports.iter().flatten().map(|r| r.replayed).sum();
+    /// assert_eq!(replayed, 1);
+    /// recovered.shutdown();
+    /// # std::fs::remove_dir_all(&dir).ok();
+    /// # Ok::<(), rqfa_service::ServiceError>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -311,9 +401,10 @@ impl AllocationService {
                 }
             }
         }
-        let policy = PersistPolicy {
-            snapshot_every: config.snapshot_every,
-        };
+        // The shard drives the checkpoint cadence itself (two-phase, off
+        // the store lock); the inner durable case base must never
+        // auto-checkpoint under the lock.
+        let policy = PersistPolicy::manual();
         let slices = shard::partition(case_base, config.shards);
         let mut stores = Vec::with_capacity(slices.len());
         for (index, slice) in slices.into_iter().enumerate() {
@@ -402,9 +493,8 @@ impl AllocationService {
                 .collect::<Result<_, _>>()?,
             None => return Err(ServiceError::Manifest("missing durable= line".into())),
         };
-        let policy = PersistPolicy {
-            snapshot_every: config.snapshot_every,
-        };
+        // As in durable_create: checkpoint cadence is shard-driven.
+        let policy = PersistPolicy::manual();
         let mut stores = Vec::with_capacity(shards);
         let mut reports = Vec::with_capacity(shards);
         for index in 0..shards {
@@ -443,6 +533,7 @@ impl AllocationService {
             shards,
             metrics,
             next_id: AtomicU64::new(0),
+            deadline_budget_us: config.deadline_budget_us,
         }
     }
 
@@ -453,8 +544,35 @@ impl AllocationService {
 
     /// Submits a request in the given QoS class. Always returns a ticket;
     /// a request shed at admission gets its `ShedQueueFull` reply
-    /// immediately.
+    /// immediately. The job's effective deadline is the class budget
+    /// (sheddable classes only); use
+    /// [`AllocationService::submit_with_deadline`] for per-request
+    /// deadlines.
     pub fn submit(&self, request: Request, class: QosClass) -> Ticket {
+        self.submit_inner(request, class, None)
+    }
+
+    /// Submits a request that must complete within `deadline` from now.
+    /// The explicit deadline overrides the class budget for EDF ordering,
+    /// slack promotion, displacement *and* dispatch shedding — except
+    /// that CRITICAL is still never shed: a late CRITICAL request is
+    /// served anyway and counted as a
+    /// [`missed deadline`](ClassSnapshot::missed_deadline).
+    pub fn submit_with_deadline(
+        &self,
+        request: Request,
+        class: QosClass,
+        deadline: Duration,
+    ) -> Ticket {
+        self.submit_inner(request, class, Some(deadline))
+    }
+
+    fn submit_inner(
+        &self,
+        request: Request,
+        class: QosClass,
+        deadline: Option<Duration>,
+    ) -> Ticket {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         self.metrics
             .class(class)
@@ -462,19 +580,38 @@ impl AllocationService {
             .fetch_add(1, Ordering::Relaxed);
         let (reply_tx, rx) = mpsc::channel();
         let shard = &self.shards[shard::route(request.type_id(), self.shards.len())];
+        let now = Instant::now();
+        let budget = if class.sheddable() {
+            self.deadline_budget_us[class.index()].map(Duration::from_micros)
+        } else {
+            None
+        };
         let job = Job {
             id,
             class,
             request,
-            enqueued_at: Instant::now(),
+            enqueued_at: now,
+            deadline: deadline.or(budget).map(|d| now + d),
             reply_tx,
         };
-        if let Err(job) = shard.queue.push(job) {
-            self.metrics
-                .class(class)
-                .shed_queue_full
-                .fetch_add(1, Ordering::Relaxed);
-            job.reply(Outcome::ShedQueueFull, 0, &self.metrics);
+        match shard.queue.push(job) {
+            queue::Admission::Admitted => {}
+            queue::Admission::Displaced(victim) => {
+                // The newcomer took the largest-slack resident's slot.
+                self.metrics
+                    .class(victim.class)
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                let waited = shard::duration_us(victim.enqueued_at.elapsed());
+                victim.reply(Outcome::ShedQueueFull, waited, &self.metrics);
+            }
+            queue::Admission::Refused(job) => {
+                self.metrics
+                    .class(class)
+                    .shed_queue_full
+                    .fetch_add(1, Ordering::Relaxed);
+                job.reply(Outcome::ShedQueueFull, 0, &self.metrics);
+            }
         }
         Ticket { id, class, rx }
     }
@@ -498,6 +635,50 @@ impl AllocationService {
     /// log).
     pub fn apply_mutation(&self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
         self.shard_for(mutation.type_id()).apply(mutation)
+    }
+
+    /// Applies a batch of mutations with **group commit**: the batch is
+    /// split by owning shard (relative order preserved — mutations of
+    /// one function type always target one shard) and each shard's group
+    /// becomes a single write-ahead append, i.e. one fsync per shard per
+    /// call instead of one per mutation. Returns the inverse mutations
+    /// in input order.
+    ///
+    /// Atomicity is **per shard**: a shard's group applies all-or-nothing,
+    /// but a failure in one shard does not roll back groups already
+    /// committed on other shards — the error reports the first failing
+    /// shard and every prior shard's group stays acknowledged (each was
+    /// already durable).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`AllocationService::apply_mutation`].
+    pub fn apply_mutations(
+        &self,
+        mutations: &[CaseMutation],
+    ) -> Result<Vec<CaseMutation>, ServiceError> {
+        // Group by shard, remembering each mutation's input slot.
+        let mut groups: Vec<(Vec<usize>, Vec<CaseMutation>)> =
+            (0..self.shards.len()).map(|_| Default::default()).collect();
+        for (slot, mutation) in mutations.iter().enumerate() {
+            let shard = shard::route(mutation.type_id(), self.shards.len());
+            groups[shard].0.push(slot);
+            groups[shard].1.push(mutation.clone());
+        }
+        let mut inverses: Vec<Option<CaseMutation>> = vec![None; mutations.len()];
+        for (shard, (slots, group)) in self.shards.iter().zip(groups) {
+            if group.is_empty() {
+                continue;
+            }
+            let group_inverses = shard.apply_batch(&group)?;
+            for (slot, inverse) in slots.into_iter().zip(group_inverses) {
+                inverses[slot] = Some(inverse);
+            }
+        }
+        Ok(inverses
+            .into_iter()
+            .map(|inv| inv.expect("every mutation was grouped exactly once"))
+            .collect())
     }
 
     /// *Retain* step routed to the owning shard; bumps that shard's
@@ -602,6 +783,40 @@ impl AllocationService {
 
     fn shard_for(&self, type_id: TypeId) -> &shard::Shard {
         &self.shards[shard::route(type_id, self.shards.len())]
+    }
+}
+
+/// Deterministic construction of internal [`Job`]s, so queue- and
+/// scheduler-level properties (EDF order, anti-starvation, shed
+/// determinism) can be asserted from the workspace test suites without
+/// going through live worker threads and wall-clock timing.
+///
+/// Not part of the stable API — test support only.
+#[doc(hidden)]
+pub mod testkit {
+    use super::*;
+
+    /// Builds a job with an explicit enqueue instant and effective
+    /// deadline, plus the receiver its reply (if any) arrives on.
+    pub fn job(
+        id: u64,
+        class: QosClass,
+        request: Request,
+        enqueued_at: Instant,
+        deadline: Option<Instant>,
+    ) -> (Job, mpsc::Receiver<Reply>) {
+        let (reply_tx, rx) = mpsc::channel();
+        (
+            Job {
+                id,
+                class,
+                request,
+                enqueued_at,
+                deadline,
+                reply_tx,
+            },
+            rx,
+        )
     }
 }
 

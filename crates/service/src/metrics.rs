@@ -70,6 +70,12 @@ pub struct ClassMetrics {
     pub cache_hits: AtomicU64,
     /// Requests that failed retrieval (e.g. unknown function type).
     pub failed: AtomicU64,
+    /// Dispatches where deadline urgency promoted this class's lane head
+    /// ahead of the weighted round-robin order.
+    pub promoted: AtomicU64,
+    /// Requests that completed *after* their effective deadline (served,
+    /// but late — the p99-vs-budget signal the EDF scheduler minimizes).
+    pub missed_deadline: AtomicU64,
     /// End-to-end latency (submit → reply) histogram of *served* traffic
     /// (completed and failed requests; shed requests are excluded so
     /// their near-zero turnaround cannot mask the p50/p99 of real work).
@@ -105,6 +111,8 @@ impl ServiceMetrics {
                 shed_deadline: m.shed_deadline.load(Ordering::Relaxed),
                 cache_hits: m.cache_hits.load(Ordering::Relaxed),
                 failed: m.failed.load(Ordering::Relaxed),
+                promoted: m.promoted.load(Ordering::Relaxed),
+                missed_deadline: m.missed_deadline.load(Ordering::Relaxed),
                 p50_us: m.latency.quantile_us(0.50),
                 p99_us: m.latency.quantile_us(0.99),
             }
@@ -134,6 +142,10 @@ pub struct ClassSnapshot {
     pub cache_hits: u64,
     /// Failed retrievals.
     pub failed: u64,
+    /// Dispatches promoted by deadline urgency.
+    pub promoted: u64,
+    /// Requests served after their effective deadline expired.
+    pub missed_deadline: u64,
     /// Median end-to-end latency (bucket upper bound), µs.
     pub p50_us: u64,
     /// 99th-percentile end-to-end latency (bucket upper bound), µs.
@@ -200,19 +212,22 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<9} {:>9} {:>9} {:>6} {:>9} {:>7} {:>9} {:>9}",
-            "class", "submitted", "completed", "shed", "hits", "hit %", "p50 µs", "p99 µs"
+            "{:<9} {:>9} {:>9} {:>6} {:>9} {:>7} {:>6} {:>6} {:>9} {:>9}",
+            "class", "submitted", "completed", "shed", "hits", "hit %", "promo", "miss", "p50 µs",
+            "p99 µs"
         )?;
         for c in &self.classes {
             writeln!(
                 f,
-                "{:<9} {:>9} {:>9} {:>6} {:>9} {:>6.1}% {:>9} {:>9}",
+                "{:<9} {:>9} {:>9} {:>6} {:>9} {:>6.1}% {:>6} {:>6} {:>9} {:>9}",
                 c.class.to_string(),
                 c.submitted,
                 c.completed,
                 c.shed(),
                 c.cache_hits,
                 c.hit_rate() * 100.0,
+                c.promoted,
+                c.missed_deadline,
                 c.p50_us,
                 c.p99_us,
             )?;

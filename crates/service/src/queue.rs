@@ -1,9 +1,20 @@
-//! The per-shard batching request queue.
+//! The per-shard batching request queue with deadline-aware lanes.
 //!
-//! One [`ClassQueue`] feeds each shard worker: four class-indexed FIFO
-//! lanes behind one mutex, a condvar to park the worker when idle, and the
-//! [`WeightedArbiter`](crate::sched::WeightedArbiter) deciding which lane
+//! One [`ClassQueue`] feeds each shard worker: four class-indexed lanes
+//! behind one mutex, a condvar to park the worker when idle, and the
+//! [`WeightedArbiter`] deciding which lane
 //! each batch slot is drawn from.
+//!
+//! ## Lane ordering
+//!
+//! Each lane is an ordered map keyed by `(sort instant, sequence)`. In
+//! [`SchedMode::Edf`] the sort instant is the job's *effective deadline*
+//! (its explicit per-request deadline, else enqueue time + class budget,
+//! else a far horizon), so the lane head is always the job closest to
+//! missing — earliest-deadline-first. In [`SchedMode::Fifo`] the sort
+//! instant is the enqueue time, reproducing strict arrival order. The
+//! monotonic sequence breaks ties deterministically, so two runs over the
+//! same trace dispatch — and shed — identically.
 //!
 //! ## Overload policy
 //!
@@ -11,23 +22,50 @@
 //! bounded while less-urgent traffic sheds first: a LOW job is refused
 //! once `capacity` jobs are queued, MEDIUM at `2 × capacity`, HIGH at
 //! `4 × capacity`; CRITICAL is always admitted — it must never be shed.
-//! Refused jobs bounce back to the caller, who replies `Shed`. On top of
-//! admission control, per-class deadline budgets (when configured) shed
-//! HIGH/MEDIUM/LOW at *dispatch* once they have waited too long — work
-//! that can still meet its deadline is never refused by the budget.
+//! At its limit a sheddable class sheds by **largest slack first**: if
+//! the newcomer's effective deadline is nearer than the lane's
+//! largest-slack resident, that resident is displaced (it had the most
+//! schedule room to lose) and the newcomer admitted; otherwise the
+//! newcomer — itself the largest-slack job — bounces. With no deadlines
+//! in play the newcomer always has the largest key, so this degrades to
+//! the classic refuse-the-arrival policy (and `Fifo` mode keeps it
+//! exactly). On top of admission control, effective deadlines shed
+//! HIGH/MEDIUM/LOW at *dispatch* once they have expired — work that can
+//! still meet its deadline is never refused by the budget.
 
-use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use rqfa_core::QosClass;
 
-use crate::sched::WeightedArbiter;
+use crate::metrics::ServiceMetrics;
+use crate::sched::{SchedMode, WeightedArbiter};
 use crate::Job;
 
+/// Sort horizon for jobs with no deadline at all: they queue behind any
+/// deadlined job due within a year, in arrival order among themselves.
+const NO_DEADLINE_HORIZON: Duration = Duration::from_secs(365 * 24 * 3600);
+
+/// How [`ClassQueue::push`] disposed of a job.
+#[derive(Debug)]
+pub enum Admission {
+    /// The job was queued.
+    Admitted,
+    /// The job was queued by displacing the same-class resident with the
+    /// largest slack — the displaced job must be answered as shed.
+    Displaced(Job),
+    /// The job was refused (class limit reached and the job itself holds
+    /// the largest slack, or the queue is shut down).
+    Refused(Job),
+}
+
 struct Inner {
-    lanes: [VecDeque<Job>; QosClass::COUNT],
+    lanes: [BTreeMap<(Instant, u64), Job>; QosClass::COUNT],
     arbiter: WeightedArbiter,
     len: usize,
+    seq: u64,
     shutdown: bool,
 }
 
@@ -40,38 +78,77 @@ impl Inner {
             !self.lanes[3].is_empty(),
         ]
     }
+
+    /// Which lane heads are within `margin` of their effective deadline.
+    fn urgent(&self, now: Instant, margin: Duration) -> [bool; QosClass::COUNT] {
+        let mut urgent = [false; QosClass::COUNT];
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if let Some((_, head)) = lane.first_key_value() {
+                if let Some(deadline) = head.deadline {
+                    urgent[i] = deadline.saturating_duration_since(now) <= margin;
+                }
+            }
+        }
+        urgent
+    }
 }
 
-/// A bounded, class-aware MPSC job queue feeding one shard worker.
+/// A bounded, class-aware, deadline-aware MPSC job queue feeding one
+/// shard worker.
 pub struct ClassQueue {
     inner: Mutex<Inner>,
     available: Condvar,
     capacity: usize,
+    mode: SchedMode,
+    promotion_margin: Duration,
+    metrics: Arc<ServiceMetrics>,
 }
 
 impl ClassQueue {
     /// A queue admitting at most `capacity` jobs (min 1) across classes,
-    /// scheduled by `arbiter`.
-    pub fn new(capacity: usize, arbiter: WeightedArbiter) -> ClassQueue {
+    /// ordered per `mode`, scheduled by `arbiter`; lane heads within
+    /// `promotion_margin_us` of their deadline are flagged urgent to the
+    /// arbiter (EDF mode only). Promotions are counted into `metrics`.
+    pub fn new(
+        capacity: usize,
+        arbiter: WeightedArbiter,
+        mode: SchedMode,
+        promotion_margin_us: u64,
+        metrics: Arc<ServiceMetrics>,
+    ) -> ClassQueue {
         ClassQueue {
             inner: Mutex::new(Inner {
                 lanes: Default::default(),
                 arbiter,
                 len: 0,
+                seq: 0,
                 shutdown: false,
             }),
             available: Condvar::new(),
             capacity: capacity.max(1),
+            mode,
+            promotion_margin: Duration::from_micros(promotion_margin_us),
+            metrics,
         }
     }
 
-    /// Enqueues a job. Returns the job back when it was refused: the
-    /// queue is shut down, or the class's admission limit (LOW: 1×
-    /// capacity, MEDIUM: 2×, HIGH: 4×, CRITICAL: unlimited) is reached.
-    pub fn push(&self, job: Job) -> Result<(), Job> {
+    /// The lane sort instant of a job under this queue's mode.
+    fn sort_instant(&self, job: &Job) -> Instant {
+        match self.mode {
+            SchedMode::Fifo => job.enqueued_at,
+            SchedMode::Edf => job
+                .deadline
+                .unwrap_or_else(|| job.enqueued_at + NO_DEADLINE_HORIZON),
+        }
+    }
+
+    /// Enqueues a job. See [`Admission`] for the three outcomes; the
+    /// class's admission limit is LOW: 1× capacity, MEDIUM: 2×, HIGH:
+    /// 4×, CRITICAL: unlimited.
+    pub fn push(&self, job: Job) -> Admission {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.shutdown {
-            return Err(job);
+            return Admission::Refused(job);
         }
         let limit = match job.class {
             QosClass::Critical => usize::MAX,
@@ -79,14 +156,31 @@ impl ClassQueue {
             QosClass::Medium => self.capacity.saturating_mul(2),
             QosClass::Low => self.capacity,
         };
+        let key = (self.sort_instant(&job), inner.seq);
+        inner.seq += 1;
         if inner.len >= limit {
-            return Err(job);
+            // Shed by largest slack: the lane's last key is its
+            // largest-slack resident. Strict `<` keeps the no-deadline
+            // (and Fifo) case on the classic refuse-the-arrival policy.
+            let lane = &mut inner.lanes[job.class.index()];
+            if job.class.sheddable() {
+                if let Some((&last_key, _)) = lane.last_key_value() {
+                    if key.0 < last_key.0 {
+                        let (_, victim) = lane.pop_last().expect("lane non-empty");
+                        lane.insert(key, job);
+                        drop(inner);
+                        self.available.notify_one();
+                        return Admission::Displaced(victim);
+                    }
+                }
+            }
+            return Admission::Refused(job);
         }
-        inner.lanes[job.class.index()].push_back(job);
+        inner.lanes[job.class.index()].insert(key, job);
         inner.len += 1;
         drop(inner);
         self.available.notify_one();
-        Ok(())
+        Admission::Admitted
     }
 
     /// Pops the next batch of up to `max` jobs, blocking while the queue
@@ -103,17 +197,28 @@ impl ClassQueue {
             }
             inner = self.available.wait(inner).expect("queue poisoned");
         }
+        let now = Instant::now();
         let mut batch = Vec::with_capacity(max.min(inner.len));
         while batch.len() < max {
-            let Some(class) = ({
+            let Some(pick) = ({
                 let backlogged = inner.backlogged();
-                inner.arbiter.pick(backlogged)
+                let urgent = match self.mode {
+                    SchedMode::Edf => inner.urgent(now, self.promotion_margin),
+                    SchedMode::Fifo => [false; QosClass::COUNT],
+                };
+                inner.arbiter.pick_urgent(backlogged, urgent)
             }) else {
                 break;
             };
-            let job = inner.lanes[class.index()]
-                .pop_front()
+            let (_, job) = inner.lanes[pick.class.index()]
+                .pop_first()
                 .expect("arbiter picked a backlogged lane");
+            if pick.promoted {
+                self.metrics
+                    .class(pick.class)
+                    .promoted
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             inner.len -= 1;
             batch.push(job);
         }
@@ -138,22 +243,10 @@ impl ClassQueue {
     }
 }
 
-/// Creates a detached job (its reply receiver is dropped) for queue tests.
-#[cfg(test)]
-pub(crate) fn test_job(id: u64, class: QosClass, request: rqfa_core::Request) -> Job {
-    let (reply_tx, _) = std::sync::mpsc::channel();
-    Job {
-        id,
-        class,
-        request,
-        enqueued_at: std::time::Instant::now(),
-        reply_tx,
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit;
     use rqfa_core::ids::{AttrId, TypeId};
     use rqfa_core::Request;
 
@@ -164,18 +257,48 @@ mod tests {
             .unwrap()
     }
 
+    fn job(id: u64, class: QosClass) -> Job {
+        testkit::job(id, class, request(), Instant::now(), None).0
+    }
+
+    fn deadline_job(id: u64, class: QosClass, base: Instant, deadline_us: u64) -> Job {
+        testkit::job(
+            id,
+            class,
+            request(),
+            base,
+            Some(base + Duration::from_micros(deadline_us)),
+        )
+        .0
+    }
+
     fn queue(capacity: usize) -> ClassQueue {
-        ClassQueue::new(capacity, WeightedArbiter::new())
+        queue_mode(capacity, SchedMode::Edf)
+    }
+
+    fn queue_mode(capacity: usize, mode: SchedMode) -> ClassQueue {
+        ClassQueue::new(
+            capacity,
+            WeightedArbiter::new(),
+            mode,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+    }
+
+    fn push_ok(q: &ClassQueue, job: Job) {
+        assert!(matches!(q.push(job), Admission::Admitted));
     }
 
     #[test]
     fn fifo_within_class_weighted_across_classes() {
+        // Without deadlines EDF degrades to arrival order inside a lane.
         let q = queue(64);
         for id in 0..4 {
-            q.push(test_job(id, QosClass::Low, request())).unwrap();
+            push_ok(&q, job(id, QosClass::Low));
         }
         for id in 4..8 {
-            q.push(test_job(id, QosClass::Critical, request())).unwrap();
+            push_ok(&q, job(id, QosClass::Critical));
         }
         let batch = q.pop_batch(8).unwrap();
         assert_eq!(batch.len(), 8);
@@ -186,17 +309,42 @@ mod tests {
             .filter(|j| j.class == QosClass::Critical)
             .map(|j| j.id)
             .collect();
-        assert_eq!(crit_ids, [4, 5, 6, 7], "FIFO inside a class");
+        assert_eq!(crit_ids, [4, 5, 6, 7], "arrival order inside a class");
+    }
+
+    #[test]
+    fn edf_orders_a_lane_by_effective_deadline() {
+        let q = queue(64);
+        let base = Instant::now();
+        // Insertion order 0..4 with deadlines 40/10/30/20 ms — and one
+        // deadline-free job that must sort behind all of them.
+        for (id, us) in [(0, 40_000u64), (1, 10_000), (2, 30_000), (3, 20_000)] {
+            push_ok(&q, deadline_job(id, QosClass::High, base, us));
+        }
+        push_ok(&q, testkit::job(4, QosClass::High, request(), base, None).0);
+        let order: Vec<u64> = q.pop_batch(8).unwrap().iter().map(|j| j.id).collect();
+        assert_eq!(order, [1, 3, 2, 0, 4], "earliest deadline first");
+    }
+
+    #[test]
+    fn fifo_mode_ignores_deadlines() {
+        let q = queue_mode(64, SchedMode::Fifo);
+        let base = Instant::now();
+        for (id, us) in [(0, 40_000u64), (1, 10_000), (2, 30_000), (3, 20_000)] {
+            push_ok(&q, deadline_job(id, QosClass::High, base, us));
+        }
+        let order: Vec<u64> = q.pop_batch(8).unwrap().iter().map(|j| j.id).collect();
+        assert_eq!(order, [0, 1, 2, 3], "strict arrival order");
     }
 
     #[test]
     fn low_is_refused_when_full_but_critical_is_not() {
         let q = queue(2);
-        q.push(test_job(0, QosClass::Low, request())).unwrap();
-        q.push(test_job(1, QosClass::Low, request())).unwrap();
-        assert!(q.push(test_job(2, QosClass::Low, request())).is_err());
-        assert!(q.push(test_job(3, QosClass::Critical, request())).is_ok());
-        assert!(q.push(test_job(4, QosClass::High, request())).is_ok());
+        push_ok(&q, job(0, QosClass::Low));
+        push_ok(&q, job(1, QosClass::Low));
+        assert!(matches!(q.push(job(2, QosClass::Low)), Admission::Refused(_)));
+        push_ok(&q, job(3, QosClass::Critical));
+        push_ok(&q, job(4, QosClass::High));
         assert_eq!(q.len(), 4);
     }
 
@@ -207,22 +355,46 @@ mod tests {
         // classes even with no deadline budgets configured.
         let q = queue(2);
         let fill = |q: &ClassQueue, class, n: u64| {
-            (0..n).filter(|&i| q.push(test_job(i, class, request())).is_ok()).count()
+            (0..n)
+                .filter(|&i| matches!(q.push(job(i, class)), Admission::Admitted))
+                .count()
         };
         assert_eq!(fill(&q, QosClass::Low, 10), 2);
         assert_eq!(fill(&q, QosClass::Medium, 10), 2); // len 2 → stops at 4
         assert_eq!(fill(&q, QosClass::High, 10), 4); // len 4 → stops at 8
-        assert!(q.push(test_job(99, QosClass::Medium, request())).is_err());
-        assert!(q.push(test_job(99, QosClass::Low, request())).is_err());
+        assert!(matches!(q.push(job(99, QosClass::Medium)), Admission::Refused(_)));
+        assert!(matches!(q.push(job(99, QosClass::Low)), Admission::Refused(_)));
         assert_eq!(fill(&q, QosClass::Critical, 10), 10); // unbounded
         assert_eq!(q.len(), 18);
+    }
+
+    #[test]
+    fn overload_displaces_the_largest_slack_resident() {
+        let q = queue(3);
+        let base = Instant::now();
+        push_ok(&q, deadline_job(0, QosClass::Low, base, 40_000));
+        push_ok(&q, deadline_job(1, QosClass::Low, base, 10_000));
+        push_ok(&q, deadline_job(2, QosClass::Low, base, 30_000));
+        // Full. A tighter newcomer displaces id 0 (largest slack)…
+        match q.push(deadline_job(3, QosClass::Low, base, 5_000)) {
+            Admission::Displaced(victim) => assert_eq!(victim.id, 0),
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        // …while a looser newcomer (now the largest slack itself) bounces.
+        match q.push(deadline_job(4, QosClass::Low, base, 50_000)) {
+            Admission::Refused(refused) => assert_eq!(refused.id, 4),
+            other => panic!("expected refusal, got {other:?}"),
+        }
+        assert_eq!(q.len(), 3);
+        let order: Vec<u64> = q.pop_batch(8).unwrap().iter().map(|j| j.id).collect();
+        assert_eq!(order, [3, 1, 2], "survivors dispatch EDF");
     }
 
     #[test]
     fn pop_respects_batch_limit() {
         let q = queue(64);
         for id in 0..10 {
-            q.push(test_job(id, QosClass::Medium, request())).unwrap();
+            push_ok(&q, job(id, QosClass::Medium));
         }
         assert_eq!(q.pop_batch(4).unwrap().len(), 4);
         assert_eq!(q.len(), 6);
@@ -231,21 +403,20 @@ mod tests {
     #[test]
     fn shutdown_drains_then_ends() {
         let q = queue(64);
-        q.push(test_job(0, QosClass::Low, request())).unwrap();
+        push_ok(&q, job(0, QosClass::Low));
         q.shutdown();
-        assert!(q.push(test_job(1, QosClass::Critical, request())).is_err());
+        assert!(matches!(q.push(job(1, QosClass::Critical)), Admission::Refused(_)));
         assert_eq!(q.pop_batch(8).unwrap().len(), 1);
         assert!(q.pop_batch(8).is_none());
     }
 
     #[test]
     fn blocked_pop_wakes_on_push() {
-        use std::sync::Arc;
         let q = Arc::new(queue(8));
         let q2 = Arc::clone(&q);
         let handle = std::thread::spawn(move || q2.pop_batch(1).map(|b| b.len()));
         std::thread::sleep(std::time::Duration::from_millis(20));
-        q.push(test_job(0, QosClass::High, request())).unwrap();
+        push_ok(&q, job(0, QosClass::High));
         assert_eq!(handle.join().unwrap(), Some(1));
     }
 }

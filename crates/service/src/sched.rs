@@ -1,29 +1,81 @@
-//! Weighted round-robin scheduling across QoS classes.
+//! QoS scheduling policy: weighted round-robin across classes with
+//! bounded deadline-slack promotion.
 //!
 //! The shard worker asks the scheduler which class to serve next each time
-//! it moves one job into a dispatch batch. The policy is credit-based
-//! weighted round-robin — the software analogue of an AXI interconnect's
-//! weighted arbiter: each class holds a credit counter refilled to
-//! [`QosClass::weight`]; picking a job costs one credit; the most urgent
-//! class with both work and credit wins; when every backlogged class is
-//! out of credit, all counters refill. LOW traffic therefore keeps forward
-//! progress (no starvation) while CRITICAL gets an 8:4:2:1 share under
-//! saturation.
+//! it moves one job into a dispatch batch. Two mechanisms compose (the
+//! full model, with its invariants, is spelled out in
+//! [`docs/scheduling.md`](https://github.com/rqfa/rqfa/blob/main/docs/scheduling.md)):
+//!
+//! * **Credit-based weighted round-robin** — the software analogue of an
+//!   AXI interconnect's weighted arbiter: each class holds a credit
+//!   counter refilled to [`QosClass::weight`]; picking a job costs one
+//!   credit; the most urgent class with both work and credit wins; when
+//!   every backlogged class is out of credit, all counters refill (a new
+//!   *round*). LOW traffic therefore keeps forward progress (no
+//!   starvation) while CRITICAL gets an 8:4:2:1 share under saturation.
+//! * **Bounded slack promotion** — deadline awareness *across* lanes.
+//!   The queue flags a lane as *urgent* when its head job's remaining
+//!   slack (deadline − now) has shrunk to the configured promotion
+//!   margin. An urgent lane may be served ahead of the weighted order:
+//!   if it still has credit the promotion merely reorders work inside
+//!   the round (free — round totals are unchanged); if it is out of
+//!   credit it consumes one of `promotions_per_round` tokens. The token
+//!   bound is the anti-starvation guarantee: a round can grow by at most
+//!   `promotions_per_round` extra picks, so CRITICAL's share never drops
+//!   below `weight / (Σ weights + promotions_per_round)` no matter how
+//!   many lower-class deadlines are about to burst.
+//!
+//! Within a lane, ordering is the queue's business
+//! ([earliest-deadline-first](crate::queue::ClassQueue)); the arbiter
+//! only ever decides *which lane* yields the next job.
 
 use rqfa_core::QosClass;
 
-/// Credit-based weighted round-robin arbiter over the four QoS classes.
+/// How a per-shard queue orders jobs *within* one class lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedMode {
+    /// Earliest-deadline-first: the lane job with the nearest effective
+    /// deadline dispatches first; jobs without a deadline keep arrival
+    /// order behind every deadlined job inside a one-year horizon. With
+    /// only per-class budgets (no per-request deadlines) this degrades
+    /// to exactly FIFO, so it is the safe default.
+    #[default]
+    Edf,
+    /// Strict arrival order — the pre-EDF behaviour, kept as the
+    /// baseline for A/B benches (`service_throughput`). Disables slack
+    /// promotion and slack-ordered displacement too.
+    Fifo,
+}
+
+/// One scheduling decision of [`WeightedArbiter::pick_urgent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pick {
+    /// The lane to serve.
+    pub class: QosClass,
+    /// Whether deadline urgency overrode the plain weighted order (the
+    /// pick jumped ahead of a more urgent class's credits).
+    pub promoted: bool,
+}
+
+/// Credit-based weighted round-robin arbiter over the four QoS classes,
+/// with a bounded per-round budget of deadline-slack promotions.
 #[derive(Debug, Clone)]
 pub struct WeightedArbiter {
     credits: [u32; QosClass::COUNT],
     weights: [u32; QosClass::COUNT],
+    promotions_per_round: u32,
+    promotions_left: u32,
 }
 
 impl WeightedArbiter {
-    /// An arbiter with the default 8:4:2:1 class weights.
+    /// An arbiter with the default 8:4:2:1 class weights and the default
+    /// promotion budget ([`WeightedArbiter::DEFAULT_PROMOTIONS`]).
     pub fn new() -> WeightedArbiter {
         WeightedArbiter::with_weights(QosClass::ALL.map(QosClass::weight))
     }
+
+    /// Default out-of-credit promotions allowed per scheduling round.
+    pub const DEFAULT_PROMOTIONS: u32 = 2;
 
     /// An arbiter with explicit per-class weights (each clamped to ≥ 1,
     /// indexed by [`QosClass::index`]).
@@ -32,26 +84,82 @@ impl WeightedArbiter {
         WeightedArbiter {
             credits: weights,
             weights,
+            promotions_per_round: WeightedArbiter::DEFAULT_PROMOTIONS,
+            promotions_left: WeightedArbiter::DEFAULT_PROMOTIONS,
         }
     }
 
+    /// Sets the promotion budget: how many times per round an urgent,
+    /// out-of-credit lane may be served anyway. `0` disables token
+    /// promotions entirely (credit-covered reordering still applies).
+    pub fn with_promotions(mut self, per_round: u32) -> WeightedArbiter {
+        self.promotions_per_round = per_round;
+        self.promotions_left = per_round;
+        self
+    }
+
     /// Picks the class to serve next given which classes have queued work.
-    /// Returns `None` when no class has work; consumes one credit otherwise.
+    /// Returns `None` when no class has work; consumes one credit
+    /// otherwise. Equivalent to [`WeightedArbiter::pick_urgent`] with no
+    /// lane urgent.
     pub fn pick(&mut self, backlogged: [bool; QosClass::COUNT]) -> Option<QosClass> {
+        self.pick_urgent(backlogged, [false; QosClass::COUNT])
+            .map(|p| p.class)
+    }
+
+    /// Picks the class to serve next, honouring deadline urgency.
+    ///
+    /// `backlogged[i]` says lane `i` has queued work; `urgent[i]` says
+    /// its *head* job is within the promotion margin of missing its
+    /// deadline. The most urgent-class urgent lane is served ahead of
+    /// the weighted order, bounded by the per-round promotion budget
+    /// when it is out of credit; otherwise plain weighted round-robin
+    /// applies. Returns `None` when no lane has work.
+    pub fn pick_urgent(
+        &mut self,
+        backlogged: [bool; QosClass::COUNT],
+        urgent: [bool; QosClass::COUNT],
+    ) -> Option<Pick> {
         if !backlogged.iter().any(|&b| b) {
             return None;
         }
-        loop {
-            for class in QosClass::ALL {
-                let i = class.index();
-                if backlogged[i] && self.credits[i] > 0 {
-                    self.credits[i] -= 1;
-                    return Some(class);
-                }
-            }
-            // Every backlogged class is out of credit: new scheduling round.
+        // Refill = new round (also restores the promotion budget).
+        while !QosClass::ALL
+            .iter()
+            .any(|c| backlogged[c.index()] && self.credits[c.index()] > 0)
+        {
             self.credits = self.weights;
+            self.promotions_left = self.promotions_per_round;
         }
+        let normal = QosClass::ALL
+            .into_iter()
+            .find(|c| backlogged[c.index()] && self.credits[c.index()] > 0)
+            .expect("refill loop guarantees a creditable lane");
+        let urgent_lane = QosClass::ALL
+            .into_iter()
+            .find(|c| backlogged[c.index()] && urgent[c.index()]);
+        if let Some(u) = urgent_lane {
+            if u != normal {
+                if self.credits[u.index()] > 0 {
+                    // Credit-covered promotion: reorders inside the round
+                    // without changing its totals.
+                    self.credits[u.index()] -= 1;
+                    return Some(Pick { class: u, promoted: true });
+                }
+                if self.promotions_left > 0 {
+                    // Token promotion: an extra pick beyond the lane's
+                    // weight, bounded per round.
+                    self.promotions_left -= 1;
+                    return Some(Pick { class: u, promoted: true });
+                }
+                // Budget exhausted: fall through to the weighted order.
+            }
+        }
+        self.credits[normal.index()] -= 1;
+        Some(Pick {
+            class: normal,
+            promoted: false,
+        })
     }
 }
 
@@ -113,5 +221,69 @@ mod tests {
             counts[arb.pick([true; 4]).unwrap().index()] += 1;
         }
         assert_eq!(counts, [100; 4]);
+    }
+
+    #[test]
+    fn urgent_lane_with_credit_jumps_the_weighted_order_for_free() {
+        // CRITICAL and LOW backlogged; LOW urgent; token budget zero so
+        // only the credit-covered mechanism is in play. LOW's single
+        // credit serves it *first* instead of ninth, but the round still
+        // totals 8 + 1.
+        let mut arb = WeightedArbiter::new().with_promotions(0);
+        let backlogged = [true, false, false, true];
+        let urgent = [false, false, false, true];
+        let first = arb.pick_urgent(backlogged, urgent).unwrap();
+        assert_eq!(first, Pick { class: QosClass::Low, promoted: true });
+        let mut counts = [0u32; 4];
+        for _ in 0..8 {
+            let p = arb.pick_urgent(backlogged, urgent).unwrap();
+            counts[p.class.index()] += 1;
+            assert!(!p.promoted, "LOW spent its credit and has no tokens");
+        }
+        assert_eq!(counts, [8, 0, 0, 0], "round totals unchanged");
+    }
+
+    #[test]
+    fn token_promotions_are_bounded_per_round() {
+        // MEDIUM permanently urgent against a CRITICAL flood: each round
+        // is 8 CRITICAL + 2 MEDIUM credits + at most 2 MEDIUM tokens.
+        let mut arb = WeightedArbiter::new().with_promotions(2);
+        let backlogged = [true, false, true, false];
+        let urgent = [false, false, true, false];
+        let mut counts = [0u32; 4];
+        let mut promoted = 0u32;
+        for _ in 0..1200 {
+            let p = arb.pick_urgent(backlogged, urgent).unwrap();
+            counts[p.class.index()] += 1;
+            promoted += u32::from(p.promoted);
+        }
+        // 1200 picks = 100 rounds of (8 + 2 + 2): CRITICAL keeps exactly
+        // its 8/12 share — the anti-starvation bound.
+        assert_eq!(counts, [800, 0, 400, 0]);
+        assert_eq!(promoted, 400, "2 credit + 2 token promotions per round");
+    }
+
+    #[test]
+    fn zero_promotion_budget_restores_plain_wrr_totals() {
+        let mut arb = WeightedArbiter::new().with_promotions(0);
+        let backlogged = [true, false, true, false];
+        let urgent = [false, false, true, false];
+        let mut counts = [0u32; 4];
+        for _ in 0..1000 {
+            counts[arb.pick_urgent(backlogged, urgent).unwrap().class.index()] += 1;
+        }
+        // 1000 picks = 100 rounds of (8 + 2): shares exactly as unpromoted.
+        assert_eq!(counts, [800, 0, 200, 0]);
+    }
+
+    #[test]
+    fn most_urgent_class_wins_among_urgent_lanes() {
+        let mut arb = WeightedArbiter::new();
+        // HIGH and LOW both urgent: HIGH (more urgent class) is served.
+        let p = arb
+            .pick_urgent([true, true, false, true], [false, true, false, true])
+            .unwrap();
+        assert_eq!(p.class, QosClass::High);
+        assert!(p.promoted);
     }
 }

@@ -15,14 +15,24 @@
 //! [`DurableCaseBase`] — its write-ahead log is appended under the same
 //! lock before the mutation is acknowledged, so the log can never run
 //! behind the state the workers serve from.
+//!
+//! Checkpoints (snapshot + log compaction) run in **two phases** so their
+//! I/O never stalls the shard's retrievals: phase 1 clones the state and
+//! checks the stale snapshot slot out under the store lock (cheap), the
+//! snapshot write then runs with the lock *released*, and phase 2
+//! re-locks only to reinstall the slot and trim the already-snapshotted
+//! log prefix (bounded read + atomic replace). A per-shard checkpoint
+//! mutex serializes checkpoints against each other — never against
+//! retrievals; automatic checkpoints triggered by the mutation cadence
+//! simply skip a beat when one is already in flight.
 
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rqfa_core::{CaseBase, CaseMutation, CoreError, FixedEngine, Generation, QosClass, TypeId};
-use rqfa_persist::{DurableCaseBase, FileStore, PersistError};
+use rqfa_core::{CaseBase, CaseMutation, CoreError, FixedEngine, Generation, TypeId};
+use rqfa_persist::{DurableCaseBase, FileStore, PendingCheckpoint, PersistError, WrittenCheckpoint};
 
 use crate::cache::RetrievalCache;
 use crate::error::ServiceError;
@@ -102,29 +112,65 @@ impl ShardStore {
         }
     }
 
-    /// Forces a checkpoint (snapshot + log compaction) on a durable
-    /// shard; a no-op otherwise.
-    pub(crate) fn checkpoint(&mut self) -> Result<(), PersistError> {
+    /// Applies a whole batch of mutations, returning their inverses in
+    /// order. All-or-nothing in memory; on a durable shard the batch is
+    /// one group-committed WAL append (a single fsync).
+    pub(crate) fn apply_batch(
+        &mut self,
+        mutations: &[CaseMutation],
+    ) -> Result<Vec<CaseMutation>, ServiceError> {
+        let Some(first) = mutations.first() else {
+            return Ok(Vec::new());
+        };
         match self {
-            ShardStore::Durable(durable) => durable.checkpoint(),
-            _ => Ok(()),
+            ShardStore::Empty => Err(ServiceError::Core(CoreError::UnknownType {
+                type_id: first.type_id(),
+            })),
+            ShardStore::Ephemeral(cb) => cb
+                .apply_mutations_atomic(mutations)
+                .map_err(ServiceError::Core),
+            ShardStore::Durable(durable) => {
+                durable.apply_batch(mutations).map_err(ServiceError::from)
+            }
         }
     }
 
-    /// Takes (and clears) the error of this shard's last failed
-    /// *automatic* checkpoint, if any.
-    pub(crate) fn take_checkpoint_error(&mut self) -> Option<PersistError> {
+    /// Phase 1 of a checkpoint: checks the stale snapshot slot out with a
+    /// clone of the state. `None` for shards with nothing to checkpoint.
+    pub(crate) fn checkpoint_begin(
+        &mut self,
+    ) -> Result<Option<PendingCheckpoint<FileStore>>, PersistError> {
         match self {
-            ShardStore::Durable(durable) => durable.take_checkpoint_error(),
-            _ => None,
+            ShardStore::Durable(durable) => durable.checkpoint_begin().map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// Phase 3 of a checkpoint: reinstalls the slot and trims the log.
+    pub(crate) fn checkpoint_finish(
+        &mut self,
+        written: WrittenCheckpoint<FileStore>,
+    ) -> Result<(), PersistError> {
+        match self {
+            ShardStore::Durable(durable) => durable.checkpoint_finish(written),
+            _ => Ok(()),
         }
     }
 }
 
-/// One shard: queue, store, and worker thread.
+/// One shard: queue, store, worker thread, and checkpoint cadence.
 pub(crate) struct Shard {
     pub(crate) queue: Arc<ClassQueue>,
     pub(crate) store: Arc<Mutex<ShardStore>>,
+    /// Serializes checkpoints against each other (never against the
+    /// store lock — retrievals keep flowing during checkpoint I/O).
+    checkpoint_lock: Mutex<()>,
+    /// Acknowledged mutations since the last checkpoint *began*.
+    since_checkpoint: AtomicU64,
+    /// Auto-checkpoint after this many mutations (0 = manual only).
+    snapshot_every: u64,
+    /// Parked error of the last failed automatic checkpoint.
+    checkpoint_error: Mutex<Option<PersistError>>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -136,50 +182,129 @@ impl Shard {
         config: &ServiceConfig,
         metrics: Arc<ServiceMetrics>,
     ) -> Shard {
-        let queue = Arc::new(ClassQueue::new(config.queue_capacity, config.arbiter()));
+        // Only durable stores have anything to checkpoint; an ephemeral
+        // shard with a live cadence would pointlessly re-take the store
+        // lock (held by the worker across whole batches) on every
+        // mutation past the threshold.
+        let snapshot_every = match store {
+            ShardStore::Durable(_) => config.snapshot_every,
+            _ => 0,
+        };
+        let queue = Arc::new(ClassQueue::new(
+            config.queue_capacity,
+            config.arbiter(),
+            config.scheduling,
+            config.promotion_margin_us,
+            Arc::clone(&metrics),
+        ));
         let store = Arc::new(Mutex::new(store));
         let worker_queue = Arc::clone(&queue);
         let worker_store = Arc::clone(&store);
         let batch_size = config.batch_size.max(1);
         let cache_capacity = config.cache_capacity;
-        let deadline_budget_us = config.deadline_budget_us;
         let worker = std::thread::Builder::new()
             .name(format!("rqfa-shard-{index}"))
             .spawn(move || {
-                run_worker(
-                    &worker_queue,
-                    &worker_store,
-                    &metrics,
-                    batch_size,
-                    cache_capacity,
-                    deadline_budget_us,
-                );
+                run_worker(&worker_queue, &worker_store, &metrics, batch_size, cache_capacity);
             })
             .expect("spawn shard worker");
         Shard {
             queue,
             store,
+            checkpoint_lock: Mutex::new(()),
+            since_checkpoint: AtomicU64::new(0),
+            snapshot_every,
+            checkpoint_error: Mutex::new(None),
             worker: Some(worker),
         }
     }
 
     /// Applies a mutation to this shard's store under its lock, returning
-    /// the inverse mutation.
+    /// the inverse mutation, then runs the auto-checkpoint cadence.
     pub(crate) fn apply(&self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
-        self.store.lock().expect("store poisoned").apply(mutation)
+        let inverse = self.store.lock().expect("store poisoned").apply(mutation)?;
+        self.after_acknowledged(1);
+        Ok(inverse)
+    }
+
+    /// Applies a batch (one group commit on a durable shard) and runs the
+    /// auto-checkpoint cadence.
+    pub(crate) fn apply_batch(
+        &self,
+        mutations: &[CaseMutation],
+    ) -> Result<Vec<CaseMutation>, ServiceError> {
+        let inverses = self
+            .store
+            .lock()
+            .expect("store poisoned")
+            .apply_batch(mutations)?;
+        self.after_acknowledged(inverses.len() as u64);
+        Ok(inverses)
+    }
+
+    /// Bumps the checkpoint debt and, when the cadence is due, runs an
+    /// automatic checkpoint. A checkpoint already in flight makes this a
+    /// no-op (the debt keeps accumulating and re-triggers); a failed
+    /// automatic checkpoint parks its error for
+    /// [`Shard::take_checkpoint_error`] instead of failing the apply —
+    /// the mutation itself is already durable in the WAL.
+    fn after_acknowledged(&self, count: u64) {
+        if self.snapshot_every == 0 || count == 0 {
+            return;
+        }
+        let due = self.since_checkpoint.fetch_add(count, Ordering::Relaxed) + count;
+        if due < self.snapshot_every {
+            return;
+        }
+        let Ok(guard) = self.checkpoint_lock.try_lock() else {
+            return; // one is in flight; it will absorb this debt
+        };
+        if let Err(e) = self.checkpoint_locked() {
+            *self.checkpoint_error.lock().expect("error slot poisoned") = Some(e);
+        }
+        drop(guard);
     }
 
     /// Forces a checkpoint on this shard's store (durable shards only).
     pub(crate) fn checkpoint(&self) -> Result<(), PersistError> {
-        self.store.lock().expect("store poisoned").checkpoint()
+        let _guard = self.checkpoint_lock.lock().expect("checkpoint poisoned");
+        self.checkpoint_locked()
+    }
+
+    /// The two-phase checkpoint body. Caller holds `checkpoint_lock`;
+    /// the store lock is only taken for the cheap begin/finish phases,
+    /// so retrievals and mutations keep flowing during the snapshot
+    /// write.
+    fn checkpoint_locked(&self) -> Result<(), PersistError> {
+        let (pending, counted) = {
+            let mut store = self.store.lock().expect("store poisoned");
+            match store.checkpoint_begin()? {
+                Some(pending) => (pending, self.since_checkpoint.load(Ordering::Relaxed)),
+                None => return Ok(()), // nothing durable to checkpoint
+            }
+        };
+        let written = pending.write(); // the expensive I/O — off-lock
+        let result = self
+            .store
+            .lock()
+            .expect("store poisoned")
+            .checkpoint_finish(written);
+        if result.is_ok() {
+            // Only the debt captured at begin is paid off — mutations
+            // acknowledged during the write are the *next* checkpoint's
+            // debt. A failed checkpoint keeps the full debt, so the next
+            // mutation retries instead of waiting out another interval.
+            self.since_checkpoint.fetch_sub(counted, Ordering::Relaxed);
+        }
+        result
     }
 
     /// Drains this shard's parked automatic-checkpoint error, if any.
     pub(crate) fn take_checkpoint_error(&self) -> Option<PersistError> {
-        self.store
+        self.checkpoint_error
             .lock()
-            .expect("store poisoned")
-            .take_checkpoint_error()
+            .expect("error slot poisoned")
+            .take()
     }
 
     /// Signals shutdown and joins the worker, draining queued jobs first.
@@ -205,7 +330,6 @@ fn run_worker(
     metrics: &ServiceMetrics,
     batch_size: usize,
     cache_capacity: usize,
-    deadline_budget_us: [Option<u64>; QosClass::COUNT],
 ) {
     let engine = FixedEngine::new();
     let mut cache = RetrievalCache::new(cache_capacity);
@@ -224,8 +348,8 @@ fn run_worker(
         let mut pending: Vec<Job> = Vec::with_capacity(batch.len());
         for job in batch {
             let waited_us = duration_us(now.duration_since(job.enqueued_at));
-            if let Some(budget) = deadline_budget_us[job.class.index()] {
-                if job.class.sheddable() && waited_us > budget {
+            if let Some(deadline) = job.deadline {
+                if job.class.sheddable() && now > deadline {
                     metrics
                         .class(job.class)
                         .shed_deadline
@@ -283,6 +407,14 @@ fn run_worker(
 fn finish(job: Job, retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>, cached: bool, metrics: &ServiceMetrics) {
     let class = job.class;
     let latency_us = duration_us(job.enqueued_at.elapsed());
+    // Served, but late? CRITICAL is never shed, so an expired deadline
+    // surfaces here as a miss instead.
+    if job.deadline.is_some_and(|d| Instant::now() > d) {
+        metrics
+            .class(class)
+            .missed_deadline
+            .fetch_add(1, Ordering::Relaxed);
+    }
     let outcome = match retrieval.best {
         Some(best) => {
             metrics.class(class).completed.fetch_add(1, Ordering::Relaxed);

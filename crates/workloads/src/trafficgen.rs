@@ -22,6 +22,11 @@ pub struct ClassedArrival {
     pub at_us: u64,
     /// The QoS class of the requester population.
     pub class: QosClass,
+    /// Per-request completion deadline in µs *from arrival*, when the
+    /// class was given a deadline range — the deadline-skewed traffic
+    /// the EDF scheduler exists for. `None` leaves the service's class
+    /// budget in charge.
+    pub deadline_us: Option<u64>,
     /// The allocation request.
     pub request: Request,
 }
@@ -33,6 +38,7 @@ pub struct TrafficGen<'a> {
     seed: u64,
     duration_us: u64,
     rates_per_sec: [f64; QosClass::COUNT],
+    deadline_range_us: [Option<(u64, u64)>; QosClass::COUNT],
     repeat_fraction: f64,
     perturbation: u16,
 }
@@ -46,9 +52,24 @@ impl<'a> TrafficGen<'a> {
             seed: 0,
             duration_us: 100_000,
             rates_per_sec: [200.0, 1_000.0, 2_000.0, 4_000.0],
+            deadline_range_us: [None; QosClass::COUNT],
             repeat_fraction: 0.3,
             perturbation: 8,
         }
+    }
+
+    /// A deadline-skewed mix over `case_base`: the same per-class rates
+    /// as [`TrafficGen::new`], but every sheddable arrival carries a
+    /// per-request deadline drawn from a wide range — tight and loose
+    /// deadlines interleave *within* each class, which is exactly the
+    /// shape where earliest-deadline-first beats arrival order. CRITICAL
+    /// stays deadline-free (it is never shed; ordering it by arrival is
+    /// already optimal for a class that must all complete).
+    pub fn deadline_skewed(case_base: &'a CaseBase) -> TrafficGen<'a> {
+        TrafficGen::new(case_base)
+            .deadline_range_us(QosClass::High, 2_000, 40_000)
+            .deadline_range_us(QosClass::Medium, 5_000, 80_000)
+            .deadline_range_us(QosClass::Low, 10_000, 160_000)
     }
 
     /// Sets the RNG seed.
@@ -67,6 +88,16 @@ impl<'a> TrafficGen<'a> {
     /// the class).
     pub fn rate_per_sec(mut self, class: QosClass, rate: f64) -> TrafficGen<'a> {
         self.rates_per_sec[class.index()] = rate.max(0.0);
+        self
+    }
+
+    /// Gives one class per-request deadlines drawn uniformly from
+    /// `[lo_us, hi_us]` (relative to each arrival). A wide range makes
+    /// the stream *deadline-skewed*: urgent and relaxed requests
+    /// interleave within the class, so FIFO dispatch order and deadline
+    /// order diverge.
+    pub fn deadline_range_us(mut self, class: QosClass, lo_us: u64, hi_us: u64) -> TrafficGen<'a> {
+        self.deadline_range_us[class.index()] = Some((lo_us.min(hi_us), lo_us.max(hi_us)));
         self
     }
 
@@ -109,13 +140,19 @@ impl<'a> TrafficGen<'a> {
                 }
                 times.push(at_us);
             }
-            // …then one payload per arrival from the shared request model.
+            // …then one payload per arrival from the shared request model,
+            // and (for deadline-skewed classes) one deadline per arrival
+            // from a dedicated stream so existing arrival-time/payload
+            // determinism is untouched.
             let requests = RequestGen::new(self.case_base)
                 .seed(self.seed ^ (u64::from(class.to_axi()) << 32))
                 .count(times.len())
                 .repeat_fraction(self.repeat_fraction)
                 .perturbation(self.perturbation)
                 .generate();
+            let mut deadline_rng =
+                SmallRng::seed_from_u64(self.seed ^ (0xDEAD_11E5 + class.index() as u64));
+            let range = self.deadline_range_us[class.index()];
             all.extend(
                 times
                     .into_iter()
@@ -123,6 +160,7 @@ impl<'a> TrafficGen<'a> {
                     .map(|(at_us, request)| ClassedArrival {
                         at_us,
                         class,
+                        deadline_us: range.map(|(lo, hi)| deadline_rng.gen_range(lo..=hi)),
                         request,
                     }),
             );
@@ -192,6 +230,44 @@ mod tests {
             .generate();
         assert!(arrivals.iter().all(|a| a.class == QosClass::Low));
         assert!(!arrivals.is_empty());
+    }
+
+    #[test]
+    fn deadline_skew_is_wide_deterministic_and_class_scoped() {
+        let cb = case_base();
+        let a = TrafficGen::deadline_skewed(&cb).seed(11).generate();
+        let b = TrafficGen::deadline_skewed(&cb).seed(11).generate();
+        assert_eq!(a, b, "deadlines are part of the deterministic stream");
+        // CRITICAL stays deadline-free; sheddable classes are covered.
+        for arrival in &a {
+            match arrival.class {
+                QosClass::Critical => assert_eq!(arrival.deadline_us, None),
+                class => {
+                    let d = arrival.deadline_us.expect("sheddable arrivals get deadlines");
+                    let (lo, hi) = match class {
+                        QosClass::High => (2_000, 40_000),
+                        QosClass::Medium => (5_000, 80_000),
+                        QosClass::Low => (10_000, 160_000),
+                        QosClass::Critical => unreachable!(),
+                    };
+                    assert!((lo..=hi).contains(&d), "{class}: {d}");
+                }
+            }
+        }
+        // The skew is real: HIGH deadlines differ within the class.
+        let highs: Vec<u64> = a
+            .iter()
+            .filter(|x| x.class == QosClass::High)
+            .filter_map(|x| x.deadline_us)
+            .collect();
+        assert!(highs.len() > 10);
+        assert!(highs.iter().max() > highs.iter().min());
+        // Default streams carry no deadlines at all.
+        assert!(TrafficGen::new(&cb)
+            .seed(11)
+            .generate()
+            .iter()
+            .all(|x| x.deadline_us.is_none()));
     }
 
     #[test]

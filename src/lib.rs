@@ -19,7 +19,7 @@
 //! | [`softcore`] | `rqfa-softcore` | sc32 soft-core simulator, assembler, retrieval routines |
 //! | [`synth`] | `rqfa-synth` | netlist area/timing estimator (Table 2) |
 //! | [`rsoc`] | `rqfa-rsoc` | run-time system simulator (fig. 1): allocation manager, devices, negotiation |
-//! | [`service`] | `rqfa-service` | sharded, batched, QoS-class-aware allocation service (queues, scheduler, cache, metrics) |
+//! | [`service`] | `rqfa-service` | sharded, batched, deadline-aware QoS allocation service (EDF queues, weighted scheduler, cache, metrics) |
 //! | [`workloads`] | `rqfa-workloads` | deterministic generators, the fig. 1 scenario, open-loop QoS traffic |
 //!
 //! ## Quick start

@@ -7,7 +7,10 @@
 //! * torn WAL tail (crash mid-append), at *every* byte offset;
 //! * crash during a snapshot write (atomic media and torn media);
 //! * crash between snapshot and WAL compaction;
-//! * snapshot + log + torn tail combined.
+//! * snapshot + log + torn tail combined;
+//! * crash inside a **group-commit flush window** (batched appends), at
+//!   *every* byte offset — the acknowledged prefix is exactly the whole
+//!   batches, and recovery must never fall behind it.
 //!
 //! All crashes are injected deterministically (byte budgets / byte
 //! truncation), so the suite is timing-free and CI-stable.
@@ -341,6 +344,89 @@ fn snapshot_plus_torn_log_combination() {
             &oracles[expect_state],
             &requests,
             &format!("combo, cut {cut}"),
+        );
+    }
+}
+
+/// Crash 5: a torn **group-commit** window. The script lands in batches
+/// of `WINDOW` mutations, each batch one `apply_batch` = one WAL write;
+/// the cut sweeps every byte of the log. The contract under overload of
+/// crash points:
+///
+/// * recovery restores some whole-frame prefix `m` of the script,
+///   bit-identical to the oracle after `m` mutations;
+/// * `m` never falls below the **acknowledged** prefix — the mutations of
+///   every batch whose write completed before the cut (frames of the
+///   torn batch were never acknowledged, so recovering any whole-frame
+///   subset of them is correct, not lossy).
+#[test]
+fn torn_group_commit_window_recovers_the_acknowledged_prefix() {
+    let cb0 = seed_case_base();
+    const WINDOW: usize = 3;
+    let script = mutation_script(&cb0, 4 * WINDOW, 6);
+    let oracles = oracle_states(&cb0, &script);
+    let requests = probe_requests(&cb0);
+
+    let mut durable =
+        DurableCaseBase::create(&cb0, StoreSet::in_memory(), PersistPolicy::manual()).unwrap();
+    // Per-frame boundaries (for the expected whole-frame prefix) come
+    // from the deterministic frame encoding; per-batch boundaries (the
+    // acknowledgement points) from the live log length after each
+    // apply_batch.
+    let mut frame_boundaries = vec![0u64];
+    for (j, mutation) in script.iter().enumerate() {
+        let frame = encode_frame(&StampedMutation {
+            generation: oracles[j + 1].generation(),
+            mutation: mutation.clone(),
+        })
+        .unwrap();
+        frame_boundaries.push(frame_boundaries[j] + frame.len() as u64);
+    }
+    let mut ack_boundaries = vec![(0u64, 0usize)]; // (log bytes, mutations acked)
+    for (batch_index, window) in script.chunks(WINDOW).enumerate() {
+        durable.apply_batch(window).unwrap();
+        ack_boundaries.push((
+            durable.wal_bytes().unwrap(),
+            (batch_index + 1) * WINDOW,
+        ));
+    }
+    let stores = durable.into_stores();
+    let wal_bytes = stores.wal.bytes().to_vec();
+    assert_eq!(
+        *frame_boundaries.last().unwrap() as usize,
+        wal_bytes.len(),
+        "batched appends are byte-identical to single appends"
+    );
+
+    for cut in 0..=wal_bytes.len() {
+        let crashed = StoreSet {
+            wal: MemStore::from_bytes(wal_bytes[..cut].to_vec()),
+            snap_a: stores.snap_a.clone(),
+            snap_b: stores.snap_b.clone(),
+        };
+        let (recovered, report) =
+            DurableCaseBase::recover(crashed, PersistPolicy::manual()).unwrap();
+        let whole_frames = frame_boundaries
+            .iter()
+            .filter(|&&b| b > 0 && b as usize <= cut)
+            .count();
+        let acked = ack_boundaries
+            .iter()
+            .filter(|&&(b, _)| b as usize <= cut)
+            .map(|&(_, n)| n)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(report.replayed, whole_frames, "cut at byte {cut}");
+        assert!(
+            whole_frames >= acked,
+            "cut at byte {cut}: recovery ({whole_frames}) fell behind the \
+             acknowledged prefix ({acked})"
+        );
+        assert_bit_identical(
+            recovered.case_base(),
+            &oracles[whole_frames],
+            &requests,
+            &format!("torn flush window, cut {cut}"),
         );
     }
 }

@@ -1,5 +1,5 @@
 //! Experiment E13: the allocation service must scale *without changing any
-//! answer*. Three workspace-level properties:
+//! answer*. Workspace-level properties:
 //!
 //! 1. **Ranking equivalence** — sharded + batched + cached retrieval
 //!    returns exactly what a single `FixedEngine` over the merged case
@@ -9,13 +9,29 @@
 //!    variant.
 //! 3. **QoS protection** — under deliberate overload with a tiny queue,
 //!    CRITICAL requests are never shed while LOW traffic is.
+//! 4. **Deadline-aware scheduling** (see `docs/scheduling.md`) — on a
+//!    deadline-skewed trace EDF dispatch meets every HIGH budget where
+//!    the FIFO baseline provably misses; slack promotion is bounded so
+//!    CRITICAL keeps its weighted share; overload shedding displaces by
+//!    largest slack first and is bit-deterministic across runs.
+//!
+//! The scheduling properties drive the queue/arbiter directly through
+//! `rqfa::service::testkit` with *virtual* time (one dispatch slot = one
+//! simulated millisecond), so they are timing-free and CI-stable.
+
+use std::time::{Duration, Instant};
 
 use rqfa::core::{
     paper, AttrBinding, AttrId, CaseMutation, ExecutionTarget, FixedEngine, ImplId, ImplVariant,
-    QosClass,
+    QosClass, Request,
 };
-use rqfa::service::{AllocationService, Outcome, Reply, ServiceConfig, Ticket};
+use rqfa::service::queue::{Admission, ClassQueue};
+use rqfa::service::{
+    testkit, AllocationService, Outcome, Reply, SchedMode, ServiceConfig, ServiceMetrics, Ticket,
+    WeightedArbiter,
+};
 use rqfa::workloads::{CaseGen, RequestGen};
+use std::sync::Arc;
 
 /// 1a. Every shard count answers exactly like the single engine, request
 /// by request, including similarity bit patterns.
@@ -187,6 +203,197 @@ fn critical_survives_overload_that_sheds_low() {
     // Accounting closes: every LOW request either completed, was shed, or
     // failed — nothing vanishes.
     assert_eq!(low.completed + low.shed() + low.failed, low.submitted);
+}
+
+/// A probe request for scheduler-level tests (payload is irrelevant to
+/// queue ordering).
+fn probe_request() -> Request {
+    paper::table1_request().unwrap()
+}
+
+/// Builds a queue in the given mode with the default 8:4:2:1 arbiter.
+fn sched_queue(capacity: usize, mode: SchedMode) -> ClassQueue {
+    ClassQueue::new(
+        capacity,
+        WeightedArbiter::new(),
+        mode,
+        0,
+        Arc::new(ServiceMetrics::default()),
+    )
+}
+
+/// 5a. The EDF-vs-FIFO property: on one deadline-skewed mixed-load trace,
+///     dispatched with a virtual service time of one slot = 1 ms, EDF
+///     meets *every* HIGH deadline while the FIFO baseline provably
+///     misses at least one. Same jobs, same arbiter, same admission —
+///     only the within-lane order differs.
+#[test]
+fn edf_meets_high_budgets_where_fifo_misses() {
+    const SLOT: Duration = Duration::from_millis(1);
+    const HIGHS: u64 = 30;
+    let run = |mode: SchedMode| -> Vec<(u64, bool)> {
+        let q = sched_queue(1024, mode);
+        let base = Instant::now();
+        // HIGH deadlines are *reverse-skewed*: the latest arrival has the
+        // tightest deadline (50 − id ms), so arrival order and deadline
+        // order are exactly opposed. MEDIUM load interleaves via the
+        // 4:2 weighted share with effectively unconstrained deadlines.
+        for id in 0..HIGHS {
+            let deadline = base + SLOT * u32::try_from(50 - id).unwrap();
+            let (job, _rx) = testkit::job(id, QosClass::High, probe_request(), base, Some(deadline));
+            assert!(matches!(q.push(job), Admission::Admitted));
+        }
+        for id in HIGHS..HIGHS + 20 {
+            let deadline = base + SLOT * 500;
+            let (job, _rx) =
+                testkit::job(id, QosClass::Medium, probe_request(), base, Some(deadline));
+            assert!(matches!(q.push(job), Admission::Admitted));
+        }
+        // Dispatch everything; job at global position p completes at
+        // virtual time (p + 1) slots.
+        let order = q.pop_batch(usize::MAX).unwrap();
+        assert_eq!(order.len() as u64, HIGHS + 20);
+        order
+            .iter()
+            .enumerate()
+            .filter(|(_, job)| job.class() == QosClass::High)
+            .map(|(position, job)| {
+                let completion = base + SLOT * u32::try_from(position as u64 + 1).unwrap();
+                (job.id(), completion <= job.deadline().unwrap())
+            })
+            .collect()
+    };
+
+    let edf = run(SchedMode::Edf);
+    let fifo = run(SchedMode::Fifo);
+    assert_eq!(edf.len() as u64, HIGHS);
+    assert!(
+        edf.iter().all(|&(_, met)| met),
+        "EDF must meet every HIGH deadline on this trace: {edf:?}"
+    );
+    let fifo_misses = fifo.iter().filter(|&&(_, met)| !met).count();
+    assert!(
+        fifo_misses > 0,
+        "the FIFO baseline must miss on the same trace (it serves the \
+         tightest-deadline HIGH job last)"
+    );
+    // And FIFO dispatches HIGH in arrival order while EDF reverses it.
+    assert!(fifo.windows(2).all(|w| w[0].0 < w[1].0));
+    assert!(edf.windows(2).all(|w| w[0].0 > w[1].0));
+}
+
+/// 5b. Anti-starvation bound: even with a MEDIUM lane that is *always*
+///     urgent, CRITICAL keeps exactly its weighted share of the grown
+///     round — promotions are bounded, not a bypass.
+#[test]
+fn promotion_is_bounded_so_critical_keeps_its_share() {
+    let mut arb = WeightedArbiter::new().with_promotions(2);
+    let backlogged = [true, false, true, false]; // CRITICAL + MEDIUM
+    let urgent = [false, false, true, false]; // MEDIUM about to miss
+    let mut counts = [0u64; 4];
+    for _ in 0..2400 {
+        let pick = arb.pick_urgent(backlogged, urgent).unwrap();
+        counts[pick.class.index()] += 1;
+    }
+    // Each round: 8 CRITICAL credits + 2 MEDIUM credits + at most 2
+    // promotion tokens → 2400 picks = 200 rounds, shares exactly 8:4.
+    assert_eq!(counts[QosClass::Critical.index()], 1600);
+    assert_eq!(counts[QosClass::Medium.index()], 800);
+    // The documented lower bound: weight / (Σ weights + tokens) = 8/17
+    // of any pick stream, which 1600/2400 comfortably clears.
+    assert!(counts[QosClass::Critical.index()] * 17 >= 2400 * 8);
+}
+
+/// 5c. Overload displacement: at the class limit the largest-slack LOW
+///     resident is shed first (not the queue tail), the newcomer only
+///     bounces when it *is* the largest-slack job, and the whole shed
+///     sequence is deterministic across identical runs.
+#[test]
+fn shed_order_is_largest_slack_first_and_deterministic() {
+    let run = || {
+        let q = sched_queue(4, SchedMode::Edf);
+        let base = Instant::now();
+        let mut log: Vec<String> = Vec::new();
+        let push = |id: u64, deadline_ms: u64, log: &mut Vec<String>| {
+            let (job, _rx) = testkit::job(
+                id,
+                QosClass::Low,
+                probe_request(),
+                base,
+                Some(base + Duration::from_millis(deadline_ms)),
+            );
+            log.push(match q.push(job) {
+                Admission::Admitted => format!("admit {id}"),
+                Admission::Displaced(victim) => format!("displace {} for {id}", victim.id()),
+                Admission::Refused(job) => format!("refuse {}", job.id()),
+            });
+        };
+        // Fill the LOW lane to its limit (capacity 4)…
+        for (id, ms) in [(0, 100u64), (1, 20), (2, 60), (3, 80)] {
+            push(id, ms, &mut log);
+        }
+        // …then: a 10 ms newcomer displaces id 0 (slack 100 ms), a 30 ms
+        // newcomer displaces id 3 (slack 80 ms), a 90 ms newcomer is now
+        // itself the largest slack and bounces.
+        push(4, 10, &mut log);
+        push(5, 30, &mut log);
+        push(6, 90, &mut log);
+        let order: Vec<u64> = q
+            .pop_batch(usize::MAX)
+            .unwrap()
+            .iter()
+            .map(rqfa::service::Job::id)
+            .collect();
+        (log, order)
+    };
+    let (log, order) = run();
+    assert_eq!(
+        log,
+        [
+            "admit 0",
+            "admit 1",
+            "admit 2",
+            "admit 3",
+            "displace 0 for 4",
+            "displace 3 for 5",
+            "refuse 6"
+        ]
+    );
+    assert_eq!(order, [4, 1, 5, 2], "survivors dispatch in deadline order");
+    let (log2, order2) = run();
+    assert_eq!((log, order), (log2, order2), "shed order is deterministic");
+}
+
+/// 5d. Per-request deadlines flow end to end: an already-expired
+///     sheddable deadline is shed at dispatch; CRITICAL with the same
+///     expired deadline is *served* (never shed) and accounted as a
+///     missed deadline.
+#[test]
+fn explicit_deadlines_shed_sheddable_but_never_critical() {
+    let case_base = paper::table1_case_base();
+    let service = AllocationService::new(&case_base, &ServiceConfig::default());
+    let expired = Duration::ZERO;
+
+    let low = service
+        .submit_with_deadline(paper::table1_request().unwrap(), QosClass::Low, expired)
+        .wait()
+        .unwrap();
+    assert_eq!(low.outcome, Outcome::ShedDeadline);
+
+    let critical = service
+        .submit_with_deadline(paper::table1_request().unwrap(), QosClass::Critical, expired)
+        .wait()
+        .unwrap();
+    assert!(
+        matches!(critical.outcome, Outcome::Allocated { .. }),
+        "CRITICAL is served even when late, got {:?}",
+        critical.outcome
+    );
+
+    let snap = service.shutdown();
+    assert_eq!(snap.class(QosClass::Low).shed_deadline, 1);
+    assert_eq!(snap.class(QosClass::Critical).shed(), 0);
+    assert_eq!(snap.class(QosClass::Critical).missed_deadline, 1);
 }
 
 /// 4. Durable shard recovery equivalence: run a durable service, apply K
