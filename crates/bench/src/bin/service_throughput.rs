@@ -18,14 +18,21 @@
 //!    and report per-class p99 and deadline misses side by side — the
 //!    within-class reordering is exactly what the deadline-aware
 //!    scheduler buys.
+//! 4. **Cache policy A/B**: the same burst and zipf payload traces
+//!    through FIFO, LRU, 2Q and 2Q+admission result caches (one shard,
+//!    one class, so the lookup order — and therefore every hit count —
+//!    is a pure function of the trace). Acceptance: on the zipf-skewed
+//!    trace, 2Q's hit rate is at least FIFO's.
 //!
 //! `cargo run --release -p rqfa-bench --bin service_throughput`
 
 use std::time::{Duration, Instant};
 
-use rqfa_core::{CaseBase, FixedEngine, QosClass};
-use rqfa_service::{AllocationService, MetricsSnapshot, SchedMode, ServiceConfig, Ticket};
-use rqfa_workloads::{CaseGen, ClassedArrival, RequestGen, TrafficGen};
+use rqfa_core::{CaseBase, FixedEngine, QosClass, Request};
+use rqfa_service::{
+    AllocationService, CachePolicy, MetricsSnapshot, SchedMode, ServiceConfig, Ticket,
+};
+use rqfa_workloads::{CaseGen, ClassedArrival, Popularity, RequestGen, TrafficGen};
 
 const TRIALS: usize = 5;
 const REQUESTS: usize = 30_000;
@@ -94,6 +101,7 @@ fn main() {
 
     open_loop_qos(&case_base);
     edf_vs_fifo(&case_base);
+    cache_policy_ab(&case_base);
 }
 
 /// One closed-loop trial: submit everything, wait for everything.
@@ -235,6 +243,108 @@ fn edf_vs_fifo(case_base: &CaseBase) {
     );
     assert_eq!(fifo.class(QosClass::Critical).shed(), 0);
     assert_eq!(edf.class(QosClass::Critical).shed(), 0);
+}
+
+/// Result-cache capacity for the policy A/B — deliberately far below the
+/// zipf universe (2048) so eviction quality, not capacity, decides.
+const AB_CACHE_CAPACITY: usize = 256;
+
+/// Burst and zipf payload traces through each eviction policy.
+///
+/// One shard and one class make the cache's lookup sequence exactly the
+/// submission sequence (a single EDF lane without deadlines is
+/// seq-ordered), and batch size 1 removes the only other source of
+/// variation (a repeat inside one dispatch batch misses alongside its
+/// twin, because batch lookups all run before the batch's inserts — and
+/// batch composition depends on timing). Hit counts are therefore a pure
+/// function of the trace; only req/s and p99 carry timing.
+fn cache_policy_ab(case_base: &CaseBase) {
+    println!(
+        "\ncache policy A/B (closed loop, 1 shard, 1 class, cache capacity {AB_CACHE_CAPACITY}):"
+    );
+    let payloads = |gen: TrafficGen| -> Vec<Request> {
+        gen.duration_us(2_000_000)
+            .generate()
+            .into_iter()
+            .map(|a| a.request)
+            .collect()
+    };
+    let traces: [(&str, Vec<Request>); 2] = [
+        (
+            "burst",
+            payloads(
+                TrafficGen::new(case_base)
+                    .seed(0xCAB0)
+                    .popularity(Popularity::Burst { mean_run: 12 }),
+            ),
+        ),
+        ("zipf", payloads(TrafficGen::zipf_skewed(case_base).seed(0xCAB1))),
+    ];
+    let configs: [(&str, CachePolicy, bool); 4] = [
+        ("fifo", CachePolicy::Fifo, false),
+        ("lru", CachePolicy::Lru, false),
+        ("2q", CachePolicy::TwoQ, false),
+        ("2q+adm", CachePolicy::TwoQ, true),
+    ];
+    println!(
+        "{:<7} {:<8} {:>9} {:>8} {:>7} {:>10} {:>9}",
+        "trace", "policy", "requests", "hits", "hit %", "req/s", "p99 µs"
+    );
+    for (trace_name, requests) in &traces {
+        let mut fifo_hits = 0;
+        let mut two_q_hits = 0;
+        for (policy_name, policy, admission) in configs {
+            let service = AllocationService::new(
+                case_base,
+                &ServiceConfig::default()
+                    .with_queue_capacity(requests.len() + 1)
+                    .with_batch_size(1)
+                    .with_cache_capacity(AB_CACHE_CAPACITY)
+                    .with_cache_policy(policy)
+                    .with_cache_admission(admission),
+            );
+            let start = Instant::now();
+            let tickets: Vec<Ticket> = requests
+                .iter()
+                .map(|r| service.submit(r.clone(), QosClass::Medium))
+                .collect();
+            for ticket in tickets {
+                ticket.wait().expect("every request answered");
+            }
+            let elapsed = start.elapsed().as_secs_f64();
+            let snap = service.shutdown();
+            let class = snap.class(QosClass::Medium);
+            assert_eq!(snap.shed(), 0, "closed loop must not shed");
+            assert_eq!(
+                class.cache_hits + class.cache_misses,
+                class.completed + class.failed,
+                "every dispatched request probes the cache exactly once"
+            );
+            match (policy, admission) {
+                (CachePolicy::Fifo, _) => fifo_hits = class.cache_hits,
+                (CachePolicy::TwoQ, false) => two_q_hits = class.cache_hits,
+                _ => {}
+            }
+            println!(
+                "{:<7} {:<8} {:>9} {:>8} {:>6.1}% {:>10.0} {:>9}",
+                trace_name,
+                policy_name,
+                requests.len(),
+                class.cache_hits,
+                class.hit_rate() * 100.0,
+                per_sec(requests.len(), elapsed),
+                class.p99_us,
+            );
+        }
+        if *trace_name == "zipf" {
+            assert!(
+                two_q_hits >= fifo_hits,
+                "2Q must serve the zipf hot set at least as well as FIFO \
+                 (2Q {two_q_hits} vs FIFO {fifo_hits})"
+            );
+            println!("zipf verdict: 2Q hits ({two_q_hits}) >= FIFO hits ({fifo_hits}) ✓");
+        }
+    }
 }
 
 fn per_sec(n: usize, secs: f64) -> f64 {

@@ -1,0 +1,103 @@
+//! One-hit-wonder admission: the doorkeeper in front of the resident set.
+//!
+//! Under skewed traffic most distinct fingerprints are seen exactly once;
+//! caching them evicts keys that *would* have hit again. The filter makes
+//! a key earn residence: the first sighting is only remembered, the second
+//! is admitted. It is a direct-mapped table of fingerprints (no counters,
+//! no hashing chains), so the memory bound is fixed and the behaviour is a
+//! pure function of the sighting sequence — a slot collision forgets the
+//! previous tenant, which at worst delays that key's admission by one
+//! round trip (and is reproduced bit-exactly by the differential model).
+
+/// Direct-mapped seen-once filter over request fingerprints.
+#[derive(Debug, Clone)]
+pub struct AdmissionFilter {
+    slots: Vec<u64>,
+    mask: u64,
+}
+
+/// SplitMix64 finalizer: spreads fingerprints over the slot table so
+/// clustered fingerprints do not share slots.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl AdmissionFilter {
+    /// A filter remembering on the order of `tracked` recent first
+    /// sightings (rounded up to a power of two, clamped to
+    /// `[16, 2^20]` slots).
+    pub fn new(tracked: usize) -> AdmissionFilter {
+        let slots = tracked.clamp(16, 1 << 20).next_power_of_two();
+        AdmissionFilter {
+            slots: vec![0; slots],
+            mask: (slots - 1) as u64,
+        }
+    }
+
+    /// Whether `key` has earned admission. A first sighting records the
+    /// key and answers `false`; any later sighting (while its slot
+    /// survives) answers `true`. The all-zero fingerprint is
+    /// indistinguishable from an empty slot and is therefore always
+    /// admitted — fingerprints are hashes, so this costs nothing real.
+    pub fn admit(&mut self, key: u64) -> bool {
+        #[allow(clippy::cast_possible_truncation)]
+        let index = (mix(key) & self.mask) as usize;
+        if self.slots[index] == key {
+            true
+        } else {
+            self.slots[index] = key;
+            false
+        }
+    }
+
+    /// Number of slots (the memory bound).
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Forgets every sighting.
+    pub fn clear(&mut self) {
+        self.slots.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_sighting_admits() {
+        let mut f = AdmissionFilter::new(64);
+        assert!(!f.admit(42));
+        assert!(f.admit(42));
+        assert!(f.admit(42), "admission is sticky while the slot lives");
+    }
+
+    #[test]
+    fn one_hit_wonders_stay_out() {
+        let mut f = AdmissionFilter::new(1 << 10);
+        let admitted = (1..=500u64).filter(|&k| f.admit(k * 0x9E39)).count();
+        assert!(
+            admitted <= 5,
+            "single-sighting keys should almost never be admitted, got {admitted}"
+        );
+    }
+
+    #[test]
+    fn sizing_is_clamped_and_padded() {
+        assert_eq!(AdmissionFilter::new(0).slot_count(), 16);
+        assert_eq!(AdmissionFilter::new(100).slot_count(), 128);
+        assert_eq!(AdmissionFilter::new(usize::MAX).slot_count(), 1 << 20);
+    }
+
+    #[test]
+    fn clear_forgets_sightings() {
+        let mut f = AdmissionFilter::new(64);
+        assert!(!f.admit(7));
+        f.clear();
+        assert!(!f.admit(7), "cleared filters start from scratch");
+    }
+}

@@ -1,0 +1,442 @@
+//! # rqfa-cache — one generation-invalidated result cache
+//!
+//! The paper's §3 *bypass tokens* are a fingerprint-keyed result cache:
+//! remember what a retrieval answered, reuse it while the case base is
+//! unchanged. Two subsystems of this workspace grew that idea
+//! independently — `rqfa_core::TokenCache` and
+//! `rqfa_service::cache::RetrievalCache` — and both are now thin typed
+//! facades over this crate, so invalidation and eviction semantics cannot
+//! diverge again.
+//!
+//! The pieces, each usable on its own:
+//!
+//! * [`GenCache`] — the store: keyed by a `u64` fingerprint, stamped with
+//!   a generic *generation* (`G: Copy + Eq`, instantiated with
+//!   `rqfa_core::Generation` by both facades). A lookup hits only when the
+//!   stamp matches; a mismatch is a *stale* miss that drops the entry on
+//!   the spot, so the recompute that follows re-inserts it with a fresh
+//!   age (the historical FIFO cache kept the old age — see
+//!   `docs/caching.md` for why that was a bug).
+//! * [`EvictionPolicy`] — pluggable eviction bookkeeping, with
+//!   [`Fifo`] (the exact-compat baseline), [`Lru`], and [`TwoQ`]
+//!   (probation/protected split) built in, and the [`CachePolicy`] knob to
+//!   select one at runtime.
+//! * [`AdmissionFilter`] — a one-hit-wonder doorkeeper: a key must be
+//!   sighted twice before it is cached at all (the first sighting is
+//!   only remembered, even when the cache has free room).
+//! * [`RankedEntry`] — cross-request n-best subsumption: a cached top-*k*
+//!   ranking answers later best-of and top-*j* (`j ≤ k`) lookups exactly.
+//!
+//! Everything is deterministic — no clocks, no randomness — so a
+//! brute-force model can (and does, in the workspace test
+//! `tests/cache_differential.rs`) replay arbitrary operation traces and
+//! demand bit-identical observable behaviour from every policy.
+//!
+//! ```
+//! use rqfa_cache::{CachePolicy, GenCache};
+//!
+//! let mut cache: GenCache<&str, u64> = GenCache::new(2, CachePolicy::Lru);
+//! cache.insert(1, 0, "one");
+//! cache.insert(2, 0, "two");
+//! assert_eq!(cache.lookup(1, 0), Some(&"one"));
+//! cache.insert(3, 0, "three");           // capacity 2: LRU evicts key 2
+//! assert_eq!(cache.lookup(2, 0), None);
+//! assert_eq!(cache.lookup(1, 1), None);  // generation moved on: stale
+//! assert_eq!(cache.stats().stale, 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod admission;
+mod policy;
+mod ranked;
+
+pub use admission::AdmissionFilter;
+pub use policy::{AnyPolicy, CachePolicy, EvictionPolicy, Fifo, Lru, TwoQ};
+pub use ranked::RankedEntry;
+
+use std::collections::HashMap;
+
+/// Cumulative observable counters of one [`GenCache`].
+///
+/// Invariants (asserted by the differential harness for every policy):
+/// `hits + misses == lookups`, and `stale + uncovered <= misses` (both
+/// are miss subcategories).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served (hit or miss).
+    pub lookups: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups not answered (absent, stale, or insufficient coverage).
+    pub misses: u64,
+    /// Misses caused by a generation mismatch (entry dropped on the spot).
+    pub stale: u64,
+    /// Misses where the entry was fresh but failed the caller's coverage
+    /// predicate (e.g. a top-5 lookup over a cached top-3).
+    pub uncovered: u64,
+    /// Stores accepted (fresh inserts and in-place overwrites).
+    pub insertions: u64,
+    /// Stores bounced by the admission filter (first-sighting keys).
+    pub rejected: u64,
+    /// Entries displaced by the eviction policy to make room.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 with no lookups.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / self.lookups as f64
+            }
+        }
+    }
+}
+
+/// One resident entry: the value plus the generation it was computed at.
+#[derive(Debug, Clone)]
+struct Slot<V, G> {
+    stamp: G,
+    value: V,
+}
+
+/// Fingerprint-keyed, generation-invalidated, policy-evicted store.
+///
+/// `V` is the cached value, `G` the generation stamp (any `Copy + Eq`
+/// type — the workspace uses `rqfa_core::Generation`), `P` the eviction
+/// bookkeeping (defaults to the runtime-selected [`AnyPolicy`]).
+///
+/// Semantics, normative for every facade (see `docs/caching.md`):
+///
+/// * a lookup hits iff the key is resident **and** its stamp equals the
+///   lookup stamp (and the optional coverage predicate holds);
+/// * a stale entry is removed at detection, so its eventual re-insert is
+///   a *fresh* insert with a fresh age under every policy;
+/// * an insert over a resident key overwrites in place — FIFO keeps the
+///   original insertion age, LRU/2Q treat the write as a use;
+/// * capacity 0 disables storage entirely (lookups still count);
+/// * the admission filter only gates keys that are not resident.
+#[derive(Debug, Clone)]
+pub struct GenCache<V, G, P = AnyPolicy>
+where
+    G: Copy + Eq,
+    P: EvictionPolicy,
+{
+    capacity: usize,
+    map: HashMap<u64, Slot<V, G>>,
+    policy: P,
+    admission: Option<AdmissionFilter>,
+    stats: CacheStats,
+}
+
+impl<V, G: Copy + Eq> GenCache<V, G, AnyPolicy> {
+    /// A cache of at most `capacity` entries under the given policy
+    /// (0 disables caching), without admission filtering.
+    pub fn new(capacity: usize, policy: CachePolicy) -> GenCache<V, G, AnyPolicy> {
+        GenCache::with_eviction(capacity, policy.build(capacity))
+    }
+}
+
+impl<V, G: Copy + Eq, P: EvictionPolicy> GenCache<V, G, P> {
+    /// A cache over caller-supplied eviction bookkeeping (the pluggable
+    /// entry point; `P` may be a custom [`EvictionPolicy`]).
+    pub fn with_eviction(capacity: usize, policy: P) -> GenCache<V, G, P> {
+        GenCache {
+            capacity,
+            map: HashMap::with_capacity(capacity.min(1 << 16)),
+            policy,
+            admission: None,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Adds (or removes) the one-hit-wonder admission filter, sized to
+    /// this cache's capacity.
+    #[must_use]
+    pub fn with_admission(mut self, enabled: bool) -> GenCache<V, G, P> {
+        self.admission = enabled.then(|| AdmissionFilter::new(self.capacity.saturating_mul(4)));
+        self
+    }
+
+    /// Looks the key up at `stamp`. A generation mismatch counts as a
+    /// stale miss and drops the entry.
+    pub fn lookup(&mut self, key: u64, stamp: G) -> Option<&V> {
+        self.lookup_if(key, stamp, |_| true)
+    }
+
+    /// Like [`GenCache::lookup`], but a fresh entry additionally has to
+    /// satisfy `covers` — a failing predicate is an *uncovered* miss that
+    /// leaves the entry resident (it still answers smaller requests).
+    pub fn lookup_if(
+        &mut self,
+        key: u64,
+        stamp: G,
+        covers: impl FnOnce(&V) -> bool,
+    ) -> Option<&V> {
+        // Split borrows (and go through the entry API) so the hot hit
+        // path probes the map exactly once.
+        let GenCache {
+            map,
+            policy,
+            stats,
+            ..
+        } = self;
+        stats.lookups += 1;
+        match map.entry(key) {
+            std::collections::hash_map::Entry::Occupied(slot) => {
+                if slot.get().stamp == stamp {
+                    if covers(&slot.get().value) {
+                        stats.hits += 1;
+                        policy.on_hit(key);
+                        Some(&slot.into_mut().value)
+                    } else {
+                        stats.misses += 1;
+                        stats.uncovered += 1;
+                        None
+                    }
+                } else {
+                    // Invalidated by a mutation. Generations only grow, so
+                    // the entry can never hit again — drop it now, which
+                    // also re-ages the recompute that follows (the refresh
+                    // enters as a brand-new insert under every policy).
+                    stats.misses += 1;
+                    stats.stale += 1;
+                    slot.remove();
+                    policy.on_remove(key);
+                    None
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(_) => {
+                stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// The resident value at `stamp` without touching statistics or
+    /// recency (for merge decisions before an insert).
+    pub fn peek(&self, key: u64, stamp: G) -> Option<&V> {
+        self.map
+            .get(&key)
+            .filter(|slot| slot.stamp == stamp)
+            .map(|slot| &slot.value)
+    }
+
+    /// Stores `value` computed at `stamp`. Overwrites in place when the
+    /// key is resident (whatever its old stamp); otherwise the key passes
+    /// admission (if configured), the policy evicts down to capacity, and
+    /// the entry enters fresh.
+    pub fn insert(&mut self, key: u64, stamp: G, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(slot) = self.map.get_mut(&key) {
+            slot.stamp = stamp;
+            slot.value = value;
+            self.stats.insertions += 1;
+            self.policy.on_update(key);
+            self.debug_check();
+            return;
+        }
+        if let Some(filter) = &mut self.admission {
+            if !filter.admit(key) {
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        while self.map.len() >= self.capacity {
+            let Some(victim) = self.policy.victim() else {
+                break;
+            };
+            self.map.remove(&victim);
+            self.stats.evictions += 1;
+        }
+        self.map.insert(key, Slot { stamp, value });
+        self.stats.insertions += 1;
+        self.policy.on_insert(key);
+        self.debug_check();
+    }
+
+    /// Drops one key (e.g. a targeted invalidation), returning its value.
+    pub fn remove(&mut self, key: u64) -> Option<V> {
+        let slot = self.map.remove(&key)?;
+        self.policy.on_remove(key);
+        self.debug_check();
+        Some(slot.value)
+    }
+
+    /// Drops every entry (statistics survive; the admission filter
+    /// forgets its sightings).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.policy.clear();
+        if let Some(filter) = &mut self.admission {
+            filter.clear();
+        }
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// The policy bookkeeping (e.g. to inspect a custom policy).
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+
+    /// Resident set and policy bookkeeping must never drift apart.
+    fn debug_check(&self) {
+        debug_assert_eq!(
+            self.map.len(),
+            self.policy.tracked(),
+            "policy bookkeeping desynced from the resident set"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(capacity: usize, policy: CachePolicy) -> GenCache<u32, u64> {
+        GenCache::new(capacity, policy)
+    }
+
+    #[test]
+    fn hit_requires_matching_stamp_and_stale_drops() {
+        for policy in CachePolicy::ALL {
+            let mut c = cache(8, policy);
+            c.insert(42, 0, 1);
+            assert_eq!(c.lookup(42, 0), Some(&1), "{policy}");
+            assert_eq!(c.lookup(42, 1), None, "{policy}");
+            assert!(c.is_empty(), "{policy}: stale entries are dropped");
+            let s = c.stats();
+            assert_eq!((s.hits, s.misses, s.stale), (1, 1, 1), "{policy}");
+            assert_eq!(s.lookups, s.hits + s.misses, "{policy}");
+        }
+    }
+
+    #[test]
+    fn stale_refresh_re_ages_the_entry() {
+        // Regression for the historical FIFO cache: a refreshed entry
+        // kept its original insertion age and could be evicted as the
+        // oldest resident right after being recomputed. Unified
+        // semantics: the stale drop makes the refresh a fresh insert.
+        let mut c = cache(2, CachePolicy::Fifo);
+        c.insert(1, 0, 10);
+        c.insert(2, 0, 20);
+        assert_eq!(c.lookup(1, 1), None, "stale");
+        c.insert(1, 1, 11); // refresh: now the *newest* entry
+        c.insert(3, 1, 30); // evicts 2 (the oldest), not the refreshed 1
+        assert_eq!(c.lookup(1, 1), Some(&11));
+        assert_eq!(c.lookup(2, 1), None);
+        assert_eq!(c.lookup(3, 1), Some(&30));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_storage_but_counts_lookups() {
+        let mut c = cache(0, CachePolicy::Lru);
+        c.insert(1, 0, 1);
+        assert!(c.is_empty());
+        assert_eq!(c.lookup(1, 0), None);
+        let s = c.stats();
+        assert_eq!((s.lookups, s.misses, s.insertions), (1, 1, 0));
+    }
+
+    #[test]
+    fn admission_keeps_one_hit_wonders_out() {
+        let mut c = cache(4, CachePolicy::TwoQ).with_admission(true);
+        c.insert(1, 0, 1);
+        assert!(c.is_empty(), "first sighting is only remembered");
+        assert_eq!(c.stats().rejected, 1);
+        c.insert(1, 0, 1);
+        assert_eq!(c.len(), 1, "second sighting is admitted");
+        // Resident keys bypass the filter entirely.
+        c.insert(1, 1, 2);
+        assert_eq!(c.lookup(1, 1), Some(&2));
+    }
+
+    #[test]
+    fn admission_remembers_across_invalidation() {
+        // A stale drop removes the entry but not its doorkeeper slot, so
+        // the recompute after a mutation is admitted immediately — the
+        // filter punishes one-hit wonders, not generation bumps.
+        let mut c = cache(4, CachePolicy::Lru).with_admission(true);
+        c.insert(7, 0, 1);
+        c.insert(7, 0, 1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(7, 1), None, "stale drop");
+        c.insert(7, 1, 2);
+        assert_eq!(c.lookup(7, 1), Some(&2), "readmitted without a bounce");
+    }
+
+    #[test]
+    fn uncovered_miss_keeps_the_entry() {
+        let mut c = cache(4, CachePolicy::Lru);
+        c.insert(5, 0, 3);
+        assert_eq!(c.lookup_if(5, 0, |&v| v > 10), None);
+        let s = c.stats();
+        assert_eq!((s.misses, s.uncovered, s.stale), (1, 1, 0));
+        assert_eq!(c.len(), 1, "uncovered misses leave the entry resident");
+        assert_eq!(c.lookup_if(5, 0, |&v| v > 1), Some(&3));
+    }
+
+    #[test]
+    fn peek_and_remove_do_not_touch_lookup_stats() {
+        let mut c = cache(4, CachePolicy::Fifo);
+        c.insert(1, 0, 9);
+        assert_eq!(c.peek(1, 0), Some(&9));
+        assert_eq!(c.peek(1, 1), None);
+        assert_eq!(c.remove(1), Some(9));
+        assert_eq!(c.remove(1), None);
+        assert_eq!(c.stats().lookups, 0);
+    }
+
+    #[test]
+    fn eviction_respects_capacity_for_every_policy() {
+        for policy in CachePolicy::ALL {
+            let mut c = cache(3, policy);
+            for key in 0..10 {
+                c.insert(key, 0, u32::try_from(key).unwrap());
+                assert!(c.len() <= 3, "{policy}");
+            }
+            assert_eq!(c.len(), 3, "{policy}");
+            assert_eq!(c.stats().evictions, 7, "{policy}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_entries_but_not_stats() {
+        let mut c = cache(4, CachePolicy::TwoQ).with_admission(true);
+        c.insert(1, 0, 1);
+        c.insert(1, 0, 1);
+        c.lookup(1, 0);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.stats().hits, 1);
+        c.insert(1, 0, 1);
+        assert!(c.is_empty(), "admission filter was cleared too");
+    }
+}

@@ -1,0 +1,470 @@
+//! Pluggable eviction policies.
+//!
+//! A policy is pure bookkeeping: it never stores values, only decides
+//! *which key dies next*. [`GenCache`](crate::GenCache) calls the hooks on
+//! every resident-set change and asks [`EvictionPolicy::victim`] when it
+//! needs room. All three built-ins keep their order in `BTreeMap`s keyed
+//! by a monotone sequence number, so every operation is `O(log n)` and the
+//! victim choice is a pure function of the operation history — two caches
+//! fed the same operations evict identically, which is what the workspace
+//! differential harness (`tests/cache_differential.rs`) leans on.
+//!
+//! | Policy | order | on hit | victim |
+//! |--------|-------|--------|--------|
+//! | [`Fifo`] | insertion | nothing (overwrites keep the original age) | oldest insertion |
+//! | [`Lru`] | last access | re-age to newest | least recently used |
+//! | [`TwoQ`] | probation/protected split | probation → protected (demoting the protected LRU when over the protected share) | probation LRU, else protected LRU |
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Eviction bookkeeping driven by [`GenCache`](crate::GenCache).
+///
+/// Implementations must uphold one contract: the tracked key set always
+/// equals the cache's resident key set (every `on_insert` is eventually
+/// paired with an `on_remove` or a `victim` return), and `victim` returns
+/// `None` only when nothing is tracked.
+pub trait EvictionPolicy {
+    /// A new key became resident.
+    fn on_insert(&mut self, key: u64);
+    /// A resident key was read with a valid stamp.
+    fn on_hit(&mut self, key: u64);
+    /// A resident key's value was overwritten in place. Defaults to
+    /// [`EvictionPolicy::on_hit`] (a write is a use); FIFO overrides it to
+    /// do nothing so overwrites keep the original insertion age — the
+    /// exact-compat baseline behaviour.
+    fn on_update(&mut self, key: u64) {
+        self.on_hit(key);
+    }
+    /// A resident key was removed (stale drop or explicit removal).
+    fn on_remove(&mut self, key: u64);
+    /// Picks the next eviction victim and forgets it. `None` iff empty.
+    fn victim(&mut self) -> Option<u64>;
+    /// Forgets everything.
+    fn clear(&mut self);
+    /// Number of keys tracked (must mirror the cache's resident count).
+    fn tracked(&self) -> usize;
+}
+
+/// One age-ordered key set: the shared bookkeeping of [`Fifo`] and
+/// [`Lru`] (they differ only in *when* a key is re-aged).
+#[derive(Debug, Clone, Default)]
+struct SeqQueue {
+    seq: u64,
+    ages: HashMap<u64, u64>,
+    queue: BTreeMap<u64, u64>,
+}
+
+impl SeqQueue {
+    fn push(&mut self, key: u64) {
+        self.seq += 1;
+        self.ages.insert(key, self.seq);
+        self.queue.insert(self.seq, key);
+    }
+
+    fn touch(&mut self, key: u64) {
+        if let Some(age) = self.ages.get(&key).copied() {
+            self.queue.remove(&age);
+            self.push(key);
+        }
+    }
+
+    fn remove(&mut self, key: u64) {
+        if let Some(age) = self.ages.remove(&key) {
+            self.queue.remove(&age);
+        }
+    }
+
+    fn pop_oldest(&mut self) -> Option<u64> {
+        let (_, key) = self.queue.pop_first()?;
+        self.ages.remove(&key);
+        Some(key)
+    }
+
+    fn clear(&mut self) {
+        self.ages.clear();
+        self.queue.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.ages.len()
+    }
+}
+
+/// First-in-first-out: victims in insertion order, hits change nothing.
+#[derive(Debug, Clone, Default)]
+pub struct Fifo {
+    order: SeqQueue,
+}
+
+impl Fifo {
+    /// An empty FIFO order.
+    pub fn new() -> Fifo {
+        Fifo::default()
+    }
+}
+
+impl EvictionPolicy for Fifo {
+    fn on_insert(&mut self, key: u64) {
+        self.order.push(key);
+    }
+
+    fn on_hit(&mut self, _key: u64) {}
+
+    fn on_update(&mut self, _key: u64) {}
+
+    fn on_remove(&mut self, key: u64) {
+        self.order.remove(key);
+    }
+
+    fn victim(&mut self) -> Option<u64> {
+        self.order.pop_oldest()
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+    }
+
+    fn tracked(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Least-recently-used: every hit (and overwrite) re-ages the key.
+#[derive(Debug, Clone, Default)]
+pub struct Lru {
+    order: SeqQueue,
+}
+
+impl Lru {
+    /// An empty LRU order.
+    pub fn new() -> Lru {
+        Lru::default()
+    }
+}
+
+impl EvictionPolicy for Lru {
+    fn on_insert(&mut self, key: u64) {
+        self.order.push(key);
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        self.order.touch(key);
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        self.order.remove(key);
+    }
+
+    fn victim(&mut self) -> Option<u64> {
+        self.order.pop_oldest()
+    }
+
+    fn clear(&mut self) {
+        self.order.clear();
+    }
+
+    fn tracked(&self) -> usize {
+        self.order.len()
+    }
+}
+
+/// Which 2Q segment a key lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Probation,
+    Protected,
+}
+
+/// Two-queue (probation/protected) policy — a segmented LRU.
+///
+/// New keys enter *probation*; a hit promotes a probationer into the
+/// *protected* segment (capped at ¾ of the cache capacity — overflow
+/// demotes the protected LRU back to the probation MRU end). Victims come
+/// from probation first, so a burst of one-hit wonders can only churn the
+/// probation quarter while the re-referenced working set stays protected —
+/// the scan resistance FIFO and plain LRU lack under zipf-skewed traffic.
+#[derive(Debug, Clone)]
+pub struct TwoQ {
+    protected_cap: usize,
+    seq: u64,
+    probation: BTreeMap<u64, u64>,
+    protected: BTreeMap<u64, u64>,
+    tiers: HashMap<u64, (u64, Tier)>,
+}
+
+impl TwoQ {
+    /// A 2Q order for a cache of `capacity` entries (the protected
+    /// segment gets ¾ of it; with capacity ≤ 1 the policy degrades to
+    /// FIFO because nothing fits in protected).
+    pub fn new(capacity: usize) -> TwoQ {
+        TwoQ {
+            protected_cap: capacity.saturating_mul(3) / 4,
+            seq: 0,
+            probation: BTreeMap::new(),
+            protected: BTreeMap::new(),
+            tiers: HashMap::new(),
+        }
+    }
+
+    /// The protected-segment bound this instance enforces.
+    pub fn protected_capacity(&self) -> usize {
+        self.protected_cap
+    }
+
+    fn promote(&mut self, key: u64) {
+        let Some(&(age, tier)) = self.tiers.get(&key) else {
+            return;
+        };
+        match tier {
+            Tier::Probation => {
+                self.probation.remove(&age);
+                self.seq += 1;
+                self.protected.insert(self.seq, key);
+                self.tiers.insert(key, (self.seq, Tier::Protected));
+                // Over the protected share: the protected LRU goes back on
+                // probation (as its freshest entry, so it still outlives
+                // the one-hit wonders queued behind it).
+                while self.protected.len() > self.protected_cap {
+                    let Some((_, demoted)) = self.protected.pop_first() else {
+                        break;
+                    };
+                    self.seq += 1;
+                    self.probation.insert(self.seq, demoted);
+                    self.tiers.insert(demoted, (self.seq, Tier::Probation));
+                }
+            }
+            Tier::Protected => {
+                self.protected.remove(&age);
+                self.seq += 1;
+                self.protected.insert(self.seq, key);
+                self.tiers.insert(key, (self.seq, Tier::Protected));
+            }
+        }
+    }
+}
+
+impl EvictionPolicy for TwoQ {
+    fn on_insert(&mut self, key: u64) {
+        self.seq += 1;
+        self.probation.insert(self.seq, key);
+        self.tiers.insert(key, (self.seq, Tier::Probation));
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        self.promote(key);
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        if let Some((age, tier)) = self.tiers.remove(&key) {
+            match tier {
+                Tier::Probation => self.probation.remove(&age),
+                Tier::Protected => self.protected.remove(&age),
+            };
+        }
+    }
+
+    fn victim(&mut self) -> Option<u64> {
+        let (_, key) = self
+            .probation
+            .pop_first()
+            .or_else(|| self.protected.pop_first())?;
+        self.tiers.remove(&key);
+        Some(key)
+    }
+
+    fn clear(&mut self) {
+        self.probation.clear();
+        self.protected.clear();
+        self.tiers.clear();
+    }
+
+    fn tracked(&self) -> usize {
+        self.tiers.len()
+    }
+}
+
+/// The runtime-selectable policy knob (what `ServiceConfig` threads down
+/// to each shard's cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CachePolicy {
+    /// Insertion-order eviction — the exact-compat baseline.
+    #[default]
+    Fifo,
+    /// Least-recently-used.
+    Lru,
+    /// Probation/protected segmented LRU ([`TwoQ`]).
+    TwoQ,
+}
+
+impl CachePolicy {
+    /// Every policy, for sweeps and differential suites.
+    pub const ALL: [CachePolicy; 3] = [CachePolicy::Fifo, CachePolicy::Lru, CachePolicy::TwoQ];
+
+    /// Builds the type-erased bookkeeping for a cache of `capacity`.
+    pub fn build(self, capacity: usize) -> AnyPolicy {
+        match self {
+            CachePolicy::Fifo => AnyPolicy::Fifo(Fifo::new()),
+            CachePolicy::Lru => AnyPolicy::Lru(Lru::new()),
+            CachePolicy::TwoQ => AnyPolicy::TwoQ(TwoQ::new(capacity)),
+        }
+    }
+}
+
+impl core::fmt::Display for CachePolicy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(match self {
+            CachePolicy::Fifo => "fifo",
+            CachePolicy::Lru => "lru",
+            CachePolicy::TwoQ => "2q",
+        })
+    }
+}
+
+/// A [`CachePolicy`] materialized as one enum-dispatched policy, so caches
+/// selected at runtime stay `Clone` and allocation-free on dispatch.
+#[derive(Debug, Clone)]
+pub enum AnyPolicy {
+    /// FIFO bookkeeping.
+    Fifo(Fifo),
+    /// LRU bookkeeping.
+    Lru(Lru),
+    /// 2Q bookkeeping.
+    TwoQ(TwoQ),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $p:ident => $body:expr) => {
+        match $self {
+            AnyPolicy::Fifo($p) => $body,
+            AnyPolicy::Lru($p) => $body,
+            AnyPolicy::TwoQ($p) => $body,
+        }
+    };
+}
+
+impl EvictionPolicy for AnyPolicy {
+    fn on_insert(&mut self, key: u64) {
+        dispatch!(self, p => p.on_insert(key));
+    }
+
+    fn on_hit(&mut self, key: u64) {
+        dispatch!(self, p => p.on_hit(key));
+    }
+
+    fn on_update(&mut self, key: u64) {
+        dispatch!(self, p => p.on_update(key));
+    }
+
+    fn on_remove(&mut self, key: u64) {
+        dispatch!(self, p => p.on_remove(key));
+    }
+
+    fn victim(&mut self) -> Option<u64> {
+        dispatch!(self, p => p.victim())
+    }
+
+    fn clear(&mut self) {
+        dispatch!(self, p => p.clear());
+    }
+
+    fn tracked(&self) -> usize {
+        dispatch!(self, p => p.tracked())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_victims_in_insertion_order_despite_hits() {
+        let mut p = Fifo::new();
+        for key in [1, 2, 3] {
+            p.on_insert(key);
+        }
+        p.on_hit(1);
+        p.on_update(1);
+        assert_eq!(p.victim(), Some(1), "FIFO ignores hits and overwrites");
+        assert_eq!(p.victim(), Some(2));
+        assert_eq!(p.tracked(), 1);
+    }
+
+    #[test]
+    fn lru_victims_least_recent_first() {
+        let mut p = Lru::new();
+        for key in [1, 2, 3] {
+            p.on_insert(key);
+        }
+        p.on_hit(1);
+        assert_eq!(p.victim(), Some(2), "1 was re-aged by the hit");
+        p.on_update(3);
+        assert_eq!(p.victim(), Some(1), "overwrites also re-age");
+        assert_eq!(p.victim(), Some(3));
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    fn two_q_protects_re_referenced_keys_from_scans() {
+        // Capacity 8 → protected share 6. The hot pair is promoted, then
+        // a scan of cold keys churns probation only.
+        let mut p = TwoQ::new(8);
+        p.on_insert(100);
+        p.on_insert(200);
+        p.on_hit(100);
+        p.on_hit(200);
+        for cold in 0..6 {
+            p.on_insert(cold);
+        }
+        for _ in 0..6 {
+            let v = p.victim().unwrap();
+            assert!(v < 6, "scan keys evict first, got {v}");
+        }
+        // Only the protected pair is left.
+        assert_eq!(p.tracked(), 2);
+        assert!(matches!(p.victim(), Some(100 | 200)));
+    }
+
+    #[test]
+    fn two_q_demotes_protected_overflow_back_to_probation() {
+        // Capacity 4 → protected share 3. Promote four keys: the first
+        // promoted (now the protected LRU) must fall back to probation
+        // and become the next victim after the empty-probation check.
+        let mut p = TwoQ::new(4);
+        for key in [1, 2, 3, 4] {
+            p.on_insert(key);
+        }
+        for key in [1, 2, 3, 4] {
+            p.on_hit(key);
+        }
+        assert_eq!(p.victim(), Some(1), "demoted protected LRU dies first");
+        assert_eq!(p.victim(), Some(2), "then the protected LRU");
+    }
+
+    #[test]
+    fn two_q_tiny_capacity_degrades_to_fifo() {
+        let mut p = TwoQ::new(1);
+        assert_eq!(p.protected_capacity(), 0);
+        p.on_insert(7);
+        p.on_hit(7); // promoted then immediately demoted
+        p.on_insert(8);
+        assert_eq!(p.victim(), Some(7));
+        assert_eq!(p.victim(), Some(8));
+    }
+
+    #[test]
+    fn removal_forgets_keys_in_every_policy() {
+        for policy in CachePolicy::ALL {
+            let mut p = policy.build(8);
+            p.on_insert(1);
+            p.on_insert(2);
+            p.on_hit(2);
+            p.on_remove(2);
+            assert_eq!(p.tracked(), 1, "{policy}");
+            assert_eq!(p.victim(), Some(1), "{policy}");
+            assert_eq!(p.victim(), None, "{policy}");
+            p.on_insert(3);
+            p.clear();
+            assert_eq!(p.tracked(), 0, "{policy}");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Cross-request n-best subsumption.
+//!
+//! A ranked retrieval result answers more than the query that produced
+//! it: the top-*j* of a top-*k* list **is** the top-*j* list whenever
+//! `j ≤ k` (ranking sorts then truncates, so smaller requests are exact
+//! prefixes), and a list that ranked *every* evaluated candidate answers
+//! any *j* at all. Storing one [`RankedEntry`] per fingerprint therefore
+//! lets a cached n-best result serve later best-of (`j = 1`) and smaller
+//! n-best lookups bit-identically to a recompute — without the cache
+//! knowing anything about scores or engines (the element type is fully
+//! generic).
+//!
+//! The subsumption argument only holds for *unfiltered* rankings: a
+//! threshold-filtered list is not prefix-closed (elements drop out at
+//! arbitrary ranks), so facades must not feed filtered results in.
+
+/// A cached ranking: the top-`requested` of `evaluated` candidates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankedEntry<T> {
+    ranked: Vec<T>,
+    requested: usize,
+    evaluated: usize,
+}
+
+impl<T> RankedEntry<T> {
+    /// Wraps the top-`requested` ranking of `evaluated` candidates.
+    /// `ranked` must be the unfiltered prefix, i.e.
+    /// `ranked.len() == min(requested, evaluated)`.
+    pub fn new(ranked: Vec<T>, requested: usize, evaluated: usize) -> RankedEntry<T> {
+        debug_assert_eq!(
+            ranked.len(),
+            requested.min(evaluated),
+            "ranked list must be the unfiltered top-requested prefix"
+        );
+        RankedEntry {
+            ranked,
+            requested,
+            evaluated,
+        }
+    }
+
+    /// Whether every evaluated candidate made the list (a complete
+    /// ranking answers any request size).
+    pub fn is_complete(&self) -> bool {
+        self.requested >= self.evaluated
+    }
+
+    /// Whether this entry can answer a top-`n` request exactly.
+    pub fn covers(&self, n: usize) -> bool {
+        n <= self.requested || self.is_complete()
+    }
+
+    /// The top-`n` prefix. Only exact when [`RankedEntry::covers`]`(n)`.
+    pub fn prefix(&self, n: usize) -> &[T] {
+        &self.ranked[..self.ranked.len().min(n)]
+    }
+
+    /// The single best candidate (a best-of lookup is `prefix(1)`).
+    pub fn best(&self) -> Option<&T> {
+        self.ranked.first()
+    }
+
+    /// The full stored ranking.
+    pub fn ranked(&self) -> &[T] {
+        &self.ranked
+    }
+
+    /// The request size this entry was computed for.
+    pub fn requested(&self) -> usize {
+        self.requested
+    }
+
+    /// How many candidates the producing scan evaluated.
+    pub fn evaluated(&self) -> usize {
+        self.evaluated
+    }
+
+    /// Totally-ordered coverage, for keep-the-wider-entry merges: a
+    /// complete ranking beats any truncated one; among truncated ones the
+    /// larger `requested` wins.
+    pub fn coverage(&self) -> usize {
+        if self.is_complete() {
+            usize::MAX
+        } else {
+            self.requested
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_entry_covers_smaller_requests_only() {
+        let e = RankedEntry::new(vec![10, 20, 30], 3, 9);
+        assert!(e.covers(1) && e.covers(3));
+        assert!(!e.covers(4));
+        assert_eq!(e.prefix(2), &[10, 20]);
+        assert_eq!(e.best(), Some(&10));
+        assert_eq!(e.coverage(), 3);
+    }
+
+    #[test]
+    fn complete_entry_covers_everything() {
+        let e = RankedEntry::new(vec![1, 2], 5, 2);
+        assert!(e.is_complete());
+        assert!(e.covers(100));
+        assert_eq!(e.prefix(100), &[1, 2]);
+        assert_eq!(e.coverage(), usize::MAX);
+    }
+
+    #[test]
+    fn empty_ranking_of_nothing_is_complete() {
+        let e: RankedEntry<u32> = RankedEntry::new(vec![], 1, 0);
+        assert!(e.is_complete());
+        assert!(e.covers(3));
+        assert_eq!(e.best(), None);
+    }
+}

@@ -6,9 +6,15 @@
 //! A token caches the outcome of one retrieval, keyed by the request
 //! fingerprint. Tokens are invalidated by case-base mutation (generation
 //! mismatch) so a self-learning system never reuses stale selections.
+//!
+//! [`TokenCache`] is a thin typed facade over
+//! [`rqfa_cache::GenCache`] — the same generalized store that backs the
+//! service layer's retrieval cache — instantiated with
+//! [`Generation`] stamps and [`BypassToken`] values. Eviction defaults to
+//! FIFO (the historical behaviour) but any [`CachePolicy`] can be chosen;
+//! the normative semantics live in `docs/caching.md`.
 
-use std::collections::HashMap;
-
+use rqfa_cache::{CachePolicy, GenCache};
 use rqfa_fixed::Q15;
 
 use crate::casebase::CaseBase;
@@ -41,7 +47,7 @@ pub struct TokenStats {
     pub misses: u64,
     /// Tokens dropped because they were stale (generation mismatch).
     pub invalidations: u64,
-    /// Tokens evicted by the FIFO capacity policy.
+    /// Tokens evicted by the capacity policy.
     pub evictions: u64,
 }
 
@@ -60,7 +66,7 @@ impl TokenStats {
     }
 }
 
-/// Fixed-capacity FIFO cache of bypass tokens.
+/// Fixed-capacity cache of bypass tokens (FIFO eviction by default).
 ///
 /// ```
 /// use rqfa_core::{paper, BypassToken, FixedEngine, TokenCache};
@@ -82,60 +88,38 @@ impl TokenStats {
 /// ```
 #[derive(Debug, Clone)]
 pub struct TokenCache {
-    capacity: usize,
-    tokens: HashMap<u64, BypassToken>,
-    order: std::collections::VecDeque<u64>,
-    stats: TokenStats,
+    inner: GenCache<BypassToken, Generation>,
 }
 
 impl TokenCache {
-    /// Creates a cache holding at most `capacity` tokens (minimum 1).
+    /// Creates a FIFO cache holding at most `capacity` tokens (minimum 1).
     pub fn new(capacity: usize) -> TokenCache {
+        TokenCache::with_policy(capacity, CachePolicy::Fifo)
+    }
+
+    /// Creates a cache with an explicit eviction policy (minimum
+    /// capacity 1 — a bypass-token cache that cannot hold a token would
+    /// silently disable the §3 optimisation).
+    pub fn with_policy(capacity: usize, policy: CachePolicy) -> TokenCache {
         TokenCache {
-            capacity: capacity.max(1),
-            tokens: HashMap::new(),
-            order: std::collections::VecDeque::new(),
-            stats: TokenStats::default(),
+            inner: GenCache::new(capacity.max(1), policy),
         }
     }
 
     /// Looks up a token for `request`, validating it against the current
     /// case-base generation. Stale tokens are dropped and counted.
     pub fn lookup(&mut self, request: &Request, case_base: &CaseBase) -> Option<BypassToken> {
-        let fp = request.fingerprint();
-        match self.tokens.get(&fp) {
-            Some(token) if token.generation == case_base.generation() => {
-                self.stats.hits += 1;
-                Some(*token)
-            }
-            Some(_) => {
-                self.tokens.remove(&fp);
-                self.order.retain(|&k| k != fp);
-                self.stats.invalidations += 1;
-                self.stats.misses += 1;
-                None
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.inner
+            .lookup(request.fingerprint(), case_base.generation())
+            .copied()
     }
 
     /// Stores the outcome of a retrieval as a token.
     pub fn store(&mut self, request: &Request, case_base: &CaseBase, best: &Scored<Q15>) {
         let fp = request.fingerprint();
-        if self.tokens.len() >= self.capacity && !self.tokens.contains_key(&fp) {
-            if let Some(oldest) = self.order.pop_front() {
-                self.tokens.remove(&oldest);
-                self.stats.evictions += 1;
-            }
-        }
-        if !self.tokens.contains_key(&fp) {
-            self.order.push_back(fp);
-        }
-        self.tokens.insert(
+        self.inner.insert(
             fp,
+            case_base.generation(),
             BypassToken {
                 fingerprint: fp,
                 type_id: request.type_id(),
@@ -148,23 +132,28 @@ impl TokenCache {
 
     /// Drops all tokens (e.g. after a repository reload).
     pub fn clear(&mut self) {
-        self.tokens.clear();
-        self.order.clear();
+        self.inner.clear();
     }
 
     /// Number of live tokens.
     pub fn len(&self) -> usize {
-        self.tokens.len()
+        self.inner.len()
     }
 
     /// Whether the cache holds no tokens.
     pub fn is_empty(&self) -> bool {
-        self.tokens.is_empty()
+        self.inner.is_empty()
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> TokenStats {
-        self.stats
+        let s = self.inner.stats();
+        TokenStats {
+            hits: s.hits,
+            misses: s.misses,
+            invalidations: s.stale,
+            evictions: s.evictions,
+        }
     }
 }
 
@@ -230,6 +219,27 @@ mod tests {
         // The newest two survive.
         assert!(cache.lookup(&requests[4], &cb).is_some());
         assert!(cache.lookup(&requests[0], &cb).is_none());
+    }
+
+    #[test]
+    fn lru_policy_keeps_the_re_referenced_token() {
+        let cb = paper::table1_case_base();
+        let mut cache = TokenCache::with_policy(2, CachePolicy::Lru);
+        let requests: Vec<Request> = (38..=40u16)
+            .map(|rate| {
+                Request::builder(paper::FIR_EQUALIZER)
+                    .constraint(paper::ATTR_RATE, rate)
+                    .build()
+                    .unwrap()
+            })
+            .collect();
+        cache.store(&requests[0], &cb, &best_for(&cb, &requests[0]));
+        cache.store(&requests[1], &cb, &best_for(&cb, &requests[1]));
+        // Touch the older token, then overflow: LRU evicts requests[1].
+        assert!(cache.lookup(&requests[0], &cb).is_some());
+        cache.store(&requests[2], &cb, &best_for(&cb, &requests[2]));
+        assert!(cache.lookup(&requests[0], &cb).is_some());
+        assert!(cache.lookup(&requests[1], &cb).is_none());
     }
 
     #[test]

@@ -21,7 +21,11 @@
 //!   model lives in `docs/scheduling.md`.
 //! * **Result caching** ([`cache`]): retrievals are memoized by request
 //!   fingerprint and stamped with the case-base generation counter; any
-//!   retain/revise/evict invalidates the shard's cache wholesale.
+//!   retain/revise/evict invalidates the shard's cache wholesale. The
+//!   eviction policy is a QoS knob ([`ServiceConfig::cache_policy`]:
+//!   FIFO, LRU, or 2Q, plus an optional one-hit-wonder admission
+//!   filter), backed by the workspace-wide `rqfa-cache` store — the
+//!   normative model lives in `docs/caching.md`.
 //! * **Metrics** ([`metrics`]): per-class p50/p99 latency, hit rate and
 //!   shed counts from lock-free counters.
 //!
@@ -69,6 +73,7 @@ use rqfa_persist::{
 
 pub use error::ServiceError;
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServiceMetrics};
+pub use rqfa_cache::{CachePolicy, CacheStats};
 pub use sched::{Pick, SchedMode, WeightedArbiter};
 
 /// First line of the durable-state manifest file.
@@ -89,6 +94,18 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// Per-shard result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
+    /// Eviction policy of the per-shard result cache. FIFO (the
+    /// historical default) has zero per-hit bookkeeping and serves the
+    /// bursty repeat traffic of §3 well; LRU and 2Q keep a zipf-skewed
+    /// hot set resident (see `docs/caching.md` and the
+    /// `service_throughput` policy A/B).
+    pub cache_policy: CachePolicy,
+    /// Whether the per-shard cache runs a one-hit-wonder admission
+    /// filter: a fingerprint must be sighted twice before its result is
+    /// cached at all (the first sighting is only remembered, even while
+    /// the cache has free room). Off by default (the historical
+    /// behaviour).
+    pub cache_admission: bool,
     /// Per-class queueing-delay budget in µs, indexed by
     /// [`QosClass::index`]. The budget defines a sheddable job's
     /// *effective deadline* (submit time + budget) unless the request
@@ -135,6 +152,8 @@ impl Default for ServiceConfig {
             batch_size: 32,
             queue_capacity: 4096,
             cache_capacity: 1 << 16,
+            cache_policy: CachePolicy::Fifo,
+            cache_admission: false,
             deadline_budget_us: [None; QosClass::COUNT],
             scheduling: SchedMode::Edf,
             promotion_margin_us: 0,
@@ -167,6 +186,18 @@ impl ServiceConfig {
     /// Sets the per-shard cache capacity (0 disables caching).
     pub fn with_cache_capacity(mut self, capacity: usize) -> ServiceConfig {
         self.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the per-shard cache eviction policy.
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> ServiceConfig {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Enables/disables the one-hit-wonder admission filter.
+    pub fn with_cache_admission(mut self, admission: bool) -> ServiceConfig {
+        self.cache_admission = admission;
         self
     }
 

@@ -68,6 +68,14 @@ pub struct ClassMetrics {
     pub shed_deadline: AtomicU64,
     /// Completions served from the retrieval result cache.
     pub cache_hits: AtomicU64,
+    /// Dispatched requests the cache could not answer (cold, stale, or
+    /// insufficient coverage). Every dispatched request probes the cache
+    /// exactly once, so `cache_hits + cache_misses == completed + failed`
+    /// after a drained shutdown.
+    pub cache_misses: AtomicU64,
+    /// The subset of `cache_misses` that invalidated a stale entry
+    /// (generation mismatch) — stale results are *never* served.
+    pub cache_stale: AtomicU64,
     /// Requests that failed retrieval (e.g. unknown function type).
     pub failed: AtomicU64,
     /// Dispatches where deadline urgency promoted this class's lane head
@@ -110,6 +118,8 @@ impl ServiceMetrics {
                 shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
                 shed_deadline: m.shed_deadline.load(Ordering::Relaxed),
                 cache_hits: m.cache_hits.load(Ordering::Relaxed),
+                cache_misses: m.cache_misses.load(Ordering::Relaxed),
+                cache_stale: m.cache_stale.load(Ordering::Relaxed),
                 failed: m.failed.load(Ordering::Relaxed),
                 promoted: m.promoted.load(Ordering::Relaxed),
                 missed_deadline: m.missed_deadline.load(Ordering::Relaxed),
@@ -140,6 +150,10 @@ pub struct ClassSnapshot {
     pub shed_deadline: u64,
     /// Completions served from cache.
     pub cache_hits: u64,
+    /// Dispatched requests the cache missed (cold, stale, or uncovered).
+    pub cache_misses: u64,
+    /// Misses that invalidated a stale entry (generation mismatch).
+    pub cache_stale: u64,
     /// Failed retrievals.
     pub failed: u64,
     /// Dispatches promoted by deadline urgency.
@@ -158,9 +172,18 @@ impl ClassSnapshot {
         self.shed_queue_full + self.shed_deadline
     }
 
-    /// Cache hit rate against completions, in `[0, 1]`.
+    /// Cache hit rate against probes (`cache_hits / cache_lookups()`),
+    /// in `[0, 1]`. Failed retrievals probe the cache too, so this stays
+    /// honest when a class's misses mostly fail (hits-over-completions
+    /// would read 100% for a class that almost never hit).
     pub fn hit_rate(&self) -> f64 {
-        ratio(self.cache_hits, self.completed)
+        ratio(self.cache_hits, self.cache_lookups())
+    }
+
+    /// Cache probes this class issued (each dispatched request probes
+    /// exactly once): `cache_hits + cache_misses`.
+    pub fn cache_lookups(&self) -> u64 {
+        self.cache_hits + self.cache_misses
     }
 }
 
@@ -212,20 +235,21 @@ impl fmt::Display for MetricsSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "{:<9} {:>9} {:>9} {:>6} {:>9} {:>7} {:>6} {:>6} {:>9} {:>9}",
-            "class", "submitted", "completed", "shed", "hits", "hit %", "promo", "miss", "p50 µs",
-            "p99 µs"
+            "{:<9} {:>9} {:>9} {:>6} {:>9} {:>7} {:>6} {:>6} {:>6} {:>9} {:>9}",
+            "class", "submitted", "completed", "shed", "hits", "hit %", "stale", "promo", "miss",
+            "p50 µs", "p99 µs"
         )?;
         for c in &self.classes {
             writeln!(
                 f,
-                "{:<9} {:>9} {:>9} {:>6} {:>9} {:>6.1}% {:>6} {:>6} {:>9} {:>9}",
+                "{:<9} {:>9} {:>9} {:>6} {:>9} {:>6.1}% {:>6} {:>6} {:>6} {:>9} {:>9}",
                 c.class.to_string(),
                 c.submitted,
                 c.completed,
                 c.shed(),
                 c.cache_hits,
                 c.hit_rate() * 100.0,
+                c.cache_stale,
                 c.promoted,
                 c.missed_deadline,
                 c.p50_us,
@@ -265,6 +289,7 @@ mod tests {
         m.class(QosClass::Low).submitted.fetch_add(4, Ordering::Relaxed);
         m.class(QosClass::Low).completed.fetch_add(2, Ordering::Relaxed);
         m.class(QosClass::Low).cache_hits.fetch_add(1, Ordering::Relaxed);
+        m.class(QosClass::Low).cache_misses.fetch_add(1, Ordering::Relaxed);
         m.class(QosClass::Low).shed_queue_full.fetch_add(2, Ordering::Relaxed);
         let snap = m.snapshot();
         assert_eq!(snap.class(QosClass::Low).shed(), 2);

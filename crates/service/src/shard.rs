@@ -34,7 +34,7 @@ use std::time::Instant;
 use rqfa_core::{CaseBase, CaseMutation, CoreError, FixedEngine, Generation, TypeId};
 use rqfa_persist::{DurableCaseBase, FileStore, PendingCheckpoint, PersistError, WrittenCheckpoint};
 
-use crate::cache::RetrievalCache;
+use crate::cache::{CacheLookup, RetrievalCache};
 use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
 use crate::queue::ClassQueue;
@@ -201,11 +201,15 @@ impl Shard {
         let worker_queue = Arc::clone(&queue);
         let worker_store = Arc::clone(&store);
         let batch_size = config.batch_size.max(1);
-        let cache_capacity = config.cache_capacity;
+        let cache = RetrievalCache::with_policy(
+            config.cache_capacity,
+            config.cache_policy,
+            config.cache_admission,
+        );
         let worker = std::thread::Builder::new()
             .name(format!("rqfa-shard-{index}"))
             .spawn(move || {
-                run_worker(&worker_queue, &worker_store, &metrics, batch_size, cache_capacity);
+                run_worker(&worker_queue, &worker_store, &metrics, batch_size, cache);
             })
             .expect("spawn shard worker");
         Shard {
@@ -329,10 +333,9 @@ fn run_worker(
     store: &Mutex<ShardStore>,
     metrics: &ServiceMetrics,
     batch_size: usize,
-    cache_capacity: usize,
+    mut cache: RetrievalCache,
 ) {
     let engine = FixedEngine::new();
-    let mut cache = RetrievalCache::new(cache_capacity);
     while let Some(batch) = queue.pop_batch(batch_size) {
         if batch.is_empty() {
             continue;
@@ -359,9 +362,18 @@ fn run_worker(
                 }
             }
             let generation = store.generation();
-            if let Some(hit) = cache.lookup(job.request.fingerprint(), generation) {
-                finish(job, hit, true, metrics);
-                continue;
+            match cache.lookup_outcome(job.request.fingerprint(), generation) {
+                CacheLookup::Hit(hit) => {
+                    finish(job, hit, true, metrics);
+                    continue;
+                }
+                CacheLookup::Miss { stale } => {
+                    let class = metrics.class(job.class);
+                    class.cache_misses.fetch_add(1, Ordering::Relaxed);
+                    if stale {
+                        class.cache_stale.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
             pending.push(job);
         }

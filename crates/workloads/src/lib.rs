@@ -33,4 +33,4 @@ mod trafficgen;
 pub use casegen::CaseGen;
 pub use requestgen::{GeneratedArrival, RequestGen};
 pub use scenarios::{fig1_mix, Fig1Scenario, APP_AUTOMOTIVE_ECU, APP_CRUISE, APP_MP3, APP_VIDEO};
-pub use trafficgen::{ClassedArrival, TrafficGen};
+pub use trafficgen::{ClassedArrival, Popularity, TrafficGen};

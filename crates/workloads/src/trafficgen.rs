@@ -31,6 +31,34 @@ pub struct ClassedArrival {
     pub request: Request,
 }
 
+/// How request payloads repeat across the stream — the shape the
+/// service-layer result cache sees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// The historical model: each arrival is either a fresh perturbed
+    /// request or an exact repeat of a uniformly chosen earlier arrival
+    /// (a preferential-attachment mix, see [`RequestGen`]).
+    Mixed,
+    /// Zipf-ranked popularity over a fixed pool of `universe` distinct
+    /// requests: payload *i* (0-based rank) is drawn with weight
+    /// `(i + 1)^-exponent`. A small hot head plus a long one-hit-wonder
+    /// tail — the skew where reuse-aware eviction (LRU/2Q + admission)
+    /// beats FIFO.
+    Zipf {
+        /// Number of distinct request payloads in the pool.
+        universe: usize,
+        /// Skew exponent (≈ 1.0 for classic zipf; larger is hotter).
+        exponent: f64,
+    },
+    /// Runs of identical requests: each fresh payload repeats for a
+    /// geometrically distributed run (mean `mean_run`) before the next —
+    /// the §3 bypass-token burst traffic FIFO already serves well.
+    Burst {
+        /// Mean run length (≥ 1).
+        mean_run: u64,
+    },
+}
+
 /// Open-loop Poisson traffic generator with per-class rates.
 #[derive(Debug, Clone)]
 pub struct TrafficGen<'a> {
@@ -39,6 +67,7 @@ pub struct TrafficGen<'a> {
     duration_us: u64,
     rates_per_sec: [f64; QosClass::COUNT],
     deadline_range_us: [Option<(u64, u64)>; QosClass::COUNT],
+    popularity: Popularity,
     repeat_fraction: f64,
     perturbation: u16,
 }
@@ -53,9 +82,23 @@ impl<'a> TrafficGen<'a> {
             duration_us: 100_000,
             rates_per_sec: [200.0, 1_000.0, 2_000.0, 4_000.0],
             deadline_range_us: [None; QosClass::COUNT],
+            popularity: Popularity::Mixed,
             repeat_fraction: 0.3,
             perturbation: 8,
         }
+    }
+
+    /// A zipf-skewed mix over `case_base`: the same per-class rates as
+    /// [`TrafficGen::new`], but payloads come from a fixed 2048-request
+    /// pool under rank-weighted zipf popularity (exponent 1.1) — a hot
+    /// head every class keeps re-requesting and a long tail of one-hit
+    /// wonders. This is the trace the cache-policy A/B in
+    /// `service_throughput` runs on.
+    pub fn zipf_skewed(case_base: &'a CaseBase) -> TrafficGen<'a> {
+        TrafficGen::new(case_base).popularity(Popularity::Zipf {
+            universe: 2048,
+            exponent: 1.1,
+        })
     }
 
     /// A deadline-skewed mix over `case_base`: the same per-class rates
@@ -101,7 +144,14 @@ impl<'a> TrafficGen<'a> {
         self
     }
 
-    /// Sets the fraction of exact-repeat requests (cache-hit traffic).
+    /// Sets the payload popularity model.
+    pub fn popularity(mut self, popularity: Popularity) -> TrafficGen<'a> {
+        self.popularity = popularity;
+        self
+    }
+
+    /// Sets the fraction of exact-repeat requests (cache-hit traffic;
+    /// [`Popularity::Mixed`] only).
     pub fn repeat_fraction(mut self, fraction: f64) -> TrafficGen<'a> {
         self.repeat_fraction = fraction.clamp(0.0, 1.0);
         self
@@ -119,6 +169,9 @@ impl<'a> TrafficGen<'a> {
     ///
     /// Never for a validated case base.
     pub fn generate(&self) -> Vec<ClassedArrival> {
+        // The zipf pool and its weight table are class-independent (the
+        // hot head is hot service-wide) — build them once, not per class.
+        let zipf = self.zipf_context();
         let mut all = Vec::new();
         for class in QosClass::ALL {
             let rate = self.rates_per_sec[class.index()];
@@ -140,16 +193,11 @@ impl<'a> TrafficGen<'a> {
                 }
                 times.push(at_us);
             }
-            // …then one payload per arrival from the shared request model,
+            // …then one payload per arrival from the popularity model,
             // and (for deadline-skewed classes) one deadline per arrival
             // from a dedicated stream so existing arrival-time/payload
             // determinism is untouched.
-            let requests = RequestGen::new(self.case_base)
-                .seed(self.seed ^ (u64::from(class.to_axi()) << 32))
-                .count(times.len())
-                .repeat_fraction(self.repeat_fraction)
-                .perturbation(self.perturbation)
-                .generate();
+            let requests = self.payloads(class, times.len(), zipf.as_ref());
             let mut deadline_rng =
                 SmallRng::seed_from_u64(self.seed ^ (0xDEAD_11E5 + class.index() as u64));
             let range = self.deadline_range_us[class.index()];
@@ -168,6 +216,107 @@ impl<'a> TrafficGen<'a> {
         all.sort_by_key(|a| a.at_us);
         all
     }
+
+    /// The shared zipf pool + cumulative weight table, when configured.
+    fn zipf_context(&self) -> Option<ZipfContext> {
+        let Popularity::Zipf { universe, exponent } = self.popularity else {
+            return None;
+        };
+        // One pool for *all* classes (class-independent seed), so the
+        // hot head is hot service-wide; only the draw stream is per
+        // class.
+        let pool = self.fresh_pool(0x51BF_3A17, universe.max(1));
+        let mut cumulative = Vec::with_capacity(pool.len());
+        let mut total = 0.0f64;
+        for rank in 0..pool.len() {
+            #[allow(clippy::cast_precision_loss)]
+            let weight = ((rank + 1) as f64).powf(-exponent);
+            total += weight;
+            cumulative.push(total);
+        }
+        Some(ZipfContext {
+            pool,
+            cumulative,
+            total,
+        })
+    }
+
+    /// One class's payload sequence under the configured popularity model.
+    fn payloads(&self, class: QosClass, count: usize, zipf: Option<&ZipfContext>) -> Vec<Request> {
+        match self.popularity {
+            Popularity::Mixed => RequestGen::new(self.case_base)
+                .seed(self.seed ^ (u64::from(class.to_axi()) << 32))
+                .count(count)
+                .repeat_fraction(self.repeat_fraction)
+                .perturbation(self.perturbation)
+                .generate(),
+            Popularity::Zipf { .. } => {
+                let zipf = zipf.expect("zipf context built for zipf popularity");
+                let mut rng = SmallRng::seed_from_u64(
+                    self.seed ^ (0x21BF_0000 + class.index() as u64),
+                );
+                (0..count)
+                    .map(|_| {
+                        let u = rng.gen_range(0.0..zipf.total);
+                        let rank = zipf.cumulative.partition_point(|&c| c <= u);
+                        zipf.pool[rank.min(zipf.pool.len() - 1)].clone()
+                    })
+                    .collect()
+            }
+            Popularity::Burst { mean_run } => {
+                // Worst case every run has length 1, so `count` distinct
+                // payloads suffice; runs are geometric with the given mean.
+                let pool =
+                    self.fresh_pool(0xB0B5_0000 + class.index() as u64, count.max(1));
+                let mut rng = SmallRng::seed_from_u64(
+                    self.seed ^ (0xB57A_0000 + class.index() as u64),
+                );
+                let mut out = Vec::with_capacity(count);
+                let mut next_fresh = 0;
+                let mut run_left = 0u64;
+                for _ in 0..count {
+                    if run_left == 0 {
+                        next_fresh += 1;
+                        run_left = geometric_run(&mut rng, mean_run.max(1));
+                    }
+                    out.push(pool[next_fresh - 1].clone());
+                    run_left -= 1;
+                }
+                out
+            }
+        }
+    }
+
+    /// `count` fresh (non-repeating) payloads from a salted seed.
+    fn fresh_pool(&self, salt: u64, count: usize) -> Vec<Request> {
+        RequestGen::new(self.case_base)
+            .seed(self.seed ^ salt)
+            .count(count)
+            .repeat_fraction(0.0)
+            .perturbation(self.perturbation)
+            .generate()
+    }
+}
+
+/// The class-shared zipf payload pool with its cumulative weight table.
+#[derive(Debug, Clone)]
+struct ZipfContext {
+    pool: Vec<Request>,
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+/// Geometric run length with the given mean (≥ 1).
+fn geometric_run(rng: &mut SmallRng, mean: u64) -> u64 {
+    if mean <= 1 {
+        return 1;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let p = 1.0 / mean as f64;
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let run = (u.ln() / (1.0 - p).ln()).ceil() as u64;
+    run.max(1)
 }
 
 /// Exponential inter-arrival gap with the given mean (µs).
@@ -268,6 +417,67 @@ mod tests {
             .generate()
             .iter()
             .all(|x| x.deadline_us.is_none()));
+    }
+
+    #[test]
+    fn zipf_popularity_is_skewed_and_deterministic() {
+        let cb = case_base();
+        let gen = TrafficGen::zipf_skewed(&cb).seed(13).duration_us(500_000);
+        let a = gen.generate();
+        assert_eq!(a, gen.generate(), "zipf streams are seed-deterministic");
+        // Popularity is heavily skewed: the most popular fingerprint
+        // covers far more than a uniform share of the traffic.
+        let mut counts = std::collections::HashMap::new();
+        for arrival in &a {
+            *counts.entry(arrival.request.fingerprint()).or_insert(0usize) += 1;
+        }
+        let top = counts.values().max().copied().unwrap_or(0);
+        assert!(
+            top * 20 > a.len(),
+            "hot head too cold: top {top} of {}",
+            a.len()
+        );
+        // …and long-tailed: many fingerprints appear exactly once.
+        let singletons = counts.values().filter(|&&c| c == 1).count();
+        assert!(singletons > counts.len() / 4, "tail missing: {singletons}");
+        // The hot head is shared across classes (one pool, one ranking).
+        let hot = *counts
+            .iter()
+            .max_by_key(|(_, &c)| c)
+            .map(|(fp, _)| fp)
+            .unwrap();
+        for class in [QosClass::Low, QosClass::Medium] {
+            assert!(
+                a.iter()
+                    .any(|x| x.class == class && x.request.fingerprint() == hot),
+                "{class} never touches the shared hot key"
+            );
+        }
+    }
+
+    #[test]
+    fn burst_popularity_produces_runs_of_identical_requests() {
+        let cb = case_base();
+        let arrivals = TrafficGen::new(&cb)
+            .popularity(Popularity::Burst { mean_run: 8 })
+            .rate_per_sec(QosClass::Critical, 0.0)
+            .rate_per_sec(QosClass::High, 0.0)
+            .rate_per_sec(QosClass::Medium, 0.0)
+            .seed(3)
+            .duration_us(500_000)
+            .generate();
+        assert!(arrivals.len() > 200);
+        // With a single class the arrival order is the payload order:
+        // adjacent repeats should dominate (mean run 8 → ~7/8 repeats).
+        let repeats = arrivals
+            .windows(2)
+            .filter(|w| w[0].request.fingerprint() == w[1].request.fingerprint())
+            .count();
+        assert!(
+            repeats * 2 > arrivals.len(),
+            "bursts missing: {repeats} adjacent repeats of {}",
+            arrivals.len()
+        );
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //!
 //! | Module | Crate | Contents |
 //! |--------|-------|----------|
+//! | [`cache`] | `rqfa-cache` | generation-invalidated result cache: FIFO/LRU/2Q eviction, one-hit-wonder admission, n-best subsumption |
 //! | [`core`] | `rqfa-core` | case base, similarity (eqs. 1–2), retrieval engines, n-best, bypass tokens, CBR cycle |
 //! | [`fixed`] | `rqfa-fixed` | UQ1.15 fixed-point arithmetic |
 //! | [`memlist`] | `rqfa-memlist` | 16-bit word memory images (figs. 4–5), validation, compaction |
@@ -40,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use rqfa_cache as cache;
 pub use rqfa_core as core;
 pub use rqfa_fixed as fixed;
 pub use rqfa_hwsim as hwsim;

@@ -1,0 +1,672 @@
+//! The cache proof: model-based differential testing of `rqfa-cache`.
+//!
+//! A brute-force **reference model** re-implements the normative cache
+//! semantics (`docs/caching.md`) with none of the production data
+//! structures: entries live in a flat `Vec`, victims are found by linear
+//! scans, recency is an explicit age field. Seeded random operation
+//! traces — lookup / coverage-gated lookup / insert / mutate-generation /
+//! remove — drive the real
+//! [`GenCache`] and the model in lockstep and demand bit-identical
+//! observable behaviour (returned values, resident count, and the full
+//! statistics block) after *every* operation, for every eviction policy,
+//! with and without the admission filter.
+//!
+//! On top of the generic differential core:
+//!
+//! * **FIFO facade compatibility** — the service's `RetrievalCache` in
+//!   its default configuration replays mutation-free traces bit-
+//!   identically to a verbatim copy of the pre-refactor FIFO cache
+//!   (`LegacyFifoCache` below). With generation mutations the two differ
+//!   *by design* in exactly one way: the legacy cache let a refreshed
+//!   stale entry keep its original insertion age (so a just-recomputed
+//!   result could be the next eviction victim); the unified store drops
+//!   stale entries at detection and re-ages the refresh. A dedicated
+//!   regression pins that divergence.
+//! * **n-best subsumption** — a cached top-k ranking answers best-of and
+//!   top-j (j ≤ k) lookups bit-identically to an engine recompute, and
+//!   one generation bump invalidates every view of the entry atomically.
+//! * **Answer invariance** — no policy ever changes *what* the service
+//!   answers, only how often it answers from cache.
+
+use std::collections::{HashMap, VecDeque};
+
+use rqfa::cache::{CachePolicy, GenCache};
+use rqfa::core::{
+    CaseMutation, FixedEngine, Generation, ImplId, OpCounts, QosClass, Retrieval, Scored,
+};
+use rqfa::fixed::Q15;
+use rqfa::service::cache::RetrievalCache;
+use rqfa::service::{AllocationService, Outcome, ServiceConfig};
+use rqfa::workloads::rng::SmallRng;
+use rqfa::workloads::{CaseGen, RequestGen};
+
+const SEEDS: u64 = 10;
+const OPS_PER_TRACE: usize = 10_000;
+const CAPACITY: usize = 16;
+const KEY_UNIVERSE: u64 = 64;
+
+// ---------------------------------------------------------------------------
+// The reference model
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Probation,
+    Protected,
+}
+
+#[derive(Debug, Clone)]
+struct ModelEntry {
+    key: u64,
+    stamp: u64,
+    value: u64,
+    /// Policy age: insertion order (FIFO), last use (LRU), or segment
+    /// position (2Q). Assigned from one monotone counter.
+    age: u64,
+    tier: Tier,
+}
+
+/// Observable counters, mirroring `rqfa_cache::CacheStats` field by field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct ModelStats {
+    lookups: u64,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+    uncovered: u64,
+    insertions: u64,
+    rejected: u64,
+    evictions: u64,
+}
+
+/// Brute-force executable specification of the cache semantics.
+struct ModelCache {
+    capacity: usize,
+    policy: CachePolicy,
+    protected_cap: usize,
+    seq: u64,
+    entries: Vec<ModelEntry>,
+    /// Direct-mapped doorkeeper, same sizing rule as `AdmissionFilter`:
+    /// `(4 × capacity).clamp(16, 2^20)` rounded up to a power of two.
+    admission: Option<Vec<u64>>,
+    stats: ModelStats,
+}
+
+/// SplitMix64 finalizer — the slot-spreading function the admission
+/// filter specifies.
+fn mix(key: u64) -> u64 {
+    let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ModelCache {
+    fn new(capacity: usize, policy: CachePolicy, admission: bool) -> ModelCache {
+        ModelCache {
+            capacity,
+            policy,
+            protected_cap: capacity.saturating_mul(3) / 4,
+            seq: 0,
+            entries: Vec::new(),
+            admission: admission
+                .then(|| vec![0; capacity.saturating_mul(4).clamp(16, 1 << 20).next_power_of_two()]),
+            stats: ModelStats::default(),
+        }
+    }
+
+    fn position(&self, key: u64) -> Option<usize> {
+        self.entries.iter().position(|e| e.key == key)
+    }
+
+    fn next_age(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    /// The policy's reaction to a use of a resident key.
+    fn touch(&mut self, index: usize) {
+        match self.policy {
+            CachePolicy::Fifo => {}
+            CachePolicy::Lru => {
+                let age = self.next_age();
+                self.entries[index].age = age;
+            }
+            CachePolicy::TwoQ => match self.entries[index].tier {
+                Tier::Probation => {
+                    let age = self.next_age();
+                    self.entries[index].tier = Tier::Protected;
+                    self.entries[index].age = age;
+                    // Protected overflow demotes its LRU to probation MRU.
+                    while self
+                        .entries
+                        .iter()
+                        .filter(|e| e.tier == Tier::Protected)
+                        .count()
+                        > self.protected_cap
+                    {
+                        let demote = self
+                            .entries
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| e.tier == Tier::Protected)
+                            .min_by_key(|(_, e)| e.age)
+                            .map(|(i, _)| i)
+                            .expect("non-empty protected segment");
+                        let age = self.next_age();
+                        self.entries[demote].tier = Tier::Probation;
+                        self.entries[demote].age = age;
+                    }
+                }
+                Tier::Protected => {
+                    let age = self.next_age();
+                    self.entries[index].age = age;
+                }
+            },
+        }
+    }
+
+    fn lookup(&mut self, key: u64, stamp: u64) -> Option<u64> {
+        self.lookup_if(key, stamp, |_| true)
+    }
+
+    fn lookup_if(&mut self, key: u64, stamp: u64, covers: impl FnOnce(u64) -> bool) -> Option<u64> {
+        self.stats.lookups += 1;
+        match self.position(key) {
+            Some(index) if self.entries[index].stamp == stamp => {
+                if covers(self.entries[index].value) {
+                    self.stats.hits += 1;
+                    self.touch(index);
+                    Some(self.entries[index].value)
+                } else {
+                    // Uncovered: a miss that leaves the entry resident
+                    // (and does not touch the policy).
+                    self.stats.misses += 1;
+                    self.stats.uncovered += 1;
+                    None
+                }
+            }
+            Some(index) => {
+                // Stale: dropped at detection, so the refresh re-ages.
+                self.stats.misses += 1;
+                self.stats.stale += 1;
+                self.entries.remove(index);
+                None
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: u64, stamp: u64, value: u64) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(index) = self.position(key) {
+            self.entries[index].stamp = stamp;
+            self.entries[index].value = value;
+            self.stats.insertions += 1;
+            // Overwrite = use, except FIFO keeps the insertion age.
+            self.touch(index);
+            return;
+        }
+        if let Some(slots) = &mut self.admission {
+            let index = usize::try_from(mix(key) & (slots.len() as u64 - 1)).unwrap();
+            if slots[index] != key {
+                slots[index] = key;
+                self.stats.rejected += 1;
+                return;
+            }
+        }
+        while self.entries.len() >= self.capacity {
+            let victim = match self.policy {
+                CachePolicy::Fifo | CachePolicy::Lru => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.age)
+                    .map(|(i, _)| i),
+                CachePolicy::TwoQ => self
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, e)| e.tier == Tier::Probation)
+                    .min_by_key(|(_, e)| e.age)
+                    .map(|(i, _)| i)
+                    .or_else(|| {
+                        self.entries
+                            .iter()
+                            .enumerate()
+                            .min_by_key(|(_, e)| e.age)
+                            .map(|(i, _)| i)
+                    }),
+            };
+            let Some(victim) = victim else { break };
+            self.entries.remove(victim);
+            self.stats.evictions += 1;
+        }
+        let age = self.next_age();
+        self.entries.push(ModelEntry {
+            key,
+            stamp,
+            value,
+            age,
+            tier: Tier::Probation,
+        });
+        self.stats.insertions += 1;
+    }
+
+    fn remove(&mut self, key: u64) -> Option<u64> {
+        let index = self.position(key)?;
+        Some(self.entries.remove(index).value)
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The differential core
+// ---------------------------------------------------------------------------
+
+/// One seeded trace through the real cache and the model, asserting
+/// identical observable behaviour after every operation.
+fn drive_trace(policy: CachePolicy, admission: bool, seed: u64) -> ModelStats {
+    let label = format!("policy={policy} admission={admission} seed={seed}");
+    let mut real: GenCache<u64, u64> = GenCache::new(CAPACITY, policy).with_admission(admission);
+    let mut model = ModelCache::new(CAPACITY, policy, admission);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF_CACE);
+    let mut generation: u64 = 0;
+    let mut next_value: u64 = 0;
+    for step in 0..OPS_PER_TRACE {
+        let key = rng.gen_range(0..KEY_UNIVERSE);
+        match rng.gen_range(0..100u32) {
+            // Lookups at the current generation — the only stamp a real
+            // caller ever has in hand.
+            0..=39 => {
+                let want = model.lookup(key, generation);
+                let got = real.lookup(key, generation).copied();
+                assert_eq!(got, want, "{label} step {step}: lookup({key})");
+            }
+            // Coverage-gated lookups (the n-best subsumption shape): a
+            // fresh entry failing the predicate is an *uncovered* miss
+            // that stays resident.
+            40..=44 => {
+                let covers = |v: u64| !v.is_multiple_of(2);
+                let want = model.lookup_if(key, generation, covers);
+                let got = real.lookup_if(key, generation, |&v| covers(v)).copied();
+                assert_eq!(got, want, "{label} step {step}: lookup_if({key})");
+            }
+            // Inserts with distinguishable payloads, so a divergence in
+            // *which* entry survives shows up as a value mismatch.
+            45..=84 => {
+                next_value += 1;
+                real.insert(key, generation, next_value);
+                model.insert(key, generation, next_value);
+            }
+            // Case-base mutation: every resident entry goes stale at once.
+            85..=89 => generation += 1,
+            // Targeted invalidation.
+            _ => {
+                let want = model.remove(key);
+                let got = real.remove(key);
+                assert_eq!(got, want, "{label} step {step}: remove({key})");
+            }
+        }
+        assert_eq!(real.len(), model.len(), "{label} step {step}: len");
+        let s = real.stats();
+        let m = model.stats;
+        assert_eq!(
+            (s.lookups, s.hits, s.misses, s.stale, s.uncovered),
+            (m.lookups, m.hits, m.misses, m.stale, m.uncovered),
+            "{label} step {step}: lookup counters"
+        );
+        assert_eq!(
+            (s.insertions, s.rejected, s.evictions),
+            (m.insertions, m.rejected, m.evictions),
+            "{label} step {step}: store counters"
+        );
+        // The metrics invariants, re-checked continuously.
+        assert_eq!(s.hits + s.misses, s.lookups, "{label}: hits+misses==lookups");
+        assert!(s.stale + s.uncovered <= s.misses, "{label}: stale⊆misses");
+    }
+    model.stats
+}
+
+#[test]
+fn every_policy_matches_the_reference_model_on_seeded_traces() {
+    for policy in CachePolicy::ALL {
+        for admission in [false, true] {
+            let mut exercised = ModelStats::default();
+            for seed in 0..SEEDS {
+                let s = drive_trace(policy, admission, seed);
+                exercised.hits += s.hits;
+                exercised.stale += s.stale;
+                exercised.uncovered += s.uncovered;
+                exercised.evictions += s.evictions;
+                exercised.rejected += s.rejected;
+            }
+            // The traces must actually stress every mechanism they claim
+            // to verify.
+            assert!(exercised.hits > 1_000, "{policy}: traces barely hit");
+            assert!(exercised.stale > 100, "{policy}: staleness not exercised");
+            assert!(exercised.uncovered > 100, "{policy}: coverage not exercised");
+            assert!(exercised.evictions > 500, "{policy}: eviction not exercised");
+            if admission {
+                assert!(exercised.rejected > 500, "{policy}: admission not exercised");
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FIFO facade bit-compatibility with the pre-refactor RetrievalCache
+// ---------------------------------------------------------------------------
+
+/// Verbatim re-implementation of the pre-refactor
+/// `rqfa_service::cache::RetrievalCache` (FIFO order deque, stale entries
+/// overwritten in place), kept here as the compatibility oracle.
+struct LegacyFifoCache {
+    capacity: usize,
+    map: HashMap<u64, (Generation, Option<Scored<Q15>>, usize)>,
+    order: VecDeque<u64>,
+    hits: u64,
+    misses: u64,
+    stale: u64,
+}
+
+impl LegacyFifoCache {
+    fn new(capacity: usize) -> LegacyFifoCache {
+        LegacyFifoCache {
+            capacity,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            stale: 0,
+        }
+    }
+
+    fn lookup(&mut self, fingerprint: u64, generation: Generation) -> Option<Retrieval<Q15>> {
+        match self.map.get(&fingerprint) {
+            Some(&(stamp, best, evaluated)) if stamp == generation => {
+                self.hits += 1;
+                Some(Retrieval {
+                    best,
+                    evaluated,
+                    ops: OpCounts::default(),
+                })
+            }
+            Some(_) => {
+                self.stale += 1;
+                self.misses += 1;
+                None
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, fingerprint: u64, generation: Generation, result: &Retrieval<Q15>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.map.contains_key(&fingerprint) {
+            while self.map.len() >= self.capacity {
+                match self.order.pop_front() {
+                    Some(old) => {
+                        self.map.remove(&old);
+                    }
+                    None => break,
+                }
+            }
+            self.order.push_back(fingerprint);
+        }
+        self.map
+            .insert(fingerprint, (generation, result.best, result.evaluated));
+    }
+}
+
+fn retrieval(raw_impl: u16, evaluated: usize) -> Retrieval<Q15> {
+    Retrieval {
+        best: Some(Scored {
+            impl_id: ImplId::new(raw_impl).unwrap(),
+            target: rqfa::core::ExecutionTarget::Dsp,
+            similarity: Q15::ONE,
+        }),
+        evaluated,
+        ops: OpCounts::default(),
+    }
+}
+
+#[test]
+fn fifo_facade_is_bit_compatible_with_the_legacy_cache_without_mutations() {
+    // Without generation bumps the legacy in-place overwrite and the
+    // unified drop-and-reinsert are indistinguishable, so every
+    // observable — hit pattern, served values, counters, size — must
+    // match exactly, trace for trace.
+    let generation = Generation::GENESIS;
+    for seed in 0..SEEDS {
+        let mut facade = RetrievalCache::new(CAPACITY);
+        let mut legacy = LegacyFifoCache::new(CAPACITY);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x001E_6AC7);
+        for step in 0..OPS_PER_TRACE {
+            let fingerprint = rng.gen_range(0..KEY_UNIVERSE);
+            if rng.gen_bool(0.5) {
+                let got = facade.lookup(fingerprint, generation);
+                let want = legacy.lookup(fingerprint, generation);
+                match (&got, &want) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.best, b.best, "seed {seed} step {step}");
+                        assert_eq!(a.evaluated, b.evaluated, "seed {seed} step {step}");
+                    }
+                    (None, None) => {}
+                    other => panic!("seed {seed} step {step}: diverged: {other:?}"),
+                }
+            } else {
+                // Like the real worker, the recompute for a fingerprint at
+                // a fixed generation is a pure function of both — re-inserts
+                // carry the identical payload (which is also why the
+                // facade's keep-the-wider-entry merge may skip them).
+                let result = retrieval(
+                    u16::try_from(fingerprint).unwrap() % 4096 + 1,
+                    usize::try_from(fingerprint).unwrap() % 7 + 1,
+                );
+                facade.insert(fingerprint, generation, &result);
+                legacy.insert(fingerprint, generation, &result);
+            }
+            assert_eq!(facade.len(), legacy.map.len(), "seed {seed} step {step}");
+            assert_eq!(
+                facade.stats(),
+                (legacy.hits, legacy.misses, legacy.stale),
+                "seed {seed} step {step}"
+            );
+        }
+    }
+}
+
+#[test]
+fn refresh_re_aging_is_the_one_deliberate_divergence_from_legacy() {
+    // The satellite fix: the legacy cache kept a refreshed entry's
+    // original FIFO age, so the entry recomputed *last* was evicted
+    // *first*. Same operations, opposite survivors.
+    let g0 = Generation::GENESIS;
+    let g1 = g0.next();
+
+    // The shared script: fill a 2-entry cache, let a mutation land, have
+    // fingerprint 1 re-requested (stale miss + refresh), then force one
+    // eviction with a third fingerprint.
+    let mut facade = RetrievalCache::new(2);
+    facade.insert(1, g0, &retrieval(10, 1));
+    facade.insert(2, g0, &retrieval(20, 1));
+    assert!(facade.lookup(1, g1).is_none());
+    facade.insert(1, g1, &retrieval(11, 1));
+    facade.insert(3, g1, &retrieval(30, 1));
+
+    let mut legacy = LegacyFifoCache::new(2);
+    legacy.insert(1, g0, &retrieval(10, 1));
+    legacy.insert(2, g0, &retrieval(20, 1));
+    assert!(legacy.lookup(1, g1).is_none());
+    legacy.insert(1, g1, &retrieval(11, 1));
+    legacy.insert(3, g1, &retrieval(30, 1));
+    // Unified semantics: the refreshed 1 is the *newest* entry, so the
+    // eviction takes 2 (the oldest untouched resident).
+    assert!(facade.lookup(1, g1).is_some(), "refreshed entry must survive");
+    assert!(facade.lookup(3, g1).is_some());
+    assert!(facade.lookup(2, g1).is_none());
+    // Legacy semantics: the refresh kept 1's original insertion age, so
+    // 1 was evicted moments after being recomputed while the stale 2
+    // stayed resident — the bug this PR fixes (residency checked via the
+    // oracle's internals; a lookup of 2 would be masked by staleness).
+    assert!(!legacy.map.contains_key(&1), "legacy evicts the refresh");
+    assert!(legacy.map.contains_key(&2), "legacy keeps the stale resident");
+    assert!(legacy.map.contains_key(&3));
+}
+
+// ---------------------------------------------------------------------------
+// n-best subsumption vs engine recompute
+// ---------------------------------------------------------------------------
+
+#[test]
+fn cached_n_best_answers_best_of_and_smaller_n_bit_identically_to_recompute() {
+    let mut case_base = CaseGen::new(6, 8, 4, 6).seed(0x5B5).build();
+    let engine = FixedEngine::new();
+    // Distinct fingerprints only: the coverage bookkeeping below assumes
+    // one cached entry per request (a repeat would widen an older entry).
+    let mut seen = std::collections::HashSet::new();
+    let requests: Vec<_> = RequestGen::new(&case_base)
+        .seed(0x17)
+        .count(60)
+        .repeat_fraction(0.0)
+        .generate()
+        .into_iter()
+        .filter(|r| seen.insert(r.fingerprint()))
+        .collect();
+    assert!(requests.len() > 40, "workload collapsed to {}", requests.len());
+    let mut cache = RetrievalCache::new(1024);
+    let mut rng = SmallRng::seed_from_u64(0xBE57);
+    let mut cached_fingerprints = Vec::new();
+    for (index, request) in requests.iter().enumerate() {
+        let fingerprint = request.fingerprint();
+        let generation = case_base.generation();
+        let k = rng.gen_range(1..=6usize);
+        let nbest = engine.retrieve_n_best(&case_base, request, k).unwrap();
+        cache.insert_n_best(fingerprint, generation, k, &nbest);
+        cached_fingerprints.push(fingerprint);
+
+        // Best-of: bit-identical to the single-result engine (the rank
+        // tie-break guarantees rank(…, 1)[0] == retrieve().best).
+        let direct = engine.retrieve(&case_base, request).unwrap();
+        let served = cache
+            .lookup(fingerprint, generation)
+            .expect("covered best-of must hit");
+        assert_eq!(served.best, direct.best, "request {index}");
+        assert_eq!(served.evaluated, direct.evaluated, "request {index}");
+
+        // Every j ≤ k: the exact prefix the engine would recompute.
+        for j in 0..=k {
+            let direct_j = engine.retrieve_n_best(&case_base, request, j).unwrap();
+            let served_j = cache
+                .lookup_n_best(fingerprint, generation, j)
+                .expect("j ≤ k is covered");
+            assert_eq!(served_j.ranked, direct_j.ranked, "request {index} j={j}");
+            assert_eq!(served_j.evaluated, direct_j.evaluated, "request {index} j={j}");
+        }
+
+        // j > k: answered only when the cached ranking is complete
+        // (k ≥ evaluated) — and then still bit-identically.
+        let beyond = k + 1;
+        match cache.lookup_n_best(fingerprint, generation, beyond) {
+            Some(served_beyond) => {
+                assert!(k >= direct.evaluated, "request {index}: incomplete entry over-served");
+                let direct_beyond = engine
+                    .retrieve_n_best(&case_base, request, beyond)
+                    .unwrap();
+                assert_eq!(served_beyond.ranked, direct_beyond.ranked);
+            }
+            None => assert!(k < direct.evaluated, "request {index}: complete entry under-served"),
+        }
+    }
+
+    // One mutation invalidates *every view* of every entry atomically.
+    let victim_type = case_base.function_types()[0].id();
+    let victim_impl = case_base.function_types()[0].variants()[0].id();
+    let stale_before = cache.cache_stats().stale;
+    case_base
+        .apply_mutation(&CaseMutation::Evict {
+            type_id: victim_type,
+            impl_id: victim_impl,
+        })
+        .unwrap();
+    let generation = case_base.generation();
+    for fingerprint in &cached_fingerprints {
+        assert!(cache.lookup_n_best(*fingerprint, generation, 1).is_none());
+        assert!(cache.lookup(*fingerprint, generation).is_none());
+    }
+    assert!(
+        cache.cache_stats().stale > stale_before,
+        "the bump must surface as stale drops, not silent cold misses"
+    );
+
+    // And recomputes against the mutated case base re-populate correctly.
+    for (index, request) in requests.iter().enumerate().take(10) {
+        let fingerprint = request.fingerprint();
+        let nbest = engine.retrieve_n_best(&case_base, request, 4).unwrap();
+        cache.insert_n_best(fingerprint, generation, 4, &nbest);
+        let direct = engine.retrieve(&case_base, request).unwrap();
+        let served = cache.lookup(fingerprint, generation).unwrap();
+        assert_eq!(served.best, direct.best, "post-mutation request {index}");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Policies change hit rates, never answers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn no_policy_changes_what_the_service_answers() {
+    let case_base = CaseGen::new(8, 6, 5, 8).seed(0xCAFE).build();
+    let requests = RequestGen::new(&case_base)
+        .seed(0xAB)
+        .count(400)
+        .repeat_fraction(0.5)
+        .generate();
+    let engine = FixedEngine::new();
+    for policy in CachePolicy::ALL {
+        for admission in [false, true] {
+            let service = AllocationService::new(
+                &case_base,
+                &ServiceConfig::default()
+                    .with_shards(2)
+                    // Tiny cache: plenty of evictions and re-computes.
+                    .with_cache_capacity(8)
+                    .with_cache_policy(policy)
+                    .with_cache_admission(admission),
+            );
+            let tickets: Vec<_> = requests
+                .iter()
+                .map(|r| service.submit(r.clone(), QosClass::Medium))
+                .collect();
+            for (request, ticket) in requests.iter().zip(tickets) {
+                let reply = ticket.wait().unwrap();
+                let direct = engine.retrieve(&case_base, request).unwrap();
+                match reply.outcome {
+                    Outcome::Allocated { best, .. } => {
+                        assert_eq!(
+                            best,
+                            direct.best.unwrap(),
+                            "{policy} admission={admission}: answer changed"
+                        );
+                    }
+                    other => panic!("{policy}: unexpected outcome {other:?}"),
+                }
+            }
+            service.shutdown();
+        }
+    }
+}

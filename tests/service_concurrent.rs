@@ -571,3 +571,94 @@ fn repeated_kill_recover_cycles_stay_equivalent() {
     service.shutdown();
     std::fs::remove_dir_all(&dir).expect("cleanup");
 }
+
+/// 5. Cache metrics invariants, end to end and per eviction policy (see
+///    `docs/caching.md`): every dispatched request probes the shard cache
+///    exactly once, so after a drained shutdown
+///    `cache_hits + cache_misses == completed + failed` holds per class;
+///    stale detections are a subset of misses (a stale result is *never*
+///    served); and the per-class hit counters agree with the `cached`
+///    flags observed on the replies themselves.
+#[test]
+fn cache_metrics_invariants_hold_end_to_end_for_every_policy() {
+    use rqfa::service::CachePolicy;
+
+    let case_base = CaseGen::new(9, 6, 5, 8).seed(0x77).build();
+    let requests = RequestGen::new(&case_base)
+        .seed(0x99)
+        .count(300)
+        .repeat_fraction(0.5)
+        .generate();
+    for policy in CachePolicy::ALL {
+        for admission in [false, true] {
+            let label = format!("policy={policy} admission={admission}");
+            let service = AllocationService::new(
+                &case_base,
+                &ServiceConfig::default()
+                    .with_shards(3)
+                    .with_cache_capacity(64)
+                    .with_cache_policy(policy)
+                    .with_cache_admission(admission),
+            );
+            let mut cached_replies = [0u64; 4];
+            let classes = [
+                QosClass::Critical,
+                QosClass::High,
+                QosClass::Medium,
+                QosClass::Low,
+            ];
+            let mut replay = |service: &AllocationService| {
+                let tickets: Vec<Ticket> = requests
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| service.submit(r.clone(), classes[i % classes.len()]))
+                    .collect();
+                for ticket in tickets {
+                    let reply = ticket.wait().expect("answered");
+                    if let Outcome::Allocated { cached: true, .. } = reply.outcome {
+                        cached_replies[reply.class.index()] += 1;
+                    }
+                }
+            };
+            // Phase 1 populates the caches; the mutations bump every
+            // shard's generation; phase 2 turns the resident entries into
+            // stale detections.
+            replay(&service);
+            for ty in case_base.function_types() {
+                service
+                    .evict_variant(ty.id(), ty.variants()[0].id())
+                    .expect("evict");
+            }
+            replay(&service);
+            let snap = service.shutdown();
+            let mut total_stale = 0;
+            for class in QosClass::ALL {
+                let c = snap.class(class);
+                assert_eq!(
+                    c.cache_hits + c.cache_misses,
+                    c.completed + c.failed,
+                    "{label} {class}: every dispatched request probes once"
+                );
+                assert_eq!(c.cache_lookups(), c.cache_hits + c.cache_misses, "{label}");
+                assert!(
+                    c.cache_stale <= c.cache_misses,
+                    "{label} {class}: stale must be counted as misses"
+                );
+                assert_eq!(
+                    c.cache_hits,
+                    cached_replies[class.index()],
+                    "{label} {class}: metrics disagree with observed replies"
+                );
+                assert_eq!(c.failed, 0, "{label} {class}");
+                assert_eq!(c.completed + c.shed(), c.submitted, "{label} {class}");
+            }
+            for class in QosClass::ALL {
+                total_stale += snap.class(class).cache_stale;
+            }
+            assert!(
+                total_stale > 0,
+                "{label}: the mutation must surface as stale detections"
+            );
+        }
+    }
+}
