@@ -1,0 +1,245 @@
+//! Experiment E14 — the compiled retrieval plane vs the naive scan
+//! engine, on the saturating zipf trace (the perf-trajectory anchor).
+//!
+//! Sections:
+//!
+//! 1. **Verification pass** — before any timing, plane and naive answers
+//!    are compared bit-for-bit over the whole trace (winner, evaluated
+//!    count, and a sampled full score vector). A perf number for a wrong
+//!    kernel is worse than no number.
+//! 2. **Single-request throughput** — `FixedEngine::retrieve` vs
+//!    `PlaneEngine::retrieve` over the zipf trace, best of `TRIALS`.
+//!    Acceptance (CI perf-smoke lane): plane ≥ naive. The committed
+//!    trajectory (`BENCH_<pr>.json`) records the actual margin (≥ 2× at
+//!    PR 5 time).
+//! 3. **Batch throughput** — `retrieve_batch` vs `retrieve_batch_into`
+//!    at batch 32 (the service's dispatch shape).
+//! 4. **n-best throughput** — `retrieve_n_best` vs the zero-alloc
+//!    `retrieve_n_best_into` at n = 4.
+//! 5. **Within-batch coalescing A/B** — the duplicate-heavy burst trace
+//!    through the deterministic `BatchHarness` with the result cache
+//!    *disabled*, at dispatch batch 1 vs 32: every hit at batch 32 comes
+//!    from coalescing alone (batch 1 cannot coalesce, so its hit rate is
+//!    exactly 0). Hit counts are a pure function of the trace.
+//!
+//! `cargo run --release -p rqfa-bench --bin retrieval_kernel [-- --json <path>]`
+
+use std::time::Instant;
+
+use rqfa_bench::json::BenchReport;
+use rqfa_core::{CaseBase, FixedEngine, PlaneEngine, QosClass, Request};
+use rqfa_service::testkit::{job, BatchHarness};
+use rqfa_service::ServiceConfig;
+use rqfa_workloads::{Popularity, TrafficGen};
+
+const TRIALS: usize = 3;
+const BATCH: usize = 32;
+const NBEST: usize = 4;
+
+fn main() {
+    let json_path = rqfa_bench::json_path_from_args();
+    println!("E14. Compiled retrieval plane vs naive scan\n");
+    let case_base = rqfa_workloads::CaseGen::new(24, 24, 8, 10).seed(0xE14).build();
+    println!(
+        "case base: {} types × ~{} variants (total {}), {} attr types",
+        case_base.type_count(),
+        case_base.variant_count() / case_base.type_count(),
+        case_base.variant_count(),
+        case_base.bounds().len()
+    );
+    let zipf: Vec<Request> = TrafficGen::zipf_skewed(&case_base)
+        .seed(0xE141)
+        .duration_us(4_000_000)
+        .generate()
+        .into_iter()
+        .map(|a| a.request)
+        .collect();
+    println!("zipf trace: {} requests (universe 2048, exponent 1.1)\n", zipf.len());
+
+    let mut report = BenchReport::new("retrieval_kernel");
+    #[allow(clippy::cast_precision_loss)]
+    report.push("zipf/requests", "count", zipf.len() as f64);
+
+    verify(&case_base, &zipf);
+
+    // ── single-request throughput ─────────────────────────────────────
+    let naive_engine = FixedEngine::new();
+    let naive_single = best_rate(zipf.len(), || {
+        for request in &zipf {
+            std::hint::black_box(naive_engine.retrieve(&case_base, request).unwrap());
+        }
+    });
+    let mut plane_engine = PlaneEngine::new();
+    plane_engine.retrieve(&case_base, &zipf[0]).unwrap(); // compile once
+    let plane_single = best_rate(zipf.len(), || {
+        for request in &zipf {
+            std::hint::black_box(plane_engine.retrieve(&case_base, request).unwrap());
+        }
+    });
+    print_pair("single request", naive_single, plane_single);
+    report.push("zipf/naive_single", "req_per_sec", naive_single);
+    report.push("zipf/plane_single", "req_per_sec", plane_single);
+    report.push("zipf/speedup_single", "ratio", plane_single / naive_single);
+
+    // ── batch throughput (the service dispatch shape) ─────────────────
+    let batches: Vec<Vec<&Request>> = zipf.chunks(BATCH).map(|c| c.iter().collect()).collect();
+    let naive_batch = best_rate(zipf.len(), || {
+        for batch in &batches {
+            std::hint::black_box(naive_engine.retrieve_batch(&case_base, batch));
+        }
+    });
+    let mut out = Vec::new();
+    let plane_batch = best_rate(zipf.len(), || {
+        for batch in &batches {
+            plane_engine.retrieve_batch_into(&case_base, batch, &mut out);
+            std::hint::black_box(out.len());
+        }
+    });
+    print_pair(&format!("batch {BATCH}"), naive_batch, plane_batch);
+    report.push("zipf/naive_batch32", "req_per_sec", naive_batch);
+    report.push("zipf/plane_batch32", "req_per_sec", plane_batch);
+    report.push("zipf/speedup_batch32", "ratio", plane_batch / naive_batch);
+
+    // ── n-best throughput ─────────────────────────────────────────────
+    let naive_nbest = best_rate(zipf.len(), || {
+        for request in &zipf {
+            std::hint::black_box(
+                naive_engine.retrieve_n_best(&case_base, request, NBEST).unwrap(),
+            );
+        }
+    });
+    let mut ranked = Vec::new();
+    let plane_nbest = best_rate(zipf.len(), || {
+        for request in &zipf {
+            plane_engine
+                .retrieve_n_best_into(&case_base, request, NBEST, &mut ranked)
+                .unwrap();
+            std::hint::black_box(ranked.len());
+        }
+    });
+    print_pair(&format!("n-best {NBEST}"), naive_nbest, plane_nbest);
+    report.push("nbest4/naive", "req_per_sec", naive_nbest);
+    report.push("nbest4/plane", "req_per_sec", plane_nbest);
+    report.push("nbest4/speedup", "ratio", plane_nbest / naive_nbest);
+
+    // ── within-batch coalescing A/B ───────────────────────────────────
+    let (rate_b1, rate_b32) = coalescing_ab(&case_base);
+    println!(
+        "\ncoalescing A/B (burst trace, cache disabled, deterministic batches):\n\
+         {:<24} {:>8.1}%\n{:<24} {:>8.1}%",
+        "hit rate @ batch 1",
+        rate_b1 * 100.0,
+        "hit rate @ batch 32",
+        rate_b32 * 100.0
+    );
+    report.push("coalesce/hit_rate_batch1", "ratio", rate_b1);
+    report.push("coalesce/hit_rate_batch32", "ratio", rate_b32);
+
+    // Acceptance. The zipf margin is deliberately generous (≥ 1×: the
+    // plane must never be slower) so CI noise cannot flake the lane; the
+    // committed BENCH_<pr>.json records the real ≥ 2× margin.
+    assert!(
+        plane_single >= naive_single,
+        "plane single-request throughput regressed below naive \
+         ({plane_single:.0} < {naive_single:.0} req/s)"
+    );
+    assert!(
+        rate_b1 == 0.0 && rate_b32 > 0.0,
+        "coalescing must surface as a hit-rate gain (batch1 {rate_b1}, batch32 {rate_b32})"
+    );
+    println!(
+        "\nverdict: plane ≥ naive ({}× single, {}× batch), coalescing gain {:.1} pp ✓",
+        fmt_ratio(plane_single / naive_single),
+        fmt_ratio(plane_batch / naive_batch),
+        (rate_b32 - rate_b1) * 100.0
+    );
+
+    if let Some(path) = json_path {
+        report
+            .write_validated(&path)
+            .expect("bench report must validate against rqfa-bench/v1");
+        println!("json report: {} (schema valid)", path.display());
+    }
+}
+
+/// Bit-identity check over the whole trace before any timing.
+fn verify(case_base: &CaseBase, trace: &[Request]) {
+    let naive = FixedEngine::new();
+    let mut plane = PlaneEngine::new();
+    for (i, request) in trace.iter().enumerate() {
+        let n = naive.retrieve(case_base, request).unwrap();
+        let p = plane.retrieve(case_base, request).unwrap();
+        assert_eq!(n.best, p.best, "winner diverged at request {i}");
+        assert_eq!(n.evaluated, p.evaluated);
+        if i % 97 == 0 {
+            let (ns, _) = naive.score_all(case_base, request).unwrap();
+            let (ps, _) = plane.score_all(case_base, request).unwrap();
+            assert_eq!(ns, ps, "score vector diverged at request {i}");
+        }
+    }
+    println!("verification: plane ≡ naive over {} requests ✓\n", trace.len());
+}
+
+/// Deterministic coalescing A/B: hit rate of the duplicate-heavy burst
+/// trace at dispatch batch 1 vs `BATCH`, cache disabled.
+fn coalescing_ab(case_base: &CaseBase) -> (f64, f64) {
+    let burst: Vec<Request> = TrafficGen::new(case_base)
+        .seed(0xE142)
+        .duration_us(1_000_000)
+        .popularity(Popularity::Burst { mean_run: 12 })
+        .generate()
+        .into_iter()
+        .map(|a| a.request)
+        .collect();
+    let hit_rate = |batch_size: usize| -> f64 {
+        let config = ServiceConfig::default().with_cache_capacity(0);
+        let mut harness = BatchHarness::new(case_base, &config);
+        let now = Instant::now();
+        let mut receivers = Vec::with_capacity(burst.len());
+        for chunk in burst.chunks(batch_size) {
+            let mut jobs = Vec::with_capacity(chunk.len());
+            for (i, request) in chunk.iter().enumerate() {
+                let (j, rx) = job(i as u64, QosClass::Medium, request.clone(), now, None);
+                jobs.push(j);
+                receivers.push(rx);
+            }
+            harness.run_batch(jobs);
+        }
+        let snapshot = harness.metrics();
+        let class = snapshot.class(QosClass::Medium);
+        assert_eq!(class.completed as usize, burst.len());
+        #[allow(clippy::cast_precision_loss)]
+        {
+            class.cache_hits as f64 / class.completed as f64
+        }
+    };
+    (hit_rate(1), hit_rate(BATCH))
+}
+
+fn best_rate(requests: usize, mut body: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..TRIALS {
+        let start = Instant::now();
+        body();
+        let secs = start.elapsed().as_secs_f64();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = if secs > 0.0 {
+            requests as f64 / secs
+        } else {
+            f64::MAX
+        };
+        best = best.max(rate);
+    }
+    best
+}
+
+fn print_pair(label: &str, naive: f64, plane: f64) {
+    println!(
+        "{label:<16} naive {naive:>12.0} req/s   plane {plane:>12.0} req/s   ({}×)",
+        fmt_ratio(plane / naive)
+    );
+}
+
+fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}

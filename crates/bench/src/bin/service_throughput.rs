@@ -24,10 +24,15 @@
 //!    is a pure function of the trace). Acceptance: on the zipf-skewed
 //!    trace, 2Q's hit rate is at least FIFO's.
 //!
-//! `cargo run --release -p rqfa-bench --bin service_throughput`
+//! `cargo run --release -p rqfa-bench --bin service_throughput [-- --json <path>]`
+//!
+//! With `--json <path>` the headline numbers of every sweep (direct and
+//! closed-loop req/s, EDF-vs-FIFO p99/misses, cache-policy hit rates)
+//! are additionally emitted as an `rqfa-bench/v1` report.
 
 use std::time::{Duration, Instant};
 
+use rqfa_bench::json::BenchReport;
 use rqfa_core::{CaseBase, FixedEngine, QosClass, Request};
 use rqfa_service::{
     AllocationService, CachePolicy, MetricsSnapshot, SchedMode, ServiceConfig, Ticket,
@@ -44,6 +49,8 @@ const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const NOISE_BAND: f64 = 0.90;
 
 fn main() {
+    let json_path = rqfa_bench::json_path_from_args();
+    let mut report = BenchReport::new("service_throughput");
     println!("E13. Allocation service: throughput vs shards, QoS under load\n");
     let case_base = CaseGen::new(24, 24, 8, 10).seed(0xE13).build();
     println!(
@@ -71,6 +78,7 @@ fn main() {
     }
     let direct = per_sec(REQUESTS, start.elapsed().as_secs_f64());
     println!("direct FixedEngine (no queue, no cache): {direct:>10.0} req/s\n");
+    report.push("closed_loop/direct_engine", "req_per_sec", direct);
 
     println!("closed-loop saturation (best of {TRIALS} trials):");
     println!("{:<8} {:>12} {:>10} {:>8}", "shards", "req/s", "hit %", "vs 1");
@@ -79,6 +87,8 @@ fn main() {
     let mut monotone = true;
     for shards in SHARD_COUNTS {
         let (rate, hit_rate) = best_trial(&case_base, &requests, shards);
+        report.push(format!("closed_loop/shards_{shards}"), "req_per_sec", rate);
+        report.push(format!("closed_loop/hit_rate_shards_{shards}"), "ratio", hit_rate);
         if base == 0.0 {
             base = rate;
         }
@@ -100,8 +110,15 @@ fn main() {
     );
 
     open_loop_qos(&case_base);
-    edf_vs_fifo(&case_base);
-    cache_policy_ab(&case_base);
+    edf_vs_fifo(&case_base, &mut report);
+    cache_policy_ab(&case_base, &mut report);
+
+    if let Some(path) = json_path {
+        report
+            .write_validated(&path)
+            .expect("bench report must validate against rqfa-bench/v1");
+        println!("\njson report: {} (schema valid)", path.display());
+    }
 }
 
 /// One closed-loop trial: submit everything, wait for everything.
@@ -170,7 +187,7 @@ fn open_loop_qos(case_base: &CaseBase) {
 }
 
 /// The same deadline-skewed trace through FIFO lanes and EDF lanes.
-fn edf_vs_fifo(case_base: &CaseBase) {
+fn edf_vs_fifo(case_base: &CaseBase, report: &mut BenchReport) {
     println!("\nEDF vs FIFO under deadline-skewed load (same trace, 1 shard):");
     // Rates sized to push one shard past saturation so queues actually
     // build and within-class dispatch order decides who meets a deadline
@@ -233,6 +250,15 @@ fn edf_vs_fifo(case_base: &CaseBase) {
             f.shed(),
             e.shed(),
         );
+        #[allow(clippy::cast_precision_loss)]
+        for (mode, snap) in [("fifo", f), ("edf", e)] {
+            report.push(format!("deadline/{mode}/{class}/p99"), "us", snap.p99_us as f64);
+            report.push(
+                format!("deadline/{mode}/{class}/missed"),
+                "count",
+                snap.missed_deadline as f64,
+            );
+        }
     }
     println!(
         "promotions (EDF only): {}",
@@ -258,7 +284,7 @@ const AB_CACHE_CAPACITY: usize = 256;
 /// twin, because batch lookups all run before the batch's inserts — and
 /// batch composition depends on timing). Hit counts are therefore a pure
 /// function of the trace; only req/s and p99 carry timing.
-fn cache_policy_ab(case_base: &CaseBase) {
+fn cache_policy_ab(case_base: &CaseBase, report: &mut BenchReport) {
     println!(
         "\ncache policy A/B (closed loop, 1 shard, 1 class, cache capacity {AB_CACHE_CAPACITY}):"
     );
@@ -325,6 +351,11 @@ fn cache_policy_ab(case_base: &CaseBase) {
                 (CachePolicy::TwoQ, false) => two_q_hits = class.cache_hits,
                 _ => {}
             }
+            report.push(
+                format!("cache/{trace_name}/{policy_name}/hit_rate"),
+                "ratio",
+                class.hit_rate(),
+            );
             println!(
                 "{:<7} {:<8} {:>9} {:>8} {:>6.1}% {:>10.0} {:>9}",
                 trace_name,

@@ -1,0 +1,475 @@
+//! Machine-readable benchmark reports, dependency-free.
+//!
+//! The perf trajectory of this repository is a sequence of committed
+//! `BENCH_<pr>.json` files plus the `--json <path>` mode of the bench
+//! binaries. The container builds offline, so instead of `serde` this
+//! module ships a ~200-line JSON writer + strict parser pair and a
+//! schema validator for the one document shape the benches emit:
+//!
+//! ```json
+//! {
+//!   "schema": "rqfa-bench/v1",
+//!   "bench": "retrieval_kernel",
+//!   "results": [
+//!     { "name": "zipf/plane_single", "unit": "req_per_sec",
+//!       "value": 1234567.0 },
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! `results[].name` is a `/`-separated metric path, `unit` a free-form
+//! unit string, `value` a finite number. The CI perf-smoke lane re-reads
+//! every emitted file through [`validate_report`], so a bench that writes
+//! malformed output fails its own run.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The schema identifier every report must carry.
+pub const SCHEMA: &str = "rqfa-bench/v1";
+
+/// One metric of a benchmark report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Metric {
+    /// `/`-separated metric path, e.g. `"zipf/plane_single"`.
+    pub name: String,
+    /// Unit string, e.g. `"req_per_sec"` or `"ratio"`.
+    pub unit: String,
+    /// The measured value (must be finite).
+    pub value: f64,
+}
+
+/// A whole benchmark report (what `--json` writes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// The emitting bench binary, e.g. `"retrieval_kernel"`.
+    pub bench: String,
+    /// The metrics, in emission order.
+    pub results: Vec<Metric>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench`.
+    pub fn new(bench: impl Into<String>) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Appends one metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-finite values — a bench must never emit NaN/∞.
+    pub fn push(&mut self, name: impl Into<String>, unit: impl Into<String>, value: f64) {
+        assert!(value.is_finite(), "metric value must be finite");
+        self.results.push(Metric {
+            name: name.into(),
+            unit: unit.into(),
+            value,
+        });
+    }
+
+    /// Looks one metric up by name.
+    pub fn metric(&self, name: &str) -> Option<f64> {
+        self.results.iter().find(|m| m.name == name).map(|m| m.value)
+    }
+
+    /// Serializes the report (pretty-printed, trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema\": {},", quote(SCHEMA));
+        let _ = writeln!(out, "  \"bench\": {},", quote(&self.bench));
+        out.push_str("  \"results\": [\n");
+        for (i, m) in self.results.iter().enumerate() {
+            let comma = if i + 1 < self.results.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{ \"name\": {}, \"unit\": {}, \"value\": {} }}{comma}",
+                quote(&m.name),
+                quote(&m.unit),
+                number(m.value)
+            );
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the report to `path` and re-validates the written bytes —
+    /// the emitting bench fails its own run on malformed output.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or the validation error for an invalid round trip.
+    pub fn write_validated(&self, path: &std::path::Path) -> Result<(), String> {
+        let text = self.to_json();
+        validate_report(&text).map_err(|e| format!("refusing to write invalid report: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("write {}: {e}", path.display()))?;
+        let back = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+        let parsed = validate_report(&back)?;
+        if parsed == *self {
+            Ok(())
+        } else {
+            Err("round trip changed the report".into())
+        }
+    }
+}
+
+/// Serializes a finite `f64` so the strict parser reads it back exactly.
+fn number(value: f64) -> String {
+    let mut s = format!("{value}");
+    if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+        s.push_str(".0");
+    }
+    s
+}
+
+/// JSON string literal with the mandatory escapes.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parses and schema-checks one report document.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax or schema violation.
+pub fn validate_report(text: &str) -> Result<BenchReport, String> {
+    let value = Parser { bytes: text.as_bytes(), pos: 0 }.document()?;
+    let Value::Object(top) = value else {
+        return Err("top level must be an object".into());
+    };
+    let schema = string_field(&top, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("schema is {schema:?}, expected {SCHEMA:?}"));
+    }
+    let bench = string_field(&top, "bench")?;
+    if bench.is_empty() {
+        return Err("bench name must be non-empty".into());
+    }
+    let Some(Value::Array(results)) = top.get("results") else {
+        return Err("results must be an array".into());
+    };
+    if results.is_empty() {
+        return Err("results must be non-empty".into());
+    }
+    let mut report = BenchReport::new(bench);
+    let mut seen_names = std::collections::BTreeSet::new();
+    for (i, item) in results.iter().enumerate() {
+        let Value::Object(fields) = item else {
+            return Err(format!("results[{i}] must be an object"));
+        };
+        let name = string_field(fields, "name")?;
+        if name.is_empty() {
+            return Err(format!("results[{i}].name must be non-empty"));
+        }
+        if !seen_names.insert(name.clone()) {
+            return Err(format!("duplicate metric name {name:?}"));
+        }
+        let unit = string_field(fields, "unit")?;
+        let Some(Value::Number(value)) = fields.get("value") else {
+            return Err(format!("results[{i}].value must be a number"));
+        };
+        if !value.is_finite() {
+            return Err(format!("results[{i}].value must be finite"));
+        }
+        report.results.push(Metric { name, unit, value: *value });
+    }
+    Ok(report)
+}
+
+fn string_field(fields: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+    match fields.get(key) {
+        Some(Value::String(s)) => Ok(s.clone()),
+        _ => Err(format!("missing string field {key:?}")),
+    }
+}
+
+/// The subset of JSON values the reports use.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    String(String),
+    Number(f64),
+    Array(Vec<Value>),
+    Object(BTreeMap<String, Value>),
+}
+
+/// Strict recursive-descent parser over the report subset of JSON
+/// (objects, arrays, strings, numbers — no bools/null, which the schema
+/// never emits).
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn document(mut self) -> Result<Value, String> {
+        let value = self.value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(format!("trailing bytes at offset {}", self.pos));
+        }
+        Ok(value)
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek()? {
+            b'{' => self.object(),
+            b'[' => self.array(),
+            b'"' => Ok(Value::String(self.string()?)),
+            _ => self.number(),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = BTreeMap::new();
+        self.skip_ws();
+        if self.peek()? == b'}' {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            if fields.insert(key.clone(), value).is_some() {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Object(fields)),
+                c => return Err(format!("expected ',' or '}}', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek()? == b']' {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b']' => return Ok(Value::Array(items)),
+                c => return Err(format!("expected ',' or ']', got {:?}", c as char)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()?;
+                            code =
+                                code * 16 + (d as char).to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    c => return Err(format!("bad escape \\{}", c as char)),
+                },
+                c if c < 0x20 => return Err("raw control character in string".into()),
+                c => {
+                    // Re-assemble UTF-8 multibyte sequences.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = start + len;
+                    let chunk = self
+                        .bytes
+                        .get(start..end)
+                        .ok_or("truncated UTF-8 sequence")?;
+                    out.push_str(std::str::from_utf8(chunk).map_err(|e| e.to_string())?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>()
+            .map(Value::Number)
+            .map_err(|_| format!("bad number {text:?} at offset {start}"))
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Result<u8, String> {
+        self.bytes
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| "unexpected end of input".into())
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let byte = self.peek()?;
+        self.pos += 1;
+        Ok(byte)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at offset {}, got {:?}",
+                want as char,
+                self.pos - 1,
+                got as char
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut report = BenchReport::new("retrieval_kernel");
+        report.push("zipf/naive_single", "req_per_sec", 123456.5);
+        report.push("zipf/plane_single", "req_per_sec", 654321.0);
+        report.push("zipf/speedup", "ratio", 5.3e0);
+        report
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let report = sample();
+        let parsed = validate_report(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.metric("zipf/speedup"), Some(5.3));
+        assert_eq!(parsed.metric("nope"), None);
+    }
+
+    #[test]
+    fn escapes_survive() {
+        let mut report = BenchReport::new("we\"ird\\bench\n");
+        report.push("a/\tb", "µs", 1.0);
+        let parsed = validate_report(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        for (label, text) in [
+            ("bad json", "{"),
+            ("wrong top level", "[1.0]"),
+            ("missing schema", r#"{"bench":"x","results":[{"name":"a","unit":"u","value":1.0}]}"#),
+            (
+                "wrong schema",
+                r#"{"schema":"v0","bench":"x","results":[{"name":"a","unit":"u","value":1.0}]}"#,
+            ),
+            (
+                "empty results",
+                r#"{"schema":"rqfa-bench/v1","bench":"x","results":[]}"#,
+            ),
+            (
+                "empty name",
+                r#"{"schema":"rqfa-bench/v1","bench":"x","results":[{"name":"","unit":"u","value":1.0}]}"#,
+            ),
+            (
+                "string value",
+                r#"{"schema":"rqfa-bench/v1","bench":"x","results":[{"name":"a","unit":"u","value":"1"}]}"#,
+            ),
+            (
+                "trailing bytes",
+                "{\"schema\":\"rqfa-bench/v1\",\"bench\":\"x\",\"results\":[{\"name\":\"a\",\"unit\":\"u\",\"value\":1.0}]} x",
+            ),
+        ] {
+            assert!(validate_report(text).is_err(), "{label} must be rejected");
+        }
+    }
+
+    #[test]
+    fn duplicate_keys_are_rejected() {
+        let text = r#"{"schema":"rqfa-bench/v1","schema":"rqfa-bench/v1","bench":"x","results":[{"name":"a","unit":"u","value":1.0}]}"#;
+        assert!(validate_report(text).is_err());
+    }
+
+    #[test]
+    fn duplicate_metric_names_are_rejected() {
+        // metric() returns the first match, so a report with two metrics
+        // of one name would silently hide the second measurement.
+        let text = r#"{"schema":"rqfa-bench/v1","bench":"x","results":[
+            {"name":"a","unit":"u","value":1.0},
+            {"name":"a","unit":"u","value":2.0}]}"#;
+        assert!(validate_report(text).is_err());
+    }
+
+    #[test]
+    fn write_validated_round_trips_on_disk() {
+        let report = sample();
+        let path = std::env::temp_dir().join(format!("rqfa-bench-json-{}.json", std::process::id()));
+        report.write_validated(&path).unwrap();
+        let parsed = validate_report(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(parsed, report);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_metrics_panic_at_emission() {
+        BenchReport::new("x").push("a", "u", f64::NAN);
+    }
+}

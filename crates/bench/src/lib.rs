@@ -23,6 +23,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
 use rqfa_core::{CaseBase, Request};
 use rqfa_workloads::{CaseGen, RequestGen};
 
@@ -55,4 +57,27 @@ pub fn workload(types: u16, impls: u16, attrs: u16, attr_types: u16, n: usize) -
 /// Prints a horizontal rule sized for the experiment tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// Parses the one flag the report-emitting benches share: `--json <path>`.
+/// Returns `None` when the flag is absent.
+///
+/// # Panics
+///
+/// Panics (with usage text) on `--json` without a path or on unknown
+/// arguments — a bench invocation with a typo must fail loudly, not
+/// silently skip its report.
+pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    let mut args = std::env::args().skip(1);
+    let mut path = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let value = args.next().expect("usage: --json <path>");
+                path = Some(std::path::PathBuf::from(value));
+            }
+            other => panic!("unknown argument {other:?} (usage: [--json <path>])"),
+        }
+    }
+    path
 }

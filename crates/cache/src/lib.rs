@@ -262,6 +262,21 @@ impl<V, G: Copy + Eq, P: EvictionPolicy> GenCache<V, G, P> {
         self.debug_check();
     }
 
+    /// Records a *sighting* of `key` with the admission filter without
+    /// storing anything — the doorkeeper learns the key repeated.
+    ///
+    /// A batching caller that **coalesces** duplicate lookups (several
+    /// requests for one fingerprint served by a single computation)
+    /// should call this once per coalesced duplicate: the repeats are
+    /// real evidence the key is not a one-hit wonder, and without the
+    /// note the filter would see only the single insert that follows and
+    /// bounce it. No-op without an admission filter.
+    pub fn note_sighting(&mut self, key: u64) {
+        if let Some(filter) = &mut self.admission {
+            let _ = filter.admit(key);
+        }
+    }
+
     /// Drops one key (e.g. a targeted invalidation), returning its value.
     pub fn remove(&mut self, key: u64) -> Option<V> {
         let slot = self.map.remove(&key)?;
@@ -390,6 +405,22 @@ mod tests {
         assert_eq!(c.lookup(7, 1), None, "stale drop");
         c.insert(7, 1, 2);
         assert_eq!(c.lookup(7, 1), Some(&2), "readmitted without a bounce");
+    }
+
+    #[test]
+    fn noted_sighting_earns_admission() {
+        // A coalesced within-batch duplicate is a sighting: after one
+        // note, the single insert that follows must be admitted.
+        let mut c = cache(4, CachePolicy::Lru).with_admission(true);
+        c.note_sighting(9);
+        c.insert(9, 0, 1);
+        assert_eq!(c.lookup(9, 0), Some(&1), "noted key admitted first insert");
+        assert_eq!(c.stats().rejected, 0);
+        // Without a filter the note is a no-op.
+        let mut plain = cache(4, CachePolicy::Lru);
+        plain.note_sighting(9);
+        plain.insert(9, 0, 1);
+        assert_eq!(plain.lookup(9, 0), Some(&1));
     }
 
     #[test]

@@ -385,21 +385,26 @@ impl FixedEngine {
         let mut order: Vec<usize> = (0..requests.len()).collect();
         order.sort_by_key(|&i| requests[i].type_id());
         let mut out: Vec<Option<ScoreResult>> = (0..requests.len()).map(|_| None).collect();
-        let mut current: Option<(crate::ids::TypeId, Result<&crate::casebase::FunctionType, CoreError>)> = None;
+        // Cache the resolved `&FunctionType` itself across a same-type
+        // group — `None` for a missing type, so an absent type costs one
+        // lookup (not one `Result` clone with its error payload) per
+        // request in the group.
+        let mut current: Option<(crate::ids::TypeId, Option<&crate::casebase::FunctionType>)> =
+            None;
         for i in order {
             let request = requests[i];
             let tid = request.type_id();
-            let ty = match &current {
-                Some((cached, ty)) if *cached == tid => ty.clone(),
+            let ty = match current {
+                Some((cached, ty)) if cached == tid => ty,
                 _ => {
-                    let looked_up = case_base.require_type(tid);
-                    current = Some((tid, looked_up.clone()));
+                    let looked_up = case_base.function_type(tid);
+                    current = Some((tid, looked_up));
                     looked_up
                 }
             };
             out[i] = Some(match ty {
-                Ok(ty) => self.score_type(bounds, ty, request),
-                Err(e) => Err(e),
+                Some(ty) => self.score_type(bounds, ty, request),
+                None => Err(CoreError::UnknownType { type_id: tid }),
             });
         }
         out.into_iter().map(|slot| slot.expect("every slot filled")).collect()

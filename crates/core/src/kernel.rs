@@ -1,0 +1,651 @@
+//! Zero-allocation scoring kernels over a compiled [`RetrievalPlane`].
+//!
+//! The kernels score **column-major**: the outer loop walks the request's
+//! constraints (attributes), the inner loop streams one contiguous
+//! [`AttrColumn`](crate::plane::AttrColumn) accumulating into a per-variant
+//! `u32` array held in a reusable [`Scratch`] arena. Because the UQ1.15
+//! accumulator of the naive engine is a plain `u32` sum of per-constraint
+//! terms, clamped **once** at the end, the attribute-outer order produces
+//! **bit-identical** scores to [`FixedEngine::score_all`](crate::FixedEngine::score_all)'s variant-outer
+//! order — the workspace differential harness
+//! (`tests/plane_differential.rs`) proves it over seeded random case
+//! bases, request streams and mid-stream mutations.
+//!
+//! Steady-state calls allocate nothing: every intermediate lives in the
+//! caller-owned [`Scratch`] (sized on first use, reused after), the fused
+//! top-1 reduction never materializes a score vector, and the `*_into`
+//! variants write rankings and batch results into caller-owned buffers.
+//!
+//! [`PlaneEngine`] is the drop-in facade: it owns a plane + scratch pair,
+//! recompiles the plane whenever the case base's [`Generation`] stamp
+//! moves, and mirrors the [`FixedEngine`](crate::FixedEngine) entry points. The cost model of
+//! the [`OpCounts`] it reports is documented in `docs/retrieval.md`
+//! (arithmetic counters are identical to the naive path; `search_steps`
+//! counts per-constraint column resolutions instead of attribute-list
+//! walk steps).
+
+use rqfa_fixed::Q15;
+
+use crate::casebase::CaseBase;
+use crate::engine::{OpCounts, Retrieval, ScoreResult, Scored};
+use crate::error::CoreError;
+use crate::generation::Generation;
+use crate::nbest::NBest;
+use crate::plane::{RetrievalPlane, TypePlane};
+use crate::request::Request;
+use crate::similarity::local_q15;
+
+/// Sentinel for a constraint whose attribute no variant of the type binds
+/// (it contributes `s_i = 0` to every variant).
+const NO_COLUMN: u32 = u32::MAX;
+
+/// One pre-resolved request constraint: the request shape's constants,
+/// looked up once per request instead of once per variant.
+#[derive(Debug, Clone, Copy)]
+struct ResolvedConstraint {
+    /// Requested value in domain units.
+    value: u16,
+    /// UQ1.15 weight word from the request list.
+    weight: Q15,
+    /// Pre-resolved `1/(1 + d_max)` from the plane's reciprocal table.
+    recip: Q15,
+    /// Column index within the [`TypePlane`], or [`NO_COLUMN`].
+    column: u32,
+}
+
+/// Reusable scratch arena of the scoring kernels.
+///
+/// Own one per worker/thread and pass it to every kernel call: after the
+/// first few requests size the buffers, steady-state scoring performs no
+/// heap allocation (the [`Scratch::grows`] counter and the workspace
+/// counting-allocator test both verify this).
+#[derive(Debug, Default)]
+pub struct Scratch {
+    /// Per-variant UQ1.15 accumulators (`Σ raw(s_i·w_i)`, clamped late).
+    acc: Vec<u32>,
+    /// Pre-resolved constraints of the request being scored.
+    resolved: Vec<ResolvedConstraint>,
+    /// Index buffer for ranking (top-k) and batch grouping.
+    order: Vec<u32>,
+    /// Buffer reallocation events (capacity growth), for scratch-reuse
+    /// assertions.
+    grows: u64,
+}
+
+impl Scratch {
+    /// A fresh, empty arena.
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    /// How many times any internal buffer had to grow its capacity.
+    /// Stable across calls once the arena is warm — the scratch-reuse
+    /// counterpart of the counting-allocator test.
+    pub fn grows(&self) -> u64 {
+        self.grows
+    }
+
+    /// Clears `acc` to `n` zeroed rows, tracking capacity growth.
+    fn reset_rows(&mut self, n: usize) {
+        if self.acc.capacity() < n {
+            self.grows += 1;
+        }
+        self.acc.clear();
+        self.acc.resize(n, 0);
+    }
+
+    /// Clears `resolved`, tracking capacity growth.
+    fn reset_constraints(&mut self, n: usize) {
+        if self.resolved.capacity() < n {
+            self.grows += 1;
+        }
+        self.resolved.clear();
+    }
+
+    /// Clears `order`, tracking capacity growth.
+    fn reset_order(&mut self, n: usize) {
+        if self.order.capacity() < n {
+            self.grows += 1;
+        }
+        self.order.clear();
+    }
+}
+
+/// Resolves the request's constraints against the plane: reciprocal from
+/// the flat table, column index by binary search. One `search_steps` per
+/// constraint — the whole per-request "setup" the compiled plane leaves.
+///
+/// Errors mirror the naive path: the **first** constraint (in attribute
+/// order) whose attribute has no bounds entry fails with
+/// [`CoreError::UndeclaredAttr`].
+fn resolve(
+    plane: &RetrievalPlane,
+    ty: &TypePlane,
+    request: &Request,
+    scratch: &mut Scratch,
+    ops: &mut OpCounts,
+) -> Result<(), CoreError> {
+    scratch.reset_constraints(request.constraints().len());
+    for c in request.constraints() {
+        let recip = plane
+            .recip(c.attr)
+            .ok_or(CoreError::UndeclaredAttr { attr: c.attr })?;
+        ops.search_steps += 1;
+        let column = match ty.column_index(c.attr) {
+            Some(index) => u32::try_from(index).expect("u16-id attr space"),
+            None => NO_COLUMN,
+        };
+        scratch.resolved.push(ResolvedConstraint {
+            value: c.value,
+            weight: c.weight_q15,
+            recip,
+            column,
+        });
+    }
+    Ok(())
+}
+
+/// The column-major accumulation: for each resolved constraint, stream
+/// its column into the per-variant accumulators. Missing bindings (and
+/// whole missing columns) contribute `s_i = 0` exactly as the naive
+/// engine's failed `resumable_find` does.
+fn accumulate(ty: &TypePlane, scratch: &mut Scratch, ops: &mut OpCounts) {
+    let n = ty.variant_count();
+    scratch.reset_rows(n);
+    let rows = n as u64;
+    let Scratch { acc, resolved, .. } = scratch;
+    for rc in resolved.iter() {
+        if rc.column == NO_COLUMN {
+            // s_i = 0 for every variant: the accumulator is unchanged,
+            // only the s_i·w_i multiply/accumulate cost is paid.
+            ops.multiplies += rows;
+            ops.additions += rows;
+            continue;
+        }
+        let column = &ty.columns()[rc.column as usize];
+        if column.is_dense() {
+            for (slot, &value) in acc.iter_mut().zip(column.values()) {
+                let si = local_q15(rc.value, value, rc.recip);
+                *slot += u32::from(si.mul_trunc(rc.weight).raw());
+            }
+            ops.distances += rows;
+            ops.multiplies += 2 * rows;
+            ops.additions += 2 * rows;
+        } else {
+            let values = column.values();
+            for (word_index, &word) in column.present_words().iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let index = word_index * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let si = local_q15(rc.value, values[index], rc.recip);
+                    acc[index] += u32::from(si.mul_trunc(rc.weight).raw());
+                }
+            }
+            let present = column.present_count() as u64;
+            ops.distances += present;
+            ops.multiplies += rows + present;
+            ops.additions += rows + present;
+        }
+    }
+}
+
+/// Final clamp of one accumulator row, identical to the naive engine:
+/// `Σ(s_i·w_i) ≤ Σ w_i = 0x8000`, saturated defensively anyway.
+#[inline]
+fn clamp(acc: u32) -> Q15 {
+    #[allow(clippy::cast_possible_truncation)]
+    Q15::saturating_from_raw(acc.min(u32::from(Q15::ONE.raw())) as u16)
+}
+
+/// Fused top-1 reduction: clamp + first-achieving-max (strict-`>` update)
+/// in one pass, never materializing a score vector.
+fn reduce_top1(ty: &TypePlane, scratch: &Scratch, ops: &mut OpCounts) -> Option<Scored<Q15>> {
+    let mut best: Option<(usize, Q15)> = None;
+    for (index, &acc) in scratch.acc.iter().enumerate() {
+        let similarity = clamp(acc);
+        ops.comparisons += 1;
+        match best {
+            None => best = Some((index, similarity)),
+            Some((_, b)) if similarity > b => best = Some((index, similarity)),
+            _ => {}
+        }
+    }
+    best.map(|(index, similarity)| Scored {
+        impl_id: ty.impl_ids()[index],
+        target: ty.targets()[index],
+        similarity,
+    })
+}
+
+/// Scores one request against one type plane and fuses the top-1
+/// reduction.
+fn score_top1(
+    plane: &RetrievalPlane,
+    ty: &TypePlane,
+    request: &Request,
+    scratch: &mut Scratch,
+) -> Result<Retrieval<Q15>, CoreError> {
+    let mut ops = OpCounts::default();
+    resolve(plane, ty, request, scratch, &mut ops)?;
+    accumulate(ty, scratch, &mut ops);
+    let best = reduce_top1(ty, scratch, &mut ops);
+    Ok(Retrieval {
+        best,
+        evaluated: ty.variant_count(),
+        ops,
+    })
+}
+
+/// The compiled-plane retrieval engine: a [`RetrievalPlane`] cache plus a
+/// [`Scratch`] arena behind the familiar [`FixedEngine`](crate::FixedEngine) entry points.
+///
+/// The facade is bound to **one** case base instance (a shard's store):
+/// it validates freshness purely by the [`Generation`] stamp, recompiling
+/// the plane whenever the stamp moves. Results are bit-identical to the
+/// naive engine — scores, winner/tie selection, n-best order and error
+/// values; only [`OpCounts::search_steps`] follows the plane cost model
+/// (see `docs/retrieval.md`).
+///
+/// ```
+/// use rqfa_core::{paper, FixedEngine, PlaneEngine};
+///
+/// let cb = paper::table1_case_base();
+/// let request = paper::table1_request()?;
+/// let mut plane = PlaneEngine::new();
+/// let fast = plane.retrieve(&cb, &request)?;
+/// let naive = FixedEngine::new().retrieve(&cb, &request)?;
+/// assert_eq!(fast.best, naive.best);
+/// assert_eq!(fast.evaluated, naive.evaluated);
+/// # Ok::<(), rqfa_core::CoreError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct PlaneEngine {
+    plane: Option<RetrievalPlane>,
+    scratch: Scratch,
+    recompiles: u64,
+}
+
+impl PlaneEngine {
+    /// A fresh engine with an empty (lazily compiled) plane.
+    pub fn new() -> PlaneEngine {
+        PlaneEngine::default()
+    }
+
+    /// Ensures the plane matches `case_base`'s generation, recompiling if
+    /// it moved (or was never compiled).
+    fn ensure(&mut self, case_base: &CaseBase) {
+        let fresh = self
+            .plane
+            .as_ref()
+            .is_some_and(|p| p.generation() == case_base.generation());
+        if !fresh {
+            self.plane = Some(RetrievalPlane::compile(case_base));
+            self.recompiles += 1;
+        }
+    }
+
+    /// The compiled plane for `case_base` (compiling it if stale).
+    pub fn plane(&mut self, case_base: &CaseBase) -> &RetrievalPlane {
+        self.ensure(case_base);
+        self.plane.as_ref().expect("just ensured")
+    }
+
+    /// How many times the plane was (re)compiled — once at first use,
+    /// once per observed generation change after.
+    pub fn recompiles(&self) -> u64 {
+        self.recompiles
+    }
+
+    /// Scratch-buffer growth events (see [`Scratch::grows`]).
+    pub fn scratch_grows(&self) -> u64 {
+        self.scratch.grows()
+    }
+
+    /// The generation of the currently compiled plane, if any.
+    pub fn compiled_generation(&self) -> Option<Generation> {
+        self.plane.as_ref().map(RetrievalPlane::generation)
+    }
+
+    /// Plane-kernel equivalent of [`FixedEngine::retrieve`](crate::FixedEngine::retrieve): fused top-1,
+    /// zero allocation in steady state.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions (and identical error values) as
+    /// [`FixedEngine::score_all`](crate::FixedEngine::score_all).
+    pub fn retrieve(
+        &mut self,
+        case_base: &CaseBase,
+        request: &Request,
+    ) -> Result<Retrieval<Q15>, CoreError> {
+        self.ensure(case_base);
+        let plane = self.plane.as_ref().expect("just ensured");
+        let ty = plane
+            .type_plane(request.type_id())
+            .ok_or(CoreError::UnknownType {
+                type_id: request.type_id(),
+            })?;
+        score_top1(plane, ty, request, &mut self.scratch)
+    }
+
+    /// Plane-kernel equivalent of [`FixedEngine::retrieve_batch`](crate::FixedEngine::retrieve_batch),
+    /// writing per-item results into the caller-owned `out` (cleared
+    /// first, answers in input order). The batch is grouped by function
+    /// type and each group is scored column-major against its type plane
+    /// — the software analogue of the hardware streaming a same-function
+    /// burst over a parked level-0 pointer.
+    pub fn retrieve_batch_into(
+        &mut self,
+        case_base: &CaseBase,
+        requests: &[&Request],
+        out: &mut Vec<Result<Retrieval<Q15>, CoreError>>,
+    ) {
+        self.ensure(case_base);
+        // Group indices by type id (stable: ties keep input order) using
+        // the scratch index buffer.
+        self.scratch.reset_order(requests.len());
+        let order = &mut self.scratch.order;
+        order.extend(0..u32::try_from(requests.len()).expect("batch fits u32"));
+        order.sort_unstable_by_key(|&i| (requests[i as usize].type_id(), i));
+        out.clear();
+        out.extend(requests.iter().map(|r| {
+            Err(CoreError::UnknownType {
+                type_id: r.type_id(),
+            })
+        }));
+        let plane = self.plane.as_ref().expect("just ensured");
+        // Temporarily move the order buffer out so `scratch` can be
+        // borrowed mutably by the per-request kernels.
+        let order = std::mem::take(&mut self.scratch.order);
+        let mut cursor = 0usize;
+        while cursor < order.len() {
+            let first = order[cursor] as usize;
+            let type_id = requests[first].type_id();
+            let group_end = order[cursor..]
+                .iter()
+                .position(|&i| requests[i as usize].type_id() != type_id)
+                .map_or(order.len(), |offset| cursor + offset);
+            // One type resolution per same-type group.
+            if let Some(ty) = plane.type_plane(type_id) {
+                for &index in &order[cursor..group_end] {
+                    let request = requests[index as usize];
+                    out[index as usize] = score_top1(plane, ty, request, &mut self.scratch);
+                }
+            }
+            cursor = group_end;
+        }
+        self.scratch.order = order;
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`PlaneEngine::retrieve_batch_into`].
+    pub fn retrieve_batch(
+        &mut self,
+        case_base: &CaseBase,
+        requests: &[&Request],
+    ) -> Vec<Result<Retrieval<Q15>, CoreError>> {
+        let mut out = Vec::new();
+        self.retrieve_batch_into(case_base, requests, &mut out);
+        out
+    }
+
+    /// Plane-kernel equivalent of [`FixedEngine::retrieve_n_best`](crate::FixedEngine::retrieve_n_best),
+    /// writing the ranked list into the caller-owned `ranked` buffer
+    /// (cleared first; descending similarity, ties broken by tree order,
+    /// truncated to `n`). Returns `(evaluated, ops)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedEngine::score_all`](crate::FixedEngine::score_all).
+    pub fn retrieve_n_best_into(
+        &mut self,
+        case_base: &CaseBase,
+        request: &Request,
+        n: usize,
+        ranked: &mut Vec<Scored<Q15>>,
+    ) -> Result<(usize, OpCounts), CoreError> {
+        self.ensure(case_base);
+        let plane = self.plane.as_ref().expect("just ensured");
+        let ty = plane
+            .type_plane(request.type_id())
+            .ok_or(CoreError::UnknownType {
+                type_id: request.type_id(),
+            })?;
+        let mut ops = OpCounts::default();
+        resolve(plane, ty, request, &mut self.scratch, &mut ops)?;
+        accumulate(ty, &mut self.scratch, &mut ops);
+        let variants = ty.variant_count();
+        // Clamp in place, then rank indices: descending similarity with
+        // ascending-index tie-break — exactly `nbest::rank`.
+        for acc in &mut self.scratch.acc {
+            *acc = u32::from(clamp(*acc).raw());
+        }
+        ops.comparisons += variants as u64;
+        self.scratch.reset_order(variants);
+        self.scratch
+            .order
+            .extend(0..u32::try_from(variants).expect("u16-id variant space"));
+        let acc = &self.scratch.acc;
+        self.scratch
+            .order
+            .sort_unstable_by_key(|&i| (std::cmp::Reverse(acc[i as usize]), i));
+        ranked.clear();
+        ranked.extend(self.scratch.order.iter().take(n).map(|&i| {
+            let index = i as usize;
+            Scored {
+                impl_id: ty.impl_ids()[index],
+                target: ty.targets()[index],
+                #[allow(clippy::cast_possible_truncation)]
+                similarity: Q15::saturating_from_raw(acc[index] as u16),
+            }
+        }));
+        Ok((variants, ops))
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`PlaneEngine::retrieve_n_best_into`], mirroring
+    /// [`FixedEngine::retrieve_n_best`](crate::FixedEngine::retrieve_n_best).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedEngine::score_all`](crate::FixedEngine::score_all).
+    pub fn retrieve_n_best(
+        &mut self,
+        case_base: &CaseBase,
+        request: &Request,
+        n: usize,
+    ) -> Result<NBest<Q15>, CoreError> {
+        let mut ranked = Vec::new();
+        let (evaluated, ops) =
+            self.retrieve_n_best_into(case_base, request, n, &mut ranked)?;
+        Ok(NBest {
+            ranked,
+            evaluated,
+            ops,
+        })
+    }
+
+    /// Materializes the full score vector (the "unless asked" escape
+    /// hatch, and the differential harness's comparison point against
+    /// [`FixedEngine::score_all`](crate::FixedEngine::score_all)).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`FixedEngine::score_all`](crate::FixedEngine::score_all).
+    pub fn score_all(
+        &mut self,
+        case_base: &CaseBase,
+        request: &Request,
+    ) -> Result<(Vec<Scored<Q15>>, OpCounts), CoreError> {
+        self.ensure(case_base);
+        let plane = self.plane.as_ref().expect("just ensured");
+        let ty = plane
+            .type_plane(request.type_id())
+            .ok_or(CoreError::UnknownType {
+                type_id: request.type_id(),
+            })?;
+        let mut ops = OpCounts::default();
+        resolve(plane, ty, request, &mut self.scratch, &mut ops)?;
+        accumulate(ty, &mut self.scratch, &mut ops);
+        ops.comparisons += ty.variant_count() as u64;
+        let scores = self
+            .scratch
+            .acc
+            .iter()
+            .enumerate()
+            .map(|(index, &acc)| Scored {
+                impl_id: ty.impl_ids()[index],
+                target: ty.targets()[index],
+                similarity: clamp(acc),
+            })
+            .collect();
+        Ok((scores, ops))
+    }
+
+    /// Plane-kernel equivalent of [`FixedEngine::score_batch`](crate::FixedEngine::score_batch): full
+    /// score vectors in input order. Each request resolves its type
+    /// plane independently (a binary search over the compiled plane —
+    /// there is no per-group state left to amortize on the
+    /// full-vector path; the fused top-1 batch path is
+    /// [`PlaneEngine::retrieve_batch_into`]).
+    pub fn score_batch(&mut self, case_base: &CaseBase, requests: &[&Request]) -> Vec<ScoreResult> {
+        requests
+            .iter()
+            .map(|request| self.score_all(case_base, request))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{AttrId, TypeId};
+    use crate::engine::FixedEngine;
+    use crate::paper;
+
+    #[test]
+    fn matches_naive_on_the_paper_example() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let naive = FixedEngine::new();
+        let mut fast = PlaneEngine::new();
+        let (naive_scores, naive_ops) = naive.score_all(&cb, &request).unwrap();
+        let (plane_scores, plane_ops) = fast.score_all(&cb, &request).unwrap();
+        assert_eq!(naive_scores, plane_scores, "bit-identical score vectors");
+        assert_eq!(naive_ops.distances, plane_ops.distances);
+        assert_eq!(naive_ops.multiplies, plane_ops.multiplies);
+        assert_eq!(naive_ops.additions, plane_ops.additions);
+        assert_eq!(naive_ops.comparisons, plane_ops.comparisons);
+        // search_steps follows the plane cost model: one per constraint.
+        assert_eq!(plane_ops.search_steps, request.constraints().len() as u64);
+    }
+
+    #[test]
+    fn winner_and_ties_match_naive() {
+        for cb in [
+            paper::table1_case_base(),
+            paper::tie_case_base(),
+            paper::incomplete_attrs_case_base(),
+        ] {
+            let request = paper::table1_request().unwrap();
+            let naive = FixedEngine::new().retrieve(&cb, &request).unwrap();
+            let fast = PlaneEngine::new().retrieve(&cb, &request).unwrap();
+            assert_eq!(naive.best, fast.best);
+            assert_eq!(naive.evaluated, fast.evaluated);
+        }
+    }
+
+    #[test]
+    fn n_best_matches_naive_ranking() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut fast = PlaneEngine::new();
+        for n in 0..5 {
+            let naive = FixedEngine::new()
+                .retrieve_n_best(&cb, &request, n)
+                .unwrap();
+            let plane = fast.retrieve_n_best(&cb, &request, n).unwrap();
+            assert_eq!(naive.ranked, plane.ranked, "n = {n}");
+            assert_eq!(naive.evaluated, plane.evaluated);
+        }
+    }
+
+    #[test]
+    fn batch_answers_in_input_order_and_isolates_errors() {
+        let cb = paper::table1_case_base();
+        let mut fast = PlaneEngine::new();
+        let fir = paper::table1_request().unwrap();
+        let fft = Request::builder(paper::FFT_1D)
+            .constraint(AttrId::new(1).unwrap(), 16)
+            .build()
+            .unwrap();
+        let bad = Request::builder(TypeId::new(99).unwrap())
+            .constraint(AttrId::new(1).unwrap(), 1)
+            .build()
+            .unwrap();
+        let batch = [&fft, &bad, &fir, &fft, &fir];
+        let naive = FixedEngine::new().retrieve_batch(&cb, &batch);
+        let plane = fast.retrieve_batch(&cb, &batch);
+        assert_eq!(naive.len(), plane.len());
+        for (n, p) in naive.iter().zip(&plane) {
+            match (n, p) {
+                (Ok(n), Ok(p)) => {
+                    assert_eq!(n.best, p.best);
+                    assert_eq!(n.evaluated, p.evaluated);
+                }
+                (Err(n), Err(p)) => assert_eq!(n, p),
+                other => panic!("diverged: {other:?}"),
+            }
+        }
+        assert!(fast.retrieve_batch(&cb, &[]).is_empty());
+    }
+
+    #[test]
+    fn undeclared_attr_matches_naive_error() {
+        let cb = paper::table1_case_base();
+        let request = Request::builder(paper::FIR_EQUALIZER)
+            .constraint(AttrId::new(77).unwrap(), 1)
+            .build()
+            .unwrap();
+        let naive = FixedEngine::new().score_all(&cb, &request).unwrap_err();
+        let plane = PlaneEngine::new().score_all(&cb, &request).unwrap_err();
+        assert_eq!(naive, plane);
+    }
+
+    #[test]
+    fn generation_bump_recompiles_exactly_once() {
+        let mut cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut fast = PlaneEngine::new();
+        fast.retrieve(&cb, &request).unwrap();
+        fast.retrieve(&cb, &request).unwrap();
+        assert_eq!(fast.recompiles(), 1, "stable generation reuses the plane");
+        cb.evict_variant(paper::FIR_EQUALIZER, paper::IMPL_GP).unwrap();
+        let after = fast.retrieve(&cb, &request).unwrap();
+        assert_eq!(fast.recompiles(), 2, "mutation invalidates the plane");
+        assert_eq!(after.evaluated, 2);
+        assert_eq!(fast.compiled_generation(), Some(cb.generation()));
+    }
+
+    #[test]
+    fn scratch_stops_growing_after_warmup() {
+        let cb = paper::table1_case_base();
+        let request = paper::table1_request().unwrap();
+        let mut fast = PlaneEngine::new();
+        let mut out = Vec::new();
+        let mut ranked = Vec::new();
+        for _ in 0..3 {
+            fast.retrieve(&cb, &request).unwrap();
+            fast.retrieve_batch_into(&cb, &[&request, &request], &mut out);
+            fast.retrieve_n_best_into(&cb, &request, 2, &mut ranked).unwrap();
+        }
+        let warm = fast.scratch_grows();
+        for _ in 0..100 {
+            fast.retrieve(&cb, &request).unwrap();
+            fast.retrieve_batch_into(&cb, &[&request, &request], &mut out);
+            fast.retrieve_n_best_into(&cb, &request, 2, &mut ranked).unwrap();
+        }
+        assert_eq!(fast.scratch_grows(), warm, "steady state must not grow");
+    }
+}

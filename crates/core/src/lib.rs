@@ -65,6 +65,9 @@
 //! * [`similarity`], [`amalgamation`] — equations (1) and (2).
 //! * [`engine`] — the float reference and the bit-exact fixed-point
 //!   retrieval engines, with operation counting.
+//! * [`plane`], [`kernel`] — the compiled columnar retrieval plane and
+//!   its zero-allocation scoring kernels ([`PlaneEngine`]), bit-identical
+//!   to [`engine`] (normative model: `docs/retrieval.md`).
 //! * [`nbest`] — n-most-similar retrieval (paper future work).
 //! * [`qos`] — AXI4-style QoS service classes shared by the traffic
 //!   generators and the allocation service.
@@ -87,9 +90,11 @@ mod error;
 pub mod generation;
 pub mod ids;
 pub mod implvariant;
+pub mod kernel;
 pub mod mahalanobis;
 pub mod mutation;
 pub mod nbest;
+pub mod plane;
 pub mod paper;
 pub mod qos;
 pub mod request;
@@ -107,9 +112,11 @@ pub use error::CoreError;
 pub use generation::Generation;
 pub use ids::{AttrId, ImplId, TypeId, RESERVED_ID};
 pub use implvariant::{ExecutionTarget, Footprint, ImplVariant};
+pub use kernel::{PlaneEngine, Scratch};
 pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
 pub use mutation::CaseMutation;
 pub use nbest::NBest;
+pub use plane::RetrievalPlane;
 pub use qos::QosClass;
 pub use request::{Constraint, Request, RequestBuilder};
 pub use token::{BypassToken, TokenCache, TokenStats};

@@ -1,0 +1,343 @@
+//! The compiled **retrieval plane**: a columnar (structure-of-arrays)
+//! image of the case base, rebuilt once per case-base generation.
+//!
+//! The paper's hardware unit owes its speed to *precompiled memory
+//! layout*: the implementation tree is serialized at design time into
+//! presorted linear lists, so a burst of same-function requests streams
+//! over a parked level-0 pointer with no per-request setup. The naive
+//! software path ([`crate::FixedEngine::score_all`]) re-pays that setup on
+//! every request — a heap allocation for the reciprocal table, another
+//! for the score vector, and a per-variant `resumable_find` walk over the
+//! attribute list.
+//!
+//! A [`RetrievalPlane`] is the software analogue of the design-time
+//! tool flow, applied at run time and invalidated by the case base's
+//! [`Generation`] stamp:
+//!
+//! * per function type, one **contiguous `u16` column per attribute**
+//!   across all variants ([`AttrColumn`]), with a presence **bitmap** for
+//!   attributes not bound by every variant — scoring one constraint
+//!   touches one cache-friendly column instead of walking every
+//!   variant's attribute list;
+//! * a flat, sorted **reciprocal table** (`attr → 1/(1+d_max)` in
+//!   UQ1.15), pre-resolved from the bounds table so a request shape
+//!   resolves its constants with binary searches over a dense slice
+//!   instead of `BTreeMap` pointer chasing;
+//! * variant identity columns (`ImplId`, [`ExecutionTarget`]) in tree
+//!   order, so winner selection and ranking keep the exact decision
+//!   semantics of the naive engines.
+//!
+//! The plane stores *copies* of the `u16` payloads (a few bytes per
+//! attribute binding), never references — it stays valid while the case
+//! base mutates and is simply recompiled when the generation moves on.
+//! The scoring kernels that run over a plane live in [`crate::kernel`];
+//! the normative hot-path model is `docs/retrieval.md`.
+
+use crate::bounds::BoundsTable;
+use crate::casebase::{CaseBase, FunctionType};
+use crate::generation::Generation;
+use crate::ids::{AttrId, ImplId, TypeId};
+use crate::implvariant::ExecutionTarget;
+use rqfa_fixed::Q15;
+
+/// One attribute column of a [`TypePlane`]: the values every variant of
+/// the type binds for one attribute, plus a presence bitmap.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttrColumn {
+    attr: AttrId,
+    /// One value per variant, in tree (ascending `ImplId`) order; slots
+    /// of variants that do not bind this attribute hold `0` and are
+    /// masked out by the bitmap.
+    values: Vec<u16>,
+    /// Presence bitmap, 64 variants per word, LSB-first.
+    present: Vec<u64>,
+    /// Number of set bits in `present`.
+    present_count: usize,
+    /// Whether every variant binds this attribute (bitmap tests skipped).
+    dense: bool,
+}
+
+impl AttrColumn {
+    /// The attribute this column holds.
+    pub fn attr(&self) -> AttrId {
+        self.attr
+    }
+
+    /// The per-variant values in tree order (masked slots read `0`).
+    pub fn values(&self) -> &[u16] {
+        &self.values
+    }
+
+    /// The presence bitmap (64 variants per word, LSB-first).
+    pub fn present_words(&self) -> &[u64] {
+        &self.present
+    }
+
+    /// Number of variants binding this attribute.
+    pub fn present_count(&self) -> usize {
+        self.present_count
+    }
+
+    /// Whether every variant of the type binds this attribute.
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Whether variant `index` (tree order) binds this attribute.
+    pub fn is_present(&self, index: usize) -> bool {
+        self.dense || (self.present[index / 64] >> (index % 64)) & 1 == 1
+    }
+}
+
+/// The columnar image of one function type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypePlane {
+    type_id: TypeId,
+    impl_ids: Vec<ImplId>,
+    targets: Vec<ExecutionTarget>,
+    /// Columns sorted by ascending [`AttrId`] (the union of all variants'
+    /// attributes).
+    columns: Vec<AttrColumn>,
+}
+
+impl TypePlane {
+    /// Compiles the columnar image of `ty`.
+    fn compile(ty: &FunctionType) -> TypePlane {
+        let variants = ty.variants();
+        let n = variants.len();
+        let words = n.div_ceil(64);
+        let impl_ids = variants.iter().map(crate::implvariant::ImplVariant::id).collect();
+        let targets = variants
+            .iter()
+            .map(crate::implvariant::ImplVariant::target)
+            .collect();
+        // The union of bound attributes. Variant attribute lists are
+        // sorted, so a merge over a sorted accumulator stays cheap.
+        let mut attrs: Vec<AttrId> = Vec::new();
+        for variant in variants {
+            for binding in variant.attrs() {
+                if let Err(pos) = attrs.binary_search(&binding.attr) {
+                    attrs.insert(pos, binding.attr);
+                }
+            }
+        }
+        let mut columns: Vec<AttrColumn> = attrs
+            .into_iter()
+            .map(|attr| AttrColumn {
+                attr,
+                values: vec![0; n],
+                present: vec![0; words],
+                present_count: 0,
+                dense: false,
+            })
+            .collect();
+        for (index, variant) in variants.iter().enumerate() {
+            for binding in variant.attrs() {
+                let column = columns
+                    .binary_search_by_key(&binding.attr, |c| c.attr)
+                    .map(|pos| &mut columns[pos])
+                    .expect("column exists for every bound attribute");
+                column.values[index] = binding.value;
+                column.present[index / 64] |= 1 << (index % 64);
+                column.present_count += 1;
+            }
+        }
+        for column in &mut columns {
+            column.dense = column.present_count == n;
+        }
+        TypePlane {
+            type_id: ty.id(),
+            impl_ids,
+            targets,
+            columns,
+        }
+    }
+
+    /// The function type this plane images.
+    pub fn type_id(&self) -> TypeId {
+        self.type_id
+    }
+
+    /// Number of variants (rows).
+    pub fn variant_count(&self) -> usize {
+        self.impl_ids.len()
+    }
+
+    /// Variant ids in tree order.
+    pub fn impl_ids(&self) -> &[ImplId] {
+        &self.impl_ids
+    }
+
+    /// Variant execution targets in tree order.
+    pub fn targets(&self) -> &[ExecutionTarget] {
+        &self.targets
+    }
+
+    /// The attribute columns, sorted by ascending [`AttrId`].
+    pub fn columns(&self) -> &[AttrColumn] {
+        &self.columns
+    }
+
+    /// Index of the column for `attr`, if any variant binds it.
+    pub fn column_index(&self, attr: AttrId) -> Option<usize> {
+        self.columns.binary_search_by_key(&attr, |c| c.attr).ok()
+    }
+}
+
+/// The compiled retrieval plane of a whole case base at one generation.
+///
+/// ```
+/// use rqfa_core::{paper, plane::RetrievalPlane};
+///
+/// let cb = paper::table1_case_base();
+/// let plane = RetrievalPlane::compile(&cb);
+/// assert_eq!(plane.generation(), cb.generation());
+/// let fir = plane.type_plane(paper::FIR_EQUALIZER).unwrap();
+/// assert_eq!(fir.variant_count(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetrievalPlane {
+    generation: Generation,
+    /// `(attr, 1/(1+d_max))` for every declared attribute, sorted by id —
+    /// the pre-resolved supplemental list.
+    recips: Vec<(AttrId, Q15)>,
+    /// One plane per function type, sorted by [`TypeId`].
+    types: Vec<TypePlane>,
+}
+
+impl RetrievalPlane {
+    /// Compiles the plane for `case_base` at its current generation.
+    pub fn compile(case_base: &CaseBase) -> RetrievalPlane {
+        RetrievalPlane {
+            generation: case_base.generation(),
+            recips: compile_recips(case_base.bounds()),
+            types: case_base
+                .function_types()
+                .iter()
+                .map(TypePlane::compile)
+                .collect(),
+        }
+    }
+
+    /// The generation this plane was compiled at. A case base whose
+    /// generation differs has mutated since; the plane must be recompiled
+    /// before serving it (the [`crate::kernel::PlaneEngine`] facade does
+    /// this automatically).
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// The type planes, sorted by [`TypeId`].
+    pub fn type_planes(&self) -> &[TypePlane] {
+        &self.types
+    }
+
+    /// Looks up the plane of one function type.
+    pub fn type_plane(&self, type_id: TypeId) -> Option<&TypePlane> {
+        self.types
+            .binary_search_by_key(&type_id, TypePlane::type_id)
+            .ok()
+            .map(|idx| &self.types[idx])
+    }
+
+    /// The pre-resolved reciprocal `1/(1 + d_max)` of a declared
+    /// attribute — bit-identical to
+    /// [`crate::BoundsEntry::recip`](crate::BoundsEntry).
+    pub fn recip(&self, attr: AttrId) -> Option<Q15> {
+        self.recips
+            .binary_search_by_key(&attr, |&(a, _)| a)
+            .ok()
+            .map(|idx| self.recips[idx].1)
+    }
+
+    /// Number of declared attributes in the reciprocal table.
+    pub fn declared_attrs(&self) -> usize {
+        self.recips.len()
+    }
+}
+
+/// Flattens the bounds table into the sorted reciprocal slice.
+fn compile_recips(bounds: &BoundsTable) -> Vec<(AttrId, Q15)> {
+    bounds
+        .iter()
+        .map(|decl| {
+            let entry = bounds
+                .entry(decl.id())
+                .expect("iterated declarations resolve");
+            (decl.id(), entry.recip)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn compiles_paper_case_base() {
+        let cb = paper::table1_case_base();
+        let plane = RetrievalPlane::compile(&cb);
+        assert_eq!(plane.type_planes().len(), cb.type_count());
+        let fir = plane.type_plane(paper::FIR_EQUALIZER).unwrap();
+        assert_eq!(fir.variant_count(), 3);
+        assert_eq!(fir.impl_ids()[1], paper::IMPL_DSP);
+        // Every column value matches the variant's binding.
+        let ty = cb.function_type(paper::FIR_EQUALIZER).unwrap();
+        for column in fir.columns() {
+            for (index, variant) in ty.variants().iter().enumerate() {
+                match variant.attr(column.attr()) {
+                    Some(value) => {
+                        assert!(column.is_present(index));
+                        assert_eq!(column.values()[index], value);
+                    }
+                    None => assert!(!column.is_present(index)),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_columns_track_presence() {
+        let cb = paper::incomplete_attrs_case_base();
+        let plane = RetrievalPlane::compile(&cb);
+        let ty = plane.type_planes().first().unwrap();
+        let sparse: Vec<&AttrColumn> =
+            ty.columns().iter().filter(|c| !c.is_dense()).collect();
+        assert!(!sparse.is_empty(), "fixture has a variant missing an attr");
+        for column in sparse {
+            let from_bits: usize = column
+                .present_words()
+                .iter()
+                .map(|w| w.count_ones() as usize)
+                .sum();
+            assert_eq!(from_bits, column.present_count());
+            assert!(column.present_count() < ty.variant_count());
+        }
+    }
+
+    #[test]
+    fn recips_match_bounds_entries() {
+        let cb = paper::table1_case_base();
+        let plane = RetrievalPlane::compile(&cb);
+        assert_eq!(plane.declared_attrs(), cb.bounds().len());
+        for decl in cb.bounds().iter() {
+            let entry = cb.bounds().entry(decl.id()).unwrap();
+            assert_eq!(plane.recip(decl.id()), Some(entry.recip));
+        }
+        assert_eq!(plane.recip(AttrId::new(999).unwrap()), None);
+    }
+
+    #[test]
+    fn generation_stamp_tracks_mutations() {
+        let mut cb = paper::table1_case_base();
+        let plane = RetrievalPlane::compile(&cb);
+        assert_eq!(plane.generation(), cb.generation());
+        cb.evict_variant(paper::FIR_EQUALIZER, paper::IMPL_GP).unwrap();
+        assert_ne!(plane.generation(), cb.generation());
+        let recompiled = RetrievalPlane::compile(&cb);
+        assert_eq!(recompiled.generation(), cb.generation());
+        let fir = recompiled.type_plane(paper::FIR_EQUALIZER).unwrap();
+        assert_eq!(fir.variant_count(), 2);
+    }
+}

@@ -162,6 +162,15 @@ impl RetrievalCache {
         self.inner.insert(fingerprint, generation, entry);
     }
 
+    /// Records that `fingerprint` repeated inside one dispatch batch
+    /// (a coalesced duplicate served off the leader's computation): the
+    /// admission filter counts the repeat as a sighting, so the leader's
+    /// insert is not bounced as a one-hit wonder. No-op without an
+    /// admission filter.
+    pub fn note_repeat(&mut self, fingerprint: u64) {
+        self.inner.note_sighting(fingerprint);
+    }
+
     /// Live entries.
     pub fn len(&self) -> usize {
         self.inner.len()

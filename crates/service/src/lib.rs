@@ -827,6 +827,8 @@ impl AllocationService {
 pub mod testkit {
     use super::*;
 
+    pub use crate::shard::BatchHarness;
+
     /// Builds a job with an explicit enqueue instant and effective
     /// deadline, plus the receiver its reply (if any) arrives on.
     pub fn job(

@@ -4,7 +4,7 @@
 //! type ids are dense in practice, so the spread is even). Each shard owns
 //! a private [`CaseBase`] slice behind a mutex, a private
 //! [`RetrievalCache`], a [`ClassQueue`] and one worker thread running a
-//! [`FixedEngine`]. Because retrieval only ever touches the requested
+//! [`PlaneEngine`]. Because retrieval only ever touches the requested
 //! type's subtree, a shard answers exactly as the single big engine would
 //! over the merged case base — sharding changes *where* a request runs,
 //! never *what* it answers (the integration suite asserts this).
@@ -26,12 +26,14 @@
 //! retrievals; automatic checkpoints triggered by the mutation cadence
 //! simply skip a beat when one is already in flight.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use rqfa_core::{CaseBase, CaseMutation, CoreError, FixedEngine, Generation, TypeId};
+use rqfa_core::{CaseBase, CaseMutation, CoreError, Generation, PlaneEngine, Retrieval, TypeId};
+use rqfa_fixed::Q15;
 use rqfa_persist::{DurableCaseBase, FileStore, PendingCheckpoint, PersistError, WrittenCheckpoint};
 
 use crate::cache::{CacheLookup, RetrievalCache};
@@ -326,90 +328,187 @@ impl Drop for Shard {
     }
 }
 
-/// The worker loop: pop a batch, shed expired jobs, answer hits from the
-/// cache, run the rest through the engine's batch API, reply, repeat.
+/// The reusable per-worker state of the retrieval hot path: the compiled
+/// plane engine (scratch arena + plane, recompiled on generation change),
+/// the shard's result cache, and the batch-local coalescing buffers.
+///
+/// Everything here is sized by the first few batches and reused after, so
+/// the steady-state engine path allocates nothing per request (the
+/// per-batch job vectors from the queue are the only churn).
+pub(crate) struct WorkerContext {
+    engine: PlaneEngine,
+    cache: RetrievalCache,
+    /// Engine results of the current batch's leaders, reused.
+    results: Vec<Result<Retrieval<Q15>, CoreError>>,
+    /// Batch-local map: fingerprint → leader index in `pending`.
+    seen: HashMap<u64, usize>,
+    /// Coalesced within-batch duplicates: `(leader index, job)`.
+    followers: Vec<(usize, Job)>,
+}
+
+impl WorkerContext {
+    pub(crate) fn new(cache: RetrievalCache) -> WorkerContext {
+        WorkerContext {
+            engine: PlaneEngine::new(),
+            cache,
+            results: Vec::new(),
+            seen: HashMap::new(),
+            followers: Vec::new(),
+        }
+    }
+}
+
+/// The worker loop: pop a batch, process it against the (locked) store.
 fn run_worker(
     queue: &ClassQueue,
     store: &Mutex<ShardStore>,
     metrics: &ServiceMetrics,
     batch_size: usize,
-    mut cache: RetrievalCache,
+    cache: RetrievalCache,
 ) {
-    let engine = FixedEngine::new();
+    let mut ctx = WorkerContext::new(cache);
     while let Some(batch) = queue.pop_batch(batch_size) {
         if batch.is_empty() {
             continue;
         }
-        metrics.batches.fetch_add(1, Ordering::Relaxed);
-        metrics
-            .batched_requests
-            .fetch_add(batch.len() as u64, Ordering::Relaxed);
         let store = store.lock().expect("store poisoned");
-        let now = Instant::now();
+        process_batch(batch, &store, metrics, &mut ctx);
+    }
+}
 
-        // Pass 1: deadline shedding and cache lookups.
-        let mut pending: Vec<Job> = Vec::with_capacity(batch.len());
-        for job in batch {
-            let waited_us = duration_us(now.duration_since(job.enqueued_at));
-            if let Some(deadline) = job.deadline {
-                if job.class.sheddable() && now > deadline {
-                    metrics
-                        .class(job.class)
-                        .shed_deadline
-                        .fetch_add(1, Ordering::Relaxed);
-                    job.reply(Outcome::ShedDeadline, waited_us, metrics);
-                    continue;
-                }
+/// Processes one dispatched batch: shed expired jobs, answer cache hits,
+/// **coalesce within-batch duplicates**, run the remaining *leaders*
+/// through the plane kernel's batch API, fan replies out, repeat.
+///
+/// Coalescing: identical fingerprints inside one batch are scored once.
+/// The first miss becomes the *leader* (counted as one cache miss); every
+/// later duplicate becomes a *follower* that skips the cache probe and
+/// the engine entirely and is served a copy of the leader's result,
+/// counted — and flagged in its reply — as a cache hit. The admission
+/// filter is told about each coalesced repeat
+/// ([`RetrievalCache::note_repeat`]) so the leader's insert is not
+/// bounced as a one-hit wonder. Normative semantics: `docs/retrieval.md`.
+fn process_batch(
+    batch: Vec<Job>,
+    store: &ShardStore,
+    metrics: &ServiceMetrics,
+    ctx: &mut WorkerContext,
+) {
+    metrics.batches.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .batched_requests
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    let now = Instant::now();
+    let generation = store.generation();
+
+    // Pass 1: deadline shedding, cache lookups, duplicate coalescing.
+    // Leaders keep their pass-1 fingerprint so the insert in pass 2 does
+    // not re-hash the constraint list.
+    let mut pending: Vec<(u64, Job)> = Vec::with_capacity(batch.len());
+    ctx.seen.clear();
+    for job in batch {
+        let waited_us = duration_us(now.duration_since(job.enqueued_at));
+        if let Some(deadline) = job.deadline {
+            if job.class.sheddable() && now > deadline {
+                metrics
+                    .class(job.class)
+                    .shed_deadline
+                    .fetch_add(1, Ordering::Relaxed);
+                job.reply(Outcome::ShedDeadline, waited_us, metrics);
+                continue;
             }
-            let generation = store.generation();
-            match cache.lookup_outcome(job.request.fingerprint(), generation) {
-                CacheLookup::Hit(hit) => {
-                    finish(job, hit, true, metrics);
-                    continue;
-                }
-                CacheLookup::Miss { stale } => {
-                    let class = metrics.class(job.class);
-                    class.cache_misses.fetch_add(1, Ordering::Relaxed);
-                    if stale {
-                        class.cache_stale.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-            pending.push(job);
         }
-
-        // Pass 2: one batched engine call for every cache miss.
-        if pending.is_empty() {
+        let fingerprint = job.request.fingerprint();
+        if let Some(&leader) = ctx.seen.get(&fingerprint) {
+            // Within-batch duplicate: one computation will serve it.
+            ctx.cache.note_repeat(fingerprint);
+            ctx.followers.push((leader, job));
             continue;
         }
-        match store.case_base() {
-            Some(case_base) => {
+        match ctx.cache.lookup_outcome(fingerprint, generation) {
+            CacheLookup::Hit(hit) => {
+                finish(job, hit, true, metrics);
+                continue;
+            }
+            CacheLookup::Miss { stale } => {
+                let class = metrics.class(job.class);
+                class.cache_misses.fetch_add(1, Ordering::Relaxed);
+                if stale {
+                    class.cache_stale.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        ctx.seen.insert(fingerprint, pending.len());
+        pending.push((fingerprint, job));
+    }
+
+    // Pass 2: one batched plane-kernel call for every leader.
+    if pending.is_empty() {
+        debug_assert!(ctx.followers.is_empty(), "followers imply a leader");
+        return;
+    }
+    match store.case_base() {
+        Some(case_base) => {
+            {
                 let requests: Vec<&rqfa_core::Request> =
-                    pending.iter().map(|j| &j.request).collect();
-                let results = engine.retrieve_batch(case_base, &requests);
-                let generation = case_base.generation();
-                for (job, result) in pending.into_iter().zip(results) {
-                    match result {
-                        Ok(retrieval) => {
-                            cache.insert(job.request.fingerprint(), generation, &retrieval);
-                            finish(job, retrieval, false, metrics);
-                        }
-                        Err(error) => {
-                            metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
-                            let waited_us = duration_us(now.duration_since(job.enqueued_at));
-                            job.reply(Outcome::Failed(error), waited_us, metrics);
-                        }
+                    pending.iter().map(|(_, j)| &j.request).collect();
+                ctx.engine
+                    .retrieve_batch_into(case_base, &requests, &mut ctx.results);
+            }
+            let generation = case_base.generation();
+            // Followers first (they read the leaders' results), counted
+            // as cache hits — the coalesced "1 miss + N−1 hits" account.
+            for (leader, job) in ctx.followers.drain(..) {
+                match &ctx.results[leader] {
+                    Ok(retrieval) => finish(job, retrieval.clone(), true, metrics),
+                    Err(error) => {
+                        // A failed leader fails its followers identically;
+                        // the follower's probe-that-never-was counts as a
+                        // miss so per-class cache counters keep summing to
+                        // the served total.
+                        let class = metrics.class(job.class);
+                        class.cache_misses.fetch_add(1, Ordering::Relaxed);
+                        class.failed.fetch_add(1, Ordering::Relaxed);
+                        let waited_us = duration_us(now.duration_since(job.enqueued_at));
+                        job.reply(Outcome::Failed(error.clone()), waited_us, metrics);
                     }
                 }
             }
-            None => {
-                // Empty shard: no type routes here, so the type is unknown.
-                for job in pending {
-                    metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
-                    let type_id = job.request.type_id();
-                    let waited_us = duration_us(now.duration_since(job.enqueued_at));
-                    job.reply(Outcome::Failed(CoreError::UnknownType { type_id }), waited_us, metrics);
+            for ((fingerprint, job), result) in pending.into_iter().zip(ctx.results.drain(..)) {
+                match result {
+                    Ok(retrieval) => {
+                        ctx.cache.insert(fingerprint, generation, &retrieval);
+                        finish(job, retrieval, false, metrics);
+                    }
+                    Err(error) => {
+                        metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
+                        let waited_us = duration_us(now.duration_since(job.enqueued_at));
+                        job.reply(Outcome::Failed(error), waited_us, metrics);
+                    }
                 }
+            }
+        }
+        None => {
+            // Empty shard: no type routes here, so the type is unknown.
+            let fail = |job: Job, count_miss: bool| {
+                let class = metrics.class(job.class);
+                if count_miss {
+                    class.cache_misses.fetch_add(1, Ordering::Relaxed);
+                }
+                class.failed.fetch_add(1, Ordering::Relaxed);
+                let type_id = job.request.type_id();
+                let waited_us = duration_us(now.duration_since(job.enqueued_at));
+                job.reply(
+                    Outcome::Failed(CoreError::UnknownType { type_id }),
+                    waited_us,
+                    metrics,
+                );
+            };
+            for (_, job) in ctx.followers.drain(..) {
+                fail(job, true);
+            }
+            for (_, job) in pending {
+                fail(job, false);
             }
         }
     }
@@ -453,6 +552,72 @@ fn finish(job: Job, retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>, cached: bo
 /// Saturating µs conversion.
 pub(crate) fn duration_us(duration: std::time::Duration) -> u64 {
     u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Drives the worker's batch-processing path synchronously, without
+/// worker threads or wall-clock dependence: the caller decides exactly
+/// which jobs form one dispatch batch, which makes coalescing and cache
+/// accounting deterministic and assertable. Construct jobs with
+/// [`crate::testkit::job`].
+///
+/// Not part of the stable API — test support only.
+#[doc(hidden)]
+pub struct BatchHarness {
+    store: ShardStore,
+    metrics: Arc<ServiceMetrics>,
+    ctx: WorkerContext,
+}
+
+impl BatchHarness {
+    /// A harness over an ephemeral copy of `case_base`, with the cache
+    /// configured from `config` (capacity / policy / admission).
+    pub fn new(case_base: &CaseBase, config: &ServiceConfig) -> BatchHarness {
+        BatchHarness {
+            store: ShardStore::Ephemeral(case_base.clone()),
+            metrics: Arc::new(ServiceMetrics::default()),
+            ctx: WorkerContext::new(RetrievalCache::with_policy(
+                config.cache_capacity,
+                config.cache_policy,
+                config.cache_admission,
+            )),
+        }
+    }
+
+    /// Processes `batch` exactly as one worker dispatch round would.
+    pub fn run_batch(&mut self, batch: Vec<Job>) {
+        process_batch(batch, &self.store, &self.metrics, &mut self.ctx);
+    }
+
+    /// Applies a mutation to the underlying store (bumps the generation,
+    /// so the next batch invalidates the cache and recompiles the plane).
+    pub fn apply(&mut self, mutation: &CaseMutation) -> Result<CaseMutation, ServiceError> {
+        self.store.apply(mutation)
+    }
+
+    /// Metrics accumulated by the processed batches.
+    pub fn metrics(&self) -> crate::MetricsSnapshot {
+        self.metrics.snapshot()
+    }
+
+    /// The result cache's counter set.
+    pub fn cache_stats(&self) -> rqfa_cache::CacheStats {
+        self.ctx.cache.cache_stats()
+    }
+
+    /// Live result-cache entries.
+    pub fn cache_len(&self) -> usize {
+        self.ctx.cache.len()
+    }
+
+    /// Plane (re)compilations performed by the worker's engine.
+    pub fn engine_recompiles(&self) -> u64 {
+        self.ctx.engine.recompiles()
+    }
+
+    /// Scratch-arena growth events of the worker's engine.
+    pub fn scratch_grows(&self) -> u64 {
+        self.ctx.engine.scratch_grows()
+    }
 }
 
 impl Job {

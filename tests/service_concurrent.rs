@@ -662,3 +662,247 @@ fn cache_metrics_invariants_hold_end_to_end_for_every_policy() {
         }
     }
 }
+
+/// 6. Within-batch duplicate coalescing (`docs/retrieval.md`): identical
+///    fingerprints inside one dispatch batch are scored **once** — the
+///    first miss is the leader (one engine evaluation, one cache miss),
+///    every later duplicate is served a copy of the leader's result and
+///    counted as a cache hit with the `cached` reply flag set. Driven
+///    through the synchronous `BatchHarness`, so batch composition — and
+///    therefore every counter — is exact, not timing-dependent.
+#[test]
+fn within_batch_duplicates_coalesce_to_one_evaluation() {
+    let case_base = paper::table1_case_base();
+    let mut harness = testkit::BatchHarness::new(&case_base, &ServiceConfig::default());
+    let fir = paper::table1_request().unwrap();
+    let fft = Request::builder(paper::FFT_1D)
+        .constraint(AttrId::new(1).unwrap(), 16)
+        .build()
+        .unwrap();
+    let pattern = [&fir, &fft, &fir, &fir, &fft, &fir];
+    let now = Instant::now();
+    let mut jobs = Vec::new();
+    let mut receivers = Vec::new();
+    for (i, request) in pattern.iter().enumerate() {
+        let (job, rx) = testkit::job(i as u64, QosClass::Medium, (*request).clone(), now, None);
+        jobs.push(job);
+        receivers.push(rx);
+    }
+    harness.run_batch(jobs);
+
+    let class = harness.metrics();
+    let class = class.class(QosClass::Medium);
+    assert_eq!(class.cache_misses, 2, "one miss per distinct fingerprint");
+    assert_eq!(class.cache_hits, 4, "every coalesced duplicate is a hit");
+    assert_eq!(class.completed, 6);
+    assert_eq!(
+        harness.cache_stats().insertions,
+        2,
+        "only leaders insert into the cache"
+    );
+
+    // Replies: bit-identical to a direct engine run; `cached` flags mark
+    // exactly the coalesced duplicates (leaders first per fingerprint).
+    let engine = FixedEngine::new();
+    let mut cached_flags = Vec::new();
+    for (rx, request) in receivers.iter().zip(pattern) {
+        let reply = rx.try_recv().expect("batch replies synchronously");
+        match reply.outcome {
+            Outcome::Allocated {
+                best,
+                evaluated,
+                cached,
+            } => {
+                let expected = engine.retrieve(&case_base, request).unwrap();
+                assert_eq!(Some(best), expected.best, "reply bits must match");
+                assert_eq!(evaluated, expected.evaluated);
+                cached_flags.push(cached);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    assert_eq!(cached_flags, [false, false, true, true, true, true]);
+
+    // A later batch of the same requests is served from the cache: no
+    // new evaluation, no new insertions.
+    let (job, rx) = testkit::job(9, QosClass::Medium, fir.clone(), Instant::now(), None);
+    harness.run_batch(vec![job]);
+    match rx.try_recv().expect("replied").outcome {
+        Outcome::Allocated { cached, .. } => assert!(cached, "resident entry hits"),
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    assert_eq!(harness.cache_stats().insertions, 2);
+}
+
+/// 6b. Coalescing × admission: the coalesced repeats count as sightings,
+///     so a duplicate-heavy fingerprint earns cache residence from its
+///     very first batch, while a one-hit wonder is still bounced.
+#[test]
+fn coalesced_repeats_earn_cache_admission() {
+    let case_base = paper::table1_case_base();
+    let config = ServiceConfig::default().with_cache_admission(true);
+    let mut harness = testkit::BatchHarness::new(&case_base, &config);
+    let fir = paper::table1_request().unwrap();
+    let fft = Request::builder(paper::FFT_1D)
+        .constraint(AttrId::new(1).unwrap(), 16)
+        .build()
+        .unwrap();
+    // One batch: fir three times (duplicate-heavy), fft once (singleton).
+    let now = Instant::now();
+    let mut jobs = Vec::new();
+    let mut receivers = Vec::new();
+    for (i, request) in [&fir, &fft, &fir, &fir].iter().enumerate() {
+        let (job, rx) = testkit::job(i as u64, QosClass::High, (*request).clone(), now, None);
+        jobs.push(job);
+        receivers.push(rx);
+    }
+    harness.run_batch(jobs);
+    assert_eq!(
+        harness.cache_len(),
+        1,
+        "repeated fingerprint is admitted, the singleton is bounced"
+    );
+    assert_eq!(harness.cache_stats().rejected, 1, "fft bounced once");
+    // The resident entry serves the next batch.
+    let (job, rx) = testkit::job(9, QosClass::High, fir.clone(), Instant::now(), None);
+    harness.run_batch(vec![job]);
+    match rx.try_recv().expect("replied").outcome {
+        Outcome::Allocated { cached, .. } => assert!(cached),
+        other => panic!("unexpected outcome: {other:?}"),
+    }
+    drop(receivers);
+}
+
+/// 6c. Coalescing after a mutation: the leader takes the stale detection,
+///     the plane engine recompiles once, and followers receive the
+///     *post-mutation* result — a coalesced reply can never resurrect a
+///     stale cached answer.
+#[test]
+fn coalescing_respects_generation_invalidation() {
+    let case_base = paper::table1_case_base();
+    let mut harness = testkit::BatchHarness::new(&case_base, &ServiceConfig::default());
+    let fir = paper::table1_request().unwrap();
+    let now = Instant::now();
+    let (job, rx) = testkit::job(0, QosClass::Medium, fir.clone(), now, None);
+    harness.run_batch(vec![job]);
+    assert!(rx.try_recv().is_ok());
+    assert_eq!(harness.engine_recompiles(), 1);
+
+    // Mutate: the generation moves, cache entry + plane both go stale.
+    harness
+        .apply(&CaseMutation::Evict {
+            type_id: paper::FIR_EQUALIZER,
+            impl_id: paper::IMPL_GP,
+        })
+        .expect("evict applies");
+
+    let mut jobs = Vec::new();
+    let mut receivers = Vec::new();
+    for i in 0..3 {
+        let (job, rx) = testkit::job(1 + i, QosClass::Medium, fir.clone(), Instant::now(), None);
+        jobs.push(job);
+        receivers.push(rx);
+    }
+    harness.run_batch(jobs);
+    assert_eq!(harness.engine_recompiles(), 2, "one recompile per generation");
+    let snap = harness.metrics();
+    let class = snap.class(QosClass::Medium);
+    assert_eq!(class.cache_stale, 1, "only the leader detects the stale entry");
+    assert_eq!(class.cache_misses, 2, "first batch + post-mutation leader");
+    assert_eq!(class.cache_hits, 2, "followers of the post-mutation leader");
+    for rx in &receivers {
+        match rx.try_recv().expect("replied").outcome {
+            Outcome::Allocated { best, evaluated, .. } => {
+                assert_eq!(evaluated, 2, "post-mutation case base has 2 variants");
+                assert_ne!(best.impl_id, paper::IMPL_GP, "evicted variant cannot win");
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+}
+
+/// 6d. A failed leader fails its followers identically, and the per-class
+///     cache counters keep summing to the served total (the invariant of
+///     §5 above) even on the error path.
+#[test]
+fn failed_leader_fans_failure_to_followers() {
+    let case_base = paper::table1_case_base();
+    let mut harness = testkit::BatchHarness::new(&case_base, &ServiceConfig::default());
+    let unknown = Request::builder(rqfa::core::TypeId::new(57).unwrap())
+        .constraint(AttrId::new(1).unwrap(), 1)
+        .build()
+        .unwrap();
+    let now = Instant::now();
+    let mut jobs = Vec::new();
+    let mut receivers = Vec::new();
+    for i in 0..3 {
+        let (job, rx) = testkit::job(i, QosClass::Low, unknown.clone(), now, None);
+        jobs.push(job);
+        receivers.push(rx);
+    }
+    harness.run_batch(jobs);
+    for rx in &receivers {
+        match rx.try_recv().expect("replied").outcome {
+            Outcome::Failed(rqfa::core::CoreError::UnknownType { type_id }) => {
+                assert_eq!(type_id.raw(), 57);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    let snap = harness.metrics();
+    let class = snap.class(QosClass::Low);
+    assert_eq!(class.failed, 3);
+    assert_eq!(class.cache_hits, 0, "a failure is never a hit");
+    assert_eq!(
+        class.cache_hits + class.cache_misses,
+        class.completed + class.failed,
+        "probe accounting holds on the error path"
+    );
+}
+
+/// 6e. Live end-to-end: a duplicate-heavy closed loop through real worker
+///     threads with the result cache **disabled** — every `cached` reply
+///     flag and every counted hit can only come from within-batch
+///     coalescing. Batch composition is timing-dependent, so the test
+///     asserts consistency (flags == counters, bits == engine), not exact
+///     counts.
+#[test]
+fn live_coalescing_keeps_replies_and_metrics_consistent() {
+    let case_base = CaseGen::new(5, 6, 5, 8).seed(0xC0A1).build();
+    let pool = RequestGen::new(&case_base)
+        .seed(0xC0A2)
+        .count(8) // tiny pool → duplicate-heavy stream
+        .repeat_fraction(0.0)
+        .generate();
+    let service = AllocationService::new(
+        &case_base,
+        &ServiceConfig::default()
+            .with_shards(2)
+            .with_cache_capacity(0) // hits can only come from coalescing
+            .with_queue_capacity(5_000),
+    );
+    let engine = FixedEngine::new();
+    let tickets: Vec<(usize, Ticket)> = (0..2_000)
+        .map(|i| (i % pool.len(), service.submit(pool[i % pool.len()].clone(), QosClass::Medium)))
+        .collect();
+    let mut flagged = 0u64;
+    for (slot, ticket) in tickets {
+        let reply = ticket.wait().expect("answered");
+        match reply.outcome {
+            Outcome::Allocated { best, cached, .. } => {
+                let expected = engine.retrieve(&case_base, &pool[slot]).unwrap();
+                assert_eq!(Some(best), expected.best, "coalesced bits must match");
+                flagged += u64::from(cached);
+            }
+            other => panic!("unexpected outcome: {other:?}"),
+        }
+    }
+    let snap = service.shutdown();
+    let class = snap.class(QosClass::Medium);
+    assert_eq!(class.completed, 2_000);
+    assert_eq!(class.cache_hits, flagged, "counters agree with reply flags");
+    assert_eq!(
+        class.cache_hits + class.cache_misses,
+        class.completed + class.failed
+    );
+}

@@ -1,0 +1,122 @@
+//! The zero-allocation proof: a counting global allocator wraps the
+//! system allocator, and the steady-state plane-kernel hot path —
+//! `retrieve`, `retrieve_batch_into`, `retrieve_n_best_into` over a warm
+//! [`PlaneEngine`] — must perform **zero** heap allocations per request.
+//!
+//! The file holds exactly one `#[test]` so no concurrent test can
+//! allocate while the counter window is open (integration-test files are
+//! separate binaries, but tests *within* one file share the process).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rqfa::core::{PlaneEngine, Request};
+use rqfa::workloads::{CaseGen, RequestGen};
+
+/// System allocator with a global allocation counter.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation verbatim to the system allocator;
+// the counter is a relaxed atomic side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn steady_state_plane_retrieval_allocates_nothing() {
+    // A non-trivial shape: sparse columns (6 of 10 attrs bound) and
+    // enough variants that a regression to per-request allocation would
+    // be unmissable across the measured window.
+    let case_base = CaseGen::new(8, 16, 6, 10).seed(0xA110C).build();
+    let pool = RequestGen::new(&case_base)
+        .seed(0xA110C + 1)
+        .count(256)
+        .repeat_fraction(0.2)
+        .generate();
+    let mut engine = PlaneEngine::new();
+    let mut out = Vec::new();
+    let mut ranked = Vec::new();
+
+    // Warm-up: compile the plane, size the scratch arena and the reused
+    // output buffers.
+    for request in &pool {
+        engine.retrieve(&case_base, request).unwrap();
+        engine
+            .retrieve_n_best_into(&case_base, request, 4, &mut ranked)
+            .unwrap();
+    }
+    for chunk in pool.chunks(32) {
+        let batch: Vec<&Request> = chunk.iter().collect();
+        engine.retrieve_batch_into(&case_base, &batch, &mut out);
+    }
+
+    // Measured window: single-request retrievals and rankings.
+    let before = allocations();
+    for _ in 0..4 {
+        for request in &pool {
+            std::hint::black_box(engine.retrieve(&case_base, request).unwrap());
+            engine
+                .retrieve_n_best_into(&case_base, request, 4, &mut ranked)
+                .unwrap();
+        }
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state retrieve / n-best must not allocate"
+    );
+
+    // Measured window: batch retrievals. The `Vec<&Request>` of borrows
+    // is built outside the window — a service worker holds its own job
+    // buffer; the engine itself must stay allocation-free.
+    let batches: Vec<Vec<&Request>> = pool.chunks(32).map(|c| c.iter().collect()).collect();
+    let before = allocations();
+    for _ in 0..4 {
+        for batch in &batches {
+            engine.retrieve_batch_into(&case_base, batch, &mut out);
+        }
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "steady-state batch retrieval must not allocate"
+    );
+    // Contrast: the naive engine allocates on every request (this is the
+    // cost the plane removes — if this ever goes to zero the harness
+    // window itself is broken).
+    let naive = rqfa::core::FixedEngine::new();
+    let before = allocations();
+    for request in pool.iter().take(16) {
+        std::hint::black_box(naive.retrieve(&case_base, request).unwrap());
+    }
+    assert!(
+        allocations() > before,
+        "sanity: the naive path allocates, so the counter window works"
+    );
+}
