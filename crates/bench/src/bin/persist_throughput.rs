@@ -20,10 +20,16 @@
 //!    one-fsync-per-mutation floor; the sweep shows how far a flush
 //!    window lifts it.
 //!
-//! `cargo run --release -p rqfa-bench --bin persist_throughput`
+//! `cargo run --release -p rqfa-bench --bin persist_throughput [-- --json <path>]`
+//!
+//! With `--json <path>` the headline rates of every sweep are emitted as
+//! an `rqfa-bench/v1` report. The units are wall-clock throughput
+//! (`*_per_sec`) and nanosecond latencies — noisy numbers the gate, if
+//! pointed at them, holds only to its loose floor.
 
 use std::time::Instant;
 
+use rqfa_bench::json::BenchReport;
 use rqfa_core::{CaseBase, CaseMutation};
 use rqfa_persist::{
     DurableCaseBase, MemStore, PersistPolicy, StampedMutation, StoreSet, Wal,
@@ -69,7 +75,7 @@ fn per_sec(count: usize, secs: f64) -> f64 {
     count as f64 / secs.max(1e-9)
 }
 
-fn append_latency_sweep(case_base: &CaseBase) {
+fn append_latency_sweep(case_base: &CaseBase, report: &mut BenchReport) {
     println!("1. Durable-apply latency ({} appends)\n", 20_000);
     const N: u64 = 20_000;
 
@@ -84,6 +90,7 @@ fn append_latency_sweep(case_base: &CaseBase) {
         "   ephemeral apply                 {:>9.0} mut/s",
         per_sec(N as usize, base)
     );
+    report.push("append/ephemeral", "mut_per_sec", per_sec(N as usize, base));
 
     // Durable over MemStore (encode + CRC cost only).
     for (label, file_backed) in [("durable apply (mem store)  ", false), ("durable apply (file store) ", true)] {
@@ -131,12 +138,19 @@ fn append_latency_sweep(case_base: &CaseBase) {
             percentile(&samples, 0.50),
             percentile(&samples, 0.99),
         );
+        let key = if file_backed { "file_store" } else { "mem_store" };
+        report.push(format!("append/{key}"), "mut_per_sec", per_sec(N as usize, secs));
+        #[allow(clippy::cast_precision_loss)]
+        {
+            report.push(format!("append/{key}/p50"), "ns", percentile(&samples, 0.50) as f64);
+            report.push(format!("append/{key}/p99"), "ns", percentile(&samples, 0.99) as f64);
+        }
         let _ = std::fs::remove_dir_all(&tmp_dir);
     }
     println!();
 }
 
-fn recovery_sweep(case_base: &CaseBase) {
+fn recovery_sweep(case_base: &CaseBase, report: &mut BenchReport) {
     println!("2. Recovery time vs log size\n");
     for records in [0usize, 100, 1_000, 10_000] {
         // Build the on-media state: genesis snapshot + `records` WAL frames.
@@ -153,20 +167,23 @@ fn recovery_sweep(case_base: &CaseBase) {
         let log_bytes = stores.wal.bytes().len();
 
         let start = Instant::now();
-        let (_recovered, report) =
+        let (_recovered, recovery) =
             DurableCaseBase::recover(stores, PersistPolicy::manual()).unwrap();
         let secs = start.elapsed().as_secs_f64();
-        assert_eq!(report.replayed, records);
+        assert_eq!(recovery.replayed, records);
         println!(
             "   {records:>6} records ({log_bytes:>7} B log): {:>9.1} µs total, {:>9.0} replays/s",
             secs * 1e6,
             if records == 0 { 0.0 } else { per_sec(records, secs) },
         );
+        if records == 10_000 {
+            report.push("recovery/replays_10k", "replays_per_sec", per_sec(records, secs));
+        }
     }
     println!();
 }
 
-fn checkpoint_cadence_sweep(case_base: &CaseBase) {
+fn checkpoint_cadence_sweep(case_base: &CaseBase, report: &mut BenchReport) {
     println!("3. Checkpoint cadence (10k mutations, mem store)\n");
     const N: u64 = 10_000;
     for every in [0u64, 1024, 256, 64] {
@@ -181,17 +198,18 @@ fn checkpoint_cadence_sweep(case_base: &CaseBase) {
         }
         let secs = start.elapsed().as_secs_f64();
         let tail = durable.wal_bytes().unwrap();
+        let label = if every == 0 { "off".to_string() } else { every.to_string() };
         println!(
-            "   snapshot_every={:<6} {:>9.0} mut/s   wal tail {:>7} B (bounds replay work)",
-            if every == 0 { "off".to_string() } else { every.to_string() },
+            "   snapshot_every={label:<6} {:>9.0} mut/s   wal tail {:>7} B (bounds replay work)",
             per_sec(N as usize, secs),
             tail,
         );
+        report.push(format!("checkpoint/every_{label}"), "mut_per_sec", per_sec(N as usize, secs));
     }
     println!();
 }
 
-fn group_commit_sweep(case_base: &CaseBase) {
+fn group_commit_sweep(case_base: &CaseBase, report: &mut BenchReport) {
     println!("4. Group commit: durable file-store throughput vs flush window\n");
     const N: u64 = 4_096;
     let mut floor = 0.0f64;
@@ -221,12 +239,13 @@ fn group_commit_sweep(case_base: &CaseBase) {
             N as usize / batch,
             rate / floor.max(1e-9),
         );
+        report.push(format!("group_commit/window_{batch}"), "mut_per_sec", rate);
         let _ = std::fs::remove_dir_all(&tmp_dir);
     }
     println!();
 }
 
-fn wal_scan_floor() {
+fn wal_scan_floor(report: &mut BenchReport) {
     println!("5. Raw WAL scan floor (replay parse only, no apply)\n");
     let case_base = CaseGen::new(2, 3, 3, 4).seed(1).build();
     let mut wal = Wal::new(MemStore::new());
@@ -250,9 +269,12 @@ fn wal_scan_floor() {
         replay.total_bytes,
         per_sec(N, secs)
     );
+    report.push("wal_scan/decode", "frames_per_sec", per_sec(N, secs));
 }
 
 fn main() {
+    let json_path = rqfa_bench::json_path_from_args();
+    let mut report = BenchReport::new("persist_throughput");
     println!("E14. Persistence: WAL append latency, recovery vs log size\n");
     let case_base = CaseGen::new(15, 10, 10, 10).seed(0xE14).build();
     println!(
@@ -261,10 +283,16 @@ fn main() {
         case_base.variant_count() / case_base.type_count(),
         10
     );
-    append_latency_sweep(&case_base);
-    recovery_sweep(&case_base);
-    checkpoint_cadence_sweep(&case_base);
-    group_commit_sweep(&case_base);
-    wal_scan_floor();
+    append_latency_sweep(&case_base, &mut report);
+    recovery_sweep(&case_base, &mut report);
+    checkpoint_cadence_sweep(&case_base, &mut report);
+    group_commit_sweep(&case_base, &mut report);
+    wal_scan_floor(&mut report);
+    if let Some(path) = json_path {
+        report
+            .write_validated(&path)
+            .expect("bench report must validate against rqfa-bench/v1");
+        println!("json report: {} (schema valid)", path.display());
+    }
     println!("done.");
 }

@@ -2,8 +2,15 @@
 //! behaviour under the multimedia + automotive application mix, including
 //! a policy comparison (n-best depth × preemption).
 //!
-//! `cargo run -p rqfa-bench --bin rsoc_scenario`
+//! `cargo run -p rqfa-bench --bin rsoc_scenario [-- --json <path>]`
+//!
+//! With `--json <path>` the baseline run's full metric block (via the
+//! telemetry sample bridge) and the policy-matrix headline numbers are
+//! emitted as an `rqfa-bench/v1` report — the simulator is seeded, so
+//! every value is deterministic.
 
+use rqfa_bench::json::BenchReport;
+use rqfa_bench::push_samples;
 use rqfa_core::Q15;
 use rqfa_rsoc::{AllocPolicy, AppId, ArrivalSpec, Device, DeviceId, SimTime, SystemBuilder};
 use rqfa_workloads::fig1_mix;
@@ -37,9 +44,12 @@ fn run(n_best: usize, preempt: bool, rounds: u32) -> Result<rqfa_rsoc::Metrics, 
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let json_path = rqfa_bench::json_path_from_args();
+    let mut report = BenchReport::new("rsoc_scenario");
     println!("E11. fig. 1 application mix through the allocation manager\n");
     let metrics = run(4, true, 10)?;
     println!("baseline policy (n-best = 4, preemption on):\n{metrics}");
+    push_samples(&mut report, "baseline", &metrics.samples());
 
     println!("policy comparison (10 rounds):");
     println!(
@@ -57,11 +67,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 m.bypass_rate() * 100.0,
                 m.energy_nj as f64 / 1e6
             );
+            let key = format!("policy/n{n_best}_preempt_{preempt}");
+            report.push(format!("{key}/acceptance_rate"), "ratio", m.acceptance_rate());
+            #[allow(clippy::cast_precision_loss)]
+            {
+                report.push(format!("{key}/downgraded"), "count", m.downgraded as f64);
+                report.push(format!("{key}/preemptions"), "count", m.preemptions as f64);
+            }
         }
     }
     println!(
         "\nn-best > 1 converts rejections into downgrades (the §5 motivation);\n\
          preemption trades multimedia tasks for control-loop deadlines."
     );
+    if let Some(path) = json_path {
+        report
+            .write_validated(&path)
+            .expect("bench report must validate against rqfa-bench/v1");
+        println!("\njson report: {} (schema valid)", path.display());
+    }
     Ok(())
 }

@@ -1,0 +1,235 @@
+//! The perf-trajectory regression gate.
+//!
+//! CI re-runs `service_trace` against the committed `BENCH_<pr>.json`
+//! baseline and feeds both reports through [`compare`]. The policy is
+//! unit-aware, because the trajectory mixes two kinds of numbers:
+//!
+//! * **Wall-clock throughput** (any unit ending in `_per_sec`, e.g. the
+//!   `req_per_sec` sweeps of `service_throughput`): noisy on shared CI
+//!   hosts, so the gate only enforces a *loose floor* — fresh must stay
+//!   at or above [`GateConfig::loose_floor`] × baseline. Improvements
+//!   always pass.
+//! * **Everything else** (`us` quantiles, `count`s, `ratio`s — and the
+//!   deterministic-simulation throughput `sim_req_per_sec`, which carries
+//!   no timer noise by construction): a *tight band*. Fresh must lie
+//!   within [`GateConfig::tight_ratio`] of baseline in both directions,
+//!   so a 2× p99 regression fails and a silent 2× "improvement" (usually
+//!   a broken workload, not a miracle) fails too.
+//!
+//! The metric *sets* must match exactly: a metric that disappears — or a
+//! new one smuggled in without refreshing the baseline — fails the gate,
+//! so the trajectory can only be changed deliberately, by committing a
+//! new `BENCH_<pr>.json`.
+
+use crate::json::BenchReport;
+
+/// Absolute slack added to every band edge so exact-zero and
+/// bit-identical comparisons never fail on representation noise.
+const EPS: f64 = 1e-9;
+
+/// Tolerance bands of the regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct GateConfig {
+    /// Two-sided band for deterministic metrics: fresh must satisfy
+    /// `fresh <= base * tight_ratio` and `fresh * tight_ratio >= base`.
+    pub tight_ratio: f64,
+    /// One-sided floor for wall-clock throughput: fresh must satisfy
+    /// `fresh >= base * loose_floor`.
+    pub loose_floor: f64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            tight_ratio: 1.25,
+            loose_floor: 0.4,
+        }
+    }
+}
+
+/// The outcome of one baseline-vs-fresh comparison.
+#[derive(Debug, Clone, Default)]
+pub struct GateReport {
+    /// Metrics compared (present in both reports).
+    pub checked: usize,
+    /// One human-readable line per violation; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateReport {
+    /// Whether the fresh report is within tolerance of the baseline.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Whether `unit` is wall-clock throughput (loose floor) as opposed to a
+/// deterministic metric (tight band). The simulated throughput of the
+/// replay trajectory, `sim_req_per_sec`, is deterministic and stays tight.
+fn is_wall_clock_throughput(unit: &str) -> bool {
+    unit.ends_with("_per_sec") && unit != "sim_req_per_sec"
+}
+
+/// Compares `fresh` against `baseline` under `config`. See the module
+/// docs for the policy. Never panics; all violations are reported as
+/// [`GateReport::failures`].
+pub fn compare(baseline: &BenchReport, fresh: &BenchReport, config: &GateConfig) -> GateReport {
+    let mut report = GateReport::default();
+    if baseline.bench != fresh.bench {
+        report.failures.push(format!(
+            "bench name changed: baseline {:?}, fresh {:?}",
+            baseline.bench, fresh.bench
+        ));
+    }
+    for base in &baseline.results {
+        let Some(new) = fresh.results.iter().find(|m| m.name == base.name) else {
+            report
+                .failures
+                .push(format!("metric {:?} missing from the fresh report", base.name));
+            continue;
+        };
+        report.checked += 1;
+        if new.unit != base.unit {
+            report.failures.push(format!(
+                "metric {:?} changed unit: baseline {:?}, fresh {:?}",
+                base.name, base.unit, new.unit
+            ));
+            continue;
+        }
+        if is_wall_clock_throughput(&base.unit) {
+            let floor = base.value * config.loose_floor - EPS;
+            if new.value < floor {
+                report.failures.push(format!(
+                    "{}: throughput regressed below the {:.0}% floor \
+                     (baseline {:.1} {}, fresh {:.1})",
+                    base.name,
+                    config.loose_floor * 100.0,
+                    base.value,
+                    base.unit,
+                    new.value
+                ));
+            }
+        } else {
+            let too_high = new.value > base.value * config.tight_ratio + EPS;
+            let too_low = new.value * config.tight_ratio < base.value - EPS;
+            if too_high || too_low {
+                report.failures.push(format!(
+                    "{}: outside the ±{:.0}% band (baseline {} {}, fresh {})",
+                    base.name,
+                    (config.tight_ratio - 1.0) * 100.0,
+                    base.value,
+                    base.unit,
+                    new.value
+                ));
+            }
+        }
+    }
+    for new in &fresh.results {
+        if baseline.metric(&new.name).is_none() {
+            report.failures.push(format!(
+                "metric {:?} is new — refresh the committed baseline to admit it",
+                new.name
+            ));
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> BenchReport {
+        let mut r = BenchReport::new("service_trace");
+        r.push("load_100/HIGH/p99", "us", 12_000.0);
+        r.push("load_100/HIGH/missed_deadline", "count", 40.0);
+        r.push("load_100/HIGH/hit_rate", "ratio", 0.31);
+        r.push("load_100/sim_req_per_sec", "sim_req_per_sec", 61_000.0);
+        r.push("closed_loop/shards_2", "req_per_sec", 50_000.0);
+        r.push("zero/metric", "count", 0.0);
+        r
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let base = baseline();
+        let report = compare(&base, &base.clone(), &GateConfig::default());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.checked, base.results.len());
+    }
+
+    #[test]
+    fn doubled_p99_fails_the_gate() {
+        // The injected-regression negative test: a 2× p99 must be caught.
+        let base = baseline();
+        let mut fresh = base.clone();
+        fresh.results[0].value = 24_000.0;
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert!(!report.passed());
+        assert!(
+            report.failures[0].contains("load_100/HIGH/p99"),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn tight_band_is_two_sided() {
+        // A metric collapsing to half its baseline is just as suspicious.
+        let base = baseline();
+        let mut fresh = base.clone();
+        fresh.results[1].value = 10.0;
+        assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn wall_clock_throughput_gets_the_loose_floor_only() {
+        let base = baseline();
+        // Half the throughput (above the 0.4 floor): noise, passes.
+        let mut fresh = base.clone();
+        fresh.results[4].value = 25_000.0;
+        assert!(compare(&base, &fresh, &GateConfig::default()).passed());
+        // Triple the throughput: improvements always pass.
+        fresh.results[4].value = 150_000.0;
+        assert!(compare(&base, &fresh, &GateConfig::default()).passed());
+        // Below the floor: a real regression.
+        fresh.results[4].value = 15_000.0;
+        assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn simulated_throughput_stays_tight() {
+        let base = baseline();
+        let mut fresh = base.clone();
+        fresh.results[3].value = 30_000.0; // sim halved: deterministic, fails
+        assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn zero_to_zero_passes_and_zero_to_nonzero_fails() {
+        let base = baseline();
+        assert!(compare(&base, &base.clone(), &GateConfig::default()).passed());
+        let mut fresh = base.clone();
+        fresh.results[5].value = 3.0;
+        assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn metric_set_mismatches_fail_both_ways() {
+        let base = baseline();
+        let mut missing = base.clone();
+        missing.results.pop();
+        assert!(!compare(&base, &missing, &GateConfig::default()).passed());
+        let mut extra = base.clone();
+        extra.push("sneaky/new", "count", 1.0);
+        assert!(!compare(&base, &extra, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn unit_changes_fail() {
+        let base = baseline();
+        let mut fresh = base.clone();
+        fresh.results[0].unit = "ns".into();
+        assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+}

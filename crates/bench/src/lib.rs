@@ -19,10 +19,16 @@
 //! Criterion benches (`cargo bench -p rqfa-bench`) time the hot paths:
 //! retrieval engines, the hardware simulator, image encoding and the
 //! run-time system.
+//!
+//! Two binaries serve the perf trajectory rather than a paper artifact:
+//! `service_trace` (the deterministic-replay QoS trajectory behind the
+//! committed `BENCH_<pr>.json` files) and `bench_gate` (the CI regression
+//! gate over those reports, policy in [`gate`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gate;
 pub mod json;
 
 use rqfa_core::{CaseBase, Request};
@@ -57,6 +63,20 @@ pub fn workload(types: u16, impls: u16, attrs: u16, attr_types: u16, n: usize) -
 /// Prints a horizontal rule sized for the experiment tables.
 pub fn rule(width: usize) {
     println!("{}", "-".repeat(width));
+}
+
+/// Appends telemetry [`Sample`](rqfa_telemetry::Sample)s to a report
+/// under `prefix/` — the bridge from a registry (or any
+/// [`MetricSource`](rqfa_telemetry::MetricSource) collection) to the
+/// `rqfa-bench/v1` document the gate compares.
+pub fn push_samples(
+    report: &mut json::BenchReport,
+    prefix: &str,
+    samples: &[rqfa_telemetry::Sample],
+) {
+    for sample in samples {
+        report.push(format!("{prefix}/{}", sample.name), sample.unit, sample.value);
+    }
 }
 
 /// Parses the one flag the report-emitting benches share: `--json <path>`.

@@ -51,10 +51,14 @@
 //! never crashed (the workspace `tests/persist_recovery.rs` harness
 //! proves this for every crash point).
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use rqfa_core::{CaseBase, CaseMutation, Generation};
 
 use crate::error::PersistError;
 use crate::snapshot::{read_snapshot, write_snapshot};
+use crate::stats::PersistStats;
 use crate::store::Store;
 use crate::wal::Wal;
 
@@ -201,6 +205,8 @@ pub struct DurableCaseBase<S> {
     /// Set when the post-failure truncation itself failed; the next
     /// apply retries the repair before touching the medium.
     wal_dirty: bool,
+    /// Write-path observability (shared — see [`DurableCaseBase::stats`]).
+    stats: Arc<PersistStats>,
 }
 
 impl<S: Store> DurableCaseBase<S> {
@@ -228,6 +234,7 @@ impl<S: Store> DurableCaseBase<S> {
             checkpoint_error: None,
             clean_wal_len: 0,
             wal_dirty: false,
+            stats: PersistStats::shared(),
         };
         // Invalidate any stale previous state *before* the genesis
         // snapshot lands, clearing B → A → WAL. A crash anywhere in this
@@ -329,7 +336,9 @@ impl<S: Store> DurableCaseBase<S> {
             checkpoint_error: None,
             clean_wal_len,
             wal_dirty: false,
+            stats: PersistStats::shared(),
         };
+        this.stats.wal_bytes_since_checkpoint.set(clean_wal_len);
         Ok((this, report))
     }
 
@@ -351,6 +360,14 @@ impl<S: Store> DurableCaseBase<S> {
     /// Acknowledged mutations since the last successful checkpoint.
     pub fn since_checkpoint(&self) -> u64 {
         self.since_checkpoint
+    }
+
+    /// This case base's write-path counters. The block is behind an
+    /// `Arc`, so callers that keep the case base itself under a lock
+    /// (e.g. a service shard) can hand the stats out for lock-free
+    /// reading.
+    pub fn stats(&self) -> Arc<PersistStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Applies a mutation durably and returns its inverse.
@@ -422,8 +439,18 @@ impl<S: Store> DurableCaseBase<S> {
             })
             .collect();
         debug_assert_eq!(stamp, self.case_base.generation());
+        let append_started = Instant::now();
         match self.wal.append_batch(&stamped) {
-            Ok(batch_len) => self.clean_wal_len += batch_len,
+            Ok(batch_len) => {
+                self.clean_wal_len += batch_len;
+                self.stats.appends.incr();
+                self.stats.appended_mutations.add(mutations.len() as u64);
+                self.stats
+                    .append_us
+                    .record(u64::try_from(append_started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                self.stats.flush_window.record(mutations.len() as u64);
+                self.stats.wal_bytes_since_checkpoint.set(self.clean_wal_len);
+            }
             Err(e) => {
                 // Un-apply: the inverses, newest first, are themselves an
                 // all-or-nothing batch; then rewind the counter.
@@ -535,6 +562,8 @@ impl<S: Store> DurableCaseBase<S> {
         // Mutations acknowledged after begin are not in this snapshot:
         // only the counted prefix leaves the checkpoint debt.
         self.since_checkpoint = self.since_checkpoint.saturating_sub(counted);
+        self.stats.checkpoints.incr();
+        self.stats.wal_bytes_since_checkpoint.set(self.clean_wal_len);
         Ok(())
     }
 

@@ -61,6 +61,7 @@ mod durable;
 mod error;
 pub mod record;
 pub mod snapshot;
+pub mod stats;
 mod store;
 mod wal;
 
@@ -68,6 +69,7 @@ pub use crc::crc32;
 pub use durable::{
     DurableCaseBase, PendingCheckpoint, PersistPolicy, RecoveryReport, StoreSet, WrittenCheckpoint,
 };
+pub use stats::PersistStats;
 pub use error::PersistError;
 pub use record::{encode_frame, parse_frame, FrameParse, StampedMutation, RECORD_MAGIC};
 pub use snapshot::{

@@ -1,6 +1,16 @@
 //! System-level metrics collected over a simulation run.
+//!
+//! The counter block itself stays a plain `Copy` struct (the simulator
+//! is single-threaded and updates it directly), but its rates, its
+//! renderer and its registry bridge all come from `rqfa-telemetry`: the
+//! rate math is the shared [`ratio`], `Display` renders through the
+//! workspace-wide sample table, and [`MetricSource`] lets an operator
+//! register a finished run's metrics next to the service's in one
+//! [`Registry`](rqfa_telemetry::Registry) snapshot.
 
 use core::fmt;
+
+use rqfa_telemetry::{ratio, write_table, MetricSource, Sample};
 
 /// Counters and aggregates of one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -47,49 +57,40 @@ impl Metrics {
     pub fn mean_alloc_latency_us(&self) -> f64 {
         ratio(self.total_alloc_latency_us, self.accepted)
     }
+
+    /// This run's metrics as registry samples (the same rows `Display`
+    /// renders, machine-readable).
+    pub fn samples(&self) -> Vec<Sample> {
+        #[allow(clippy::cast_precision_loss)]
+        let energy_mj = self.energy_nj as f64 / 1e6;
+        vec![
+            Sample::count("requests", self.requests),
+            Sample::count("accepted", self.accepted),
+            Sample::ratio("acceptance_rate", self.acceptance_rate()),
+            Sample::count("rejected", self.rejected),
+            Sample::count("downgraded", self.downgraded),
+            Sample::count("preemptions", self.preemptions),
+            Sample::count("bypass_hits", self.bypass_hits),
+            Sample::ratio("bypass_rate", self.bypass_rate()),
+            Sample::count("retrievals", self.retrievals),
+            Sample::count("reconfigurations", self.reconfigurations),
+            Sample::us("reconfig_busy", self.reconfig_busy_us),
+            Sample::new("mean_alloc_latency", "us", self.mean_alloc_latency_us()),
+            Sample::us("max_alloc_latency", self.max_alloc_latency_us),
+            Sample::new("energy", "mJ", energy_mj),
+        ]
+    }
 }
 
-fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        #[allow(clippy::cast_precision_loss)]
-        {
-            num as f64 / den as f64
-        }
+impl MetricSource for Metrics {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        out.extend(self.samples());
     }
 }
 
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "requests:          {:>8}", self.requests)?;
-        writeln!(
-            f,
-            "accepted:          {:>8} ({:.1} %)",
-            self.accepted,
-            self.acceptance_rate() * 100.0
-        )?;
-        writeln!(f, "rejected:          {:>8}", self.rejected)?;
-        writeln!(f, "downgraded:        {:>8}", self.downgraded)?;
-        writeln!(f, "preemptions:       {:>8}", self.preemptions)?;
-        writeln!(
-            f,
-            "bypass hits:       {:>8} ({:.1} %)",
-            self.bypass_hits,
-            self.bypass_rate() * 100.0
-        )?;
-        writeln!(f, "retrievals:        {:>8}", self.retrievals)?;
-        writeln!(f, "reconfigurations:  {:>8}", self.reconfigurations)?;
-        writeln!(f, "reconfig busy:     {:>8} µs", self.reconfig_busy_us)?;
-        writeln!(
-            f,
-            "mean alloc latency: {:>7.1} µs (max {} µs)",
-            self.mean_alloc_latency_us(),
-            self.max_alloc_latency_us
-        )?;
-        #[allow(clippy::cast_precision_loss)]
-        let energy_mj = self.energy_nj as f64 / 1e6;
-        writeln!(f, "energy:            {energy_mj:>10.3} mJ")
+        write_table(f, &self.samples())
     }
 }
 
@@ -119,5 +120,20 @@ mod tests {
         for key in ["requests", "accepted", "preemptions", "energy"] {
             assert!(text.contains(key), "missing {key}");
         }
+    }
+
+    #[test]
+    fn samples_match_the_counters() {
+        let m = Metrics {
+            requests: 4,
+            accepted: 2,
+            energy_nj: 3_000_000,
+            ..Metrics::default()
+        };
+        let samples = m.samples();
+        let value = |name: &str| samples.iter().find(|s| s.name == name).unwrap().value;
+        assert_eq!(value("requests"), 4.0);
+        assert_eq!(value("acceptance_rate"), 0.5);
+        assert_eq!(value("energy"), 3.0);
     }
 }

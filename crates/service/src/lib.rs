@@ -27,7 +27,22 @@
 //!   filter), backed by the workspace-wide `rqfa-cache` store — the
 //!   normative model lives in `docs/caching.md`.
 //! * **Metrics** ([`metrics`]): per-class p50/p99 latency, hit rate and
-//!   shed counts from lock-free counters.
+//!   shed counts from lock-free counters, with batch-granular snapshot
+//!   consistency and a [`MetricSource`]
+//!   bridge into the workspace metrics registry.
+//! * **Observability** (`rqfa-telemetry`): the service clock is
+//!   injectable ([`ServiceConfig::with_clock`]) so schedulers, deadline
+//!   checks and latency stamps run against a
+//!   [`ManualClock`] in tests and replays;
+//!   [`ServiceConfig::with_trace_capacity`] arms a per-shard
+//!   [flight recorder](rqfa_telemetry::FlightRecorder) whose events
+//!   reconstruct per-request timelines
+//!   ([`AllocationService::drain_trace`]). `docs/observability.md` has
+//!   the full model.
+//! * **Deterministic replay** ([`replay`]): a single-threaded
+//!   discrete-event driver that pushes a timestamped trace through the
+//!   real queue/scheduler/batch pipeline under a manual clock — same
+//!   code, reproducible latencies.
 //!
 //! ## Quick start
 //!
@@ -56,6 +71,7 @@ pub mod cache;
 mod error;
 pub mod metrics;
 pub mod queue;
+pub mod replay;
 pub mod sched;
 pub mod shard;
 
@@ -70,10 +86,14 @@ use rqfa_fixed::Q15;
 use rqfa_persist::{
     DurableCaseBase, FileStore, PersistError, PersistPolicy, RecoveryReport, Store, StoreSet,
 };
+use rqfa_telemetry::{clock::micros_between, monotonic, EventKind, MetricSource, Registry};
 
 pub use error::ServiceError;
 pub use metrics::{ClassSnapshot, MetricsSnapshot, ServiceMetrics};
 pub use rqfa_cache::{CachePolicy, CacheStats};
+pub use rqfa_telemetry::{
+    Clock, ManualClock, MonotonicClock, RequestTimeline, SharedClock, StageBreakdown, TraceDump,
+};
 pub use sched::{Pick, SchedMode, WeightedArbiter};
 
 /// First line of the durable-state manifest file.
@@ -143,6 +163,18 @@ pub struct ServiceConfig {
     /// [`AllocationService::checkpoint`]s from a maintenance context at
     /// quiet moments instead.
     pub snapshot_every: u64,
+    /// The time source of the whole request path: admission stamps, EDF
+    /// ordering, slack promotion, dispatch-time deadline checks and
+    /// reply latencies all read this clock — never `Instant::now()`
+    /// directly. Defaults to the monotonic wall clock; inject a
+    /// [`ManualClock`] for deterministic tests and trace replays.
+    pub clock: SharedClock,
+    /// Per-shard flight-recorder capacity in events. `0` (the default)
+    /// disables tracing entirely — no recorder is allocated and the
+    /// request path records nothing. When armed, each shard keeps the
+    /// newest `trace_capacity` events in a fixed ring (zero allocation
+    /// per event); drain them with [`AllocationService::drain_trace`].
+    pub trace_capacity: usize,
 }
 
 impl Default for ServiceConfig {
@@ -160,6 +192,8 @@ impl Default for ServiceConfig {
             promotions_per_round: WeightedArbiter::DEFAULT_PROMOTIONS,
             class_weights: QosClass::ALL.map(QosClass::weight),
             snapshot_every: PersistPolicy::default().snapshot_every,
+            clock: monotonic(),
+            trace_capacity: 0,
         }
     }
 }
@@ -228,6 +262,20 @@ impl ServiceConfig {
     /// Sets the durable checkpoint cadence (0 = manual only).
     pub fn with_snapshot_every(mut self, mutations: u64) -> ServiceConfig {
         self.snapshot_every = mutations;
+        self
+    }
+
+    /// Injects the request-path time source (see
+    /// [`ServiceConfig::clock`]).
+    pub fn with_clock(mut self, clock: SharedClock) -> ServiceConfig {
+        self.clock = clock;
+        self
+    }
+
+    /// Arms per-shard flight recording with the given ring capacity in
+    /// events (0 disables tracing).
+    pub fn with_trace_capacity(mut self, capacity: usize) -> ServiceConfig {
+        self.trace_capacity = capacity;
         self
     }
 
@@ -358,6 +406,10 @@ pub struct AllocationService {
     metrics: Arc<ServiceMetrics>,
     next_id: AtomicU64,
     deadline_budget_us: [Option<u64>; QosClass::COUNT],
+    clock: SharedClock,
+    /// Trace timestamps are µs offsets from this instant (the moment the
+    /// service was built), so every shard's events share one timebase.
+    epoch: Instant,
 }
 
 impl AllocationService {
@@ -553,11 +605,12 @@ impl AllocationService {
     /// Spawns the workers over prepared shard stores.
     fn from_stores(stores: Vec<shard::ShardStore>, config: &ServiceConfig) -> AllocationService {
         let metrics = Arc::new(ServiceMetrics::default());
+        let epoch = config.clock.now();
         let shards = stores
             .into_iter()
             .enumerate()
             .map(|(index, store)| {
-                shard::Shard::spawn(index, store, config, Arc::clone(&metrics))
+                shard::Shard::spawn(index, store, config, Arc::clone(&metrics), epoch)
             })
             .collect();
         AllocationService {
@@ -565,6 +618,8 @@ impl AllocationService {
             metrics,
             next_id: AtomicU64::new(0),
             deadline_budget_us: config.deadline_budget_us,
+            clock: Arc::clone(&config.clock),
+            epoch,
         }
     }
 
@@ -611,7 +666,14 @@ impl AllocationService {
             .fetch_add(1, Ordering::Relaxed);
         let (reply_tx, rx) = mpsc::channel();
         let shard = &self.shards[shard::route(request.type_id(), self.shards.len())];
-        let now = Instant::now();
+        let now = self.clock.now();
+        let at_us = micros_between(self.epoch, now);
+        let record = |request_id: u64, class: QosClass, kind: EventKind, arg: u64| {
+            if let Some(recorder) = &shard.recorder {
+                recorder.record(at_us, request_id, class.index() as u8, kind, arg);
+            }
+        };
+        record(id, class, EventKind::Submitted, 0);
         let budget = if class.sheddable() {
             self.deadline_budget_us[class.index()].map(Duration::from_micros)
         } else {
@@ -626,17 +688,24 @@ impl AllocationService {
             reply_tx,
         };
         match shard.queue.push(job) {
-            queue::Admission::Admitted => {}
+            queue::Admission::Admitted => {
+                record(id, class, EventKind::Admitted, 0);
+            }
             queue::Admission::Displaced(victim) => {
                 // The newcomer took the largest-slack resident's slot.
+                record(id, class, EventKind::Admitted, 0);
+                record(victim.id, victim.class, EventKind::Displaced, id);
+                record(victim.id, victim.class, EventKind::ShedQueueFull, 0);
                 self.metrics
                     .class(victim.class)
                     .shed_queue_full
                     .fetch_add(1, Ordering::Relaxed);
-                let waited = shard::duration_us(victim.enqueued_at.elapsed());
+                let waited = micros_between(victim.enqueued_at, now);
                 victim.reply(Outcome::ShedQueueFull, waited, &self.metrics);
             }
             queue::Admission::Refused(job) => {
+                record(id, class, EventKind::Refused, 0);
+                record(id, class, EventKind::ShedQueueFull, 0);
                 self.metrics
                     .class(class)
                     .shed_queue_full
@@ -801,6 +870,32 @@ impl AllocationService {
     /// A point-in-time metrics snapshot.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.metrics.snapshot()
+    }
+
+    /// Drains every shard's flight recorder into one merged dump
+    /// (empty when tracing is off — see
+    /// [`ServiceConfig::with_trace_capacity`]). Timestamps are µs since
+    /// the service was built, shared across shards; the drain is
+    /// non-destructive and safe under live traffic.
+    pub fn drain_trace(&self) -> TraceDump {
+        TraceDump::merge(
+            self.shards
+                .iter()
+                .filter_map(|shard| shard.recorder.as_ref())
+                .map(|recorder| recorder.drain()),
+        )
+    }
+
+    /// Registers this service's metric sources on `registry`: the
+    /// service counters under `prefix`, and each durable shard's persist
+    /// counters under `prefix/shard-<i>/persist`.
+    pub fn register_metrics(&self, registry: &Registry, prefix: &str) {
+        registry.register(prefix, Arc::clone(&self.metrics) as Arc<dyn MetricSource>);
+        for (index, shard) in self.shards.iter().enumerate() {
+            if let Some(stats) = shard.persist_stats() {
+                registry.register(format!("{prefix}/shard-{index}/persist"), stats);
+            }
+        }
     }
 
     /// Drains every queue, joins the workers and returns the final

@@ -1,59 +1,36 @@
 //! Service metrics: per-class counters and latency histograms.
 //!
-//! Follows the `rqfa_rsoc::metrics` idiom — plain counters, derived rates,
-//! an exhaustive `Display` — but is shared mutably between shard workers
-//! and observers, so everything is a relaxed atomic. Latencies go into
-//! power-of-two bucket histograms from which p50/p99 are read without any
-//! per-request allocation on the hot path.
+//! Built on the shared [`rqfa_telemetry`] primitives (the same ones
+//! `rqfa_rsoc::metrics` uses): relaxed atomic counters plus the
+//! power-of-two [`LatencyHistogram`], read without any per-request
+//! allocation on the hot path.
+//!
+//! ## Snapshot consistency
+//!
+//! The worker-side outcome counters — `completed`, `failed`,
+//! `cache_hits`, `cache_misses`, `cache_stale`, `shed_deadline`,
+//! `missed_deadline`, and the kernel [`OpCounts`] — are not incremented
+//! one by one. Each worker accumulates a batch's deltas locally
+//! (`BatchDeltas`) and commits them in one critical section
+//! (`ServiceMetrics::commit`); `ServiceMetrics::snapshot` takes the
+//! same gate. A snapshot therefore always sees whole batches: the cache
+//! accounting identity `cache_hits + cache_misses == completed + failed`
+//! holds at **every** snapshot point, not only after a drained shutdown
+//! (the observability suite samples it under live load). Front-end
+//! counters (`submitted`, `shed_queue_full`, `promoted`) and the latency
+//! histogram are written outside the gate — they are not part of the
+//! identity and must not serialize the submit path.
 
 use core::fmt;
 use core::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
-use rqfa_core::QosClass;
+use rqfa_core::{OpCounts, QosClass};
+use rqfa_telemetry::{ratio, MetricSource, Sample};
 
-/// Number of power-of-two latency buckets (bucket `i` holds latencies of
-/// bit length `i`, i.e. `[2^(i-1), 2^i)` µs; bucket 0 holds exactly 0).
-const BUCKETS: usize = 32;
-
-/// Lock-free power-of-two latency histogram (microseconds).
-#[derive(Debug, Default)]
-pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
-}
-
-impl LatencyHistogram {
-    /// Records one latency observation.
-    pub fn record(&self, latency_us: u64) {
-        let bucket = (64 - latency_us.leading_zeros() as usize).min(BUCKETS - 1);
-        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
-    }
-
-    /// Total observations.
-    pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
-    }
-
-    /// Upper bound (µs) of the bucket containing quantile `q` in `[0, 1]`,
-    /// or 0 with no observations. An upper bound keeps the estimate
-    /// conservative: the true quantile is never above the reported value's
-    /// bucket ceiling.
-    pub fn quantile_us(&self, q: f64) -> u64 {
-        let total = self.count();
-        if total == 0 {
-            return 0;
-        }
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
-        let mut seen = 0;
-        for (i, bucket) in self.buckets.iter().enumerate() {
-            seen += bucket.load(Ordering::Relaxed);
-            if seen >= rank {
-                return if i == 0 { 1 } else { 1u64 << i };
-            }
-        }
-        1u64 << (BUCKETS - 1)
-    }
-}
+/// The shared power-of-two latency histogram (µs). Bucket 0 holds
+/// exactly 0 µs and reports 0 — not 1 — as its quantile upper bound.
+pub use rqfa_telemetry::Histogram as LatencyHistogram;
 
 /// Atomic counters for one QoS class.
 #[derive(Debug, Default)]
@@ -71,7 +48,7 @@ pub struct ClassMetrics {
     /// Dispatched requests the cache could not answer (cold, stale, or
     /// insufficient coverage). Every dispatched request probes the cache
     /// exactly once, so `cache_hits + cache_misses == completed + failed`
-    /// after a drained shutdown.
+    /// at every (gate-consistent) snapshot.
     pub cache_misses: AtomicU64,
     /// The subset of `cache_misses` that invalidated a stale entry
     /// (generation mismatch) — stale results are *never* served.
@@ -90,6 +67,80 @@ pub struct ClassMetrics {
     pub latency: LatencyHistogram,
 }
 
+/// One batch's worth of per-class outcome deltas, accumulated locally by
+/// a worker and committed atomically (see the module docs).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct ClassDeltas {
+    pub completed: u64,
+    pub shed_deadline: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub cache_stale: u64,
+    pub failed: u64,
+    pub missed_deadline: u64,
+}
+
+/// Everything one dispatched batch changes about the outcome counters.
+#[derive(Debug, Default)]
+pub(crate) struct BatchDeltas {
+    pub classes: [ClassDeltas; QosClass::COUNT],
+    pub ops: OpCounts,
+}
+
+impl BatchDeltas {
+    pub(crate) fn class(&mut self, class: QosClass) -> &mut ClassDeltas {
+        &mut self.classes[class.index()]
+    }
+
+    pub(crate) fn clear(&mut self) {
+        *self = BatchDeltas::default();
+    }
+
+    /// Accumulates one retrieval's kernel effort into the batch total.
+    pub(crate) fn add_ops(&mut self, ops: &OpCounts) {
+        self.ops.search_steps += ops.search_steps;
+        self.ops.distances += ops.distances;
+        self.ops.multiplies += ops.multiplies;
+        self.ops.additions += ops.additions;
+        self.ops.comparisons += ops.comparisons;
+    }
+}
+
+/// Kernel operation counters aggregated across every dispatched batch.
+#[derive(Debug, Default)]
+pub struct OpsMetrics {
+    /// Attribute-list words visited while searching.
+    pub search_steps: AtomicU64,
+    /// Absolute-difference computations.
+    pub distances: AtomicU64,
+    /// Multiplications.
+    pub multiplies: AtomicU64,
+    /// Additions/subtractions.
+    pub additions: AtomicU64,
+    /// Best-score comparisons.
+    pub comparisons: AtomicU64,
+}
+
+impl OpsMetrics {
+    fn add(&self, ops: &OpCounts) {
+        self.search_steps.fetch_add(ops.search_steps, Ordering::Relaxed);
+        self.distances.fetch_add(ops.distances, Ordering::Relaxed);
+        self.multiplies.fetch_add(ops.multiplies, Ordering::Relaxed);
+        self.additions.fetch_add(ops.additions, Ordering::Relaxed);
+        self.comparisons.fetch_add(ops.comparisons, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            search_steps: self.search_steps.load(Ordering::Relaxed),
+            distances: self.distances.load(Ordering::Relaxed),
+            multiplies: self.multiplies.load(Ordering::Relaxed),
+            additions: self.additions.load(Ordering::Relaxed),
+            comparisons: self.comparisons.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Shared metrics for a whole service (all shards write here).
 #[derive(Debug, Default)]
 pub struct ServiceMetrics {
@@ -99,6 +150,10 @@ pub struct ServiceMetrics {
     pub batches: AtomicU64,
     /// Requests dispatched inside those batches.
     pub batched_requests: AtomicU64,
+    /// Kernel effort aggregated over every scored batch.
+    pub ops: OpsMetrics,
+    /// The batch-commit gate (see the module docs).
+    gate: Mutex<()>,
 }
 
 impl ServiceMetrics {
@@ -107,8 +162,27 @@ impl ServiceMetrics {
         &self.classes[class.index()]
     }
 
-    /// Immutable snapshot for reporting.
+    /// Commits one batch's outcome deltas in a single critical section,
+    /// so no snapshot can observe a half-applied batch.
+    pub(crate) fn commit(&self, deltas: &BatchDeltas) {
+        let _gate = self.gate.lock().expect("metrics gate poisoned");
+        for (class, d) in QosClass::ALL.into_iter().zip(deltas.classes) {
+            let m = self.class(class);
+            m.completed.fetch_add(d.completed, Ordering::Relaxed);
+            m.shed_deadline.fetch_add(d.shed_deadline, Ordering::Relaxed);
+            m.cache_hits.fetch_add(d.cache_hits, Ordering::Relaxed);
+            m.cache_misses.fetch_add(d.cache_misses, Ordering::Relaxed);
+            m.cache_stale.fetch_add(d.cache_stale, Ordering::Relaxed);
+            m.failed.fetch_add(d.failed, Ordering::Relaxed);
+            m.missed_deadline.fetch_add(d.missed_deadline, Ordering::Relaxed);
+        }
+        self.ops.add(&deltas.ops);
+    }
+
+    /// Immutable snapshot for reporting, taken under the commit gate so
+    /// it never observes a torn batch.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let _gate = self.gate.lock().expect("metrics gate poisoned");
         let classes = QosClass::ALL.map(|class| {
             let m = self.class(class);
             ClassSnapshot {
@@ -123,15 +197,22 @@ impl ServiceMetrics {
                 failed: m.failed.load(Ordering::Relaxed),
                 promoted: m.promoted.load(Ordering::Relaxed),
                 missed_deadline: m.missed_deadline.load(Ordering::Relaxed),
-                p50_us: m.latency.quantile_us(0.50),
-                p99_us: m.latency.quantile_us(0.99),
+                p50_us: m.latency.quantile(0.50),
+                p99_us: m.latency.quantile(0.99),
             }
         });
         MetricsSnapshot {
             classes,
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            ops: self.ops.snapshot(),
         }
+    }
+}
+
+impl MetricSource for ServiceMetrics {
+    fn collect(&self, out: &mut Vec<Sample>) {
+        self.snapshot().collect(out);
     }
 }
 
@@ -188,7 +269,7 @@ impl ClassSnapshot {
 }
 
 /// Point-in-time counters of the whole service.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MetricsSnapshot {
     /// Per-class counters, most urgent first.
     pub classes: [ClassSnapshot; QosClass::COUNT],
@@ -196,6 +277,8 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Requests dispatched inside batches.
     pub batched_requests: u64,
+    /// Kernel effort aggregated over every scored batch.
+    pub ops: OpCounts,
 }
 
 impl MetricsSnapshot {
@@ -218,16 +301,36 @@ impl MetricsSnapshot {
     pub fn mean_batch_len(&self) -> f64 {
         ratio(self.batched_requests, self.batches)
     }
-}
 
-fn ratio(num: u64, den: u64) -> f64 {
-    if den == 0 {
-        0.0
-    } else {
-        #[allow(clippy::cast_precision_loss)]
-        {
-            num as f64 / den as f64
+    /// Flattens the snapshot into registry samples: per-class counters
+    /// under `<class>/`, service-wide batch and kernel-effort counters at
+    /// the top level. These are exactly the names the `service_trace`
+    /// trajectory (`BENCH_6.json`) publishes.
+    pub fn collect(&self, out: &mut Vec<Sample>) {
+        for c in &self.classes {
+            let class = c.class.to_string();
+            out.push(Sample::count(format!("{class}/submitted"), c.submitted));
+            out.push(Sample::count(format!("{class}/completed"), c.completed));
+            out.push(Sample::count(format!("{class}/shed_queue_full"), c.shed_queue_full));
+            out.push(Sample::count(format!("{class}/shed_deadline"), c.shed_deadline));
+            out.push(Sample::count(format!("{class}/cache_hits"), c.cache_hits));
+            out.push(Sample::count(format!("{class}/cache_misses"), c.cache_misses));
+            out.push(Sample::count(format!("{class}/cache_stale"), c.cache_stale));
+            out.push(Sample::count(format!("{class}/failed"), c.failed));
+            out.push(Sample::count(format!("{class}/promoted"), c.promoted));
+            out.push(Sample::count(format!("{class}/missed_deadline"), c.missed_deadline));
+            out.push(Sample::ratio(format!("{class}/hit_rate"), c.hit_rate()));
+            out.push(Sample::us(format!("{class}/p50"), c.p50_us));
+            out.push(Sample::us(format!("{class}/p99"), c.p99_us));
         }
+        out.push(Sample::count("batches", self.batches));
+        out.push(Sample::count("batched_requests", self.batched_requests));
+        out.push(Sample::new("mean_batch_len", "ratio", self.mean_batch_len()));
+        out.push(Sample::count("ops/search_steps", self.ops.search_steps));
+        out.push(Sample::count("ops/distances", self.ops.distances));
+        out.push(Sample::count("ops/multiplies", self.ops.multiplies));
+        out.push(Sample::count("ops/additions", self.ops.additions));
+        out.push(Sample::count("ops/comparisons", self.ops.comparisons));
     }
 }
 
@@ -258,9 +361,10 @@ impl fmt::Display for MetricsSnapshot {
         }
         writeln!(
             f,
-            "batches: {} (mean occupancy {:.1})",
+            "batches: {} (mean occupancy {:.1}, kernel ops {})",
             self.batches,
-            self.mean_batch_len()
+            self.mean_batch_len(),
+            self.ops.arithmetic(),
         )
     }
 }
@@ -276,27 +380,58 @@ mod tests {
             h.record(us);
         }
         assert_eq!(h.count(), 10);
-        let p50 = h.quantile_us(0.5);
+        let p50 = h.quantile(0.5);
         assert!((64..=128).contains(&p50), "p50 {p50}");
-        let p99 = h.quantile_us(0.99);
+        let p99 = h.quantile(0.99);
         assert!(p99 >= 4096, "p99 {p99}");
-        assert_eq!(LatencyHistogram::default().quantile_us(0.5), 0);
+        assert_eq!(LatencyHistogram::default().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn zero_latency_quantile_reports_zero() {
+        // Bucket 0 holds exactly 0 µs; its quantile upper bound must be
+        // 0, not 1 (the historical off-by-one this pins).
+        let h = LatencyHistogram::default();
+        h.record(0);
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
     }
 
     #[test]
     fn snapshot_aggregates() {
         let m = ServiceMetrics::default();
         m.class(QosClass::Low).submitted.fetch_add(4, Ordering::Relaxed);
-        m.class(QosClass::Low).completed.fetch_add(2, Ordering::Relaxed);
-        m.class(QosClass::Low).cache_hits.fetch_add(1, Ordering::Relaxed);
-        m.class(QosClass::Low).cache_misses.fetch_add(1, Ordering::Relaxed);
         m.class(QosClass::Low).shed_queue_full.fetch_add(2, Ordering::Relaxed);
+        let mut deltas = BatchDeltas::default();
+        deltas.class(QosClass::Low).completed = 2;
+        deltas.class(QosClass::Low).cache_hits = 1;
+        deltas.class(QosClass::Low).cache_misses = 1;
+        deltas.ops.distances = 7;
+        m.commit(&deltas);
         let snap = m.snapshot();
         assert_eq!(snap.class(QosClass::Low).shed(), 2);
         assert!((snap.class(QosClass::Low).hit_rate() - 0.5).abs() < 1e-12);
         assert_eq!(snap.completed(), 2);
         assert_eq!(snap.shed(), 2);
+        assert_eq!(snap.ops.distances, 7);
         let text = snap.to_string();
         assert!(text.contains("CRITICAL") && text.contains("LOW"));
+    }
+
+    #[test]
+    fn snapshot_collects_registry_samples() {
+        let m = ServiceMetrics::default();
+        let mut deltas = BatchDeltas::default();
+        deltas.class(QosClass::High).completed = 3;
+        deltas.class(QosClass::High).cache_misses = 3;
+        m.commit(&deltas);
+        let mut samples = Vec::new();
+        MetricSource::collect(&m, &mut samples);
+        let completed = samples.iter().find(|s| s.name == "HIGH/completed").unwrap();
+        assert_eq!(completed.value, 3.0);
+        assert!(samples.iter().any(|s| s.name == "batches"));
+        assert!(samples.iter().any(|s| s.name == "ops/distances"));
     }
 }

@@ -39,6 +39,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use rqfa_core::QosClass;
+use rqfa_telemetry::{clock::micros_between, monotonic, EventKind, FlightRecorder, SharedClock};
 
 use crate::metrics::ServiceMetrics;
 use crate::sched::{SchedMode, WeightedArbiter};
@@ -102,6 +103,13 @@ pub struct ClassQueue {
     mode: SchedMode,
     promotion_margin: Duration,
     metrics: Arc<ServiceMetrics>,
+    /// Time source for urgency checks and trace timestamps — injected so
+    /// the scheduler is drivable deterministically.
+    clock: SharedClock,
+    /// Flight recorder for `Scheduled` events (`None` = tracing off).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Zero point of trace timestamps.
+    epoch: Instant,
 }
 
 impl ClassQueue {
@@ -109,6 +117,8 @@ impl ClassQueue {
     /// ordered per `mode`, scheduled by `arbiter`; lane heads within
     /// `promotion_margin_us` of their deadline are flagged urgent to the
     /// arbiter (EDF mode only). Promotions are counted into `metrics`.
+    /// Uses the wall clock and no tracing; see
+    /// [`ClassQueue::with_telemetry`].
     pub fn new(
         capacity: usize,
         arbiter: WeightedArbiter,
@@ -116,6 +126,8 @@ impl ClassQueue {
         promotion_margin_us: u64,
         metrics: Arc<ServiceMetrics>,
     ) -> ClassQueue {
+        let clock = monotonic();
+        let epoch = clock.now();
         ClassQueue {
             inner: Mutex::new(Inner {
                 lanes: Default::default(),
@@ -129,7 +141,25 @@ impl ClassQueue {
             mode,
             promotion_margin: Duration::from_micros(promotion_margin_us),
             metrics,
+            clock,
+            recorder: None,
+            epoch,
         }
+    }
+
+    /// Replaces the queue's time source and flight recorder. `epoch` is
+    /// the zero point trace timestamps are measured from (share one
+    /// epoch across a service so per-request timelines line up).
+    pub fn with_telemetry(
+        mut self,
+        clock: SharedClock,
+        recorder: Option<Arc<FlightRecorder>>,
+        epoch: Instant,
+    ) -> ClassQueue {
+        self.clock = clock;
+        self.recorder = recorder;
+        self.epoch = epoch;
+        self
     }
 
     /// The lane sort instant of a job under this queue's mode.
@@ -197,7 +227,8 @@ impl ClassQueue {
             }
             inner = self.available.wait(inner).expect("queue poisoned");
         }
-        let now = Instant::now();
+        let now = self.clock.now();
+        let at_us = micros_between(self.epoch, now);
         let mut batch = Vec::with_capacity(max.min(inner.len));
         while batch.len() < max {
             let Some(pick) = ({
@@ -218,6 +249,15 @@ impl ClassQueue {
                     .class(pick.class)
                     .promoted
                     .fetch_add(1, Ordering::Relaxed);
+            }
+            if let Some(recorder) = &self.recorder {
+                recorder.record(
+                    at_us,
+                    job.id,
+                    job.class.index() as u8,
+                    EventKind::Scheduled,
+                    u64::from(pick.promoted),
+                );
             }
             inner.len -= 1;
             batch.push(job);

@@ -35,10 +35,11 @@ use std::time::Instant;
 use rqfa_core::{CaseBase, CaseMutation, CoreError, Generation, PlaneEngine, Retrieval, TypeId};
 use rqfa_fixed::Q15;
 use rqfa_persist::{DurableCaseBase, FileStore, PendingCheckpoint, PersistError, WrittenCheckpoint};
+use rqfa_telemetry::{clock::micros_between, monotonic, EventKind, FlightRecorder, SharedClock, TraceDump};
 
 use crate::cache::{CacheLookup, RetrievalCache};
 use crate::error::ServiceError;
-use crate::metrics::ServiceMetrics;
+use crate::metrics::{BatchDeltas, ServiceMetrics};
 use crate::queue::ClassQueue;
 use crate::{Job, Outcome, Reply, ServiceConfig};
 
@@ -164,6 +165,8 @@ impl ShardStore {
 pub(crate) struct Shard {
     pub(crate) queue: Arc<ClassQueue>,
     pub(crate) store: Arc<Mutex<ShardStore>>,
+    /// This shard's flight recorder (`None` = tracing disabled).
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
     /// Serializes checkpoints against each other (never against the
     /// store lock — retrievals keep flowing during checkpoint I/O).
     checkpoint_lock: Mutex<()>,
@@ -177,12 +180,14 @@ pub(crate) struct Shard {
 }
 
 impl Shard {
-    /// Spawns the shard worker over `store`.
+    /// Spawns the shard worker over `store`. `epoch` is the service-wide
+    /// zero point of trace timestamps.
     pub(crate) fn spawn(
         index: usize,
         store: ShardStore,
         config: &ServiceConfig,
         metrics: Arc<ServiceMetrics>,
+        epoch: Instant,
     ) -> Shard {
         // Only durable stores have anything to checkpoint; an ephemeral
         // shard with a live cadence would pointlessly re-take the store
@@ -192,13 +197,18 @@ impl Shard {
             ShardStore::Durable(_) => config.snapshot_every,
             _ => 0,
         };
-        let queue = Arc::new(ClassQueue::new(
-            config.queue_capacity,
-            config.arbiter(),
-            config.scheduling,
-            config.promotion_margin_us,
-            Arc::clone(&metrics),
-        ));
+        let recorder = (config.trace_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(config.trace_capacity)));
+        let queue = Arc::new(
+            ClassQueue::new(
+                config.queue_capacity,
+                config.arbiter(),
+                config.scheduling,
+                config.promotion_margin_us,
+                Arc::clone(&metrics),
+            )
+            .with_telemetry(Arc::clone(&config.clock), recorder.clone(), epoch),
+        );
         let store = Arc::new(Mutex::new(store));
         let worker_queue = Arc::clone(&queue);
         let worker_store = Arc::clone(&store);
@@ -208,15 +218,21 @@ impl Shard {
             config.cache_policy,
             config.cache_admission,
         );
+        let ctx = WorkerContext::new(cache).with_telemetry(
+            Arc::clone(&config.clock),
+            recorder.clone(),
+            epoch,
+        );
         let worker = std::thread::Builder::new()
             .name(format!("rqfa-shard-{index}"))
             .spawn(move || {
-                run_worker(&worker_queue, &worker_store, &metrics, batch_size, cache);
+                run_worker(&worker_queue, &worker_store, &metrics, batch_size, ctx);
             })
             .expect("spawn shard worker");
         Shard {
             queue,
             store,
+            recorder,
             checkpoint_lock: Mutex::new(()),
             since_checkpoint: AtomicU64::new(0),
             snapshot_every,
@@ -313,6 +329,15 @@ impl Shard {
             .take()
     }
 
+    /// The durable store's write-path counters (`None` for ephemeral and
+    /// empty shards). The returned block reads lock-free afterwards.
+    pub(crate) fn persist_stats(&self) -> Option<Arc<rqfa_persist::PersistStats>> {
+        match &*self.store.lock().expect("store poisoned") {
+            ShardStore::Durable(durable) => Some(durable.stats()),
+            _ => None,
+        }
+    }
+
     /// Signals shutdown and joins the worker, draining queued jobs first.
     pub(crate) fn join(&mut self) {
         self.queue.shutdown();
@@ -344,17 +369,44 @@ pub(crate) struct WorkerContext {
     seen: HashMap<u64, usize>,
     /// Coalesced within-batch duplicates: `(leader index, job)`.
     followers: Vec<(usize, Job)>,
+    /// Injected time source (stamps batches and latencies).
+    clock: SharedClock,
+    /// Zero point of trace timestamps.
+    epoch: Instant,
+    /// Flight recorder for pipeline events (`None` = tracing off).
+    recorder: Option<Arc<FlightRecorder>>,
+    /// The current batch's outcome deltas, committed batch-atomically.
+    deltas: BatchDeltas,
 }
 
 impl WorkerContext {
     pub(crate) fn new(cache: RetrievalCache) -> WorkerContext {
+        let clock = monotonic();
+        let epoch = clock.now();
         WorkerContext {
             engine: PlaneEngine::new(),
             cache,
             results: Vec::new(),
             seen: HashMap::new(),
             followers: Vec::new(),
+            clock,
+            epoch,
+            recorder: None,
+            deltas: BatchDeltas::default(),
         }
+    }
+
+    /// Replaces the worker's time source and flight recorder.
+    pub(crate) fn with_telemetry(
+        mut self,
+        clock: SharedClock,
+        recorder: Option<Arc<FlightRecorder>>,
+        epoch: Instant,
+    ) -> WorkerContext {
+        self.clock = clock;
+        self.recorder = recorder;
+        self.epoch = epoch;
+        self
     }
 }
 
@@ -364,15 +416,29 @@ fn run_worker(
     store: &Mutex<ShardStore>,
     metrics: &ServiceMetrics,
     batch_size: usize,
-    cache: RetrievalCache,
+    mut ctx: WorkerContext,
 ) {
-    let mut ctx = WorkerContext::new(cache);
     while let Some(batch) = queue.pop_batch(batch_size) {
         if batch.is_empty() {
             continue;
         }
         let store = store.lock().expect("store poisoned");
         process_batch(batch, &store, metrics, &mut ctx);
+    }
+}
+
+/// One batch's trace stamp: the recorder (if tracing) plus the batch
+/// timestamp every event of this batch carries.
+struct BatchTrace<'a> {
+    at_us: u64,
+    recorder: Option<&'a FlightRecorder>,
+}
+
+impl BatchTrace<'_> {
+    fn record(&self, job: &Job, kind: EventKind, arg: u64) {
+        if let Some(recorder) = self.recorder {
+            recorder.record(self.at_us, job.id, job.class.index() as u8, kind, arg);
+        }
     }
 }
 
@@ -388,7 +454,7 @@ fn run_worker(
 /// filter is told about each coalesced repeat
 /// ([`RetrievalCache::note_repeat`]) so the leader's insert is not
 /// bounced as a one-hit wonder. Normative semantics: `docs/retrieval.md`.
-fn process_batch(
+pub(crate) fn process_batch(
     batch: Vec<Job>,
     store: &ShardStore,
     metrics: &ServiceMetrics,
@@ -398,7 +464,14 @@ fn process_batch(
     metrics
         .batched_requests
         .fetch_add(batch.len() as u64, Ordering::Relaxed);
-    let now = Instant::now();
+    // One clock read stamps the whole batch: dispatch events, deadline
+    // checks and reply latencies all see the same `now`, which keeps a
+    // manual-clock replay exactly reproducible.
+    let now = ctx.clock.now();
+    let trace = BatchTrace {
+        at_us: micros_between(ctx.epoch, now),
+        recorder: ctx.recorder.as_deref(),
+    };
     let generation = store.generation();
 
     // Pass 1: deadline shedding, cache lookups, duplicate coalescing.
@@ -407,13 +480,12 @@ fn process_batch(
     let mut pending: Vec<(u64, Job)> = Vec::with_capacity(batch.len());
     ctx.seen.clear();
     for job in batch {
-        let waited_us = duration_us(now.duration_since(job.enqueued_at));
+        trace.record(&job, EventKind::Dispatched, 0);
+        let waited_us = micros_between(job.enqueued_at, now);
         if let Some(deadline) = job.deadline {
             if job.class.sheddable() && now > deadline {
-                metrics
-                    .class(job.class)
-                    .shed_deadline
-                    .fetch_add(1, Ordering::Relaxed);
+                ctx.deltas.class(job.class).shed_deadline += 1;
+                trace.record(&job, EventKind::ShedDeadline, 0);
                 job.reply(Outcome::ShedDeadline, waited_us, metrics);
                 continue;
             }
@@ -427,14 +499,18 @@ fn process_batch(
         }
         match ctx.cache.lookup_outcome(fingerprint, generation) {
             CacheLookup::Hit(hit) => {
-                finish(job, hit, true, metrics);
+                trace.record(&job, EventKind::CacheHit, 0);
+                finish(job, hit, true, now, &trace, &mut ctx.deltas, metrics);
                 continue;
             }
             CacheLookup::Miss { stale } => {
-                let class = metrics.class(job.class);
-                class.cache_misses.fetch_add(1, Ordering::Relaxed);
+                let deltas = ctx.deltas.class(job.class);
+                deltas.cache_misses += 1;
                 if stale {
-                    class.cache_stale.fetch_add(1, Ordering::Relaxed);
+                    deltas.cache_stale += 1;
+                    trace.record(&job, EventKind::CacheStale, 0);
+                } else {
+                    trace.record(&job, EventKind::CacheMiss, 0);
                 }
             }
         }
@@ -443,95 +519,127 @@ fn process_batch(
     }
 
     // Pass 2: one batched plane-kernel call for every leader.
-    if pending.is_empty() {
-        debug_assert!(ctx.followers.is_empty(), "followers imply a leader");
-        return;
-    }
-    match store.case_base() {
-        Some(case_base) => {
-            {
-                let requests: Vec<&rqfa_core::Request> =
-                    pending.iter().map(|(_, j)| &j.request).collect();
-                ctx.engine
-                    .retrieve_batch_into(case_base, &requests, &mut ctx.results);
-            }
-            let generation = case_base.generation();
-            // Followers first (they read the leaders' results), counted
-            // as cache hits — the coalesced "1 miss + N−1 hits" account.
-            for (leader, job) in ctx.followers.drain(..) {
-                match &ctx.results[leader] {
-                    Ok(retrieval) => finish(job, retrieval.clone(), true, metrics),
-                    Err(error) => {
-                        // A failed leader fails its followers identically;
-                        // the follower's probe-that-never-was counts as a
-                        // miss so per-class cache counters keep summing to
-                        // the served total.
-                        let class = metrics.class(job.class);
-                        class.cache_misses.fetch_add(1, Ordering::Relaxed);
-                        class.failed.fetch_add(1, Ordering::Relaxed);
-                        let waited_us = duration_us(now.duration_since(job.enqueued_at));
-                        job.reply(Outcome::Failed(error.clone()), waited_us, metrics);
+    'serve: {
+        if pending.is_empty() {
+            debug_assert!(ctx.followers.is_empty(), "followers imply a leader");
+            break 'serve;
+        }
+        match store.case_base() {
+            Some(case_base) => {
+                {
+                    let requests: Vec<&rqfa_core::Request> =
+                        pending.iter().map(|(_, j)| &j.request).collect();
+                    ctx.engine
+                        .retrieve_batch_into(case_base, &requests, &mut ctx.results);
+                }
+                let generation = case_base.generation();
+                for result in ctx.results.iter().flatten() {
+                    ctx.deltas.add_ops(&result.ops);
+                }
+                // Followers first (they read the leaders' results), counted
+                // as cache hits — the coalesced "1 miss + N−1 hits" account.
+                for (leader, job) in ctx.followers.drain(..) {
+                    match &ctx.results[leader] {
+                        Ok(retrieval) => {
+                            trace.record(&job, EventKind::CacheHit, 1);
+                            finish(
+                                job,
+                                retrieval.clone(),
+                                true,
+                                now,
+                                &trace,
+                                &mut ctx.deltas,
+                                metrics,
+                            );
+                        }
+                        Err(error) => {
+                            // A failed leader fails its followers identically;
+                            // the follower's probe-that-never-was counts as a
+                            // miss so per-class cache counters keep summing to
+                            // the served total.
+                            let deltas = ctx.deltas.class(job.class);
+                            deltas.cache_misses += 1;
+                            deltas.failed += 1;
+                            trace.record(&job, EventKind::Failed, 0);
+                            let waited_us = micros_between(job.enqueued_at, now);
+                            job.reply(Outcome::Failed(error.clone()), waited_us, metrics);
+                        }
+                    }
+                }
+                for ((fingerprint, job), result) in pending.into_iter().zip(ctx.results.drain(..)) {
+                    match result {
+                        Ok(retrieval) => {
+                            trace.record(&job, EventKind::Scored, retrieval.evaluated as u64);
+                            ctx.cache.insert(fingerprint, generation, &retrieval);
+                            finish(job, retrieval, false, now, &trace, &mut ctx.deltas, metrics);
+                        }
+                        Err(error) => {
+                            ctx.deltas.class(job.class).failed += 1;
+                            trace.record(&job, EventKind::Failed, 0);
+                            let waited_us = micros_between(job.enqueued_at, now);
+                            job.reply(Outcome::Failed(error), waited_us, metrics);
+                        }
                     }
                 }
             }
-            for ((fingerprint, job), result) in pending.into_iter().zip(ctx.results.drain(..)) {
-                match result {
-                    Ok(retrieval) => {
-                        ctx.cache.insert(fingerprint, generation, &retrieval);
-                        finish(job, retrieval, false, metrics);
+            None => {
+                // Empty shard: no type routes here, so the type is unknown.
+                let mut fail = |job: Job, count_miss: bool| {
+                    let deltas = ctx.deltas.class(job.class);
+                    if count_miss {
+                        deltas.cache_misses += 1;
                     }
-                    Err(error) => {
-                        metrics.class(job.class).failed.fetch_add(1, Ordering::Relaxed);
-                        let waited_us = duration_us(now.duration_since(job.enqueued_at));
-                        job.reply(Outcome::Failed(error), waited_us, metrics);
-                    }
+                    deltas.failed += 1;
+                    trace.record(&job, EventKind::Failed, 0);
+                    let type_id = job.request.type_id();
+                    let waited_us = micros_between(job.enqueued_at, now);
+                    job.reply(
+                        Outcome::Failed(CoreError::UnknownType { type_id }),
+                        waited_us,
+                        metrics,
+                    );
+                };
+                for (_, job) in ctx.followers.drain(..) {
+                    fail(job, true);
+                }
+                for (_, job) in pending {
+                    fail(job, false);
                 }
             }
         }
-        None => {
-            // Empty shard: no type routes here, so the type is unknown.
-            let fail = |job: Job, count_miss: bool| {
-                let class = metrics.class(job.class);
-                if count_miss {
-                    class.cache_misses.fetch_add(1, Ordering::Relaxed);
-                }
-                class.failed.fetch_add(1, Ordering::Relaxed);
-                let type_id = job.request.type_id();
-                let waited_us = duration_us(now.duration_since(job.enqueued_at));
-                job.reply(
-                    Outcome::Failed(CoreError::UnknownType { type_id }),
-                    waited_us,
-                    metrics,
-                );
-            };
-            for (_, job) in ctx.followers.drain(..) {
-                fail(job, true);
-            }
-            for (_, job) in pending {
-                fail(job, false);
-            }
-        }
     }
+    // One commit per batch: a concurrent snapshot sees either none or all
+    // of this batch's outcome counters (the snapshot-consistency
+    // invariant the observability suite samples under load).
+    metrics.commit(&ctx.deltas);
+    ctx.deltas.clear();
 }
 
-/// Completes one job with a retrieval result.
-fn finish(job: Job, retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>, cached: bool, metrics: &ServiceMetrics) {
+/// Completes one job with a retrieval result. Latency and deadline
+/// misses are judged against the batch's `now` stamp.
+fn finish(
+    job: Job,
+    retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>,
+    cached: bool,
+    now: Instant,
+    trace: &BatchTrace<'_>,
+    deltas: &mut BatchDeltas,
+    metrics: &ServiceMetrics,
+) {
     let class = job.class;
-    let latency_us = duration_us(job.enqueued_at.elapsed());
+    let latency_us = micros_between(job.enqueued_at, now);
     // Served, but late? CRITICAL is never shed, so an expired deadline
     // surfaces here as a miss instead.
-    if job.deadline.is_some_and(|d| Instant::now() > d) {
-        metrics
-            .class(class)
-            .missed_deadline
-            .fetch_add(1, Ordering::Relaxed);
+    if job.deadline.is_some_and(|d| now > d) {
+        deltas.class(class).missed_deadline += 1;
     }
     let outcome = match retrieval.best {
         Some(best) => {
-            metrics.class(class).completed.fetch_add(1, Ordering::Relaxed);
+            deltas.class(class).completed += 1;
             if cached {
-                metrics.class(class).cache_hits.fetch_add(1, Ordering::Relaxed);
+                deltas.class(class).cache_hits += 1;
             }
+            trace.record(&job, EventKind::Replied, u64::from(cached));
             Outcome::Allocated {
                 best,
                 evaluated: retrieval.evaluated,
@@ -540,18 +648,14 @@ fn finish(job: Job, retrieval: rqfa_core::Retrieval<rqfa_fixed::Q15>, cached: bo
         }
         // Unreachable for a validated case base; reported honestly anyway.
         None => {
-            metrics.class(class).failed.fetch_add(1, Ordering::Relaxed);
+            deltas.class(class).failed += 1;
+            trace.record(&job, EventKind::Failed, 0);
             Outcome::Failed(CoreError::UnknownType {
                 type_id: job.request.type_id(),
             })
         }
     };
     job.reply(outcome, latency_us, metrics);
-}
-
-/// Saturating µs conversion.
-pub(crate) fn duration_us(duration: std::time::Duration) -> u64 {
-    u64::try_from(duration.as_micros()).unwrap_or(u64::MAX)
 }
 
 /// Drives the worker's batch-processing path synchronously, without
@@ -565,21 +669,36 @@ pub(crate) fn duration_us(duration: std::time::Duration) -> u64 {
 pub struct BatchHarness {
     store: ShardStore,
     metrics: Arc<ServiceMetrics>,
+    recorder: Option<Arc<FlightRecorder>>,
     ctx: WorkerContext,
 }
 
 impl BatchHarness {
     /// A harness over an ephemeral copy of `case_base`, with the cache
-    /// configured from `config` (capacity / policy / admission).
+    /// configured from `config` (capacity / policy / admission) and the
+    /// clock / flight recorder taken from the same config.
     pub fn new(case_base: &CaseBase, config: &ServiceConfig) -> BatchHarness {
+        let recorder = (config.trace_capacity > 0)
+            .then(|| Arc::new(FlightRecorder::new(config.trace_capacity)));
+        let epoch = config.clock.now();
         BatchHarness {
             store: ShardStore::Ephemeral(case_base.clone()),
             metrics: Arc::new(ServiceMetrics::default()),
+            recorder: recorder.clone(),
             ctx: WorkerContext::new(RetrievalCache::with_policy(
                 config.cache_capacity,
                 config.cache_policy,
                 config.cache_admission,
-            )),
+            ))
+            .with_telemetry(Arc::clone(&config.clock), recorder, epoch),
+        }
+    }
+
+    /// Drains the harness's flight recorder (empty when tracing is off).
+    pub fn drain_trace(&self) -> TraceDump {
+        match &self.recorder {
+            Some(recorder) => recorder.drain(),
+            None => TraceDump::default(),
         }
     }
 

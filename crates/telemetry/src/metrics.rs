@@ -1,0 +1,183 @@
+//! Shared lock-free metric primitives.
+//!
+//! These are the building blocks both `rqfa-service` and `rqfa-rsoc`
+//! metrics are expressed in (previously two parallel idioms): relaxed
+//! atomic counters and gauges, and a power-of-two bucket histogram from
+//! which quantiles are read without per-observation allocation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `n` to the counter.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments the counter by one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable instantaneous value (e.g. bytes pending in a log).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `n` to the gauge.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets (bucket `i ≥ 1` holds values
+/// of bit length `i`, i.e. `[2^(i-1), 2^i)`; bucket 0 holds exactly 0).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Lock-free power-of-two histogram of non-negative integer observations
+/// (the workspace uses it for microsecond latencies and batch-occupancy
+/// counts).
+///
+/// Quantiles report the *upper bound* of the bucket containing the
+/// requested rank, keeping the estimate conservative: the true quantile
+/// is never above the reported value. Bucket 0 holds exactly the value 0,
+/// so its upper bound is 0 — not 1 (a historical off-by-one this type
+/// fixes; the unit test pins it).
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+impl Histogram {
+    /// A histogram with no observations.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Upper bound of the bucket containing quantile `q` in `[0, 1]`, or
+    /// 0 with no observations.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = ((total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                // Bucket 0 holds exactly 0, so its upper bound is 0.
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        1u64 << (HISTOGRAM_BUCKETS - 1)
+    }
+}
+
+/// `num / den`, or 0 when the denominator is 0. The one shared rate
+/// helper (previously duplicated by `service::metrics` and
+/// `rsoc::metrics`).
+pub fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            num as f64 / den as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.add(10);
+        g.set(3);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_observations() {
+        let h = Histogram::new();
+        for us in [1u64, 2, 3, 100, 100, 100, 100, 100, 100, 5000] {
+            h.record(us);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile(0.5);
+        assert!((64..=128).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 >= 4096, "p99 {p99}");
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn zero_observations_quantile_is_zero_not_one() {
+        // The bucket-0 fix: a histogram of exact zeros must report 0 for
+        // every quantile (bucket 0's upper bound is 0, not 1).
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(0);
+        }
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.99), 0);
+        // And mixing in one slow observation still reports it at p100.
+        h.record(1000);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn ratio_handles_zero_denominator() {
+        assert_eq!(ratio(5, 0), 0.0);
+        assert!((ratio(1, 4) - 0.25).abs() < 1e-12);
+    }
+}

@@ -21,6 +21,7 @@
 //! | [`synth`] | `rqfa-synth` | netlist area/timing estimator (Table 2) |
 //! | [`rsoc`] | `rqfa-rsoc` | run-time system simulator (fig. 1): allocation manager, devices, negotiation |
 //! | [`service`] | `rqfa-service` | sharded, batched, deadline-aware QoS allocation service (EDF queues, weighted scheduler, cache, metrics) |
+//! | [`telemetry`] | `rqfa-telemetry` | observability plane: injectable clocks, flight-recorder tracing, unified metrics registry |
 //! | [`workloads`] | `rqfa-workloads` | deterministic generators, the fig. 1 scenario, open-loop QoS traffic |
 //!
 //! ## Quick start
@@ -51,4 +52,5 @@ pub use rqfa_rsoc as rsoc;
 pub use rqfa_service as service;
 pub use rqfa_softcore as softcore;
 pub use rqfa_synth as synth;
+pub use rqfa_telemetry as telemetry;
 pub use rqfa_workloads as workloads;

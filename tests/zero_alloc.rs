@@ -107,6 +107,25 @@ fn steady_state_plane_retrieval_allocates_nothing() {
         before,
         "steady-state batch retrieval must not allocate"
     );
+    // Measured window: the telemetry hot path. Enabling tracing must not
+    // put an allocation on the request path: recording an event (ring
+    // slot overwrite, including wraparound — the ring holds 1024 and the
+    // window writes 4096) and reading an injectable clock are both free.
+    let recorder = rqfa::telemetry::FlightRecorder::new(1024);
+    let clock = rqfa::telemetry::ManualClock::new();
+    recorder.record(0, 0, 0, rqfa::telemetry::EventKind::Submitted, 0);
+    let before = allocations();
+    for i in 0..4096u64 {
+        clock.advance_us(1);
+        let at_us = std::hint::black_box(clock.elapsed_us());
+        recorder.record(at_us, i, (i % 4) as u8, rqfa::telemetry::EventKind::Dispatched, 0);
+    }
+    assert_eq!(
+        allocations(),
+        before,
+        "flight-recorder record + manual clock must not allocate"
+    );
+
     // Contrast: the naive engine allocates on every request (this is the
     // cost the plane removes — if this ever goes to zero the harness
     // window itself is broken).
