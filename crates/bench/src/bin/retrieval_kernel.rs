@@ -21,13 +21,22 @@
 //!    *disabled*, at dispatch batch 1 vs 32: every hit at batch 32 comes
 //!    from coalescing alone (batch 1 cannot coalesce, so its hit rate is
 //!    exactly 0). Hit counts are a pure function of the trace.
+//! 6. **Kernel-path A/B** — the same single-request sweep on a
+//!    `ForceScalar` engine, so the wide (SIMD) margin over the scalar
+//!    streaming kernel is measured directly. On hosts without the CPU
+//!    feature both engines resolve to scalar and the ratio is ≈ 1.
 //!
-//! `cargo run --release -p rqfa-bench --bin retrieval_kernel [-- --json <path>]`
+//! `--scalar` pins *every* plane engine in the run (including the
+//! verification pass) to the scalar kernel — the CI fallback lane runs
+//! this to prove the bench and its acceptance assertions hold with the
+//! wide path force-disabled.
+//!
+//! `cargo run --release -p rqfa-bench --bin retrieval_kernel [-- --json <path>] [-- --scalar]`
 
 use std::time::Instant;
 
 use rqfa_bench::json::BenchReport;
-use rqfa_core::{CaseBase, FixedEngine, PlaneEngine, QosClass, Request};
+use rqfa_core::{CaseBase, FixedEngine, KernelPath, PlaneEngine, QosClass, Request};
 use rqfa_service::testkit::{job, BatchHarness};
 use rqfa_service::ServiceConfig;
 use rqfa_workloads::{Popularity, TrafficGen};
@@ -37,7 +46,12 @@ const BATCH: usize = 32;
 const NBEST: usize = 4;
 
 fn main() {
-    let json_path = rqfa_bench::json_path_from_args();
+    let (json_path, flags) = rqfa_bench::args_with_flags(&["--scalar"]);
+    let kernel = if flags[0] {
+        KernelPath::ForceScalar
+    } else {
+        KernelPath::Auto
+    };
     println!("E14. Compiled retrieval plane vs naive scan\n");
     let case_base = rqfa_workloads::CaseGen::new(24, 24, 8, 10).seed(0xE14).build();
     println!(
@@ -60,7 +74,7 @@ fn main() {
     #[allow(clippy::cast_precision_loss)]
     report.push("zipf/requests", "count", zipf.len() as f64);
 
-    verify(&case_base, &zipf);
+    verify(&case_base, &zipf, kernel);
 
     // ── single-request throughput ─────────────────────────────────────
     let naive_engine = FixedEngine::new();
@@ -69,8 +83,13 @@ fn main() {
             std::hint::black_box(naive_engine.retrieve(&case_base, request).unwrap());
         }
     });
-    let mut plane_engine = PlaneEngine::new();
+    let mut plane_engine = PlaneEngine::with_kernel(kernel);
     plane_engine.retrieve(&case_base, &zipf[0]).unwrap(); // compile once
+    println!(
+        "kernel path: {} (wide available on this host: {})\n",
+        plane_engine.kernel_path(),
+        rqfa_core::wide_kernel_available()
+    );
     let plane_single = best_rate(zipf.len(), || {
         for request in &zipf {
             std::hint::black_box(plane_engine.retrieve(&case_base, request).unwrap());
@@ -135,6 +154,27 @@ fn main() {
     report.push("coalesce/hit_rate_batch1", "ratio", rate_b1);
     report.push("coalesce/hit_rate_batch32", "ratio", rate_b32);
 
+    // ── kernel-path A/B (wide vs forced-scalar streaming) ─────────────
+    let mut scalar_engine = PlaneEngine::with_kernel(KernelPath::ForceScalar);
+    scalar_engine.retrieve(&case_base, &zipf[0]).unwrap(); // compile once
+    let scalar_single = best_rate(zipf.len(), || {
+        for request in &zipf {
+            std::hint::black_box(scalar_engine.retrieve(&case_base, request).unwrap());
+        }
+    });
+    println!(
+        "\nkernel A/B      scalar {scalar_single:>11.0} req/s   {:>6} {plane_single:>11.0} req/s   ({}×)",
+        plane_engine.kernel_path(),
+        fmt_ratio(plane_single / scalar_single)
+    );
+    report.push(
+        "kernel/wide_available",
+        "count",
+        f64::from(u8::from(rqfa_core::wide_kernel_available())),
+    );
+    report.push("kernel/scalar_single", "req_per_sec", scalar_single);
+    report.push("kernel/wide_over_scalar", "ratio", plane_single / scalar_single);
+
     // Acceptance. The zipf margin is deliberately generous (≥ 1×: the
     // plane must never be slower) so CI noise cannot flake the lane; the
     // committed BENCH_<pr>.json records the real ≥ 2× margin.
@@ -162,10 +202,11 @@ fn main() {
     }
 }
 
-/// Bit-identity check over the whole trace before any timing.
-fn verify(case_base: &CaseBase, trace: &[Request]) {
+/// Bit-identity check over the whole trace before any timing, on the
+/// same kernel path the timed sections will use.
+fn verify(case_base: &CaseBase, trace: &[Request], kernel: KernelPath) {
     let naive = FixedEngine::new();
-    let mut plane = PlaneEngine::new();
+    let mut plane = PlaneEngine::with_kernel(kernel);
     for (i, request) in trace.iter().enumerate() {
         let n = naive.retrieve(case_base, request).unwrap();
         let p = plane.retrieve(case_base, request).unwrap();

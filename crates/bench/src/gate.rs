@@ -4,17 +4,23 @@
 //! baseline and feeds both reports through [`compare`]. The policy is
 //! unit-aware, because the trajectory mixes two kinds of numbers:
 //!
-//! * **Wall-clock throughput** (any unit ending in `_per_sec`, e.g. the
-//!   `req_per_sec` sweeps of `service_throughput`): noisy on shared CI
-//!   hosts, so the gate only enforces a *loose floor* — fresh must stay
-//!   at or above [`GateConfig::loose_floor`] × baseline. Improvements
-//!   always pass.
+//! * **Wall-clock throughput** — units *explicitly declared* in
+//!   [`GateConfig::wall_clock_units`] (e.g. the `req_per_sec` sweeps of
+//!   `service_throughput`): noisy on shared CI hosts, so the gate only
+//!   enforces a *loose floor* — fresh must stay at or above
+//!   [`GateConfig::loose_floor`] × baseline. Improvements always pass.
 //! * **Everything else** (`us` quantiles, `count`s, `ratio`s — and the
 //!   deterministic-simulation throughput `sim_req_per_sec`, which carries
 //!   no timer noise by construction): a *tight band*. Fresh must lie
 //!   within [`GateConfig::tight_ratio`] of baseline in both directions,
 //!   so a 2× p99 regression fails and a silent 2× "improvement" (usually
 //!   a broken workload, not a miracle) fails too.
+//!
+//! Classification is deterministic-unless-declared: a metric is held to
+//! the tight band unless its unit appears verbatim in the wall-clock
+//! list. (The gate used to sniff a `*_per_sec` unit suffix with a
+//! hardcoded `sim_req_per_sec` exemption, which silently granted any
+//! future deterministic `*_per_sec` metric the loose floor.)
 //!
 //! The metric *sets* must match exactly: a metric that disappears — or a
 //! new one smuggled in without refreshing the baseline — fails the gate,
@@ -36,13 +42,31 @@ pub struct GateConfig {
     /// One-sided floor for wall-clock throughput: fresh must satisfy
     /// `fresh >= base * loose_floor`.
     pub loose_floor: f64,
+    /// The explicit allowlist of units measured against the wall clock
+    /// (and therefore gated by the loose floor only). Every other unit —
+    /// whatever it is named — is treated as deterministic and held to
+    /// the tight band; notably `sim_req_per_sec`, the replayed
+    /// simulation throughput, is *not* in this list.
+    pub wall_clock_units: &'static [&'static str],
 }
+
+/// Units the default configuration treats as wall-clock throughput: the
+/// timer-measured rates of `service_throughput` (`req_per_sec`,
+/// `mut_per_sec`) and `persist_throughput` (`replays_per_sec`,
+/// `frames_per_sec`).
+pub const WALL_CLOCK_UNITS: &[&str] = &[
+    "req_per_sec",
+    "mut_per_sec",
+    "replays_per_sec",
+    "frames_per_sec",
+];
 
 impl Default for GateConfig {
     fn default() -> GateConfig {
         GateConfig {
             tight_ratio: 1.25,
             loose_floor: 0.4,
+            wall_clock_units: WALL_CLOCK_UNITS,
         }
     }
 }
@@ -63,11 +87,12 @@ impl GateReport {
     }
 }
 
-/// Whether `unit` is wall-clock throughput (loose floor) as opposed to a
-/// deterministic metric (tight band). The simulated throughput of the
-/// replay trajectory, `sim_req_per_sec`, is deterministic and stays tight.
-fn is_wall_clock_throughput(unit: &str) -> bool {
-    unit.ends_with("_per_sec") && unit != "sim_req_per_sec"
+/// Whether `unit` is declared wall-clock throughput (loose floor) as
+/// opposed to a deterministic metric (tight band). Explicit membership,
+/// not a name heuristic: an undeclared unit is deterministic by default,
+/// so a new `*_per_sec` metric cannot silently dodge the tight band.
+fn is_wall_clock_throughput(config: &GateConfig, unit: &str) -> bool {
+    config.wall_clock_units.contains(&unit)
 }
 
 /// Compares `fresh` against `baseline` under `config`. See the module
@@ -96,7 +121,7 @@ pub fn compare(baseline: &BenchReport, fresh: &BenchReport, config: &GateConfig)
             ));
             continue;
         }
-        if is_wall_clock_throughput(&base.unit) {
+        if is_wall_clock_throughput(config, &base.unit) {
             let floor = base.value * config.loose_floor - EPS;
             if new.value < floor {
                 report.failures.push(format!(
@@ -203,6 +228,42 @@ mod tests {
         let mut fresh = base.clone();
         fresh.results[3].value = 30_000.0; // sim halved: deterministic, fails
         assert!(!compare(&base, &fresh, &GateConfig::default()).passed());
+    }
+
+    #[test]
+    fn undeclared_per_sec_unit_stays_on_the_tight_band() {
+        // Negative test for the retired suffix heuristic: a metric whose
+        // unit merely *looks* like throughput (`*_per_sec`) but is not in
+        // the declared wall-clock list must be held to the tight band —
+        // halving it fails instead of slipping under the loose floor.
+        let mut base = baseline();
+        base.push("load_100/evictions_per_sec", "eviction_per_sec", 800.0);
+        let mut fresh = base.clone();
+        let index = fresh.results.len() - 1;
+        fresh.results[index].value = 400.0;
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert!(
+            !report.passed(),
+            "an undeclared *_per_sec unit must not get the loose floor"
+        );
+        assert!(
+            report.failures[0].contains("evictions_per_sec"),
+            "{:?}",
+            report.failures
+        );
+    }
+
+    #[test]
+    fn declared_wall_clock_units_are_exactly_the_loose_set() {
+        // The declaration is explicit and closed: exactly these units
+        // ride the loose floor, everything else is deterministic.
+        let config = GateConfig::default();
+        for unit in WALL_CLOCK_UNITS {
+            assert!(is_wall_clock_throughput(&config, unit));
+        }
+        assert!(!is_wall_clock_throughput(&config, "sim_req_per_sec"));
+        assert!(!is_wall_clock_throughput(&config, "eviction_per_sec"));
+        assert!(!is_wall_clock_throughput(&config, "us"));
     }
 
     #[test]

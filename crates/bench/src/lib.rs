@@ -88,16 +88,31 @@ pub fn push_samples(
 /// arguments — a bench invocation with a typo must fail loudly, not
 /// silently skip its report.
 pub fn json_path_from_args() -> Option<std::path::PathBuf> {
+    args_with_flags(&[]).0
+}
+
+/// Parses the shared bench CLI: an optional `--json <path>` plus any of
+/// the boolean `flags` (e.g. `&["--scalar"]`). Returns the json path
+/// and, aligned with `flags`, whether each flag was present.
+///
+/// # Panics
+///
+/// Panics (with usage text) on `--json` without a path or on arguments
+/// outside `flags` — a bench invocation with a typo must fail loudly,
+/// not silently skip its report.
+pub fn args_with_flags(flags: &[&str]) -> (Option<std::path::PathBuf>, Vec<bool>) {
     let mut args = std::env::args().skip(1);
     let mut path = None;
+    let mut present = vec![false; flags.len()];
     while let Some(arg) = args.next() {
-        match arg.as_str() {
-            "--json" => {
-                let value = args.next().expect("usage: --json <path>");
-                path = Some(std::path::PathBuf::from(value));
-            }
-            other => panic!("unknown argument {other:?} (usage: [--json <path>])"),
+        if arg == "--json" {
+            let value = args.next().expect("usage: --json <path>");
+            path = Some(std::path::PathBuf::from(value));
+        } else if let Some(i) = flags.iter().position(|f| *f == arg) {
+            present[i] = true;
+        } else {
+            panic!("unknown argument {arg:?} (usage: [--json <path>] {})", flags.join(" "));
         }
     }
-    path
+    (path, present)
 }

@@ -1,0 +1,120 @@
+//! The AVX2 wide kernel: 8 variants per lane-step, one column load
+//! shared across a register-blocked run of planned requests.
+//!
+//! Bit-identity with the scalar loops is by construction, not by
+//! tolerance: each `u32` lane replicates the scalar UQ1.15 datapath
+//! exactly —
+//!
+//! ```text
+//! d    = |case − request|                (u16 domain distance)
+//! sat  = min(d · recip, 0x8000)          (saturating scale_int)
+//! s_i  = 0x8000 − sat                    (complement)
+//! term = (s_i · weight) >> 15            (mul_trunc)
+//! acc += term                            (u32, clamped once at the end)
+//! ```
+//!
+//! Every intermediate fits comfortably in 31 bits (`d ≤ 0xFFFF`,
+//! `recip, weight ≤ 0x8000`), so 32-bit unsigned `min`/`mullo` and a
+//! logical shift are exact, and the final `u32` addition commutes — any
+//! lane packing yields byte-equal accumulators.
+//!
+//! Columns are physically padded to [`COLUMN_PAD`](crate::plane::COLUMN_PAD)
+//! rows (a multiple of the 8-lane step), so the streaming loop needs no
+//! tail handling: on sparse columns padded lanes read *absent* from the
+//! presence bitmap and contribute an exact 0; on dense columns padded
+//! lanes accumulate garbage only into padded accumulator slots that no
+//! reduction ever reads (reductions slice `[..variant_count]`).
+//!
+//! This is the only module in the crate allowed to use `unsafe` (the
+//! crate root carries `deny(unsafe_code)`): unsafety is confined to
+//! calling `#[target_feature(enable = "avx2")]` code after runtime
+//! detection ([`available`]) and to unaligned vector loads/stores whose
+//! bounds the padding invariant and the caller contract below guarantee.
+
+#![allow(unsafe_code)]
+
+use std::arch::x86_64::{
+    _mm256_add_epi32, _mm256_and_si256, _mm256_cmpeq_epi32, _mm256_cvtepu16_epi32,
+    _mm256_loadu_si256, _mm256_max_epu32, _mm256_min_epu32, _mm256_mullo_epi32,
+    _mm256_set1_epi32, _mm256_setr_epi32, _mm256_srli_epi32, _mm256_storeu_si256,
+    _mm256_sub_epi32, _mm_loadu_si128,
+};
+
+use super::PlanEntry;
+use crate::plane::AttrColumn;
+
+/// Variants per lane-step: 8 × `u32` accumulator lanes in one 256-bit
+/// register.
+const LANES: usize = 8;
+
+/// Runtime feature probe. Called once per [`PlaneEngine`](super::PlaneEngine)
+/// construction, never in the hot loop.
+pub(super) fn available() -> bool {
+    std::arch::is_x86_feature_detected!("avx2")
+}
+
+/// Streams one same-column run of a block plan over the column's padded
+/// values, accumulating into each entry's accumulator row.
+///
+/// # Safety
+///
+/// * AVX2 must have been runtime-detected (`available()` returned true).
+/// * `stride == column.padded_values().len()` (the type plane's padded
+///   row stride), and `acc.len() ≥ (max run row + 1) × stride`, so every
+///   8-lane load/store below stays in bounds.
+#[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+#[target_feature(enable = "avx2")]
+pub(super) unsafe fn stream_avx2(
+    column: &AttrColumn,
+    run: &[PlanEntry],
+    acc: &mut [u32],
+    stride: usize,
+) {
+    let values = column.padded_values();
+    debug_assert_eq!(values.len(), stride, "stride is the padded row length");
+    debug_assert_eq!(values.len() % LANES, 0, "columns pad to whole lane-steps");
+    let one = _mm256_set1_epi32(0x8000);
+    let lane_bits = _mm256_setr_epi32(1, 2, 4, 8, 16, 32, 64, 128);
+    let dense = column.is_dense();
+    let words = column.present_words();
+    for step in 0..values.len() / LANES {
+        let base = step * LANES;
+        // 8 × u16 case values, zero-extended to u32 lanes. In bounds:
+        // base + LANES ≤ values.len() by the padding invariant.
+        let cases = _mm256_cvtepu16_epi32(_mm_loadu_si128(values.as_ptr().add(base).cast()));
+        // Presence mask of these 8 lanes (None ⇒ dense ⇒ all present).
+        // LANES divides 64, so the byte never straddles a bitmap word;
+        // padded lanes read absent and contribute an exact 0, like the
+        // scalar bit-iteration never visiting them.
+        let mask = if dense {
+            None
+        } else {
+            let byte = ((words[base / 64] >> (base % 64)) & 0xFF) as i32;
+            let spread = _mm256_and_si256(_mm256_set1_epi32(byte), lane_bits);
+            Some(_mm256_cmpeq_epi32(spread, lane_bits))
+        };
+        for entry in run {
+            let request = _mm256_set1_epi32(i32::from(entry.value));
+            let d = _mm256_sub_epi32(
+                _mm256_max_epu32(cases, request),
+                _mm256_min_epu32(cases, request),
+            );
+            let sat = _mm256_min_epu32(
+                _mm256_mullo_epi32(d, _mm256_set1_epi32(i32::from(entry.recip.raw()))),
+                one,
+            );
+            let si = _mm256_sub_epi32(one, sat);
+            let mut term = _mm256_srli_epi32::<15>(_mm256_mullo_epi32(
+                si,
+                _mm256_set1_epi32(i32::from(entry.weight.raw())),
+            ));
+            if let Some(mask) = mask {
+                term = _mm256_and_si256(term, mask);
+            }
+            // In bounds: row × stride + base + LANES ≤ acc.len() by the
+            // caller contract.
+            let slot = acc.as_mut_ptr().add(entry.row as usize * stride + base);
+            _mm256_storeu_si256(slot.cast(), _mm256_add_epi32(_mm256_loadu_si256(slot.cast()), term));
+        }
+    }
+}

@@ -76,7 +76,11 @@
 //! * [`mahalanobis`] — the rejected statistical baseline of §2.2.
 //! * [`paper`] — ready-made fixtures reproducing fig. 3 / Table 1.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the one scoped exception is `kernel::wide`, the
+// runtime-detected `std::arch` SIMD path, which carries a module-local
+// `allow(unsafe_code)` and confines its unsafety to feature-gated
+// intrinsic calls over padded, bounds-proven column slices.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod amalgamation;
@@ -112,7 +116,7 @@ pub use error::CoreError;
 pub use generation::Generation;
 pub use ids::{AttrId, ImplId, TypeId, RESERVED_ID};
 pub use implvariant::{ExecutionTarget, Footprint, ImplVariant};
-pub use kernel::{PlaneEngine, Scratch};
+pub use kernel::{wide_kernel_available, KernelPath, PlaneEngine, Scratch};
 pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
 pub use mutation::CaseMutation;
 pub use nbest::NBest;

@@ -40,16 +40,36 @@ use crate::ids::{AttrId, ImplId, TypeId};
 use crate::implvariant::ExecutionTarget;
 use rqfa_fixed::Q15;
 
+/// Columns are physically padded to a multiple of this many variant
+/// slots (zero-valued, absent in the presence bitmap), so the wide
+/// kernel path can stream whole lane-steps with no tail branch: tail
+/// lanes land in padded accumulator slots that no reduction ever reads.
+/// A multiple of 16 keeps any power-of-two lane width up to 16 exact,
+/// and divides 64, so the presence bitmap's word count is unchanged.
+pub const COLUMN_PAD: usize = 16;
+
+/// Rounds a variant count up to the padded column length (a multiple of
+/// [`COLUMN_PAD`]) — the physical row stride of padded columns and of
+/// the kernel's accumulator rows.
+pub const fn padded_rows(variants: usize) -> usize {
+    variants.div_ceil(COLUMN_PAD) * COLUMN_PAD
+}
+
 /// One attribute column of a [`TypePlane`]: the values every variant of
 /// the type binds for one attribute, plus a presence bitmap.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AttrColumn {
     attr: AttrId,
-    /// One value per variant, in tree (ascending `ImplId`) order; slots
-    /// of variants that do not bind this attribute hold `0` and are
-    /// masked out by the bitmap.
+    /// One value per variant, in tree (ascending `ImplId`) order,
+    /// physically padded with zeros to a multiple of [`COLUMN_PAD`];
+    /// slots of variants that do not bind this attribute hold `0` and
+    /// are masked out by the bitmap.
     values: Vec<u16>,
-    /// Presence bitmap, 64 variants per word, LSB-first.
+    /// Logical length of `values` (the variant count).
+    len: usize,
+    /// Presence bitmap, 64 variants per word, LSB-first. Padded slots
+    /// read absent. The word count covers every padded slot, because
+    /// [`COLUMN_PAD`] divides 64.
     present: Vec<u64>,
     /// Number of set bits in `present`.
     present_count: usize,
@@ -65,6 +85,14 @@ impl AttrColumn {
 
     /// The per-variant values in tree order (masked slots read `0`).
     pub fn values(&self) -> &[u16] {
+        &self.values[..self.len]
+    }
+
+    /// The physically padded values: [`AttrColumn::values`] followed by
+    /// zero-valued padding up to a multiple of [`COLUMN_PAD`]. The wide
+    /// kernel streams this slice in whole lane-steps; padded slots are
+    /// absent from the presence bitmap and must never reach a reduction.
+    pub fn padded_values(&self) -> &[u16] {
         &self.values
     }
 
@@ -125,7 +153,8 @@ impl TypePlane {
             .into_iter()
             .map(|attr| AttrColumn {
                 attr,
-                values: vec![0; n],
+                values: vec![0; padded_rows(n)],
+                len: n,
                 present: vec![0; words],
                 present_count: 0,
                 dense: false,
@@ -161,6 +190,12 @@ impl TypePlane {
     /// Number of variants (rows).
     pub fn variant_count(&self) -> usize {
         self.impl_ids.len()
+    }
+
+    /// The physical row stride of this plane's padded columns (the
+    /// variant count rounded up to a multiple of [`COLUMN_PAD`]).
+    pub fn padded_len(&self) -> usize {
+        padded_rows(self.impl_ids.len())
     }
 
     /// Variant ids in tree order.
@@ -326,6 +361,37 @@ mod tests {
             assert_eq!(plane.recip(decl.id()), Some(entry.recip));
         }
         assert_eq!(plane.recip(AttrId::new(999).unwrap()), None);
+    }
+
+    #[test]
+    fn columns_are_padded_with_absent_zeros() {
+        for cb in [
+            paper::table1_case_base(),
+            paper::tie_case_base(),
+            paper::incomplete_attrs_case_base(),
+        ] {
+            let plane = RetrievalPlane::compile(&cb);
+            for ty in plane.type_planes() {
+                let n = ty.variant_count();
+                assert_eq!(ty.padded_len() % COLUMN_PAD, 0);
+                assert!(ty.padded_len() >= n && ty.padded_len() < n + COLUMN_PAD);
+                for column in ty.columns() {
+                    assert_eq!(column.values().len(), n, "logical view is unpadded");
+                    assert_eq!(column.padded_values().len(), ty.padded_len());
+                    assert!(column.padded_values()[n..].iter().all(|&v| v == 0));
+                    // The bitmap covers every padded slot and marks all
+                    // of them absent.
+                    assert!(column.present_words().len() * 64 >= ty.padded_len());
+                    for index in n..ty.padded_len() {
+                        assert_eq!(
+                            (column.present_words()[index / 64] >> (index % 64)) & 1,
+                            0,
+                            "padded slots must be absent from the bitmap"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

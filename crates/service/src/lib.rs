@@ -82,6 +82,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rqfa_core::{CaseBase, CaseMutation, CoreError, ImplVariant, QosClass, Request, Scored, TypeId};
+
+// The kernel-path knob is part of the service configuration surface.
+pub use rqfa_core::KernelPath;
 use rqfa_fixed::Q15;
 use rqfa_persist::{
     DurableCaseBase, FileStore, PersistError, PersistPolicy, RecoveryReport, Store, StoreSet,
@@ -175,6 +178,12 @@ pub struct ServiceConfig {
     /// newest `trace_capacity` events in a fixed ring (zero allocation
     /// per event); drain them with [`AllocationService::drain_trace`].
     pub trace_capacity: usize,
+    /// Kernel path of the per-shard plane engines:
+    /// [`KernelPath::Auto`] (default) runtime-detects the wide SIMD
+    /// kernel, [`KernelPath::ForceScalar`] pins the scalar loops. Either
+    /// way results are bit-identical; this is a performance/debugging
+    /// knob (the CI fallback lane forces scalar).
+    pub kernel_path: KernelPath,
 }
 
 impl Default for ServiceConfig {
@@ -194,6 +203,7 @@ impl Default for ServiceConfig {
             snapshot_every: PersistPolicy::default().snapshot_every,
             clock: monotonic(),
             trace_capacity: 0,
+            kernel_path: KernelPath::default(),
         }
     }
 }
@@ -276,6 +286,13 @@ impl ServiceConfig {
     /// events (0 disables tracing).
     pub fn with_trace_capacity(mut self, capacity: usize) -> ServiceConfig {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Pins the plane-kernel path of every shard worker (see
+    /// [`ServiceConfig::kernel_path`]).
+    pub fn with_kernel_path(mut self, path: KernelPath) -> ServiceConfig {
+        self.kernel_path = path;
         self
     }
 

@@ -7,12 +7,16 @@
 //!
 //! ## Lane ordering
 //!
-//! Each lane is an ordered map keyed by `(sort instant, sequence)`. In
-//! [`SchedMode::Edf`] the sort instant is the job's *effective deadline*
-//! (its explicit per-request deadline, else enqueue time + class budget,
-//! else a far horizon), so the lane head is always the job closest to
-//! missing — earliest-deadline-first. In [`SchedMode::Fifo`] the sort
-//! instant is the enqueue time, reproducing strict arrival order. The
+//! Each lane is an ordered map keyed by `(sort key, sequence)`. In
+//! [`SchedMode::Edf`] the sort key is the job's *effective deadline*
+//! (its explicit per-request deadline, else enqueue time + class
+//! budget); a job with no deadline at all carries an explicit
+//! no-deadline sentinel that orders **after every instant**, so *any*
+//! explicit deadline — however far in the future — sorts ahead of the
+//! deadline-free backlog, and deadline-free jobs keep arrival order
+//! among themselves. The lane head is therefore always the job closest
+//! to missing — earliest-deadline-first. In [`SchedMode::Fifo`] the sort
+//! key is the enqueue time, reproducing strict arrival order. The
 //! monotonic sequence breaks ties deterministically, so two runs over the
 //! same trace dispatch — and shed — identically.
 //!
@@ -45,9 +49,20 @@ use crate::metrics::ServiceMetrics;
 use crate::sched::{SchedMode, WeightedArbiter};
 use crate::Job;
 
-/// Sort horizon for jobs with no deadline at all: they queue behind any
-/// deadlined job due within a year, in arrival order among themselves.
-const NO_DEADLINE_HORIZON: Duration = Duration::from_secs(365 * 24 * 3600);
+/// A lane's sort key: explicit instants order chronologically, and the
+/// no-deadline sentinel orders after **every** instant (the derived
+/// `Ord` follows variant order). The former 1-year sort *horizon*
+/// misordered here: an explicit deadline beyond the horizon sorted
+/// behind deadline-free jobs and was displaced first as "largest slack".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum SortKey {
+    /// Order by this instant: the effective deadline (EDF) or the
+    /// enqueue time (FIFO).
+    At(Instant),
+    /// EDF job with no deadline at all: behind every deadlined job, in
+    /// arrival order among themselves (via the tie-breaking sequence).
+    NoDeadline,
+}
 
 /// How [`ClassQueue::push`] disposed of a job.
 #[derive(Debug)]
@@ -63,7 +78,7 @@ pub enum Admission {
 }
 
 struct Inner {
-    lanes: [BTreeMap<(Instant, u64), Job>; QosClass::COUNT],
+    lanes: [BTreeMap<(SortKey, u64), Job>; QosClass::COUNT],
     arbiter: WeightedArbiter,
     len: usize,
     seq: u64,
@@ -162,13 +177,11 @@ impl ClassQueue {
         self
     }
 
-    /// The lane sort instant of a job under this queue's mode.
-    fn sort_instant(&self, job: &Job) -> Instant {
+    /// The lane sort key of a job under this queue's mode.
+    fn sort_key(&self, job: &Job) -> SortKey {
         match self.mode {
-            SchedMode::Fifo => job.enqueued_at,
-            SchedMode::Edf => job
-                .deadline
-                .unwrap_or_else(|| job.enqueued_at + NO_DEADLINE_HORIZON),
+            SchedMode::Fifo => SortKey::At(job.enqueued_at),
+            SchedMode::Edf => job.deadline.map_or(SortKey::NoDeadline, SortKey::At),
         }
     }
 
@@ -186,7 +199,7 @@ impl ClassQueue {
             QosClass::Medium => self.capacity.saturating_mul(2),
             QosClass::Low => self.capacity,
         };
-        let key = (self.sort_instant(&job), inner.seq);
+        let key = (self.sort_key(&job), inner.seq);
         inner.seq += 1;
         if inner.len >= limit {
             // Shed by largest slack: the lane's last key is its
@@ -428,6 +441,87 @@ mod tests {
         assert_eq!(q.len(), 3);
         let order: Vec<u64> = q.pop_batch(8).unwrap().iter().map(|j| j.id).collect();
         assert_eq!(order, [3, 1, 2], "survivors dispatch EDF");
+    }
+
+    #[test]
+    fn far_deadline_sorts_before_no_deadline() {
+        // Regression: an explicit deadline beyond the old 1-year sort
+        // horizon used to sort *behind* deadline-free jobs — and was
+        // displaced first as "largest slack" under overload. Any
+        // explicit deadline must order before the no-deadline sentinel.
+        let q = queue(2);
+        let base = Instant::now();
+        let two_years_us = 2 * 365 * 24 * 3600 * 1_000_000u64;
+        push_ok(&q, testkit::job(0, QosClass::Low, request(), base, None).0);
+        push_ok(&q, deadline_job(1, QosClass::Low, base, two_years_us));
+        // Full. The tight newcomer must displace the no-deadline job,
+        // not the far-deadline one.
+        match q.push(deadline_job(2, QosClass::Low, base, 1_000)) {
+            Admission::Displaced(victim) => {
+                assert_eq!(victim.id, 0, "the deadline-free job holds the largest slack");
+            }
+            other => panic!("expected displacement, got {other:?}"),
+        }
+        let order: Vec<u64> = q.pop_batch(8).unwrap().iter().map(|j| j.id).collect();
+        assert_eq!(order, [2, 1], "far deadline dispatches before none");
+    }
+
+    /// Tiny deterministic generator (splitmix64) for the mixed-trace
+    /// property test below.
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn sort_order_matches_the_documented_contract_under_mixed_traces() {
+        // Property: over random mixes of no-deadline / near-deadline /
+        // far-deadline jobs (far: beyond the old 1-year horizon), one
+        // lane's pop order equals the documented total order in both
+        // modes — EDF: explicit deadlines ascending then deadline-free
+        // in arrival order, ties by sequence; FIFO: strict arrival
+        // order, deadlines ignored.
+        let year_us = 365u64 * 24 * 3600 * 1_000_000;
+        for seed in 0..8u64 {
+            for mode in [SchedMode::Edf, SchedMode::Fifo] {
+                let mut state = seed ^ 0xEDF0;
+                let q = queue_mode(1024, mode);
+                let base = Instant::now();
+                // (id, absolute deadline in µs from base, if any);
+                // arrival instants strictly increase with id.
+                let mut jobs: Vec<(u64, Option<u64>)> = Vec::new();
+                for id in 0..64u64 {
+                    let deadline_us = match splitmix(&mut state) % 3 {
+                        0 => None,
+                        1 => Some(id + splitmix(&mut state) % 100_000),
+                        _ => Some(id + year_us + splitmix(&mut state) % year_us),
+                    };
+                    let enqueued = base + Duration::from_micros(id);
+                    let deadline =
+                        deadline_us.map(|at| base + Duration::from_micros(at));
+                    push_ok(
+                        &q,
+                        testkit::job(id, QosClass::High, request(), enqueued, deadline).0,
+                    );
+                    jobs.push((id, deadline_us));
+                }
+                let mut expected: Vec<u64> = jobs.iter().map(|&(id, _)| id).collect();
+                if mode == SchedMode::Edf {
+                    // Push order == sequence order, so (deadline-free
+                    // last, deadline ascending, id) is the contract.
+                    expected.sort_by_key(|&id| {
+                        let (_, deadline) = jobs[usize::try_from(id).unwrap()];
+                        (deadline.is_none(), deadline.unwrap_or(0), id)
+                    });
+                }
+                let order: Vec<u64> =
+                    q.pop_batch(jobs.len()).unwrap().iter().map(|j| j.id).collect();
+                assert_eq!(order, expected, "mode {mode:?}, seed {seed}");
+            }
+        }
     }
 
     #[test]

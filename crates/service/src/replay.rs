@@ -155,11 +155,9 @@ impl TraceDriver {
                     self.config.cache_policy,
                     self.config.cache_admission,
                 );
-                let ctx = WorkerContext::new(cache).with_telemetry(
-                    Arc::clone(&shared),
-                    Some(Arc::clone(&recorder)),
-                    epoch,
-                );
+                let ctx = WorkerContext::new(cache)
+                    .with_kernel(self.config.kernel_path)
+                    .with_telemetry(Arc::clone(&shared), Some(Arc::clone(&recorder)), epoch);
                 ReplayShard {
                     queue,
                     store,

@@ -218,11 +218,9 @@ impl Shard {
             config.cache_policy,
             config.cache_admission,
         );
-        let ctx = WorkerContext::new(cache).with_telemetry(
-            Arc::clone(&config.clock),
-            recorder.clone(),
-            epoch,
-        );
+        let ctx = WorkerContext::new(cache)
+            .with_kernel(config.kernel_path)
+            .with_telemetry(Arc::clone(&config.clock), recorder.clone(), epoch);
         let worker = std::thread::Builder::new()
             .name(format!("rqfa-shard-{index}"))
             .spawn(move || {
@@ -394,6 +392,13 @@ impl WorkerContext {
             recorder: None,
             deltas: BatchDeltas::default(),
         }
+    }
+
+    /// Pins the worker engine's kernel path (see
+    /// [`ServiceConfig::kernel_path`](crate::ServiceConfig::kernel_path)).
+    pub(crate) fn with_kernel(mut self, path: rqfa_core::KernelPath) -> WorkerContext {
+        self.engine = PlaneEngine::with_kernel(path);
+        self
     }
 
     /// Replaces the worker's time source and flight recorder.
@@ -690,6 +695,7 @@ impl BatchHarness {
                 config.cache_policy,
                 config.cache_admission,
             ))
+            .with_kernel(config.kernel_path)
             .with_telemetry(Arc::clone(&config.clock), recorder, epoch),
         }
     }

@@ -42,4 +42,7 @@ pub mod trace;
 pub use clock::{monotonic, Clock, ManualClock, MonotonicClock, SharedClock};
 pub use metrics::{ratio, Counter, Gauge, Histogram};
 pub use registry::{write_table, MetricSource, Registry, RegistrySnapshot, Sample};
-pub use trace::{EventKind, FlightRecorder, RequestTimeline, StageBreakdown, TraceDump, TraceEvent};
+pub use trace::{
+    arg_truncated, EventKind, FlightRecorder, RequestTimeline, StageBreakdown, TraceDump,
+    TraceEvent, ARG_BITS,
+};

@@ -43,7 +43,10 @@ pub enum EventKind {
     /// Admission control accepted the request into its lane.
     Admitted = 1,
     /// The request (as queue resident) was displaced by a tighter
-    /// newcomer; `arg` carries the displacing request's id.
+    /// newcomer; `arg` carries the displacing request's id **truncated
+    /// to [`ARG_BITS`] bits** — join it against request ids with
+    /// [`TraceEvent::arg_refers_to`], never with a raw `==` on a
+    /// full-width id (ids ≥ 2⁴⁸ alias under truncation).
     Displaced = 2,
     /// Admission control refused the request (class limit reached).
     Refused = 3,
@@ -120,14 +123,39 @@ pub struct TraceEvent {
     pub class: u8,
     /// What happened.
     pub kind: EventKind,
-    /// Kind-specific payload (see [`EventKind`]); at most 48 bits.
+    /// Kind-specific payload (see [`EventKind`]); at most [`ARG_BITS`]
+    /// bits. When the payload is a request id (e.g. `Displaced`), it is
+    /// the *truncated* id — compare via [`TraceEvent::arg_refers_to`].
     pub arg: u64,
+}
+
+impl TraceEvent {
+    /// Whether this event's `arg` payload refers to `request_id`, under
+    /// the [`ARG_BITS`]-bit truncation [`FlightRecorder::record`]
+    /// applies. This is the only correct way to join an id-carrying
+    /// `arg` (such as a `Displaced` event's displacer) back to a
+    /// full-width request id: a raw `self.arg == request_id` silently
+    /// never matches once ids exceed 2⁴⁸ − 1. Note the truncation is
+    /// lossy by construction — ids that differ only above bit 47 are
+    /// indistinguishable here.
+    pub fn arg_refers_to(&self, request_id: u64) -> bool {
+        self.arg == arg_truncated(request_id)
+    }
 }
 
 /// Stamp value marking a slot whose payload write is in progress.
 const STAMP_WRITING: u64 = u64::MAX;
-/// Payload bits available for [`TraceEvent::arg`] in the packed word.
-const ARG_BITS: u32 = 48;
+/// Payload bits available for [`TraceEvent::arg`] in the packed word
+/// (`kind` and `class` take the low 16 of the 64-bit slot word).
+pub const ARG_BITS: u32 = 48;
+
+/// `id` truncated to the [`ARG_BITS`] bits an event payload can carry —
+/// exactly the mask [`FlightRecorder::record`] applies before packing.
+/// Apply the same mask on the join side ([`TraceEvent::arg_refers_to`])
+/// when matching a stored `arg` against a full-width request id.
+pub const fn arg_truncated(id: u64) -> u64 {
+    id & ((1u64 << ARG_BITS) - 1)
+}
 
 #[derive(Debug, Default)]
 struct Slot {
@@ -165,14 +193,16 @@ impl FlightRecorder {
     }
 
     /// Records one event. Lock-free and allocation-free; overwrites the
-    /// oldest event when the ring is full. `arg` is truncated to 48 bits.
+    /// oldest event when the ring is full. `arg` is truncated to
+    /// [`ARG_BITS`] bits (see [`arg_truncated`]); id-carrying payloads
+    /// must be joined back with [`TraceEvent::arg_refers_to`].
     pub fn record(&self, at_us: u64, request_id: u64, class: u8, kind: EventKind, arg: u64) {
         let seq = self.head.fetch_add(1, Ordering::AcqRel);
         let slot = &self.slots[(seq % self.slots.len() as u64) as usize];
         slot.stamp.store(STAMP_WRITING, Ordering::Release);
         slot.at_us.store(at_us, Ordering::Relaxed);
         slot.request_id.store(request_id, Ordering::Relaxed);
-        let arg = arg & ((1u64 << ARG_BITS) - 1);
+        let arg = arg_truncated(arg);
         slot.word.store(
             u64::from(kind as u8) | (u64::from(class) << 8) | (arg << 16),
             Ordering::Relaxed,
@@ -401,9 +431,32 @@ mod tests {
         let ring = FlightRecorder::new(2);
         ring.record(0, 7, 3, EventKind::Scored, u64::MAX);
         let dump = ring.drain();
+        assert_eq!(dump.events[0].arg, arg_truncated(u64::MAX));
         assert_eq!(dump.events[0].arg, (1u64 << 48) - 1);
         assert_eq!(dump.events[0].class, 3);
         assert_eq!(dump.events[0].kind, EventKind::Scored);
+    }
+
+    #[test]
+    fn id_args_past_the_48_bit_boundary_join_via_the_masked_predicate() {
+        // The displacer-id wraparound case: a request id above 2^48 is
+        // stored truncated, so the naive full-width join (`arg == id`)
+        // silently never matches. The masked predicate must match — and
+        // the documented alias (the low 48 bits colliding with a small
+        // id) is inherent to the truncation, not a bug in the join.
+        let big_id = (1u64 << ARG_BITS) + 7;
+        let ring = FlightRecorder::new(4);
+        ring.record(5, 3, 1, EventKind::Displaced, big_id);
+        let dump = ring.drain();
+        let event = &dump.events[0];
+        assert_eq!(event.arg, 7, "stored truncated to the low 48 bits");
+        assert_ne!(event.arg, big_id, "full-width == would never match");
+        assert!(event.arg_refers_to(big_id), "masked join finds the displacer");
+        assert!(
+            event.arg_refers_to(7),
+            "ids differing only above bit 47 alias — documented caveat"
+        );
+        assert!(!event.arg_refers_to(8));
     }
 
     #[test]

@@ -27,8 +27,8 @@
 //! generation change and never serves a stale plane.
 
 use rqfa::core::{
-    AttrBinding, CaseBase, CaseMutation, FixedEngine, ImplId, ImplVariant, PlaneEngine, Request,
-    TypeId,
+    AttrBinding, CaseBase, CaseMutation, FixedEngine, ImplId, ImplVariant, KernelPath,
+    PlaneEngine, Request, TypeId,
 };
 use rqfa::workloads::rng::SmallRng;
 use rqfa::workloads::{CaseGen, RequestGen};
@@ -36,8 +36,16 @@ use rqfa::workloads::{CaseGen, RequestGen};
 const SEEDS: u64 = 10;
 const OPS_PER_SEED: usize = 10_000;
 
-/// Compares one request through every entry point of both engines.
-fn check_request(cb: &CaseBase, plane: &mut PlaneEngine, request: &Request, n: usize) {
+/// Compares one request through every entry point of both engines — and
+/// holds the pinned-scalar plane engine to the exact same answers as the
+/// auto-path one (the wide kernel, where the host has it).
+fn check_request(
+    cb: &CaseBase,
+    plane: &mut PlaneEngine,
+    scalar: &mut PlaneEngine,
+    request: &Request,
+    n: usize,
+) {
     let naive = FixedEngine::new();
     // Full score vectors + op model.
     let naive_scores = naive.score_all(cb, request);
@@ -78,6 +86,32 @@ fn check_request(cb: &CaseBase, plane: &mut PlaneEngine, request: &Request, n: u
         }
         (Err(ne), Err(pe)) => assert_eq!(ne, pe),
         other => panic!("n-best diverged: {other:?}"),
+    }
+    // Wide vs scalar: the pinned-scalar engine must agree with the auto
+    // path on every entry point, ops included (path-independent model).
+    match (plane_scores, scalar.score_all(cb, request)) {
+        (Ok((ps, pops)), Ok((ss, sops))) => {
+            assert_eq!(ps, ss, "scalar path must be bit-identical to wide");
+            assert_eq!(pops, sops, "ops must be path-independent");
+        }
+        (Err(pe), Err(se)) => assert_eq!(pe, se),
+        other => panic!("kernel paths diverged: {other:?}"),
+    }
+    match (plane.retrieve(cb, request), scalar.retrieve(cb, request)) {
+        (Ok(p), Ok(s)) => {
+            assert_eq!(p.best, s.best, "winner must be path-independent");
+            assert_eq!(p.ops, s.ops);
+        }
+        (Err(pe), Err(se)) => assert_eq!(pe, se),
+        other => panic!("retrieve paths diverged: {other:?}"),
+    }
+    match (
+        plane.retrieve_n_best(cb, request, n),
+        scalar.retrieve_n_best(cb, request, n),
+    ) {
+        (Ok(pb), Ok(sb)) => assert_eq!(pb.ranked, sb.ranked, "n-best paths (n = {n})"),
+        (Err(pe), Err(se)) => assert_eq!(pe, se),
+        other => panic!("n-best paths diverged: {other:?}"),
     }
 }
 
@@ -164,6 +198,7 @@ fn plane_kernel_is_bit_identical_to_the_naive_engine() {
 
         let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1FF);
         let mut plane = PlaneEngine::new();
+        let mut scalar = PlaneEngine::with_kernel(KernelPath::ForceScalar);
         let mut fresh_impl = 1000u16;
         let mut mutations = 0u64;
         let mut ops = 0usize;
@@ -183,8 +218,10 @@ fn plane_kernel_is_bit_identical_to_the_naive_engine() {
                     let batch: Vec<&Request> = pool[start..start + len].iter().collect();
                     let naive = FixedEngine::new().retrieve_batch(&cb, &batch);
                     let fast = plane.retrieve_batch(&cb, &batch);
+                    let slow = scalar.retrieve_batch(&cb, &batch);
                     assert_eq!(naive.len(), fast.len());
-                    for (n, p) in naive.iter().zip(&fast) {
+                    assert_eq!(fast.len(), slow.len());
+                    for ((n, p), s) in naive.iter().zip(&fast).zip(&slow) {
                         match (n, p) {
                             (Ok(n), Ok(p)) => {
                                 assert_eq!(n.best, p.best);
@@ -192,6 +229,16 @@ fn plane_kernel_is_bit_identical_to_the_naive_engine() {
                             }
                             (Err(ne), Err(pe)) => assert_eq!(ne, pe),
                             other => panic!("batch slot diverged: {other:?}"),
+                        }
+                        // Register-blocked wide vs scalar: identical
+                        // slot-for-slot, ops included.
+                        match (p, s) {
+                            (Ok(p), Ok(s)) => {
+                                assert_eq!(p.best, s.best);
+                                assert_eq!(p.ops, s.ops);
+                            }
+                            (Err(pe), Err(se)) => assert_eq!(pe, se),
+                            other => panic!("batch kernel paths diverged: {other:?}"),
                         }
                     }
                     ops += len;
@@ -204,14 +251,14 @@ fn plane_kernel_is_bit_identical_to_the_naive_engine() {
                         &undeclared_attr
                     };
                     let n = rng.gen_range(0..=8usize);
-                    check_request(&cb, &mut plane, request, n);
+                    check_request(&cb, &mut plane, &mut scalar, request, n);
                     ops += 1;
                 }
                 // Single-request comparison across all entry points.
                 _ => {
                     let request = &pool[rng.gen_range(0..pool.len())];
                     let n = rng.gen_range(0..=8usize);
-                    check_request(&cb, &mut plane, request, n);
+                    check_request(&cb, &mut plane, &mut scalar, request, n);
                     ops += 1;
                 }
             }

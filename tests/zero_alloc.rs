@@ -10,7 +10,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use rqfa::core::{PlaneEngine, Request};
+use rqfa::core::{KernelPath, PlaneEngine, Request};
 use rqfa::workloads::{CaseGen, RequestGen};
 
 /// System allocator with a global allocation counter.
@@ -59,54 +59,59 @@ fn steady_state_plane_retrieval_allocates_nothing() {
         .count(256)
         .repeat_fraction(0.2)
         .generate();
-    let mut engine = PlaneEngine::new();
     let mut out = Vec::new();
     let mut ranked = Vec::new();
+    let batches: Vec<Vec<&Request>> = pool.chunks(32).map(|c| c.iter().collect()).collect();
 
-    // Warm-up: compile the plane, size the scratch arena and the reused
-    // output buffers.
-    for request in &pool {
-        engine.retrieve(&case_base, request).unwrap();
-        engine
-            .retrieve_n_best_into(&case_base, request, 4, &mut ranked)
-            .unwrap();
-    }
-    for chunk in pool.chunks(32) {
-        let batch: Vec<&Request> = chunk.iter().collect();
-        engine.retrieve_batch_into(&case_base, &batch, &mut out);
-    }
+    // Both kernel paths must be allocation-free: the auto path (the wide
+    // SIMD kernel where the host has it) and the pinned scalar fallback.
+    for path in [KernelPath::Auto, KernelPath::ForceScalar] {
+        let mut engine = PlaneEngine::with_kernel(path);
 
-    // Measured window: single-request retrievals and rankings.
-    let before = allocations();
-    for _ in 0..4 {
+        // Warm-up: compile the plane, size the scratch arena and the
+        // reused output buffers.
         for request in &pool {
-            std::hint::black_box(engine.retrieve(&case_base, request).unwrap());
+            engine.retrieve(&case_base, request).unwrap();
             engine
                 .retrieve_n_best_into(&case_base, request, 4, &mut ranked)
                 .unwrap();
         }
-    }
-    assert_eq!(
-        allocations(),
-        before,
-        "steady-state retrieve / n-best must not allocate"
-    );
-
-    // Measured window: batch retrievals. The `Vec<&Request>` of borrows
-    // is built outside the window — a service worker holds its own job
-    // buffer; the engine itself must stay allocation-free.
-    let batches: Vec<Vec<&Request>> = pool.chunks(32).map(|c| c.iter().collect()).collect();
-    let before = allocations();
-    for _ in 0..4 {
         for batch in &batches {
             engine.retrieve_batch_into(&case_base, batch, &mut out);
         }
+
+        // Measured window: single-request retrievals and rankings.
+        let before = allocations();
+        for _ in 0..4 {
+            for request in &pool {
+                std::hint::black_box(engine.retrieve(&case_base, request).unwrap());
+                engine
+                    .retrieve_n_best_into(&case_base, request, 4, &mut ranked)
+                    .unwrap();
+            }
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "steady-state retrieve / n-best must not allocate ({path:?})"
+        );
+
+        // Measured window: batch retrievals (register-blocked column
+        // streaming). The `Vec<&Request>` of borrows is built outside
+        // the window — a service worker holds its own job buffer; the
+        // engine itself must stay allocation-free.
+        let before = allocations();
+        for _ in 0..4 {
+            for batch in &batches {
+                engine.retrieve_batch_into(&case_base, batch, &mut out);
+            }
+        }
+        assert_eq!(
+            allocations(),
+            before,
+            "steady-state batch retrieval must not allocate ({path:?})"
+        );
     }
-    assert_eq!(
-        allocations(),
-        before,
-        "steady-state batch retrieval must not allocate"
-    );
     // Measured window: the telemetry hot path. Enabling tracing must not
     // put an allocation on the request path: recording an event (ring
     // slot overwrite, including wraparound — the ring holds 1024 and the
