@@ -1,0 +1,185 @@
+//! Experiment E16 — the distributed trajectory: a two-node loopback
+//! cluster (real [`rqfa_service::remote::NodeServer`]s behind real TCP,
+//! driven through a [`rqfa_service::remote::ClusterClient`]) replaying a
+//! deterministic request + learning-mutation mix under a frozen
+//! `ManualClock`.
+//!
+//! The whole cluster run executes **twice** — fresh nodes, fresh
+//! connections — and the two reply streams, transport counters and
+//! per-shard generations are asserted bit-identical before anything is
+//! written: on a clean loopback the distribution layer adds no
+//! nondeterminism (per-request coalescing, caching and wall-clock
+//! latencies are all pinned off or frozen). Every published metric is a
+//! deterministic count, so the CI gate holds its tight band on all of
+//! them.
+//!
+//! `cargo run --release -p rqfa-bench --bin distributed_trace [-- --json <path>]`
+//!
+//! With `--json BENCH_<pr>.json` this emits the committed artifact;
+//! `bench_gate` compares a fresh run against it.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rqfa_bench::json::BenchReport;
+use rqfa_core::placement::{NodeId, NodeMap};
+use rqfa_core::{CaseBase, QosClass};
+use rqfa_net::RetryPolicy;
+use rqfa_service::remote::{ClusterClient, NodeServer, RemoteShard};
+use rqfa_service::{shard, AllocationService, Outcome, Reply, ServiceConfig};
+use rqfa_telemetry::{ManualClock, SharedClock};
+use rqfa_workloads::{CaseGen, MutationGen, RequestGen};
+
+const NODES: usize = 2;
+const REQUESTS: usize = 600;
+const MUTATE_EVERY: usize = 10;
+
+/// Everything one cluster run produces that determinism must cover.
+#[derive(Debug, PartialEq)]
+struct RunReport {
+    replies: Vec<Reply>,
+    generations: Vec<u64>,
+    /// Per node: (frames sent, frames received, bytes sent, bytes
+    /// received, retries).
+    transport: Vec<(u64, u64, u64, u64, u64)>,
+}
+
+fn run_once(base: &CaseBase) -> RunReport {
+    let clock: SharedClock = Arc::new(ManualClock::new());
+    let config = ServiceConfig::default()
+        .with_shards(1)
+        .with_cache_capacity(0)
+        .with_queue_capacity(4096)
+        .with_clock(Arc::clone(&clock));
+    let placement = NodeMap::new(
+        (0..NODES)
+            .map(|n| Some(NodeId::new(u16::try_from(n).expect("small cluster"))))
+            .collect(),
+    );
+    let mut client = ClusterClient::new(Box::new(placement), None);
+    let mut servers = Vec::new();
+    let mut stats = Vec::new();
+    for (n, slice) in shard::partition(base, NODES).into_iter().enumerate() {
+        let slice = slice.expect("this workload populates every shard");
+        let service =
+            Arc::new(AllocationService::new(&slice, &config).expect("valid node config"));
+        let server = NodeServer::spawn(service).expect("loopback bind");
+        let remote = RemoteShard::tcp(
+            server.addr(),
+            Duration::from_millis(500),
+            RetryPolicy::loopback(),
+        );
+        stats.push(remote.stats());
+        client.set_node(NodeId::new(u16::try_from(n).expect("small cluster")), remote);
+        servers.push(server);
+    }
+
+    let requests = RequestGen::new(base).seed(0xE16).count(REQUESTS).generate();
+    let mut mutations = MutationGen::new(base, 0xE16 ^ 0xA5A5);
+    let mut replies = Vec::with_capacity(REQUESTS);
+    let mut generations = vec![0u64; NODES];
+    for (i, request) in requests.into_iter().enumerate() {
+        let class = QosClass::ALL[i % QosClass::ALL.len()];
+        replies.push(client.submit(request, class));
+        if i % MUTATE_EVERY == MUTATE_EVERY - 1 {
+            let mutation = mutations.next_mutation();
+            let owner = shard::route(mutation.type_id(), NODES);
+            let generation = client
+                .apply_mutation(&mutation)
+                .expect("clean loopback applies every mutation");
+            generations[owner] = generation.raw();
+        }
+    }
+    let transport = stats
+        .iter()
+        .map(|s| {
+            (
+                s.frames_sent.load(Ordering::Relaxed),
+                s.frames_received.load(Ordering::Relaxed),
+                s.bytes_sent.load(Ordering::Relaxed),
+                s.bytes_received.load(Ordering::Relaxed),
+                s.retries.load(Ordering::Relaxed),
+            )
+        })
+        .collect();
+    for server in servers {
+        server.shutdown();
+    }
+    RunReport {
+        replies,
+        generations,
+        transport,
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn main() {
+    let json_path = rqfa_bench::json_path_from_args();
+    let mut report = BenchReport::new("distributed_trace");
+    println!("E16. Deterministic two-node cluster trajectory (TCP loopback, manual clock)\n");
+    let base = CaseGen::new(16, 8, 5, 8).seed(0xE16).build();
+    println!(
+        "cluster: {NODES} nodes × 1 shard, cache off, frozen clock; \
+         workload: {REQUESTS} requests + 1 mutation per {MUTATE_EVERY}"
+    );
+
+    let first = run_once(&base);
+    let second = run_once(&base);
+    assert_eq!(first, second, "the cluster replay must be deterministic");
+    println!("replayed twice: reply streams, generations and transport counters identical\n");
+
+    let mut completed = [0u64; QosClass::COUNT];
+    let mut evaluated = 0u64;
+    for reply in &first.replies {
+        if let Outcome::Allocated {
+            evaluated: n,
+            cached,
+            ..
+        } = &reply.outcome
+        {
+            assert!(!cached, "caching is pinned off for determinism");
+            completed[reply.class.index()] += 1;
+            evaluated += *n as u64;
+        }
+    }
+    for class in QosClass::ALL {
+        println!(
+            "  {class}: {} completed",
+            completed[class.index()]
+        );
+        report.push(
+            format!("{class}/completed"),
+            "count",
+            completed[class.index()] as f64,
+        );
+    }
+    report.push("evaluated_total", "count", evaluated as f64);
+    println!("  variants evaluated: {evaluated}");
+    for (n, (sent, received, bytes_out, bytes_in, retries)) in
+        first.transport.iter().enumerate()
+    {
+        assert_eq!(*retries, 0, "a clean loopback never retries");
+        println!(
+            "  node {n}: {sent} frames out ({bytes_out} B), \
+             {received} frames in ({bytes_in} B), generation {}",
+            first.generations[n]
+        );
+        report.push(format!("node{n}/frames_sent"), "count", *sent as f64);
+        report.push(format!("node{n}/frames_received"), "count", *received as f64);
+        report.push(format!("node{n}/bytes_sent"), "count", *bytes_out as f64);
+        report.push(format!("node{n}/bytes_received"), "count", *bytes_in as f64);
+        report.push(
+            format!("node{n}/generation"),
+            "count",
+            first.generations[n] as f64,
+        );
+    }
+
+    if let Some(path) = json_path {
+        report
+            .write_validated(&path)
+            .expect("bench report must validate against rqfa-bench/v1");
+        println!("\njson report: {} (schema valid)", path.display());
+    }
+}

@@ -128,7 +128,7 @@ fn trial(case_base: &CaseBase, requests: &[rqfa_core::Request], shards: usize) -
         &ServiceConfig::default()
             .with_shards(shards)
             .with_queue_capacity(REQUESTS + 1), // closed loop: nothing shed
-    );
+    ).expect("valid service config");
     let start = Instant::now();
     let tickets: Vec<Ticket> = requests
         .iter()
@@ -167,7 +167,7 @@ fn open_loop_qos(case_base: &CaseBase) {
             .with_queue_capacity(64)
             .with_deadline_budget_us(QosClass::Medium, 5_000)
             .with_deadline_budget_us(QosClass::Low, 1_000),
-    );
+    ).expect("valid service config");
     // Replay with arrival pacing so the Poisson structure survives.
     let start = Instant::now();
     for arrival in &arrivals {
@@ -213,7 +213,7 @@ fn edf_vs_fifo(case_base: &CaseBase, report: &mut BenchReport) {
             .with_batch_size(8)
             .with_scheduling(mode)
             .with_promotion_margin_us(2_000);
-        let service = AllocationService::new(case_base, &config);
+        let service = AllocationService::new(case_base, &config).expect("valid service config");
         let start = Instant::now();
         for arrival in &arrivals {
             while (start.elapsed().as_micros() as u64) < arrival.at_us {
@@ -328,7 +328,7 @@ fn cache_policy_ab(case_base: &CaseBase, report: &mut BenchReport) {
                     .with_cache_capacity(AB_CACHE_CAPACITY)
                     .with_cache_policy(policy)
                     .with_cache_admission(admission),
-            );
+            ).expect("valid service config");
             let start = Instant::now();
             let tickets: Vec<Ticket> = requests
                 .iter()

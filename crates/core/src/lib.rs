@@ -71,6 +71,9 @@
 //! * [`nbest`] — n-most-similar retrieval (paper future work).
 //! * [`qos`] — AXI4-style QoS service classes shared by the traffic
 //!   generators and the allocation service.
+//! * [`placement`] — the type → shard function and the [`Placement`]
+//!   seam that lets shards live on remote nodes (normative model:
+//!   `docs/distribution.md`).
 //! * [`token`] — bypass tokens for repeated calls (§3).
 //! * [`cycle`] — the full retrieve/reuse/revise/retain loop (fig. 2).
 //! * [`mahalanobis`] — the rejected statistical baseline of §2.2.
@@ -100,6 +103,7 @@ pub mod mutation;
 pub mod nbest;
 pub mod plane;
 pub mod paper;
+pub mod placement;
 pub mod qos;
 pub mod request;
 pub mod similarity;
@@ -120,6 +124,7 @@ pub use kernel::{wide_kernel_available, KernelPath, PlaneEngine, Scratch};
 pub use mahalanobis::{MahalanobisEngine, MahalanobisRetrieval};
 pub use mutation::CaseMutation;
 pub use nbest::NBest;
+pub use placement::{shard_index, ModuloPlacement, NodeId, NodeMap, Placement, ShardSite};
 pub use plane::RetrievalPlane;
 pub use qos::QosClass;
 pub use request::{Constraint, Request, RequestBuilder};

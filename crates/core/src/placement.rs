@@ -1,0 +1,209 @@
+//! Shard placement: which shard owns a function type, and where that
+//! shard lives.
+//!
+//! The service layer partitions function types across shards with a pure
+//! modulo of the raw [`TypeId`] ([`shard_index`]). Single-node services
+//! only ever needed that function; a *distributed* deployment also needs
+//! to know **where** each shard runs — on a local worker thread or on a
+//! remote node reachable over the network. The [`Placement`] trait is
+//! that seam: a cluster front-end asks it for a [`ShardSite`] per request
+//! and routes accordingly, and the shard math itself stays byte-for-byte
+//! identical to the single-node service (so a cluster answers exactly as
+//! one big service would — the invariant `tests/distributed.rs` proves).
+//!
+//! Implementations shipped here:
+//!
+//! * [`ModuloPlacement`] — every shard is local; the single-node layout.
+//! * [`NodeMap`] — an explicit shard → node table for small static
+//!   clusters (the loopback harness, one node per shard).
+
+use crate::ids::TypeId;
+
+/// Identifies one node of a cluster. Purely logical — the transport
+/// layer maps it to an address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u16);
+
+impl NodeId {
+    /// Wraps a raw node index.
+    pub fn new(raw: u16) -> NodeId {
+        NodeId(raw)
+    }
+
+    /// The raw node index.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl core::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "node-{}", self.0)
+    }
+}
+
+/// Where one shard runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardSite {
+    /// The shard is a worker of the local service.
+    Local {
+        /// The local shard index.
+        shard: usize,
+    },
+    /// The shard lives on a remote node.
+    Remote {
+        /// The owning node.
+        node: NodeId,
+        /// The shard index *on that node*.
+        shard: usize,
+    },
+}
+
+/// The canonical type → shard function: modulo of the raw id over the
+/// shard count. Type ids are dense in practice, so the spread is even.
+///
+/// # Panics
+///
+/// Panics if `shards == 0`. A shard count of zero is a configuration
+/// error the service constructors reject up front
+/// (`ServiceError::Config`); this function no longer papers over it with
+/// a silent single-shard fallback.
+pub fn shard_index(type_id: TypeId, shards: usize) -> usize {
+    assert!(shards > 0, "shard_index requires at least one shard");
+    usize::from(type_id.raw()) % shards
+}
+
+/// Maps a function type to the site of its owning shard.
+///
+/// Contract (normative — `docs/distribution.md`):
+///
+/// * **Total**: every valid `TypeId` maps to exactly one site.
+/// * **Stable**: the same `TypeId` always maps to the same site for the
+///   lifetime of the placement (rebalancing swaps the whole placement,
+///   never mutates one in place under traffic).
+/// * **Shard-consistent**: the shard index returned must equal
+///   [`shard_index`]`(type_id, self.shards())` — placement decides
+///   *where* a shard runs, never *which* shard owns a type, so answers
+///   stay bit-identical to the single-node service.
+pub trait Placement: Send + Sync {
+    /// Total number of shards across the cluster.
+    fn shards(&self) -> usize;
+
+    /// The site of the shard owning `type_id`.
+    fn site(&self, type_id: TypeId) -> ShardSite;
+}
+
+/// The single-node placement: every shard is a local worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ModuloPlacement {
+    shards: usize,
+}
+
+impl ModuloPlacement {
+    /// A placement over `shards` local shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> ModuloPlacement {
+        assert!(shards > 0, "a placement needs at least one shard");
+        ModuloPlacement { shards }
+    }
+}
+
+impl Placement for ModuloPlacement {
+    fn shards(&self) -> usize {
+        self.shards
+    }
+
+    fn site(&self, type_id: TypeId) -> ShardSite {
+        ShardSite::Local {
+            shard: shard_index(type_id, self.shards),
+        }
+    }
+}
+
+/// An explicit shard → node table: shard `i` runs on `nodes[i]`
+/// (`None` = local). Each remote node serves its shard as that node's
+/// shard 0 (the loopback-cluster convention: one shard per node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeMap {
+    nodes: Vec<Option<NodeId>>,
+}
+
+impl NodeMap {
+    /// A placement over `nodes.len()` shards with the given homes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is empty.
+    pub fn new(nodes: Vec<Option<NodeId>>) -> NodeMap {
+        assert!(!nodes.is_empty(), "a placement needs at least one shard");
+        NodeMap { nodes }
+    }
+
+    /// The home of shard `shard` (`None` = local).
+    pub fn node_of(&self, shard: usize) -> Option<NodeId> {
+        self.nodes[shard]
+    }
+}
+
+impl Placement for NodeMap {
+    fn shards(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn site(&self, type_id: TypeId) -> ShardSite {
+        let shard = shard_index(type_id, self.nodes.len());
+        match self.nodes[shard] {
+            // One shard per node: the remote node's service owns the
+            // whole slice and routes internally as its shard 0.
+            Some(node) => ShardSite::Remote { node, shard: 0 },
+            None => ShardSite::Local { shard },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modulo_placement_matches_shard_index() {
+        let placement = ModuloPlacement::new(3);
+        assert_eq!(placement.shards(), 3);
+        for raw in 1..40u16 {
+            let id = TypeId::new(raw).unwrap();
+            assert_eq!(
+                placement.site(id),
+                ShardSite::Local {
+                    shard: shard_index(id, 3)
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn node_map_routes_remote_shards_to_their_nodes() {
+        let map = NodeMap::new(vec![Some(NodeId::new(0)), None]);
+        assert_eq!(map.shards(), 2);
+        let remote = TypeId::new(2).unwrap(); // 2 % 2 == 0 → node 0
+        let local = TypeId::new(1).unwrap(); // 1 % 2 == 1 → local
+        assert_eq!(
+            map.site(remote),
+            ShardSite::Remote {
+                node: NodeId::new(0),
+                shard: 0
+            }
+        );
+        assert_eq!(map.site(local), ShardSite::Local { shard: 1 });
+        assert_eq!(map.node_of(0), Some(NodeId::new(0)));
+        assert_eq!(map.node_of(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        shard_index(TypeId::new(1).unwrap(), 0);
+    }
+}

@@ -135,6 +135,22 @@ impl RequestImage {
         RequestImage { image }
     }
 
+    /// Wraps raw words (e.g. a request arriving off the wire — the word
+    /// format doubles as the RPC payload encoding). Only the image-size
+    /// bound is checked here; structural trust comes from
+    /// [`crate::decode::decode_request`] rebuilding the request through
+    /// the validating [`rqfa_core::Request`] builder, or from
+    /// [`crate::validate::validate_request`].
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::ImageTooLarge`] past the 16-bit address space.
+    pub fn from_words(words: Vec<u16>) -> Result<RequestImage, MemError> {
+        Ok(RequestImage {
+            image: MemImage::from_words(words)?,
+        })
+    }
+
     /// The raw words.
     pub fn image(&self) -> &MemImage {
         &self.image

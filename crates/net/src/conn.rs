@@ -1,0 +1,223 @@
+//! Framed connections over byte streams, with timeouts and bounded
+//! retry policy.
+//!
+//! [`FrameConn`] turns any `Read + Write` stream (a TCP socket, an
+//! in-memory pipe, a [`crate::FaultyStream`] wrapper) into a
+//! message-at-a-time channel. A send is **one** `write_all` of the whole
+//! frame, so byte-level fault injectors observe frame boundaries; a
+//! receive reassembles exactly one frame and rejects anything damaged.
+//!
+//! The transport never hangs and never spins: socket timeouts bound
+//! every read ([`connect_loopback`] arms them), and [`RetryPolicy`]
+//! bounds reconnect attempts with doubling backoff. When the budget is
+//! exhausted the caller surfaces the failure as an explicit outcome
+//! (the service layer's `Outcome::Unavailable`), not a stall.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use crate::error::NetError;
+use crate::frame::{decode_frame, FRAME_MAGIC, HEADER_WORDS, MAX_PAYLOAD_WORDS, TRAILER_WORDS};
+use crate::wire::{decode_message, encode_message, Message};
+
+/// A message-framed connection over any byte stream.
+#[derive(Debug)]
+pub struct FrameConn<S> {
+    stream: S,
+}
+
+impl<S: Read + Write> FrameConn<S> {
+    /// Wraps a stream.
+    pub fn new(stream: S) -> FrameConn<S> {
+        FrameConn { stream }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.stream
+    }
+
+    /// Unwraps the stream.
+    pub fn into_inner(self) -> S {
+        self.stream
+    }
+
+    /// Sends one message as a single frame write.
+    ///
+    /// # Errors
+    ///
+    /// Encoding failures and stream I/O errors.
+    pub fn send(&mut self, message: &Message) -> Result<usize, NetError> {
+        let bytes = encode_message(message)?;
+        // One write call for the whole frame: fault injectors act on
+        // frame boundaries, and a peer never sees a half-written header
+        // interleaved with another thread's frame.
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()?;
+        Ok(bytes.len())
+    }
+
+    /// Receives exactly one message, or fails cleanly.
+    ///
+    /// Returns the decoded message and the frame's size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::Timeout`] when the socket's read timeout elapses,
+    /// [`NetError::Truncated`] when the peer closes mid-frame, and the
+    /// frame/wire decode errors for damaged bytes.
+    pub fn recv(&mut self) -> Result<(Message, usize), NetError> {
+        let mut header = [0u8; HEADER_WORDS * 2];
+        self.stream.read_exact(&mut header)?;
+        let magic = u16::from_le_bytes([header[0], header[1]]);
+        if magic != FRAME_MAGIC {
+            // The stream is desynchronized — there is no way to find the
+            // next boundary, so the connection is unusable from here on.
+            return Err(NetError::BadMagic { found: magic });
+        }
+        let len = usize::from(u16::from_le_bytes([header[4], header[5]]));
+        if len > MAX_PAYLOAD_WORDS {
+            return Err(NetError::PayloadTooLarge { words: len });
+        }
+        let mut rest = vec![0u8; (len + TRAILER_WORDS) * 2];
+        self.stream.read_exact(&mut rest)?;
+        let mut bytes = Vec::with_capacity(header.len() + rest.len());
+        bytes.extend_from_slice(&header);
+        bytes.extend_from_slice(&rest);
+        let message = decode_message(&decode_frame(&bytes)?)?;
+        Ok((message, bytes.len()))
+    }
+}
+
+/// Connects to a (loopback) address with a connect timeout, then arms
+/// the same timeout on every read and write of the socket so a lost
+/// peer can never hang the caller.
+///
+/// # Errors
+///
+/// Connection failures and timeout-arming failures as [`NetError`].
+pub fn connect_loopback(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, NetError> {
+    let stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// A bounded reconnect-and-retry budget with doubling backoff.
+///
+/// `attempts` caps how many times an operation is tried in total;
+/// `backoff(n)` gives the pause before attempt `n` (0-based), doubling
+/// each round from `base_backoff`. Exhaustion is a *result* — the
+/// service layer reports it as `Outcome::Unavailable { attempts }` — so
+/// a dead node degrades one request, never the caller's liveness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts before giving up (≥ 1).
+    pub attempts: u32,
+    /// Pause before the second attempt; doubles each retry.
+    pub base_backoff: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy suited to loopback tests: 3 attempts, 1 ms base backoff.
+    pub const fn loopback() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(1),
+        }
+    }
+
+    /// The pause before 0-based attempt `attempt` (zero before the
+    /// first).
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        if attempt == 0 {
+            Duration::ZERO
+        } else {
+            // Saturate the shift so a large attempt count cannot panic.
+            self.base_backoff * 2u32.saturating_pow(attempt.min(16) - 1)
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy::loopback()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TailAck;
+    use std::io::Cursor;
+
+    /// An in-memory duplex: everything written is readable back.
+    #[derive(Default)]
+    struct Loop {
+        buf: Cursor<Vec<u8>>,
+    }
+
+    impl Read for Loop {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            self.buf.read(out)
+        }
+    }
+
+    impl Write for Loop {
+        fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+            let pos = self.buf.position();
+            self.buf.set_position(self.buf.get_ref().len() as u64);
+            let n = self.buf.write(data)?;
+            self.buf.set_position(pos);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn send_then_recv_round_trips() {
+        let mut conn = FrameConn::new(Loop::default());
+        let message = Message::TailAck(TailAck { generation: 99 });
+        let sent = conn.send(&message).unwrap();
+        let (back, received) = conn.recv().unwrap();
+        assert_eq!(back, message);
+        assert_eq!(sent, received);
+    }
+
+    #[test]
+    fn eof_mid_frame_is_truncated() {
+        let mut conn = FrameConn::new(Loop::default());
+        conn.send(&Message::TailAck(TailAck { generation: 1 })).unwrap();
+        // Chop the readable bytes mid-frame.
+        let inner = conn.get_ref().buf.get_ref().clone();
+        let cut = Loop {
+            buf: Cursor::new(inner[..inner.len() - 3].to_vec()),
+        };
+        let mut torn = FrameConn::new(cut);
+        assert!(matches!(torn.recv(), Err(NetError::Truncated)));
+    }
+
+    #[test]
+    fn desynchronized_stream_reports_bad_magic() {
+        let garbage = Loop {
+            buf: Cursor::new(vec![0xEE; 16]),
+        };
+        let mut conn = FrameConn::new(garbage);
+        assert!(matches!(conn.recv(), Err(NetError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn backoff_doubles_and_never_panics() {
+        let policy = RetryPolicy::loopback();
+        assert_eq!(policy.backoff(0), Duration::ZERO);
+        assert_eq!(policy.backoff(1), Duration::from_millis(1));
+        assert_eq!(policy.backoff(2), Duration::from_millis(2));
+        assert_eq!(policy.backoff(3), Duration::from_millis(4));
+        let _ = policy.backoff(u32::MAX);
+    }
+}

@@ -1,0 +1,199 @@
+//! Length-prefixed, CRC-guarded transport frames of 16-bit words.
+//!
+//! The wire unit mirrors the WAL frame discipline of `rqfa-persist`:
+//! a fixed header, a length-prefixed word payload, and a CRC-32 trailer
+//! covering everything after the magic. Layout (little-endian words):
+//!
+//! ```text
+//! word 0   magic        0xCBF7
+//! word 1   kind         message discriminator (see `wire`)
+//! word 2   len          payload length in words (≤ 65535)
+//! word 3…  payload      `len` words
+//! trailer  crc          CRC-32 over the bytes of words 1..3+len,
+//!                       low word first
+//! ```
+//!
+//! Every field is a word, so a frame is also a valid `memlist`-style
+//! word list — the same 16-bit vocabulary as the memory images, the WAL
+//! and the snapshots. Decoding rejects any defect (short buffer, wrong
+//! magic, flipped bit, trailing garbage) with a clean [`NetError`];
+//! `tests` sweep every truncated prefix and every single-byte corruption
+//! of valid frames.
+
+use rqfa_persist::crc32;
+
+use crate::error::NetError;
+
+/// First word of every frame.
+pub const FRAME_MAGIC: u16 = 0xCBF7;
+
+/// Header size in words: magic, kind, len.
+pub const HEADER_WORDS: usize = 3;
+
+/// Trailer size in words: CRC-32, low word first.
+pub const TRAILER_WORDS: usize = 2;
+
+/// Maximum payload length in words (the 16-bit length field's range).
+pub const MAX_PAYLOAD_WORDS: usize = u16::MAX as usize;
+
+/// One decoded transport frame: a message kind and its word payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Message discriminator (see [`crate::wire`]).
+    pub kind: u16,
+    /// The payload words.
+    pub payload: Vec<u16>,
+}
+
+/// Serializes words as little-endian bytes.
+pub(crate) fn words_to_bytes(words: &[u16]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(words.len() * 2);
+    for word in words {
+        bytes.extend_from_slice(&word.to_le_bytes());
+    }
+    bytes
+}
+
+/// Reassembles little-endian bytes into words.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] on an odd byte count.
+pub(crate) fn bytes_to_words(bytes: &[u8]) -> Result<Vec<u16>, NetError> {
+    if !bytes.len().is_multiple_of(2) {
+        return Err(NetError::Malformed("odd byte count is not a word list"));
+    }
+    Ok(bytes
+        .chunks_exact(2)
+        .map(|pair| u16::from_le_bytes([pair[0], pair[1]]))
+        .collect())
+}
+
+/// Encodes one frame as its on-wire bytes.
+///
+/// # Errors
+///
+/// [`NetError::PayloadTooLarge`] past [`MAX_PAYLOAD_WORDS`].
+pub fn encode_frame(kind: u16, payload: &[u16]) -> Result<Vec<u8>, NetError> {
+    if payload.len() > MAX_PAYLOAD_WORDS {
+        return Err(NetError::PayloadTooLarge {
+            words: payload.len(),
+        });
+    }
+    #[allow(clippy::cast_possible_truncation)]
+    let len = payload.len() as u16;
+    let mut words = Vec::with_capacity(HEADER_WORDS + payload.len() + TRAILER_WORDS);
+    words.push(FRAME_MAGIC);
+    words.push(kind);
+    words.push(len);
+    words.extend_from_slice(payload);
+    // CRC over everything after the magic: kind, len, payload.
+    let crc = crc32(&words_to_bytes(&words[1..]));
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        words.push(crc as u16);
+        words.push((crc >> 16) as u16);
+    }
+    Ok(words_to_bytes(&words))
+}
+
+/// Decodes a byte buffer holding **exactly one** frame. Any deviation —
+/// too short, too long, wrong magic, CRC mismatch — is an error; a
+/// frame can never silently decode from a damaged buffer.
+///
+/// # Errors
+///
+/// [`NetError::Truncated`] for short or odd-sized buffers (and buffers
+/// with trailing garbage, which can only be a framing tear),
+/// [`NetError::BadMagic`] / [`NetError::BadCrc`] for corruption.
+pub fn decode_frame(bytes: &[u8]) -> Result<Frame, NetError> {
+    let min_bytes = (HEADER_WORDS + TRAILER_WORDS) * 2;
+    if bytes.len() < min_bytes || !bytes.len().is_multiple_of(2) {
+        return Err(NetError::Truncated);
+    }
+    let words = bytes_to_words(bytes)?;
+    if words[0] != FRAME_MAGIC {
+        return Err(NetError::BadMagic { found: words[0] });
+    }
+    let len = usize::from(words[2]);
+    if words.len() != HEADER_WORDS + len + TRAILER_WORDS {
+        // A length field disagreeing with the buffer is a tear (or a
+        // flipped length bit — either way the CRC words are not where
+        // the header claims).
+        return Err(NetError::Truncated);
+    }
+    let body = &words[1..HEADER_WORDS + len];
+    let expected = crc32(&words_to_bytes(body));
+    let found =
+        u32::from(words[HEADER_WORDS + len]) | (u32::from(words[HEADER_WORDS + len + 1]) << 16);
+    if expected != found {
+        return Err(NetError::BadCrc { expected, found });
+    }
+    Ok(Frame {
+        kind: words[1],
+        payload: words[HEADER_WORDS..HEADER_WORDS + len].to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let payload: Vec<u16> = (0..37).collect();
+        let bytes = encode_frame(9, &payload).unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame.kind, 9);
+        assert_eq!(frame.payload, payload);
+    }
+
+    #[test]
+    fn empty_payload_round_trips() {
+        let bytes = encode_frame(3, &[]).unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        assert_eq!(frame, Frame { kind: 3, payload: Vec::new() });
+    }
+
+    #[test]
+    fn every_truncated_prefix_is_rejected() {
+        let bytes = encode_frame(7, &[1, 2, 3, 0xFFFF]).unwrap();
+        for cut in 0..bytes.len() {
+            assert!(
+                decode_frame(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_corruption_is_rejected() {
+        let bytes = encode_frame(7, &[0xAAAA, 0x5555, 0]).unwrap();
+        for at in 0..bytes.len() {
+            for flip in [0x01u8, 0x80] {
+                let mut bad = bytes.clone();
+                bad[at] ^= flip;
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "flip {flip:#04x} at byte {at} must not decode"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_frame(1, &[42]).unwrap();
+        bytes.extend_from_slice(&[0, 0]);
+        assert!(matches!(decode_frame(&bytes), Err(NetError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_payload_is_refused_at_encode() {
+        let too_big = vec![0u16; MAX_PAYLOAD_WORDS + 1];
+        assert!(matches!(
+            encode_frame(1, &too_big),
+            Err(NetError::PayloadTooLarge { .. })
+        ));
+    }
+}

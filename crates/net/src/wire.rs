@@ -1,0 +1,807 @@
+//! The RPC message vocabulary and its word codecs.
+//!
+//! Every message payload is a list of 16-bit words in the formats the
+//! workspace already persists:
+//!
+//! * a [`Submit`] carries the request's **Req-MEM image**
+//!   (`rqfa_memlist::encode_request`) verbatim — the same words the
+//!   hardware unit would scan;
+//! * a [`Message::Mutate`] / [`Message::TailFrame`] carries the exact
+//!   **WAL frame bytes** `rqfa-persist` appends to the log
+//!   (`encode_frame`), reinterpreted as words — a mutation travels the
+//!   wire byte-identically to how it lands on disk, CRC and all;
+//! * a [`SnapshotChunk`] carries a word-window of the **dual-slot
+//!   snapshot container** (`encode_snapshot`) — PR 2's transfer unit.
+//!
+//! Scalars wider than a word are little-endian word sequences (low word
+//! first). Decoding is strict: unknown kinds, short payloads, bad enum
+//! tags and domain-invalid values are all clean [`NetError`]s, and a
+//! decoded [`rqfa_core::Request`] is rebuilt through the validating
+//! request builder, so nothing structurally invalid crosses the wire
+//! into the service.
+
+use rqfa_core::{CaseMutation, CoreError, ExecutionTarget, Generation, QosClass, Request, Scored};
+use rqfa_core::{AttrId, ImplId, TypeId};
+use rqfa_fixed::Q15;
+use rqfa_memlist::{decode_request, encode_request, RequestImage};
+use rqfa_persist::StampedMutation;
+
+use crate::error::NetError;
+use crate::frame::{bytes_to_words, encode_frame, words_to_bytes, Frame};
+
+/// Frame kind of a [`Submit`].
+pub const KIND_SUBMIT: u16 = 1;
+/// Frame kind of a [`WireReply`].
+pub const KIND_REPLY: u16 = 2;
+/// Frame kind of a client mutation RPC.
+pub const KIND_MUTATE: u16 = 3;
+/// Frame kind of a [`MutateAck`].
+pub const KIND_MUTATE_ACK: u16 = 4;
+/// Frame kind of a [`SnapshotChunk`].
+pub const KIND_SNAPSHOT_CHUNK: u16 = 5;
+/// Frame kind of a [`SnapshotDone`].
+pub const KIND_SNAPSHOT_DONE: u16 = 6;
+/// Frame kind of a replication tail frame.
+pub const KIND_TAIL_FRAME: u16 = 7;
+/// Frame kind of a [`TailAck`].
+pub const KIND_TAIL_ACK: u16 = 8;
+
+/// A request submission bound for a remote shard.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submit {
+    /// The caller's request id; the reply echoes it.
+    pub id: u64,
+    /// QoS class of the request.
+    pub class: QosClass,
+    /// Optional relative deadline in µs from arrival at the server.
+    pub deadline_us: Option<u64>,
+    /// The request itself (travels as its Req-MEM word image).
+    pub request: Request,
+}
+
+/// How a remotely served request ended — the wire mirror of the
+/// service's `Outcome` (the service layer converts losslessly in both
+/// directions).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireOutcome {
+    /// Retrieval succeeded.
+    Allocated {
+        /// The winning variant.
+        best: Scored<Q15>,
+        /// Variants evaluated to produce the result.
+        evaluated: u64,
+        /// Whether the serving shard's cache answered.
+        cached: bool,
+    },
+    /// Shed at admission on the serving node.
+    ShedQueueFull,
+    /// Shed at dispatch on the serving node.
+    ShedDeadline,
+    /// Retrieval failed (the [`CoreError`] crosses the wire losslessly).
+    Failed(CoreError),
+    /// The shard was unreachable within the bounded retry budget. Only
+    /// ever *produced* client-side, but encodable so replies can be
+    /// proxied through intermediate hops.
+    Unavailable {
+        /// Connection attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// The server's answer to a [`Submit`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireReply {
+    /// Echo of [`Submit::id`].
+    pub id: u64,
+    /// The request's QoS class.
+    pub class: QosClass,
+    /// What happened.
+    pub outcome: WireOutcome,
+    /// Server-side latency in µs (enqueue to reply).
+    pub latency_us: u64,
+}
+
+/// The server's answer to a mutation RPC or a replication frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MutateAck {
+    /// The shard generation after the apply (raw counter value; 0 when
+    /// the apply failed).
+    pub generation: u64,
+    /// `None` on success; the remote error rendering otherwise.
+    pub error: Option<String>,
+}
+
+/// One word-window of a shipping snapshot container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotChunk {
+    /// Word offset of this chunk inside the container.
+    pub offset_words: u32,
+    /// The chunk's words.
+    pub words: Vec<u16>,
+}
+
+/// End of a snapshot ship: the follower must now hold the whole
+/// container and installs it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotDone {
+    /// The shipped case base's generation (raw counter value).
+    pub generation: u64,
+    /// Total container size in words — must equal the chunk sum.
+    pub total_words: u32,
+}
+
+/// The follower's acknowledgement of an installed snapshot or an
+/// applied tail frame, carrying its new generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailAck {
+    /// The follower's generation after the install/apply.
+    pub generation: u64,
+}
+
+/// Every message the distributed plane exchanges.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Client → shard: answer this request.
+    Submit(Submit),
+    /// Shard → client: the answer.
+    Reply(WireReply),
+    /// Client → shard: apply this mutation (unstamped — the shard
+    /// assigns the generation; travels as a genesis-stamped WAL frame).
+    Mutate(CaseMutation),
+    /// Shard → client: mutation RPC result.
+    MutateAck(MutateAck),
+    /// Leader → follower: snapshot container window.
+    SnapshotChunk(SnapshotChunk),
+    /// Leader → follower: snapshot ship complete, install it.
+    SnapshotDone(SnapshotDone),
+    /// Leader → follower: one stamped WAL record (the exact log frame).
+    TailFrame(StampedMutation),
+    /// Follower → leader: snapshot installed / tail frame applied.
+    TailAck(TailAck),
+}
+
+/// Incremental little-endian word writer for scalars.
+fn push_u32(words: &mut Vec<u16>, value: u32) {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        words.push(value as u16);
+        words.push((value >> 16) as u16);
+    }
+}
+
+fn push_u64(words: &mut Vec<u16>, value: u64) {
+    #[allow(clippy::cast_possible_truncation)]
+    for shift in [0u32, 16, 32, 48] {
+        words.push((value >> shift) as u16);
+    }
+}
+
+/// Cursor over a received payload; every read is bounds-checked.
+struct WordReader<'a> {
+    words: &'a [u16],
+    pos: usize,
+}
+
+impl<'a> WordReader<'a> {
+    fn new(words: &'a [u16]) -> WordReader<'a> {
+        WordReader { words, pos: 0 }
+    }
+
+    fn u16(&mut self) -> Result<u16, NetError> {
+        let word = *self
+            .words
+            .get(self.pos)
+            .ok_or(NetError::Malformed("payload shorter than its layout"))?;
+        self.pos += 1;
+        Ok(word)
+    }
+
+    fn u32(&mut self) -> Result<u32, NetError> {
+        let lo = u32::from(self.u16()?);
+        let hi = u32::from(self.u16()?);
+        Ok(lo | (hi << 16))
+    }
+
+    fn u64(&mut self) -> Result<u64, NetError> {
+        let mut value = 0u64;
+        for shift in [0u32, 16, 32, 48] {
+            value |= u64::from(self.u16()?) << shift;
+        }
+        Ok(value)
+    }
+
+    fn rest(self) -> &'a [u16] {
+        &self.words[self.pos..]
+    }
+
+    fn done(&self) -> Result<(), NetError> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(NetError::Malformed("payload longer than its layout"))
+        }
+    }
+}
+
+fn class_word(class: QosClass) -> u16 {
+    #[allow(clippy::cast_possible_truncation)]
+    {
+        class.index() as u16
+    }
+}
+
+fn word_class(word: u16) -> Result<QosClass, NetError> {
+    QosClass::ALL
+        .get(usize::from(word))
+        .copied()
+        .ok_or(NetError::Malformed("unknown QoS class index"))
+}
+
+/// `ExecutionTarget` ↔ word, the same mapping the WAL records use:
+/// `0`/`1`/`2` for the three named targets, `0x0100 | tag` for dedicated
+/// devices.
+fn target_word(target: ExecutionTarget) -> Result<u16, NetError> {
+    match target {
+        ExecutionTarget::Fpga => Ok(0),
+        ExecutionTarget::Dsp => Ok(1),
+        ExecutionTarget::GpProcessor => Ok(2),
+        ExecutionTarget::Dedicated(tag) => Ok(0x0100 | u16::from(tag)),
+        // `ExecutionTarget` is non_exhaustive; refuse rather than
+        // mis-encode a target this protocol version does not know.
+        _ => Err(NetError::Malformed("unencodable execution target")),
+    }
+}
+
+fn word_target(word: u16) -> Result<ExecutionTarget, NetError> {
+    match word {
+        0 => Ok(ExecutionTarget::Fpga),
+        1 => Ok(ExecutionTarget::Dsp),
+        2 => Ok(ExecutionTarget::GpProcessor),
+        w if w & 0xFF00 == 0x0100 => Ok(ExecutionTarget::Dedicated((w & 0xFF) as u8)),
+        _ => Err(NetError::Malformed("unknown execution target word")),
+    }
+}
+
+/// `CoreError` → `(code, [4 argument words])`, lossless for every
+/// variant (the widest, `ValueOutOfBounds`, uses all four).
+fn error_words(error: &CoreError) -> Result<(u16, [u16; 4]), NetError> {
+    Ok(match error {
+        CoreError::ReservedId { raw } => (1, [*raw, 0, 0, 0]),
+        CoreError::DuplicateType { id } => (2, [id.raw(), 0, 0, 0]),
+        CoreError::DuplicateImpl { type_id, impl_id } => {
+            (3, [type_id.raw(), impl_id.raw(), 0, 0])
+        }
+        CoreError::DuplicateAttr { attr } => (4, [attr.raw(), 0, 0, 0]),
+        CoreError::ValueOutOfBounds {
+            attr,
+            value,
+            lower,
+            upper,
+        } => (5, [attr.raw(), *value, *lower, *upper]),
+        CoreError::UndeclaredAttr { attr } => (6, [attr.raw(), 0, 0, 0]),
+        CoreError::UnknownType { type_id } => (7, [type_id.raw(), 0, 0, 0]),
+        CoreError::EmptyRequest => (8, [0; 4]),
+        CoreError::EmptyType { type_id } => (9, [type_id.raw(), 0, 0, 0]),
+        CoreError::InvalidWeights => (10, [0; 4]),
+        CoreError::EmptyCaseBase => (11, [0; 4]),
+        // Non_exhaustive source enum: refuse unknown future variants.
+        _ => return Err(NetError::Malformed("unencodable core error")),
+    })
+}
+
+fn words_error(code: u16, args: [u16; 4]) -> Result<CoreError, NetError> {
+    let type_id = |raw: u16| TypeId::new(raw).map_err(NetError::Core);
+    let attr_id = |raw: u16| AttrId::new(raw).map_err(NetError::Core);
+    Ok(match code {
+        1 => CoreError::ReservedId { raw: args[0] },
+        2 => CoreError::DuplicateType { id: type_id(args[0])? },
+        3 => CoreError::DuplicateImpl {
+            type_id: type_id(args[0])?,
+            impl_id: ImplId::new(args[1]).map_err(NetError::Core)?,
+        },
+        4 => CoreError::DuplicateAttr { attr: attr_id(args[0])? },
+        5 => CoreError::ValueOutOfBounds {
+            attr: attr_id(args[0])?,
+            value: args[1],
+            lower: args[2],
+            upper: args[3],
+        },
+        6 => CoreError::UndeclaredAttr { attr: attr_id(args[0])? },
+        7 => CoreError::UnknownType { type_id: type_id(args[0])? },
+        8 => CoreError::EmptyRequest,
+        9 => CoreError::EmptyType { type_id: type_id(args[0])? },
+        10 => CoreError::InvalidWeights,
+        11 => CoreError::EmptyCaseBase,
+        _ => return Err(NetError::Malformed("unknown error code")),
+    })
+}
+
+/// UTF-8 string → length-prefixed packed words (2 bytes per word).
+fn push_string(words: &mut Vec<u16>, text: &str) {
+    let bytes = text.as_bytes();
+    // Wire strings are diagnostics; cap them at the length field's range.
+    let clipped = &bytes[..bytes.len().min(usize::from(u16::MAX))];
+    #[allow(clippy::cast_possible_truncation)]
+    words.push(clipped.len() as u16);
+    for pair in clipped.chunks(2) {
+        let lo = u16::from(pair[0]);
+        let hi = pair.get(1).map_or(0, |b| u16::from(*b));
+        words.push(lo | (hi << 8));
+    }
+}
+
+fn read_string(reader: &mut WordReader<'_>) -> Result<String, NetError> {
+    let len = usize::from(reader.u16()?);
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len.div_ceil(2) {
+        let word = reader.u16()?;
+        bytes.push((word & 0xFF) as u8);
+        bytes.push((word >> 8) as u8);
+    }
+    bytes.truncate(len);
+    String::from_utf8(bytes).map_err(|_| NetError::Malformed("wire string is not UTF-8"))
+}
+
+fn outcome_words(outcome: &WireOutcome, words: &mut Vec<u16>) -> Result<(), NetError> {
+    match outcome {
+        WireOutcome::Allocated {
+            best,
+            evaluated,
+            cached,
+        } => {
+            words.push(0);
+            words.push(best.impl_id.raw());
+            words.push(target_word(best.target)?);
+            words.push(best.similarity.raw());
+            push_u64(words, *evaluated);
+            words.push(u16::from(*cached));
+        }
+        WireOutcome::ShedQueueFull => words.push(1),
+        WireOutcome::ShedDeadline => words.push(2),
+        WireOutcome::Failed(error) => {
+            words.push(3);
+            let (code, args) = error_words(error)?;
+            words.push(code);
+            words.extend_from_slice(&args);
+        }
+        WireOutcome::Unavailable { attempts } => {
+            words.push(4);
+            push_u32(words, *attempts);
+        }
+    }
+    Ok(())
+}
+
+fn words_outcome(reader: &mut WordReader<'_>) -> Result<WireOutcome, NetError> {
+    Ok(match reader.u16()? {
+        0 => {
+            let impl_id = ImplId::new(reader.u16()?).map_err(NetError::Core)?;
+            let target = word_target(reader.u16()?)?;
+            let similarity = Q15::saturating_from_raw(reader.u16()?);
+            let evaluated = reader.u64()?;
+            let cached = match reader.u16()? {
+                0 => false,
+                1 => true,
+                _ => return Err(NetError::Malformed("cached flag out of range")),
+            };
+            WireOutcome::Allocated {
+                best: Scored {
+                    impl_id,
+                    target,
+                    similarity,
+                },
+                evaluated,
+                cached,
+            }
+        }
+        1 => WireOutcome::ShedQueueFull,
+        2 => WireOutcome::ShedDeadline,
+        3 => {
+            let code = reader.u16()?;
+            let args = [reader.u16()?, reader.u16()?, reader.u16()?, reader.u16()?];
+            WireOutcome::Failed(words_error(code, args)?)
+        }
+        4 => WireOutcome::Unavailable {
+            attempts: reader.u32()?,
+        },
+        _ => return Err(NetError::Malformed("unknown outcome tag")),
+    })
+}
+
+/// A stamped mutation as its on-disk WAL frame, reinterpreted as words
+/// (frames are always an even number of bytes).
+fn mutation_words(stamped: &StampedMutation) -> Result<Vec<u16>, NetError> {
+    let bytes = rqfa_persist::encode_frame(stamped)?;
+    bytes_to_words(&bytes)
+}
+
+fn words_mutation(words: &[u16]) -> Result<StampedMutation, NetError> {
+    let bytes = words_to_bytes(words);
+    rqfa_persist::decode_frame(&bytes).map_err(NetError::Persist)
+}
+
+/// Encodes one message as its complete on-wire frame bytes.
+///
+/// # Errors
+///
+/// Encoding failures of the embedded images/frames, and
+/// [`NetError::PayloadTooLarge`] for oversized payloads.
+pub fn encode_message(message: &Message) -> Result<Vec<u8>, NetError> {
+    let (kind, payload) = match message {
+        Message::Submit(submit) => {
+            let mut words = Vec::new();
+            push_u64(&mut words, submit.id);
+            words.push(class_word(submit.class));
+            match submit.deadline_us {
+                Some(deadline) => {
+                    words.push(1);
+                    push_u64(&mut words, deadline);
+                }
+                None => {
+                    words.push(0);
+                    push_u64(&mut words, 0);
+                }
+            }
+            let image = encode_request(&submit.request)?;
+            words.extend_from_slice(image.image().words());
+            (KIND_SUBMIT, words)
+        }
+        Message::Reply(reply) => {
+            let mut words = Vec::new();
+            push_u64(&mut words, reply.id);
+            words.push(class_word(reply.class));
+            push_u64(&mut words, reply.latency_us);
+            outcome_words(&reply.outcome, &mut words)?;
+            (KIND_REPLY, words)
+        }
+        Message::Mutate(mutation) => {
+            // Unstamped client mutations travel as a genesis-stamped WAL
+            // frame; the serving shard assigns the real generation.
+            let stamped = StampedMutation {
+                generation: Generation::GENESIS,
+                mutation: mutation.clone(),
+            };
+            (KIND_MUTATE, mutation_words(&stamped)?)
+        }
+        Message::MutateAck(ack) => {
+            let mut words = Vec::new();
+            push_u64(&mut words, ack.generation);
+            match &ack.error {
+                None => words.push(0),
+                Some(text) => {
+                    words.push(1);
+                    push_string(&mut words, text);
+                }
+            }
+            (KIND_MUTATE_ACK, words)
+        }
+        Message::SnapshotChunk(chunk) => {
+            let mut words = Vec::new();
+            push_u32(&mut words, chunk.offset_words);
+            words.extend_from_slice(&chunk.words);
+            (KIND_SNAPSHOT_CHUNK, words)
+        }
+        Message::SnapshotDone(done) => {
+            let mut words = Vec::new();
+            push_u64(&mut words, done.generation);
+            push_u32(&mut words, done.total_words);
+            (KIND_SNAPSHOT_DONE, words)
+        }
+        Message::TailFrame(stamped) => (KIND_TAIL_FRAME, mutation_words(stamped)?),
+        Message::TailAck(ack) => {
+            let mut words = Vec::new();
+            push_u64(&mut words, ack.generation);
+            (KIND_TAIL_ACK, words)
+        }
+    };
+    encode_frame(kind, &payload)
+}
+
+/// Decodes a transport frame into its message.
+///
+/// # Errors
+///
+/// [`NetError::Malformed`] for unknown kinds and layout violations;
+/// [`NetError::Core`] / [`NetError::Mem`] / [`NetError::Persist`] when
+/// an embedded payload fails domain validation.
+pub fn decode_message(frame: &Frame) -> Result<Message, NetError> {
+    let mut reader = WordReader::new(&frame.payload);
+    match frame.kind {
+        KIND_SUBMIT => {
+            let id = reader.u64()?;
+            let class = word_class(reader.u16()?)?;
+            let has_deadline = reader.u16()?;
+            let deadline = reader.u64()?;
+            let deadline_us = match has_deadline {
+                0 => None,
+                1 => Some(deadline),
+                _ => return Err(NetError::Malformed("deadline flag out of range")),
+            };
+            let image = RequestImage::from_words(reader.rest().to_vec())?;
+            let request = decode_request(&image)?;
+            Ok(Message::Submit(Submit {
+                id,
+                class,
+                deadline_us,
+                request,
+            }))
+        }
+        KIND_REPLY => {
+            let id = reader.u64()?;
+            let class = word_class(reader.u16()?)?;
+            let latency_us = reader.u64()?;
+            let outcome = words_outcome(&mut reader)?;
+            reader.done()?;
+            Ok(Message::Reply(WireReply {
+                id,
+                class,
+                outcome,
+                latency_us,
+            }))
+        }
+        KIND_MUTATE => {
+            let stamped = words_mutation(&frame.payload)?;
+            Ok(Message::Mutate(stamped.mutation))
+        }
+        KIND_MUTATE_ACK => {
+            let generation = reader.u64()?;
+            let error = match reader.u16()? {
+                0 => None,
+                1 => Some(read_string(&mut reader)?),
+                _ => return Err(NetError::Malformed("ack flag out of range")),
+            };
+            reader.done()?;
+            Ok(Message::MutateAck(MutateAck { generation, error }))
+        }
+        KIND_SNAPSHOT_CHUNK => {
+            let offset_words = reader.u32()?;
+            Ok(Message::SnapshotChunk(SnapshotChunk {
+                offset_words,
+                words: reader.rest().to_vec(),
+            }))
+        }
+        KIND_SNAPSHOT_DONE => {
+            let generation = reader.u64()?;
+            let total_words = reader.u32()?;
+            reader.done()?;
+            Ok(Message::SnapshotDone(SnapshotDone {
+                generation,
+                total_words,
+            }))
+        }
+        KIND_TAIL_FRAME => Ok(Message::TailFrame(words_mutation(&frame.payload)?)),
+        KIND_TAIL_ACK => {
+            let generation = reader.u64()?;
+            reader.done()?;
+            Ok(Message::TailAck(TailAck { generation }))
+        }
+        _ => Err(NetError::Malformed("unknown message kind")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::decode_frame;
+    use rqfa_core::paper;
+    use rqfa_core::{AttrBinding, ImplVariant, Request};
+
+    /// Deterministic xorshift64* for the seeded sweeps (no external RNG).
+    pub(crate) struct TestRng(u64);
+
+    impl TestRng {
+        pub(crate) fn new(seed: u64) -> TestRng {
+            TestRng(seed.max(1))
+        }
+
+        pub(crate) fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.0 = x;
+            x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        }
+
+        pub(crate) fn below(&mut self, bound: u64) -> u64 {
+            self.next() % bound.max(1)
+        }
+    }
+
+    fn random_request(rng: &mut TestRng) -> Request {
+        let mut builder = Request::builder(TypeId::new(1 + rng.below(40) as u16).unwrap());
+        let constraints = 1 + rng.below(5);
+        for i in 0..constraints {
+            builder = builder.weighted_constraint(
+                AttrId::new(1 + i as u16).unwrap(),
+                rng.below(1000) as u16,
+                1.0 + rng.below(9) as f64,
+            );
+        }
+        let request = builder.build().unwrap();
+        // Canonicalize the float weights through one image hop: the wire
+        // carries Q15 raws, so equality is defined on the quantized form
+        // (which the hop reproduces exactly — quantization is idempotent).
+        decode_request(&encode_request(&request).unwrap()).unwrap()
+    }
+
+    fn random_outcome(rng: &mut TestRng) -> WireOutcome {
+        match rng.below(5) {
+            0 => WireOutcome::Allocated {
+                best: Scored {
+                    impl_id: ImplId::new(1 + rng.below(100) as u16).unwrap(),
+                    target: match rng.below(4) {
+                        0 => ExecutionTarget::Fpga,
+                        1 => ExecutionTarget::Dsp,
+                        2 => ExecutionTarget::GpProcessor,
+                        _ => ExecutionTarget::Dedicated(rng.below(200) as u8),
+                    },
+                    similarity: Q15::saturating_from_raw(rng.below(0x8001) as u16),
+                },
+                evaluated: rng.below(1 << 40),
+                cached: rng.below(2) == 1,
+            },
+            1 => WireOutcome::ShedQueueFull,
+            2 => WireOutcome::ShedDeadline,
+            3 => WireOutcome::Failed(match rng.below(4) {
+                0 => CoreError::UnknownType {
+                    type_id: TypeId::new(7).unwrap(),
+                },
+                1 => CoreError::ValueOutOfBounds {
+                    attr: AttrId::new(3).unwrap(),
+                    value: rng.below(65_000) as u16,
+                    lower: 1,
+                    upper: 9,
+                },
+                2 => CoreError::EmptyRequest,
+                _ => CoreError::InvalidWeights,
+            }),
+            _ => WireOutcome::Unavailable {
+                attempts: rng.below(10) as u32 + 1,
+            },
+        }
+    }
+
+    fn random_mutation(rng: &mut TestRng) -> CaseMutation {
+        let type_id = TypeId::new(1 + rng.below(30) as u16).unwrap();
+        let impl_id = ImplId::new(1 + rng.below(30) as u16).unwrap();
+        match rng.below(3) {
+            0 => CaseMutation::Evict { type_id, impl_id },
+            tag => {
+                let variant = ImplVariant::new(
+                    impl_id,
+                    ExecutionTarget::Dsp,
+                    vec![AttrBinding::new(
+                        AttrId::new(1).unwrap(),
+                        rng.below(500) as u16,
+                    )],
+                )
+                .unwrap();
+                if tag == 1 {
+                    CaseMutation::Retain { type_id, variant }
+                } else {
+                    CaseMutation::Revise { type_id, variant }
+                }
+            }
+        }
+    }
+
+    /// One of each RPC frame family, randomized by `rng`.
+    fn random_messages(rng: &mut TestRng) -> Vec<Message> {
+        vec![
+            Message::Submit(Submit {
+                id: rng.next(),
+                class: QosClass::ALL[rng.below(4) as usize],
+                deadline_us: (rng.below(2) == 1).then(|| rng.below(1 << 40)),
+                request: random_request(rng),
+            }),
+            Message::Reply(WireReply {
+                id: rng.next(),
+                class: QosClass::ALL[rng.below(4) as usize],
+                outcome: random_outcome(rng),
+                latency_us: rng.below(1 << 40),
+            }),
+            Message::Mutate(random_mutation(rng)),
+            Message::MutateAck(MutateAck {
+                generation: rng.below(1 << 50),
+                error: (rng.below(2) == 1).then(|| "remote: case-base violation".to_string()),
+            }),
+            Message::SnapshotChunk(SnapshotChunk {
+                offset_words: rng.below(1 << 20) as u32,
+                words: (0..rng.below(64)).map(|_| rng.next() as u16).collect(),
+            }),
+            Message::SnapshotDone(SnapshotDone {
+                generation: rng.below(1 << 50),
+                total_words: rng.below(1 << 20) as u32,
+            }),
+            Message::TailFrame(StampedMutation {
+                generation: Generation::from_raw(1 + rng.below(1 << 50)),
+                mutation: random_mutation(rng),
+            }),
+            Message::TailAck(TailAck {
+                generation: rng.below(1 << 50),
+            }),
+        ]
+    }
+
+    /// Satellite: every RPC frame round-trips over 10 seeds, and a
+    /// decoded `Submit` preserves the request fingerprint (the cache
+    /// key) exactly — Q15 weights survive the word hop bit-for-bit.
+    #[test]
+    fn every_message_kind_round_trips_over_ten_seeds() {
+        for seed in 1..=10u64 {
+            let mut rng = TestRng::new(seed * 0x9E37_79B9);
+            for message in random_messages(&mut rng) {
+                let bytes = encode_message(&message).unwrap();
+                let decoded = decode_message(&decode_frame(&bytes).unwrap()).unwrap();
+                assert_eq!(decoded, message, "seed {seed}");
+                if let (Message::Submit(sent), Message::Submit(back)) = (&message, &decoded) {
+                    assert_eq!(
+                        sent.request.fingerprint(),
+                        back.request.fingerprint(),
+                        "seed {seed}: fingerprint must survive the wire"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite: every truncated prefix and every single-byte
+    /// corruption of every valid frame is rejected with a clean error —
+    /// the wire mirror of the torn-WAL sweep in `tests/persist_recovery.rs`.
+    #[test]
+    fn truncations_and_corruptions_never_decode() {
+        let mut rng = TestRng::new(0xD157);
+        for message in random_messages(&mut rng) {
+            let bytes = encode_message(&message).unwrap();
+            for cut in 0..bytes.len() {
+                assert!(
+                    decode_frame(&bytes[..cut]).is_err(),
+                    "{message:?}: truncation to {cut} bytes must be rejected"
+                );
+            }
+            for at in 0..bytes.len() {
+                let mut bad = bytes.clone();
+                bad[at] ^= 1 << (at % 8);
+                // A flipped bit must fail at the frame layer; it can
+                // never surface as a *different valid message*.
+                assert!(
+                    decode_frame(&bad).is_err(),
+                    "{message:?}: bit flip at byte {at} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn paper_request_travels_as_its_req_mem_image() {
+        let request = paper::table1_request().unwrap();
+        let message = Message::Submit(Submit {
+            id: 7,
+            class: QosClass::High,
+            deadline_us: None,
+            request: request.clone(),
+        });
+        let bytes = encode_message(&message).unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        // Header scalars (id 4 + class 1 + deadline 5) then the verbatim
+        // 11-word Req-MEM image of the paper's example.
+        let image = encode_request(&request).unwrap();
+        assert_eq!(&frame.payload[10..], image.image().words());
+    }
+
+    #[test]
+    fn mutation_payload_is_the_exact_wal_frame() {
+        let stamped = StampedMutation {
+            generation: Generation::from_raw(42),
+            mutation: CaseMutation::Evict {
+                type_id: TypeId::new(2).unwrap(),
+                impl_id: ImplId::new(3).unwrap(),
+            },
+        };
+        let bytes = encode_message(&Message::TailFrame(stamped.clone())).unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        let wal_frame = rqfa_persist::encode_frame(&stamped).unwrap();
+        assert_eq!(words_to_bytes(&frame.payload), wal_frame);
+    }
+}

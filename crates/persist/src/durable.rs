@@ -57,6 +57,7 @@ use std::time::Instant;
 use rqfa_core::{CaseBase, CaseMutation, Generation};
 
 use crate::error::PersistError;
+use crate::record::StampedMutation;
 use crate::snapshot::{read_snapshot, write_snapshot};
 use crate::stats::PersistStats;
 use crate::store::Store;
@@ -360,6 +361,34 @@ impl<S: Store> DurableCaseBase<S> {
     /// Acknowledged mutations since the last successful checkpoint.
     pub fn since_checkpoint(&self) -> u64 {
         self.since_checkpoint
+    }
+
+    /// Encodes the current in-memory state as one transferable snapshot
+    /// image (the same dual-slot container format
+    /// [`crate::snapshot::encode_snapshot`] writes to disk) — the unit a
+    /// leader ships to bootstrap a replica. The image carries the
+    /// current generation; stream the WAL tail *after* that generation
+    /// ([`DurableCaseBase::wal_tail`]) on top to bring the replica to
+    /// head.
+    ///
+    /// # Errors
+    ///
+    /// Snapshot-encoding failures (a case base too large for the 16-bit
+    /// image format).
+    pub fn export_snapshot(&self) -> Result<Vec<u8>, PersistError> {
+        crate::snapshot::encode_snapshot(&self.case_base)
+    }
+
+    /// The acknowledged WAL records stamped after `through`, in log
+    /// order — the replication tail matching a shipped snapshot at that
+    /// generation. Records past the acknowledged clean length (torn
+    /// bytes of a failed append) are never included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read failures.
+    pub fn wal_tail(&self, through: Generation) -> Result<Vec<StampedMutation>, PersistError> {
+        self.wal.tail_after(through)
     }
 
     /// This case base's write-path counters. The block is behind an

@@ -71,7 +71,7 @@ pub use durable::{
 };
 pub use stats::PersistStats;
 pub use error::PersistError;
-pub use record::{encode_frame, parse_frame, FrameParse, StampedMutation, RECORD_MAGIC};
+pub use record::{decode_frame, encode_frame, parse_frame, FrameParse, StampedMutation, RECORD_MAGIC};
 pub use snapshot::{
     decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, Snapshot, SNAPSHOT_MAGIC,
 };

@@ -136,6 +136,21 @@ impl<S: Store> Wal<S> {
         })
     }
 
+    /// The clean records stamped *after* `through`, in log order — the
+    /// replication tail a leader streams to a follower that already
+    /// holds a snapshot at generation `through` (the follower applies
+    /// them under the same `exactly +1` discipline as recovery). A torn
+    /// tail is dropped exactly as [`Wal::replay`] drops it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store read failures.
+    pub fn tail_after(&self, through: Generation) -> Result<Vec<StampedMutation>, PersistError> {
+        let mut replay = self.replay()?;
+        replay.records.retain(|record| record.generation > through);
+        Ok(replay.records)
+    }
+
     /// Atomically rewrites the log keeping only records stamped *after*
     /// `through` (a clean compaction also drops any torn tail). Returns
     /// how many records were kept.

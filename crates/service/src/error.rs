@@ -20,6 +20,11 @@ pub enum ServiceError {
     /// The durable-state directory is missing or its manifest is
     /// unreadable / inconsistent.
     Manifest(String),
+    /// The service configuration is invalid (e.g. zero shards).
+    Config(String),
+    /// A remote-shard or replication operation failed (transport error,
+    /// protocol violation, remote rejection).
+    Remote(String),
 }
 
 impl fmt::Display for ServiceError {
@@ -28,6 +33,8 @@ impl fmt::Display for ServiceError {
             ServiceError::Core(e) => write!(f, "case-base violation: {e}"),
             ServiceError::Persist(e) => write!(f, "persistence failure: {e}"),
             ServiceError::Manifest(m) => write!(f, "durable-state manifest: {m}"),
+            ServiceError::Config(m) => write!(f, "invalid configuration: {m}"),
+            ServiceError::Remote(m) => write!(f, "remote shard: {m}"),
         }
     }
 }
@@ -37,7 +44,7 @@ impl std::error::Error for ServiceError {
         match self {
             ServiceError::Core(e) => Some(e),
             ServiceError::Persist(e) => Some(e),
-            ServiceError::Manifest(_) => None,
+            ServiceError::Manifest(_) | ServiceError::Config(_) | ServiceError::Remote(_) => None,
         }
     }
 }

@@ -53,7 +53,7 @@
 //! let service = AllocationService::new(
 //!     &paper::table1_case_base(),
 //!     &ServiceConfig::default().with_shards(2),
-//! );
+//! )?;
 //! let ticket = service.submit(paper::table1_request()?, QosClass::High);
 //! let reply = ticket.wait().expect("service alive");
 //! match reply.outcome {
@@ -61,7 +61,7 @@
 //!     other => panic!("unexpected outcome: {other:?}"),
 //! }
 //! service.shutdown();
-//! # Ok::<(), rqfa_core::CoreError>(())
+//! # Ok::<(), rqfa_service::ServiceError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -71,6 +71,7 @@ pub mod cache;
 mod error;
 pub mod metrics;
 pub mod queue;
+pub mod remote;
 pub mod replay;
 pub mod sched;
 pub mod shard;
@@ -209,9 +210,11 @@ impl Default for ServiceConfig {
 }
 
 impl ServiceConfig {
-    /// Sets the shard count.
+    /// Sets the shard count. The value is stored as given — a zero shard
+    /// count is rejected at service construction with
+    /// [`ServiceError::Config`], never silently clamped.
     pub fn with_shards(mut self, shards: usize) -> ServiceConfig {
-        self.shards = shards.max(1);
+        self.shards = shards;
         self
     }
 
@@ -303,6 +306,16 @@ impl ServiceConfig {
     }
 }
 
+/// Validates a configuration before any shard state is built or touched.
+fn validate_config(config: &ServiceConfig) -> Result<(), ServiceError> {
+    if config.shards == 0 {
+        return Err(ServiceError::Config(
+            "shards must be at least 1 (routing is type_id % shards)".into(),
+        ));
+    }
+    Ok(())
+}
+
 /// How one request ended.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Outcome {
@@ -323,6 +336,14 @@ pub enum Outcome {
     ShedDeadline,
     /// Retrieval failed (e.g. unknown function type).
     Failed(CoreError),
+    /// The owning shard lives on a remote node that stayed unreachable
+    /// through the transport's bounded retry budget (see
+    /// [`remote`]). Produced client-side — a dead node degrades the
+    /// requests routed to it into this explicit outcome, never a hang.
+    Unavailable {
+        /// Connection/send attempts made before giving up.
+        attempts: u32,
+    },
 }
 
 impl Outcome {
@@ -434,7 +455,17 @@ impl AllocationService {
     /// `case_base` and spawns one worker thread per shard. Learned
     /// mutations do not survive the process — see
     /// [`AllocationService::durable_create`].
-    pub fn new(case_base: &CaseBase, config: &ServiceConfig) -> AllocationService {
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Config`] for an invalid configuration (zero
+    /// shards) — routing is `type_id % shards`, so a shard count of 0
+    /// has no meaning and must not silently degrade to 1.
+    pub fn new(
+        case_base: &CaseBase,
+        config: &ServiceConfig,
+    ) -> Result<AllocationService, ServiceError> {
+        validate_config(config)?;
         let slices = shard::partition(case_base, config.shards);
         let stores = slices
             .into_iter()
@@ -443,7 +474,7 @@ impl AllocationService {
                 None => shard::ShardStore::Empty,
             })
             .collect();
-        AllocationService::from_stores(stores, config)
+        Ok(AllocationService::from_stores(stores, config))
     }
 
     /// Builds a *durable* service: each non-empty shard gets its own
@@ -485,6 +516,7 @@ impl AllocationService {
         dir: &Path,
         config: &ServiceConfig,
     ) -> Result<AllocationService, ServiceError> {
+        validate_config(config)?;
         // Discard previous durable state up front: a stale `shard-<i>`
         // directory from an older layout would otherwise resurrect on
         // the next recover (e.g. a shard whose slice is empty now writes
@@ -643,6 +675,42 @@ impl AllocationService {
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Exports shard `shard`'s snapshot container (the replication
+    /// transfer unit — the same dual-slot image format checkpoints
+    /// write) together with the generation it captures.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Remote`] unless the shard is durable (replication
+    /// needs a WAL to stream the tail from).
+    pub fn export_shard_snapshot(
+        &self,
+        shard: usize,
+    ) -> Result<(Vec<u8>, rqfa_core::Generation), ServiceError> {
+        self.shards[shard].export_snapshot()
+    }
+
+    /// Shard `shard`'s write-ahead-log records newer than `through` —
+    /// the tail a leader streams to a follower holding a snapshot at
+    /// generation `through`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::Remote`] unless the shard is durable;
+    /// [`ServiceError::Persist`] if the log cannot be read.
+    pub fn shard_wal_tail(
+        &self,
+        shard: usize,
+        through: rqfa_core::Generation,
+    ) -> Result<Vec<rqfa_persist::StampedMutation>, ServiceError> {
+        self.shards[shard].wal_tail(through)
+    }
+
+    /// The generation of shard `shard`'s served case base.
+    pub fn shard_generation(&self, shard: usize) -> rqfa_core::Generation {
+        self.shards[shard].generation()
     }
 
     /// Submits a request in the given QoS class. Always returns a ticket;
@@ -975,7 +1043,7 @@ mod tests {
         let service = AllocationService::new(
             &paper::table1_case_base(),
             &ServiceConfig::default().with_shards(2),
-        );
+        ).expect("valid service config");
         let ticket = service.submit(paper::table1_request().unwrap(), QosClass::Medium);
         let reply = ticket.wait().unwrap();
         match reply.outcome {
@@ -992,7 +1060,7 @@ mod tests {
     #[test]
     fn repeat_requests_hit_the_cache() {
         let service =
-            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default());
+            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default()).expect("valid service config");
         let request = paper::table1_request().unwrap();
         let first = service.submit(request.clone(), QosClass::High).wait().unwrap();
         let second = service.submit(request, QosClass::High).wait().unwrap();
@@ -1014,7 +1082,7 @@ mod tests {
     #[test]
     fn unknown_type_fails_cleanly() {
         let service =
-            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default().with_shards(3));
+            AllocationService::new(&paper::table1_case_base(), &ServiceConfig::default().with_shards(3)).expect("valid service config");
         let request = Request::builder(TypeId::new(57).unwrap())
             .constraint(rqfa_core::AttrId::new(1).unwrap(), 1)
             .build()
@@ -1115,11 +1183,37 @@ mod tests {
     }
 
     #[test]
+    fn zero_shards_is_a_config_error_not_a_clamp() {
+        // Regression: `with_shards(0)` used to clamp silently to one
+        // shard, making `shards=0` mean something it shouldn't. Now the
+        // value is stored verbatim and construction refuses it loudly.
+        assert_eq!(ServiceConfig::default().with_shards(0).shards, 0);
+        let Err(err) = AllocationService::new(
+            &paper::table1_case_base(),
+            &ServiceConfig::default().with_shards(0),
+        ) else {
+            panic!("zero shards must be rejected")
+        };
+        assert!(matches!(err, ServiceError::Config(_)), "{err}");
+        // The durable constructor validates before touching the disk.
+        let dir = std::env::temp_dir().join(format!("rqfa-zero-shards-{}", std::process::id()));
+        let Err(err) = AllocationService::durable_create(
+            &paper::table1_case_base(),
+            &dir,
+            &ServiceConfig::default().with_shards(0),
+        ) else {
+            panic!("zero shards must be rejected")
+        };
+        assert!(matches!(err, ServiceError::Config(_)), "{err}");
+        assert!(!dir.exists(), "rejected config must not create state");
+    }
+
+    #[test]
     fn shutdown_answers_everything_first() {
         let service = AllocationService::new(
             &paper::table1_case_base(),
             &ServiceConfig::default().with_batch_size(2),
-        );
+        ).expect("valid service config");
         let tickets: Vec<Ticket> = (0..50)
             .map(|_| service.submit(paper::table1_request().unwrap(), QosClass::Low))
             .collect();

@@ -43,16 +43,31 @@ use crate::metrics::{BatchDeltas, ServiceMetrics};
 use crate::queue::ClassQueue;
 use crate::{Job, Outcome, Reply, ServiceConfig};
 
-/// Routes a function type to its owning shard.
+/// Routes a function type to its owning shard — the service's placement
+/// function, delegating to [`rqfa_core::placement::shard_index`] so every
+/// layer (local workers, remote nodes, replication) agrees on ownership.
+///
+/// # Panics
+///
+/// With `shards == 0` — a shard count is validated at service
+/// construction ([`ServiceError::Config`]),
+/// never silently clamped here.
 pub fn route(type_id: TypeId, shards: usize) -> usize {
-    usize::from(type_id.raw()) % shards.max(1)
+    rqfa_core::placement::shard_index(type_id, shards)
 }
 
 /// Splits a case base into per-shard slices. Slice `i` holds every
 /// function type with `route(id, n) == i`; all slices share the (cloned)
-/// bounds table. A slice may be empty (`None`) when no type routes to it.
+/// bounds table and inherit the source's generation — a service built
+/// over a promoted replica resumes counting at the replica's generation
+/// instead of rewinding to genesis. A slice may be empty (`None`) when
+/// no type routes to it.
+///
+/// # Panics
+///
+/// With `shards == 0` (see [`route`]).
 pub fn partition(case_base: &CaseBase, shards: usize) -> Vec<Option<CaseBase>> {
-    let shards = shards.max(1);
+    assert!(shards > 0, "partition requires at least one shard");
     let mut buckets: Vec<Vec<rqfa_core::FunctionType>> = vec![Vec::new(); shards];
     for ty in case_base.function_types() {
         buckets[route(ty.id(), shards)].push(ty.clone());
@@ -63,10 +78,10 @@ pub fn partition(case_base: &CaseBase, shards: usize) -> Vec<Option<CaseBase>> {
             if types.is_empty() {
                 None
             } else {
-                Some(
-                    CaseBase::new(case_base.bounds().clone(), types)
-                        .expect("slices of a valid case base stay valid"),
-                )
+                let mut slice = CaseBase::new(case_base.bounds().clone(), types)
+                    .expect("slices of a valid case base stay valid");
+                slice.restore_generation(case_base.generation());
+                Some(slice)
             }
         })
         .collect()
@@ -334,6 +349,40 @@ impl Shard {
             ShardStore::Durable(durable) => Some(durable.stats()),
             _ => None,
         }
+    }
+
+    /// Exports this durable shard's snapshot container (the replication
+    /// transfer unit) together with the generation it captures. The
+    /// store lock is held only for the in-memory encode.
+    pub(crate) fn export_snapshot(&self) -> Result<(Vec<u8>, Generation), ServiceError> {
+        match &*self.store.lock().expect("store poisoned") {
+            ShardStore::Durable(durable) => {
+                let bytes = durable.export_snapshot()?;
+                Ok((bytes, durable.generation()))
+            }
+            _ => Err(ServiceError::Remote(
+                "only durable shards replicate (no WAL to stream)".into(),
+            )),
+        }
+    }
+
+    /// This durable shard's WAL records newer than `through` — the tail a
+    /// leader streams to a follower holding a snapshot at `through`.
+    pub(crate) fn wal_tail(
+        &self,
+        through: Generation,
+    ) -> Result<Vec<rqfa_persist::StampedMutation>, ServiceError> {
+        match &*self.store.lock().expect("store poisoned") {
+            ShardStore::Durable(durable) => Ok(durable.wal_tail(through)?),
+            _ => Err(ServiceError::Remote(
+                "only durable shards replicate (no WAL to stream)".into(),
+            )),
+        }
+    }
+
+    /// The generation of this shard's served case base.
+    pub(crate) fn generation(&self) -> Generation {
+        self.store.lock().expect("store poisoned").generation()
     }
 
     /// Signals shutdown and joins the worker, draining queued jobs first.

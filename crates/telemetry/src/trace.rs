@@ -74,6 +74,21 @@ pub enum EventKind {
     ShedQueueFull = 12,
     /// Terminal: shed at dispatch (deadline budget expired).
     ShedDeadline = 13,
+    /// Net plane: a frame carrying this request left for a remote shard;
+    /// `arg` carries the frame's payload size in words.
+    FrameSent = 14,
+    /// Net plane: the remote shard's reply frame arrived; `arg` carries
+    /// the frame's payload size in words.
+    FrameReceived = 15,
+    /// Net plane: the remote hop failed and is being retried on a fresh
+    /// connection; `arg` carries the attempt number (1-based).
+    FrameRetried = 16,
+    /// Net plane: a remote hop attempt timed out (or the connection
+    /// died); `arg` carries the attempt number (1-based). Not terminal —
+    /// the request either retries ([`EventKind::FrameRetried`]) or
+    /// surfaces an unavailable outcome through the normal terminal
+    /// events.
+    FrameTimedOut = 17,
 }
 
 impl EventKind {
@@ -94,6 +109,10 @@ impl EventKind {
             11 => EventKind::Failed,
             12 => EventKind::ShedQueueFull,
             13 => EventKind::ShedDeadline,
+            14 => EventKind::FrameSent,
+            15 => EventKind::FrameReceived,
+            16 => EventKind::FrameRetried,
+            17 => EventKind::FrameTimedOut,
             _ => return None,
         })
     }

@@ -25,12 +25,14 @@
 #![warn(missing_docs)]
 
 mod casegen;
+mod mutationgen;
 mod requestgen;
 pub mod rng;
 mod scenarios;
 mod trafficgen;
 
 pub use casegen::CaseGen;
+pub use mutationgen::MutationGen;
 pub use requestgen::{GeneratedArrival, RequestGen};
 pub use scenarios::{fig1_mix, Fig1Scenario, APP_AUTOMOTIVE_ECU, APP_CRUISE, APP_MP3, APP_VIDEO};
 pub use trafficgen::{ClassedArrival, Popularity, TrafficGen};

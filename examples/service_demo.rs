@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .with_shards(2)
             .with_queue_capacity(256)
             .with_deadline_budget_us(QosClass::Low, 2_000),
-    );
+    ).expect("valid service config");
 
     // 2. 100 ms of open-loop Poisson traffic across the four QoS classes
     //    (CRITICAL thin, LOW bulky — the fig. 1 mix writ large).
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let paper_service = AllocationService::new(
         &paper::table1_case_base(),
         &ServiceConfig::default(),
-    );
+    ).expect("valid service config");
     let reply = paper_service
         .submit(paper::table1_request()?, QosClass::High)
         .wait()

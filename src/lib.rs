@@ -47,6 +47,7 @@ pub use rqfa_core as core;
 pub use rqfa_fixed as fixed;
 pub use rqfa_hwsim as hwsim;
 pub use rqfa_memlist as memlist;
+pub use rqfa_net as net;
 pub use rqfa_persist as persist;
 pub use rqfa_rsoc as rsoc;
 pub use rqfa_service as service;

@@ -647,7 +647,7 @@ fn no_policy_changes_what_the_service_answers() {
                     .with_cache_capacity(8)
                     .with_cache_policy(policy)
                     .with_cache_admission(admission),
-            );
+            ).expect("valid service config");
             let tickets: Vec<_> = requests
                 .iter()
                 .map(|r| service.submit(r.clone(), QosClass::Medium))

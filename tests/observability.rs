@@ -42,7 +42,7 @@ fn frozen_manual_clock_zeroes_every_latency() {
             .with_queue_capacity(requests.len() + 1)
             .with_clock(clock)
             .with_trace_capacity(1 << 14),
-    );
+    ).expect("valid service config");
     let tickets: Vec<Ticket> = requests
         .iter()
         .map(|r| service.submit(r.clone(), QosClass::High))
@@ -140,7 +140,7 @@ fn snapshots_are_consistent_at_every_sample_point() {
             .with_shards(2)
             .with_batch_size(4)
             .with_queue_capacity(requests.len() * 4 + 1),
-    ));
+    ).expect("valid service config"));
 
     let submitters: Vec<_> = (0..4)
         .map(|_| {
@@ -198,7 +198,7 @@ fn registry_unifies_service_and_rsoc_sources() {
     let service = AllocationService::new(
         &case_base,
         &ServiceConfig::default().with_queue_capacity(64),
-    );
+    ).expect("valid service config");
     let tickets: Vec<Ticket> = requests
         .iter()
         .map(|r| service.submit(r.clone(), QosClass::Low))
@@ -229,4 +229,98 @@ fn registry_unifies_service_and_rsoc_sources() {
     assert_eq!(value("rsoc/requests"), 12.0);
     assert_eq!(value("rsoc/accepted"), 9.0);
     service.shutdown();
+}
+
+/// 5. Net-plane events ride along without breaking reconciliation — a
+///    remote-backed flow merges the node's pipeline trace with the
+///    client's frame trace under one request id, and every timeline's
+///    stage breakdown *still* sums exactly to the reply's latency (the
+///    non-ladder frame kinds are accounted, never double-counted).
+#[test]
+fn net_plane_events_keep_timelines_telescoping() {
+    use rqfa::core::placement::{NodeId, NodeMap};
+    use rqfa::net::RetryPolicy;
+    use rqfa::service::remote::{ClusterClient, NodeServer, RemoteShard};
+    use rqfa::telemetry::{EventKind, FlightRecorder, TraceDump};
+    use std::time::Duration;
+
+    let clock: SharedClock = Arc::new(ManualClock::new());
+    let case_base = CaseGen::new(6, 5, 4, 6).seed(0x0B62).build();
+    let service = Arc::new(
+        AllocationService::new(
+            &case_base,
+            &ServiceConfig::default()
+                .with_shards(1)
+                .with_cache_capacity(0)
+                .with_trace_capacity(1 << 14)
+                .with_clock(Arc::clone(&clock)),
+        )
+        .expect("valid service config"),
+    );
+    let server = NodeServer::spawn(Arc::clone(&service)).expect("loopback bind");
+    let recorder = Arc::new(FlightRecorder::new(1 << 12));
+    let remote = RemoteShard::tcp(
+        server.addr(),
+        Duration::from_millis(500),
+        RetryPolicy::loopback(),
+    )
+    .with_recorder(Arc::clone(&recorder), Arc::clone(&clock));
+    let mut client = ClusterClient::new(Box::new(NodeMap::new(vec![Some(NodeId::new(0))])), None);
+    client.set_node(NodeId::new(0), remote);
+
+    // Sequential submits against a single node: the cluster's ids and
+    // the node service's internal job ids advance in lockstep from 0, so
+    // the two traces key the same flows by the same id.
+    let requests = RequestGen::new(&case_base).seed(0x0B63).count(40).generate();
+    let replies: Vec<_> = requests
+        .into_iter()
+        .map(|r| client.submit(r, QosClass::Medium))
+        .collect();
+
+    let merged = TraceDump::merge([service.drain_trace(), recorder.drain()]);
+    assert_eq!(merged.dropped, 0, "rings sized to keep every event");
+    let timelines = merged.timelines();
+    for reply in &replies {
+        assert!(
+            matches!(reply.outcome, rqfa::service::Outcome::Allocated { .. }),
+            "request {}: {:?}",
+            reply.id,
+            reply.outcome
+        );
+        let timeline = timelines
+            .iter()
+            .find(|t| t.request_id == reply.id)
+            .expect("every reply has a merged timeline");
+        // The wire is *in* the timeline…
+        let sent = timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::FrameSent)
+            .count();
+        let received = timeline
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::FrameReceived)
+            .count();
+        assert_eq!((sent, received), (1, 1), "request {}: one clean exchange", reply.id);
+        // …and the breakdown still telescopes to the reported latency.
+        let breakdown = timeline
+            .breakdown()
+            .expect("every timeline is terminal");
+        assert_eq!(
+            breakdown.total_us(),
+            reply.latency_us,
+            "request {}: net-plane events must not perturb the stage sum",
+            reply.id
+        );
+    }
+    // A clean loopback never retried or timed out.
+    assert!(
+        !merged
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::FrameRetried | EventKind::FrameTimedOut)),
+        "clean transport shows no retry/timeout events"
+    );
+    server.shutdown();
 }

@@ -49,7 +49,7 @@ fn sharded_retrieval_matches_single_engine() {
         let service = AllocationService::new(
             &case_base,
             &ServiceConfig::default().with_shards(shards),
-        );
+        ).expect("valid service config");
         let tickets: Vec<Ticket> = requests
             .iter()
             .map(|r| service.submit(r.clone(), QosClass::Medium))
@@ -87,7 +87,7 @@ fn sharded_retrieval_matches_single_engine() {
 fn cross_shard_round_robin_workload_completes() {
     let case_base = CaseGen::new(8, 4, 4, 6).seed(3).build();
     let service =
-        AllocationService::new(&case_base, &ServiceConfig::default().with_shards(4));
+        AllocationService::new(&case_base, &ServiceConfig::default().with_shards(4)).expect("valid service config");
     let requests = RequestGen::new(&case_base).seed(9).count(100).generate();
     let tickets: Vec<Ticket> = requests
         .into_iter()
@@ -109,7 +109,7 @@ fn cross_shard_round_robin_workload_completes() {
 #[test]
 fn cache_invalidation_on_case_insertion() {
     let case_base = paper::table1_case_base();
-    let service = AllocationService::new(&case_base, &ServiceConfig::default());
+    let service = AllocationService::new(&case_base, &ServiceConfig::default()).expect("valid service config");
     let request = paper::table1_request().unwrap();
 
     let allocated = |reply: Reply| match reply.outcome {
@@ -162,7 +162,7 @@ fn critical_survives_overload_that_sheds_low() {
         .with_batch_size(4)
         .with_cache_capacity(0) // keep the workers honest (no shortcut)
         .with_deadline_budget_us(QosClass::Low, 1);
-    let service = AllocationService::new(&case_base, &config);
+    let service = AllocationService::new(&case_base, &config).expect("valid service config");
     let requests = RequestGen::new(&case_base)
         .seed(5)
         .count(2_000)
@@ -371,7 +371,7 @@ fn shed_order_is_largest_slack_first_and_deterministic() {
 #[test]
 fn explicit_deadlines_shed_sheddable_but_never_critical() {
     let case_base = paper::table1_case_base();
-    let service = AllocationService::new(&case_base, &ServiceConfig::default());
+    let service = AllocationService::new(&case_base, &ServiceConfig::default()).expect("valid service config");
     let expired = Duration::ZERO;
 
     let low = service
@@ -599,7 +599,7 @@ fn cache_metrics_invariants_hold_end_to_end_for_every_policy() {
                     .with_cache_capacity(64)
                     .with_cache_policy(policy)
                     .with_cache_admission(admission),
-            );
+            ).expect("valid service config");
             let mut cached_replies = [0u64; 4];
             let classes = [
                 QosClass::Critical,
@@ -880,7 +880,7 @@ fn live_coalescing_keeps_replies_and_metrics_consistent() {
             .with_shards(2)
             .with_cache_capacity(0) // hits can only come from coalescing
             .with_queue_capacity(5_000),
-    );
+    ).expect("valid service config");
     let engine = FixedEngine::new();
     let tickets: Vec<(usize, Ticket)> = (0..2_000)
         .map(|i| (i % pool.len(), service.submit(pool[i % pool.len()].clone(), QosClass::Medium)))
