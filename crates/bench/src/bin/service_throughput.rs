@@ -23,6 +23,12 @@
 //!    one class, so the lookup order — and therefore every hit count —
 //!    is a pure function of the trace). Acceptance: on the zipf-skewed
 //!    trace, 2Q's hit rate is at least FIFO's.
+//! 5. **Arbiter-mode sweep**: the same saturating deadline-skewed trace
+//!    through all four [`ArbiterMode`]s on the *live* service. Wall-clock
+//!    timing makes the per-mode numbers indicative rather than gated (the
+//!    deterministic mode A/B lives in `service_trace`), so the assertions
+//!    here are structural: every request is accounted for and CRITICAL
+//!    never sheds under any mode.
 //!
 //! `cargo run --release -p rqfa-bench --bin service_throughput [-- --json <path>]`
 //!
@@ -35,7 +41,7 @@ use std::time::{Duration, Instant};
 use rqfa_bench::json::BenchReport;
 use rqfa_core::{CaseBase, FixedEngine, QosClass, Request};
 use rqfa_service::{
-    AllocationService, CachePolicy, MetricsSnapshot, SchedMode, ServiceConfig, Ticket,
+    AllocationService, ArbiterMode, CachePolicy, MetricsSnapshot, SchedMode, ServiceConfig, Ticket,
 };
 use rqfa_workloads::{CaseGen, ClassedArrival, Popularity, RequestGen, TrafficGen};
 
@@ -112,6 +118,7 @@ fn main() {
     open_loop_qos(&case_base);
     edf_vs_fifo(&case_base, &mut report);
     cache_policy_ab(&case_base, &mut report);
+    arbiter_mode_sweep(&case_base);
 
     if let Some(path) = json_path {
         report
@@ -376,6 +383,78 @@ fn cache_policy_ab(case_base: &CaseBase, report: &mut BenchReport) {
             println!("zipf verdict: 2Q hits ({two_q_hits}) >= FIFO hits ({fifo_hits}) ✓");
         }
     }
+}
+
+/// The saturating deadline-skewed trace through all four arbiter modes
+/// on the live service.
+///
+/// Real wall-clock dispatch makes per-mode counts indicative only — the
+/// deterministic, gated mode comparison is `service_trace`'s A/B. What
+/// this sweep pins is that every mode runs the real threaded pipeline
+/// end to end: all submissions are accounted for (completed + shed +
+/// failed), and CRITICAL never sheds regardless of arbitration policy.
+fn arbiter_mode_sweep(case_base: &CaseBase) {
+    println!("\narbiter-mode sweep (live service, same saturating trace, 1 shard):");
+    let arrivals = TrafficGen::saturating_skewed(case_base)
+        .seed(0xA9B)
+        .duration_us(200_000)
+        .generate();
+    println!("trace: {} arrivals over 200 ms (~20k req/s)", arrivals.len());
+    println!(
+        "{:<20} {:<9} {:>9} {:>9} {:>6} {:>10}",
+        "mode", "class", "submitted", "completed", "shed", "p99 µs"
+    );
+    for mode in ArbiterMode::ALL {
+        let config = ServiceConfig::default()
+            .with_shards(1)
+            .with_queue_capacity(128)
+            .with_batch_size(8)
+            .with_scheduling(SchedMode::Edf)
+            .with_arbiter_mode(mode)
+            .with_promotion_margin_us(2_000);
+        let service = AllocationService::new(case_base, &config).expect("valid service config");
+        let start = Instant::now();
+        for arrival in &arrivals {
+            while (start.elapsed().as_micros() as u64) < arrival.at_us {
+                std::hint::spin_loop();
+            }
+            let ClassedArrival { class, deadline_us, request, .. } = arrival;
+            let _ = match deadline_us {
+                Some(us) => service.submit_with_deadline(
+                    request.clone(),
+                    *class,
+                    Duration::from_micros(*us),
+                ),
+                None => service.submit(request.clone(), *class),
+            };
+        }
+        let snap = service.shutdown();
+        for class in QosClass::ALL {
+            let c = snap.class(class);
+            println!(
+                "{:<20} {:<9} {:>9} {:>9} {:>6} {:>10}",
+                mode.label(),
+                class.to_string(),
+                c.submitted,
+                c.completed,
+                c.shed(),
+                c.p99_us,
+            );
+            assert_eq!(
+                c.submitted,
+                c.completed + c.shed() + c.failed,
+                "{}/{class}: every submission must be accounted for",
+                mode.label()
+            );
+        }
+        assert_eq!(
+            snap.class(QosClass::Critical).shed(),
+            0,
+            "{}: CRITICAL must never shed",
+            mode.label()
+        );
+    }
+    println!("verdict: all modes account for every submission, CRITICAL sheds 0 ✓");
 }
 
 fn per_sec(n: usize, secs: f64) -> f64 {

@@ -129,14 +129,24 @@ impl RetryPolicy {
         }
     }
 
+    /// Hard ceiling on any single backoff pause. Doubling from any
+    /// `base_backoff` clamps here instead of growing without bound — a
+    /// retry loop must degrade one request, not park a caller for hours.
+    pub const MAX_BACKOFF: Duration = Duration::from_secs(30);
+
     /// The pause before 0-based attempt `attempt` (zero before the
-    /// first).
+    /// first), clamped to [`RetryPolicy::MAX_BACKOFF`].
     pub fn backoff(&self, attempt: u32) -> Duration {
         if attempt == 0 {
             Duration::ZERO
         } else {
-            // Saturate the shift so a large attempt count cannot panic.
-            self.base_backoff * 2u32.saturating_pow(attempt.min(16) - 1)
+            // Saturate both the doubling factor and the multiply: a
+            // large configured `base_backoff` used to hit the panicking
+            // `Duration * u32` overflow around attempt 16; now it pins
+            // to the cap instead.
+            self.base_backoff
+                .saturating_mul(2u32.saturating_pow(attempt.min(16) - 1))
+                .min(RetryPolicy::MAX_BACKOFF)
         }
     }
 }
@@ -219,5 +229,27 @@ mod tests {
         assert_eq!(policy.backoff(2), Duration::from_millis(2));
         assert_eq!(policy.backoff(3), Duration::from_millis(4));
         let _ = policy.backoff(u32::MAX);
+    }
+
+    #[test]
+    fn backoff_saturates_instead_of_overflowing() {
+        // Regression: `Duration * u32` panics on overflow, so a large
+        // configured base_backoff blew up at attempt 16 (factor 2^15).
+        // The saturating multiply must clamp to MAX_BACKOFF instead.
+        let policy = RetryPolicy {
+            attempts: 32,
+            base_backoff: Duration::from_secs(u64::MAX / 1_000),
+        };
+        for attempt in [15, 16, 17, 31, u32::MAX] {
+            assert_eq!(policy.backoff(attempt), RetryPolicy::MAX_BACKOFF);
+        }
+        // A sane base still doubles below the cap and clamps above it.
+        let sane = RetryPolicy {
+            attempts: 32,
+            base_backoff: Duration::from_secs(1),
+        };
+        assert_eq!(sane.backoff(5), Duration::from_secs(16));
+        assert_eq!(sane.backoff(6), RetryPolicy::MAX_BACKOFF);
+        assert_eq!(sane.backoff(16), RetryPolicy::MAX_BACKOFF);
     }
 }

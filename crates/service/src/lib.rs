@@ -98,7 +98,7 @@ pub use rqfa_cache::{CachePolicy, CacheStats};
 pub use rqfa_telemetry::{
     Clock, ManualClock, MonotonicClock, RequestTimeline, SharedClock, StageBreakdown, TraceDump,
 };
-pub use sched::{Pick, SchedMode, WeightedArbiter};
+pub use sched::{ArbiterMode, Pick, SchedMode, ServiceTimeEstimator, WeightedArbiter};
 
 /// First line of the durable-state manifest file.
 const MANIFEST_HEADER: &str = "rqfa-durable-service v1";
@@ -143,6 +143,12 @@ pub struct ServiceConfig {
     /// How jobs are ordered within a class lane: earliest-deadline-first
     /// (default) or strict arrival order (the A/B baseline).
     pub scheduling: SchedMode,
+    /// Which arbitration policy decides the next lane each batch slot is
+    /// drawn from: strict priority, credit WRR with bounded slack
+    /// promotion (default), dynamic priority under measured urgency
+    /// margins, or sliding-window fair-share bandwidth regulation. See
+    /// [`ArbiterMode`] and `docs/scheduling.md`.
+    pub arbiter_mode: ArbiterMode,
     /// A lane head within this many µs of its effective deadline is
     /// *urgent*: the scheduler may serve it ahead of the weighted order
     /// (bounded by [`ServiceConfig::promotions_per_round`]). `0` promotes
@@ -198,6 +204,7 @@ impl Default for ServiceConfig {
             cache_admission: false,
             deadline_budget_us: [None; QosClass::COUNT],
             scheduling: SchedMode::Edf,
+            arbiter_mode: ArbiterMode::WeightedRoundRobin,
             promotion_margin_us: 0,
             promotions_per_round: WeightedArbiter::DEFAULT_PROMOTIONS,
             class_weights: QosClass::ALL.map(QosClass::weight),
@@ -260,6 +267,12 @@ impl ServiceConfig {
         self
     }
 
+    /// Selects the cross-lane arbitration policy (see [`ArbiterMode`]).
+    pub fn with_arbiter_mode(mut self, mode: ArbiterMode) -> ServiceConfig {
+        self.arbiter_mode = mode;
+        self
+    }
+
     /// Sets the slack margin (µs) under which a lane head is promoted.
     pub fn with_promotion_margin_us(mut self, margin_us: u64) -> ServiceConfig {
         self.promotion_margin_us = margin_us;
@@ -303,6 +316,7 @@ impl ServiceConfig {
     pub(crate) fn arbiter(&self) -> WeightedArbiter {
         WeightedArbiter::with_weights(self.class_weights)
             .with_promotions(self.promotions_per_round)
+            .with_mode(self.arbiter_mode)
     }
 }
 

@@ -26,7 +26,7 @@ use core::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use rqfa_core::{OpCounts, QosClass};
-use rqfa_telemetry::{ratio, MetricSource, Sample};
+use rqfa_telemetry::{ratio, Gauge, MetricSource, Sample};
 
 /// The shared power-of-two latency histogram (µs). Bucket 0 holds
 /// exactly 0 µs and reports 0 — not 1 — as its quantile upper bound.
@@ -58,6 +58,12 @@ pub struct ClassMetrics {
     /// Dispatches where deadline urgency promoted this class's lane head
     /// ahead of the weighted round-robin order.
     pub promoted: AtomicU64,
+    /// Arbiter grants: every batch slot drawn from this class's lane,
+    /// whatever the [`ArbiterMode`](crate::ArbiterMode). The measured
+    /// *served share* — what FAIR_SHARE regulates — is this class's
+    /// picks over the total across classes
+    /// ([`ClassSnapshot::served_share`]).
+    pub picks: AtomicU64,
     /// Requests that completed *after* their effective deadline (served,
     /// but late — the p99-vs-budget signal the EDF scheduler minimizes).
     pub missed_deadline: AtomicU64,
@@ -152,6 +158,10 @@ pub struct ServiceMetrics {
     pub batched_requests: AtomicU64,
     /// Kernel effort aggregated over every scored batch.
     pub ops: OpsMetrics,
+    /// The urgency margin (µs) the scheduler last arbitrated with —
+    /// fixed in WRR, measured (2 × EWMA batch service time) under
+    /// DYNAMIC_PRIORITY. Last-writer-wins across shards.
+    pub sched_margin_us: Gauge,
     /// The batch-commit gate (see the module docs).
     gate: Mutex<()>,
 }
@@ -196,6 +206,7 @@ impl ServiceMetrics {
                 cache_stale: m.cache_stale.load(Ordering::Relaxed),
                 failed: m.failed.load(Ordering::Relaxed),
                 promoted: m.promoted.load(Ordering::Relaxed),
+                picks: m.picks.load(Ordering::Relaxed),
                 missed_deadline: m.missed_deadline.load(Ordering::Relaxed),
                 p50_us: m.latency.quantile(0.50),
                 p99_us: m.latency.quantile(0.99),
@@ -206,6 +217,7 @@ impl ServiceMetrics {
             batches: self.batches.load(Ordering::Relaxed),
             batched_requests: self.batched_requests.load(Ordering::Relaxed),
             ops: self.ops.snapshot(),
+            sched_margin_us: self.sched_margin_us.get(),
         }
     }
 }
@@ -239,6 +251,8 @@ pub struct ClassSnapshot {
     pub failed: u64,
     /// Dispatches promoted by deadline urgency.
     pub promoted: u64,
+    /// Arbiter grants: batch slots drawn from this class's lane.
+    pub picks: u64,
     /// Requests served after their effective deadline expired.
     pub missed_deadline: u64,
     /// Median end-to-end latency (bucket upper bound), µs.
@@ -266,6 +280,13 @@ impl ClassSnapshot {
     pub fn cache_lookups(&self) -> u64 {
         self.cache_hits + self.cache_misses
     }
+
+    /// This class's measured share of all arbiter grants, in `[0, 1]`
+    /// (`picks / total_picks`) — the quantity FAIR_SHARE regulates
+    /// toward `weight / Σ weights`.
+    pub fn served_share(&self, total_picks: u64) -> f64 {
+        ratio(self.picks, total_picks)
+    }
 }
 
 /// Point-in-time counters of the whole service.
@@ -279,6 +300,9 @@ pub struct MetricsSnapshot {
     pub batched_requests: u64,
     /// Kernel effort aggregated over every scored batch.
     pub ops: OpCounts,
+    /// The scheduler's urgency margin at snapshot time, µs (see
+    /// [`ServiceMetrics::sched_margin_us`]).
+    pub sched_margin_us: u64,
 }
 
 impl MetricsSnapshot {
@@ -302,11 +326,17 @@ impl MetricsSnapshot {
         ratio(self.batched_requests, self.batches)
     }
 
+    /// Total arbiter grants across classes.
+    pub fn picks(&self) -> u64 {
+        self.classes.iter().map(|c| c.picks).sum()
+    }
+
     /// Flattens the snapshot into registry samples: per-class counters
     /// under `<class>/`, service-wide batch and kernel-effort counters at
     /// the top level. These are exactly the names the `service_trace`
-    /// trajectory (`BENCH_6.json`) publishes.
+    /// trajectory (`BENCH_9.json`) publishes.
     pub fn collect(&self, out: &mut Vec<Sample>) {
+        let total_picks = self.picks();
         for c in &self.classes {
             let class = c.class.to_string();
             out.push(Sample::count(format!("{class}/submitted"), c.submitted));
@@ -318,6 +348,11 @@ impl MetricsSnapshot {
             out.push(Sample::count(format!("{class}/cache_stale"), c.cache_stale));
             out.push(Sample::count(format!("{class}/failed"), c.failed));
             out.push(Sample::count(format!("{class}/promoted"), c.promoted));
+            out.push(Sample::count(format!("{class}/picks"), c.picks));
+            out.push(Sample::ratio(
+                format!("{class}/served_share"),
+                c.served_share(total_picks),
+            ));
             out.push(Sample::count(format!("{class}/missed_deadline"), c.missed_deadline));
             out.push(Sample::ratio(format!("{class}/hit_rate"), c.hit_rate()));
             out.push(Sample::us(format!("{class}/p50"), c.p50_us));
@@ -326,6 +361,7 @@ impl MetricsSnapshot {
         out.push(Sample::count("batches", self.batches));
         out.push(Sample::count("batched_requests", self.batched_requests));
         out.push(Sample::new("mean_batch_len", "ratio", self.mean_batch_len()));
+        out.push(Sample::us("sched/margin_us", self.sched_margin_us));
         out.push(Sample::count("ops/search_steps", self.ops.search_steps));
         out.push(Sample::count("ops/distances", self.ops.distances));
         out.push(Sample::count("ops/multiplies", self.ops.multiplies));

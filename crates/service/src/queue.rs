@@ -46,7 +46,7 @@ use rqfa_core::QosClass;
 use rqfa_telemetry::{clock::micros_between, monotonic, EventKind, FlightRecorder, SharedClock};
 
 use crate::metrics::ServiceMetrics;
-use crate::sched::{SchedMode, WeightedArbiter};
+use crate::sched::{ArbiterMode, SchedMode, ServiceTimeEstimator, WeightedArbiter};
 use crate::Job;
 
 /// A lane's sort key: explicit instants order chronologically, and the
@@ -95,13 +95,18 @@ impl Inner {
         ]
     }
 
-    /// Which lane heads are within `margin` of their effective deadline.
+    /// Which lane heads are within `margin` of their effective deadline
+    /// *and still viable*. An already-expired head is deliberately not
+    /// urgent: promoting it spends rescue bandwidth on a job that sheds
+    /// at dispatch anyway — it drains at the lane's weighted rate
+    /// instead.
     fn urgent(&self, now: Instant, margin: Duration) -> [bool; QosClass::COUNT] {
         let mut urgent = [false; QosClass::COUNT];
         for (i, lane) in self.lanes.iter().enumerate() {
             if let Some((_, head)) = lane.first_key_value() {
                 if let Some(deadline) = head.deadline {
-                    urgent[i] = deadline.saturating_duration_since(now) <= margin;
+                    urgent[i] =
+                        now <= deadline && deadline.saturating_duration_since(now) <= margin;
                 }
             }
         }
@@ -125,6 +130,10 @@ pub struct ClassQueue {
     recorder: Option<Arc<FlightRecorder>>,
     /// Zero point of trace timestamps.
     epoch: Instant,
+    /// Measured batch-service-time estimator shared with the shard
+    /// worker (`None` = no measurement: fixed margins, no deadline-aware
+    /// batch composition).
+    estimator: Option<Arc<ServiceTimeEstimator>>,
 }
 
 impl ClassQueue {
@@ -159,6 +168,7 @@ impl ClassQueue {
             clock,
             recorder: None,
             epoch,
+            estimator: None,
         }
     }
 
@@ -174,6 +184,18 @@ impl ClassQueue {
         self.clock = clock;
         self.recorder = recorder;
         self.epoch = epoch;
+        self
+    }
+
+    /// Attaches the shard's measured service-time estimator. With it the
+    /// queue (in EDF mode) sizes the [`ArbiterMode::DynamicPriority`]
+    /// urgency margin from live measurement
+    /// ([`ServiceTimeEstimator::margin_us`], falling back to the
+    /// configured fixed margin while cold) and stops filling a batch
+    /// when the estimator predicts the next pick would make an
+    /// already-picked job miss its effective deadline.
+    pub fn with_estimator(mut self, estimator: Arc<ServiceTimeEstimator>) -> ClassQueue {
+        self.estimator = Some(estimator);
         self
     }
 
@@ -240,14 +262,51 @@ impl ClassQueue {
             }
             inner = self.available.wait(inner).expect("queue poisoned");
         }
-        let now = self.clock.now();
-        let at_us = micros_between(self.epoch, now);
+        // DYNAMIC_PRIORITY sizes the urgency margin from measurement;
+        // every other mode keeps the configured fixed margin. The
+        // estimator is written only by this shard's worker — the thread
+        // running this very loop — so both reads are stable across the
+        // whole fill.
+        let margin = match (&self.estimator, inner.arbiter.mode()) {
+            (Some(est), ArbiterMode::DynamicPriority) => Duration::from_micros(
+                est.margin_us(self.promotion_margin.as_micros() as u64),
+            ),
+            _ => self.promotion_margin,
+        };
+        self.metrics.sched_margin_us.set(margin.as_micros() as u64);
+        let per_job_us = self
+            .estimator
+            .as_deref()
+            .map_or(0, ServiceTimeEstimator::per_job_us);
+        // Tightest effective deadline among jobs already picked — the
+        // deadline-aware composition bound.
+        let mut tightest: Option<Instant> = None;
         let mut batch = Vec::with_capacity(max.min(inner.len));
         while batch.len() < max {
+            // Re-stamp every pick: under a real clock the urgency flags
+            // and `Scheduled` trace stamps must not go stale across a
+            // long batch. A frozen manual clock returns the same instant
+            // each read, so deterministic replays are unaffected.
+            let now = self.clock.now();
+            let at_us = micros_between(self.epoch, now);
+            if self.mode == SchedMode::Edf && per_job_us > 0 {
+                if let Some(tight) = tightest {
+                    // Stop filling when the estimator says one more pick
+                    // would turn an already-picked job from meeting its
+                    // deadline into missing it. An already-late batch
+                    // keeps filling — stopping cannot unmiss it.
+                    let len = batch.len() as u64;
+                    let finish = now + Duration::from_micros(per_job_us * len);
+                    let next = now + Duration::from_micros(per_job_us * (len + 1));
+                    if finish <= tight && next > tight {
+                        break;
+                    }
+                }
+            }
             let Some(pick) = ({
                 let backlogged = inner.backlogged();
                 let urgent = match self.mode {
-                    SchedMode::Edf => inner.urgent(now, self.promotion_margin),
+                    SchedMode::Edf => inner.urgent(now, margin),
                     SchedMode::Fifo => [false; QosClass::COUNT],
                 };
                 inner.arbiter.pick_urgent(backlogged, urgent)
@@ -257,11 +316,10 @@ impl ClassQueue {
             let (_, job) = inner.lanes[pick.class.index()]
                 .pop_first()
                 .expect("arbiter picked a backlogged lane");
+            let class_metrics = self.metrics.class(pick.class);
+            class_metrics.picks.fetch_add(1, Ordering::Relaxed);
             if pick.promoted {
-                self.metrics
-                    .class(pick.class)
-                    .promoted
-                    .fetch_add(1, Ordering::Relaxed);
+                class_metrics.promoted.fetch_add(1, Ordering::Relaxed);
             }
             if let Some(recorder) = &self.recorder {
                 recorder.record(
@@ -271,6 +329,11 @@ impl ClassQueue {
                     EventKind::Scheduled,
                     u64::from(pick.promoted),
                 );
+            }
+            if self.mode == SchedMode::Edf {
+                if let Some(deadline) = job.deadline {
+                    tightest = Some(tightest.map_or(deadline, |t| t.min(deadline)));
+                }
             }
             inner.len -= 1;
             batch.push(job);
@@ -522,6 +585,161 @@ mod tests {
                 assert_eq!(order, expected, "mode {mode:?}, seed {seed}");
             }
         }
+    }
+
+    /// A clock that jumps forward one fixed step on every read — makes
+    /// the per-pick clock re-read in `pop_batch` observable.
+    #[derive(Debug)]
+    struct TickingClock {
+        base: Instant,
+        step_us: u64,
+        reads: std::sync::atomic::AtomicU64,
+    }
+
+    impl rqfa_telemetry::Clock for TickingClock {
+        fn now(&self) -> Instant {
+            let n = self.reads.fetch_add(1, Ordering::SeqCst);
+            self.base + Duration::from_micros(self.step_us * n)
+        }
+    }
+
+    #[test]
+    fn scheduled_stamps_re_read_the_clock_per_pick() {
+        // Regression: `pop_batch` used to read the clock once before the
+        // fill loop, so every `Scheduled` event in a batch carried the
+        // same stamp (and urgency went stale) under an advancing clock.
+        let clock: SharedClock = Arc::new(TickingClock {
+            base: Instant::now(),
+            step_us: 10,
+            reads: std::sync::atomic::AtomicU64::new(0),
+        });
+        let epoch = clock.now();
+        let recorder = Arc::new(FlightRecorder::new(64));
+        let q = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), Some(Arc::clone(&recorder)), epoch);
+        for id in 0..4 {
+            push_ok(&q, job(id, QosClass::High));
+        }
+        assert_eq!(q.pop_batch(4).unwrap().len(), 4);
+        let stamps: Vec<u64> = recorder
+            .drain()
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Scheduled)
+            .map(|e| e.at_us)
+            .collect();
+        assert_eq!(stamps.len(), 4);
+        for pair in stamps.windows(2) {
+            assert!(pair[1] > pair[0], "each pick re-reads the clock: {stamps:?}");
+        }
+    }
+
+    #[test]
+    fn expired_heads_are_not_urgent() {
+        // Regression: an already-expired lane head used to flag its lane
+        // urgent (slack saturates to zero ≤ margin), so promotions spent
+        // rescue bandwidth on jobs that shed at dispatch anyway. An
+        // expired head must drain at the lane's weighted rate; a viable
+        // head inside the margin must still be promoted.
+        let manual = Arc::new(rqfa_telemetry::ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = clock.now();
+        let metrics = Arc::new(ServiceMetrics::default());
+        let q = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            1_000,
+            Arc::clone(&metrics),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base);
+        push_ok(&q, deadline_job(0, QosClass::Low, base, 100));
+        for id in 1..4 {
+            push_ok(&q, job(id, QosClass::Critical));
+        }
+        manual.advance_us(200); // LOW's head is now 100 µs past its deadline
+        let first = q.pop_batch(1).unwrap();
+        assert_eq!(first[0].class, QosClass::Critical, "expired head attracts no promotion");
+        assert_eq!(metrics.class(QosClass::Low).promoted.load(Ordering::Relaxed), 0);
+        // Control: the same shape with a still-viable head inside the
+        // margin is promoted ahead of CRITICAL as before.
+        let metrics2 = Arc::new(ServiceMetrics::default());
+        let q2 = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            1_000,
+            Arc::clone(&metrics2),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base);
+        push_ok(&q2, deadline_job(10, QosClass::Low, clock.now(), 500));
+        for id in 11..14 {
+            push_ok(&q2, job(id, QosClass::Critical));
+        }
+        let next = q2.pop_batch(1).unwrap();
+        assert_eq!(next[0].id, 10, "viable head inside the margin jumps the order");
+        assert_eq!(metrics2.class(QosClass::Low).promoted.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn estimator_caps_the_batch_at_the_tightest_picked_deadline() {
+        // 50 µs estimated per job against a 100 µs deadline: two picks
+        // fit, a third would turn job 0 from meeting its deadline into
+        // missing it, so the fill stops at 2 of max 8.
+        let manual = Arc::new(rqfa_telemetry::ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = clock.now();
+        let estimator = Arc::new(ServiceTimeEstimator::new());
+        estimator.observe(100, 2);
+        let q = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base)
+        .with_estimator(estimator);
+        push_ok(&q, deadline_job(0, QosClass::High, base, 100));
+        for id in 1..8 {
+            push_ok(&q, job(id, QosClass::High));
+        }
+        let batch = q.pop_batch(8).unwrap();
+        assert_eq!(batch.len(), 2, "fill stops before an estimated miss");
+        assert_eq!(batch[0].id, 0);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn an_already_late_batch_keeps_filling() {
+        // 100 µs estimated per job against a 50 µs deadline: job 0 is
+        // late after its own service time alone. Capping the batch
+        // cannot unmiss it, so the fill must keep going to max.
+        let manual = Arc::new(rqfa_telemetry::ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = clock.now();
+        let estimator = Arc::new(ServiceTimeEstimator::new());
+        estimator.observe(100, 1);
+        let q = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base)
+        .with_estimator(estimator);
+        push_ok(&q, deadline_job(0, QosClass::High, base, 50));
+        for id in 1..8 {
+            push_ok(&q, job(id, QosClass::High));
+        }
+        assert_eq!(q.pop_batch(8).unwrap().len(), 8);
     }
 
     #[test]

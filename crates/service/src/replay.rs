@@ -38,6 +38,7 @@ use rqfa_telemetry::{EventKind, FlightRecorder, ManualClock, SharedClock, TraceD
 use crate::cache::RetrievalCache;
 use crate::metrics::ServiceMetrics;
 use crate::queue::{Admission, ClassQueue};
+use crate::sched::ServiceTimeEstimator;
 use crate::shard::{self, ShardStore, WorkerContext};
 use crate::{Job, MetricsSnapshot, Outcome, Reply, ServiceConfig};
 
@@ -93,11 +94,14 @@ pub struct TraceReport {
     pub trace: TraceDump,
 }
 
-/// One replayed shard: real queue, real worker context, a free-at stamp.
+/// One replayed shard: real queue, real worker context, a free-at stamp,
+/// and the shard's service-time estimator (fed from the cost model, so
+/// the adaptive scheduler modes close their loop deterministically).
 struct ReplayShard {
     queue: ClassQueue,
     store: ShardStore,
     ctx: WorkerContext,
+    estimator: Arc<ServiceTimeEstimator>,
     free_at_us: u64,
 }
 
@@ -142,6 +146,7 @@ impl TraceDriver {
                     Some(cb) => ShardStore::Ephemeral(cb),
                     None => ShardStore::Empty,
                 };
+                let estimator = Arc::new(ServiceTimeEstimator::new());
                 let queue = ClassQueue::new(
                     self.config.queue_capacity,
                     self.config.arbiter(),
@@ -149,7 +154,8 @@ impl TraceDriver {
                     self.config.promotion_margin_us,
                     Arc::clone(&metrics),
                 )
-                .with_telemetry(Arc::clone(&shared), Some(Arc::clone(&recorder)), epoch);
+                .with_telemetry(Arc::clone(&shared), Some(Arc::clone(&recorder)), epoch)
+                .with_estimator(Arc::clone(&estimator));
                 let cache = RetrievalCache::with_policy(
                     self.config.cache_capacity,
                     self.config.cache_policy,
@@ -162,6 +168,7 @@ impl TraceDriver {
                     queue,
                     store,
                     ctx,
+                    estimator,
                     free_at_us: 0,
                 }
             })
@@ -212,7 +219,13 @@ impl TraceDriver {
                     .expect("backlogged queue yields a batch");
                 let served = batch.len();
                 shard::process_batch(batch, &shard.store, &metrics, &mut shard.ctx);
-                shard.free_at_us = t + self.cost.batch_us(served);
+                let batch_us = self.cost.batch_us(served);
+                // The live worker measures elapsed wall time around the
+                // batch; here the cost model *is* the truth, so the
+                // estimator sees exactly what the event loop charges —
+                // the adaptive modes replay bit-identically.
+                shard.estimator.observe(batch_us, served);
+                shard.free_at_us = t + batch_us;
             }
         }
 
@@ -325,6 +338,27 @@ mod tests {
         assert_eq!(a.replies, b.replies);
         assert_eq!(a.metrics, b.metrics);
         assert_eq!(a.trace.events.len(), b.trace.events.len());
+    }
+
+    #[test]
+    fn every_arbiter_mode_replays_bit_identically() {
+        // The adaptive modes close their feedback loop through the
+        // estimator; fed from the cost model it is as deterministic as
+        // the event loop itself, so replays stay bit-identical.
+        let cb = paper::table1_case_base();
+        for mode in crate::sched::ArbiterMode::ALL {
+            let config = ServiceConfig::default()
+                .with_shards(2)
+                .with_batch_size(4)
+                .with_arbiter_mode(mode);
+            let driver = TraceDriver::new(&cb, &config, CostModel::default());
+            let trace = arrivals(96, 20);
+            let a = driver.run(&trace);
+            let b = driver.run(&trace);
+            assert_eq!(a.replies, b.replies, "{mode:?}");
+            assert_eq!(a.metrics, b.metrics, "{mode:?}");
+            assert_eq!(a.trace.events.len(), b.trace.events.len(), "{mode:?}");
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ use crate::cache::{CacheLookup, RetrievalCache};
 use crate::error::ServiceError;
 use crate::metrics::{BatchDeltas, ServiceMetrics};
 use crate::queue::ClassQueue;
+use crate::sched::ServiceTimeEstimator;
 use crate::{Job, Outcome, Reply, ServiceConfig};
 
 /// Routes a function type to its owning shard — the service's placement
@@ -214,6 +215,10 @@ impl Shard {
         };
         let recorder = (config.trace_capacity > 0)
             .then(|| Arc::new(FlightRecorder::new(config.trace_capacity)));
+        // The measured service-time signal: the worker writes what each
+        // batch actually cost, the queue reads it to size DYNAMIC_PRIORITY
+        // urgency margins and stop deadline-breaking batch fill.
+        let estimator = Arc::new(ServiceTimeEstimator::new());
         let queue = Arc::new(
             ClassQueue::new(
                 config.queue_capacity,
@@ -222,7 +227,8 @@ impl Shard {
                 config.promotion_margin_us,
                 Arc::clone(&metrics),
             )
-            .with_telemetry(Arc::clone(&config.clock), recorder.clone(), epoch),
+            .with_telemetry(Arc::clone(&config.clock), recorder.clone(), epoch)
+            .with_estimator(Arc::clone(&estimator)),
         );
         let store = Arc::new(Mutex::new(store));
         let worker_queue = Arc::clone(&queue);
@@ -239,7 +245,14 @@ impl Shard {
         let worker = std::thread::Builder::new()
             .name(format!("rqfa-shard-{index}"))
             .spawn(move || {
-                run_worker(&worker_queue, &worker_store, &metrics, batch_size, ctx);
+                run_worker(
+                    &worker_queue,
+                    &worker_store,
+                    &metrics,
+                    batch_size,
+                    ctx,
+                    &estimator,
+                );
             })
             .expect("spawn shard worker");
         Shard {
@@ -464,20 +477,31 @@ impl WorkerContext {
     }
 }
 
-/// The worker loop: pop a batch, process it against the (locked) store.
+/// The worker loop: pop a batch, process it against the (locked) store,
+/// and feed the measured service time (store-lock wait included — it is
+/// part of what the next lane head will wait out) back to the
+/// scheduler's estimator. Under a frozen [`ManualClock`]
+/// (`rqfa_telemetry::ManualClock`) every measurement is 0, so the
+/// estimator stays cold and the scheduler keeps its configured margins —
+/// deterministic tests see the historical behaviour.
 fn run_worker(
     queue: &ClassQueue,
     store: &Mutex<ShardStore>,
     metrics: &ServiceMetrics,
     batch_size: usize,
     mut ctx: WorkerContext,
+    estimator: &ServiceTimeEstimator,
 ) {
     while let Some(batch) = queue.pop_batch(batch_size) {
         if batch.is_empty() {
             continue;
         }
+        let served = batch.len();
+        let started = ctx.clock.now();
         let store = store.lock().expect("store poisoned");
         process_batch(batch, &store, metrics, &mut ctx);
+        drop(store);
+        estimator.observe(micros_between(started, ctx.clock.now()), served);
     }
 }
 

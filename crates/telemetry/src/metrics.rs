@@ -67,11 +67,14 @@ pub const HISTOGRAM_BUCKETS: usize = 32;
 /// (the workspace uses it for microsecond latencies and batch-occupancy
 /// counts).
 ///
-/// Quantiles report the *upper bound* of the bucket containing the
-/// requested rank, keeping the estimate conservative: the true quantile
-/// is never above the reported value. Bucket 0 holds exactly the value 0,
-/// so its upper bound is 0 — not 1 (a historical off-by-one this type
-/// fixes; the unit test pins it).
+/// Quantiles report the *inclusive upper bound* of the bucket containing
+/// the requested rank, keeping the estimate conservative: the true
+/// quantile is never above the reported value. Bucket `i ≥ 1` holds
+/// `[2^(i-1), 2^i)`, so its largest attainable value — and therefore the
+/// reported bound — is `2^i - 1`, not `2^i` (which lies outside the
+/// bucket; a unit test pins this). Bucket 0 holds exactly the value 0,
+/// so its upper bound is 0 — not 1 (the same historical off-by-one,
+/// pinned separately).
 #[derive(Debug, Default)]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
@@ -107,11 +110,13 @@ impl Histogram {
         for (i, bucket) in self.buckets.iter().enumerate() {
             seen += bucket.load(Ordering::Relaxed);
             if seen >= rank {
-                // Bucket 0 holds exactly 0, so its upper bound is 0.
-                return if i == 0 { 0 } else { 1u64 << i };
+                // Bucket 0 holds exactly 0, so its upper bound is 0;
+                // bucket i ≥ 1 holds [2^(i-1), 2^i), whose largest
+                // *attainable* value is 2^i - 1 (2^i is outside it).
+                return if i == 0 { 0 } else { (1u64 << i) - 1 };
             }
         }
-        1u64 << (HISTOGRAM_BUCKETS - 1)
+        (1u64 << (HISTOGRAM_BUCKETS - 1)) - 1
     }
 }
 
@@ -173,6 +178,25 @@ mod tests {
         h.record(1000);
         assert_eq!(h.quantile(0.5), 0);
         assert!(h.quantile(1.0) >= 1000);
+    }
+
+    #[test]
+    fn quantile_bound_is_attainable_within_its_bucket() {
+        // Regression: bucket i ≥ 1 holds [2^(i-1), 2^i) but quantile
+        // used to report 2^i — a value *outside* the bucket. The bound
+        // must be the bucket's largest attainable value, 2^i - 1.
+        for value in [1u64, 2, 3, 5, 100, 4096] {
+            let h = Histogram::new();
+            h.record(value);
+            let bound = h.quantile(0.5);
+            let bucket = (64 - value.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1);
+            assert_eq!(bound, (1u64 << bucket) - 1, "value {value}");
+            assert!(bound >= value, "conservative: bound {bound} < {value}");
+        }
+        // The smallest non-zero observation reports exactly itself.
+        let h = Histogram::new();
+        h.record(1);
+        assert_eq!(h.quantile(1.0), 1, "bucket 1 holds only the value 1");
     }
 
     #[test]

@@ -101,6 +101,28 @@ impl<'a> TrafficGen<'a> {
         })
     }
 
+    /// A saturating deadline-skewed zipf mix over `case_base`: the shared
+    /// zipf payload pool of [`TrafficGen::zipf_skewed`], the per-class
+    /// deadline skew of [`TrafficGen::deadline_skewed`], and arrival
+    /// rates pushed well past the service rate so **every class stays
+    /// backlogged** for essentially the whole stream. Under saturation
+    /// the arbiter — not the arrival process — decides who is served,
+    /// which is exactly the regime where the four
+    /// `ArbiterMode`s separate measurably: this is the trace the
+    /// arbiter-mode A/B in `service_trace` and `service_throughput`
+    /// replays. CRITICAL stays deadline-free, as in
+    /// [`TrafficGen::deadline_skewed`].
+    pub fn saturating_skewed(case_base: &'a CaseBase) -> TrafficGen<'a> {
+        TrafficGen::zipf_skewed(case_base)
+            .rate_per_sec(QosClass::Critical, 2_000.0)
+            .rate_per_sec(QosClass::High, 4_000.0)
+            .rate_per_sec(QosClass::Medium, 6_000.0)
+            .rate_per_sec(QosClass::Low, 8_000.0)
+            .deadline_range_us(QosClass::High, 2_000, 40_000)
+            .deadline_range_us(QosClass::Medium, 5_000, 80_000)
+            .deadline_range_us(QosClass::Low, 10_000, 160_000)
+    }
+
     /// A deadline-skewed mix over `case_base`: the same per-class rates
     /// as [`TrafficGen::new`], but every sheddable arrival carries a
     /// per-request deadline drawn from a wide range — tight and loose
@@ -417,6 +439,29 @@ mod tests {
             .generate()
             .iter()
             .all(|x| x.deadline_us.is_none()));
+    }
+
+    #[test]
+    fn saturating_skew_is_deterministic_dense_and_deadline_covered() {
+        let cb = case_base();
+        let gen = TrafficGen::saturating_skewed(&cb).seed(17).duration_us(100_000);
+        let a = gen.generate();
+        assert_eq!(a, gen.generate(), "the A/B trace is seed-deterministic");
+        // Dense in every class: ≥ 20k/s aggregate over 100 ms.
+        let count = |class: QosClass| a.iter().filter(|x| x.class == class).count();
+        for class in QosClass::ALL {
+            assert!(count(class) > 100, "{class}: {} arrivals", count(class));
+        }
+        // Deadline skew applies to sheddable classes only; payloads are
+        // the shared zipf pool (repeats present).
+        for arrival in &a {
+            assert_eq!(arrival.deadline_us.is_none(), arrival.class == QosClass::Critical);
+        }
+        let mut fingerprints: Vec<u64> = a.iter().map(|x| x.request.fingerprint()).collect();
+        let total = fingerprints.len();
+        fingerprints.sort_unstable();
+        fingerprints.dedup();
+        assert!(fingerprints.len() < total / 2, "zipf repeats missing");
     }
 
     #[test]

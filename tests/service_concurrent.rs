@@ -14,6 +14,10 @@
 //!    the FIFO baseline provably misses; slack promotion is bounded so
 //!    CRITICAL keeps its weighted share; overload shedding displaces by
 //!    largest slack first and is bit-deterministic across runs.
+//! 5. **Adaptive arbitration** — on seeded saturating traces FAIR_SHARE
+//!    converges to the 8:4:2:1 weight-target served shares and
+//!    DYNAMIC_PRIORITY preserves the CRITICAL anti-starvation floor,
+//!    under EDF and FIFO ordering alike.
 //!
 //! The scheduling properties drive the queue/arbiter directly through
 //! `rqfa::service::testkit` with *virtual* time (one dispatch slot = one
@@ -27,8 +31,8 @@ use rqfa::core::{
 };
 use rqfa::service::queue::{Admission, ClassQueue};
 use rqfa::service::{
-    testkit, AllocationService, Outcome, Reply, SchedMode, ServiceConfig, ServiceMetrics, Ticket,
-    WeightedArbiter,
+    testkit, AllocationService, ArbiterMode, Outcome, Reply, SchedMode, ServiceConfig,
+    ServiceMetrics, Ticket, WeightedArbiter,
 };
 use rqfa::workloads::{CaseGen, RequestGen};
 use std::sync::Arc;
@@ -362,6 +366,142 @@ fn shed_order_is_largest_slack_first_and_deterministic() {
     assert_eq!(order, [4, 1, 5, 2], "survivors dispatch in deadline order");
     let (log2, order2) = run();
     assert_eq!((log, order), (log2, order2), "shed order is deterministic");
+}
+
+/// Builds a queue combining a scheduling mode with an arbiter mode; the
+/// 1 s urgency margin makes every deadlined lane head count as urgent.
+fn sched_queue_arbiter(capacity: usize, mode: SchedMode, arbiter: ArbiterMode) -> ClassQueue {
+    ClassQueue::new(
+        capacity,
+        WeightedArbiter::new().with_mode(arbiter),
+        mode,
+        1_000_000,
+        Arc::new(ServiceMetrics::default()),
+    )
+}
+
+/// Tiny deterministic generator (splitmix64) for the seeded property
+/// tests below.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// 5e. FAIR_SHARE property: over seeded saturating traces — every class
+///     backlogged for the whole run, randomized batch sizes, deadlines on
+///     a seeded half of the jobs — the served pick counts converge to the
+///     8:4:2:1 weight targets within one regulation window, under EDF and
+///     FIFO ordering alike (the regulator measures *served* share and
+///     ignores urgency, so lane order cannot skew it).
+#[test]
+fn fair_share_served_shares_converge_on_saturating_traces() {
+    const PICKS: u64 = 1_500;
+    let targets = [800i64, 400, 200, 100]; // PICKS × weight / Σ weights
+    for mode in [SchedMode::Edf, SchedMode::Fifo] {
+        for seed in 0..4u64 {
+            let mut state = seed ^ 0xFA1E;
+            let q = sched_queue_arbiter(8_192, mode, ArbiterMode::FairShare);
+            let base = Instant::now();
+            let mut id = 0u64;
+            // Enough of every class that no lane drains before the last
+            // pick (targets + one full window of slack each).
+            for (class, count) in [
+                (QosClass::Critical, 900u64),
+                (QosClass::High, 500),
+                (QosClass::Medium, 300),
+                (QosClass::Low, 200),
+            ] {
+                for _ in 0..count {
+                    let deadline = splitmix(&mut state).is_multiple_of(2).then(|| {
+                        base + Duration::from_micros(1 + splitmix(&mut state) % 50_000)
+                    });
+                    let (job, _rx) = testkit::job(id, class, probe_request(), base, deadline);
+                    assert!(matches!(q.push(job), Admission::Admitted));
+                    id += 1;
+                }
+            }
+            let mut counts = [0i64; 4];
+            let mut served = 0u64;
+            while served < PICKS {
+                let want = (1 + splitmix(&mut state) % 64).min(PICKS - served) as usize;
+                let batch = q.pop_batch(want).unwrap();
+                assert_eq!(batch.len(), want, "a saturated queue fills every batch");
+                for job in &batch {
+                    counts[job.class().index()] += 1;
+                }
+                served += want as u64;
+            }
+            for (class, (&count, &target)) in
+                QosClass::ALL.iter().zip(counts.iter().zip(&targets))
+            {
+                assert!(
+                    (count - target).abs() <= 64,
+                    "mode {mode:?} seed {seed}: {class} served {count}, target {target}"
+                );
+            }
+        }
+    }
+}
+
+/// 5f. DYNAMIC_PRIORITY property: with MEDIUM and LOW lane heads
+///     *permanently* urgent (tight deadlines against a 1 s margin),
+///     boosts let them outrank the fixed class order — but the promotion
+///     token budget still bounds the bypass. Over seeded saturating
+///     traces CRITICAL keeps at least its documented
+///     weight / (Σ weights + tokens) floor of every pick stream, and the
+///     urgent classes keep at least their own credit share of the
+///     token-extended round. Under FIFO ordering urgency vanishes and
+///     the same bounds hold as plain WRR shares.
+#[test]
+fn dynamic_priority_preserves_the_critical_floor_on_saturating_traces() {
+    const PICKS: u64 = 1_700; // 100 rounds of 15 credits + 2 tokens
+    for mode in [SchedMode::Edf, SchedMode::Fifo] {
+        for seed in 0..4u64 {
+            let mut state = seed ^ 0xD1A0;
+            let q = sched_queue_arbiter(8_192, mode, ArbiterMode::DynamicPriority);
+            let base = Instant::now();
+            let mut id = 0u64;
+            for (class, count, urgent) in [
+                (QosClass::Critical, 1_000u64, false),
+                (QosClass::High, 700, false),
+                (QosClass::Medium, 500, true),
+                (QosClass::Low, 400, true),
+            ] {
+                for _ in 0..count {
+                    let deadline = urgent.then(|| base + Duration::from_micros(1));
+                    let (job, _rx) = testkit::job(id, class, probe_request(), base, deadline);
+                    assert!(matches!(q.push(job), Admission::Admitted));
+                    id += 1;
+                }
+            }
+            let mut counts = [0u64; 4];
+            let mut served = 0u64;
+            while served < PICKS {
+                let want = (1 + splitmix(&mut state) % 32).min(PICKS - served) as usize;
+                let batch = q.pop_batch(want).unwrap();
+                assert_eq!(batch.len(), want, "a saturated queue fills every batch");
+                for job in &batch {
+                    counts[job.class().index()] += 1;
+                }
+                served += want as u64;
+            }
+            // Anti-starvation floor: 8 of every (15 credits + 2 tokens).
+            assert!(
+                counts[QosClass::Critical.index()] * 17 >= PICKS * 8,
+                "mode {mode:?} seed {seed}: CRITICAL starved, counts {counts:?}"
+            );
+            // The urgent classes keep at least their 3-credit share of the
+            // token-extended round (boosts and tokens only ever add).
+            assert!(
+                (counts[QosClass::Medium.index()] + counts[QosClass::Low.index()]) * 17
+                    >= PICKS * 3,
+                "mode {mode:?} seed {seed}: urgent classes lost share, counts {counts:?}"
+            );
+        }
+    }
 }
 
 /// 5d. Per-request deadlines flow end to end: an already-expired
