@@ -2,38 +2,52 @@
 //! cluster (real [`rqfa_service::remote::NodeServer`]s behind real TCP,
 //! driven through a [`rqfa_service::remote::ClusterClient`]) replaying a
 //! deterministic request + learning-mutation mix under a frozen
-//! `ManualClock`.
+//! `ManualClock`, then surviving a scripted **node kill with automatic
+//! supervised failover**: the leader of shard 0 is shut down, its lease
+//! decays in the [`rqfa_net::FailureDetector`], and the
+//! [`rqfa_service::remote::Supervisor`] promotes a replicated standby
+//! under a bumped fencing epoch — after which the cluster serves the
+//! second half of the trajectory as if nothing happened.
 //!
 //! The whole cluster run executes **twice** — fresh nodes, fresh
-//! connections — and the two reply streams, transport counters and
-//! per-shard generations are asserted bit-identical before anything is
-//! written: on a clean loopback the distribution layer adds no
-//! nondeterminism (per-request coalescing, caching and wall-clock
-//! latencies are all pinned off or frozen). Every published metric is a
-//! deterministic count, so the CI gate holds its tight band on all of
-//! them.
+//! connections, fresh failover — and the two reply streams, transport
+//! counters, promotion records and per-shard generations are asserted
+//! bit-identical before anything is written: on a clean loopback the
+//! distribution layer (failover included, since the clock is manual)
+//! adds no nondeterminism. Every published metric is a deterministic
+//! count, so the CI gate holds its tight band on all of them.
 //!
 //! `cargo run --release -p rqfa-bench --bin distributed_trace [-- --json <path>]`
 //!
 //! With `--json BENCH_<pr>.json` this emits the committed artifact;
 //! `bench_gate` compares a fresh run against it.
 
+use std::net::TcpListener;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::thread;
 use std::time::Duration;
 
 use rqfa_bench::json::BenchReport;
 use rqfa_core::placement::{NodeId, NodeMap};
 use rqfa_core::{CaseBase, QosClass};
-use rqfa_net::RetryPolicy;
-use rqfa_service::remote::{ClusterClient, NodeServer, RemoteShard};
-use rqfa_service::{shard, AllocationService, Outcome, Reply, ServiceConfig};
+use rqfa_net::{connect_loopback, FailureDetector, Follower, FrameConn, RetryPolicy};
+use rqfa_service::remote::{
+    replicate_shard, serve_follower, ClusterClient, NodeServer, RemoteShard, Supervisor,
+    SupervisorEvent,
+};
+use rqfa_service::{shard, AllocationService, Outcome, Reply, ServiceConfig, ServiceError};
 use rqfa_telemetry::{ManualClock, SharedClock};
 use rqfa_workloads::{CaseGen, MutationGen, RequestGen};
 
 const NODES: usize = 2;
 const REQUESTS: usize = 600;
+const HEALED_REQUESTS: usize = 200;
+const OUTAGE_PROBES: usize = 4;
 const MUTATE_EVERY: usize = 10;
+/// The failure detector's lease, in virtual (manual-clock) µs.
+const LEASE_US: u64 = 50_000;
+const DOWN_MISSES: u64 = 2;
 
 /// Everything one cluster run produces that determinism must cover.
 #[derive(Debug, PartialEq)]
@@ -41,54 +55,89 @@ struct RunReport {
     replies: Vec<Reply>,
     generations: Vec<u64>,
     /// Per node: (frames sent, frames received, bytes sent, bytes
-    /// received, retries).
+    /// received, retries) — snapshotted before the kill, so the
+    /// healthy-phase transport is clean by construction.
     transport: Vec<(u64, u64, u64, u64, u64)>,
+    /// Replies observed while node 0 was dead and unreplaced.
+    outage: Vec<Reply>,
+    /// Supervisor promotions (node id, epoch) across the run.
+    promotions: Vec<(u16, u64)>,
+    /// The cluster epoch after the heal.
+    epoch: u64,
 }
 
-fn run_once(base: &CaseBase) -> RunReport {
-    let clock: SharedClock = Arc::new(ManualClock::new());
+fn policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        jitter_seed: 0,
+    }
+}
+
+const TIMEOUT: Duration = Duration::from_millis(300);
+
+#[allow(clippy::too_many_lines)]
+fn run_once(base: &CaseBase, run: usize) -> RunReport {
+    // Node 0 is durable (replication streams its WAL); one scratch dir
+    // per run keeps the two determinism runs fully independent.
+    let dir = std::env::temp_dir().join(format!(
+        "rqfa-dist-trace-{}-run{run}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let manual = Arc::new(ManualClock::new());
+    let clock: SharedClock = Arc::clone(&manual) as SharedClock;
     let config = ServiceConfig::default()
         .with_shards(1)
         .with_cache_capacity(0)
         .with_queue_capacity(4096)
+        .with_snapshot_every(0)
         .with_clock(Arc::clone(&clock));
     let placement = NodeMap::new(
         (0..NODES)
             .map(|n| Some(NodeId::new(u16::try_from(n).expect("small cluster"))))
             .collect(),
     );
-    let mut client = ClusterClient::new(Box::new(placement), None);
-    let mut servers = Vec::new();
+    let client = Arc::new(ClusterClient::new(Box::new(placement), None));
+    let mut servers: Vec<Option<NodeServer>> = Vec::new();
+    let mut services = Vec::new();
     let mut stats = Vec::new();
     for (n, slice) in shard::partition(base, NODES).into_iter().enumerate() {
         let slice = slice.expect("this workload populates every shard");
-        let service =
-            Arc::new(AllocationService::new(&slice, &config).expect("valid node config"));
-        let server = NodeServer::spawn(service).expect("loopback bind");
-        let remote = RemoteShard::tcp(
-            server.addr(),
-            Duration::from_millis(500),
-            RetryPolicy::loopback(),
-        );
+        let service = if n == 0 {
+            Arc::new(
+                AllocationService::durable_create(&slice, &dir, &config)
+                    .expect("valid durable node config"),
+            )
+        } else {
+            Arc::new(AllocationService::new(&slice, &config).expect("valid node config"))
+        };
+        let server = NodeServer::spawn(Arc::clone(&service)).expect("loopback bind");
+        let remote = RemoteShard::tcp(server.addr(), TIMEOUT, policy());
         stats.push(remote.stats());
         client.set_node(NodeId::new(u16::try_from(n).expect("small cluster")), remote);
-        servers.push(server);
+        services.push(service);
+        servers.push(Some(server));
     }
 
+    // Phase 1: the healthy trajectory.
     let requests = RequestGen::new(base).seed(0xE16).count(REQUESTS).generate();
     let mut mutations = MutationGen::new(base, 0xE16 ^ 0xA5A5);
-    let mut replies = Vec::with_capacity(REQUESTS);
+    let mut replies = Vec::with_capacity(REQUESTS + HEALED_REQUESTS);
     let mut generations = vec![0u64; NODES];
+    let mut mutate = |client: &ClusterClient, generations: &mut Vec<u64>| {
+        let mutation = mutations.next_mutation();
+        let owner = shard::route(mutation.type_id(), NODES);
+        let generation = client
+            .apply_mutation(&mutation)
+            .expect("clean loopback applies every mutation");
+        generations[owner] = generation.raw();
+    };
     for (i, request) in requests.into_iter().enumerate() {
         let class = QosClass::ALL[i % QosClass::ALL.len()];
         replies.push(client.submit(request, class));
         if i % MUTATE_EVERY == MUTATE_EVERY - 1 {
-            let mutation = mutations.next_mutation();
-            let owner = shard::route(mutation.type_id(), NODES);
-            let generation = client
-                .apply_mutation(&mutation)
-                .expect("clean loopback applies every mutation");
-            generations[owner] = generation.raw();
+            mutate(&client, &mut generations);
         }
     }
     let transport = stats
@@ -103,13 +152,133 @@ fn run_once(base: &CaseBase) -> RunReport {
             )
         })
         .collect();
-    for server in servers {
+
+    // Phase 2: supervised failover. Replicate node 0 into an
+    // up-to-date standby, kill the leader, and let the lease decay
+    // drive an automatic fenced promotion.
+    let detector = Arc::new(FailureDetector::new(Arc::clone(&clock), LEASE_US, DOWN_MISSES));
+    let mut supervisor = Supervisor::new(Arc::clone(&client), Arc::clone(&detector));
+    assert!(
+        supervisor
+            .tick()
+            .iter()
+            .all(|e| matches!(e, SupervisorEvent::Beat { .. })),
+        "the healthy cluster beats"
+    );
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind follower");
+    let addr = listener.local_addr().expect("follower addr");
+    let session = thread::spawn(move || {
+        let (stream, _) = listener.accept().expect("accept replication stream");
+        let mut conn = FrameConn::new(stream);
+        let mut follower = Follower::new();
+        serve_follower(&mut conn, &mut follower).expect("clean stream end");
+        follower
+    });
+    {
+        let mut conn = FrameConn::new(
+            connect_loopback(addr, Duration::from_secs(2)).expect("leader connects"),
+        );
+        replicate_shard(&services[0], 0, &mut conn, 16).expect("replication round");
+    }
+    let follower = session.join().expect("follower session");
+    assert_eq!(follower.generation(), Some(services[0].shard_generation(0)));
+
+    let promoted: Arc<std::sync::Mutex<Vec<NodeServer>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut standby = Some(follower);
+    let standby_clock = Arc::clone(&clock);
+    let standby_servers = Arc::clone(&promoted);
+    let standby_config = config.clone();
+    supervisor.register_standby(
+        NodeId::new(0),
+        Box::new(move |epoch| {
+            let follower = standby
+                .take()
+                .ok_or_else(|| ServiceError::Remote("standby already consumed".into()))?;
+            let replica = follower
+                .promote()
+                .map_err(|error| ServiceError::Remote(error.to_string()))?;
+            let service = Arc::new(AllocationService::new(
+                &replica,
+                &standby_config.clone().with_clock(Arc::clone(&standby_clock)),
+            )?);
+            let server = NodeServer::spawn_fenced(service, epoch)?;
+            let remote = RemoteShard::tcp(server.addr(), TIMEOUT, policy());
+            standby_servers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(server);
+            Ok(remote)
+        }),
+    );
+
+    // Kill. One missed lease: suspicion only, no promotion.
+    if let Some(server) = servers[0].take() {
         server.shutdown();
     }
+    manual.advance_us(LEASE_US);
+    let mut promotions: Vec<(u16, u64)> = Vec::new();
+    let sweep = |supervisor: &mut Supervisor, promotions: &mut Vec<(u16, u64)>| {
+        for event in supervisor.tick() {
+            if let SupervisorEvent::Promoted { node, epoch } = event {
+                promotions.push((node.raw(), epoch));
+            }
+        }
+    };
+    sweep(&mut supervisor, &mut promotions);
+    assert!(promotions.is_empty(), "no promotion inside the lease bound");
+
+    // The outage window: the dead shard degrades into bounded
+    // unavailability, the live shard keeps answering.
+    let outage: Vec<Reply> = RequestGen::new(base)
+        .seed(0xE16 + 1)
+        .count(OUTAGE_PROBES)
+        .generate()
+        .into_iter()
+        .enumerate()
+        .map(|(i, request)| client.submit(request, QosClass::ALL[i % QosClass::ALL.len()]))
+        .collect();
+
+    // Second missed lease: the verdict decays to Down and the
+    // supervisor promotes the standby under epoch 2.
+    manual.advance_us(LEASE_US);
+    sweep(&mut supervisor, &mut promotions);
+    assert_eq!(promotions, vec![(0, 2)], "exactly one promotion, at epoch 2");
+
+    // Phase 3: the healed trajectory — learning traffic included.
+    let requests = RequestGen::new(base)
+        .seed(0xE17)
+        .count(HEALED_REQUESTS)
+        .generate();
+    for (i, request) in requests.into_iter().enumerate() {
+        let class = QosClass::ALL[i % QosClass::ALL.len()];
+        replies.push(client.submit(request, class));
+        if i % MUTATE_EVERY == MUTATE_EVERY - 1 {
+            mutate(&client, &mut generations);
+        }
+    }
+    let epoch = client.epoch();
+
+    for server in servers.into_iter().flatten() {
+        server.shutdown();
+    }
+    for server in promoted
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain(..)
+    {
+        server.shutdown();
+    }
+    drop(services);
+    let _ = std::fs::remove_dir_all(&dir);
     RunReport {
         replies,
         generations,
         transport,
+        outage,
+        promotions,
+        epoch,
     }
 }
 
@@ -117,17 +286,24 @@ fn run_once(base: &CaseBase) -> RunReport {
 fn main() {
     let json_path = rqfa_bench::json_path_from_args();
     let mut report = BenchReport::new("distributed_trace");
-    println!("E16. Deterministic two-node cluster trajectory (TCP loopback, manual clock)\n");
+    println!(
+        "E16. Deterministic two-node cluster trajectory with supervised failover \
+         (TCP loopback, manual clock)\n"
+    );
     let base = CaseGen::new(16, 8, 5, 8).seed(0xE16).build();
     println!(
         "cluster: {NODES} nodes × 1 shard, cache off, frozen clock; \
-         workload: {REQUESTS} requests + 1 mutation per {MUTATE_EVERY}"
+         workload: {REQUESTS} + {HEALED_REQUESTS} requests + 1 mutation per {MUTATE_EVERY}; \
+         node 0 killed and auto-healed mid-run (lease {LEASE_US} µs × {DOWN_MISSES})"
     );
 
-    let first = run_once(&base);
-    let second = run_once(&base);
+    let first = run_once(&base, 1);
+    let second = run_once(&base, 2);
     assert_eq!(first, second, "the cluster replay must be deterministic");
-    println!("replayed twice: reply streams, generations and transport counters identical\n");
+    println!(
+        "replayed twice: reply streams, generations, transport counters, \
+         outage window and promotions identical\n"
+    );
 
     let mut completed = [0u64; QosClass::COUNT];
     let mut evaluated = 0u64;
@@ -144,10 +320,7 @@ fn main() {
         }
     }
     for class in QosClass::ALL {
-        println!(
-            "  {class}: {} completed",
-            completed[class.index()]
-        );
+        println!("  {class}: {} completed", completed[class.index()]);
         report.push(
             format!("{class}/completed"),
             "count",
@@ -175,6 +348,38 @@ fn main() {
             first.generations[n] as f64,
         );
     }
+
+    // The failover segment: every outage reply is either a completion
+    // on the live shard or a *bounded* unavailability on the dead one.
+    let unavailable = first
+        .outage
+        .iter()
+        .filter(|r| matches!(r.outcome, Outcome::Unavailable { .. }))
+        .count() as u64;
+    let survived = first.outage.len() as u64 - unavailable;
+    for reply in &first.outage {
+        assert!(
+            matches!(
+                reply.outcome,
+                Outcome::Allocated { .. } | Outcome::Unavailable { .. }
+            ),
+            "outage replies complete or fail boundedly: {:?}",
+            reply.outcome
+        );
+    }
+    println!(
+        "  outage window: {survived} completed on the live shard, \
+         {unavailable} bounded-unavailable on the dead one"
+    );
+    println!(
+        "  failover: {} promotion(s), cluster epoch {}",
+        first.promotions.len(),
+        first.epoch
+    );
+    report.push("outage/completed", "count", survived as f64);
+    report.push("outage/unavailable", "count", unavailable as f64);
+    report.push("failover/promotions", "count", first.promotions.len() as f64);
+    report.push("failover/epoch", "count", first.epoch as f64);
 
     if let Some(path) = json_path {
         report

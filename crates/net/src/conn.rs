@@ -94,39 +94,95 @@ impl<S: Read + Write> FrameConn<S> {
 /// the same timeout on every read and write of the socket so a lost
 /// peer can never hang the caller.
 ///
+/// The timeout bounds the connect in **both** directions. A slow or
+/// black-holed target is cut off by the OS-level connect timeout as
+/// before; a *refused or unreachable* target — which the OS reports
+/// instantly — is retried until the deadline instead of surfacing the
+/// refusal immediately. That makes the timeout a genuine wait budget: a
+/// node that is mid-restart (failover races, a promoted server that has
+/// not bound yet) gets the whole window to start listening, and the
+/// caller learns `NetError::Timeout` after exactly its budget, never an
+/// instant refusal storm.
+///
 /// # Errors
 ///
-/// Connection failures and timeout-arming failures as [`NetError`].
+/// [`NetError::Timeout`] when no connection is established within
+/// `timeout`; other connection and timeout-arming failures as
+/// [`NetError`].
 pub fn connect_loopback(addr: SocketAddr, timeout: Duration) -> Result<TcpStream, NetError> {
-    let stream = TcpStream::connect_timeout(&addr, timeout)?;
-    stream.set_read_timeout(Some(timeout))?;
-    stream.set_write_timeout(Some(timeout))?;
-    stream.set_nodelay(true)?;
-    Ok(stream)
+    const REFUSED_POLL: Duration = Duration::from_millis(2);
+    let deadline = std::time::Instant::now() + timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            return Err(NetError::Timeout);
+        }
+        match TcpStream::connect_timeout(&addr, remaining) {
+            Ok(stream) => {
+                stream.set_read_timeout(Some(timeout))?;
+                stream.set_write_timeout(Some(timeout))?;
+                stream.set_nodelay(true)?;
+                return Ok(stream);
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::ConnectionReset
+                        | std::io::ErrorKind::HostUnreachable
+                        | std::io::ErrorKind::NetworkUnreachable
+                ) =>
+            {
+                std::thread::sleep(REFUSED_POLL.min(remaining));
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
 }
 
-/// A bounded reconnect-and-retry budget with doubling backoff.
+/// A bounded reconnect-and-retry budget with doubling backoff and
+/// optional deterministic per-client jitter.
 ///
 /// `attempts` caps how many times an operation is tried in total;
 /// `backoff(n)` gives the pause before attempt `n` (0-based), doubling
 /// each round from `base_backoff`. Exhaustion is a *result* — the
 /// service layer reports it as `Outcome::Unavailable { attempts }` — so
 /// a dead node degrades one request, never the caller's liveness.
+///
+/// With a non-zero `jitter_seed`, each backoff is stretched by a
+/// seed-and-attempt-derived fraction in `[0, 1/2]` of the pure doubling
+/// pause, so a fleet of clients retrying against one recovering node
+/// desynchronizes instead of hammering it in lockstep. The jitter is a
+/// pure function of `(jitter_seed, attempt)` — seed it from a stable
+/// client id and replays stay bit-identical. Seed 0 (the default)
+/// disables jitter entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Total attempts before giving up (≥ 1).
     pub attempts: u32,
     /// Pause before the second attempt; doubles each retry.
     pub base_backoff: Duration,
+    /// Deterministic jitter seed (0 = no jitter). Seed per client id so
+    /// concurrent clients spread out without losing replayability.
+    pub jitter_seed: u64,
 }
 
 impl RetryPolicy {
-    /// A policy suited to loopback tests: 3 attempts, 1 ms base backoff.
+    /// A policy suited to loopback tests: 3 attempts, 1 ms base backoff,
+    /// no jitter.
     pub const fn loopback() -> RetryPolicy {
         RetryPolicy {
             attempts: 3,
             base_backoff: Duration::from_millis(1),
+            jitter_seed: 0,
         }
+    }
+
+    /// The same policy with deterministic backoff jitter seeded from
+    /// `seed` (a stable per-client id; 0 disables jitter).
+    pub const fn with_jitter(mut self, seed: u64) -> RetryPolicy {
+        self.jitter_seed = seed;
+        self
     }
 
     /// Hard ceiling on any single backoff pause. Doubling from any
@@ -135,19 +191,38 @@ impl RetryPolicy {
     pub const MAX_BACKOFF: Duration = Duration::from_secs(30);
 
     /// The pause before 0-based attempt `attempt` (zero before the
-    /// first), clamped to [`RetryPolicy::MAX_BACKOFF`].
+    /// first), clamped to [`RetryPolicy::MAX_BACKOFF`]. With a non-zero
+    /// `jitter_seed`, a deterministic per-`(seed, attempt)` stretch of
+    /// up to half the pure pause is added before clamping.
     pub fn backoff(&self, attempt: u32) -> Duration {
         if attempt == 0 {
-            Duration::ZERO
-        } else {
-            // Saturate both the doubling factor and the multiply: a
-            // large configured `base_backoff` used to hit the panicking
-            // `Duration * u32` overflow around attempt 16; now it pins
-            // to the cap instead.
-            self.base_backoff
-                .saturating_mul(2u32.saturating_pow(attempt.min(16) - 1))
-                .min(RetryPolicy::MAX_BACKOFF)
+            return Duration::ZERO;
         }
+        // Saturate both the doubling factor and the multiply: a
+        // large configured `base_backoff` used to hit the panicking
+        // `Duration * u32` overflow around attempt 16; now it pins
+        // to the cap instead.
+        let pure = self
+            .base_backoff
+            .saturating_mul(2u32.saturating_pow(attempt.min(16) - 1))
+            .min(RetryPolicy::MAX_BACKOFF);
+        if self.jitter_seed == 0 {
+            return pure;
+        }
+        // splitmix64 over (seed, attempt): uniformly spread, stateless,
+        // bit-identical across replays.
+        let mut z = self
+            .jitter_seed
+            .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        // jitter = (pure / 2) × (z mod 1025) / 1024 ∈ [0, pure / 2];
+        // pure / 2 ≤ 15 s, so the integer scaling cannot overflow.
+        #[allow(clippy::cast_possible_truncation)]
+        let num = (z % 1025) as u32;
+        let jitter = (pure / 2).saturating_mul(num) / 1024;
+        pure.saturating_add(jitter).min(RetryPolicy::MAX_BACKOFF)
     }
 }
 
@@ -239,6 +314,7 @@ mod tests {
         let policy = RetryPolicy {
             attempts: 32,
             base_backoff: Duration::from_secs(u64::MAX / 1_000),
+            jitter_seed: 0,
         };
         for attempt in [15, 16, 17, 31, u32::MAX] {
             assert_eq!(policy.backoff(attempt), RetryPolicy::MAX_BACKOFF);
@@ -247,9 +323,81 @@ mod tests {
         let sane = RetryPolicy {
             attempts: 32,
             base_backoff: Duration::from_secs(1),
+            jitter_seed: 0,
         };
         assert_eq!(sane.backoff(5), Duration::from_secs(16));
         assert_eq!(sane.backoff(6), RetryPolicy::MAX_BACKOFF);
         assert_eq!(sane.backoff(16), RetryPolicy::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn jittered_backoff_spreads_clients_within_the_cap() {
+        let base = RetryPolicy {
+            attempts: 8,
+            base_backoff: Duration::from_millis(64),
+            jitter_seed: 0,
+        };
+        for attempt in 1..8 {
+            let pure = base.backoff(attempt);
+            let mut distinct = std::collections::BTreeSet::new();
+            for client in 1..=32u64 {
+                let jittered = base.with_jitter(client).backoff(attempt);
+                // Bounded: never below the pure doubling pause, never
+                // more than 1.5× it, never past the hard cap.
+                assert!(jittered >= pure, "attempt {attempt} client {client}");
+                assert!(
+                    jittered <= (pure + pure / 2).min(RetryPolicy::MAX_BACKOFF),
+                    "attempt {attempt} client {client}"
+                );
+                // Deterministic: the same (seed, attempt) always yields
+                // the same pause — replays stay bit-identical.
+                assert_eq!(jittered, base.with_jitter(client).backoff(attempt));
+                distinct.insert(jittered);
+            }
+            assert!(
+                distinct.len() >= 16,
+                "attempt {attempt}: 32 clients produced only {} distinct pauses",
+                distinct.len()
+            );
+        }
+        // Seed 0 keeps the historical pure doubling exactly.
+        assert_eq!(base.backoff(3), Duration::from_millis(256));
+    }
+
+    #[test]
+    fn jittered_backoff_still_clamps_at_max() {
+        let policy = RetryPolicy {
+            attempts: 32,
+            base_backoff: Duration::from_secs(20),
+            jitter_seed: 0xC11E,
+        };
+        for attempt in 1..32 {
+            assert!(policy.backoff(attempt) <= RetryPolicy::MAX_BACKOFF);
+        }
+        assert_eq!(policy.backoff(4), RetryPolicy::MAX_BACKOFF);
+    }
+
+    #[test]
+    fn connect_honors_its_timeout_against_a_closed_port() {
+        // Bind-then-drop yields a port that is (momentarily) closed:
+        // connecting gets an instant OS-level refusal. The regression:
+        // connect_loopback must spend its whole budget waiting for the
+        // port to open and then report Timeout — not surface the
+        // refusal immediately (refusal storms) and not hang past the
+        // budget (OS defaults).
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap()
+        };
+        let timeout = Duration::from_millis(80);
+        let started = std::time::Instant::now();
+        let result = connect_loopback(addr, timeout);
+        let elapsed = started.elapsed();
+        assert!(matches!(result, Err(NetError::Timeout)), "{result:?}");
+        assert!(elapsed >= timeout, "returned after {elapsed:?} < {timeout:?}");
+        assert!(
+            elapsed < timeout * 10,
+            "budget overshot: {elapsed:?} for a {timeout:?} timeout"
+        );
     }
 }

@@ -34,6 +34,14 @@ pub enum FaultAction {
     /// Deliver the first half, sleep ~1 ms, then the second half —
     /// exercises reassembly across partial reads.
     SplitDelay,
+    /// Kill the connection mid-stream: the first half of the frame is
+    /// delivered, then the stream goes dead — this write and **every**
+    /// later operation on the stream fail with `ConnectionAborted`.
+    /// Unlike [`FaultAction::Truncate`] (a corruption fault the writer
+    /// never sees), this is a *liveness* fault: the writer observes the
+    /// failure and must reconnect, so heartbeat/lease machinery can be
+    /// exercised separately from byte damage.
+    Disconnect,
 }
 
 /// A scripted schedule of per-frame actions. After the script runs out
@@ -110,28 +118,48 @@ pub fn shared_plan(plan: FaultPlan) -> SharedFaultPlan {
 pub struct FaultyStream<S> {
     inner: S,
     plan: SharedFaultPlan,
+    /// Set once a [`FaultAction::Disconnect`] fires: the stream is dead
+    /// and every further read or write fails.
+    dead: bool,
 }
 
 impl<S> FaultyStream<S> {
     /// Wraps `inner`, drawing actions from `plan`.
     pub fn new(inner: S, plan: SharedFaultPlan) -> FaultyStream<S> {
-        FaultyStream { inner, plan }
+        FaultyStream {
+            inner,
+            plan,
+            dead: false,
+        }
     }
 
     /// The shared plan handle (for wrapping the next reconnect).
     pub fn plan(&self) -> SharedFaultPlan {
         Arc::clone(&self.plan)
     }
+
+    fn aborted() -> std::io::Error {
+        std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "fault-injected disconnect",
+        )
+    }
 }
 
 impl<S: Read> Read for FaultyStream<S> {
     fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(Self::aborted());
+        }
         self.inner.read(out)
     }
 }
 
 impl<S: Write> Write for FaultyStream<S> {
     fn write(&mut self, frame: &[u8]) -> std::io::Result<usize> {
+        if self.dead {
+            return Err(Self::aborted());
+        }
         let action = self
             .plan
             .lock()
@@ -152,13 +180,26 @@ impl<S: Write> Write for FaultyStream<S> {
                 std::thread::sleep(Duration::from_millis(1));
                 self.inner.write_all(&frame[half..])?;
             }
+            FaultAction::Disconnect => {
+                // Half a frame escapes, then the connection dies. The
+                // writer sees the failure (unlike every corruption
+                // fault above) and must reconnect.
+                let _ = self.inner.write_all(&frame[..frame.len() / 2]);
+                let _ = self.inner.flush();
+                self.dead = true;
+                return Err(Self::aborted());
+            }
         }
-        // The writer always observes full success; the damage is on the
-        // "network", surfacing at the receiver as timeout/tear/CRC.
+        // For corruption faults the writer always observes full
+        // success; the damage is on the "network", surfacing at the
+        // receiver as timeout/tear/CRC.
         Ok(frame.len())
     }
 
     fn flush(&mut self) -> std::io::Result<()> {
+        if self.dead {
+            return Err(Self::aborted());
+        }
         self.inner.flush()
     }
 }
@@ -196,6 +237,32 @@ mod tests {
         let b = FaultPlan::seeded(0xFA_17, 32);
         assert_eq!(a.script, b.script);
         assert!(a.script.iter().any(|x| *x != FaultAction::Pass));
+    }
+
+    #[test]
+    fn disconnect_kills_the_stream_and_the_writer_sees_it() {
+        let plan = shared_plan(FaultPlan::scripted(vec![
+            FaultAction::Pass,
+            FaultAction::Disconnect,
+        ]));
+        let mut stream =
+            FaultyStream::new(std::io::Cursor::new(Vec::new()), Arc::clone(&plan));
+        assert_eq!(stream.write(b"aabb").unwrap(), 4);
+        // The disconnect write fails *visibly* — a liveness fault, not a
+        // silent corruption — after leaking half the frame.
+        let err = stream.write(b"ccdd").unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::ConnectionAborted);
+        assert_eq!(stream.inner.get_ref(), b"aabbcc");
+        // The stream stays dead for reads, writes and flushes alike.
+        assert!(stream.write(b"ee").is_err());
+        assert!(stream.flush().is_err());
+        let mut out = [0u8; 4];
+        assert!(stream.read(&mut out).is_err());
+        // A reconnected stream on the same plan is live again and keeps
+        // consuming the schedule where it left off.
+        let mut fresh = FaultyStream::new(Vec::new(), plan);
+        assert_eq!(fresh.write(b"ff").unwrap(), 2);
+        assert_eq!(&fresh.inner, b"ff");
     }
 
     #[test]

@@ -31,8 +31,16 @@
 //!   discipline recovery uses; [`Follower::promote`] yields the case
 //!   base for failover.
 //! * [`fault`] — the deterministic byte-level fault injector
-//!   ([`FaultyStream`]): drop / duplicate / truncate / delay whole
-//!   frames by seeded plan, for the multi-node harness.
+//!   ([`FaultyStream`]): drop / duplicate / truncate / delay /
+//!   disconnect whole frames by seeded plan, for the multi-node
+//!   harness.
+//! * [`detector`] — lease-based liveness classification
+//!   ([`FailureDetector`]): heartbeats renew a per-node lease, whole
+//!   missed leases map to `Healthy`/`Suspect`/`Down`, all on the
+//!   injected clock.
+//! * [`breaker`] — the per-remote circuit breaker
+//!   ([`CircuitBreaker`]): consecutive failures trip it open, calls
+//!   fail fast, a clock-driven probe re-closes it.
 //! * [`stats`] — lock-free net-plane counters ([`NetStats`]) pluggable
 //!   into the workspace metrics registry.
 //!
@@ -43,7 +51,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod conn;
+pub mod detector;
 mod error;
 pub mod fault;
 pub mod frame;
@@ -51,13 +61,15 @@ pub mod replication;
 pub mod stats;
 pub mod wire;
 
+pub use breaker::{BreakerState, CircuitBreaker};
 pub use conn::{connect_loopback, FrameConn, RetryPolicy};
+pub use detector::{FailureDetector, Liveness};
 pub use error::NetError;
 pub use fault::{shared_plan, FaultAction, FaultPlan, FaultyStream, SharedFaultPlan};
 pub use frame::{decode_frame, encode_frame, Frame, FRAME_MAGIC, MAX_PAYLOAD_WORDS};
 pub use replication::{snapshot_stream, Follower, FollowerEvent};
 pub use stats::NetStats;
 pub use wire::{
-    decode_message, encode_message, Message, MutateAck, SnapshotChunk, SnapshotDone, Submit,
-    TailAck, WireOutcome, WireReply,
+    decode_message, encode_message, Heartbeat, Message, MutateAck, SnapshotChunk, SnapshotDone,
+    Submit, TailAck, WireOutcome, WireReply,
 };

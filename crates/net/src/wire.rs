@@ -9,7 +9,9 @@
 //! * a [`Message::Mutate`] / [`Message::TailFrame`] carries the exact
 //!   **WAL frame bytes** `rqfa-persist` appends to the log
 //!   (`encode_frame`), reinterpreted as words — a mutation travels the
-//!   wire byte-identically to how it lands on disk, CRC and all;
+//!   wire byte-identically to how it lands on disk, CRC and all (a
+//!   `Mutate` prefixes the frame with the sender's cluster epoch, the
+//!   fencing token the serving node checks before applying);
 //! * a [`SnapshotChunk`] carries a word-window of the **dual-slot
 //!   snapshot container** (`encode_snapshot`) — PR 2's transfer unit.
 //!
@@ -45,6 +47,8 @@ pub const KIND_SNAPSHOT_DONE: u16 = 6;
 pub const KIND_TAIL_FRAME: u16 = 7;
 /// Frame kind of a [`TailAck`].
 pub const KIND_TAIL_ACK: u16 = 8;
+/// Frame kind of a [`Heartbeat`] (probe and echo share the kind).
+pub const KIND_HEARTBEAT: u16 = 9;
 
 /// A request submission bound for a remote shard.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,6 +89,12 @@ pub enum WireOutcome {
     Unavailable {
         /// Connection attempts made before giving up.
         attempts: u32,
+    },
+    /// Shed at admission because the measured service rate predicted
+    /// the deadline could not be met even if queued.
+    ShedPredicted {
+        /// Predicted lateness in µs had the request been queued.
+        late_us: u64,
     },
 }
 
@@ -138,6 +148,23 @@ pub struct TailAck {
     pub generation: u64,
 }
 
+/// A liveness probe, and its echo. The supervisor sends one with its
+/// view of the cluster epoch; a live node answers with the **same
+/// frame kind** carrying its own node id, its fencing epoch (the
+/// highest it has witnessed) and its shard-0 generation, so one
+/// round-trip yields liveness *and* the state the failure detector
+/// feeds on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Heartbeat {
+    /// The probed/answering node.
+    pub node: u16,
+    /// Sender's cluster epoch (probe) or the node's fencing epoch
+    /// (echo).
+    pub epoch: u64,
+    /// The answering node's shard generation (0 in a probe).
+    pub generation: u64,
+}
+
 /// Every message the distributed plane exchanges.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
@@ -146,8 +173,17 @@ pub enum Message {
     /// Shard → client: the answer.
     Reply(WireReply),
     /// Client → shard: apply this mutation (unstamped — the shard
-    /// assigns the generation; travels as a genesis-stamped WAL frame).
-    Mutate(CaseMutation),
+    /// assigns the generation; travels as a genesis-stamped WAL frame
+    /// behind the sender's cluster epoch, which the shard fences on).
+    Mutate {
+        /// The sender's cluster epoch. A node rejects any epoch lower
+        /// than the highest it has witnessed (the fencing rule), so a
+        /// stale leader partitioned away across a failover cannot
+        /// mutate state after the cluster moved on.
+        epoch: u64,
+        /// The mutation to apply.
+        mutation: CaseMutation,
+    },
     /// Shard → client: mutation RPC result.
     MutateAck(MutateAck),
     /// Leader → follower: snapshot container window.
@@ -158,6 +194,8 @@ pub enum Message {
     TailFrame(StampedMutation),
     /// Follower → leader: snapshot installed / tail frame applied.
     TailAck(TailAck),
+    /// Supervisor ↔ node: liveness probe / echo.
+    Heartbeat(Heartbeat),
 }
 
 /// Incremental little-endian word writer for scalars.
@@ -368,6 +406,10 @@ fn outcome_words(outcome: &WireOutcome, words: &mut Vec<u16>) -> Result<(), NetE
             words.push(4);
             push_u32(words, *attempts);
         }
+        WireOutcome::ShedPredicted { late_us } => {
+            words.push(5);
+            push_u64(words, *late_us);
+        }
     }
     Ok(())
 }
@@ -403,6 +445,9 @@ fn words_outcome(reader: &mut WordReader<'_>) -> Result<WireOutcome, NetError> {
         }
         4 => WireOutcome::Unavailable {
             attempts: reader.u32()?,
+        },
+        5 => WireOutcome::ShedPredicted {
+            late_us: reader.u64()?,
         },
         _ => return Err(NetError::Malformed("unknown outcome tag")),
     })
@@ -454,14 +499,19 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, NetError> {
             outcome_words(&reply.outcome, &mut words)?;
             (KIND_REPLY, words)
         }
-        Message::Mutate(mutation) => {
-            // Unstamped client mutations travel as a genesis-stamped WAL
-            // frame; the serving shard assigns the real generation.
+        Message::Mutate { epoch, mutation } => {
+            // The sender's epoch leads the payload; the mutation itself
+            // still travels as a genesis-stamped WAL frame (the serving
+            // shard assigns the real generation), byte-identical to how
+            // it would land on disk.
             let stamped = StampedMutation {
                 generation: Generation::GENESIS,
                 mutation: mutation.clone(),
             };
-            (KIND_MUTATE, mutation_words(&stamped)?)
+            let mut words = Vec::new();
+            push_u64(&mut words, *epoch);
+            words.extend_from_slice(&mutation_words(&stamped)?);
+            (KIND_MUTATE, words)
         }
         Message::MutateAck(ack) => {
             let mut words = Vec::new();
@@ -492,6 +542,13 @@ pub fn encode_message(message: &Message) -> Result<Vec<u8>, NetError> {
             let mut words = Vec::new();
             push_u64(&mut words, ack.generation);
             (KIND_TAIL_ACK, words)
+        }
+        Message::Heartbeat(beat) => {
+            let mut words = Vec::new();
+            words.push(beat.node);
+            push_u64(&mut words, beat.epoch);
+            push_u64(&mut words, beat.generation);
+            (KIND_HEARTBEAT, words)
         }
     };
     encode_frame(kind, &payload)
@@ -540,8 +597,12 @@ pub fn decode_message(frame: &Frame) -> Result<Message, NetError> {
             }))
         }
         KIND_MUTATE => {
-            let stamped = words_mutation(&frame.payload)?;
-            Ok(Message::Mutate(stamped.mutation))
+            let epoch = reader.u64()?;
+            let stamped = words_mutation(reader.rest())?;
+            Ok(Message::Mutate {
+                epoch,
+                mutation: stamped.mutation,
+            })
         }
         KIND_MUTATE_ACK => {
             let generation = reader.u64()?;
@@ -574,6 +635,17 @@ pub fn decode_message(frame: &Frame) -> Result<Message, NetError> {
             let generation = reader.u64()?;
             reader.done()?;
             Ok(Message::TailAck(TailAck { generation }))
+        }
+        KIND_HEARTBEAT => {
+            let node = reader.u16()?;
+            let epoch = reader.u64()?;
+            let generation = reader.u64()?;
+            reader.done()?;
+            Ok(Message::Heartbeat(Heartbeat {
+                node,
+                epoch,
+                generation,
+            }))
         }
         _ => Err(NetError::Malformed("unknown message kind")),
     }
@@ -626,7 +698,7 @@ mod tests {
     }
 
     fn random_outcome(rng: &mut TestRng) -> WireOutcome {
-        match rng.below(5) {
+        match rng.below(6) {
             0 => WireOutcome::Allocated {
                 best: Scored {
                     impl_id: ImplId::new(1 + rng.below(100) as u16).unwrap(),
@@ -656,8 +728,11 @@ mod tests {
                 2 => CoreError::EmptyRequest,
                 _ => CoreError::InvalidWeights,
             }),
-            _ => WireOutcome::Unavailable {
+            4 => WireOutcome::Unavailable {
                 attempts: rng.below(10) as u32 + 1,
+            },
+            _ => WireOutcome::ShedPredicted {
+                late_us: rng.below(1 << 30),
             },
         }
     }
@@ -701,7 +776,10 @@ mod tests {
                 outcome: random_outcome(rng),
                 latency_us: rng.below(1 << 40),
             }),
-            Message::Mutate(random_mutation(rng)),
+            Message::Mutate {
+                epoch: rng.below(1 << 50),
+                mutation: random_mutation(rng),
+            },
             Message::MutateAck(MutateAck {
                 generation: rng.below(1 << 50),
                 error: (rng.below(2) == 1).then(|| "remote: case-base violation".to_string()),
@@ -719,6 +797,11 @@ mod tests {
                 mutation: random_mutation(rng),
             }),
             Message::TailAck(TailAck {
+                generation: rng.below(1 << 50),
+            }),
+            Message::Heartbeat(Heartbeat {
+                node: rng.below(1 << 16) as u16,
+                epoch: rng.below(1 << 50),
                 generation: rng.below(1 << 50),
             }),
         ]
@@ -803,5 +886,29 @@ mod tests {
         let frame = decode_frame(&bytes).unwrap();
         let wal_frame = rqfa_persist::encode_frame(&stamped).unwrap();
         assert_eq!(words_to_bytes(&frame.payload), wal_frame);
+    }
+
+    #[test]
+    fn mutate_payload_is_the_epoch_then_the_exact_wal_frame() {
+        let mutation = CaseMutation::Evict {
+            type_id: TypeId::new(2).unwrap(),
+            impl_id: ImplId::new(3).unwrap(),
+        };
+        let bytes = encode_message(&Message::Mutate {
+            epoch: 0x0102_0304_0506_0708,
+            mutation: mutation.clone(),
+        })
+        .unwrap();
+        let frame = decode_frame(&bytes).unwrap();
+        // Words 0..4: the fencing epoch, low word first.
+        assert_eq!(&frame.payload[..4], &[0x0708, 0x0506, 0x0304, 0x0102]);
+        // The rest: the genesis-stamped mutation, byte-identical to its
+        // on-disk WAL frame.
+        let stamped = StampedMutation {
+            generation: Generation::GENESIS,
+            mutation,
+        };
+        let wal_frame = rqfa_persist::encode_frame(&stamped).unwrap();
+        assert_eq!(words_to_bytes(&frame.payload[4..]), wal_frame);
     }
 }

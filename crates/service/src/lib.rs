@@ -185,6 +185,14 @@ pub struct ServiceConfig {
     /// newest `trace_capacity` events in a fixed ring (zero allocation
     /// per event); drain them with [`AllocationService::drain_trace`].
     pub trace_capacity: usize,
+    /// Whether admission refuses deadlined sheddable jobs the measured
+    /// service rate predicts cannot finish in time even if queued
+    /// (answered with [`Outcome::ShedPredicted`] immediately). Off by
+    /// default; has no effect until the shard's estimator is warm. The
+    /// degradation lever that keeps doomed LOW work from clogging
+    /// queues — and burning remote retry budgets — while a node is
+    /// down (see `docs/distribution.md`).
+    pub predictive_shed: bool,
     /// Kernel path of the per-shard plane engines:
     /// [`KernelPath::Auto`] (default) runtime-detects the wide SIMD
     /// kernel, [`KernelPath::ForceScalar`] pins the scalar loops. Either
@@ -211,6 +219,7 @@ impl Default for ServiceConfig {
             snapshot_every: PersistPolicy::default().snapshot_every,
             clock: monotonic(),
             trace_capacity: 0,
+            predictive_shed: false,
             kernel_path: KernelPath::default(),
         }
     }
@@ -305,6 +314,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Enables predictive shedding at admission (see
+    /// [`ServiceConfig::predictive_shed`]).
+    pub fn with_predictive_shed(mut self, on: bool) -> ServiceConfig {
+        self.predictive_shed = on;
+        self
+    }
+
     /// Pins the plane-kernel path of every shard worker (see
     /// [`ServiceConfig::kernel_path`]).
     pub fn with_kernel_path(mut self, path: KernelPath) -> ServiceConfig {
@@ -358,12 +374,24 @@ pub enum Outcome {
         /// Connection/send attempts made before giving up.
         attempts: u32,
     },
+    /// Shed at admission by *prediction*: the measured service rate
+    /// ([`ServiceTimeEstimator`]) said the deadline could not be met
+    /// even if the job were queued, so it was refused fast instead of
+    /// occupying a slot only to shed at dispatch (enable with
+    /// [`ServiceConfig::with_predictive_shed`]).
+    ShedPredicted {
+        /// Predicted completion lateness had the job been queued, µs.
+        late_us: u64,
+    },
 }
 
 impl Outcome {
-    /// Whether the request was shed (either way).
+    /// Whether the request was shed (any way).
     pub fn is_shed(&self) -> bool {
-        matches!(self, Outcome::ShedQueueFull | Outcome::ShedDeadline)
+        matches!(
+            self,
+            Outcome::ShedQueueFull | Outcome::ShedDeadline | Outcome::ShedPredicted { .. }
+        )
     }
 }
 
@@ -811,8 +839,30 @@ impl AllocationService {
                     .fetch_add(1, Ordering::Relaxed);
                 job.reply(Outcome::ShedQueueFull, 0, &self.metrics);
             }
+            queue::Admission::Doomed { job, late_us } => {
+                record(id, class, EventKind::Refused, 0);
+                record(id, class, EventKind::ShedPredicted, late_us);
+                self.metrics
+                    .class(class)
+                    .shed_predicted
+                    .fetch_add(1, Ordering::Relaxed);
+                job.reply(Outcome::ShedPredicted { late_us }, 0, &self.metrics);
+            }
         }
         Ticket { id, class, rx }
+    }
+
+    /// Seeds shard `shard`'s measured service-time estimator with one
+    /// observed batch (`batch_us` µs over `jobs` jobs) — exactly what
+    /// the shard worker feeds it after a real dispatch. Lets harnesses
+    /// under a frozen [`ManualClock`] (where measured batch durations
+    /// are zero) warm the predictive-shedding and dynamic-margin
+    /// machinery from a cost model instead; a no-op on a shard without
+    /// an estimator.
+    pub fn prime_service_estimate(&self, shard: usize, batch_us: u64, jobs: usize) {
+        if let Some(estimator) = self.shards[shard].queue.estimator() {
+            estimator.observe(batch_us, jobs);
+        }
     }
 
     /// Applies any [`CaseMutation`] on the shard owning its function

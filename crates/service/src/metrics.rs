@@ -43,6 +43,10 @@ pub struct ClassMetrics {
     pub shed_queue_full: AtomicU64,
     /// Requests dropped at dispatch because their deadline budget expired.
     pub shed_deadline: AtomicU64,
+    /// Requests refused at admission because the measured service rate
+    /// predicted their deadline could not be met even if queued
+    /// (predictive shedding; see `ServiceConfig::predictive_shed`).
+    pub shed_predicted: AtomicU64,
     /// Completions served from the retrieval result cache.
     pub cache_hits: AtomicU64,
     /// Dispatched requests the cache could not answer (cold, stale, or
@@ -201,6 +205,7 @@ impl ServiceMetrics {
                 completed: m.completed.load(Ordering::Relaxed),
                 shed_queue_full: m.shed_queue_full.load(Ordering::Relaxed),
                 shed_deadline: m.shed_deadline.load(Ordering::Relaxed),
+                shed_predicted: m.shed_predicted.load(Ordering::Relaxed),
                 cache_hits: m.cache_hits.load(Ordering::Relaxed),
                 cache_misses: m.cache_misses.load(Ordering::Relaxed),
                 cache_stale: m.cache_stale.load(Ordering::Relaxed),
@@ -241,6 +246,8 @@ pub struct ClassSnapshot {
     pub shed_queue_full: u64,
     /// Requests shed at dispatch (deadline budget expired).
     pub shed_deadline: u64,
+    /// Requests shed at admission by deadline prediction.
+    pub shed_predicted: u64,
     /// Completions served from cache.
     pub cache_hits: u64,
     /// Dispatched requests the cache missed (cold, stale, or uncovered).
@@ -264,7 +271,7 @@ pub struct ClassSnapshot {
 impl ClassSnapshot {
     /// Total requests shed, for any reason.
     pub fn shed(&self) -> u64 {
-        self.shed_queue_full + self.shed_deadline
+        self.shed_queue_full + self.shed_deadline + self.shed_predicted
     }
 
     /// Cache hit rate against probes (`cache_hits / cache_lookups()`),
@@ -343,6 +350,7 @@ impl MetricsSnapshot {
             out.push(Sample::count(format!("{class}/completed"), c.completed));
             out.push(Sample::count(format!("{class}/shed_queue_full"), c.shed_queue_full));
             out.push(Sample::count(format!("{class}/shed_deadline"), c.shed_deadline));
+            out.push(Sample::count(format!("{class}/shed_predicted"), c.shed_predicted));
             out.push(Sample::count(format!("{class}/cache_hits"), c.cache_hits));
             out.push(Sample::count(format!("{class}/cache_misses"), c.cache_misses));
             out.push(Sample::count(format!("{class}/cache_stale"), c.cache_stale));

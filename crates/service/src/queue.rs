@@ -75,6 +75,16 @@ pub enum Admission {
     /// The job was refused (class limit reached and the job itself holds
     /// the largest slack, or the queue is shut down).
     Refused(Job),
+    /// Predictive shed: the measured service rate says the job's
+    /// deadline cannot be met even if queued, so it is refused *fast*
+    /// instead of occupying a slot it is doomed to shed at dispatch.
+    /// Carries the predicted lateness in µs.
+    Doomed {
+        /// The refused job (the caller answers it).
+        job: Job,
+        /// Predicted completion lateness had the job been queued, µs.
+        late_us: u64,
+    },
 }
 
 struct Inner {
@@ -134,6 +144,10 @@ pub struct ClassQueue {
     /// worker (`None` = no measurement: fixed margins, no deadline-aware
     /// batch composition).
     estimator: Option<Arc<ServiceTimeEstimator>>,
+    /// Whether admission refuses deadlined sheddable jobs the estimator
+    /// predicts cannot finish in time even if queued (see
+    /// [`Admission::Doomed`]). Off by default.
+    predictive_shed: bool,
 }
 
 impl ClassQueue {
@@ -169,6 +183,7 @@ impl ClassQueue {
             recorder: None,
             epoch,
             estimator: None,
+            predictive_shed: false,
         }
     }
 
@@ -199,6 +214,43 @@ impl ClassQueue {
         self
     }
 
+    /// Enables predictive shedding at admission (needs an estimator to
+    /// have any effect; a cold estimator predicts nothing).
+    pub fn with_predictive_shed(mut self, on: bool) -> ClassQueue {
+        self.predictive_shed = on;
+        self
+    }
+
+    /// The shard's measured service-time estimator, if attached.
+    pub(crate) fn estimator(&self) -> Option<Arc<ServiceTimeEstimator>> {
+        self.estimator.clone()
+    }
+
+    /// Predicted lateness (µs) of a deadlined sheddable job arriving
+    /// now, from the warm estimator's per-job rate over the current
+    /// backlog: with `n` jobs already queued the newcomer completes
+    /// after roughly `(n + 1) × per_job_us`. `None` = viable (or not
+    /// predictable: predictive shedding off, cold estimator, CRITICAL,
+    /// or no deadline).
+    fn predicted_lateness(&self, job: &Job, queued: usize, now: Instant) -> Option<u64> {
+        if !self.predictive_shed || !job.class.sheddable() {
+            return None;
+        }
+        let deadline = job.deadline?;
+        let estimator = self.estimator.as_ref()?;
+        if estimator.samples() == 0 {
+            return None;
+        }
+        let per_job = estimator.per_job_us();
+        let predicted_us = per_job.checked_mul(queued as u64 + 1)?;
+        let completes = now + Duration::from_micros(predicted_us);
+        if completes > deadline {
+            Some(micros_between(deadline, completes))
+        } else {
+            None
+        }
+    }
+
     /// The lane sort key of a job under this queue's mode.
     fn sort_key(&self, job: &Job) -> SortKey {
         match self.mode {
@@ -214,6 +266,13 @@ impl ClassQueue {
         let mut inner = self.inner.lock().expect("queue poisoned");
         if inner.shutdown {
             return Admission::Refused(job);
+        }
+        if let Some(late_us) = self.predicted_lateness(&job, inner.len, self.clock.now()) {
+            // Refuse-fast: the measured service rate says this job
+            // sheds at dispatch anyway; answering now costs nothing and
+            // keeps the doomed work from occupying a queue slot.
+            drop(inner);
+            return Admission::Doomed { job, late_us };
         }
         let limit = match job.class {
             QosClass::Critical => usize::MAX,
@@ -740,6 +799,82 @@ mod tests {
             push_ok(&q, job(id, QosClass::High));
         }
         assert_eq!(q.pop_batch(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn predictive_shedding_dooms_only_the_truly_doomed() {
+        // 100 µs estimated per job. Five jobs already queued, so a
+        // newcomer completes at ~(5+1)×100 = 600 µs.
+        let manual = Arc::new(rqfa_telemetry::ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = clock.now();
+        let estimator = Arc::new(ServiceTimeEstimator::new());
+        estimator.observe(100, 1);
+        let q = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base)
+        .with_estimator(estimator)
+        .with_predictive_shed(true);
+        for id in 0..5 {
+            push_ok(&q, job(id, QosClass::Low));
+        }
+        // Doomed: 300 µs deadline against a 600 µs predicted completion.
+        match q.push(deadline_job(10, QosClass::Low, base, 300)) {
+            Admission::Doomed { job, late_us } => {
+                assert_eq!(job.id, 10);
+                assert_eq!(late_us, 300, "predicted 600 µs against a 300 µs deadline");
+            }
+            other => panic!("expected Doomed, got {other:?}"),
+        }
+        // Viable: 1 ms of slack admits normally.
+        push_ok(&q, deadline_job(11, QosClass::Low, base, 1_000));
+        // No deadline: nothing to predict against.
+        push_ok(&q, job(12, QosClass::Low));
+        // CRITICAL is never sheddable, predicted lateness or not.
+        push_ok(&q, deadline_job(13, QosClass::Critical, base, 1));
+    }
+
+    #[test]
+    fn predictive_shedding_stays_dormant_when_cold_or_disabled() {
+        let manual = Arc::new(rqfa_telemetry::ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = clock.now();
+        // Cold estimator (no samples): admit even hopeless deadlines.
+        let cold = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base)
+        .with_estimator(Arc::new(ServiceTimeEstimator::new()))
+        .with_predictive_shed(true);
+        for id in 0..5 {
+            push_ok(&cold, job(id, QosClass::Low));
+        }
+        push_ok(&cold, deadline_job(10, QosClass::Low, base, 1));
+        // Feature off: a warm estimator must not shed either.
+        let estimator = Arc::new(ServiceTimeEstimator::new());
+        estimator.observe(100, 1);
+        let off = ClassQueue::new(
+            64,
+            WeightedArbiter::new(),
+            SchedMode::Edf,
+            0,
+            Arc::new(ServiceMetrics::default()),
+        )
+        .with_telemetry(Arc::clone(&clock), None, base)
+        .with_estimator(estimator);
+        for id in 0..5 {
+            push_ok(&off, job(id, QosClass::Low));
+        }
+        push_ok(&off, deadline_job(10, QosClass::Low, base, 1));
     }
 
     #[test]

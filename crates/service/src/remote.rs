@@ -24,6 +24,24 @@
 //!   chunks, then the WAL tail streams as exact log frames, each
 //!   acknowledged. On leader death the follower
 //!   [promotes](rqfa_net::Follower::promote) and serves the same answers.
+//! * [`Supervisor`] closes the detect→decide→act loop: heartbeat probes
+//!   renew each node's lease in a [`FailureDetector`]; when a node's
+//!   lease decays to [`Liveness::Down`], the supervisor bumps the
+//!   cluster's fencing epoch, runs the node's registered promotion hook
+//!   (promote the follower, spawn a replacement server, restore
+//!   redundancy) and repoints placement via
+//!   [`ClusterClient::set_node`] — all driven by the injected clock, so
+//!   failover is deterministic under a `ManualClock`.
+//!
+//! ## Fencing
+//!
+//! Every [`Message::Mutate`] carries the sender's cluster epoch. A node
+//! server remembers the highest epoch it has ever seen and **rejects**
+//! mutations stamped lower — so a stale leader reconnecting after a
+//! partition (its client still holding the pre-failover epoch) cannot
+//! mutate state behind the promoted leader's back. Split-brain writes
+//! are refused at the wire, not merely discouraged. Submits are
+//! read-only and stay unfenced.
 //!
 //! ## Duplicate-delivery discipline
 //!
@@ -44,15 +62,16 @@ use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use rqfa_core::placement::{NodeId, Placement, ShardSite};
 use rqfa_core::{CaseMutation, Generation, QosClass, Request};
 use rqfa_net::{
-    connect_loopback, snapshot_stream, Follower, FollowerEvent, FrameConn, Message, MutateAck,
-    NetError, NetStats, RetryPolicy, TailAck, WireOutcome, WireReply,
+    connect_loopback, snapshot_stream, CircuitBreaker, FailureDetector, Follower, FollowerEvent,
+    FrameConn, Heartbeat, Liveness, Message, MutateAck, NetError, NetStats, RetryPolicy, TailAck,
+    WireOutcome, WireReply,
 };
 use rqfa_telemetry::{clock::micros_between, EventKind, FlightRecorder, SharedClock};
 
@@ -97,6 +116,7 @@ pub fn outcome_to_wire(outcome: &Outcome) -> Result<WireOutcome, NetError> {
         Outcome::Unavailable { attempts } => WireOutcome::Unavailable {
             attempts: *attempts,
         },
+        Outcome::ShedPredicted { late_us } => WireOutcome::ShedPredicted { late_us: *late_us },
     })
 }
 
@@ -116,6 +136,7 @@ pub fn outcome_from_wire(outcome: WireOutcome) -> Outcome {
         WireOutcome::ShedDeadline => Outcome::ShedDeadline,
         WireOutcome::Failed(error) => Outcome::Failed(error),
         WireOutcome::Unavailable { attempts } => Outcome::Unavailable { attempts },
+        WireOutcome::ShedPredicted { late_us } => Outcome::ShedPredicted { late_us },
     }
 }
 
@@ -131,17 +152,32 @@ pub fn outcome_from_wire(outcome: WireOutcome) -> Outcome {
 pub struct NodeServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    /// Highest mutation epoch this node has ever seen (the fence).
+    fence: Arc<AtomicU64>,
     accept_thread: Option<JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl NodeServer {
-    /// Binds an ephemeral loopback port and starts serving `service`.
+    /// Binds an ephemeral loopback port and starts serving `service`
+    /// with the fence at epoch 0 (every mutation epoch accepted until a
+    /// higher one arrives).
     ///
     /// # Errors
     ///
     /// [`ServiceError::Remote`] if the listener cannot be bound.
     pub fn spawn(service: Arc<AllocationService>) -> Result<NodeServer, ServiceError> {
+        NodeServer::spawn_fenced(service, 0)
+    }
+
+    /// As [`NodeServer::spawn`], but born with the fence already at
+    /// `epoch` — the failover path: a server spawned over a promoted
+    /// follower starts at the promotion epoch, so the deposed leader's
+    /// older-epoch mutations are rejected from the first frame.
+    pub fn spawn_fenced(
+        service: Arc<AllocationService>,
+        epoch: u64,
+    ) -> Result<NodeServer, ServiceError> {
         let listener = TcpListener::bind(("127.0.0.1", 0))
             .map_err(|e| ServiceError::Remote(format!("bind loopback listener: {e}")))?;
         let addr = listener
@@ -151,8 +187,10 @@ impl NodeServer {
             .set_nonblocking(true)
             .map_err(|e| ServiceError::Remote(format!("arm nonblocking accept: {e}")))?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let fence = Arc::new(AtomicU64::new(epoch));
         let conn_threads: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let accept_flag = Arc::clone(&shutdown);
+        let accept_fence = Arc::clone(&fence);
         let accept_threads = Arc::clone(&conn_threads);
         let accept_thread = std::thread::spawn(move || loop {
             if accept_flag.load(Ordering::Acquire) {
@@ -162,8 +200,9 @@ impl NodeServer {
                 Ok((stream, _peer)) => {
                     let service = Arc::clone(&service);
                     let flag = Arc::clone(&accept_flag);
+                    let fence = Arc::clone(&accept_fence);
                     let handle =
-                        std::thread::spawn(move || serve_connection(&service, stream, &flag));
+                        std::thread::spawn(move || serve_connection(&service, stream, &flag, &fence));
                     accept_threads
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner)
@@ -178,6 +217,7 @@ impl NodeServer {
         Ok(NodeServer {
             addr,
             shutdown,
+            fence,
             accept_thread: Some(accept_thread),
             conn_threads,
         })
@@ -186,6 +226,11 @@ impl NodeServer {
     /// The address clients connect to.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The highest mutation epoch this node has seen (the fence).
+    pub fn fence_epoch(&self) -> u64 {
+        self.fence.load(Ordering::Acquire)
     }
 
     /// Kills the node: stops accepting, unwinds every connection thread
@@ -220,7 +265,12 @@ impl Drop for NodeServer {
 
 /// One connection's serve loop: strictly request → reply, closing on any
 /// protocol violation or transport damage (the client reconnects).
-fn serve_connection(service: &AllocationService, stream: TcpStream, shutdown: &AtomicBool) {
+fn serve_connection(
+    service: &AllocationService,
+    stream: TcpStream,
+    shutdown: &AtomicBool,
+    fence: &AtomicU64,
+) {
     // A short read timeout turns the blocking recv into a poll so the
     // thread notices `shutdown` within ~25 ms even on an idle connection.
     if stream
@@ -231,7 +281,7 @@ fn serve_connection(service: &AllocationService, stream: TcpStream, shutdown: &A
     }
     let _ = stream.set_nodelay(true);
     let mut conn = FrameConn::new(stream);
-    let mut last_mutate: Option<CaseMutation> = None;
+    let mut last_mutate: Option<(u64, CaseMutation)> = None;
     while !shutdown.load(Ordering::Acquire) {
         let message = match conn.recv() {
             Ok((message, _bytes)) => message,
@@ -268,27 +318,54 @@ fn serve_connection(service: &AllocationService, stream: TcpStream, shutdown: &A
                     return;
                 }
             }
-            Message::Mutate(mutation) => {
-                if last_mutate.as_ref() == Some(&mutation) {
+            Message::Mutate { epoch, mutation } => {
+                if last_mutate.as_ref() == Some(&(epoch, mutation.clone())) {
                     // Transport duplicate (see the module docs): already
-                    // applied and acknowledged — swallow it.
+                    // answered — swallow it.
                     continue;
                 }
-                let ack = match service.apply_mutation(&mutation) {
-                    Ok(_inverse) => {
-                        let owner = shard::route(mutation.type_id(), service.shard_count());
-                        MutateAck {
-                            generation: service.shard_generation(owner).raw(),
-                            error: None,
-                        }
-                    }
-                    Err(error) => MutateAck {
+                // The fence: remember the highest epoch ever seen and
+                // reject anything older — a stale leader's mutation is
+                // refused *before* it can touch state (no split-brain).
+                let seen = fence.fetch_max(epoch, Ordering::AcqRel).max(epoch);
+                let ack = if epoch < seen {
+                    MutateAck {
                         generation: 0,
-                        error: Some(error.to_string()),
-                    },
+                        error: Some(format!(
+                            "fenced: mutation epoch {epoch} is stale (node epoch {seen})"
+                        )),
+                    }
+                } else {
+                    match service.apply_mutation(&mutation) {
+                        Ok(_inverse) => {
+                            let owner = shard::route(mutation.type_id(), service.shard_count());
+                            MutateAck {
+                                generation: service.shard_generation(owner).raw(),
+                                error: None,
+                            }
+                        }
+                        Err(error) => MutateAck {
+                            generation: 0,
+                            error: Some(error.to_string()),
+                        },
+                    }
                 };
-                last_mutate = Some(mutation);
+                last_mutate = Some((epoch, mutation));
                 if conn.send(&Message::MutateAck(ack)).is_err() {
+                    return;
+                }
+            }
+            Message::Heartbeat(probe) => {
+                // Liveness probe: echo the node id, answering with this
+                // node's fence epoch and its shard-0 generation (the
+                // one-shard-per-node convention of the cluster harness)
+                // so the prober learns both liveness and progress.
+                let echo = Heartbeat {
+                    node: probe.node,
+                    epoch: fence.load(Ordering::Acquire),
+                    generation: service.shard_generation(0).raw(),
+                };
+                if conn.send(&Message::Heartbeat(echo)).is_err() {
                     return;
                 }
             }
@@ -324,6 +401,10 @@ pub struct RemoteShard {
     stats: Arc<NetStats>,
     conn: Mutex<Option<FrameConn<Box<dyn RemoteStream>>>>,
     tracer: Option<Tracer>,
+    /// Optional circuit breaker: when open, calls fail fast with
+    /// attempt count 0 instead of burning the whole retry budget
+    /// against a node that is known-dead (see [`CircuitBreaker`]).
+    breaker: Option<Arc<CircuitBreaker>>,
 }
 
 impl RemoteShard {
@@ -335,6 +416,7 @@ impl RemoteShard {
             stats: Arc::new(NetStats::new()),
             conn: Mutex::new(None),
             tracer: None,
+            breaker: None,
         }
     }
 
@@ -367,6 +449,20 @@ impl RemoteShard {
         self
     }
 
+    /// Guards every call with `breaker`: an exhausted retry budget
+    /// counts one failure, a trip makes later calls fail fast (attempt
+    /// count 0) until the breaker's clock-driven probe re-closes it.
+    #[must_use]
+    pub fn with_breaker(mut self, breaker: Arc<CircuitBreaker>) -> RemoteShard {
+        self.breaker = Some(breaker);
+        self
+    }
+
+    /// This client's circuit breaker, if one is attached.
+    pub fn breaker(&self) -> Option<Arc<CircuitBreaker>> {
+        self.breaker.clone()
+    }
+
     /// This client's transport counters.
     pub fn stats(&self) -> Arc<NetStats> {
         Arc::clone(&self.stats)
@@ -395,15 +491,40 @@ impl RemoteShard {
         })
     }
 
-    /// Applies a mutation over the wire; `Err(attempts)` on exhaustion.
-    pub fn call_mutate(&self, mutation: &CaseMutation) -> Result<MutateAck, u32> {
+    /// Applies a mutation over the wire, stamped with the caller's
+    /// cluster `epoch` (the server rejects stale epochs — see the
+    /// module's fencing docs); `Err(attempts)` on exhaustion.
+    pub fn call_mutate(&self, epoch: u64, mutation: &CaseMutation) -> Result<MutateAck, u32> {
         // Control-plane events are traced under request id 0, class HIGH.
         self.call(
             0,
             QosClass::High,
-            &Message::Mutate(mutation.clone()),
+            &Message::Mutate {
+                epoch,
+                mutation: mutation.clone(),
+            },
             |message| match message {
                 Message::MutateAck(ack) => Some(ack),
+                _ => None,
+            },
+        )
+    }
+
+    /// Probes the node's liveness: sends a heartbeat carrying `node`
+    /// and returns the server's echo (fence epoch + shard-0
+    /// generation); `Err(attempts)` when the node stayed unreachable.
+    pub fn call_heartbeat(&self, node: u16) -> Result<Heartbeat, u32> {
+        let probe = Heartbeat {
+            node,
+            epoch: 0,
+            generation: 0,
+        };
+        self.call(
+            u64::from(node),
+            QosClass::Critical,
+            &Message::Heartbeat(probe),
+            |message| match message {
+                Message::Heartbeat(echo) => Some(echo),
                 _ => None,
             },
         )
@@ -417,6 +538,14 @@ impl RemoteShard {
         message: &Message,
         matcher: impl Fn(Message) -> Option<T>,
     ) -> Result<T, u32> {
+        // Degradation ladder, rung one: an open breaker fails the call
+        // *before* any transport work. Attempt count 0 distinguishes
+        // the fast-fail from a genuinely exhausted retry budget.
+        if let Some(breaker) = &self.breaker {
+            if !breaker.admit() {
+                return Err(0);
+            }
+        }
         let mut guard = self
             .conn
             .lock()
@@ -463,6 +592,9 @@ impl RemoteShard {
                         );
                         if let Some(value) = matcher(reply) {
                             *guard = Some(conn);
+                            if let Some(breaker) = &self.breaker {
+                                breaker.on_success();
+                            }
                             return Ok(value);
                         }
                     }
@@ -472,6 +604,11 @@ impl RemoteShard {
                     }
                 }
             }
+        }
+        // One exhausted call = one breaker failure (not one per
+        // attempt): the retry budget already oversamples the node.
+        if let Some(breaker) = &self.breaker {
+            breaker.on_failure();
         }
         Err(self.policy.attempts)
     }
@@ -503,14 +640,18 @@ impl RemoteShard {
 pub struct ClusterClient {
     placement: Box<dyn Placement>,
     local: Option<Arc<AllocationService>>,
-    remotes: HashMap<NodeId, RemoteShard>,
+    remotes: RwLock<HashMap<NodeId, Arc<RemoteShard>>>,
+    /// The cluster epoch: bumped by every promotion, stamped on every
+    /// mutation so a fenced node can reject a stale leader's writes.
+    epoch: AtomicU64,
     next_id: AtomicU64,
 }
 
 impl ClusterClient {
     /// A client over `placement`. `local` serves the
     /// [`ShardSite::Local`] sites (pass `None` for a placement that is
-    /// fully remote).
+    /// fully remote). The cluster epoch starts at 1 (epoch 0 is the
+    /// "never promoted" floor every node server is born fenced at).
     pub fn new(
         placement: Box<dyn Placement>,
         local: Option<Arc<AllocationService>>,
@@ -518,16 +659,55 @@ impl ClusterClient {
         ClusterClient {
             placement,
             local,
-            remotes: HashMap::new(),
+            remotes: RwLock::new(HashMap::new()),
+            epoch: AtomicU64::new(1),
             next_id: AtomicU64::new(0),
         }
     }
 
     /// Registers the client of node `node`. Replaces any previous client
     /// for that node — the failover path points a node id at its promoted
-    /// replacement with exactly this call.
-    pub fn set_node(&mut self, node: NodeId, shard: RemoteShard) {
-        self.remotes.insert(node, shard);
+    /// replacement with exactly this call (`&self`, so a supervisor can
+    /// repoint placement while submitters hold the client).
+    pub fn set_node(&self, node: NodeId, shard: RemoteShard) {
+        self.remotes
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(node, Arc::new(shard));
+    }
+
+    /// The client of node `node`, if one is registered.
+    pub fn remote(&self, node: NodeId) -> Option<Arc<RemoteShard>> {
+        self.remotes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(&node)
+            .cloned()
+    }
+
+    /// Every node id with a registered client, ascending.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .remotes
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable_by_key(|node| node.raw());
+        ids
+    }
+
+    /// The current cluster epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Advances the cluster epoch (one promotion = one bump), returning
+    /// the new value. Mutations sent after the bump carry it, fencing
+    /// out any leader deposed by the promotion.
+    pub fn bump_epoch(&self) -> u64 {
+        self.epoch.fetch_add(1, Ordering::AcqRel) + 1
     }
 
     /// Submits a request, blocking until its reply (remote hops resolve
@@ -579,9 +759,11 @@ impl ClusterClient {
                 reply
             }
             ShardSite::Remote { node, .. } => {
+                // Clone the Arc out of the lock before the (blocking)
+                // call so a concurrent failover's `set_node` never
+                // waits on a submitter's retry budget.
                 let remote = self
-                    .remotes
-                    .get(&node)
+                    .remote(node)
                     .unwrap_or_else(|| panic!("no client registered for {node}"));
                 let submit = rqfa_net::Submit {
                     id,
@@ -631,10 +813,9 @@ impl ClusterClient {
             }
             ShardSite::Remote { node, .. } => {
                 let remote = self
-                    .remotes
-                    .get(&node)
+                    .remote(node)
                     .unwrap_or_else(|| panic!("no client registered for {node}"));
-                match remote.call_mutate(mutation) {
+                match remote.call_mutate(self.epoch(), mutation) {
                     Ok(MutateAck { error: None, generation }) => {
                         Ok(Generation::from_raw(generation))
                     }
@@ -645,6 +826,170 @@ impl ClusterClient {
                     Err(attempts) => Err(ServiceError::Remote(format!(
                         "{node} unreachable after {attempts} attempt(s)"
                     ))),
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervision
+// ---------------------------------------------------------------------------
+
+/// A node's promotion hook: given the new cluster epoch, promote the
+/// node's follower, spawn a replacement server fenced at that epoch
+/// (see [`NodeServer::spawn_fenced`]) and return the client of the
+/// replacement. Restoring redundancy (re-seeding a fresh follower via
+/// [`replicate_shard`]) is also this hook's contract — the supervisor
+/// only decides *when*.
+pub type PromoteFn = Box<dyn FnMut(u64) -> Result<RemoteShard, ServiceError> + Send>;
+
+/// One supervision decision, as reported by [`Supervisor::tick`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SupervisorEvent {
+    /// The node answered its heartbeat probe; its lease was renewed.
+    Beat {
+        /// The probed node.
+        node: NodeId,
+    },
+    /// The node's lease decayed to [`Liveness::Down`] and its standby
+    /// was promoted under the new cluster epoch.
+    Promoted {
+        /// The replaced node.
+        node: NodeId,
+        /// The cluster epoch the promotion established.
+        epoch: u64,
+    },
+    /// The node is down but promotion failed (or no standby is
+    /// registered); the supervisor retries next tick.
+    PromotionFailed {
+        /// The down node.
+        node: NodeId,
+        /// Why the promotion hook failed.
+        error: String,
+    },
+}
+
+/// The supervision loop: probes every registered node each
+/// [`tick`](Supervisor::tick), feeds the answers to a
+/// [`FailureDetector`], and on a `Down` verdict executes the fenced
+/// failover — bump the [`ClusterClient`] epoch, run the node's
+/// [`PromoteFn`], repoint placement with [`ClusterClient::set_node`].
+///
+/// The supervisor owns no threads and reads no wall clock: the harness
+/// (or a production pacer) calls `tick` at its chosen cadence, and all
+/// lease arithmetic flows through the detector's injected
+/// [`rqfa_telemetry::Clock`] — which is what makes the chaos tests in
+/// `tests/distributed.rs` deterministic.
+pub struct Supervisor {
+    client: Arc<ClusterClient>,
+    detector: Arc<FailureDetector>,
+    standbys: HashMap<NodeId, PromoteFn>,
+    recorder: Option<Arc<FlightRecorder>>,
+    clock: Option<(SharedClock, Instant)>,
+}
+
+impl Supervisor {
+    /// A supervisor over `client`, judging liveness with `detector`.
+    /// Nodes are discovered from the client's registry each tick;
+    /// failover requires a standby registered via
+    /// [`Supervisor::register_standby`].
+    pub fn new(client: Arc<ClusterClient>, detector: Arc<FailureDetector>) -> Supervisor {
+        Supervisor {
+            client,
+            detector,
+            standbys: HashMap::new(),
+            recorder: None,
+            clock: None,
+        }
+    }
+
+    /// Arms flight recording: promotions land in `recorder` as
+    /// [`EventKind::NodePromoted`] stamped by `clock` (µs since this
+    /// call), with the node id in the request-id field and the new
+    /// epoch as the argument.
+    #[must_use]
+    pub fn with_recorder(mut self, recorder: Arc<FlightRecorder>, clock: SharedClock) -> Supervisor {
+        let epoch = clock.now();
+        self.recorder = Some(recorder);
+        self.clock = Some((clock, epoch));
+        self
+    }
+
+    /// Registers `promote` as node `node`'s failover hook. One standby
+    /// per node; registering again replaces the hook.
+    pub fn register_standby(&mut self, node: NodeId, promote: PromoteFn) {
+        self.standbys.insert(node, promote);
+    }
+
+    /// This supervisor's failure detector.
+    pub fn detector(&self) -> Arc<FailureDetector> {
+        Arc::clone(&self.detector)
+    }
+
+    /// One supervision round: probe every registered node, renew leases
+    /// for the ones that answer, and run the fenced failover for any
+    /// whose lease has decayed to `Down`. Returns what happened, in
+    /// node-id order.
+    pub fn tick(&mut self) -> Vec<SupervisorEvent> {
+        let mut events = Vec::new();
+        for node in self.client.node_ids() {
+            let Some(remote) = self.client.remote(node) else {
+                continue;
+            };
+            let node_u16 = node.raw();
+            if remote.call_heartbeat(node_u16).is_ok() {
+                self.detector.beat(node_u16);
+                events.push(SupervisorEvent::Beat { node });
+                continue;
+            }
+            // Probe failed: let the *lease* decide. A single missed
+            // probe inside the lease window is noise, not a failure —
+            // this is the no-false-promotion invariant.
+            if self.detector.assess(node_u16) != Liveness::Down {
+                continue;
+            }
+            events.push(self.fail_over(node, node_u16));
+        }
+        events
+    }
+
+    fn fail_over(&mut self, node: NodeId, node_u16: u16) -> SupervisorEvent {
+        let Some(mut promote) = self.standbys.remove(&node) else {
+            return SupervisorEvent::PromotionFailed {
+                node,
+                error: format!("no standby registered for {node}"),
+            };
+        };
+        // The epoch bump happens *before* the promotion runs, so the
+        // replacement server is born fenced at the new epoch and the
+        // deposed leader's clients are stale from this instant.
+        let epoch = self.client.bump_epoch();
+        match promote(epoch) {
+            Ok(replacement) => {
+                self.client.set_node(node, replacement);
+                // The promoted node is alive by construction: reset its
+                // lease so the next tick judges the replacement, not
+                // the corpse.
+                self.detector.beat(node_u16);
+                if let (Some(recorder), Some((clock, since))) = (&self.recorder, &self.clock) {
+                    recorder.record(
+                        micros_between(*since, clock.now()),
+                        u64::from(node_u16),
+                        0,
+                        EventKind::NodePromoted,
+                        epoch,
+                    );
+                }
+                SupervisorEvent::Promoted { node, epoch }
+            }
+            Err(error) => {
+                // Put the hook back for a retry next tick. The epoch
+                // bump is *not* rolled back: epochs only move forward.
+                self.standbys.insert(node, promote);
+                SupervisorEvent::PromotionFailed {
+                    node,
+                    error: error.to_string(),
                 }
             }
         }
@@ -756,6 +1101,7 @@ mod tests {
                 type_id: TypeId::new(9).unwrap(),
             }),
             Outcome::Unavailable { attempts: 3 },
+            Outcome::ShedPredicted { late_us: 1_250 },
         ];
         for outcome in outcomes {
             let wire = outcome_to_wire(&outcome).unwrap();
@@ -824,6 +1170,71 @@ mod tests {
     }
 
     #[test]
+    fn breaker_fast_fails_and_recovers_via_half_open() {
+        let service = Arc::new(
+            AllocationService::new(
+                &paper::table1_case_base(),
+                &crate::ServiceConfig::default().with_shards(1),
+            )
+            .expect("valid service config"),
+        );
+        let server = NodeServer::spawn(Arc::clone(&service)).unwrap();
+        let addr = server.addr();
+        // A severable link: while `cut`, every (re)connection attempt
+        // fails before touching the live server.
+        let cut = Arc::new(AtomicBool::new(true));
+        let cut_in_factory = Arc::clone(&cut);
+        let clock = Arc::new(rqfa_telemetry::ManualClock::new());
+        let breaker = Arc::new(CircuitBreaker::new(
+            Arc::clone(&clock) as SharedClock,
+            0,
+            2,
+            1_000,
+        ));
+        let remote = RemoteShard::new(
+            Box::new(move || {
+                if cut_in_factory.load(Ordering::SeqCst) {
+                    return Err(NetError::Timeout);
+                }
+                connect_loopback(addr, Duration::from_millis(500))
+                    .map(|stream| Box::new(stream) as Box<dyn RemoteStream>)
+            }),
+            RetryPolicy {
+                attempts: 1,
+                base_backoff: Duration::from_micros(1),
+                jitter_seed: 0,
+            },
+        )
+        .with_breaker(Arc::clone(&breaker));
+        let submit = |id| rqfa_net::Submit {
+            id,
+            class: QosClass::High,
+            deadline_us: None,
+            request: paper::table1_request().unwrap(),
+        };
+        // Two exhausted calls trip the threshold-2 breaker.
+        assert_eq!(remote.call_submit(submit(0)), Err(1));
+        assert_eq!(remote.call_submit(submit(1)), Err(1));
+        assert_eq!(breaker.opens(), 1);
+        // Open: the next call fails fast — attempt count 0 and zero
+        // transport work, not a burned retry budget.
+        assert_eq!(remote.call_submit(submit(2)), Err(0));
+        assert_eq!(breaker.fast_fails(), 1);
+        assert_eq!(remote.stats().frames_sent.load(Ordering::Relaxed), 0);
+        // After the cooldown the single half-open probe re-closes it.
+        clock.advance_us(1_000);
+        cut.store(false, Ordering::SeqCst);
+        let reply = remote.call_submit(submit(3)).expect("probe call lands");
+        assert_eq!(reply.id, 3);
+        assert_eq!(breaker.state(), rqfa_net::BreakerState::Closed);
+        assert_eq!(remote.call_submit(submit(4)).expect("closed again").id, 4);
+        server.shutdown();
+        if let Some(service) = Arc::into_inner(service) {
+            service.shutdown();
+        }
+    }
+
+    #[test]
     fn remote_mutations_apply_once_and_report_generations() {
         let service = Arc::new(
             AllocationService::new(
@@ -842,13 +1253,13 @@ mod tests {
             type_id: paper::FIR_EQUALIZER,
             impl_id: paper::IMPL_GP,
         };
-        let ack = remote.call_mutate(&evict).unwrap();
+        let ack = remote.call_mutate(1, &evict).unwrap();
         assert_eq!(ack, MutateAck { generation: 1, error: None });
         // The same eviction again looks like a transport duplicate on
         // this connection, so the server swallows it; the client times
         // out, reconnects, and the re-sent call is then applied — where
         // it fails (already evicted) and reports the remote error.
-        let again = remote.call_mutate(&evict).unwrap();
+        let again = remote.call_mutate(1, &evict).unwrap();
         assert!(again.error.is_some());
         assert!(remote.stats().retries.load(Ordering::Relaxed) >= 1);
         assert_eq!(service.shard_generation(0).raw(), 1);

@@ -306,6 +306,15 @@ impl TraceDriver {
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 job.reply(Outcome::ShedQueueFull, 0, metrics);
             }
+            Admission::Doomed { job, late_us } => {
+                record(id, class, EventKind::Refused, 0);
+                record(id, class, EventKind::ShedPredicted, late_us);
+                metrics
+                    .class(class)
+                    .shed_predicted
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                job.reply(Outcome::ShedPredicted { late_us }, 0, metrics);
+            }
         }
         rx
     }

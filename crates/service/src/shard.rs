@@ -228,7 +228,8 @@ impl Shard {
                 Arc::clone(&metrics),
             )
             .with_telemetry(Arc::clone(&config.clock), recorder.clone(), epoch)
-            .with_estimator(Arc::clone(&estimator)),
+            .with_estimator(Arc::clone(&estimator))
+            .with_predictive_shed(config.predictive_shed),
         );
         let store = Arc::new(Mutex::new(store));
         let worker_queue = Arc::clone(&queue);

@@ -39,7 +39,7 @@ pub mod metrics;
 pub mod registry;
 pub mod trace;
 
-pub use clock::{monotonic, Clock, ManualClock, MonotonicClock, SharedClock};
+pub use clock::{micros_between, monotonic, Clock, ManualClock, MonotonicClock, SharedClock};
 pub use metrics::{ratio, Counter, Gauge, Histogram};
 pub use registry::{write_table, MetricSource, Registry, RegistrySnapshot, Sample};
 pub use trace::{

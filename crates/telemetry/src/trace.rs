@@ -34,7 +34,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// `Refused`), scheduling (`Scheduled`, with `arg = 1` when deadline
 /// urgency promoted the pick), dispatch and the cache probe, and exactly
 /// one terminal event per request (`Replied`, `Failed`, `ShedQueueFull`,
-/// `ShedDeadline`).
+/// `ShedDeadline`, `ShedPredicted`). Kinds 18+ extend the vocabulary to
+/// the liveness and degradation planes, where events are node-scoped:
+/// the node id rides in the request-id field.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 #[repr(u8)]
 pub enum EventKind {
@@ -89,6 +91,33 @@ pub enum EventKind {
     /// surfaces an unavailable outcome through the normal terminal
     /// events.
     FrameTimedOut = 17,
+    /// Liveness plane: a node's lease lapsed past the suspicion bound
+    /// but not yet the down threshold. The *node id* rides in the
+    /// request-id field (liveness events are node-scoped, not
+    /// request-scoped); `arg` carries the count of whole leases missed.
+    NodeSuspected = 18,
+    /// Liveness plane: a node missed the down threshold of consecutive
+    /// leases and is considered dead; node id in the request-id field,
+    /// missed-lease count in `arg`.
+    NodeDown = 19,
+    /// Liveness plane: the supervisor promoted a follower to serve a
+    /// dead node's shard; the *promoted* node id rides in the request-id
+    /// field and `arg` carries the new fencing epoch.
+    NodePromoted = 20,
+    /// Liveness plane: a previously suspect/down node answered a
+    /// heartbeat again; node id in the request-id field.
+    NodeRecovered = 21,
+    /// Terminal: shed at admission because the measured service rate
+    /// says the deadline cannot be met even if queued (predictive
+    /// shedding); `arg` carries the predicted completion lateness in µs.
+    ShedPredicted = 22,
+    /// Degradation plane: a remote shard's circuit breaker tripped open
+    /// after consecutive failures; node id in the request-id field,
+    /// consecutive-failure count in `arg`.
+    BreakerOpened = 23,
+    /// Degradation plane: a probe succeeded and the breaker re-closed;
+    /// node id in the request-id field.
+    BreakerClosed = 24,
 }
 
 impl EventKind {
@@ -113,6 +142,13 @@ impl EventKind {
             15 => EventKind::FrameReceived,
             16 => EventKind::FrameRetried,
             17 => EventKind::FrameTimedOut,
+            18 => EventKind::NodeSuspected,
+            19 => EventKind::NodeDown,
+            20 => EventKind::NodePromoted,
+            21 => EventKind::NodeRecovered,
+            22 => EventKind::ShedPredicted,
+            23 => EventKind::BreakerOpened,
+            24 => EventKind::BreakerClosed,
             _ => return None,
         })
     }
@@ -125,6 +161,7 @@ impl EventKind {
                 | EventKind::Failed
                 | EventKind::ShedQueueFull
                 | EventKind::ShedDeadline
+                | EventKind::ShedPredicted
         )
     }
 }

@@ -1,0 +1,253 @@
+//! Deterministic generation of *well-formed* cluster chaos schedules.
+//!
+//! The self-healing harness in `tests/distributed.rs` needs adversarial
+//! node-lifecycle scripts — kills, recoveries, and sub-lease flaps —
+//! that are (a) reproducible from a seed and (b) guaranteed to respect
+//! the single-failure assumption the failover design is specified
+//! against. [`ChaosPlan::seeded`] achieves (b) constructively: the
+//! generator tracks which node is currently dead and only ever draws
+//! legal next events, so a plan never kills a corpse, never overlaps
+//! two failures, and always ends with every node recovered.
+//!
+//! A plan is pure data over abstract *ticks* (the harness decides what
+//! one tick means — typically one supervisor round under its
+//! `ManualClock`); the generator never touches a wall clock.
+
+use crate::rng::SmallRng;
+
+/// One scripted disturbance to a node's lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// Stop the node's server: probes fail from this tick until the
+    /// matching [`ChaosAction::Recover`]. Long enough to decay the
+    /// node's lease, so the supervisor *must* promote.
+    Kill,
+    /// The killed node's slot is whole again (in the harness: the
+    /// promoted replacement is up and a fresh standby is registered).
+    Recover,
+    /// A transient disturbance strictly shorter than the lease: the
+    /// node misses at most one probe and answers the next. The
+    /// supervisor must **not** promote — this is the
+    /// no-false-promotion fixture.
+    Flap,
+}
+
+/// One entry of a [`ChaosPlan`]: do `action` to `node` at `at_tick`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// The tick this event fires on (plans are sorted by tick).
+    pub at_tick: u64,
+    /// The target node.
+    pub node: u16,
+    /// What happens to it.
+    pub action: ChaosAction,
+}
+
+/// A seeded, well-formed schedule of node kills, recoveries and flaps.
+///
+/// Well-formedness invariants (checked by construction and asserted in
+/// this module's tests):
+///
+/// * **Single failure**: at most one node is dead at any tick.
+/// * **Paired**: every [`ChaosAction::Kill`] has a matching
+///   [`ChaosAction::Recover`] on the same node at a strictly later
+///   tick, and the plan ends with every node alive.
+/// * **Flaps hit the living**: a [`ChaosAction::Flap`] never targets
+///   the currently-dead node.
+/// * **Flaps are isolated**: the tick after a flap carries no event,
+///   so a flap is exactly one missed probe — never two in a row,
+///   which a lease-based detector could not tell from a real death.
+///
+/// ```
+/// use rqfa_workloads::{ChaosAction, ChaosPlan};
+///
+/// let plan = ChaosPlan::seeded(7, 2, 40);
+/// // Reproducible: the same seed yields the same schedule.
+/// assert_eq!(ChaosPlan::seeded(7, 2, 40).events(), plan.events());
+/// let kills = plan
+///     .events()
+///     .iter()
+///     .filter(|e| e.action == ChaosAction::Kill)
+///     .count();
+/// let recoveries = plan
+///     .events()
+///     .iter()
+///     .filter(|e| e.action == ChaosAction::Recover)
+///     .count();
+/// assert_eq!(kills, recoveries);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    events: Vec<ChaosEvent>,
+    nodes: u16,
+    ticks: u64,
+}
+
+impl ChaosPlan {
+    /// Draws a plan over `nodes` nodes and `ticks` ticks from `seed`.
+    ///
+    /// Roughly one tick in eight disturbs the cluster: kills (which
+    /// stay down for 2–4 ticks — comfortably past any lease measured
+    /// in single ticks) and flaps in a 2:1 ratio. The last few ticks
+    /// are kept quiet so every kill's recovery fits inside the plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nodes` is zero or `ticks < 8` (no room for even one
+    /// kill/recover pair plus the quiet tail).
+    #[must_use]
+    pub fn seeded(seed: u64, nodes: u16, ticks: u64) -> ChaosPlan {
+        assert!(nodes > 0, "a chaos plan needs at least one node");
+        assert!(ticks >= 8, "a chaos plan needs at least 8 ticks");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        // The currently-dead node and the tick its recovery fires on.
+        let mut down: Option<(u16, u64)> = None;
+        // A flap must read as *one* missed probe, so the tick after a
+        // flap stays quiet — back-to-back flaps would be
+        // indistinguishable from a real down interval to any
+        // lease-based detector.
+        let mut quiet_until = 0u64;
+        for tick in 0..ticks {
+            if let Some((node, until)) = down {
+                if tick == until {
+                    events.push(ChaosEvent {
+                        at_tick: tick,
+                        node,
+                        action: ChaosAction::Recover,
+                    });
+                    down = None;
+                }
+                continue;
+            }
+            // Quiet tail: leave room for a kill's full down-interval.
+            if tick < quiet_until || tick + 5 >= ticks || !rng.gen_bool(0.125 * 3.0) {
+                continue;
+            }
+            let node = u16::try_from(rng.gen_range(0..u64::from(nodes))).unwrap_or(0);
+            if rng.gen_bool(2.0 / 3.0) {
+                let until = tick + rng.gen_range(2..=4u64);
+                events.push(ChaosEvent {
+                    at_tick: tick,
+                    node,
+                    action: ChaosAction::Kill,
+                });
+                down = Some((node, until));
+            } else {
+                events.push(ChaosEvent {
+                    at_tick: tick,
+                    node,
+                    action: ChaosAction::Flap,
+                });
+                quiet_until = tick + 2;
+            }
+        }
+        ChaosPlan {
+            events,
+            nodes,
+            ticks,
+        }
+    }
+
+    /// The schedule, sorted by tick.
+    #[must_use]
+    pub fn events(&self) -> &[ChaosEvent] {
+        &self.events
+    }
+
+    /// The node count the plan was drawn for.
+    #[must_use]
+    pub fn nodes(&self) -> u16 {
+        self.nodes
+    }
+
+    /// The plan's length in ticks.
+    #[must_use]
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The events firing on `tick`, in schedule order.
+    pub fn at(&self, tick: u64) -> impl Iterator<Item = &ChaosEvent> {
+        self.events.iter().filter(move |event| event.at_tick == tick)
+    }
+
+    /// How many kills the plan contains.
+    #[must_use]
+    pub fn kills(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|event| event.action == ChaosAction::Kill)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_reproducible_from_their_seed() {
+        let a = ChaosPlan::seeded(0xC4A0, 2, 64);
+        let b = ChaosPlan::seeded(0xC4A0, 2, 64);
+        assert_eq!(a, b);
+        let c = ChaosPlan::seeded(0xC4A1, 2, 64);
+        assert_ne!(a.events(), c.events(), "different seeds should differ");
+    }
+
+    #[test]
+    fn every_kill_pairs_with_a_later_recover_and_failures_never_overlap() {
+        for seed in 0..64u64 {
+            let plan = ChaosPlan::seeded(seed, 3, 96);
+            let mut down: Option<u16> = None;
+            for event in plan.events() {
+                match event.action {
+                    ChaosAction::Kill => {
+                        assert!(down.is_none(), "seed {seed}: overlapping kills");
+                        down = Some(event.node);
+                    }
+                    ChaosAction::Recover => {
+                        assert_eq!(down, Some(event.node), "seed {seed}: orphan recover");
+                        down = None;
+                    }
+                    ChaosAction::Flap => {
+                        assert_ne!(down, Some(event.node), "seed {seed}: flapped a corpse");
+                    }
+                }
+            }
+            assert!(down.is_none(), "seed {seed}: plan ended with a node dead");
+        }
+    }
+
+    #[test]
+    fn events_are_sorted_and_inside_the_plan() {
+        let plan = ChaosPlan::seeded(9, 2, 48);
+        let mut last = 0;
+        for event in plan.events() {
+            assert!(event.at_tick >= last);
+            assert!(event.at_tick < plan.ticks());
+            assert!(event.node < plan.nodes());
+            last = event.at_tick;
+        }
+    }
+
+    #[test]
+    fn long_plans_contain_real_chaos() {
+        let plan = ChaosPlan::seeded(0xFEED, 2, 96);
+        assert!(plan.kills() >= 1, "96 ticks should draw at least one kill");
+        assert!(
+            plan.events().iter().any(|e| e.action == ChaosAction::Flap),
+            "96 ticks should draw at least one flap"
+        );
+    }
+
+    #[test]
+    fn at_filters_by_tick() {
+        let plan = ChaosPlan::seeded(3, 2, 32);
+        for event in plan.events() {
+            assert!(plan
+                .at(event.at_tick)
+                .any(|e| e.node == event.node && e.action == event.action));
+        }
+    }
+}

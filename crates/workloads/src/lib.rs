@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 mod casegen;
+mod chaosgen;
 mod mutationgen;
 mod requestgen;
 pub mod rng;
@@ -32,6 +33,7 @@ mod scenarios;
 mod trafficgen;
 
 pub use casegen::CaseGen;
+pub use chaosgen::{ChaosAction, ChaosEvent, ChaosPlan};
 pub use mutationgen::MutationGen;
 pub use requestgen::{GeneratedArrival, RequestGen};
 pub use scenarios::{fig1_mix, Fig1Scenario, APP_AUTOMOTIVE_ECU, APP_CRUISE, APP_MP3, APP_VIDEO};

@@ -23,6 +23,14 @@
 //! 5. **Failover** — killing the leader mid-cluster and promoting its
 //!    follower behind the same node id keeps the cluster's answers and
 //!    generations bit-identical to the oracle, which never noticed.
+//! 6. **Self-healing** — a [`Supervisor`] driving heartbeat probes
+//!    through a [`FailureDetector`] under a `ManualClock` promotes a
+//!    dead leader's standby automatically (never inside the lease
+//!    bound, always once the lease decays), fences the deposed
+//!    leader's mutations by epoch, keeps CRITICAL traffic on live
+//!    shards completing through the outage, and sheds predictably-late
+//!    LOW work fast — all bit-identical to the oracle and reproducible
+//!    from seeded [`ChaosPlan`] schedules.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::Ordering;
@@ -35,17 +43,17 @@ use rqfa::core::{CaseBase, Request};
 use rqfa::core::QosClass;
 use rqfa::memlist::encode_case_base;
 use rqfa::net::{
-    connect_loopback, shared_plan, FaultAction, FaultPlan, FaultyStream, Follower, FrameConn,
-    Message, NetStats, RetryPolicy, SharedFaultPlan, TailAck,
+    connect_loopback, shared_plan, FailureDetector, FaultAction, FaultPlan, FaultyStream, Follower,
+    FrameConn, Message, NetStats, RetryPolicy, SharedFaultPlan, TailAck,
 };
 use rqfa::persist::StampedMutation;
 use rqfa::service::remote::{
-    replicate_shard, serve_follower, ClusterClient, NodeServer, RemoteShard, RemoteStream,
-    StreamFactory,
+    replicate_shard, serve_follower, ClusterClient, NodeServer, PromoteFn, RemoteShard,
+    RemoteStream, StreamFactory, Supervisor, SupervisorEvent,
 };
 use rqfa::service::{shard, AllocationService, Outcome, ServiceConfig, ServiceError};
 use rqfa::telemetry::{ManualClock, SharedClock};
-use rqfa::workloads::{CaseGen, MutationGen, RequestGen};
+use rqfa::workloads::{CaseGen, ChaosAction, ChaosPlan, MutationGen, RequestGen};
 
 const NODES: usize = 2;
 
@@ -111,7 +119,7 @@ fn spawn_cluster(
             .map(|n| Some(NodeId::new(u16::try_from(n).unwrap())))
             .collect(),
     );
-    let mut client = ClusterClient::new(Box::new(placement), None);
+    let client = ClusterClient::new(Box::new(placement), None);
     let mut servers = Vec::new();
     let mut stats = Vec::new();
     for (n, slice) in slices.into_iter().enumerate() {
@@ -225,6 +233,7 @@ fn fault_injection_is_absorbed_by_bounded_retries() {
     let policy = RetryPolicy {
         attempts: 8,
         base_backoff: Duration::from_millis(1),
+        jitter_seed: 0,
     };
     for (name, action) in scripted {
         let plans: Vec<SharedFaultPlan> = (0..NODES)
@@ -296,6 +305,7 @@ fn retry_exhaustion_surfaces_bounded_unavailability() {
     let policy = RetryPolicy {
         attempts: 3,
         base_backoff: Duration::from_millis(1),
+        jitter_seed: 0,
     };
     // Exactly enough drops to exhaust one call's budget; everything
     // after passes — the client must recover on the next call.
@@ -492,7 +502,7 @@ fn leader_kill_failover_promotes_the_follower() {
     let policy = RetryPolicy::loopback();
     let timeout = Duration::from_millis(500);
     let placement = NodeMap::new(vec![Some(NodeId::new(0)), Some(NodeId::new(1))]);
-    let mut client = ClusterClient::new(Box::new(placement), None);
+    let client = ClusterClient::new(Box::new(placement), None);
     client.set_node(NodeId::new(0), RemoteShard::tcp(server0.addr(), timeout, policy));
     client.set_node(NodeId::new(1), RemoteShard::tcp(server1.addr(), timeout, policy));
     let oracle = AllocationService::new(&base, &oracle_config(&clock)).expect("oracle");
@@ -575,4 +585,416 @@ fn leader_kill_failover_promotes_the_follower() {
     server1.shutdown();
     promoted_server.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing: supervisor, fencing, degradation (ISSUE: PR 10 tentpole)
+// ---------------------------------------------------------------------------
+
+/// The lease every self-healing test runs on, in virtual microseconds.
+const LEASE_US: u64 = 50_000;
+/// Misses before a node's verdict decays to `Down`.
+const DOWN_MISSES: u64 = 2;
+
+/// A tight client policy for chaos phases: probes of a dead node must
+/// fail in well under a second so a tick stays cheap in wall time.
+fn chaos_policy() -> RetryPolicy {
+    RetryPolicy {
+        attempts: 2,
+        base_backoff: Duration::from_millis(1),
+        jitter_seed: 0,
+    }
+}
+
+const CHAOS_TIMEOUT: Duration = Duration::from_millis(40);
+
+#[test]
+fn supervisor_promotes_a_dead_leader_fenced_and_bit_identical() {
+    let manual = Arc::new(ManualClock::new());
+    let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+    let base = CaseGen::new(10, 5, 4, 6).seed(0x5E1F).build();
+    let dir = scratch_dir("selfheal");
+    let policy = chaos_policy();
+
+    // Node 0 is durable (it will be replicated and killed); node 1 is
+    // ephemeral; the oracle shadows both.
+    let slices = shard::partition(&base, NODES);
+    let slice0 = slices[0].clone().expect("shard 0 populated");
+    let service0 = Arc::new(
+        AllocationService::durable_create(&slice0, &dir, &node_config(&clock)).expect("node 0"),
+    );
+    let service1 = Arc::new(
+        AllocationService::new(
+            &slices[1].clone().expect("shard 1 populated"),
+            &node_config(&clock),
+        )
+        .expect("node 1"),
+    );
+    let server0 = NodeServer::spawn(Arc::clone(&service0)).expect("node 0 server");
+    let server1 = NodeServer::spawn(Arc::clone(&service1)).expect("node 1 server");
+    let placement = NodeMap::new(vec![Some(NodeId::new(0)), Some(NodeId::new(1))]);
+    let client = Arc::new(ClusterClient::new(Box::new(placement), None));
+    client.set_node(NodeId::new(0), RemoteShard::tcp(server0.addr(), CHAOS_TIMEOUT, policy));
+    client.set_node(NodeId::new(1), RemoteShard::tcp(server1.addr(), CHAOS_TIMEOUT, policy));
+    assert_eq!(client.epoch(), 1, "the cluster epoch starts at 1");
+    let oracle = AllocationService::new(&base, &oracle_config(&clock)).expect("oracle");
+    let mut mutations = MutationGen::new(&base, 0x5EED);
+
+    let detector = Arc::new(FailureDetector::new(Arc::clone(&clock), LEASE_US, DOWN_MISSES));
+    let mut supervisor = Supervisor::new(Arc::clone(&client), Arc::clone(&detector));
+
+    // Phase 1: healthy traffic; a supervision round is all beats.
+    let requests = RequestGen::new(&base).seed(21).count(40).generate();
+    drive(&client, &oracle, requests, &mut mutations, 4);
+    let events = supervisor.tick();
+    assert!(
+        events.iter().all(|e| matches!(e, SupervisorEvent::Beat { .. })),
+        "a healthy round is all beats: {events:?}"
+    );
+
+    // Replicate node 0 into an up-to-date follower and register it as
+    // the standby: on promotion, it becomes a fresh service behind a
+    // server *born fenced* at the promotion epoch.
+    let listener = Arc::new(TcpListener::bind("127.0.0.1:0").expect("bind follower"));
+    let addr = listener.local_addr().expect("follower addr");
+    let session = follower_session(Arc::clone(&listener), Follower::new());
+    {
+        let mut conn = leader_conn(addr);
+        replicate_shard(&service0, 0, &mut conn, 16).expect("replication round");
+    }
+    let (follower, result) = session.join().expect("follower session");
+    result.expect("clean stream end");
+    assert_eq!(follower.generation(), Some(service0.shard_generation(0)));
+
+    let promoted_servers: Arc<std::sync::Mutex<Vec<NodeServer>>> =
+        Arc::new(std::sync::Mutex::new(Vec::new()));
+    let mut standby = Some(follower);
+    let promote_clock = Arc::clone(&clock);
+    let promote_servers = Arc::clone(&promoted_servers);
+    supervisor.register_standby(
+        NodeId::new(0),
+        Box::new(move |epoch| {
+            let follower = standby
+                .take()
+                .ok_or_else(|| ServiceError::Remote("standby already consumed".into()))?;
+            let replica = follower
+                .promote()
+                .map_err(|error| ServiceError::Remote(error.to_string()))?;
+            let promoted =
+                Arc::new(AllocationService::new(&replica, &node_config(&promote_clock))?);
+            let server = NodeServer::spawn_fenced(promoted, epoch)?;
+            let remote = RemoteShard::tcp(server.addr(), CHAOS_TIMEOUT, chaos_policy());
+            promote_servers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(server);
+            Ok(remote)
+        }),
+    );
+
+    // Kill the leader. One missed lease is *suspicion*, not death:
+    // the supervisor must not promote inside the lease bound.
+    server0.shutdown();
+    drop(service0);
+    manual.advance_us(LEASE_US);
+    let events = supervisor.tick();
+    assert!(
+        !events.iter().any(|e| matches!(e, SupervisorEvent::Promoted { .. })),
+        "no promotion while the loss is within the lease bound: {events:?}"
+    );
+    assert_eq!(detector.misses(0), 1, "exactly one missed lease so far");
+
+    // During the outage: CRITICAL routed to the live node completes,
+    // and the dead shard degrades into *bounded* unavailability (the
+    // oracle consumes the same submits to keep the id streams aligned).
+    let probes = RequestGen::new(&base).seed(23).count(24).generate();
+    let live = probes
+        .iter()
+        .find(|r| shard::route(r.type_id(), NODES) == 1)
+        .expect("some request routes to the live node")
+        .clone();
+    let dead = probes
+        .iter()
+        .find(|r| shard::route(r.type_id(), NODES) == 0)
+        .expect("some request routes to the dead node")
+        .clone();
+    let crit = client.submit(live.clone(), QosClass::Critical);
+    assert!(
+        matches!(crit.outcome, Outcome::Allocated { .. }),
+        "CRITICAL on a live shard completes during a single-node failure: {:?}",
+        crit.outcome
+    );
+    oracle
+        .submit(live, QosClass::Critical)
+        .wait()
+        .expect("oracle answers");
+    let gap = client.submit(dead.clone(), QosClass::High);
+    assert_eq!(
+        gap.outcome,
+        Outcome::Unavailable {
+            attempts: policy.attempts
+        },
+        "the dead shard fails boundedly, never hangs"
+    );
+    oracle
+        .submit(dead, QosClass::High)
+        .wait()
+        .expect("oracle answers");
+
+    // Second missed lease: the verdict decays to Down and the very
+    // next supervision round promotes under a bumped epoch.
+    manual.advance_us(LEASE_US);
+    let events = supervisor.tick();
+    assert!(
+        events.contains(&SupervisorEvent::Promoted {
+            node: NodeId::new(0),
+            epoch: 2
+        }),
+        "the lease decayed: expected a promotion, got {events:?}"
+    );
+    assert_eq!(client.epoch(), 2);
+
+    // Fencing: the deposed leader's control plane still holds epoch 1.
+    // Its mutation is refused by the promoted node *without touching
+    // state*; the same mutation at the current epoch applies cleanly.
+    let fenced_mutation = loop {
+        let mutation = mutations.next_mutation();
+        let owner = shard::route(mutation.type_id(), NODES);
+        if owner == 0 {
+            break mutation;
+        }
+        let generation = client.apply_mutation(&mutation).expect("cluster applies");
+        oracle.apply_mutation(&mutation).expect("oracle applies");
+        assert_eq!(generation, oracle.shard_generation(owner));
+    };
+    let promoted_addr = promoted_servers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)[0]
+        .addr();
+    let stale_leader = RemoteShard::tcp(promoted_addr, CHAOS_TIMEOUT, policy);
+    let before = oracle.shard_generation(0);
+    let ack = stale_leader
+        .call_mutate(1, &fenced_mutation)
+        .expect("the promoted node answers");
+    let error = ack.error.expect("a stale epoch must be refused");
+    assert!(error.contains("fenced"), "want a fencing rejection, got: {error}");
+    let generation = client
+        .apply_mutation(&fenced_mutation)
+        .expect("the current epoch applies");
+    oracle.apply_mutation(&fenced_mutation).expect("oracle applies");
+    assert_eq!(generation, oracle.shard_generation(0));
+    assert_eq!(
+        generation.raw(),
+        before.raw() + 1,
+        "the fenced attempt must not have consumed a generation"
+    );
+
+    // Phase 2: the healed cluster answers bit-identically again and a
+    // supervision round is back to all beats.
+    let requests = RequestGen::new(&base).seed(24).count(40).generate();
+    drive(&client, &oracle, requests, &mut mutations, 4);
+    let events = supervisor.tick();
+    assert!(
+        events.iter().all(|e| matches!(e, SupervisorEvent::Beat { .. })),
+        "the healed cluster is all beats: {events:?}"
+    );
+
+    server1.shutdown();
+    for server in promoted_servers
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .drain(..)
+    {
+        server.shutdown();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn seeded_chaos_promotes_every_kill_and_never_a_live_node() {
+    // Property, over seeded schedules: a kill (down ≥ the lease bound)
+    // promotes exactly once; a flap (one missed probe) never does.
+    // `RQFA_CHAOS_SEEDS=<n>` (the CI chaos lane) widens the sweep with
+    // n extra deterministic seeds.
+    let extra: u64 = std::env::var("RQFA_CHAOS_SEEDS")
+        .ok()
+        .and_then(|n| n.parse().ok())
+        .unwrap_or(0);
+    let seeds = [0xC4A0_5EED_u64, 0xC4A0_5EEE, 0xC4A0_5EFF]
+        .into_iter()
+        .chain((0..extra).map(|i| 0xC4A0_0000 + i));
+    for seed in seeds {
+        let plan = ChaosPlan::seeded(seed, u16::try_from(NODES).unwrap(), 24);
+        let manual = Arc::new(ManualClock::new());
+        let clock: SharedClock = Arc::clone(&manual) as SharedClock;
+        let base = CaseGen::new(8, 4, 4, 6).seed(seed).build();
+        let slices: Vec<CaseBase> = shard::partition(&base, NODES)
+            .into_iter()
+            .map(|slice| slice.expect("these workloads populate every shard"))
+            .collect();
+        let placement = NodeMap::new(
+            (0..NODES)
+                .map(|n| Some(NodeId::new(u16::try_from(n).unwrap())))
+                .collect(),
+        );
+        let client = Arc::new(ClusterClient::new(Box::new(placement), None));
+        let servers: Arc<std::sync::Mutex<Vec<Option<NodeServer>>>> =
+            Arc::new(std::sync::Mutex::new(Vec::new()));
+        for (n, slice) in slices.iter().enumerate() {
+            let service =
+                Arc::new(AllocationService::new(slice, &node_config(&clock)).expect("node"));
+            let server = NodeServer::spawn(service).expect("server");
+            client.set_node(
+                NodeId::new(u16::try_from(n).unwrap()),
+                RemoteShard::tcp(server.addr(), CHAOS_TIMEOUT, chaos_policy()),
+            );
+            servers
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .push(Some(server));
+        }
+        let detector = Arc::new(FailureDetector::new(Arc::clone(&clock), LEASE_US, DOWN_MISSES));
+        let mut supervisor = Supervisor::new(Arc::clone(&client), Arc::clone(&detector));
+        // Pre-register every node so a tick-0 kill still ages a lease.
+        for n in 0..NODES {
+            detector.register(u16::try_from(n).unwrap());
+        }
+        // A standby for node `n`: a fresh service over its slice behind
+        // a server born fenced at the promotion epoch (no learning
+        // traffic in this test, so state continuity is trivial).
+        let make_standby = |n: usize| -> PromoteFn {
+            let slice = slices[n].clone();
+            let clock = Arc::clone(&clock);
+            let servers = Arc::clone(&servers);
+            Box::new(move |epoch| {
+                let service = Arc::new(AllocationService::new(&slice, &node_config(&clock))?);
+                let server = NodeServer::spawn_fenced(service, epoch)?;
+                let remote = RemoteShard::tcp(server.addr(), CHAOS_TIMEOUT, chaos_policy());
+                servers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[n] = Some(server);
+                Ok(remote)
+            })
+        };
+        for n in 0..NODES {
+            supervisor.register_standby(NodeId::new(u16::try_from(n).unwrap()), make_standby(n));
+        }
+
+        let mut dead = [false; NODES];
+        let mut promotions = 0usize;
+        for tick in 0..plan.ticks() {
+            // Disturbances land before the supervision round…
+            let mut flapped: Vec<usize> = Vec::new();
+            for event in plan.at(tick) {
+                let n = usize::from(event.node);
+                match event.action {
+                    ChaosAction::Kill => {
+                        if let Some(server) = servers
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)[n]
+                            .take()
+                        {
+                            server.shutdown();
+                        }
+                        dead[n] = true;
+                    }
+                    ChaosAction::Flap => {
+                        if let Some(server) = servers
+                            .lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)[n]
+                            .take()
+                        {
+                            server.shutdown();
+                        }
+                        flapped.push(n);
+                    }
+                    ChaosAction::Recover => {}
+                }
+            }
+            for event in supervisor.tick() {
+                match event {
+                    SupervisorEvent::Beat { .. } => {}
+                    SupervisorEvent::Promoted { node, .. } => {
+                        assert!(
+                            dead[usize::from(node.raw())],
+                            "seed {seed:#x} tick {tick}: promoted a provably-live node"
+                        );
+                        promotions += 1;
+                    }
+                    SupervisorEvent::PromotionFailed { node, error } => {
+                        panic!("seed {seed:#x} tick {tick}: promotion of {node} failed: {error}")
+                    }
+                }
+            }
+            // …recoveries and flap healings after it: a recover re-arms
+            // the node's standby (the promoted replacement is already
+            // serving), a flap comes back after exactly one missed probe.
+            for event in plan.at(tick) {
+                let n = usize::from(event.node);
+                if event.action == ChaosAction::Recover {
+                    dead[n] = false;
+                    supervisor.register_standby(NodeId::new(event.node), make_standby(n));
+                }
+            }
+            for n in flapped {
+                let service = Arc::new(
+                    AllocationService::new(&slices[n], &node_config(&clock)).expect("node"),
+                );
+                let server = NodeServer::spawn(service).expect("server");
+                client.set_node(
+                    NodeId::new(u16::try_from(n).unwrap()),
+                    RemoteShard::tcp(server.addr(), CHAOS_TIMEOUT, chaos_policy()),
+                );
+                servers
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[n] = Some(server);
+            }
+            manual.advance_us(LEASE_US);
+        }
+        assert_eq!(
+            promotions,
+            plan.kills(),
+            "seed {seed:#x}: every kill promotes exactly once, nothing else ever does"
+        );
+        for slot in servers
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .drain(..)
+            .flatten()
+        {
+            slot.shutdown();
+        }
+    }
+}
+
+#[test]
+fn predictive_shedding_refuses_doomed_low_requests_fast() {
+    let clock = frozen_clock();
+    let base = CaseGen::new(6, 4, 4, 6).seed(0xD00).build();
+    let config = node_config(&clock).with_predictive_shed(true);
+    let service = AllocationService::new(&base, &config).expect("service");
+    // Warm the estimator by hand — under a frozen clock the worker
+    // observes 0 µs batches and would never learn: 10 ms per job, far
+    // past any deadline below.
+    service.prime_service_estimate(0, 10_000, 1);
+    let request = RequestGen::new(&base).seed(1).count(1).generate().remove(0);
+    // LOW with 1 ms of headroom against a 10 ms predicted completion:
+    // refused at admission with the predicted lateness — no queueing,
+    // no waiting for the deadline to pass.
+    let reply = service
+        .submit_with_deadline(request.clone(), QosClass::Low, Duration::from_millis(1))
+        .wait()
+        .expect("service answers");
+    assert_eq!(reply.outcome, Outcome::ShedPredicted { late_us: 9_000 });
+    // CRITICAL is never predictively shed, hopeless deadline or not.
+    let reply = service
+        .submit_with_deadline(request, QosClass::Critical, Duration::from_millis(1))
+        .wait()
+        .expect("service answers");
+    assert!(
+        matches!(reply.outcome, Outcome::Allocated { .. }),
+        "CRITICAL must complete: {:?}",
+        reply.outcome
+    );
+    service.shutdown();
 }

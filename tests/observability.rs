@@ -265,7 +265,7 @@ fn net_plane_events_keep_timelines_telescoping() {
         RetryPolicy::loopback(),
     )
     .with_recorder(Arc::clone(&recorder), Arc::clone(&clock));
-    let mut client = ClusterClient::new(Box::new(NodeMap::new(vec![Some(NodeId::new(0))])), None);
+    let client = ClusterClient::new(Box::new(NodeMap::new(vec![Some(NodeId::new(0))])), None);
     client.set_node(NodeId::new(0), remote);
 
     // Sequential submits against a single node: the cluster's ids and

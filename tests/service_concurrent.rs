@@ -330,6 +330,9 @@ fn shed_order_is_largest_slack_first_and_deterministic() {
                 Admission::Admitted => format!("admit {id}"),
                 Admission::Displaced(victim) => format!("displace {} for {id}", victim.id()),
                 Admission::Refused(job) => format!("refuse {}", job.id()),
+                Admission::Doomed { job, late_us } => {
+                    format!("doom {} late {late_us}us", job.id())
+                }
             });
         };
         // Fill the LOW lane to its limit (capacity 4)…
